@@ -1,0 +1,44 @@
+//! Fig 1a/1b in wall-clock form: ansatz synthesis and Hamiltonian
+//! construction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwq_chem::molecules::water_scaling;
+use nwq_chem::uccsd::{uccsd_ansatz, uccsd_stats};
+
+fn bench_ansatz_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uccsd_synthesis");
+    for (n_qubits, n_elec) in [(8usize, 4usize), (12, 6), (16, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("build_circuit", n_qubits),
+            &(n_qubits, n_elec),
+            |b, &(n, e)| b.iter(|| uccsd_ansatz(n, e).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_only", n_qubits),
+            &(n_qubits, n_elec),
+            |b, &(n, e)| b.iter(|| uccsd_stats(n, e).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hamiltonian_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamiltonian_build");
+    group.sample_size(10);
+    for n_spatial in [5usize, 7, 9] {
+        let m = water_scaling(n_spatial);
+        group.bench_with_input(
+            BenchmarkId::new("jw_qubit_hamiltonian", 2 * n_spatial),
+            &m,
+            |b, m| b.iter(|| m.to_qubit_hamiltonian().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_ansatz_synthesis, bench_hamiltonian_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig 4 in wall-clock form: the fusion pass itself, and circuit
+//! execution before vs after fusion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwq_chem::uccsd::uccsd_ansatz;
+use nwq_circuit::fusion::fuse;
+use nwq_circuit::passes::cancel_and_merge;
+use nwq_circuit::Circuit;
+use nwq_statevec::simulate;
+
+fn bound_uccsd(n_qubits: usize, n_elec: usize) -> Circuit {
+    let ansatz = uccsd_ansatz(n_qubits, n_elec).expect("UCCSD");
+    let params: Vec<f64> = (0..ansatz.n_params()).map(|k| 0.1 + 0.01 * k as f64).collect();
+    ansatz.bind(&params).expect("bind")
+}
+
+fn bench_fusion_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_pass");
+    for (n_qubits, n_elec) in [(4usize, 2usize), (6, 2), (8, 4)] {
+        let circuit = bound_uccsd(n_qubits, n_elec);
+        group.bench_with_input(
+            BenchmarkId::new("fuse", format!("{n_qubits}q_{}g", circuit.len())),
+            &circuit,
+            |b, circuit| b.iter(|| fuse(circuit).unwrap()),
+        );
+    }
+    let circuit = bound_uccsd(8, 4);
+    group.bench_function("cancel_and_merge_8q", |b| {
+        b.iter(|| cancel_and_merge(&circuit).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_execution_fused_vs_unfused(c: &mut Criterion) {
+    // Widen the register so gate application dominates over per-gate
+    // overhead: embed the 8-qubit UCCSD in a 16-qubit register.
+    let base = bound_uccsd(8, 4);
+    let mut wide = Circuit::new(16);
+    for g in base.gates() {
+        wide.push(g.clone()).unwrap();
+    }
+    let (fused, stats) = fuse(&wide).unwrap();
+    assert!(stats.reduction() > 0.5);
+
+    let mut group = c.benchmark_group("uccsd8_in_16q_execution");
+    group.sample_size(10);
+    group.bench_function("unfused", |b| b.iter(|| simulate(&wide, &[]).unwrap()));
+    group.bench_function("fused", |b| b.iter(|| simulate(&fused, &[]).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fusion_pass, bench_execution_fused_vs_unfused
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Gate-kernel throughput: the raw amplitude-update rates behind every
+//! other number in the evaluation (the CPU analog of NWQ-Sim's GPU
+//! kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nwq_common::mat::{mat_cx, mat_h, mat_rz, mat_rzz};
+use nwq_common::{C64, C_ONE, C_ZERO};
+use nwq_statevec::kernels::{apply_mat2, apply_mat4};
+
+fn state(n: usize) -> Vec<C64> {
+    let mut v = vec![C_ZERO; 1 << n];
+    v[0] = C_ONE;
+    v
+}
+
+fn bench_single_qubit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_1q");
+    for n in [14usize, 18] {
+        group.throughput(Throughput::Elements(1 << n));
+        group.bench_with_input(BenchmarkId::new("h_low_qubit", n), &n, |b, &n| {
+            let mut amps = state(n);
+            b.iter(|| apply_mat2(&mut amps, 0, &mat_h()));
+        });
+        group.bench_with_input(BenchmarkId::new("h_high_qubit", n), &n, |b, &n| {
+            let mut amps = state(n);
+            b.iter(|| apply_mat2(&mut amps, n - 1, &mat_h()));
+        });
+        group.bench_with_input(BenchmarkId::new("rz_diagonal_fast_path", n), &n, |b, &n| {
+            let mut amps = state(n);
+            b.iter(|| apply_mat2(&mut amps, n / 2, &mat_rz(0.3)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_qubit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_2q");
+    for n in [14usize, 18] {
+        group.throughput(Throughput::Elements(1 << n));
+        group.bench_with_input(BenchmarkId::new("cx_adjacent", n), &n, |b, &n| {
+            let mut amps = state(n);
+            b.iter(|| apply_mat4(&mut amps, 0, 1, &mat_cx()));
+        });
+        group.bench_with_input(BenchmarkId::new("cx_spanning", n), &n, |b, &n| {
+            let mut amps = state(n);
+            b.iter(|| apply_mat4(&mut amps, 0, n - 1, &mat_cx()));
+        });
+        group.bench_with_input(BenchmarkId::new("rzz_diagonal_fast_path", n), &n, |b, &n| {
+            let mut amps = state(n);
+            b.iter(|| apply_mat4(&mut amps, 1, n - 2, &mat_rzz(0.4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_qubit, bench_two_qubit
+}
+criterion_main!(benches);

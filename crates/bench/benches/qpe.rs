@@ -1,0 +1,51 @@
+//! QPE cost: circuit synthesis and end-to-end phase estimation at
+//! increasing register/precision settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwq_core::qpe::{qpe_circuit, run_qpe, QpeConfig};
+use nwq_pauli::PauliOp;
+
+fn bench_qpe(c: &mut Criterion) {
+    let h = PauliOp::parse("1.0 ZZ + 0.5 ZI + 0.25 IZ").unwrap();
+    let mut prep = nwq_circuit::Circuit::new(2);
+    prep.x(0).x(1);
+
+    let mut group = c.benchmark_group("qpe_commuting_2q");
+    group.sample_size(10);
+    for ancillas in [4usize, 6, 8] {
+        let cfg = QpeConfig { n_ancilla: ancillas, t: 1.0, trotter_steps: 1, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", ancillas),
+            &cfg,
+            |b, cfg| b.iter(|| qpe_circuit(&h, &prep, cfg).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("run", ancillas), &cfg, |b, cfg| {
+            b.iter(|| run_qpe(&h, &prep, cfg).unwrap())
+        });
+    }
+    group.finish();
+
+    // Molecular QPE: Trotterized H2 (non-commuting terms).
+    let mol = nwq_chem::molecules::h2_sto3g();
+    let h2 = mol.to_qubit_hamiltonian().unwrap();
+    let mut hf = nwq_circuit::Circuit::new(4);
+    nwq_chem::uccsd::append_hf_state(&mut hf, 2).unwrap();
+    let mut group = c.benchmark_group("qpe_h2");
+    group.sample_size(10);
+    for steps in [4usize, 8] {
+        let cfg = QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: steps, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::new("trotter_steps", steps),
+            &cfg,
+            |b, cfg| b.iter(|| run_qpe(&h2, &hf, cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_qpe
+}
+criterion_main!(benches);

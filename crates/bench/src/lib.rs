@@ -1,0 +1,1 @@
+//! Benchmark support crate; all content lives in benches/ and src/bin/.

@@ -1,0 +1,621 @@
+//! Coupled-cluster downfolding (paper §2).
+//!
+//! Two complementary implementations:
+//!
+//! 1. **Qubit-level Hermitian downfolding** — the literal Eq. 2 pipeline:
+//!    build an anti-Hermitian external cluster operator σ_ext, expand
+//!    `e^{−σ} H e^{σ}` as nested commutators truncated at second order
+//!    (the truncation the paper's applications use), then project onto the
+//!    active space with the external qubits frozen at their reference
+//!    occupation. Exact-arithmetic Pauli algebra throughout; practical up
+//!    to ~16 full qubits, which covers the validation studies.
+//!
+//! 2. **Integral-level downfolding** — the scalable path used for the
+//!    Fig 1b/Fig 5 instances, where the parent basis (cc-pV5Z, hundreds of
+//!    orbitals) can never be represented as a qubit operator. It performs
+//!    the exact frozen-core fold (mean-field-exact renormalization of
+//!    `h_pq` plus a scalar core energy) and folds the correlation energy
+//!    of the discarded virtual space in via an MP2-style estimate — the
+//!    second-order flavour of Eq. 2 at the integral level.
+
+use crate::fermion::FermionOp;
+use crate::integrals::MolecularIntegrals;
+use nwq_common::{C64, Error, Result};
+use nwq_pauli::{Pauli, PauliOp, PauliString};
+
+// ---------------------------------------------------------------------------
+// Qubit-level downfolding (Eq. 2).
+// ---------------------------------------------------------------------------
+
+/// Nested-commutator expansion of the similarity transform
+/// `e^{−σ} H e^{σ} ≈ H + [H,σ] + ½[[H,σ],σ] + …` truncated at `order`
+/// commutators (order 2 is the paper's working truncation).
+pub fn commutator_expansion(h: &PauliOp, sigma: &PauliOp, order: usize) -> Result<PauliOp> {
+    if !sigma.is_anti_hermitian(1e-10) {
+        return Err(Error::Invalid("σ must be anti-Hermitian".into()));
+    }
+    let mut acc = h.clone();
+    let mut nested = h.clone();
+    let mut factorial = 1.0;
+    for k in 1..=order {
+        nested = nested.commutator(sigma)?;
+        factorial *= k as f64;
+        acc = &acc + &nested.scaled(C64::real(1.0 / factorial));
+    }
+    Ok(acc)
+}
+
+/// Projects a Pauli operator onto an active-qubit subspace, freezing the
+/// remaining (external) qubits at the reference occupation given by
+/// `external_occupation` (bit q set ⇔ external qubit q occupied in the
+/// reference determinant).
+///
+/// Term-wise rule: an external X or Y factor has zero expectation in a
+/// computational reference and kills the term; an external Z contributes
+/// ±1 by occupation; external I contributes 1. Active factors survive,
+/// re-indexed to `0..active.len()` in the order given.
+pub fn project_active(
+    h: &PauliOp,
+    active: &[usize],
+    external_occupation: u64,
+) -> Result<PauliOp> {
+    let n = h.n_qubits();
+    let m = active.len();
+    let mut position = vec![usize::MAX; n];
+    for (new, &q) in active.iter().enumerate() {
+        if q >= n {
+            return Err(Error::QubitOutOfRange { qubit: q, n_qubits: n });
+        }
+        if position[q] != usize::MAX {
+            return Err(Error::DuplicateQubit(q));
+        }
+        position[q] = new;
+    }
+    let mut terms: Vec<(C64, PauliString)> = Vec::new();
+    'terms: for &(c, s) in h.terms() {
+        let mut coeff = c;
+        let mut ops: Vec<(usize, Pauli)> = Vec::new();
+        for (q, p) in s.iter_ops() {
+            if position[q] != usize::MAX {
+                ops.push((position[q], p));
+            } else {
+                match p {
+                    Pauli::X | Pauli::Y => continue 'terms,
+                    Pauli::Z => {
+                        if (external_occupation >> q) & 1 == 1 {
+                            coeff = -coeff;
+                        }
+                    }
+                    Pauli::I => {}
+                }
+            }
+        }
+        terms.push((coeff, PauliString::from_ops(m, &ops)?));
+    }
+    Ok(PauliOp::from_terms(m, terms))
+}
+
+/// Full qubit-level Hermitian downfolding: commutator expansion followed by
+/// active-space projection.
+pub fn hermitian_downfold_qubit(
+    h: &PauliOp,
+    sigma: &PauliOp,
+    active: &[usize],
+    external_occupation: u64,
+    order: usize,
+) -> Result<PauliOp> {
+    let transformed = commutator_expansion(h, sigma, order)?;
+    project_active(&transformed, active, external_occupation)
+}
+
+/// Builds an MP2-amplitude external cluster operator
+/// `σ = T_ext − T_ext†` over spin orbitals, where `T_ext` contains the
+/// double excitations `i,j → a,b` with at least one index outside the
+/// active spatial window `[0, n_active)` and amplitudes
+/// `t = (ia|jb) / (ε_i + ε_j − ε_a − ε_b)`.
+pub fn mp2_external_sigma(m: &MolecularIntegrals, n_active_spatial: usize) -> FermionOp {
+    let occ = m.n_occupied();
+    let n = m.n_spatial();
+    let so = |p: usize, s: usize| 2 * p + s;
+    let mut t_ext = FermionOp::zero();
+    for i in 0..occ {
+        for j in 0..occ {
+            for a in occ..n {
+                for b in occ..n {
+                    let external = a >= n_active_spatial || b >= n_active_spatial;
+                    if !external {
+                        continue;
+                    }
+                    let num = m.g(i, a, j, b);
+                    if num.abs() < 1e-12 {
+                        continue;
+                    }
+                    let den = m.orbital_energy(i) + m.orbital_energy(j)
+                        - m.orbital_energy(a)
+                        - m.orbital_energy(b);
+                    if den.abs() < 1e-8 {
+                        continue;
+                    }
+                    let t = num / den;
+                    // Opposite-spin component (the dominant channel).
+                    let (ia, jb, aa, bb) = (so(i, 0), so(j, 1), so(a, 0), so(b, 1));
+                    t_ext.push(C64::real(t), vec![(aa, true), (bb, true), (jb, false), (ia, false)]);
+                }
+            }
+        }
+    }
+    // Singles with an external target orbital: t_ie = F_ie/(ε_i − ε_e).
+    for i in 0..occ {
+        for a in occ.max(n_active_spatial)..n {
+            let mut f_ia = m.h(i, a);
+            for j in 0..occ {
+                f_ia += 2.0 * m.g(i, a, j, j) - m.g(i, j, j, a);
+            }
+            let den = m.orbital_energy(i) - m.orbital_energy(a);
+            if den.abs() < 1e-8 || f_ia.abs() < 1e-12 {
+                continue;
+            }
+            let t = f_ia / den;
+            for spin in 0..2 {
+                t_ext.push(C64::real(t), vec![(so(a, spin), true), (so(i, spin), false)]);
+            }
+        }
+    }
+    t_ext.anti_hermitian_part()
+}
+
+// ---------------------------------------------------------------------------
+// Integral-level downfolding (the scalable path).
+// ---------------------------------------------------------------------------
+
+/// Report of an integral-level downfold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DownfoldReport {
+    /// Energy of the frozen core folded into the scalar part.
+    pub core_energy: f64,
+    /// MP2 estimate of the correlation energy recovered from the
+    /// discarded external virtuals and folded into the scalar part.
+    pub external_mp2_energy: f64,
+    /// Second-order singles (orbital-relaxation) energy recovered from
+    /// the discarded virtuals and folded into the scalar part.
+    pub external_singles_energy: f64,
+    /// Spatial orbitals removed below (core) and above (virtual) the
+    /// active window.
+    pub frozen_core: usize,
+    /// Discarded virtual orbitals.
+    pub discarded_virtuals: usize,
+}
+
+/// Exact frozen-core transformation: removes the lowest `n_frozen` doubly
+/// occupied spatial orbitals, dressing the one-electron integrals with
+/// their mean field and accumulating their energy into
+/// `nuclear_repulsion` (standard, exact at the mean-field level).
+pub fn freeze_core(m: &MolecularIntegrals, n_frozen: usize) -> Result<MolecularIntegrals> {
+    if n_frozen > m.n_occupied() {
+        return Err(Error::Invalid(format!(
+            "cannot freeze {n_frozen} orbitals with only {} occupied",
+            m.n_occupied()
+        )));
+    }
+    let n_new = m.n_spatial() - n_frozen;
+    let mut out = MolecularIntegrals::new(n_new, m.n_electrons() - 2 * n_frozen)?;
+    // Core energy: 2Σ h_ii + Σ_ij [2(ii|jj) − (ij|ji)] over frozen i, j.
+    let mut core = 0.0;
+    for i in 0..n_frozen {
+        core += 2.0 * m.h(i, i);
+        for j in 0..n_frozen {
+            core += 2.0 * m.g(i, i, j, j) - m.g(i, j, j, i);
+        }
+    }
+    out.nuclear_repulsion = m.nuclear_repulsion + core;
+    for p in 0..n_new {
+        for q in p..n_new {
+            let (op, oq) = (p + n_frozen, q + n_frozen);
+            let mut v = m.h(op, oq);
+            for i in 0..n_frozen {
+                v += 2.0 * m.g(op, oq, i, i) - m.g(op, i, i, oq);
+            }
+            out.set_h(p, q, v);
+        }
+    }
+    for p in 0..n_new {
+        for q in p..n_new {
+            for r in 0..n_new {
+                for s in r..n_new {
+                    if (r, s) < (p, q) {
+                        continue;
+                    }
+                    let v = m.g(p + n_frozen, q + n_frozen, r + n_frozen, s + n_frozen);
+                    if v != 0.0 {
+                        out.set_g(p, q, r, s, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bare truncation of the virtual space to `n_keep` spatial orbitals — the
+/// baseline the paper says downfolding beats by orders of magnitude.
+pub fn truncate_virtuals(m: &MolecularIntegrals, n_keep: usize) -> Result<MolecularIntegrals> {
+    if n_keep < m.n_occupied() {
+        return Err(Error::Invalid(format!(
+            "active window {n_keep} cannot hold the {} occupied orbitals",
+            m.n_occupied()
+        )));
+    }
+    if n_keep > m.n_spatial() {
+        return Err(Error::DimensionMismatch { expected: m.n_spatial(), got: n_keep });
+    }
+    let mut out = MolecularIntegrals::new(n_keep, m.n_electrons())?;
+    out.nuclear_repulsion = m.nuclear_repulsion;
+    for p in 0..n_keep {
+        for q in p..n_keep {
+            out.set_h(p, q, m.h(p, q));
+        }
+    }
+    for p in 0..n_keep {
+        for q in p..n_keep {
+            for r in 0..n_keep {
+                for s in r..n_keep {
+                    if (r, s) < (p, q) {
+                        continue;
+                    }
+                    let v = m.g(p, q, r, s);
+                    if v != 0.0 {
+                        out.set_g(p, q, r, s, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// MP2 correlation energy restricted to double excitations with at least
+/// one index outside the active window `[0, n_active)` — the correlation
+/// content the bare truncation discards.
+pub fn external_mp2_energy(m: &MolecularIntegrals, n_active: usize) -> f64 {
+    let occ = m.n_occupied();
+    let n = m.n_spatial();
+    let mut e = 0.0;
+    for i in 0..occ {
+        for j in 0..occ {
+            for a in occ..n {
+                for b in occ..n {
+                    if a < n_active && b < n_active {
+                        continue;
+                    }
+                    let iajb = m.g(i, a, j, b);
+                    let ibja = m.g(i, b, j, a);
+                    let den = m.orbital_energy(i) + m.orbital_energy(j)
+                        - m.orbital_energy(a)
+                        - m.orbital_energy(b);
+                    if den.abs() < 1e-8 {
+                        continue;
+                    }
+                    e += iajb * (2.0 * iajb - ibja) / den;
+                }
+            }
+        }
+    }
+    e
+}
+
+/// Second-order singles (orbital-relaxation) energy recovered from
+/// external virtuals: `Σ_{i,e ext} 2·F_ie² / (ε_i − ε_e)` with the
+/// off-diagonal Fock element `F_ie = h_ie + Σ_j [2(ie|jj) − (ij|je)]`.
+///
+/// In a non-canonical orbital basis the dominant energy lost by
+/// truncating a virtual orbital is often this mean-field relaxation, not
+/// MP2 doubles — the σ_ext of Eq. 2 contains exactly these single
+/// excitations.
+pub fn external_singles_energy(m: &MolecularIntegrals, n_active: usize) -> f64 {
+    let occ = m.n_occupied();
+    let n = m.n_spatial();
+    let mut e = 0.0;
+    for i in 0..occ {
+        for a in n_active.max(occ)..n {
+            let mut f_ia = m.h(i, a);
+            for j in 0..occ {
+                f_ia += 2.0 * m.g(i, a, j, j) - m.g(i, j, j, a);
+            }
+            let den = m.orbital_energy(i) - m.orbital_energy(a);
+            if den.abs() < 1e-8 {
+                continue;
+            }
+            e += 2.0 * f_ia * f_ia / den;
+        }
+    }
+    e
+}
+
+/// Integral-level Hermitian downfold: freeze `n_frozen` core orbitals,
+/// keep `n_active` spatial orbitals, and fold the external-virtual MP2
+/// correlation into the scalar part of the effective Hamiltonian.
+pub fn downfold_to_active(
+    m: &MolecularIntegrals,
+    n_frozen: usize,
+    n_active: usize,
+) -> Result<(MolecularIntegrals, DownfoldReport)> {
+    let nuclear0 = m.nuclear_repulsion;
+    let frozen = freeze_core(m, n_frozen)?;
+    let core_energy = frozen.nuclear_repulsion - nuclear0;
+    let ext_mp2 = external_mp2_energy(&frozen, n_active);
+    let ext_singles = external_singles_energy(&frozen, n_active);
+    let mut active = truncate_virtuals(&frozen, n_active)?;
+    active.nuclear_repulsion += ext_mp2 + ext_singles;
+    let report = DownfoldReport {
+        core_energy,
+        external_mp2_energy: ext_mp2,
+        external_singles_energy: ext_singles,
+        frozen_core: n_frozen,
+        discarded_virtuals: frozen.n_spatial() - n_active,
+    };
+    Ok((active, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules::{h2_sto3g, water_model};
+    use nwq_pauli::matrix::dense_ground_state;
+
+    #[test]
+    fn commutator_expansion_order_zero_is_identity_transform() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 XI").unwrap();
+        let sigma = PauliOp::single(C64::imag(0.1), PauliString::parse("XY").unwrap());
+        let out = commutator_expansion(&h, &sigma, 0).unwrap();
+        assert_eq!(out, h);
+    }
+
+    #[test]
+    fn commutator_expansion_rejects_hermitian_sigma() {
+        let h = PauliOp::parse("1.0 ZZ").unwrap();
+        let bad = PauliOp::parse("1.0 XX").unwrap();
+        assert!(commutator_expansion(&h, &bad, 2).is_err());
+    }
+
+    #[test]
+    fn commutator_expansion_preserves_hermiticity() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 XI + 0.25 YY").unwrap();
+        let sigma = PauliOp::single(C64::imag(0.2), PauliString::parse("XZ").unwrap());
+        let out = commutator_expansion(&h, &sigma, 2).unwrap();
+        assert!(out.is_hermitian(1e-10));
+    }
+
+    #[test]
+    fn commutator_expansion_approximates_exact_transform() {
+        // For σ = iθP, e^{−σ}He^{σ} is exactly computable:
+        // H' = cos²|θ| terms… — instead verify spectrum preservation order
+        // by order: the transform is unitary, so eigenvalues are preserved
+        // exactly; the truncation error must shrink with order.
+        let h = PauliOp::parse("1.0 ZI + 0.5 XX").unwrap();
+        let sigma = PauliOp::single(C64::imag(0.05), PauliString::parse("YX").unwrap());
+        let (e_exact, _) = dense_ground_state(&h, 800);
+        let mut prev_err = f64::INFINITY;
+        for order in [1usize, 2, 3] {
+            let out = commutator_expansion(&h, &sigma, order).unwrap();
+            let (e, _) = dense_ground_state(&out, 800);
+            let err = (e - e_exact).abs();
+            assert!(err <= prev_err + 1e-9, "order {order}: {err} > {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-4);
+    }
+
+    #[test]
+    fn projection_drops_external_xy_terms() {
+        let h = PauliOp::parse("1.0 XZ + 0.5 ZZ + 0.25 IZ").unwrap();
+        // Active = qubit 0 only; qubit 1 external, unoccupied.
+        let p = project_active(&h, &[0], 0).unwrap();
+        // XZ has X on external qubit 1 -> dropped. ZZ -> +Z. IZ -> Z.
+        assert_eq!(p.n_qubits(), 1);
+        assert_eq!(p.num_terms(), 1);
+        assert!((p.terms()[0].0.re - 0.75).abs() < 1e-12);
+        assert_eq!(p.terms()[0].1.label(), "Z");
+    }
+
+    #[test]
+    fn projection_signs_follow_occupation() {
+        let h = PauliOp::parse("1.0 ZZ").unwrap();
+        let unocc = project_active(&h, &[0], 0b00).unwrap();
+        let occ = project_active(&h, &[0], 0b10).unwrap();
+        assert!((unocc.terms()[0].0.re - 1.0).abs() < 1e-12);
+        assert!((occ.terms()[0].0.re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_matches_dense_projector() {
+        // Compare against the explicit dense projection ⟨x_e = ref|H|x_e = ref⟩.
+        let h = PauliOp::parse("0.7 XY + 0.4 ZI + 0.3 IZ + 0.2 YY").unwrap();
+        // Active qubit 1; external qubit 0 occupied.
+        let p = project_active(&h, &[1], 0b01).unwrap();
+        let dense = nwq_pauli::matrix::op_to_dense(&h);
+        // Subspace basis: |q1=0,q0=1⟩ = index 1, |q1=1,q0=1⟩ = index 3.
+        let sub = [1usize, 3];
+        let pd = nwq_pauli::matrix::op_to_dense(&p);
+        for (r, &ri) in sub.iter().enumerate() {
+            for (c, &ci) in sub.iter().enumerate() {
+                assert!(
+                    dense[ri * 4 + ci].approx_eq(pd[r * 2 + c], 1e-12),
+                    "({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_validates_indices() {
+        let h = PauliOp::parse("1.0 ZZ").unwrap();
+        assert!(project_active(&h, &[5], 0).is_err());
+        assert!(project_active(&h, &[0, 0], 0).is_err());
+    }
+
+    #[test]
+    fn freeze_core_preserves_hf_energy() {
+        // Freezing occupied orbitals must keep the total HF energy exactly.
+        let m = water_model(6, 6);
+        let f = freeze_core(&m, 1).unwrap();
+        assert_eq!(f.n_spatial(), 5);
+        assert_eq!(f.n_electrons(), 4);
+        assert!(
+            (f.hf_total_energy() - m.hf_total_energy()).abs() < 1e-9,
+            "{} vs {}",
+            f.hf_total_energy(),
+            m.hf_total_energy()
+        );
+    }
+
+    #[test]
+    fn freeze_core_limits() {
+        let m = h2_sto3g();
+        assert!(freeze_core(&m, 2).is_err());
+        let same = freeze_core(&m, 0).unwrap();
+        assert!((same.hf_total_energy() - m.hf_total_energy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_virtuals_window_checks() {
+        let m = water_model(6, 6);
+        assert!(truncate_virtuals(&m, 2).is_err()); // below occupancy
+        assert!(truncate_virtuals(&m, 7).is_err()); // above basis
+        let t = truncate_virtuals(&m, 4).unwrap();
+        assert_eq!(t.n_spatial(), 4);
+        assert_eq!(t.n_electrons(), 6);
+        // HF energy unchanged (occupied window intact).
+        assert!((t.hf_total_energy() - m.hf_total_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_mp2_is_negative_and_shrinks_with_window() {
+        let m = water_model(8, 6);
+        let e_small = external_mp2_energy(&m, 4);
+        let e_big = external_mp2_energy(&m, 7);
+        assert!(e_small < 0.0);
+        // Larger active window discards less correlation.
+        assert!(e_big > e_small);
+        assert_eq!(external_mp2_energy(&m, 8), 0.0);
+    }
+
+    #[test]
+    fn downfold_improves_on_bare_truncation() {
+        // 4-orbital water-like model: full problem is 8 qubits; truncate
+        // to 3 spatial orbitals (6 qubits). The downfolded Hamiltonian's
+        // ground energy must be closer to the full FCI energy than the
+        // bare truncation's. (A Hubbard-style chain would not work here:
+        // its site basis has no (ia|jb) integrals, so external MP2
+        // vanishes identically.)
+        let m = water_model(4, 4);
+        let h_full = m.to_qubit_hamiltonian().unwrap();
+        let (e_full, _) = dense_ground_state(&h_full, 3000);
+
+        let bare = truncate_virtuals(&m, 3).unwrap();
+        let (e_bare, _) = dense_ground_state(&bare.to_qubit_hamiltonian().unwrap(), 3000);
+
+        let (folded, report) = downfold_to_active(&m, 0, 3).unwrap();
+        let (e_fold, _) = dense_ground_state(&folded.to_qubit_hamiltonian().unwrap(), 3000);
+
+        let err_bare = (e_bare - e_full).abs();
+        let err_fold = (e_fold - e_full).abs();
+        assert!(
+            err_fold < err_bare,
+            "downfold err {err_fold} !< bare err {err_bare} (full {e_full})"
+        );
+        assert!(report.external_mp2_energy < 0.0);
+        assert_eq!(report.discarded_virtuals, 1);
+    }
+
+    #[test]
+    fn mp2_sigma_is_anti_hermitian_and_external() {
+        let m = water_model(6, 6);
+        let sigma_f = mp2_external_sigma(&m, 4);
+        assert!(!sigma_f.is_empty());
+        let sigma = crate::jw::jordan_wigner(&sigma_f, 12).unwrap();
+        assert!(sigma.is_anti_hermitian(1e-10));
+        // Every term must touch at least one external spin orbital (≥ 8).
+        for t in &sigma_f.terms {
+            assert!(t.ops.iter().any(|&(p, _)| p >= 8));
+        }
+    }
+
+    #[test]
+    fn eq2_downfold_beats_bare_truncation_by_an_order_of_magnitude() {
+        // The paper (§2): downfolded Hamiltonians "reduce active space
+        // errors by orders of magnitude compared to bare Hamiltonian
+        // diagonalization". Reproduce on the 4-orbital water-like model
+        // truncated to 3 orbitals.
+        let m = water_model(4, 4);
+        let h_full = m.to_qubit_hamiltonian().unwrap();
+        // Sector-restricted ground energies via dense diagonalization in
+        // the N = 4 subspace (8 qubits → filter determinants).
+        let ground_in_sector = |h: &PauliOp, n_elec: usize| -> f64 {
+            let nq = h.n_qubits();
+            let dim = 1usize << nq;
+            // Power iteration on (shift − H) restricted to the sector.
+            let shift = h.one_norm() + 1.0;
+            let in_sector =
+                |i: usize| (i as u64).count_ones() as usize == n_elec;
+            let mut v: Vec<C64> = (0..dim)
+                .map(|i| {
+                    if in_sector(i) {
+                        C64::new(1.0 + (i as f64 * 0.37).sin() * 0.1, 0.0)
+                    } else {
+                        C64::default()
+                    }
+                })
+                .collect();
+            let normalize = |v: &mut Vec<C64>| {
+                let n: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+                for a in v.iter_mut() {
+                    *a = *a * (1.0 / n);
+                }
+            };
+            normalize(&mut v);
+            for _ in 0..2500 {
+                let hv = nwq_pauli::apply::apply_op(h, &v).unwrap();
+                for i in 0..dim {
+                    v[i] = v[i] * shift - hv[i];
+                    if !in_sector(i) {
+                        v[i] = C64::default();
+                    }
+                }
+                normalize(&mut v);
+            }
+            nwq_pauli::apply::expectation_op(h, &v).unwrap().re
+        };
+        let e_full = ground_in_sector(&h_full, 4);
+
+        let bare = truncate_virtuals(&m, 3).unwrap();
+        let e_bare = ground_in_sector(&bare.to_qubit_hamiltonian().unwrap(), 4);
+
+        let sigma =
+            crate::jw::jordan_wigner(&mp2_external_sigma(&m, 3), 8).unwrap();
+        let active: Vec<usize> = (0..6).collect();
+        let h_eff = hermitian_downfold_qubit(&h_full, &sigma, &active, 0, 2).unwrap();
+        let e_eq2 = ground_in_sector(&h_eff, 4);
+
+        let err_bare = (e_bare - e_full).abs();
+        let err_eq2 = (e_eq2 - e_full).abs();
+        assert!(
+            err_eq2 * 10.0 < err_bare,
+            "Eq.2 error {err_eq2} not >=10x better than bare {err_bare}"
+        );
+    }
+
+    #[test]
+    fn qubit_level_downfold_runs_end_to_end() {
+        // Small end-to-end Eq. 2 exercise on H2-sized register: identity σ
+        // behaviour at tiny amplitude ≈ bare projection.
+        let m = h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let sigma = PauliOp::single(C64::imag(1e-6), PauliString::parse("XYII").unwrap());
+        let active = [0usize, 1];
+        let bare = project_active(&h, &active, 0).unwrap();
+        let folded = hermitian_downfold_qubit(&h, &sigma, &active, 0, 2).unwrap();
+        // Tiny σ: both agree to ~1e-5.
+        let d = &bare - &folded;
+        assert!(d.one_norm() < 1e-4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Second-quantized fermionic operators.
+//!
+//! A [`FermionOp`] is a weighted sum of products of creation/annihilation
+//! operators on spin orbitals. It is the input language of the
+//! Jordan–Wigner transform ([`crate::jw`]); all operator algebra needed
+//! downstream (products for two-body terms, Hermitian conjugates for
+//! anti-Hermitian cluster operators) lives here.
+
+use nwq_common::{C64, Error, Result};
+use std::fmt;
+
+/// One ladder operator: `(orbital, is_creation)`.
+pub type Ladder = (usize, bool);
+
+/// A single product term `coeff · a†/a · a†/a · …` (operators applied
+/// right-to-left like matrix products).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FermionTerm {
+    /// Complex weight.
+    pub coeff: C64,
+    /// Ladder operators, leftmost first.
+    pub ops: Vec<Ladder>,
+}
+
+impl FermionTerm {
+    /// A number-operator-style term from explicit ladder ops.
+    pub fn new(coeff: C64, ops: Vec<Ladder>) -> Self {
+        FermionTerm { coeff, ops }
+    }
+
+    /// Hermitian conjugate: reverse order, flip daggers, conjugate weight.
+    pub fn dagger(&self) -> Self {
+        FermionTerm {
+            coeff: self.coeff.conj(),
+            ops: self.ops.iter().rev().map(|&(p, c)| (p, !c)).collect(),
+        }
+    }
+
+    /// Highest orbital index touched (`None` for the scalar term).
+    pub fn max_orbital(&self) -> Option<usize> {
+        self.ops.iter().map(|&(p, _)| p).max()
+    }
+}
+
+/// A weighted sum of fermionic product terms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FermionOp {
+    /// Terms of the sum.
+    pub terms: Vec<FermionTerm>,
+}
+
+impl FermionOp {
+    /// The zero operator.
+    pub fn zero() -> Self {
+        FermionOp { terms: Vec::new() }
+    }
+
+    /// A single term.
+    pub fn single(coeff: C64, ops: Vec<Ladder>) -> Self {
+        FermionOp { terms: vec![FermionTerm::new(coeff, ops)] }
+    }
+
+    /// One-body term `coeff · a†_p a_q`.
+    pub fn one_body(coeff: f64, p: usize, q: usize) -> Self {
+        FermionOp::single(C64::real(coeff), vec![(p, true), (q, false)])
+    }
+
+    /// Two-body term `coeff · a†_p a†_q a_r a_s`.
+    pub fn two_body(coeff: f64, p: usize, q: usize, r: usize, s: usize) -> Self {
+        FermionOp::single(C64::real(coeff), vec![(p, true), (q, true), (r, false), (s, false)])
+    }
+
+    /// Appends all terms of `other`.
+    pub fn add_assign(&mut self, other: FermionOp) {
+        self.terms.extend(other.terms);
+    }
+
+    /// Adds one term.
+    pub fn push(&mut self, coeff: C64, ops: Vec<Ladder>) {
+        self.terms.push(FermionTerm::new(coeff, ops));
+    }
+
+    /// Hermitian conjugate of the sum.
+    pub fn dagger(&self) -> Self {
+        FermionOp { terms: self.terms.iter().map(FermionTerm::dagger).collect() }
+    }
+
+    /// `self − self†` — the anti-Hermitian combination used for unitary
+    /// cluster operators (`T − T†`).
+    pub fn anti_hermitian_part(&self) -> Self {
+        let mut out = self.clone();
+        for t in self.dagger().terms {
+            out.terms.push(FermionTerm { coeff: -t.coeff, ops: t.ops });
+        }
+        out
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Highest orbital index, for sizing the qubit register.
+    pub fn max_orbital(&self) -> Option<usize> {
+        self.terms.iter().filter_map(FermionTerm::max_orbital).max()
+    }
+
+    /// Validates that all orbitals are below `n`.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        match self.max_orbital() {
+            Some(m) if m >= n => Err(Error::QubitOutOfRange { qubit: m, n_qubits: n }),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for FermionTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.coeff)?;
+        for &(p, c) in &self.ops {
+            write!(f, " a{}{}", if c { "†" } else { "" }, p)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FermionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::C_ONE;
+
+    #[test]
+    fn construction() {
+        let t = FermionOp::one_body(0.5, 2, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.terms[0].ops, vec![(2, true), (1, false)]);
+        let v = FermionOp::two_body(0.25, 0, 1, 2, 3);
+        assert_eq!(v.terms[0].ops.len(), 4);
+        assert_eq!(v.max_orbital(), Some(3));
+    }
+
+    #[test]
+    fn dagger_reverses_and_flips() {
+        let t = FermionTerm::new(C64::new(0.0, 1.0), vec![(0, true), (3, false)]);
+        let d = t.dagger();
+        assert_eq!(d.ops, vec![(3, true), (0, false)]);
+        assert!(d.coeff.approx_eq(C64::new(0.0, -1.0), 1e-12));
+        // Double dagger is identity.
+        assert_eq!(d.dagger(), t);
+    }
+
+    #[test]
+    fn anti_hermitian_part_doubles_terms() {
+        let t = FermionOp::one_body(1.0, 1, 0);
+        let a = t.anti_hermitian_part();
+        assert_eq!(a.len(), 2);
+        // a†_1 a_0 − a†_0 a_1.
+        assert_eq!(a.terms[1].ops, vec![(0, true), (1, false)]);
+        assert!(a.terms[1].coeff.approx_eq(-C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn validation() {
+        let t = FermionOp::one_body(1.0, 5, 0);
+        assert!(t.validate(5).is_err());
+        assert!(t.validate(6).is_ok());
+        assert!(FermionOp::zero().validate(0).is_ok());
+    }
+
+    #[test]
+    fn display() {
+        let t = FermionOp::one_body(1.0, 1, 0);
+        let s = t.to_string();
+        assert!(s.contains("a†1"));
+        assert!(s.contains("a0"));
+        assert_eq!(FermionOp::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,295 @@
+//! Molecular integrals in a spatial-orbital basis.
+//!
+//! Stores the one-electron integrals `h_pq` and two-electron integrals
+//! `(pq|rs)` (chemist notation) for a closed-shell molecule, with the
+//! physical 8-fold permutation symmetry enforced on insertion. Spin
+//! orbitals are interleaved: spin orbital `2p` is the α component of
+//! spatial orbital `p` and `2p+1` the β component, and qubit `q` hosts
+//! spin orbital `q` under Jordan–Wigner.
+
+use crate::fermion::FermionOp;
+use crate::jw::jordan_wigner;
+use nwq_common::{Error, Result};
+use nwq_pauli::PauliOp;
+
+/// Integral container for a closed-shell molecule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MolecularIntegrals {
+    n_spatial: usize,
+    n_electrons: usize,
+    /// Constant nuclear-repulsion energy added to the qubit Hamiltonian.
+    pub nuclear_repulsion: f64,
+    h: Vec<f64>,
+    g: Vec<f64>,
+}
+
+impl MolecularIntegrals {
+    /// An all-zero integral set for `n_spatial` orbitals and
+    /// `n_electrons` electrons (must be even: RHF closed shell).
+    pub fn new(n_spatial: usize, n_electrons: usize) -> Result<Self> {
+        if n_electrons % 2 != 0 {
+            return Err(Error::Invalid("closed-shell integrals need an even electron count".into()));
+        }
+        if n_electrons > 2 * n_spatial {
+            return Err(Error::Invalid(format!(
+                "{n_electrons} electrons exceed capacity of {n_spatial} spatial orbitals"
+            )));
+        }
+        Ok(MolecularIntegrals {
+            n_spatial,
+            n_electrons,
+            nuclear_repulsion: 0.0,
+            h: vec![0.0; n_spatial * n_spatial],
+            g: vec![0.0; n_spatial.pow(4)],
+        })
+    }
+
+    /// Number of spatial orbitals.
+    pub fn n_spatial(&self) -> usize {
+        self.n_spatial
+    }
+
+    /// Number of spin orbitals (= qubits under JW).
+    pub fn n_spin_orbitals(&self) -> usize {
+        2 * self.n_spatial
+    }
+
+    /// Electron count.
+    pub fn n_electrons(&self) -> usize {
+        self.n_electrons
+    }
+
+    /// Number of doubly occupied spatial orbitals in the RHF reference.
+    pub fn n_occupied(&self) -> usize {
+        self.n_electrons / 2
+    }
+
+    #[inline]
+    fn hidx(&self, p: usize, q: usize) -> usize {
+        p * self.n_spatial + q
+    }
+
+    #[inline]
+    fn gidx(&self, p: usize, q: usize, r: usize, s: usize) -> usize {
+        ((p * self.n_spatial + q) * self.n_spatial + r) * self.n_spatial + s
+    }
+
+    /// One-electron integral `h_pq`.
+    pub fn h(&self, p: usize, q: usize) -> f64 {
+        self.h[self.hidx(p, q)]
+    }
+
+    /// Two-electron integral `(pq|rs)` in chemist notation.
+    pub fn g(&self, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        self.g[self.gidx(p, q, r, s)]
+    }
+
+    /// Sets `h_pq = h_qp = v`.
+    pub fn set_h(&mut self, p: usize, q: usize, v: f64) {
+        let (i, j) = (self.hidx(p, q), self.hidx(q, p));
+        self.h[i] = v;
+        self.h[j] = v;
+    }
+
+    /// Sets `(pq|rs)` and its 8 symmetry images to `v`:
+    /// `(pq|rs) = (qp|rs) = (pq|sr) = (qp|sr) = (rs|pq) = …`.
+    pub fn set_g(&mut self, p: usize, q: usize, r: usize, s: usize, v: f64) {
+        for (a, b, c, d) in [
+            (p, q, r, s),
+            (q, p, r, s),
+            (p, q, s, r),
+            (q, p, s, r),
+            (r, s, p, q),
+            (s, r, p, q),
+            (r, s, q, p),
+            (s, r, q, p),
+        ] {
+            let i = self.gidx(a, b, c, d);
+            self.g[i] = v;
+        }
+    }
+
+    /// Restricted Hartree–Fock electronic energy of the reference
+    /// determinant: `2 Σ_i h_ii + Σ_ij [2(ii|jj) − (ij|ji)]`.
+    pub fn hf_electronic_energy(&self) -> f64 {
+        let occ = self.n_occupied();
+        let mut e = 0.0;
+        for i in 0..occ {
+            e += 2.0 * self.h(i, i);
+            for j in 0..occ {
+                e += 2.0 * self.g(i, i, j, j) - self.g(i, j, j, i);
+            }
+        }
+        e
+    }
+
+    /// Total HF energy including nuclear repulsion.
+    pub fn hf_total_energy(&self) -> f64 {
+        self.hf_electronic_energy() + self.nuclear_repulsion
+    }
+
+    /// Mean-field orbital energy `ε_p = h_pp + Σ_i [2(pp|ii) − (pi|ip)]`,
+    /// used for MP2-style denominators in the downfolding σ amplitudes.
+    pub fn orbital_energy(&self, p: usize) -> f64 {
+        let occ = self.n_occupied();
+        let mut e = self.h(p, p);
+        for i in 0..occ {
+            e += 2.0 * self.g(p, p, i, i) - self.g(p, i, i, p);
+        }
+        e
+    }
+
+    /// The electronic Hamiltonian as a fermionic operator over interleaved
+    /// spin orbitals:
+    /// `Σ_{pqσ} h_pq a†_{pσ} a_{qσ} + ½ Σ_{pqrsστ} (pq|rs) a†_{pσ} a†_{rτ} a_{sτ} a_{qσ}`.
+    pub fn to_fermion_op(&self) -> FermionOp {
+        let n = self.n_spatial;
+        let so = |p: usize, spin: usize| 2 * p + spin;
+        let mut op = FermionOp::zero();
+        for p in 0..n {
+            for q in 0..n {
+                let v = self.h(p, q);
+                if v == 0.0 {
+                    continue;
+                }
+                for spin in 0..2 {
+                    op.add_assign(FermionOp::one_body(v, so(p, spin), so(q, spin)));
+                }
+            }
+        }
+        for p in 0..n {
+            for q in 0..n {
+                for r in 0..n {
+                    for s in 0..n {
+                        let v = self.g(p, q, r, s);
+                        if v == 0.0 {
+                            continue;
+                        }
+                        for sigma in 0..2 {
+                            for tau in 0..2 {
+                                let (a, b, c, d) =
+                                    (so(p, sigma), so(r, tau), so(s, tau), so(q, sigma));
+                                // a†_a a†_b a_c a_d vanishes when a=b or c=d.
+                                if a == b || c == d {
+                                    continue;
+                                }
+                                op.push(
+                                    nwq_common::C64::real(0.5 * v),
+                                    vec![(a, true), (b, true), (c, false), (d, false)],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        op
+    }
+
+    /// The qubit Hamiltonian: JW of the electronic part plus the nuclear
+    /// repulsion as an identity term.
+    pub fn to_qubit_hamiltonian(&self) -> Result<PauliOp> {
+        let n_q = self.n_spin_orbitals();
+        let elec = jordan_wigner(&self.to_fermion_op(), n_q)?;
+        let nuc = PauliOp::scalar(n_q, nwq_common::C64::real(self.nuclear_repulsion));
+        Ok(&elec + &nuc)
+    }
+
+    /// The JW basis-state index of the RHF reference determinant (lowest
+    /// `n_electrons` spin orbitals occupied).
+    pub fn hf_determinant(&self) -> u64 {
+        (1u64 << self.n_electrons) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h2() -> MolecularIntegrals {
+        crate::molecules::h2_sto3g()
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert!(MolecularIntegrals::new(2, 3).is_err());
+        assert!(MolecularIntegrals::new(2, 6).is_err());
+        let m = MolecularIntegrals::new(3, 4).unwrap();
+        assert_eq!(m.n_spin_orbitals(), 6);
+        assert_eq!(m.n_occupied(), 2);
+    }
+
+    #[test]
+    fn symmetry_on_insertion() {
+        let mut m = MolecularIntegrals::new(3, 2).unwrap();
+        m.set_h(0, 1, 0.5);
+        assert_eq!(m.h(1, 0), 0.5);
+        m.set_g(0, 1, 2, 0, 0.25);
+        for v in [
+            m.g(0, 1, 2, 0),
+            m.g(1, 0, 2, 0),
+            m.g(0, 1, 0, 2),
+            m.g(2, 0, 0, 1),
+            m.g(0, 2, 1, 0),
+        ] {
+            assert_eq!(v, 0.25);
+        }
+    }
+
+    #[test]
+    fn h2_hf_energy_matches_literature() {
+        // Szabo–Ostlund STO-3G H2 at R = 1.4 a.u.: E_HF ≈ −1.1167 Ha.
+        let m = h2();
+        assert!(
+            (m.hf_total_energy() + 1.1167).abs() < 2e-3,
+            "HF total {}",
+            m.hf_total_energy()
+        );
+    }
+
+    #[test]
+    fn h2_qubit_hamiltonian_ground_state() {
+        // Full pipeline validation: integrals → fermion → JW → exact diag.
+        // FCI total energy of H2/STO-3G at equilibrium ≈ −1.1373 Ha.
+        let m = h2();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        assert_eq!(h.n_qubits(), 4);
+        assert!(h.is_hermitian(1e-10));
+        let (e0, _) = nwq_pauli::matrix::dense_ground_state(&h, 2000);
+        assert!((e0 + 1.1373).abs() < 2e-3, "FCI total {e0}");
+    }
+
+    #[test]
+    fn hf_determinant_energy_matches_expectation() {
+        // ⟨HF|H|HF⟩ must equal the RHF energy — ties the fermionic
+        // Hamiltonian convention to the HF formula.
+        let m = h2();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let hf_index = m.hf_determinant() as usize;
+        let state = {
+            let mut v = vec![nwq_common::C_ZERO; 1 << h.n_qubits()];
+            v[hf_index] = nwq_common::C_ONE;
+            v
+        };
+        let e = nwq_pauli::apply::expectation_op(&h, &state).unwrap().re;
+        assert!(
+            (e - m.hf_total_energy()).abs() < 1e-8,
+            "⟨HF|H|HF⟩ = {e} vs RHF {}",
+            m.hf_total_energy()
+        );
+    }
+
+    #[test]
+    fn orbital_energies_ordered_for_h2() {
+        let m = h2();
+        // Bonding orbital below antibonding.
+        assert!(m.orbital_energy(0) < m.orbital_energy(1));
+        assert!(m.orbital_energy(0) < 0.0);
+    }
+
+    #[test]
+    fn hf_determinant_bitmask() {
+        let m = MolecularIntegrals::new(4, 4).unwrap();
+        assert_eq!(m.hf_determinant(), 0b1111);
+    }
+}

@@ -1,0 +1,199 @@
+//! Jordan–Wigner transformation.
+//!
+//! Maps fermionic ladder operators on `n` spin orbitals to Pauli operators
+//! on `n` qubits:
+//!
+//! ```text
+//! a†_p = (X_p − iY_p)/2 · Z_{p−1} ⊗ … ⊗ Z_0
+//! a_p  = (X_p + iY_p)/2 · Z_{p−1} ⊗ … ⊗ Z_0
+//! ```
+//!
+//! Products of ladder operators map through [`nwq_pauli::PauliOp::mul_op`],
+//! so arbitrary second-quantized expressions (one-/two-body Hamiltonian
+//! terms, cluster excitations, downfolding σ operators) transform without
+//! special-case templates.
+
+use crate::fermion::{FermionOp, FermionTerm};
+use nwq_common::{C64, Error, Result};
+use nwq_pauli::{Pauli, PauliOp, PauliString};
+
+/// JW image of a single ladder operator.
+pub fn ladder_to_pauli(n_qubits: usize, orbital: usize, creation: bool) -> Result<PauliOp> {
+    if orbital >= n_qubits {
+        return Err(Error::QubitOutOfRange { qubit: orbital, n_qubits });
+    }
+    // Z string on qubits 0..orbital, X or Y at `orbital`.
+    let mut x_ops: Vec<(usize, Pauli)> = (0..orbital).map(|q| (q, Pauli::Z)).collect();
+    let mut y_ops = x_ops.clone();
+    x_ops.push((orbital, Pauli::X));
+    y_ops.push((orbital, Pauli::Y));
+    let xs = PauliString::from_ops(n_qubits, &x_ops)?;
+    let ys = PauliString::from_ops(n_qubits, &y_ops)?;
+    let half = C64::real(0.5);
+    // a† has −i/2 on Y, a has +i/2.
+    let y_coeff = if creation { C64::new(0.0, -0.5) } else { C64::new(0.0, 0.5) };
+    Ok(PauliOp::from_terms(n_qubits, vec![(half, xs), (y_coeff, ys)]))
+}
+
+/// JW image of a product term.
+pub fn term_to_pauli(n_qubits: usize, term: &FermionTerm) -> Result<PauliOp> {
+    let mut acc = PauliOp::scalar(n_qubits, term.coeff);
+    for &(p, c) in &term.ops {
+        let ladder = ladder_to_pauli(n_qubits, p, c)?;
+        acc = acc.mul_op(&ladder)?;
+    }
+    Ok(acc)
+}
+
+/// JW image of a full fermionic operator on an `n_qubits`-qubit register.
+pub fn jordan_wigner(op: &FermionOp, n_qubits: usize) -> Result<PauliOp> {
+    op.validate(n_qubits)?;
+    let mut terms = Vec::new();
+    for t in &op.terms {
+        let p = term_to_pauli(n_qubits, t)?;
+        terms.extend_from_slice(p.terms());
+    }
+    Ok(PauliOp::from_terms(n_qubits, terms))
+}
+
+/// The JW computational-basis index of a Slater determinant with the given
+/// spin orbitals occupied (qubit `p` set ⇔ orbital `p` occupied).
+pub fn determinant_index(occupied: &[usize]) -> u64 {
+    occupied.iter().fold(0u64, |acc, &p| acc | (1u64 << p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::{C_ONE, C_ZERO};
+    use nwq_pauli::matrix::op_to_dense;
+
+    /// Dense matrix of a†_p on `n` qubits built from first principles
+    /// (column = input basis state), including the JW sign string.
+    fn dense_creation(n: usize, p: usize) -> Vec<C64> {
+        let dim = 1usize << n;
+        let mut m = vec![C_ZERO; dim * dim];
+        for col in 0..dim {
+            if (col >> p) & 1 == 0 {
+                let row = col | (1 << p);
+                // Fermionic sign: parity of occupied orbitals below p.
+                let below = (col as u64) & ((1u64 << p) - 1);
+                let sign = if below.count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+                m[row * dim + col] = C64::real(sign);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn creation_matrix_matches_first_principles() {
+        for n in 1..=4 {
+            for p in 0..n {
+                let jw = ladder_to_pauli(n, p, true).unwrap();
+                let got = op_to_dense(&jw);
+                let expect = dense_creation(n, p);
+                for (a, b) in got.iter().zip(&expect) {
+                    assert!(a.approx_eq(*b, 1e-12), "n={n} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annihilation_is_dagger_of_creation() {
+        let n = 3;
+        for p in 0..n {
+            let c = ladder_to_pauli(n, p, true).unwrap();
+            let a = ladder_to_pauli(n, p, false).unwrap();
+            assert_eq!(c.dagger(), a, "p={p}");
+        }
+    }
+
+    #[test]
+    fn canonical_anticommutation_relations() {
+        // {a_p, a†_q} = δ_pq, {a_p, a_q} = 0.
+        let n = 3;
+        for p in 0..n {
+            for q in 0..n {
+                let ap = ladder_to_pauli(n, p, false).unwrap();
+                let aq_dag = ladder_to_pauli(n, q, true).unwrap();
+                let anti = &ap.mul_op(&aq_dag).unwrap() + &aq_dag.mul_op(&ap).unwrap();
+                if p == q {
+                    assert_eq!(anti.num_terms(), 1);
+                    assert!(anti.identity_coeff().approx_eq(C_ONE, 1e-12));
+                } else {
+                    assert!(anti.is_zero(), "{{a_{p}, a†_{q}}} ≠ 0");
+                }
+                let aq = ladder_to_pauli(n, q, false).unwrap();
+                let anti2 = &ap.mul_op(&aq).unwrap() + &aq.mul_op(&ap).unwrap();
+                assert!(anti2.is_zero(), "{{a_{p}, a_{q}}} ≠ 0");
+            }
+        }
+    }
+
+    #[test]
+    fn number_operator_is_diagonal() {
+        // a†_p a_p = (I − Z_p)/2.
+        let n = 2;
+        let num = jordan_wigner(&FermionOp::one_body(1.0, 1, 1), n).unwrap();
+        assert_eq!(num.num_terms(), 2);
+        assert!(num.identity_coeff().approx_eq(C64::real(0.5), 1e-12));
+        let z_term = num
+            .terms()
+            .iter()
+            .find(|(_, s)| s.label() == "ZI")
+            .expect("Z1 term present");
+        assert!(z_term.0.approx_eq(C64::real(-0.5), 1e-12));
+    }
+
+    #[test]
+    fn hopping_term_is_hermitian_combination() {
+        // a†_0 a_1 + a†_1 a_0 = (X0X1 + Y0Y1)/2.
+        let mut f = FermionOp::one_body(1.0, 0, 1);
+        f.add_assign(FermionOp::one_body(1.0, 1, 0));
+        let h = jordan_wigner(&f, 2).unwrap();
+        assert!(h.is_hermitian(1e-12));
+        assert_eq!(h.num_terms(), 2);
+        let get = |lbl: &str| {
+            h.terms()
+                .iter()
+                .find(|(_, s)| s.label() == lbl)
+                .map(|(c, _)| *c)
+                .unwrap_or(C_ZERO)
+        };
+        assert!(get("XX").approx_eq(C64::real(0.5), 1e-12));
+        assert!(get("YY").approx_eq(C64::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn jw_strings_carry_z_tails() {
+        // a†_2 acts with Z on qubits 0 and 1.
+        let c = ladder_to_pauli(4, 2, true).unwrap();
+        for (_, s) in c.terms() {
+            assert_eq!(s.op(0), Pauli::Z);
+            assert_eq!(s.op(1), Pauli::Z);
+            assert_eq!(s.op(3), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn anti_hermitian_excitation_maps_to_anti_hermitian_pauli() {
+        let t = FermionOp::two_body(1.0, 2, 3, 1, 0).anti_hermitian_part();
+        let p = jordan_wigner(&t, 4).unwrap();
+        assert!(p.is_anti_hermitian(1e-12));
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    fn determinant_index_builds_bitmask() {
+        assert_eq!(determinant_index(&[0, 1]), 0b11);
+        assert_eq!(determinant_index(&[2]), 0b100);
+        assert_eq!(determinant_index(&[]), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(ladder_to_pauli(2, 2, true).is_err());
+        assert!(jordan_wigner(&FermionOp::one_body(1.0, 5, 0), 3).is_err());
+    }
+}

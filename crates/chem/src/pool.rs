@@ -1,0 +1,158 @@
+//! Operator pools for ADAPT-VQE (paper §5.3).
+//!
+//! ADAPT-VQE grows its ansatz one operator at a time, picking the pool
+//! element with the largest energy gradient `|⟨ψ|[H, A_k]|ψ⟩|`. Two pools
+//! are provided: the fermionic singles+doubles pool (Grimsley et al.) and
+//! a hardware-friendly qubit pool of individual Pauli strings drawn from
+//! the fermionic generators (qubit-ADAPT).
+
+use crate::uccsd::{uccsd_excitations, Excitation};
+use nwq_common::{C64, Result};
+use nwq_pauli::{PauliOp, PauliString};
+
+/// A candidate ansatz-growth operator.
+#[derive(Clone, Debug)]
+pub struct PoolOperator {
+    /// Human-readable provenance (e.g. `"0,1->2,3"`).
+    pub name: String,
+    /// Anti-Hermitian generator `A` (appended to the ansatz as `e^{θA}`).
+    pub generator: PauliOp,
+}
+
+/// An ADAPT operator pool.
+#[derive(Clone, Debug)]
+pub struct OperatorPool {
+    /// The candidate operators.
+    pub ops: Vec<PoolOperator>,
+}
+
+impl OperatorPool {
+    /// The fermionic singles+doubles pool on `n_spin_orbitals` qubits with
+    /// the lowest `n_electrons` occupied.
+    pub fn singles_doubles(n_spin_orbitals: usize, n_electrons: usize) -> Result<Self> {
+        let excs = uccsd_excitations(n_spin_orbitals, n_electrons);
+        let mut ops = Vec::with_capacity(excs.len());
+        for exc in &excs {
+            let generator = exc.generator(n_spin_orbitals)?;
+            if !generator.is_zero() {
+                ops.push(PoolOperator { name: exc.name(), generator });
+            }
+        }
+        Ok(OperatorPool { ops })
+    }
+
+    /// The qubit pool: every distinct Pauli string appearing in the
+    /// fermionic pool, individually (as `i·P`, anti-Hermitian).
+    pub fn qubit_pool(n_spin_orbitals: usize, n_electrons: usize) -> Result<Self> {
+        let fermionic = Self::singles_doubles(n_spin_orbitals, n_electrons)?;
+        let mut seen: std::collections::BTreeSet<PauliString> = Default::default();
+        let mut ops = Vec::new();
+        for op in &fermionic.ops {
+            for (_, s) in op.generator.terms() {
+                if seen.insert(*s) {
+                    ops.push(PoolOperator {
+                        name: format!("i{}", s.label()),
+                        generator: PauliOp::single(C64::imag(1.0), *s),
+                    });
+                }
+            }
+        }
+        Ok(OperatorPool { ops })
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the pool has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The ADAPT gradient of pool element `k` in state `psi`:
+    /// `dE/dθ_k |_{θ_k=0} = ⟨ψ|[H, A_k]|ψ⟩` (real for Hermitian H and
+    /// anti-Hermitian A).
+    pub fn gradient(&self, k: usize, hamiltonian: &PauliOp, psi: &[C64]) -> Result<f64> {
+        let comm = hamiltonian.commutator(&self.ops[k].generator)?;
+        Ok(nwq_pauli::apply::expectation_op(&comm, psi)?.re)
+    }
+
+    /// Gradients of all pool elements (the ADAPT screening step).
+    pub fn gradients(&self, hamiltonian: &PauliOp, psi: &[C64]) -> Result<Vec<f64>> {
+        (0..self.ops.len()).map(|k| self.gradient(k, hamiltonian, psi)).collect()
+    }
+}
+
+/// Convenience: the single excitation used in tests/examples.
+pub fn single_excitation_generator(
+    n_qubits: usize,
+    from: usize,
+    to: usize,
+) -> Result<PauliOp> {
+    Excitation { from: vec![from], to: vec![to] }.generator(n_qubits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules::h2_sto3g;
+
+    #[test]
+    fn h2_pool_size() {
+        let pool = OperatorPool::singles_doubles(4, 2).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn all_generators_anti_hermitian() {
+        for pool in [
+            OperatorPool::singles_doubles(6, 2).unwrap(),
+            OperatorPool::qubit_pool(6, 2).unwrap(),
+        ] {
+            for op in &pool.ops {
+                assert!(op.generator.is_anti_hermitian(1e-12), "{}", op.name);
+            }
+        }
+    }
+
+    #[test]
+    fn qubit_pool_has_singleton_generators() {
+        let pool = OperatorPool::qubit_pool(4, 2).unwrap();
+        assert!(!pool.is_empty());
+        for op in &pool.ops {
+            assert_eq!(op.generator.num_terms(), 1, "{}", op.name);
+        }
+        // Qubit pool is at least as large as the fermionic pool.
+        let fermionic = OperatorPool::singles_doubles(4, 2).unwrap();
+        assert!(pool.len() >= fermionic.len());
+    }
+
+    #[test]
+    fn gradient_at_hf_identifies_double_excitation_for_h2() {
+        // At the HF state of H2, single-excitation gradients vanish
+        // (Brillouin's theorem); the double has a non-zero gradient.
+        let m = h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let pool = OperatorPool::singles_doubles(4, 2).unwrap();
+        let mut psi = vec![nwq_common::C_ZERO; 16];
+        psi[m.hf_determinant() as usize] = nwq_common::C_ONE;
+        let grads = pool.gradients(&h, &psi).unwrap();
+        assert!(grads[0].abs() < 1e-8, "single grad {}", grads[0]);
+        assert!(grads[1].abs() < 1e-8, "single grad {}", grads[1]);
+        assert!(grads[2].abs() > 1e-3, "double grad {}", grads[2]);
+    }
+
+    #[test]
+    fn gradients_are_real_valued_and_finite() {
+        let m = h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let pool = OperatorPool::qubit_pool(4, 2).unwrap();
+        let mut psi = vec![nwq_common::C_ZERO; 16];
+        psi[0b0011] = nwq_common::C_ONE;
+        for g in pool.gradients(&h, &psi).unwrap() {
+            assert!(g.is_finite());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Spin observables (S_z, S², particle number) as qubit operators.
+//!
+//! Useful both as physical validation (VQE ground states of closed-shell
+//! molecules must be singlets) and as symmetry constraints for the
+//! tapering machinery. Interleaved spin-orbital convention: spatial
+//! orbital `p` has its α component on qubit `2p` and β on `2p+1`.
+
+use crate::fermion::FermionOp;
+use crate::jw::jordan_wigner;
+use nwq_common::{C64, Error, Result};
+use nwq_pauli::PauliOp;
+
+fn check_even(n_spin_orbitals: usize) -> Result<usize> {
+    if n_spin_orbitals % 2 != 0 {
+        return Err(Error::Invalid(format!(
+            "{n_spin_orbitals} spin orbitals: interleaved convention needs an even count"
+        )));
+    }
+    Ok(n_spin_orbitals / 2)
+}
+
+/// Total particle-number operator `N = Σ_p n_p`.
+pub fn number_operator(n_spin_orbitals: usize) -> Result<PauliOp> {
+    let mut f = FermionOp::zero();
+    for p in 0..n_spin_orbitals {
+        f.add_assign(FermionOp::one_body(1.0, p, p));
+    }
+    jordan_wigner(&f, n_spin_orbitals)
+}
+
+/// `S_z = ½ Σ_p (n_{pα} − n_{pβ})`.
+pub fn sz_operator(n_spin_orbitals: usize) -> Result<PauliOp> {
+    let n_spatial = check_even(n_spin_orbitals)?;
+    let mut f = FermionOp::zero();
+    for p in 0..n_spatial {
+        f.add_assign(FermionOp::one_body(0.5, 2 * p, 2 * p));
+        f.add_assign(FermionOp::one_body(-0.5, 2 * p + 1, 2 * p + 1));
+    }
+    jordan_wigner(&f, n_spin_orbitals)
+}
+
+/// The spin-raising operator `S₊ = Σ_p a†_{pα} a_{pβ}` (fermionic form).
+pub fn s_plus_fermion(n_spin_orbitals: usize) -> Result<FermionOp> {
+    let n_spatial = check_even(n_spin_orbitals)?;
+    let mut f = FermionOp::zero();
+    for p in 0..n_spatial {
+        f.add_assign(FermionOp::one_body(1.0, 2 * p, 2 * p + 1));
+    }
+    Ok(f)
+}
+
+/// Total-spin operator `S² = S₋S₊ + S_z(S_z + 1)`.
+pub fn s_squared_operator(n_spin_orbitals: usize) -> Result<PauliOp> {
+    let s_plus = jordan_wigner(&s_plus_fermion(n_spin_orbitals)?, n_spin_orbitals)?;
+    let s_minus = s_plus.dagger();
+    let sz = sz_operator(n_spin_orbitals)?;
+    let sz_sq = sz.mul_op(&sz)?;
+    let term1 = s_minus.mul_op(&s_plus)?;
+    Ok(&(&term1 + &sz_sq) + &sz)
+}
+
+/// `⟨ψ|S²|ψ⟩` — 0 for singlets, 2 for triplets, `s(s+1)` generally.
+pub fn s_squared_expectation(psi: &[C64], n_spin_orbitals: usize) -> Result<f64> {
+    let op = s_squared_operator(n_spin_orbitals)?;
+    Ok(nwq_pauli::apply::expectation_op(&op, psi)?.re)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::{C_ONE, C_ZERO};
+
+    fn det_state(n_qubits: usize, det: u64) -> Vec<C64> {
+        let mut v = vec![C_ZERO; 1 << n_qubits];
+        v[det as usize] = C_ONE;
+        v
+    }
+
+    #[test]
+    fn number_operator_counts() {
+        let n_op = number_operator(4).unwrap();
+        for det in 0u64..16 {
+            let psi = det_state(4, det);
+            let n = nwq_pauli::apply::expectation_op(&n_op, &psi).unwrap().re;
+            assert!((n - det.count_ones() as f64).abs() < 1e-12, "det {det:b}");
+        }
+    }
+
+    #[test]
+    fn sz_of_determinants() {
+        let sz = sz_operator(4).unwrap();
+        let expect = |det: u64| {
+            let alpha = (det & 0b0101).count_ones() as f64;
+            let beta = (det & 0b1010).count_ones() as f64;
+            0.5 * (alpha - beta)
+        };
+        for det in 0u64..16 {
+            let psi = det_state(4, det);
+            let v = nwq_pauli::apply::expectation_op(&sz, &psi).unwrap().re;
+            assert!((v - expect(det)).abs() < 1e-12, "det {det:b}");
+        }
+    }
+
+    #[test]
+    fn closed_shell_determinant_is_singlet() {
+        // |α0 β0⟩ (both spins of orbital 0 occupied): S² = 0.
+        let v = s_squared_expectation(&det_state(4, 0b0011), 4).unwrap();
+        assert!(v.abs() < 1e-10, "S² = {v}");
+    }
+
+    #[test]
+    fn parallel_spins_form_a_triplet() {
+        // α0 α1 occupied: S = 1, S² = 2.
+        let v = s_squared_expectation(&det_state(4, 0b0101), 4).unwrap();
+        assert!((v - 2.0).abs() < 1e-10, "S² = {v}");
+    }
+
+    #[test]
+    fn single_electron_is_a_doublet() {
+        // One α electron: s = 1/2, S² = 3/4.
+        let v = s_squared_expectation(&det_state(4, 0b0001), 4).unwrap();
+        assert!((v - 0.75).abs() < 1e-10, "S² = {v}");
+    }
+
+    #[test]
+    fn open_shell_singlet_combination() {
+        // (|α0 β1⟩ − |β0 α1⟩)/√2 is the open-shell singlet: S² = 0.
+        let mut psi = vec![C_ZERO; 16];
+        let r = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        psi[0b1001] = r; // α0 (q0), β1 (q3)
+        psi[0b0110] = -r; // β0 (q1), α1 (q2)
+        let v = s_squared_expectation(&psi, 4).unwrap();
+        assert!(v.abs() < 1e-10, "S² = {v}");
+        // The symmetric combination is the m=0 triplet: S² = 2.
+        psi[0b0110] = r;
+        let v = s_squared_expectation(&psi, 4).unwrap();
+        assert!((v - 2.0).abs() < 1e-10, "S² = {v}");
+    }
+
+    #[test]
+    fn spin_operators_commute_with_h2_hamiltonian() {
+        let h = crate::molecules::h2_sto3g().to_qubit_hamiltonian().unwrap();
+        for op in [sz_operator(4).unwrap(), s_squared_operator(4).unwrap()] {
+            let comm = h.commutator(&op).unwrap();
+            assert!(comm.one_norm() < 1e-9, "norm {}", comm.one_norm());
+        }
+    }
+
+    #[test]
+    fn h2_ground_state_is_a_singlet() {
+        let h = crate::molecules::h2_sto3g().to_qubit_hamiltonian().unwrap();
+        let (_, gs) = nwq_pauli::matrix::dense_ground_state(&h, 2000);
+        let v = s_squared_expectation(&gs, 4).unwrap();
+        assert!(v.abs() < 1e-6, "S² = {v}");
+    }
+
+    #[test]
+    fn odd_register_rejected() {
+        assert!(sz_operator(3).is_err());
+        assert!(s_squared_operator(5).is_err());
+    }
+}

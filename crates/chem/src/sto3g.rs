@@ -1,0 +1,821 @@
+//! A minimal ab-initio integral engine: STO-3G hydrogen-type systems.
+//!
+//! Computes overlap, kinetic, nuclear-attraction, and two-electron
+//! integrals over contracted s-type Gaussians from closed forms
+//! (Szabo & Ostlund, appendix A), runs a restricted Hartree–Fock SCF,
+//! and transforms to the MO basis — producing [`MolecularIntegrals`] for
+//! *any* geometry, not just the tabulated equilibrium point. This powers
+//! the H2 dissociation-curve example (the classic VQE demonstration) and
+//! validates against the literature values in
+//! [`crate::molecules::h2_sto3g`] at R = 1.401 a₀.
+
+use crate::integrals::MolecularIntegrals;
+use nwq_common::{Error, Result};
+use std::f64::consts::PI;
+
+/// STO-3G exponents for hydrogen (ζ = 1.24 already folded in).
+const H_EXPONENTS: [f64; 3] = [3.425_250_914, 0.623_913_729_8, 0.168_855_404_0];
+/// Matching contraction coefficients.
+const H_COEFFS: [f64; 3] = [0.154_328_967_3, 0.535_328_142_3, 0.444_634_542_2];
+
+/// A contracted s-type Gaussian basis function at a nuclear center.
+#[derive(Clone, Debug)]
+pub struct SGaussian {
+    /// Center (Cartesian, bohr).
+    pub center: [f64; 3],
+    /// Primitive exponents.
+    pub exponents: Vec<f64>,
+    /// Contraction coefficients (for normalized primitives).
+    pub coeffs: Vec<f64>,
+}
+
+impl SGaussian {
+    /// The STO-3G hydrogen 1s function at `center`.
+    pub fn hydrogen(center: [f64; 3]) -> Self {
+        SGaussian {
+            center,
+            exponents: H_EXPONENTS.to_vec(),
+            coeffs: H_COEFFS.to_vec(),
+        }
+    }
+}
+
+fn dist_sqr(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
+}
+
+/// Primitive normalization constant `(2α/π)^{3/4}`.
+fn norm_s(alpha: f64) -> f64 {
+    (2.0 * alpha / PI).powf(0.75)
+}
+
+/// The Boys function `F₀(t) = ½√(π/t)·erf(√t)`, with the `t → 0` limit 1.
+pub fn boys_f0(t: f64) -> f64 {
+    if t < 1e-10 {
+        1.0 - t / 3.0
+    } else {
+        0.5 * (PI / t).sqrt() * erf(t.sqrt())
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (|ε| ≤ 1.5 × 10⁻⁷), adequate for sub-millihartree energies here.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Gaussian product prefactor and combined center for two primitives.
+fn gaussian_product(
+    alpha: f64,
+    a: [f64; 3],
+    beta: f64,
+    b: [f64; 3],
+) -> (f64, f64, [f64; 3]) {
+    let p = alpha + beta;
+    let k = (-alpha * beta / p * dist_sqr(a, b)).exp();
+    let center = [
+        (alpha * a[0] + beta * b[0]) / p,
+        (alpha * a[1] + beta * b[1]) / p,
+        (alpha * a[2] + beta * b[2]) / p,
+    ];
+    (p, k, center)
+}
+
+/// Contracted overlap integral `⟨a|b⟩`.
+pub fn overlap(a: &SGaussian, b: &SGaussian) -> f64 {
+    let mut s = 0.0;
+    for (&ai, &ci) in a.exponents.iter().zip(&a.coeffs) {
+        for (&bj, &cj) in b.exponents.iter().zip(&b.coeffs) {
+            let (p, k, _) = gaussian_product(ai, a.center, bj, b.center);
+            s += ci * cj * norm_s(ai) * norm_s(bj) * k * (PI / p).powf(1.5);
+        }
+    }
+    s
+}
+
+/// Contracted kinetic-energy integral `⟨a|−∇²/2|b⟩`.
+pub fn kinetic(a: &SGaussian, b: &SGaussian) -> f64 {
+    let mut t = 0.0;
+    let r2 = dist_sqr(a.center, b.center);
+    for (&ai, &ci) in a.exponents.iter().zip(&a.coeffs) {
+        for (&bj, &cj) in b.exponents.iter().zip(&b.coeffs) {
+            let (p, k, _) = gaussian_product(ai, a.center, bj, b.center);
+            let red = ai * bj / p;
+            let s_prim = k * (PI / p).powf(1.5);
+            t += ci * cj * norm_s(ai) * norm_s(bj) * red * (3.0 - 2.0 * red * r2) * s_prim;
+        }
+    }
+    t
+}
+
+/// Contracted nuclear-attraction integral `⟨a| −Z/|r−C| |b⟩`.
+pub fn nuclear_attraction(a: &SGaussian, b: &SGaussian, z: f64, c: [f64; 3]) -> f64 {
+    let mut v = 0.0;
+    for (&ai, &ci) in a.exponents.iter().zip(&a.coeffs) {
+        for (&bj, &cj) in b.exponents.iter().zip(&b.coeffs) {
+            let (p, k, center) = gaussian_product(ai, a.center, bj, b.center);
+            let f = boys_f0(p * dist_sqr(center, c));
+            v += ci * cj * norm_s(ai) * norm_s(bj) * (-2.0 * PI / p) * z * k * f;
+        }
+    }
+    v
+}
+
+/// Contracted two-electron repulsion integral `(ab|cd)` in chemist
+/// notation.
+pub fn electron_repulsion(
+    a: &SGaussian,
+    b: &SGaussian,
+    c: &SGaussian,
+    d: &SGaussian,
+) -> f64 {
+    let mut g = 0.0;
+    for (&ai, &ca) in a.exponents.iter().zip(&a.coeffs) {
+        for (&bj, &cb) in b.exponents.iter().zip(&b.coeffs) {
+            let (p, kab, rp) = gaussian_product(ai, a.center, bj, b.center);
+            for (&ck, &cc) in c.exponents.iter().zip(&c.coeffs) {
+                for (&dl, &cd) in d.exponents.iter().zip(&d.coeffs) {
+                    let (q, kcd, rq) = gaussian_product(ck, c.center, dl, d.center);
+                    let f = boys_f0(p * q / (p + q) * dist_sqr(rp, rq));
+                    let pref = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt());
+                    g += ca * cb * cc * cd
+                        * norm_s(ai)
+                        * norm_s(bj)
+                        * norm_s(ck)
+                        * norm_s(dl)
+                        * pref
+                        * kab
+                        * kcd
+                        * f;
+                }
+            }
+        }
+    }
+    g
+}
+
+/// H2 at bond length `r` (bohr): AO integrals → RHF SCF → MO-basis
+/// [`MolecularIntegrals`].
+///
+/// SCF details (2-basis-function closed shell): symmetric orthogonalization
+/// `S^{-1/2}`, Fock diagonalization in the orthogonal basis, density
+/// fixed-point iteration to 1e-12. For homonuclear H2 the occupied MO is
+/// the symmetric combination by symmetry, so convergence is immediate,
+/// but the loop is written generally.
+pub fn h2_molecule(r: f64) -> Result<MolecularIntegrals> {
+    if !(r > 0.0) {
+        return Err(Error::Invalid(format!("bond length {r} must be positive")));
+    }
+    let centers = [[0.0, 0.0, 0.0], [0.0, 0.0, r]];
+    let basis = [SGaussian::hydrogen(centers[0]), SGaussian::hydrogen(centers[1])];
+    let n = 2;
+
+    // AO matrices.
+    let mut s = [[0.0f64; 2]; 2];
+    let mut hcore = [[0.0f64; 2]; 2];
+    for i in 0..n {
+        for j in 0..n {
+            s[i][j] = overlap(&basis[i], &basis[j]);
+            let mut h = kinetic(&basis[i], &basis[j]);
+            for &c in &centers {
+                h += nuclear_attraction(&basis[i], &basis[j], 1.0, c);
+            }
+            hcore[i][j] = h;
+        }
+    }
+    let mut g_ao = [[[[0.0f64; 2]; 2]; 2]; 2];
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                for l in 0..n {
+                    g_ao[i][j][k][l] =
+                        electron_repulsion(&basis[i], &basis[j], &basis[k], &basis[l]);
+                }
+            }
+        }
+    }
+
+    // Symmetric orthogonalization of the 2×2 overlap: eigenvectors are
+    // (1,±1)/√2 by symmetry of any real-symmetric 2×2 with equal diagonal.
+    // Handle the general case via explicit 2×2 eigendecomposition.
+    let (s_evals, s_evecs) = sym2_eigen(s);
+    if s_evals[0] <= 1e-10 || s_evals[1] <= 1e-10 {
+        return Err(Error::Numerical("overlap matrix near-singular".into()));
+    }
+    // X = U diag(1/√λ) Uᵀ.
+    let mut x = [[0.0f64; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            for m in 0..2 {
+                x[i][j] += s_evecs[i][m] * s_evecs[j][m] / s_evals[m].sqrt();
+            }
+        }
+    }
+
+    // SCF loop.
+    let mut density = [[0.0f64; 2]; 2];
+    let mut coeffs = [[0.0f64; 2]; 2];
+    let mut last_e = f64::INFINITY;
+    for _ in 0..200 {
+        // Fock matrix.
+        let mut fock = hcore;
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        fock[i][j] += density[k][l] * (g_ao[i][j][k][l] - 0.5 * g_ao[i][l][k][j]);
+                    }
+                }
+            }
+        }
+        // F' = Xᵀ F X; diagonalize; C = X C'.
+        let fp = mat2_sandwich(x, fock);
+        let (_evals, evecs) = sym2_eigen(fp);
+        for i in 0..2 {
+            for m in 0..2 {
+                coeffs[i][m] = x[i][0] * evecs[0][m] + x[i][1] * evecs[1][m];
+            }
+        }
+        // Closed shell: doubly occupy the lowest MO (column 0).
+        let mut new_density = [[0.0f64; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                new_density[i][j] = 2.0 * coeffs[i][0] * coeffs[j][0];
+            }
+        }
+        // Electronic energy for convergence check.
+        let mut e = 0.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                e += 0.5 * new_density[i][j] * (hcore[i][j] + fock[i][j]);
+            }
+        }
+        density = new_density;
+        if (e - last_e).abs() < 1e-12 {
+            break;
+        }
+        last_e = e;
+    }
+
+    // MO transformation.
+    let mo = |p: usize, i: usize| coeffs[i][p];
+    let mut out = MolecularIntegrals::new(2, 2)?;
+    out.nuclear_repulsion = 1.0 / r;
+    for p in 0..2 {
+        for q in p..2 {
+            let mut v = 0.0;
+            for i in 0..2 {
+                for j in 0..2 {
+                    v += mo(p, i) * mo(q, j) * hcore[i][j];
+                }
+            }
+            out.set_h(p, q, v);
+        }
+    }
+    for p in 0..2 {
+        for q in p..2 {
+            for r2 in 0..2 {
+                for s2 in r2..2 {
+                    if (r2, s2) < (p, q) {
+                        continue;
+                    }
+                    let mut v = 0.0;
+                    for i in 0..2 {
+                        for j in 0..2 {
+                            for k in 0..2 {
+                                for l in 0..2 {
+                                    v += mo(p, i) * mo(q, j) * mo(r2, k) * mo(s2, l)
+                                        * g_ao[i][j][k][l];
+                                }
+                            }
+                        }
+                    }
+                    out.set_g(p, q, r2, s2, v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// General N-center hydrogen clusters.
+// ---------------------------------------------------------------------------
+
+/// Jacobi eigendecomposition of a dense symmetric matrix (row-major).
+/// Returns `(eigenvalues ascending, eigenvectors as columns of a
+/// row-major matrix)`. O(n³) per sweep; fine for the ≤ 8 basis functions
+/// used here.
+pub fn jacobi_eigen(mat: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(mat.len(), n * n);
+    let mut a = mat.to_vec();
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += a[r * n + c] * a[r * n + c];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q * n + q] - a[p * n + p]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Sort ascending, permuting the eigenvector columns alongside.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[i * n + i].partial_cmp(&a[j * n + j]).unwrap());
+    let evals: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
+    let mut evecs = vec![0.0; n * n];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            evecs[r * n + new_col] = v[r * n + old_col];
+        }
+    }
+    (evals, evecs)
+}
+
+/// A general hydrogen cluster in STO-3G: one 1s basis function per
+/// center, `n_electrons` electrons, RHF SCF, MO-basis integrals.
+///
+/// Handles H2 (reproducing [`h2_molecule`]), H3+ (2 electrons),
+/// H4 chains/rings, … up to ~8 centers comfortably.
+pub fn hydrogen_cluster(centers: &[[f64; 3]], n_electrons: usize) -> Result<MolecularIntegrals> {
+    let n = centers.len();
+    if n == 0 {
+        return Err(Error::Invalid("cluster needs at least one center".into()));
+    }
+    if n_electrons % 2 != 0 || n_electrons == 0 || n_electrons > 2 * n {
+        return Err(Error::Invalid(format!(
+            "{n_electrons} electrons invalid for a closed-shell {n}-center cluster"
+        )));
+    }
+    let n_occ = n_electrons / 2;
+    let basis: Vec<SGaussian> = centers.iter().map(|&c| SGaussian::hydrogen(c)).collect();
+
+    // Nuclear repulsion.
+    let mut e_nuc = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            e_nuc += 1.0 / dist_sqr(centers[i], centers[j]).sqrt();
+        }
+    }
+
+    // AO matrices.
+    let idx = |r: usize, c: usize| r * n + c;
+    let mut s_mat = vec![0.0; n * n];
+    let mut hcore = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            s_mat[idx(i, j)] = overlap(&basis[i], &basis[j]);
+            let mut h = kinetic(&basis[i], &basis[j]);
+            for &c in centers {
+                h += nuclear_attraction(&basis[i], &basis[j], 1.0, c);
+            }
+            hcore[idx(i, j)] = h;
+        }
+    }
+    let gidx = |i: usize, j: usize, k: usize, l: usize| ((i * n + j) * n + k) * n + l;
+    let mut g_ao = vec![0.0; n * n * n * n];
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                for l in 0..n {
+                    g_ao[gidx(i, j, k, l)] =
+                        electron_repulsion(&basis[i], &basis[j], &basis[k], &basis[l]);
+                }
+            }
+        }
+    }
+
+    // X = S^{-1/2} via Jacobi.
+    let (s_evals, s_evecs) = jacobi_eigen(&s_mat, n);
+    if s_evals.iter().any(|&l| l <= 1e-8) {
+        return Err(Error::Numerical("overlap matrix near-singular (centers too close?)".into()));
+    }
+    let mut x = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            for m in 0..n {
+                x[idx(i, j)] += s_evecs[idx(i, m)] * s_evecs[idx(j, m)] / s_evals[m].sqrt();
+            }
+        }
+    }
+
+    // SCF with density damping for robustness on stretched geometries.
+    let mut density = vec![0.0; n * n];
+    let mut coeffs = vec![0.0; n * n];
+    let mut last_e = f64::INFINITY;
+    for iter in 0..500 {
+        let mut fock = hcore.clone();
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    for l in 0..n {
+                        acc += density[idx(k, l)]
+                            * (g_ao[gidx(i, j, k, l)] - 0.5 * g_ao[gidx(i, l, k, j)]);
+                    }
+                }
+                fock[idx(i, j)] += acc;
+            }
+        }
+        // F' = Xᵀ F X.
+        let mut fx = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    fx[idx(i, j)] += fock[idx(i, k)] * x[idx(k, j)];
+                }
+            }
+        }
+        let mut fp = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    fp[idx(i, j)] += x[idx(k, i)] * fx[idx(k, j)];
+                }
+            }
+        }
+        let (_evals, evecs) = jacobi_eigen(&fp, n);
+        for i in 0..n {
+            for m in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += x[idx(i, k)] * evecs[idx(k, m)];
+                }
+                coeffs[idx(i, m)] = acc;
+            }
+        }
+        let mut new_density = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for o in 0..n_occ {
+                    acc += 2.0 * coeffs[idx(i, o)] * coeffs[idx(j, o)];
+                }
+                new_density[idx(i, j)] = acc;
+            }
+        }
+        let mut e = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                e += 0.5 * new_density[idx(i, j)] * (hcore[idx(i, j)] + fock[idx(i, j)]);
+            }
+        }
+        // Damp after the first few iterations to stabilize oscillations.
+        let mix = if iter < 3 { 1.0 } else { 0.7 };
+        for (d, nd) in density.iter_mut().zip(&new_density) {
+            *d = (1.0 - mix) * *d + mix * *nd;
+        }
+        if (e - last_e).abs() < 1e-12 {
+            break;
+        }
+        last_e = e;
+    }
+
+    // MO transform.
+    let mo = |p: usize, i: usize| coeffs[idx(i, p)];
+    let mut out = MolecularIntegrals::new(n, n_electrons)?;
+    out.nuclear_repulsion = e_nuc;
+    for p in 0..n {
+        for q in p..n {
+            let mut v = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    v += mo(p, i) * mo(q, j) * hcore[idx(i, j)];
+                }
+            }
+            out.set_h(p, q, v);
+        }
+    }
+    // Two-step (O(n⁵)) transform: (pq|kl) then (pq|rs).
+    let mut half = vec![0.0; n * n * n * n];
+    for p in 0..n {
+        for q in 0..n {
+            for k in 0..n {
+                for l in 0..n {
+                    let mut v = 0.0;
+                    for i in 0..n {
+                        for j in 0..n {
+                            v += mo(p, i) * mo(q, j) * g_ao[gidx(i, j, k, l)];
+                        }
+                    }
+                    half[gidx(p, q, k, l)] = v;
+                }
+            }
+        }
+    }
+    for p in 0..n {
+        for q in p..n {
+            for r in 0..n {
+                for s2 in r..n {
+                    if (r, s2) < (p, q) {
+                        continue;
+                    }
+                    let mut v = 0.0;
+                    for k in 0..n {
+                        for l in 0..n {
+                            v += mo(r, k) * mo(s2, l) * half[gidx(p, q, k, l)];
+                        }
+                    }
+                    out.set_g(p, q, r, s2, v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A linear hydrogen chain with spacing `r` (bohr), half filling.
+pub fn hydrogen_chain_sto3g(n_sites: usize, r: f64) -> Result<MolecularIntegrals> {
+    let centers: Vec<[f64; 3]> =
+        (0..n_sites).map(|k| [0.0, 0.0, r * k as f64]).collect();
+    hydrogen_cluster(&centers, n_sites)
+}
+
+/// Eigendecomposition of a symmetric 2×2 matrix; returns (eigenvalues
+/// ascending, eigenvectors as columns `evecs[row][col]`).
+fn sym2_eigen(m: [[f64; 2]; 2]) -> ([f64; 2], [[f64; 2]; 2]) {
+    let (a, b, c) = (m[0][0], m[0][1], m[1][1]);
+    if b.abs() < 1e-300 {
+        return if a <= c {
+            ([a, c], [[1.0, 0.0], [0.0, 1.0]])
+        } else {
+            ([c, a], [[0.0, 1.0], [1.0, 0.0]])
+        };
+    }
+    let tr = a + c;
+    let det = a * c - b * b;
+    let disc = (tr * tr / 4.0 - det).max(0.0).sqrt();
+    let l0 = tr / 2.0 - disc;
+    let l1 = tr / 2.0 + disc;
+    let v0 = normalize2([b, l0 - a]);
+    let v1 = normalize2([b, l1 - a]);
+    ([l0, l1], [[v0[0], v1[0]], [v0[1], v1[1]]])
+}
+
+fn normalize2(v: [f64; 2]) -> [f64; 2] {
+    let n = (v[0] * v[0] + v[1] * v[1]).sqrt();
+    [v[0] / n, v[1] / n]
+}
+
+/// `Xᵀ M X` for 2×2 matrices.
+fn mat2_sandwich(x: [[f64; 2]; 2], m: [[f64; 2]; 2]) -> [[f64; 2]; 2] {
+    let mut mx = [[0.0f64; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                mx[i][j] += m[i][k] * x[k][j];
+            }
+        }
+    }
+    let mut out = [[0.0f64; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                out[i][j] += x[k][i] * mx[k][j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R_EQ: f64 = 1.400_8;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(5.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn boys_limits() {
+        assert!((boys_f0(0.0) - 1.0).abs() < 1e-9);
+        assert!((boys_f0(1e-12) - 1.0).abs() < 1e-9);
+        // Large t: F0 → √(π/t)/2.
+        let t = 30.0;
+        assert!((boys_f0(t) - 0.5 * (PI / t).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_overlap_is_one() {
+        let g = SGaussian::hydrogen([0.0; 3]);
+        assert!((overlap(&g, &g) - 1.0).abs() < 1e-6, "{}", overlap(&g, &g));
+    }
+
+    #[test]
+    fn szabo_ostlund_ao_integrals_at_equilibrium() {
+        // Szabo & Ostlund table 3.5 (R = 1.4 a0, STO-3G, ζ = 1.24):
+        // S12 = 0.6593, T11 = 0.7600, T12 = 0.2365,
+        // (11|11) = 0.7746, (11|22) = 0.5697, (12|12) = 0.2970.
+        let a = SGaussian::hydrogen([0.0, 0.0, 0.0]);
+        let b = SGaussian::hydrogen([0.0, 0.0, 1.4]);
+        assert!((overlap(&a, &b) - 0.6593).abs() < 2e-3);
+        assert!((kinetic(&a, &a) - 0.7600).abs() < 2e-3);
+        assert!((kinetic(&a, &b) - 0.2365).abs() < 2e-3);
+        assert!((electron_repulsion(&a, &a, &a, &a) - 0.7746).abs() < 2e-3);
+        assert!((electron_repulsion(&a, &a, &b, &b) - 0.5697).abs() < 2e-3);
+        assert!((electron_repulsion(&a, &b, &a, &b) - 0.2970).abs() < 2e-3);
+    }
+
+    #[test]
+    fn nuclear_attraction_matches_szabo_ostlund() {
+        // V11 (own nucleus) = −1.2266, V12 = −0.5974 at R = 1.4 (single
+        // center); table 3.5 values for the first nucleus.
+        let a = SGaussian::hydrogen([0.0, 0.0, 0.0]);
+        let b = SGaussian::hydrogen([0.0, 0.0, 1.4]);
+        let v11 = nuclear_attraction(&a, &a, 1.0, [0.0, 0.0, 0.0]);
+        let v12 = nuclear_attraction(&a, &b, 1.0, [0.0, 0.0, 0.0]);
+        assert!((v11 + 1.2266).abs() < 2e-3, "{v11}");
+        assert!((v12 + 0.5974).abs() < 2e-3, "{v12}");
+    }
+
+    #[test]
+    fn mo_integrals_match_literature_at_equilibrium() {
+        // The SCF + MO transform must land on the tabulated values used by
+        // molecules::h2_sto3g (within basis-convention rounding).
+        let m = h2_molecule(R_EQ).unwrap();
+        let lit = crate::molecules::h2_sto3g();
+        assert!((m.h(0, 0) - lit.h(0, 0)).abs() < 3e-3, "{} vs {}", m.h(0, 0), lit.h(0, 0));
+        assert!((m.h(1, 1) - lit.h(1, 1)).abs() < 3e-3);
+        assert!((m.g(0, 0, 0, 0) - lit.g(0, 0, 0, 0)).abs() < 3e-3);
+        assert!((m.g(0, 0, 1, 1) - lit.g(0, 0, 1, 1)).abs() < 3e-3);
+        assert!((m.g(0, 1, 0, 1) - lit.g(0, 1, 0, 1)).abs() < 3e-3);
+        assert!((m.hf_total_energy() - lit.hf_total_energy()).abs() < 2e-3);
+    }
+
+    #[test]
+    fn hf_energy_minimized_near_equilibrium() {
+        let e = |r: f64| h2_molecule(r).unwrap().hf_total_energy();
+        let e_eq = e(1.40);
+        assert!(e_eq < e(1.1));
+        assert!(e_eq < e(1.8));
+        // Known minimum ≈ −1.1167 Ha.
+        assert!((e_eq + 1.1167).abs() < 2e-3, "{e_eq}");
+    }
+
+    #[test]
+    fn dissociation_limit_rhf_overbinds() {
+        // RHF famously fails at dissociation: E_HF(R→∞) ≫ 2·E(H) = −0.934
+        // (in STO-3G, H atom ≈ −0.4666). The curve must rise past
+        // equilibrium.
+        let e_far = h2_molecule(8.0).unwrap().hf_total_energy();
+        let e_eq = h2_molecule(1.4).unwrap().hf_total_energy();
+        assert!(e_far > e_eq + 0.2, "{e_far} vs {e_eq}");
+    }
+
+    #[test]
+    fn fci_dissociation_is_size_consistent_to_atoms() {
+        // FCI in the minimal basis dissociates to two STO-3G H atoms:
+        // 2 × (−0.46658) ≈ −0.93316 Ha.
+        let m = h2_molecule(10.0).unwrap();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let (e, _) = nwq_pauli::matrix::dense_ground_state(&h, 4000);
+        assert!((e + 0.93316).abs() < 2e-3, "{e}");
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrices() {
+        // [[2,1],[1,2]] has eigenvalues {1, 3} with (1,∓1)/√2.
+        let (e, v) = jacobi_eigen(&[2.0, 1.0, 1.0, 2.0], 2);
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 3.0).abs() < 1e-12);
+        // Columns orthonormal.
+        let dot01 = v[0] * v[1] + v[2] * v[3];
+        assert!(dot01.abs() < 1e-12);
+        // 3x3 with known spectrum: diag(1,2,3) rotated is still {1,2,3}.
+        let m = [4.0, -2.0, 0.0, -2.0, 4.0, -2.0, 0.0, -2.0, 4.0];
+        let (e3, _) = jacobi_eigen(&m, 3);
+        // Eigenvalues of this tridiagonal: 4, 4 ± 2√2.
+        assert!((e3[0] - (4.0 - 2.0 * 2.0f64.sqrt())).abs() < 1e-10);
+        assert!((e3[1] - 4.0).abs() < 1e-10);
+        assert!((e3[2] - (4.0 + 2.0 * 2.0f64.sqrt())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cluster_reproduces_h2_molecule() {
+        let a = h2_molecule(1.4).unwrap();
+        let b = hydrogen_cluster(&[[0.0; 3], [0.0, 0.0, 1.4]], 2).unwrap();
+        assert!((a.hf_total_energy() - b.hf_total_energy()).abs() < 1e-9);
+        for p in 0..2 {
+            for q in 0..2 {
+                assert!((a.h(p, q).abs() - b.h(p, q).abs()).abs() < 1e-8);
+            }
+        }
+        assert!((a.g(0, 0, 0, 0) - b.g(0, 0, 0, 0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn h3_plus_is_bound() {
+        // H3+ (equilateral, R ≈ 1.65 a0) is the textbook 2-electron
+        // 3-center bond: its energy lies below H2 + bare proton.
+        let r = 1.65;
+        let h = r * 3.0f64.sqrt() / 2.0;
+        let centers = [[0.0, 0.0, 0.0], [0.0, 0.0, r], [0.0, h, r / 2.0]];
+        let m = hydrogen_cluster(&centers, 2).unwrap();
+        let e_h3p = m.hf_total_energy();
+        let e_h2 = h2_molecule(1.4).unwrap().hf_total_energy();
+        assert!(e_h3p < e_h2 - 0.1, "H3+ {e_h3p} vs H2 {e_h2}");
+        // Literature HF/STO-3G ≈ −1.25 ÷ −1.30 Ha region.
+        assert!(e_h3p < -1.2 && e_h3p > -1.45, "{e_h3p}");
+    }
+
+    #[test]
+    fn h4_chain_scf_and_fci_sanity() {
+        let m = hydrogen_chain_sto3g(4, 1.8).unwrap();
+        assert_eq!(m.n_spin_orbitals(), 8);
+        // FCI (in the N = 4 sector via dense power iteration) must sit
+        // below HF and above a crude lower bound.
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let hf = m.hf_total_energy();
+        let mut psi = vec![nwq_common::C_ZERO; 1 << 8];
+        psi[m.hf_determinant() as usize] = nwq_common::C_ONE;
+        let e_det = nwq_pauli::apply::expectation_op(&h, &psi).unwrap().re;
+        assert!((e_det - hf).abs() < 1e-8, "⟨HF|H|HF⟩ {e_det} vs SCF {hf}");
+        assert!(hf < 0.0, "chain should be bound at this spacing: {hf}");
+    }
+
+    #[test]
+    fn h4_dissociates_to_two_h2() {
+        // Two far-separated H2 units: cluster energy ≈ 2 × E(H2).
+        let r = 1.4;
+        let far = 40.0;
+        let centers = [
+            [0.0, 0.0, 0.0],
+            [0.0, 0.0, r],
+            [0.0, 0.0, far],
+            [0.0, 0.0, far + r],
+        ];
+        let m = hydrogen_cluster(&centers, 4).unwrap();
+        let e_h2 = h2_molecule(r).unwrap().hf_total_energy();
+        assert!(
+            (m.hf_total_energy() - 2.0 * e_h2).abs() < 2e-3,
+            "{} vs {}",
+            m.hf_total_energy(),
+            2.0 * e_h2
+        );
+    }
+
+    #[test]
+    fn cluster_validation() {
+        assert!(hydrogen_cluster(&[], 2).is_err());
+        assert!(hydrogen_cluster(&[[0.0; 3]], 3).is_err());
+        assert!(hydrogen_cluster(&[[0.0; 3]], 4).is_err());
+        // Coincident centers make S singular.
+        assert!(hydrogen_cluster(&[[0.0; 3], [0.0; 3]], 2).is_err());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(h2_molecule(0.0).is_err());
+        assert!(h2_molecule(-1.0).is_err());
+        assert!(h2_molecule(f64::NAN).is_err());
+    }
+}

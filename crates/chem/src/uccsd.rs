@@ -1,0 +1,290 @@
+//! UCCSD ansatz construction (paper Figs 1a, 4).
+//!
+//! The unitary coupled-cluster singles-and-doubles ansatz is
+//! `|ψ(θ)⟩ = e^{T(θ) − T†(θ)} |HF⟩` with `T = Σ_k θ_k T_k` over all
+//! spin- and particle-conserving single and double excitations. After
+//! Jordan–Wigner each anti-Hermitian generator becomes `A_k = i Σ_j c_j P_j`
+//! with real `c_j` and mutually commuting strings, so the first-order
+//! Trotter factorization `∏_j exp(iθ_k c_j P_j)` is exact per excitation
+//! and synthesizes into CNOT-ladder Pauli exponentials.
+
+use crate::fermion::FermionOp;
+use crate::jw::jordan_wigner;
+use nwq_circuit::exp_pauli::{append_exp_pauli, exp_pauli_gate_count};
+use nwq_circuit::{Circuit, ParamExpr};
+use nwq_common::{Error, Result};
+use nwq_pauli::PauliOp;
+
+/// A particle- and spin-conserving excitation between spin orbitals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Excitation {
+    /// Occupied spin orbitals vacated (1 for singles, 2 for doubles).
+    pub from: Vec<usize>,
+    /// Virtual spin orbitals populated.
+    pub to: Vec<usize>,
+}
+
+impl Excitation {
+    /// The excitation operator `T = a†_to … a_from …`.
+    pub fn operator(&self) -> FermionOp {
+        let mut ops = Vec::with_capacity(self.from.len() * 2);
+        for &a in &self.to {
+            ops.push((a, true));
+        }
+        for &i in self.from.iter().rev() {
+            ops.push((i, false));
+        }
+        FermionOp::single(nwq_common::C_ONE, ops)
+    }
+
+    /// The anti-Hermitian generator `A = T − T†` as a Pauli operator.
+    pub fn generator(&self, n_qubits: usize) -> Result<PauliOp> {
+        jordan_wigner(&self.operator().anti_hermitian_part(), n_qubits)
+    }
+
+    /// A short printable name like `2->4` or `0,1->4,5`.
+    pub fn name(&self) -> String {
+        let join = |v: &[usize]| {
+            v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+        };
+        format!("{}->{}", join(&self.from), join(&self.to))
+    }
+
+    /// `true` for single excitations.
+    pub fn is_single(&self) -> bool {
+        self.from.len() == 1
+    }
+}
+
+/// Spin of an interleaved spin orbital (0 = α, 1 = β).
+#[inline]
+fn spin(so: usize) -> usize {
+    so & 1
+}
+
+/// Enumerates all spin-conserving UCCSD excitations for `n_electrons`
+/// electrons in `n_spin_orbitals` spin orbitals (interleaved ordering,
+/// lowest `n_electrons` occupied).
+pub fn uccsd_excitations(n_spin_orbitals: usize, n_electrons: usize) -> Vec<Excitation> {
+    let occ: Vec<usize> = (0..n_electrons).collect();
+    let virt: Vec<usize> = (n_electrons..n_spin_orbitals).collect();
+    let mut out = Vec::new();
+    // Singles: same spin.
+    for &i in &occ {
+        for &a in &virt {
+            if spin(i) == spin(a) {
+                out.push(Excitation { from: vec![i], to: vec![a] });
+            }
+        }
+    }
+    // Doubles: total spin conserved.
+    for (xi, &i) in occ.iter().enumerate() {
+        for &j in occ.iter().skip(xi + 1) {
+            for (xa, &a) in virt.iter().enumerate() {
+                for &b in virt.iter().skip(xa + 1) {
+                    if spin(i) + spin(j) == spin(a) + spin(b) {
+                        out.push(Excitation { from: vec![i, j], to: vec![a, b] });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Appends the Hartree–Fock preparation (X on the lowest `n_electrons`
+/// qubits) to a circuit.
+pub fn append_hf_state(circuit: &mut Circuit, n_electrons: usize) -> Result<()> {
+    for q in 0..n_electrons {
+        circuit.push(nwq_circuit::Gate::X(q))?;
+    }
+    Ok(())
+}
+
+/// Builds the full UCCSD ansatz circuit: HF preparation followed by one
+/// parameterized Pauli-exponential block per excitation. Parameter `k`
+/// controls excitation `k` in the order of [`uccsd_excitations`].
+pub fn uccsd_ansatz(n_spin_orbitals: usize, n_electrons: usize) -> Result<Circuit> {
+    if n_electrons > n_spin_orbitals {
+        return Err(Error::Invalid(format!(
+            "{n_electrons} electrons exceed {n_spin_orbitals} spin orbitals"
+        )));
+    }
+    let excs = uccsd_excitations(n_spin_orbitals, n_electrons);
+    let mut c = Circuit::with_params(n_spin_orbitals, excs.len());
+    append_hf_state(&mut c, n_electrons)?;
+    for (k, exc) in excs.iter().enumerate() {
+        append_generator_exponential(&mut c, &exc.generator(n_spin_orbitals)?, k)?;
+    }
+    Ok(c)
+}
+
+/// Appends `exp(θ_k · A)` for an anti-Hermitian generator `A = iΣ c_j P_j`:
+/// each string becomes `exp(−i(−2θ_k c_j)/2 · P_j)`.
+pub fn append_generator_exponential(
+    circuit: &mut Circuit,
+    generator: &PauliOp,
+    param_index: usize,
+) -> Result<()> {
+    if !generator.is_anti_hermitian(1e-10) {
+        return Err(Error::Invalid("generator must be anti-Hermitian".into()));
+    }
+    for (coeff, string) in generator.terms() {
+        let c = coeff.im;
+        if c == 0.0 {
+            continue;
+        }
+        append_exp_pauli(circuit, string, ParamExpr::scaled_var(param_index, -2.0 * c))?;
+    }
+    Ok(())
+}
+
+/// Ansatz size statistics without paying for circuit storage — used by the
+/// Fig 1a sweep up to 30 qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UccsdStats {
+    /// Number of variational parameters (= excitations).
+    pub n_params: usize,
+    /// Total gates in the synthesized ansatz (including HF preparation).
+    pub gate_count: usize,
+}
+
+/// Computes [`UccsdStats`] for the given register.
+pub fn uccsd_stats(n_spin_orbitals: usize, n_electrons: usize) -> Result<UccsdStats> {
+    let excs = uccsd_excitations(n_spin_orbitals, n_electrons);
+    let mut gates = n_electrons; // HF X gates
+    for exc in &excs {
+        let gen = exc.generator(n_spin_orbitals)?;
+        for (coeff, s) in gen.terms() {
+            if coeff.im != 0.0 {
+                gates += exp_pauli_gate_count(s);
+            }
+        }
+    }
+    Ok(UccsdStats { n_params: excs.len(), gate_count: gates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_circuit::reference;
+
+    #[test]
+    fn excitation_enumeration_h2() {
+        // 4 spin orbitals, 2 electrons: singles 0→2, 1→3; doubles 01→23.
+        let excs = uccsd_excitations(4, 2);
+        assert_eq!(excs.len(), 3);
+        assert_eq!(excs[0], Excitation { from: vec![0], to: vec![2] });
+        assert_eq!(excs[1], Excitation { from: vec![1], to: vec![3] });
+        assert_eq!(excs[2], Excitation { from: vec![0, 1], to: vec![2, 3] });
+        assert!(excs[0].is_single());
+        assert!(!excs[2].is_single());
+        assert_eq!(excs[2].name(), "0,1->2,3");
+    }
+
+    #[test]
+    fn excitations_conserve_spin() {
+        for exc in uccsd_excitations(8, 4) {
+            let s_from: usize = exc.from.iter().map(|&i| spin(i)).sum();
+            let s_to: usize = exc.to.iter().map(|&a| spin(a)).sum();
+            assert_eq!(s_from, s_to, "{}", exc.name());
+        }
+    }
+
+    #[test]
+    fn generators_are_anti_hermitian_with_commuting_strings() {
+        for exc in uccsd_excitations(6, 2) {
+            let g = exc.generator(6).unwrap();
+            assert!(g.is_anti_hermitian(1e-12), "{}", exc.name());
+            // The strings of one excitation generator mutually commute,
+            // making the per-excitation Trotter factorization exact.
+            let terms = g.terms();
+            for (i, (_, a)) in terms.iter().enumerate() {
+                for (_, b) in terms.iter().skip(i + 1) {
+                    assert!(a.commutes_with(b), "{}", exc.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_excitation_generator_structure() {
+        // A_0→2 on 4 qubits: (i/2)(X0 Z1 Y2 − Y0 Z1 X2) pattern.
+        let exc = Excitation { from: vec![0], to: vec![2] };
+        let g = exc.generator(4).unwrap();
+        assert_eq!(g.num_terms(), 2);
+        for (c, s) in g.terms() {
+            assert!(c.re.abs() < 1e-12);
+            assert!((c.im.abs() - 0.5).abs() < 1e-12);
+            assert_eq!(s.op(1), nwq_pauli::Pauli::Z); // JW Z-tail through q1
+            assert_eq!(s.op(3), nwq_pauli::Pauli::I);
+        }
+    }
+
+    #[test]
+    fn hf_state_preparation() {
+        let mut c = Circuit::new(4);
+        append_hf_state(&mut c, 2).unwrap();
+        let psi = reference::run(&c, &[]).unwrap();
+        assert!((psi[0b0011].norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ansatz_at_zero_is_hf() {
+        let ansatz = uccsd_ansatz(4, 2).unwrap();
+        let psi = reference::run(&ansatz, &vec![0.0; ansatz.n_params()]).unwrap();
+        assert!((psi[0b0011].norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ansatz_conserves_particle_number() {
+        let ansatz = uccsd_ansatz(4, 2).unwrap();
+        let psi = reference::run(&ansatz, &[0.3, -0.2, 0.5]).unwrap();
+        for (idx, a) in psi.iter().enumerate() {
+            if a.norm() > 1e-12 {
+                assert_eq!((idx as u64).count_ones(), 2, "index {idx:b} breaks N");
+            }
+        }
+    }
+
+    #[test]
+    fn ansatz_is_normalized_and_parameterized() {
+        let ansatz = uccsd_ansatz(4, 2).unwrap();
+        assert_eq!(ansatz.n_params(), 3);
+        let psi = reference::run(&ansatz, &[0.1, 0.2, 0.3]).unwrap();
+        let n: f64 = psi.iter().map(|a| a.norm_sqr()).sum();
+        assert!((n - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stats_match_built_circuit() {
+        for (n_so, n_e) in [(4, 2), (6, 2), (8, 4)] {
+            let stats = uccsd_stats(n_so, n_e).unwrap();
+            let circuit = uccsd_ansatz(n_so, n_e).unwrap();
+            assert_eq!(stats.gate_count, circuit.len(), "{n_so}/{n_e}");
+            assert_eq!(stats.n_params, circuit.n_params());
+        }
+    }
+
+    #[test]
+    fn gate_count_grows_steeply_with_qubits() {
+        // Fig 1a shape: strong growth with register width at fixed filling.
+        let g4 = uccsd_stats(4, 2).unwrap().gate_count;
+        let g6 = uccsd_stats(6, 2).unwrap().gate_count;
+        let g8 = uccsd_stats(8, 4).unwrap().gate_count;
+        assert!(g6 > 2 * g4, "g4={g4} g6={g6}");
+        assert!(g8 > 2 * g6, "g6={g6} g8={g8}");
+    }
+
+    #[test]
+    fn non_anti_hermitian_generator_rejected() {
+        let mut c = Circuit::new(2);
+        let h = PauliOp::parse("1.0 ZZ").unwrap();
+        assert!(append_generator_exponential(&mut c, &h, 0).is_err());
+    }
+
+    #[test]
+    fn too_many_electrons_rejected() {
+        assert!(uccsd_ansatz(4, 6).is_err());
+    }
+}

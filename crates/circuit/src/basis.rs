@@ -1,0 +1,94 @@
+//! Measurement-basis change circuits (paper §4.1.2).
+//!
+//! To measure a qubit in the X basis, apply H before a computational-basis
+//! measurement; for the Y basis, apply S† then H. These small circuits are
+//! what the cached-state execution (paper §4.1) applies to the stored
+//! post-ansatz state instead of re-running the whole ansatz.
+
+use crate::circuit::Circuit;
+use nwq_common::Result;
+use nwq_pauli::{grouping::MeasurementGroup, Pauli, PauliString};
+
+/// Circuit rotating each qubit listed in `basis` into the computational
+/// basis: H for X, (S† then H) for Y, nothing for Z/I.
+pub fn basis_change_circuit(n_qubits: usize, basis: &[Pauli]) -> Result<Circuit> {
+    let mut c = Circuit::new(n_qubits);
+    for (q, p) in basis.iter().enumerate() {
+        match p {
+            Pauli::X => {
+                c.push(crate::gate::Gate::H(q))?;
+            }
+            Pauli::Y => {
+                c.push(crate::gate::Gate::Sdg(q))?;
+                c.push(crate::gate::Gate::H(q))?;
+            }
+            _ => {}
+        }
+    }
+    Ok(c)
+}
+
+/// Basis-change circuit for measuring a single Pauli string.
+pub fn string_basis_circuit(s: &PauliString) -> Result<Circuit> {
+    let basis: Vec<Pauli> = (0..s.n_qubits()).map(|q| s.op(q)).collect();
+    basis_change_circuit(s.n_qubits(), &basis)
+}
+
+/// Basis-change circuit for a qubit-wise-commuting measurement group.
+pub fn group_basis_circuit(n_qubits: usize, group: &MeasurementGroup) -> Result<Circuit> {
+    basis_change_circuit(n_qubits, &group.basis)
+}
+
+/// After the basis change, each string in the group is diagonal: this
+/// returns the diagonalized (Z/I-only) form of `s`, i.e. the same support
+/// with every X/Y replaced by Z.
+pub fn diagonalized(s: &PauliString) -> PauliString {
+    PauliString::from_masks(s.n_qubits(), 0, s.support())
+        .expect("support mask is within register by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_basis_needs_no_gates() {
+        let s = PauliString::parse("ZIZ").unwrap();
+        assert!(string_basis_circuit(&s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn x_basis_one_hadamard_per_qubit() {
+        let s = PauliString::parse("XX").unwrap();
+        let c = string_basis_circuit(&s).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.gates().iter().all(|g| g.name() == "h"));
+    }
+
+    #[test]
+    fn y_basis_two_gates_per_qubit() {
+        let s = PauliString::parse("YI").unwrap();
+        let c = string_basis_circuit(&s).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.gates()[0].name(), "sdg");
+        assert_eq!(c.gates()[1].name(), "h");
+    }
+
+    #[test]
+    fn group_circuit_matches_basis_gate_count() {
+        let op = nwq_pauli::PauliOp::parse("1.0 XY + 0.5 XI").unwrap();
+        let groups = nwq_pauli::grouping::group_qubit_wise(&op);
+        assert_eq!(groups.len(), 1);
+        let c = group_basis_circuit(2, &groups[0]).unwrap();
+        assert_eq!(c.len(), groups[0].basis_change_gates());
+    }
+
+    #[test]
+    fn diagonalization_keeps_support() {
+        let s = PauliString::parse("XYZI").unwrap();
+        let d = diagonalized(&s);
+        assert_eq!(d.label(), "ZZZI");
+        assert!(d.is_diagonal());
+        assert_eq!(d.support(), s.support());
+    }
+}

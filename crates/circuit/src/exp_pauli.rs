@@ -1,0 +1,351 @@
+//! Synthesis of Pauli-exponential circuits `exp(−i θ/2 · P)`.
+//!
+//! This is the workhorse of UCCSD ansatz construction: each Trotterized
+//! cluster excitation contributes one exponential per Pauli string. The
+//! standard decomposition is
+//!
+//! 1. rotate every X factor into Z with H, every Y factor with (H·S†);
+//! 2. entangle the support with a CNOT ladder onto the last support qubit;
+//! 3. apply `RZ(θ)` there;
+//! 4. undo the ladder and the basis rotations.
+//!
+//! Diagonal strings skip step 1, and the identity string is a global phase
+//! the simulator drops entirely.
+
+use crate::circuit::Circuit;
+use crate::param::ParamExpr;
+use nwq_common::Result;
+use nwq_pauli::{Pauli, PauliString};
+
+/// Appends `exp(−i θ/2 · P)` to `circuit`, where `theta` may be symbolic.
+///
+/// For the identity string this is a global phase `e^{−iθ/2}` and nothing
+/// is emitted (statevector global phase is unobservable in every use in
+/// this workspace: expectation values and probabilities).
+pub fn append_exp_pauli(
+    circuit: &mut Circuit,
+    string: &PauliString,
+    theta: ParamExpr,
+) -> Result<()> {
+    if string.is_identity() {
+        return Ok(());
+    }
+    let support: Vec<usize> = string.iter_ops().map(|(q, _)| q).collect();
+
+    // 1. Basis changes into Z.
+    for (q, p) in string.iter_ops() {
+        match p {
+            Pauli::X => {
+                circuit.push(crate::gate::Gate::H(q))?;
+            }
+            Pauli::Y => {
+                // Z = (H S†) Y (S H): rotate Y eigenbasis into computational.
+                circuit.push(crate::gate::Gate::Sdg(q))?;
+                circuit.push(crate::gate::Gate::H(q))?;
+            }
+            Pauli::Z => {}
+            Pauli::I => unreachable!("iter_ops yields non-identity factors"),
+        }
+    }
+
+    // 2. Parity ladder onto the last support qubit.
+    let last = *support.last().expect("non-identity string has support");
+    for w in support.windows(2) {
+        circuit.push(crate::gate::Gate::CX(w[0], w[1]))?;
+    }
+
+    // 3. The rotation carrying the angle.
+    circuit.push(crate::gate::Gate::RZ(last, theta))?;
+
+    // 4. Undo ladder and basis changes.
+    for w in support.windows(2).rev() {
+        circuit.push(crate::gate::Gate::CX(w[0], w[1]))?;
+    }
+    for (q, p) in string.iter_ops() {
+        match p {
+            Pauli::X => {
+                circuit.push(crate::gate::Gate::H(q))?;
+            }
+            Pauli::Y => {
+                circuit.push(crate::gate::Gate::H(q))?;
+                circuit.push(crate::gate::Gate::S(q))?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Builds a standalone circuit for `exp(−i θ/2 · P)`.
+pub fn exp_pauli_circuit(string: &PauliString, theta: ParamExpr) -> Result<Circuit> {
+    let mut c = Circuit::new(string.n_qubits());
+    append_exp_pauli(&mut c, string, theta)?;
+    Ok(c)
+}
+
+/// Gate count of the exponential without building it: `2·(basis gates) +
+/// 2·(ladder CNOTs) + 1`, with Y factors costing 2 basis gates per side.
+pub fn exp_pauli_gate_count(string: &PauliString) -> usize {
+    if string.is_identity() {
+        return 0;
+    }
+    let mut basis = 0usize;
+    let mut weight = 0usize;
+    for (_, p) in string.iter_ops() {
+        weight += 1;
+        basis += match p {
+            Pauli::X => 1,
+            Pauli::Y => 2,
+            _ => 0,
+        };
+    }
+    2 * basis + 2 * (weight - 1) + 1
+}
+
+/// Appends a first-order Trotter step `∏_k exp(−i θ_k/2 · P_k)` for a list
+/// of weighted strings. `angle(k)` supplies the (symbolic) angle of term k.
+pub fn append_trotter_step(
+    circuit: &mut Circuit,
+    terms: &[PauliString],
+    mut angle: impl FnMut(usize) -> ParamExpr,
+) -> Result<()> {
+    for (k, s) in terms.iter().enumerate() {
+        append_exp_pauli(circuit, s, angle(k))?;
+    }
+    Ok(())
+}
+
+/// Trotter product-formula order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TrotterOrder {
+    /// First-order Lie–Trotter: `∏_j e^{−i c_j δt P_j}` per step.
+    #[default]
+    First,
+    /// Second-order (symmetric Suzuki): half-angle forward sweep followed
+    /// by half-angle reverse sweep per step — error `O(δt³)` per step
+    /// instead of `O(δt²)`.
+    Second,
+}
+
+/// Appends the circuit for `exp(−iHt)` with `steps` Trotter steps of the
+/// given order. `H` must be Hermitian with real coefficients; identity
+/// terms contribute an unobservable global phase and are skipped.
+pub fn append_evolution(
+    circuit: &mut Circuit,
+    hamiltonian: &nwq_pauli::PauliOp,
+    time: f64,
+    steps: usize,
+    order: TrotterOrder,
+) -> Result<()> {
+    if steps == 0 {
+        return Err(nwq_common::Error::Invalid("steps must be positive".into()));
+    }
+    if !hamiltonian.is_hermitian(1e-10) {
+        return Err(nwq_common::Error::Invalid(
+            "time evolution requires a Hermitian Hamiltonian".into(),
+        ));
+    }
+    let dt = time / steps as f64;
+    let terms: Vec<(f64, PauliString)> = hamiltonian
+        .terms()
+        .iter()
+        .filter(|(_, s)| !s.is_identity())
+        .map(|&(c, s)| (c.re, s))
+        .collect();
+    for _ in 0..steps {
+        match order {
+            TrotterOrder::First => {
+                for &(c, s) in &terms {
+                    append_exp_pauli(circuit, &s, ParamExpr::Const(2.0 * c * dt))?;
+                }
+            }
+            TrotterOrder::Second => {
+                for &(c, s) in &terms {
+                    append_exp_pauli(circuit, &s, ParamExpr::Const(c * dt))?;
+                }
+                for &(c, s) in terms.iter().rev() {
+                    append_exp_pauli(circuit, &s, ParamExpr::Const(c * dt))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_pauli::PauliString;
+
+    #[test]
+    fn identity_emits_nothing() {
+        let c = exp_pauli_circuit(&PauliString::identity(3), ParamExpr::Const(0.5)).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(exp_pauli_gate_count(&PauliString::identity(3)), 0);
+    }
+
+    #[test]
+    fn single_z_is_one_rz() {
+        let s = PauliString::parse("IZ").unwrap();
+        let c = exp_pauli_circuit(&s, ParamExpr::Const(0.5)).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.gates()[0].name(), "rz");
+        assert_eq!(exp_pauli_gate_count(&s), 1);
+    }
+
+    #[test]
+    fn zz_uses_cnot_ladder() {
+        let s = PauliString::parse("ZZ").unwrap();
+        let c = exp_pauli_circuit(&s, ParamExpr::Const(0.5)).unwrap();
+        // CX, RZ, CX.
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.two_qubit_count(), 2);
+        assert_eq!(exp_pauli_gate_count(&s), 3);
+    }
+
+    #[test]
+    fn xx_adds_hadamards() {
+        let s = PauliString::parse("XX").unwrap();
+        let c = exp_pauli_circuit(&s, ParamExpr::Const(0.5)).unwrap();
+        // H H, CX, RZ, CX, H H.
+        assert_eq!(c.len(), 7);
+        assert_eq!(exp_pauli_gate_count(&s), 7);
+    }
+
+    #[test]
+    fn y_factors_cost_two_basis_gates() {
+        let s = PauliString::parse("YY").unwrap();
+        let c = exp_pauli_circuit(&s, ParamExpr::Const(0.5)).unwrap();
+        // (Sdg H)×2, CX, RZ, CX, (H S)×2 = 11.
+        assert_eq!(c.len(), 11);
+        assert_eq!(exp_pauli_gate_count(&s), 11);
+    }
+
+    #[test]
+    fn gate_count_formula_matches_construction() {
+        for lbl in ["XYZI", "ZIIZ", "XXYY", "IYIX", "ZZZZ", "XIIIIZ"] {
+            let s = PauliString::parse(lbl).unwrap();
+            let c = exp_pauli_circuit(&s, ParamExpr::Const(0.3)).unwrap();
+            assert_eq!(c.len(), exp_pauli_gate_count(&s), "{lbl}");
+        }
+    }
+
+    #[test]
+    fn symbolic_angle_propagates() {
+        let s = PauliString::parse("ZZ").unwrap();
+        let c = exp_pauli_circuit(&s, ParamExpr::scaled_var(2, 2.0)).unwrap();
+        assert_eq!(c.n_params(), 3);
+        assert!(!c.is_concrete());
+    }
+
+    /// Exact `e^{−iHt}|ψ⟩` by Taylor series on the dense matrix (test
+    /// oracle; small registers only).
+    fn exact_evolution(
+        h: &nwq_pauli::PauliOp,
+        t: f64,
+        psi: &[nwq_common::C64],
+    ) -> Vec<nwq_common::C64> {
+        let mut acc = psi.to_vec();
+        let mut term = psi.to_vec();
+        for k in 1..60 {
+            // term <- (−iHt/k)·term
+            let hv = nwq_pauli::apply::apply_op(h, &term).unwrap();
+            let factor = nwq_common::C64::imag(-t / k as f64);
+            term = hv.into_iter().map(|x| x * factor).collect();
+            for (a, b) in acc.iter_mut().zip(&term) {
+                *a += *b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn evolution_matches_exact_exponential() {
+        let h = nwq_pauli::PauliOp::parse("0.7 ZZ + 0.4 XI + 0.2 IY").unwrap();
+        let mut prep = Circuit::new(2);
+        prep.h(0).cx(0, 1);
+        let psi0 = crate::reference::run(&prep, &[]).unwrap();
+        let t = 0.8;
+        let exact = exact_evolution(&h, t, &psi0);
+        for (order, steps, tol) in [
+            (TrotterOrder::First, 64, 2e-2),
+            (TrotterOrder::Second, 64, 1e-3),
+        ] {
+            let mut c = prep.clone();
+            append_evolution(&mut c, &h, t, steps, order).unwrap();
+            let got = crate::reference::run(&c, &[]).unwrap();
+            let fid = crate::reference::fidelity(&got, &exact);
+            assert!(1.0 - fid < tol, "{order:?}: infidelity {}", 1.0 - fid);
+        }
+    }
+
+    #[test]
+    fn second_order_beats_first_at_equal_steps() {
+        let h = nwq_pauli::PauliOp::parse("1.0 ZZ + 0.8 XI + 0.5 IX").unwrap();
+        let psi0 = crate::reference::zero_state(2);
+        let t = 1.2;
+        let exact = exact_evolution(&h, t, &psi0);
+        let infidelity = |order: TrotterOrder| {
+            let mut c = Circuit::new(2);
+            append_evolution(&mut c, &h, t, 8, order).unwrap();
+            let got = crate::reference::run(&c, &[]).unwrap();
+            1.0 - crate::reference::fidelity(&got, &exact)
+        };
+        let e1 = infidelity(TrotterOrder::First);
+        let e2 = infidelity(TrotterOrder::Second);
+        assert!(e2 < e1 / 4.0, "second order {e2} vs first {e1}");
+    }
+
+    #[test]
+    fn evolution_error_shrinks_with_steps() {
+        let h = nwq_pauli::PauliOp::parse("1.0 ZI + 0.6 XX").unwrap();
+        let psi0 = crate::reference::zero_state(2);
+        let exact = exact_evolution(&h, 1.0, &psi0);
+        let mut prev = f64::INFINITY;
+        for steps in [2usize, 8, 32] {
+            let mut c = Circuit::new(2);
+            append_evolution(&mut c, &h, 1.0, steps, TrotterOrder::First).unwrap();
+            let got = crate::reference::run(&c, &[]).unwrap();
+            let err = 1.0 - crate::reference::fidelity(&got, &exact);
+            assert!(err <= prev + 1e-12, "steps={steps}: {err} > {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn evolution_validation() {
+        let h = nwq_pauli::PauliOp::parse("1.0 ZZ").unwrap();
+        let mut c = Circuit::new(2);
+        assert!(append_evolution(&mut c, &h, 1.0, 0, TrotterOrder::First).is_err());
+        let anti = nwq_pauli::PauliOp::single(
+            nwq_common::C_I,
+            PauliString::parse("XY").unwrap(),
+        );
+        assert!(append_evolution(&mut c, &anti, 1.0, 4, TrotterOrder::First).is_err());
+    }
+
+    #[test]
+    fn commuting_hamiltonian_evolution_exact_in_one_step() {
+        let h = nwq_pauli::PauliOp::parse("0.9 ZZ + 0.4 ZI").unwrap();
+        let mut prep = Circuit::new(2);
+        prep.h(0).h(1);
+        let psi0 = crate::reference::run(&prep, &[]).unwrap();
+        let exact = exact_evolution(&h, 2.0, &psi0);
+        let mut c = prep.clone();
+        append_evolution(&mut c, &h, 2.0, 1, TrotterOrder::First).unwrap();
+        let got = crate::reference::run(&c, &[]).unwrap();
+        assert!(1.0 - crate::reference::fidelity(&got, &exact) < 1e-10);
+    }
+
+    #[test]
+    fn trotter_step_concatenates() {
+        let terms = vec![
+            PauliString::parse("ZZ").unwrap(),
+            PauliString::parse("XX").unwrap(),
+        ];
+        let mut c = Circuit::new(2);
+        append_trotter_step(&mut c, &terms, |k| ParamExpr::scaled_var(k, 1.0)).unwrap();
+        assert_eq!(c.len(), 3 + 7);
+        assert_eq!(c.n_params(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Gate fusion (paper §4.3).
+//!
+//! A simulator is free of hardware basis-gate and connectivity constraints,
+//! so any run of consecutive gates on the same qubit(s) can be replaced by
+//! their matrix product. NWQ-Sim deliberately caps fusion at two qubits:
+//! a fused k-qubit gate costs a 2^k × 2^k matrix application, so beyond two
+//! qubits the matrix growth cancels the savings (§4.3.1).
+//!
+//! The pass below is a single linear scan maintaining, per qubit, the index
+//! of the *latest* fused block touching that qubit. Merging a gate into an
+//! earlier block is sound because every block emitted after it acts on
+//! disjoint qubits (otherwise the per-qubit pointer would have been
+//! overwritten), and operators on disjoint qubits commute.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateMatrix};
+use nwq_common::mat::{embed_high, embed_low};
+use nwq_common::{Error, Mat2, Mat4, Result};
+
+/// Statistics of one fusion run (the numbers behind paper Fig 4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Gates in the input circuit.
+    pub gates_before: usize,
+    /// Fused blocks in the output circuit.
+    pub gates_after: usize,
+}
+
+impl FusionStats {
+    /// Fractional reduction in gate count, e.g. `0.52` for 52 %.
+    pub fn reduction(&self) -> f64 {
+        if self.gates_before == 0 {
+            0.0
+        } else {
+            1.0 - self.gates_after as f64 / self.gates_before as f64
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Block {
+    One(usize, Mat2),
+    Two(usize, usize, Mat4),
+    /// Absorbed into a later block; emits nothing.
+    Dead,
+}
+
+/// Fuses a *concrete* circuit into maximal ≤2-qubit blocks, returning the
+/// fused circuit and statistics. Symbolic circuits must be bound first.
+pub fn fuse(circuit: &Circuit) -> Result<(Circuit, FusionStats)> {
+    if !circuit.is_concrete() {
+        return Err(Error::Invalid(
+            "gate fusion requires a concrete (bound) circuit".into(),
+        ));
+    }
+    let n = circuit.n_qubits();
+    let mut blocks: Vec<Block> = Vec::with_capacity(circuit.len());
+    // For each qubit: index into `blocks` of the latest block touching it.
+    let mut active: Vec<Option<usize>> = vec![None; n];
+
+    for gate in circuit.gates() {
+        match gate.matrix(&[])? {
+            GateMatrix::One(q, m) => {
+                let merged = if let Some(i) = active[q] {
+                    match &mut blocks[i] {
+                        Block::One(_, acc) => {
+                            *acc = m * *acc;
+                            true
+                        }
+                        Block::Two(a, _b, acc) => {
+                            let high = *a == q;
+                            let emb = if high { embed_high(&m) } else { embed_low(&m) };
+                            *acc = emb * *acc;
+                            true
+                        }
+                        Block::Dead => false,
+                    }
+                } else {
+                    false
+                };
+                if !merged {
+                    blocks.push(Block::One(q, m));
+                    active[q] = Some(blocks.len() - 1);
+                }
+            }
+            GateMatrix::Two(a, b, m) => {
+                // Same unordered pair as the active block on both qubits?
+                let ia = active[a];
+                let ib = active[b];
+                let same_pair = match (ia, ib) {
+                    (Some(i), Some(j)) if i == j => matches!(&blocks[i], Block::Two(..)),
+                    _ => false,
+                };
+                if same_pair {
+                    let i = ia.unwrap();
+                    if let Block::Two(ba, _bb, acc) = &mut blocks[i] {
+                        // Align qubit order with the stored block.
+                        let m_aligned = if *ba == a { m } else { m.swap_qubits() };
+                        *acc = m_aligned * *acc;
+                    }
+                    continue;
+                }
+                // Start a new two-qubit block, absorbing any pending
+                // single-qubit blocks on its operands.
+                let mut acc = m;
+                for (q, is_high) in [(a, true), (b, false)] {
+                    if let Some(i) = active[q] {
+                        if let Block::One(_, m1) = blocks[i] {
+                            let emb = if is_high { embed_high(&m1) } else { embed_low(&m1) };
+                            acc = acc * emb;
+                            blocks[i] = Block::Dead;
+                        }
+                    }
+                }
+                blocks.push(Block::Two(a, b, acc));
+                let idx = blocks.len() - 1;
+                active[a] = Some(idx);
+                active[b] = Some(idx);
+            }
+        }
+    }
+
+    let mut out = Circuit::new(n);
+    for b in blocks {
+        match b {
+            Block::One(q, m) => {
+                out.push(Gate::Fused1(q, m))?;
+            }
+            Block::Two(a, b, m) => {
+                out.push(Gate::Fused2(a, b, m))?;
+            }
+            Block::Dead => {}
+        }
+    }
+    let stats = FusionStats { gates_before: circuit.len(), gates_after: out.len() };
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamExpr;
+    use nwq_common::mat::{mat_h, mat_x};
+
+    #[test]
+    fn adjacent_single_qubit_gates_fuse() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0).s(0);
+        let (fused, stats) = fuse(&c).unwrap();
+        assert_eq!(fused.len(), 1);
+        assert_eq!(stats.gates_before, 4);
+        assert_eq!(stats.gates_after, 1);
+        assert!(stats.reduction() > 0.74);
+    }
+
+    #[test]
+    fn fused_matrix_is_product_in_program_order() {
+        let mut c = Circuit::new(1);
+        c.h(0).x(0);
+        let (fused, _) = fuse(&c).unwrap();
+        match fused.gates()[0] {
+            Gate::Fused1(0, m) => {
+                // Program order H then X means matrix X·H.
+                assert!(m.approx_eq(&(mat_x() * mat_h()), 1e-12));
+            }
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_absorb_into_two_qubit_block() {
+        // H(0) H(1) CX(0,1) -> one fused 2q gate.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1);
+        let (fused, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 1);
+        assert!(matches!(fused.gates()[0], Gate::Fused2(0, 1, _)));
+    }
+
+    #[test]
+    fn trailing_single_qubit_gate_merges_into_block() {
+        // CX(0,1) then H(1): H embeds into the block.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(1);
+        let (_, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 1);
+    }
+
+    #[test]
+    fn same_pair_two_qubit_gates_fuse_even_reversed() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0).cx(0, 1); // a SWAP
+        let (fused, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 1);
+        match fused.gates()[0] {
+            Gate::Fused2(0, 1, m) => {
+                assert!(m.approx_eq(&nwq_common::mat::mat_swap(), 1e-12));
+            }
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_fuse() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3);
+        let (_, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 2);
+    }
+
+    #[test]
+    fn overlapping_pairs_do_not_fuse() {
+        // CX(0,1), CX(1,2) share a qubit but not the full pair: a fused
+        // block would be 3-qubit, which NWQ-Sim rejects by design (§4.3).
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2);
+        let (_, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 2);
+    }
+
+    #[test]
+    fn interleaved_blocks_preserve_commuting_reorder_only() {
+        // Gate on qubit 2 lands between two gates on (0,1); the (0,1) gates
+        // still fuse because qubit 2 is disjoint.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).h(2).cz(0, 1);
+        let (_, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 2);
+    }
+
+    #[test]
+    fn intervening_gate_on_operand_blocks_fusion() {
+        // CX(0,1), H(0) retargets qubit 0's active block to ... the same
+        // block (merge). But CX(0,1), CX(0,2), CX(0,1): the middle gate
+        // steals qubit 0, so the outer pair must not fuse.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(0, 2).cx(0, 1);
+        let (_, stats) = fuse(&c).unwrap();
+        assert_eq!(stats.gates_after, 3);
+    }
+
+    #[test]
+    fn symbolic_circuit_rejected() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamExpr::var(0));
+        assert!(fuse(&c).is_err());
+        let bound = c.bind(&[0.3]).unwrap();
+        assert!(fuse(&bound).is_ok());
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let (fused, stats) = fuse(&Circuit::new(3)).unwrap();
+        assert!(fused.is_empty());
+        assert_eq!(stats.reduction(), 0.0);
+    }
+
+    #[test]
+    fn all_outputs_are_fused_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(1, 0.4).cx(1, 2).h(2).t(0);
+        let (fused, _) = fuse(&c).unwrap();
+        assert!(fused
+            .gates()
+            .iter()
+            .all(|g| matches!(g, Gate::Fused1(..) | Gate::Fused2(..))));
+    }
+}

@@ -1,0 +1,359 @@
+//! The gate set of the simulator.
+//!
+//! NWQ-Sim natively supports one- and two-qubit gates (paper §4.3); larger
+//! unitaries never appear, which bounds fused matrices at 4×4. Fused blocks
+//! produced by the transpiler are first-class gates ([`Gate::Fused1`] /
+//! [`Gate::Fused2`]) so the executor treats them uniformly.
+
+use crate::param::ParamExpr;
+use nwq_common::mat::{
+    mat_cp, mat_cx, mat_cz, mat_h, mat_p, mat_rx, mat_ry, mat_rz, mat_rzz, mat_s, mat_sdg,
+    mat_swap, mat_sx, mat_t, mat_tdg, mat_u3, mat_x, mat_y, mat_z,
+};
+use nwq_common::{Error, Mat2, Mat4, Result};
+
+/// A quantum gate instance (operation + qubit operands + parameters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Pauli-X on a qubit.
+    X(usize),
+    /// Pauli-Y on a qubit.
+    Y(usize),
+    /// Pauli-Z on a qubit.
+    Z(usize),
+    /// Hadamard.
+    H(usize),
+    /// Phase gate S.
+    S(usize),
+    /// Inverse phase gate S†.
+    Sdg(usize),
+    /// T gate.
+    T(usize),
+    /// T† gate.
+    Tdg(usize),
+    /// √X gate.
+    SX(usize),
+    /// X rotation.
+    RX(usize, ParamExpr),
+    /// Y rotation.
+    RY(usize, ParamExpr),
+    /// Z rotation.
+    RZ(usize, ParamExpr),
+    /// Phase rotation `P(λ) = diag(1, e^{iλ})`.
+    P(usize, ParamExpr),
+    /// General single-qubit unitary `U3(θ, φ, λ)`.
+    U3(usize, ParamExpr, ParamExpr, ParamExpr),
+    /// CNOT: control, target.
+    CX(usize, usize),
+    /// Controlled-Z.
+    CZ(usize, usize),
+    /// Controlled-phase.
+    CP(usize, usize, ParamExpr),
+    /// SWAP.
+    SWAP(usize, usize),
+    /// Two-qubit ZZ rotation `exp(−iθ Z⊗Z/2)`.
+    RZZ(usize, usize, ParamExpr),
+    /// A fused single-qubit unitary produced by the transpiler.
+    Fused1(usize, Mat2),
+    /// A fused two-qubit unitary produced by the transpiler; matrix index
+    /// convention: first qubit is the high bit.
+    Fused2(usize, usize, Mat4),
+}
+
+/// A concrete gate matrix, sized by arity.
+#[derive(Clone, Debug)]
+pub enum GateMatrix {
+    /// Single-qubit unitary on the contained qubit.
+    One(usize, Mat2),
+    /// Two-qubit unitary on `(high, low)` index convention.
+    Two(usize, usize, Mat4),
+}
+
+impl Gate {
+    /// The qubits this gate acts on (1 or 2 entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        use Gate::*;
+        match *self {
+            X(q) | Y(q) | Z(q) | H(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SX(q) | RX(q, _)
+            | RY(q, _) | RZ(q, _) | P(q, _) | U3(q, _, _, _) | Fused1(q, _) => vec![q],
+            CX(a, b) | CZ(a, b) | CP(a, b, _) | SWAP(a, b) | RZZ(a, b, _) | Fused2(a, b, _) => {
+                vec![a, b]
+            }
+        }
+    }
+
+    /// `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().len() == 2
+    }
+
+    /// `true` when the gate reads a variational parameter.
+    pub fn is_symbolic(&self) -> bool {
+        self.param_exprs().iter().any(|e| e.is_symbolic())
+    }
+
+    /// The parameter expressions of the gate (empty for fixed gates).
+    pub fn param_exprs(&self) -> Vec<ParamExpr> {
+        use Gate::*;
+        match *self {
+            RX(_, e) | RY(_, e) | RZ(_, e) | P(_, e) | CP(_, _, e) | RZZ(_, _, e) => vec![e],
+            U3(_, a, b, c) => vec![a, b, c],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Short mnemonic used in printing and statistics.
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            X(_) => "x",
+            Y(_) => "y",
+            Z(_) => "z",
+            H(_) => "h",
+            S(_) => "s",
+            Sdg(_) => "sdg",
+            T(_) => "t",
+            Tdg(_) => "tdg",
+            SX(_) => "sx",
+            RX(..) => "rx",
+            RY(..) => "ry",
+            RZ(..) => "rz",
+            P(..) => "p",
+            U3(..) => "u3",
+            CX(..) => "cx",
+            CZ(..) => "cz",
+            CP(..) => "cp",
+            SWAP(..) => "swap",
+            RZZ(..) => "rzz",
+            Fused1(..) => "fused1",
+            Fused2(..) => "fused2",
+        }
+    }
+
+    /// Resolves the gate to its concrete matrix under `params`.
+    pub fn matrix(&self, params: &[f64]) -> Result<GateMatrix> {
+        use Gate::*;
+        Ok(match self {
+            X(q) => GateMatrix::One(*q, mat_x()),
+            Y(q) => GateMatrix::One(*q, mat_y()),
+            Z(q) => GateMatrix::One(*q, mat_z()),
+            H(q) => GateMatrix::One(*q, mat_h()),
+            S(q) => GateMatrix::One(*q, mat_s()),
+            Sdg(q) => GateMatrix::One(*q, mat_sdg()),
+            T(q) => GateMatrix::One(*q, mat_t()),
+            Tdg(q) => GateMatrix::One(*q, mat_tdg()),
+            SX(q) => GateMatrix::One(*q, mat_sx()),
+            RX(q, e) => GateMatrix::One(*q, mat_rx(e.eval(params)?)),
+            RY(q, e) => GateMatrix::One(*q, mat_ry(e.eval(params)?)),
+            RZ(q, e) => GateMatrix::One(*q, mat_rz(e.eval(params)?)),
+            P(q, e) => GateMatrix::One(*q, mat_p(e.eval(params)?)),
+            U3(q, t, p, l) => {
+                GateMatrix::One(*q, mat_u3(t.eval(params)?, p.eval(params)?, l.eval(params)?))
+            }
+            CX(a, b) => GateMatrix::Two(*a, *b, mat_cx()),
+            CZ(a, b) => GateMatrix::Two(*a, *b, mat_cz()),
+            CP(a, b, e) => GateMatrix::Two(*a, *b, mat_cp(e.eval(params)?)),
+            SWAP(a, b) => GateMatrix::Two(*a, *b, mat_swap()),
+            RZZ(a, b, e) => GateMatrix::Two(*a, *b, mat_rzz(e.eval(params)?)),
+            Fused1(q, m) => GateMatrix::One(*q, *m),
+            Fused2(a, b, m) => GateMatrix::Two(*a, *b, *m),
+        })
+    }
+
+    /// The inverse gate. Symbolic parameters invert symbolically.
+    pub fn inverse(&self) -> Gate {
+        use Gate::*;
+        match self.clone() {
+            S(q) => Sdg(q),
+            Sdg(q) => S(q),
+            T(q) => Tdg(q),
+            Tdg(q) => T(q),
+            SX(q) => Fused1(q, mat_sx().dagger()),
+            RX(q, e) => RX(q, e.negated()),
+            RY(q, e) => RY(q, e.negated()),
+            RZ(q, e) => RZ(q, e.negated()),
+            P(q, e) => P(q, e.negated()),
+            U3(q, t, p, l) => U3(q, t.negated(), l.negated(), p.negated()),
+            CP(a, b, e) => CP(a, b, e.negated()),
+            RZZ(a, b, e) => RZZ(a, b, e.negated()),
+            Fused1(q, m) => Fused1(q, m.dagger()),
+            Fused2(a, b, m) => Fused2(a, b, m.dagger()),
+            g @ (X(_) | Y(_) | Z(_) | H(_) | CX(..) | CZ(..) | SWAP(..)) => g,
+        }
+    }
+
+    /// Validates qubit operands against a register of `n_qubits`.
+    pub fn validate(&self, n_qubits: usize) -> Result<()> {
+        let qs = self.qubits();
+        for &q in &qs {
+            if q >= n_qubits {
+                return Err(Error::QubitOutOfRange { qubit: q, n_qubits });
+            }
+        }
+        if qs.len() == 2 && qs[0] == qs[1] {
+            return Err(Error::DuplicateQubit(qs[0]));
+        }
+        Ok(())
+    }
+
+    /// Remaps qubit operands through `f` (used by the distributed executor
+    /// when relabeling local/global qubits).
+    pub fn remapped(&self, f: impl Fn(usize) -> usize) -> Gate {
+        use Gate::*;
+        match self.clone() {
+            X(q) => X(f(q)),
+            Y(q) => Y(f(q)),
+            Z(q) => Z(f(q)),
+            H(q) => H(f(q)),
+            S(q) => S(f(q)),
+            Sdg(q) => Sdg(f(q)),
+            T(q) => T(f(q)),
+            Tdg(q) => Tdg(f(q)),
+            SX(q) => SX(f(q)),
+            RX(q, e) => RX(f(q), e),
+            RY(q, e) => RY(f(q), e),
+            RZ(q, e) => RZ(f(q), e),
+            P(q, e) => P(f(q), e),
+            U3(q, a, b, c) => U3(f(q), a, b, c),
+            CX(a, b) => CX(f(a), f(b)),
+            CZ(a, b) => CZ(f(a), f(b)),
+            CP(a, b, e) => CP(f(a), f(b), e),
+            SWAP(a, b) => SWAP(f(a), f(b)),
+            RZZ(a, b, e) => RZZ(f(a), f(b), e),
+            Fused1(q, m) => Fused1(f(q), m),
+            Fused2(a, b, m) => Fused2(f(a), f(b), m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::mat::Mat2;
+
+    #[test]
+    fn qubits_and_arity() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(Gate::CX(1, 4).qubits(), vec![1, 4]);
+        assert!(Gate::CX(1, 4).is_two_qubit());
+        assert!(!Gate::RZ(0, ParamExpr::var(0)).is_two_qubit());
+    }
+
+    #[test]
+    fn symbolic_detection() {
+        assert!(Gate::RZ(0, ParamExpr::var(0)).is_symbolic());
+        assert!(!Gate::RZ(0, ParamExpr::Const(0.4)).is_symbolic());
+        assert!(!Gate::H(0).is_symbolic());
+        assert!(Gate::U3(0, 0.1.into(), ParamExpr::var(2), 0.3.into()).is_symbolic());
+    }
+
+    #[test]
+    fn matrix_resolution_with_params() {
+        let g = Gate::RZ(0, ParamExpr::scaled_var(0, 2.0));
+        match g.matrix(&[0.35]).unwrap() {
+            GateMatrix::One(q, m) => {
+                assert_eq!(q, 0);
+                assert!(m.approx_eq(&mat_rz(0.7), 1e-12));
+            }
+            _ => panic!("wrong arity"),
+        }
+    }
+
+    #[test]
+    fn matrix_fails_without_params() {
+        assert!(Gate::RZ(0, ParamExpr::var(0)).matrix(&[]).is_err());
+    }
+
+    #[test]
+    fn all_gates_produce_unitary_matrices() {
+        let e = ParamExpr::Const(0.73);
+        let gates = vec![
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::SX(0),
+            Gate::RX(0, e),
+            Gate::RY(0, e),
+            Gate::RZ(0, e),
+            Gate::P(0, e),
+            Gate::U3(0, e, e, e),
+            Gate::CX(0, 1),
+            Gate::CZ(0, 1),
+            Gate::CP(0, 1, e),
+            Gate::SWAP(0, 1),
+            Gate::RZZ(0, 1, e),
+        ];
+        for g in gates {
+            match g.matrix(&[]).unwrap() {
+                GateMatrix::One(_, m) => assert!(m.is_unitary(1e-12), "{}", g.name()),
+                GateMatrix::Two(_, _, m) => assert!(m.is_unitary(1e-12), "{}", g.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_compose_to_identity() {
+        let e = ParamExpr::Const(1.234);
+        let gates = vec![
+            Gate::X(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::SX(0),
+            Gate::RX(0, e),
+            Gate::RY(0, e),
+            Gate::RZ(0, e),
+            Gate::P(0, e),
+            Gate::U3(0, 0.3.into(), 0.8.into(), (-0.4).into()),
+            Gate::Fused1(0, mat_sx()),
+        ];
+        for g in gates {
+            let (GateMatrix::One(_, m), GateMatrix::One(_, mi)) =
+                (g.matrix(&[]).unwrap(), g.inverse().matrix(&[]).unwrap())
+            else {
+                panic!()
+            };
+            assert!((mi * m).approx_eq(&Mat2::identity(), 1e-12), "{}", g.name());
+        }
+        let g = Gate::CP(0, 1, e);
+        let (GateMatrix::Two(_, _, m), GateMatrix::Two(_, _, mi)) =
+            (g.matrix(&[]).unwrap(), g.inverse().matrix(&[]).unwrap())
+        else {
+            panic!()
+        };
+        assert!((mi * m).approx_eq(&Mat4::identity(), 1e-12));
+    }
+
+    #[test]
+    fn symbolic_inverse_negates_parameter() {
+        let g = Gate::RZ(0, ParamExpr::var(3));
+        match g.inverse() {
+            Gate::RZ(0, ParamExpr::Var { index: 3, coeff, offset }) => {
+                assert_eq!(coeff, -1.0);
+                assert_eq!(offset, 0.0);
+            }
+            other => panic!("unexpected inverse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Gate::H(2).validate(2).is_err());
+        assert!(Gate::H(1).validate(2).is_ok());
+        assert!(Gate::CX(1, 1).validate(3).is_err());
+        assert!(Gate::CX(0, 2).validate(3).is_ok());
+    }
+
+    #[test]
+    fn remapping() {
+        let g = Gate::CX(0, 1).remapped(|q| q + 2);
+        assert_eq!(g, Gate::CX(2, 3));
+        let g = Gate::RZ(1, ParamExpr::var(0)).remapped(|q| 5 - q);
+        assert_eq!(g.qubits(), vec![4]);
+    }
+}

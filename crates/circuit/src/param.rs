@@ -1,0 +1,158 @@
+//! Symbolic gate parameters.
+//!
+//! Variational circuits are built once with symbolic angles and then bound
+//! to concrete values every optimizer iteration. Ansatz constructions (e.g.
+//! UCCSD Pauli exponentials) need angles of the form `c·θ_k + b`, which is
+//! exactly what [`ParamExpr`] encodes — enough structure for the whole
+//! workflow without a general expression tree.
+
+use nwq_common::{Error, Result};
+use std::fmt;
+
+/// A gate angle: either a constant or an affine function of one variational
+/// parameter, `coeff · θ[index] + offset`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ParamExpr {
+    /// A fixed angle.
+    Const(f64),
+    /// `coeff · θ[index] + offset`.
+    Var {
+        /// Index into the parameter vector.
+        index: usize,
+        /// Multiplier applied to the parameter.
+        coeff: f64,
+        /// Additive offset.
+        offset: f64,
+    },
+}
+
+impl ParamExpr {
+    /// A bare reference to parameter `index`.
+    pub fn var(index: usize) -> Self {
+        ParamExpr::Var { index, coeff: 1.0, offset: 0.0 }
+    }
+
+    /// `coeff · θ[index]`.
+    pub fn scaled_var(index: usize, coeff: f64) -> Self {
+        ParamExpr::Var { index, coeff, offset: 0.0 }
+    }
+
+    /// Evaluates against a bound parameter vector.
+    pub fn eval(&self, params: &[f64]) -> Result<f64> {
+        match *self {
+            ParamExpr::Const(v) => Ok(v),
+            ParamExpr::Var { index, coeff, offset } => params
+                .get(index)
+                .map(|&t| coeff * t + offset)
+                .ok_or(Error::ParameterMismatch { expected: index + 1, got: params.len() }),
+        }
+    }
+
+    /// The parameter index this expression reads, if any.
+    pub fn param_index(&self) -> Option<usize> {
+        match *self {
+            ParamExpr::Const(_) => None,
+            ParamExpr::Var { index, .. } => Some(index),
+        }
+    }
+
+    /// `true` for [`ParamExpr::Var`].
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, ParamExpr::Var { .. })
+    }
+
+    /// Negated expression (used when inverting rotation gates).
+    pub fn negated(&self) -> Self {
+        match *self {
+            ParamExpr::Const(v) => ParamExpr::Const(-v),
+            ParamExpr::Var { index, coeff, offset } => {
+                ParamExpr::Var { index, coeff: -coeff, offset: -offset }
+            }
+        }
+    }
+
+    /// Shifts the parameter index by `delta` (used when composing circuits
+    /// with disjoint parameter spaces).
+    pub fn shifted(&self, delta: usize) -> Self {
+        match *self {
+            ParamExpr::Const(v) => ParamExpr::Const(v),
+            ParamExpr::Var { index, coeff, offset } => {
+                ParamExpr::Var { index: index + delta, coeff, offset }
+            }
+        }
+    }
+
+    /// Resolves to a constant using `params`, producing a bound expression.
+    pub fn bound(&self, params: &[f64]) -> Result<Self> {
+        Ok(ParamExpr::Const(self.eval(params)?))
+    }
+}
+
+impl From<f64> for ParamExpr {
+    fn from(v: f64) -> Self {
+        ParamExpr::Const(v)
+    }
+}
+
+impl fmt::Display for ParamExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamExpr::Const(v) => write!(f, "{v:.6}"),
+            ParamExpr::Var { index, coeff, offset } => {
+                if offset == 0.0 {
+                    write!(f, "{coeff:.3}·θ{index}")
+                } else {
+                    write!(f, "{coeff:.3}·θ{index}+{offset:.3}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_eval() {
+        assert_eq!(ParamExpr::Const(1.5).eval(&[]).unwrap(), 1.5);
+        assert!(!ParamExpr::Const(1.5).is_symbolic());
+        assert_eq!(ParamExpr::Const(1.5).param_index(), None);
+    }
+
+    #[test]
+    fn var_eval() {
+        let e = ParamExpr::scaled_var(1, 2.0);
+        assert_eq!(e.eval(&[0.0, 0.25]).unwrap(), 0.5);
+        assert!(e.is_symbolic());
+        assert_eq!(e.param_index(), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_parameter_errors() {
+        assert!(ParamExpr::var(3).eval(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn negation_and_shift() {
+        let e = ParamExpr::Var { index: 0, coeff: 2.0, offset: 1.0 };
+        assert_eq!(e.negated().eval(&[3.0]).unwrap(), -7.0);
+        let s = e.shifted(4);
+        assert_eq!(s.param_index(), Some(4));
+        assert_eq!(s.eval(&[0., 0., 0., 0., 3.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn binding_freezes_value() {
+        let e = ParamExpr::var(0);
+        let b = e.bound(&[0.7]).unwrap();
+        assert_eq!(b, ParamExpr::Const(0.7));
+        assert_eq!(b.eval(&[]).unwrap(), 0.7);
+    }
+
+    #[test]
+    fn from_f64() {
+        let e: ParamExpr = 0.3.into();
+        assert_eq!(e, ParamExpr::Const(0.3));
+    }
+}

@@ -1,0 +1,230 @@
+//! Lightweight circuit-rewriting passes complementing gate fusion:
+//! adjacent-inverse cancellation and rotation merging (the classic
+//! optimizations cited from Sabre-style compilers in paper §6.1).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::param::ParamExpr;
+use nwq_common::Result;
+
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    use Gate::*;
+    match (a, b) {
+        (X(p), X(q)) | (Y(p), Y(q)) | (Z(p), Z(q)) | (H(p), H(q)) => p == q,
+        (S(p), Sdg(q)) | (Sdg(p), S(q)) | (T(p), Tdg(q)) | (Tdg(p), T(q)) => p == q,
+        (CX(a1, b1), CX(a2, b2)) | (CZ(a1, b1), CZ(a2, b2)) => {
+            (a1 == a2 && b1 == b2) || (matches!(a, CZ(..)) && a1 == b2 && b1 == a2)
+        }
+        (SWAP(a1, b1), SWAP(a2, b2)) => {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        }
+        _ => false,
+    }
+}
+
+/// Merges two same-axis rotations into one, if possible. Only concrete
+/// angles merge (symbolic sums are not representable in [`ParamExpr`]).
+fn merge_rotations(a: &Gate, b: &Gate) -> Option<Gate> {
+    use Gate::*;
+    let sum = |x: &ParamExpr, y: &ParamExpr| -> Option<ParamExpr> {
+        match (x, y) {
+            (ParamExpr::Const(u), ParamExpr::Const(v)) => Some(ParamExpr::Const(u + v)),
+            // Same parameter, affine combine.
+            (
+                ParamExpr::Var { index: i, coeff: c1, offset: o1 },
+                ParamExpr::Var { index: j, coeff: c2, offset: o2 },
+            ) if i == j => Some(ParamExpr::Var { index: *i, coeff: c1 + c2, offset: o1 + o2 }),
+            _ => None,
+        }
+    };
+    match (a, b) {
+        (RX(p, x), RX(q, y)) if p == q => sum(x, y).map(|e| RX(*p, e)),
+        (RY(p, x), RY(q, y)) if p == q => sum(x, y).map(|e| RY(*p, e)),
+        (RZ(p, x), RZ(q, y)) if p == q => sum(x, y).map(|e| RZ(*p, e)),
+        (P(p, x), P(q, y)) if p == q => sum(x, y).map(|e| P(*p, e)),
+        (RZZ(a1, b1, x), RZZ(a2, b2, y)) if a1 == a2 && b1 == b2 => {
+            sum(x, y).map(|e| RZZ(*a1, *b1, e))
+        }
+        _ => None,
+    }
+}
+
+fn is_zero_rotation(g: &Gate) -> bool {
+    use Gate::*;
+    match g {
+        RX(_, ParamExpr::Const(v))
+        | RY(_, ParamExpr::Const(v))
+        | RZ(_, ParamExpr::Const(v))
+        | P(_, ParamExpr::Const(v))
+        | RZZ(_, _, ParamExpr::Const(v)) => *v == 0.0,
+        _ => false,
+    }
+}
+
+/// Repeatedly cancels adjacent inverse pairs and merges adjacent same-axis
+/// rotations until a fixed point. "Adjacent" means consecutive among the
+/// gates touching those qubits: gates on disjoint qubits in between are
+/// skipped (they commute past).
+pub fn cancel_and_merge(circuit: &Circuit) -> Result<Circuit> {
+    let mut gates: Vec<Option<Gate>> = circuit.gates().iter().cloned().map(Some).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..gates.len() {
+            let Some(a) = gates[i].clone() else { continue };
+            if is_zero_rotation(&a) {
+                gates[i] = None;
+                changed = true;
+                continue;
+            }
+            let qa = a.qubits();
+            // Find the next gate touching any qubit of `a`.
+            let mut j = i + 1;
+            let mut partner: Option<usize> = None;
+            while j < gates.len() {
+                if let Some(b) = &gates[j] {
+                    let qb = b.qubits();
+                    if qb.iter().any(|q| qa.contains(q)) {
+                        // Only a candidate if it covers exactly the same
+                        // qubit set; otherwise it blocks.
+                        if qb.len() == qa.len() && qa.iter().all(|q| qb.contains(q)) {
+                            partner = Some(j);
+                        }
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(j) = partner {
+                let b = gates[j].clone().unwrap();
+                if cancels(&a, &b) {
+                    gates[i] = None;
+                    gates[j] = None;
+                    changed = true;
+                } else if let Some(m) = merge_rotations(&a, &b) {
+                    gates[i] = None;
+                    gates[j] = Some(m);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut out = Circuit::with_params(circuit.n_qubits(), circuit.n_params());
+    for g in gates.into_iter().flatten() {
+        out.push(g)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_hadamard_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert!(cancel_and_merge(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn s_sdg_cancels() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0).t(0).tdg(0);
+        assert!(cancel_and_merge(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn double_cnot_cancels() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        assert!(cancel_and_merge(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reversed_cnot_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        assert_eq!(cancel_and_merge(&c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reversed_cz_cancels() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(1, 0);
+        assert!(cancel_and_merge(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cancellation_across_disjoint_gates() {
+        // H(0), X(1), H(0): the X on qubit 1 does not block.
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).h(0);
+        let out = cancel_and_merge(&c).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.gates()[0], Gate::X(1));
+    }
+
+    #[test]
+    fn blocking_gate_prevents_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        assert_eq!(cancel_and_merge(&c).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3).rz(0, 0.4);
+        let out = cancel_and_merge(&c).unwrap();
+        assert_eq!(out.len(), 1);
+        match out.gates()[0] {
+            Gate::RZ(0, ParamExpr::Const(v)) => assert!((v - 0.7).abs() < 1e-12),
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_vanish() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.5).rx(0, -0.5);
+        assert!(cancel_and_merge(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn symbolic_same_param_rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamExpr::scaled_var(0, 1.0))
+            .rz(0, ParamExpr::scaled_var(0, 2.0));
+        let out = cancel_and_merge(&c).unwrap();
+        assert_eq!(out.len(), 1);
+        match out.gates()[0] {
+            Gate::RZ(0, ParamExpr::Var { coeff, .. }) => assert_eq!(coeff, 3.0),
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn different_param_rotations_do_not_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamExpr::var(0)).rz(0, ParamExpr::var(1));
+        assert_eq!(cancel_and_merge(&c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cnot_conjugation_pattern_shrinks() {
+        // CX RZ CX ... with an inner cancellation opportunity after merges.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).rz(1, 0.2).rz(1, -0.2).cx(0, 1);
+        assert!(cancel_and_merge(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_qubit_sets_block() {
+        // CX(0,1) then H(0): H blocks on qubit 0 but its qubit set differs,
+        // nothing cancels.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(0).cx(0, 1);
+        assert_eq!(cancel_and_merge(&c).unwrap().len(), 3);
+    }
+}

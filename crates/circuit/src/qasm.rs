@@ -1,0 +1,354 @@
+//! OpenQASM 2.0 export/import (the interchange format XACC and most
+//! toolchains speak).
+//!
+//! Exports any *concrete* circuit (fused blocks are first decomposed is
+//! not supported — export before fusion) and imports the subset of QASM
+//! this workspace emits: a single quantum register and the standard gate
+//! names used by [`crate::gate::Gate`]. Round-tripping is exact for
+//! every supported gate.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::param::ParamExpr;
+use nwq_common::{Error, Result};
+use std::fmt::Write as _;
+
+fn angle_of(e: &ParamExpr) -> Result<f64> {
+    match e {
+        ParamExpr::Const(v) => Ok(*v),
+        ParamExpr::Var { .. } => Err(Error::Invalid(
+            "QASM export requires a concrete circuit; bind parameters first".into(),
+        )),
+    }
+}
+
+/// Serializes a concrete circuit as OpenQASM 2.0.
+pub fn to_qasm(circuit: &Circuit) -> Result<String> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    for g in circuit.gates() {
+        match g {
+            Gate::X(q) => {
+                let _ = writeln!(out, "x q[{q}];");
+            }
+            Gate::Y(q) => {
+                let _ = writeln!(out, "y q[{q}];");
+            }
+            Gate::Z(q) => {
+                let _ = writeln!(out, "z q[{q}];");
+            }
+            Gate::H(q) => {
+                let _ = writeln!(out, "h q[{q}];");
+            }
+            Gate::S(q) => {
+                let _ = writeln!(out, "s q[{q}];");
+            }
+            Gate::Sdg(q) => {
+                let _ = writeln!(out, "sdg q[{q}];");
+            }
+            Gate::T(q) => {
+                let _ = writeln!(out, "t q[{q}];");
+            }
+            Gate::Tdg(q) => {
+                let _ = writeln!(out, "tdg q[{q}];");
+            }
+            Gate::SX(q) => {
+                let _ = writeln!(out, "sx q[{q}];");
+            }
+            Gate::RX(q, e) => {
+                let _ = writeln!(out, "rx({:.17}) q[{q}];", angle_of(e)?);
+            }
+            Gate::RY(q, e) => {
+                let _ = writeln!(out, "ry({:.17}) q[{q}];", angle_of(e)?);
+            }
+            Gate::RZ(q, e) => {
+                let _ = writeln!(out, "rz({:.17}) q[{q}];", angle_of(e)?);
+            }
+            Gate::P(q, e) => {
+                let _ = writeln!(out, "p({:.17}) q[{q}];", angle_of(e)?);
+            }
+            Gate::U3(q, t, p, l) => {
+                let _ = writeln!(
+                    out,
+                    "u3({:.17},{:.17},{:.17}) q[{q}];",
+                    angle_of(t)?,
+                    angle_of(p)?,
+                    angle_of(l)?
+                );
+            }
+            Gate::CX(a, b) => {
+                let _ = writeln!(out, "cx q[{a}],q[{b}];");
+            }
+            Gate::CZ(a, b) => {
+                let _ = writeln!(out, "cz q[{a}],q[{b}];");
+            }
+            Gate::CP(a, b, e) => {
+                let _ = writeln!(out, "cp({:.17}) q[{a}],q[{b}];", angle_of(e)?);
+            }
+            Gate::SWAP(a, b) => {
+                let _ = writeln!(out, "swap q[{a}],q[{b}];");
+            }
+            Gate::RZZ(a, b, e) => {
+                let _ = writeln!(out, "rzz({:.17}) q[{a}],q[{b}];", angle_of(e)?);
+            }
+            Gate::Fused1(..) | Gate::Fused2(..) => {
+                return Err(Error::Invalid(
+                    "fused blocks have no QASM form; export before fusion".into(),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_qubit(token: &str) -> Result<usize> {
+    let inner = token
+        .trim()
+        .strip_prefix("q[")
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| Error::Invalid(format!("bad qubit operand {token:?}")))?;
+    inner
+        .parse()
+        .map_err(|_| Error::Invalid(format!("bad qubit index {inner:?}")))
+}
+
+fn parse_angles(spec: &str) -> Result<(String, Vec<f64>)> {
+    if let Some(open) = spec.find('(') {
+        let close = spec
+            .rfind(')')
+            .ok_or_else(|| Error::Invalid(format!("unbalanced parens in {spec:?}")))?;
+        let name = spec[..open].to_string();
+        let args = spec[open + 1..close]
+            .split(',')
+            .map(|a| {
+                a.trim()
+                    .parse::<f64>()
+                    .map_err(|_| Error::Invalid(format!("bad angle {a:?}")))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        Ok((name, args))
+    } else {
+        Ok((spec.to_string(), Vec::new()))
+    }
+}
+
+/// Parses the OpenQASM 2.0 subset emitted by [`to_qasm`].
+pub fn from_qasm(text: &str) -> Result<Circuit> {
+    let mut circuit: Option<Circuit> = None;
+    for raw in text.lines() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+            || line.starts_with("creg")
+        {
+            continue;
+        }
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| Error::Invalid(format!("missing semicolon: {line:?}")))?;
+        if let Some(decl) = stmt.strip_prefix("qreg ") {
+            let n = parse_qubit(decl.trim())?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| Error::Invalid("gate before qreg declaration".into()))?;
+        let (head, operands) = stmt
+            .split_once(' ')
+            .ok_or_else(|| Error::Invalid(format!("bad statement {stmt:?}")))?;
+        let (name, angles) = parse_angles(head)?;
+        let qs: Vec<usize> = operands
+            .split(',')
+            .map(parse_qubit)
+            .collect::<Result<Vec<usize>>>()?;
+        let need = |k: usize| -> Result<()> {
+            if qs.len() != k || angles.len() != expected_angles(&name) {
+                return Err(Error::Invalid(format!("bad operands for {name}")));
+            }
+            Ok(())
+        };
+        let gate = match name.as_str() {
+            "x" => {
+                need(1)?;
+                Gate::X(qs[0])
+            }
+            "y" => {
+                need(1)?;
+                Gate::Y(qs[0])
+            }
+            "z" => {
+                need(1)?;
+                Gate::Z(qs[0])
+            }
+            "h" => {
+                need(1)?;
+                Gate::H(qs[0])
+            }
+            "s" => {
+                need(1)?;
+                Gate::S(qs[0])
+            }
+            "sdg" => {
+                need(1)?;
+                Gate::Sdg(qs[0])
+            }
+            "t" => {
+                need(1)?;
+                Gate::T(qs[0])
+            }
+            "tdg" => {
+                need(1)?;
+                Gate::Tdg(qs[0])
+            }
+            "sx" => {
+                need(1)?;
+                Gate::SX(qs[0])
+            }
+            "rx" => {
+                need(1)?;
+                Gate::RX(qs[0], angles[0].into())
+            }
+            "ry" => {
+                need(1)?;
+                Gate::RY(qs[0], angles[0].into())
+            }
+            "rz" => {
+                need(1)?;
+                Gate::RZ(qs[0], angles[0].into())
+            }
+            "p" | "u1" => {
+                need(1)?;
+                Gate::P(qs[0], angles[0].into())
+            }
+            "u3" => {
+                need(1)?;
+                Gate::U3(qs[0], angles[0].into(), angles[1].into(), angles[2].into())
+            }
+            "cx" => {
+                need(2)?;
+                Gate::CX(qs[0], qs[1])
+            }
+            "cz" => {
+                need(2)?;
+                Gate::CZ(qs[0], qs[1])
+            }
+            "cp" => {
+                need(2)?;
+                Gate::CP(qs[0], qs[1], angles[0].into())
+            }
+            "swap" => {
+                need(2)?;
+                Gate::SWAP(qs[0], qs[1])
+            }
+            "rzz" => {
+                need(2)?;
+                Gate::RZZ(qs[0], qs[1], angles[0].into())
+            }
+            other => return Err(Error::Invalid(format!("unsupported gate {other:?}"))),
+        };
+        c.push(gate)?;
+    }
+    circuit.ok_or_else(|| Error::Invalid("no qreg declaration found".into()))
+}
+
+fn expected_angles(name: &str) -> usize {
+    match name {
+        "rx" | "ry" | "rz" | "p" | "u1" | "cp" | "rzz" => 1,
+        "u3" => 3,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, 0.7)
+            .ry(2, -0.3)
+            .swap(0, 2)
+            .t(1)
+            .sdg(2)
+            .cp(1, 2, 0.25)
+            .rzz(0, 1, -1.1)
+            .sx(0)
+            .u3(2, 0.1, 0.2, 0.3)
+            .p(0, 0.9);
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_gates_exactly() {
+        let c = sample();
+        let text = to_qasm(&c).unwrap();
+        let back = from_qasm(&text).unwrap();
+        assert_eq!(back.n_qubits(), c.n_qubits());
+        assert_eq!(back.len(), c.len());
+        let a = reference::run(&c, &[]).unwrap();
+        let b = reference::run(&back, &[]).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn header_and_register_emitted() {
+        let text = to_qasm(&sample()).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("cx q[0],q[1];"));
+    }
+
+    #[test]
+    fn symbolic_circuit_export_rejected() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamExpr::var(0));
+        assert!(to_qasm(&c).is_err());
+        let bound = c.bind(&[0.4]).unwrap();
+        assert!(to_qasm(&bound).is_ok());
+    }
+
+    #[test]
+    fn fused_blocks_rejected() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let (fused, _) = crate::fusion::fuse(&c).unwrap();
+        assert!(to_qasm(&fused).is_err());
+    }
+
+    #[test]
+    fn parse_handles_comments_and_blank_lines() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n\nqreg q[2];\n// a comment\nh q[0]; // trailing\ncx q[0],q[1];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.gates()[1], Gate::CX(0, 1));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(from_qasm("h q[0];").is_err()); // no qreg
+        assert!(from_qasm("qreg q[2];\nfoo q[0];").is_err()); // unknown gate
+        assert!(from_qasm("qreg q[2];\nh q[0]").is_err()); // missing semicolon
+        assert!(from_qasm("qreg q[2];\nh q[5];").is_err()); // out of range
+        assert!(from_qasm("qreg q[2];\nrx() q[0];").is_err()); // missing angle
+    }
+
+    #[test]
+    fn uccsd_ansatz_roundtrips_through_qasm() {
+        // Realistic payload: a bound chemistry ansatz.
+        let mut c = Circuit::new(4);
+        // A UCCSD-like fragment (basis changes + ladder + rotation).
+        c.h(0).h(2).cx(0, 1).cx(1, 2).rz(2, 0.173).cx(1, 2).cx(0, 1).h(2).h(0);
+        let back = from_qasm(&to_qasm(&c).unwrap()).unwrap();
+        let a = reference::run(&c, &[]).unwrap();
+        let b = reference::run(&back, &[]).unwrap();
+        assert!(reference::states_equivalent(&a, &b, 1e-12));
+    }
+}

@@ -1,0 +1,111 @@
+//! Quantum Fourier transform builders, used by quantum phase estimation.
+
+use crate::circuit::Circuit;
+use nwq_common::Result;
+use std::f64::consts::PI;
+
+/// Appends the QFT on qubits `lo..lo+width` (with the standard final
+/// qubit-reversal SWAPs included).
+pub fn append_qft(circuit: &mut Circuit, lo: usize, width: usize) -> Result<()> {
+    for j in (0..width).rev() {
+        circuit.push(crate::gate::Gate::H(lo + j))?;
+        for k in (0..j).rev() {
+            let angle = PI / ((1usize << (j - k)) as f64);
+            circuit.push(crate::gate::Gate::CP(lo + k, lo + j, angle.into()))?;
+        }
+    }
+    for i in 0..width / 2 {
+        circuit.push(crate::gate::Gate::SWAP(lo + i, lo + width - 1 - i))?;
+    }
+    Ok(())
+}
+
+/// Appends the inverse QFT on qubits `lo..lo+width`.
+pub fn append_iqft(circuit: &mut Circuit, lo: usize, width: usize) -> Result<()> {
+    let mut fwd = Circuit::new(circuit.n_qubits());
+    append_qft(&mut fwd, lo, width)?;
+    circuit.append(&fwd.inverse())?;
+    Ok(())
+}
+
+/// Standalone QFT circuit on `width` qubits.
+pub fn qft_circuit(width: usize) -> Result<Circuit> {
+    let mut c = Circuit::new(width);
+    append_qft(&mut c, 0, width)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{fidelity, run, run_on, states_equivalent, zero_state};
+    use nwq_common::{C64, C_ZERO};
+
+    #[test]
+    fn qft_gate_count() {
+        // n H gates + n(n−1)/2 controlled phases + ⌊n/2⌋ swaps.
+        let c = qft_circuit(4).unwrap();
+        assert_eq!(c.len(), 4 + 6 + 2);
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let c = qft_circuit(3).unwrap();
+        let psi = run(&c, &[]).unwrap();
+        let expect = C64::real(1.0 / (8.0f64).sqrt());
+        for a in &psi {
+            assert!(a.approx_eq(expect, 1e-12));
+        }
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix_on_basis_states() {
+        // QFT|x⟩ = (1/√N) Σ_y ω^{xy} |y⟩ with ω = e^{2πi/N}.
+        let n = 3;
+        let dimension = 1usize << n;
+        let c = qft_circuit(n).unwrap();
+        for x in 0..dimension {
+            let mut init = zero_state(n);
+            init[0] = C_ZERO;
+            init[x] = nwq_common::C_ONE;
+            let psi = run_on(&c, &[], init).unwrap();
+            let scale = 1.0 / (dimension as f64).sqrt();
+            for (y, a) in psi.iter().enumerate() {
+                let expect =
+                    C64::cis(2.0 * PI * (x * y) as f64 / dimension as f64) * scale;
+                assert!(a.approx_eq(expect, 1e-10), "x={x} y={y}: {a} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn iqft_inverts_qft() {
+        let n = 4;
+        let mut c = Circuit::new(n);
+        // Arbitrary preparation.
+        c.h(0).cx(0, 2).ry(1, 0.7).rz(3, -0.4);
+        let prepared = run(&c, &[]).unwrap();
+        append_qft(&mut c, 0, n).unwrap();
+        append_iqft(&mut c, 0, n).unwrap();
+        let roundtrip = run(&c, &[]).unwrap();
+        assert!(states_equivalent(&prepared, &roundtrip, 1e-10));
+        assert!(fidelity(&prepared, &roundtrip) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn qft_on_register_subrange() {
+        // QFT acting on the middle of a wider register leaves outer qubits alone.
+        let mut c = Circuit::new(4);
+        c.x(0).x(3);
+        append_qft(&mut c, 1, 2).unwrap();
+        let psi = run(&c, &[]).unwrap();
+        // Qubits 0 and 3 remain set: support only on indices with bits 0,3.
+        for (i, a) in psi.iter().enumerate() {
+            if a.norm() > 1e-12 {
+                assert_eq!(i & 0b1001, 0b1001, "index {i} leaked outside");
+            }
+        }
+    }
+
+    use std::f64::consts::PI;
+}

@@ -1,0 +1,139 @@
+//! A deliberately naive reference simulator.
+//!
+//! This serial, allocation-happy implementation exists as a *test oracle*:
+//! the optimized kernels in `nwq-statevec` and the distributed executor in
+//! `nwq-dist` are validated against it. Keep it simple and obviously
+//! correct; never optimize it.
+
+use crate::circuit::Circuit;
+use crate::gate::GateMatrix;
+use nwq_common::bits::{bit, dim, with_bit};
+use nwq_common::{C64, C_ONE, C_ZERO, Mat2, Mat4, Result};
+
+/// `|0…0⟩` on `n` qubits.
+pub fn zero_state(n_qubits: usize) -> Vec<C64> {
+    let mut v = vec![C_ZERO; dim(n_qubits)];
+    v[0] = C_ONE;
+    v
+}
+
+/// Applies a single-qubit matrix to `psi` on qubit `q` (out of place).
+pub fn apply_mat2(psi: &[C64], q: usize, m: &Mat2) -> Vec<C64> {
+    let mut out = vec![C_ZERO; psi.len()];
+    for (i, &amp) in psi.iter().enumerate() {
+        let b = bit(i, q) as usize;
+        for r in 0..2 {
+            out[with_bit(i, q, r == 1)] += m.0[r][b] * amp;
+        }
+    }
+    out
+}
+
+/// Applies a two-qubit matrix to `psi` on `(high, low)` (out of place).
+pub fn apply_mat4(psi: &[C64], high: usize, low: usize, m: &Mat4) -> Vec<C64> {
+    let mut out = vec![C_ZERO; psi.len()];
+    for (i, &amp) in psi.iter().enumerate() {
+        let col = ((bit(i, high) as usize) << 1) | bit(i, low) as usize;
+        for row in 0..4 {
+            let j = with_bit(with_bit(i, high, row & 2 != 0), low, row & 1 != 0);
+            out[j] += m.0[row][col] * amp;
+        }
+    }
+    out
+}
+
+/// Runs a circuit on an explicit initial state.
+pub fn run_on(circuit: &Circuit, params: &[f64], mut psi: Vec<C64>) -> Result<Vec<C64>> {
+    for g in circuit.gates() {
+        psi = match g.matrix(params)? {
+            GateMatrix::One(q, m) => apply_mat2(&psi, q, &m),
+            GateMatrix::Two(a, b, m) => apply_mat4(&psi, a, b, &m),
+        };
+    }
+    Ok(psi)
+}
+
+/// Runs a circuit from `|0…0⟩`.
+pub fn run(circuit: &Circuit, params: &[f64]) -> Result<Vec<C64>> {
+    run_on(circuit, params, zero_state(circuit.n_qubits()))
+}
+
+/// Fidelity `|⟨a|b⟩|²` between two states.
+pub fn fidelity(a: &[C64], b: &[C64]) -> f64 {
+    let overlap: C64 = a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum();
+    overlap.norm_sqr()
+}
+
+/// `true` when two circuits act identically on `|0…0⟩` up to global phase.
+pub fn states_equivalent(a: &[C64], b: &[C64], tol: f64) -> bool {
+    (fidelity(a, b) - 1.0).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let psi = run(&c, &[]).unwrap();
+        assert!((psi[0].re - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((psi[3].re - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(psi[1].norm() < 1e-12 && psi[2].norm() < 1e-12);
+    }
+
+    #[test]
+    fn x_gate_flips() {
+        let mut c = Circuit::new(3);
+        c.x(1);
+        let psi = run(&c, &[]).unwrap();
+        assert!((psi[2].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_control_polarity() {
+        // Control qubit 0 in |0⟩: target unchanged.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let psi = run(&c, &[]).unwrap();
+        assert!((psi[0].re - 1.0).abs() < 1e-12);
+        // Control set: target flips. State |01⟩ (qubit0=1) -> |11⟩.
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let psi = run(&c, &[]).unwrap();
+        assert!((psi[3].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(1, 0.7).ry(2, -0.3).cx(1, 2).t(0);
+        let mut full = c.clone();
+        full.append(&c.inverse()).unwrap();
+        let psi = run(&full, &[]).unwrap();
+        let zero = zero_state(3);
+        assert!(states_equivalent(&psi, &zero, 1e-10));
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).cx(0, 2).rzz(1, 3, 0.9).swap(0, 3).sx(2);
+        let psi = run(&c, &[]).unwrap();
+        let n: f64 = psi.iter().map(|a| a.norm_sqr()).sum();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_bounds() {
+        let a = zero_state(2);
+        assert!((fidelity(&a, &a) - 1.0).abs() < 1e-12);
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let b = run(&c, &[]).unwrap();
+        assert!(fidelity(&a, &b) < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Qubit routing for connectivity-restricted targets.
+//!
+//! The simulator itself has all-to-all connectivity, but circuits headed
+//! for hardware must respect a coupling map — the qubit-mapping problem
+//! the paper's related work cites (Sabre, Siraichi et al.). This pass is
+//! a greedy shortest-path router: before each two-qubit gate whose
+//! operands are not adjacent, it inserts SWAPs walking one operand along
+//! a BFS shortest path, tracking the evolving logical→physical layout.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use nwq_common::{Error, Result};
+use std::collections::{BTreeSet, VecDeque};
+
+/// An undirected device connectivity graph.
+#[derive(Clone, Debug)]
+pub struct CouplingMap {
+    n_qubits: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl CouplingMap {
+    /// Builds a map from an edge list (validates indices, normalizes
+    /// orientation, rejects self-loops).
+    pub fn new(n_qubits: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut set = BTreeSet::new();
+        for &(a, b) in edges {
+            if a >= n_qubits || b >= n_qubits {
+                return Err(Error::QubitOutOfRange { qubit: a.max(b), n_qubits });
+            }
+            if a == b {
+                return Err(Error::DuplicateQubit(a));
+            }
+            set.insert((a.min(b), a.max(b)));
+        }
+        Ok(CouplingMap { n_qubits, edges: set })
+    }
+
+    /// Linear chain 0—1—…—(n−1).
+    pub fn linear(n_qubits: usize) -> Self {
+        let edges: Vec<_> = (0..n_qubits.saturating_sub(1)).map(|q| (q, q + 1)).collect();
+        CouplingMap::new(n_qubits, &edges).expect("valid by construction")
+    }
+
+    /// Ring topology.
+    pub fn ring(n_qubits: usize) -> Self {
+        let mut edges: Vec<_> =
+            (0..n_qubits.saturating_sub(1)).map(|q| (q, q + 1)).collect();
+        if n_qubits > 2 {
+            edges.push((n_qubits - 1, 0));
+        }
+        CouplingMap::new(n_qubits, &edges).expect("valid by construction")
+    }
+
+    /// All-to-all (no routing needed).
+    pub fn full(n_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n_qubits {
+            for b in (a + 1)..n_qubits {
+                edges.push((a, b));
+            }
+        }
+        CouplingMap::new(n_qubits, &edges).expect("valid by construction")
+    }
+
+    /// Device size.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Whether two physical qubits are directly coupled.
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// BFS shortest path between two physical qubits (inclusive of both
+    /// endpoints). Errors when disconnected.
+    pub fn path(&self, from: usize, to: usize) -> Result<Vec<usize>> {
+        if from == to {
+            return Ok(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.n_qubits];
+        let mut queue = VecDeque::from([from]);
+        prev[from] = from;
+        while let Some(v) = queue.pop_front() {
+            for &(a, b) in &self.edges {
+                for (x, y) in [(a, b), (b, a)] {
+                    if x == v && prev[y] == usize::MAX {
+                        prev[y] = v;
+                        if y == to {
+                            let mut path = vec![to];
+                            let mut cur = to;
+                            while cur != from {
+                                cur = prev[cur];
+                                path.push(cur);
+                            }
+                            path.reverse();
+                            return Ok(path);
+                        }
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        Err(Error::Invalid(format!("qubits {from} and {to} are disconnected")))
+    }
+}
+
+/// Output of the router.
+#[derive(Clone, Debug)]
+pub struct RoutedCircuit {
+    /// The physical-indexed circuit (every 2-qubit gate acts on coupled
+    /// qubits).
+    pub circuit: Circuit,
+    /// Final logical→physical layout after all inserted SWAPs.
+    pub final_layout: Vec<usize>,
+    /// SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Routes `circuit` onto `map` starting from the identity layout.
+pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<RoutedCircuit> {
+    if map.n_qubits() < circuit.n_qubits() {
+        return Err(Error::DimensionMismatch {
+            expected: circuit.n_qubits(),
+            got: map.n_qubits(),
+        });
+    }
+    let n = circuit.n_qubits();
+    // layout[logical] = physical; inverse[physical] = logical.
+    let mut layout: Vec<usize> = (0..n).collect();
+    let mut inverse: Vec<usize> = (0..n).collect();
+    let mut out = Circuit::with_params(n, circuit.n_params());
+    let mut swaps = 0usize;
+    let apply_swap =
+        |out: &mut Circuit, layout: &mut Vec<usize>, inverse: &mut Vec<usize>, a: usize, b: usize| -> Result<()> {
+            out.push(Gate::SWAP(a, b))?;
+            let (la, lb) = (inverse[a], inverse[b]);
+            inverse.swap(a, b);
+            layout.swap(la, lb);
+            Ok(())
+        };
+    for gate in circuit.gates() {
+        let qs = gate.qubits();
+        if qs.len() == 2 {
+            let (mut pa, pb) = (layout[qs[0]], layout[qs[1]]);
+            if !map.adjacent(pa, pb) {
+                // Walk operand A along the shortest path until adjacent.
+                let path = map.path(pa, pb)?;
+                for hop in &path[1..path.len() - 1] {
+                    apply_swap(&mut out, &mut layout, &mut inverse, pa, *hop)?;
+                    swaps += 1;
+                    pa = *hop;
+                }
+            }
+        }
+        out.push(gate.remapped(|q| layout[q]))?;
+    }
+    Ok(RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted: swaps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use nwq_common::C64;
+
+    /// Undoes the router's layout: `out[logical] = amps[physical]`.
+    fn unpermute(amps: &[C64], layout: &[usize]) -> Vec<C64> {
+        let n = layout.len();
+        let mut out = vec![C64::default(); amps.len()];
+        for (phys_idx, &a) in amps.iter().enumerate() {
+            let mut logical_idx = 0usize;
+            for (q, &p) in layout.iter().enumerate().take(n) {
+                if (phys_idx >> p) & 1 == 1 {
+                    logical_idx |= 1 << q;
+                }
+            }
+            out[logical_idx] = a;
+        }
+        out
+    }
+
+    fn check_routed_equivalence(c: &Circuit, map: &CouplingMap) -> RoutedCircuit {
+        let routed = route(c, map).expect("routes");
+        for g in routed.circuit.gates() {
+            let qs = g.qubits();
+            if qs.len() == 2 {
+                assert!(map.adjacent(qs[0], qs[1]), "{g:?} not adjacent");
+            }
+        }
+        let original = reference::run(c, &[]).expect("runs");
+        let physical = reference::run(&routed.circuit, &[]).expect("runs");
+        let logical = unpermute(&physical, &routed.final_layout);
+        assert!(
+            reference::states_equivalent(&original, &logical, 1e-10),
+            "routed circuit diverged"
+        );
+        routed
+    }
+
+    #[test]
+    fn coupling_map_construction() {
+        let m = CouplingMap::linear(4);
+        assert!(m.adjacent(0, 1) && m.adjacent(2, 1));
+        assert!(!m.adjacent(0, 2));
+        assert!(CouplingMap::new(2, &[(0, 2)]).is_err());
+        assert!(CouplingMap::new(2, &[(1, 1)]).is_err());
+        let r = CouplingMap::ring(4);
+        assert!(r.adjacent(3, 0));
+    }
+
+    #[test]
+    fn bfs_paths() {
+        let m = CouplingMap::linear(5);
+        assert_eq!(m.path(0, 4).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(m.path(2, 2).unwrap(), vec![2]);
+        let disconnected = CouplingMap::new(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(disconnected.path(0, 3).is_err());
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(2, 0.4);
+        let routed = check_routed_equivalence(&c, &CouplingMap::linear(3));
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.final_layout, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps_on_a_chain() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3);
+        let routed = check_routed_equivalence(&c, &CouplingMap::linear(4));
+        assert!(routed.swaps_inserted >= 2, "swaps {}", routed.swaps_inserted);
+    }
+
+    #[test]
+    fn ring_shortcut_beats_chain() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 5);
+        let on_chain = route(&c, &CouplingMap::linear(6)).unwrap();
+        let on_ring = route(&c, &CouplingMap::ring(6)).unwrap();
+        assert!(on_ring.swaps_inserted < on_chain.swaps_inserted);
+        assert_eq!(on_ring.swaps_inserted, 0); // 0 and 5 adjacent on the ring
+    }
+
+    #[test]
+    fn ghz_routes_on_linear_chain() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        for q in 1..5 {
+            c.cx(0, q);
+        }
+        check_routed_equivalence(&c, &CouplingMap::linear(5));
+    }
+
+    #[test]
+    fn uccsd_fragment_routes_correctly() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(2).cx(0, 2).rz(2, 0.37).cx(0, 2).h(0).h(2).cx(3, 1).ry(1, -0.2);
+        let routed = check_routed_equivalence(&c, &CouplingMap::linear(4));
+        assert!(routed.swaps_inserted > 0);
+    }
+
+    #[test]
+    fn full_connectivity_is_a_noop() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3).cx(1, 2).swap(0, 2);
+        let routed = route(&c, &CouplingMap::full(4)).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.len(), c.len());
+    }
+
+    #[test]
+    fn device_smaller_than_circuit_rejected() {
+        let c = Circuit::new(5);
+        assert!(route(&c, &CouplingMap::linear(3)).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! `nwq` — command-line front end to the NWQ-Sim-rs VQE workflow.
+//!
+//! ```text
+//! nwq vqe   [--molecule h2|h4|water] [--r BOHR] [--orbitals N] [--electrons M]
+//!           [--optimizer nm|lbfgs|spsa] [--max-evals N]
+//! nwq adapt [--orbitals N] [--electrons M] [--max-iter K]
+//! nwq qpe   [--r BOHR] [--ancillas N] [--steps N] [--order 1|2]
+//! nwq fuse  --in FILE.qasm [--out FILE.qasm is unsupported: fused blocks
+//!           have no QASM form; stats are printed instead]
+//! nwq info
+//! ```
+//!
+//! Every subcommand prints plain-text results; exit code 0 on success,
+//! 1 on a domain error, 2 on a usage error.
+
+use nwq_chem::molecules::{water_model, h2_sto3g};
+use nwq_chem::sto3g::h2_molecule;
+use nwq_chem::uccsd::uccsd_ansatz;
+use nwq_chem::MolecularIntegrals;
+use nwq_core::backend::{Backend, DirectBackend};
+use nwq_core::exact::{ground_energy_sector_default, Sector};
+use nwq_core::qpe::{run_qpe, QpeConfig};
+use nwq_core::vqe::{run_vqe, VqeProblem};
+use nwq_opt::{Lbfgs, NelderMead, Optimizer, Spsa};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), val.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+
+    fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn molecule_from(args: &Args) -> Result<MolecularIntegrals, String> {
+    match args.str_or("molecule", "h2").as_str() {
+        "h2" => {
+            if args.flags.contains_key("r") {
+                let r: f64 = args.get("r", 1.4008)?;
+                h2_molecule(r).map_err(|e| e.to_string())
+            } else {
+                Ok(h2_sto3g())
+            }
+        }
+        "h4" => {
+            let r: f64 = args.get("r", 1.8)?;
+            nwq_chem::sto3g::hydrogen_chain_sto3g(4, r).map_err(|e| e.to_string())
+        }
+        "water" => {
+            let orbitals: usize = args.get("orbitals", 4)?;
+            let electrons: usize = args.get("electrons", 4)?;
+            Ok(water_model(orbitals, electrons))
+        }
+        other => Err(format!("unknown molecule {other:?} (expected h2|h4|water)")),
+    }
+}
+
+fn optimizer_from(args: &Args) -> Result<Box<dyn Optimizer>, String> {
+    Ok(match args.str_or("optimizer", "nm").as_str() {
+        "nm" => Box::new(NelderMead::for_vqe()),
+        "lbfgs" => Box::new(Lbfgs::default()),
+        "spsa" => Box::new(Spsa::default()),
+        other => return Err(format!("unknown optimizer {other:?} (expected nm|lbfgs|spsa)")),
+    })
+}
+
+fn cmd_vqe(args: &Args) -> Result<(), String> {
+    let mol = molecule_from(args)?;
+    let max_evals: usize = args.get("max-evals", 4000)?;
+    let h = mol.to_qubit_hamiltonian().map_err(|e| e.to_string())?;
+    let ansatz = uccsd_ansatz(h.n_qubits(), mol.n_electrons()).map_err(|e| e.to_string())?;
+    println!(
+        "molecule: {} spatial orbitals, {} electrons -> {} qubits, {} Pauli terms",
+        mol.n_spatial(),
+        mol.n_electrons(),
+        h.n_qubits(),
+        h.num_terms()
+    );
+    println!("ansatz  : UCCSD, {} gates, {} parameters", ansatz.len(), ansatz.n_params());
+    println!("E_HF    : {:+.6} Ha", mol.hf_total_energy());
+    let problem = VqeProblem { hamiltonian: h.clone(), ansatz };
+    let mut backend = DirectBackend::new();
+    let mut optimizer = optimizer_from(args)?;
+    let x0 = vec![0.0; problem.ansatz.n_params()];
+    let r = run_vqe(&problem, &mut backend, &mut *optimizer, &x0, max_evals)
+        .map_err(|e| e.to_string())?;
+    println!("E_VQE   : {:+.6} Ha  ({} evaluations)", r.energy, r.evaluations);
+    if h.n_qubits() <= 14 {
+        let exact = ground_energy_sector_default(&h, Sector::closed_shell(mol.n_electrons()))
+            .map_err(|e| e.to_string())?;
+        println!("E_exact : {exact:+.6} Ha  (error {:+.2e})", r.energy - exact);
+    }
+    println!(
+        "backend : {} ansatz runs, {} gates applied",
+        backend.stats().ansatz_runs,
+        backend.stats().gates_applied
+    );
+    Ok(())
+}
+
+fn cmd_adapt(args: &Args) -> Result<(), String> {
+    let orbitals: usize = args.get("orbitals", 4)?;
+    let electrons: usize = args.get("electrons", 4)?;
+    let max_iter: usize = args.get("max-iter", 12)?;
+    let mol = water_model(orbitals, electrons);
+    let h = mol.to_qubit_hamiltonian().map_err(|e| e.to_string())?;
+    let exact = ground_energy_sector_default(&h, Sector::closed_shell(electrons))
+        .map_err(|e| e.to_string())?;
+    let pool = nwq_chem::pool::OperatorPool::singles_doubles(h.n_qubits(), electrons)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "ADAPT-VQE: {} qubits, {} terms, pool {} | E_exact {exact:+.6}",
+        h.n_qubits(),
+        h.num_terms(),
+        pool.len()
+    );
+    let mut backend = DirectBackend::new();
+    let mut opt = NelderMead::for_vqe();
+    let config = nwq_core::adapt::AdaptConfig {
+        max_iterations: max_iter,
+        target_energy: Some(exact),
+        ..Default::default()
+    };
+    let r = nwq_core::adapt::run_adapt_vqe(&h, &pool, electrons, &mut backend, &mut opt, &config)
+        .map_err(|e| e.to_string())?;
+    for (i, it) in r.iterations.iter().enumerate() {
+        println!(
+            "iter {:>2}: +{:<14} E = {:+.8}  dE = {:+.2e}",
+            i + 1,
+            it.operator,
+            it.energy,
+            it.energy - exact
+        );
+    }
+    println!("stop: {:?} (dE = {:+.2e})", r.stop_reason, r.energy - exact);
+    Ok(())
+}
+
+fn cmd_qpe(args: &Args) -> Result<(), String> {
+    let r: f64 = args.get("r", 1.4008)?;
+    let ancillas: usize = args.get("ancillas", 6)?;
+    let steps: usize = args.get("steps", 16)?;
+    let order: usize = args.get("order", 2)?;
+    let mol = h2_molecule(r).map_err(|e| e.to_string())?;
+    let h = mol.to_qubit_hamiltonian().map_err(|e| e.to_string())?;
+    let mut prep = nwq_circuit::Circuit::new(h.n_qubits());
+    nwq_chem::uccsd::append_hf_state(&mut prep, mol.n_electrons()).map_err(|e| e.to_string())?;
+    let cfg = QpeConfig {
+        n_ancilla: ancillas,
+        t: 1.5,
+        trotter_steps: steps,
+        order: match order {
+            1 => nwq_circuit::exp_pauli::TrotterOrder::First,
+            2 => nwq_circuit::exp_pauli::TrotterOrder::Second,
+            _ => return Err("--order must be 1 or 2".into()),
+        },
+    };
+    let out = run_qpe(&h, &prep, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "QPE (H2 at R = {r} a0): E = {:+.5} Ha (resolution {:.5}, peak p = {:.3})",
+        out.energy_near(mol.hf_total_energy()),
+        out.resolution(),
+        out.peak_probability
+    );
+    Ok(())
+}
+
+fn cmd_fuse(args: &Args) -> Result<(), String> {
+    let path = args
+        .flags
+        .get("in")
+        .ok_or_else(|| "--in FILE.qasm is required".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let circuit = nwq_circuit::qasm::from_qasm(&text).map_err(|e| e.to_string())?;
+    let (fused, stats) = nwq_circuit::fusion::fuse(&circuit).map_err(|e| e.to_string())?;
+    println!(
+        "{path}: {} qubits, {} gates -> {} fused blocks ({:.1}% reduction, depth {} -> {})",
+        circuit.n_qubits(),
+        stats.gates_before,
+        stats.gates_after,
+        stats.reduction() * 100.0,
+        circuit.depth(),
+        fused.depth()
+    );
+    Ok(())
+}
+
+fn cmd_info() {
+    println!("NWQ-Sim-rs {}", env!("CARGO_PKG_VERSION"));
+    println!("Rust reproduction of 'Enabling Scalable VQE Simulation on Leading HPC Systems' (SC-W 2023).");
+    println!();
+    println!("subcommands: vqe | adapt | qpe | fuse | info");
+    println!("figures    : cargo run --release -p nwq-bench --bin figures -- all");
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        cmd_info();
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("usage error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "vqe" => cmd_vqe(&args),
+        "adapt" => cmd_adapt(&args),
+        "qpe" => cmd_qpe(&args),
+        "fuse" => cmd_fuse(&args),
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

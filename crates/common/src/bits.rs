@@ -1,0 +1,160 @@
+//! Bit-manipulation helpers for statevector indexing.
+//!
+//! A statevector over `n` qubits is indexed by basis states `0..2^n` with
+//! qubit `q` stored at bit position `q` (qubit 0 is the least significant
+//! bit). Gate kernels enumerate index pairs/quads by inserting fixed bits at
+//! the target positions; these helpers centralize that logic so every kernel
+//! uses the identical, well-tested convention.
+
+/// Returns `2^n` as `usize`, panicking if it would overflow the platform.
+#[inline]
+pub fn dim(n_qubits: usize) -> usize {
+    assert!(
+        n_qubits < usize::BITS as usize,
+        "2^{n_qubits} overflows usize"
+    );
+    1usize << n_qubits
+}
+
+/// Inserts a zero bit at position `pos`, shifting higher bits left.
+///
+/// Mapping `i ∈ [0, 2^{n-1})` through this yields every basis index whose
+/// bit `pos` is 0, in increasing order — the canonical enumeration for
+/// single-qubit gate kernels.
+#[inline]
+pub fn insert_zero_bit(i: usize, pos: usize) -> usize {
+    let low_mask = (1usize << pos) - 1;
+    ((i & !low_mask) << 1) | (i & low_mask)
+}
+
+/// Inserts two zero bits at positions `p_lo < p_hi` (positions refer to the
+/// *output* index), yielding every basis index with both bits clear.
+#[inline]
+pub fn insert_two_zero_bits(i: usize, p_lo: usize, p_hi: usize) -> usize {
+    debug_assert!(p_lo < p_hi);
+    // Insert at the lower position first, then the higher one; after the
+    // first insertion the higher position is already in output coordinates.
+    insert_zero_bit(insert_zero_bit(i, p_lo), p_hi)
+}
+
+/// Tests bit `pos` of `i`.
+#[inline]
+pub fn bit(i: usize, pos: usize) -> bool {
+    (i >> pos) & 1 == 1
+}
+
+/// Sets bit `pos` of `i` to `value`.
+#[inline]
+pub fn with_bit(i: usize, pos: usize, value: bool) -> usize {
+    if value {
+        i | (1usize << pos)
+    } else {
+        i & !(1usize << pos)
+    }
+}
+
+/// Parity (sum mod 2) of the bits of `i` selected by `mask`.
+#[inline]
+pub fn masked_parity(i: u64, mask: u64) -> bool {
+    (i & mask).count_ones() & 1 == 1
+}
+
+/// Number of bytes needed to store a statevector of `n` qubits with
+/// 16-byte complex amplitudes (Fig 1c of the paper).
+#[inline]
+pub fn statevector_bytes(n_qubits: usize) -> u128 {
+    16u128 << n_qubits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_powers() {
+        assert_eq!(dim(0), 1);
+        assert_eq!(dim(3), 8);
+        assert_eq!(dim(20), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dim_overflow_panics() {
+        let _ = dim(usize::BITS as usize);
+    }
+
+    #[test]
+    fn insert_zero_bit_enumerates_cleared_indices() {
+        // For pos = 1 over 3 bits: indices with bit1 clear are 0,1,4,5.
+        let got: Vec<usize> = (0..4).map(|i| insert_zero_bit(i, 1)).collect();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+        for (i, &g) in got.iter().enumerate() {
+            assert!(!bit(g, 1));
+            // Re-setting the bit gives the partner index.
+            assert_eq!(with_bit(g, 1, true), g | 2);
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn insert_zero_bit_at_zero_doubles() {
+        for i in 0..16 {
+            assert_eq!(insert_zero_bit(i, 0), i << 1);
+        }
+    }
+
+    #[test]
+    fn insert_two_zero_bits_covers_all_quads() {
+        // 4-qubit space, targets at bits 1 and 3: base indices must have
+        // both clear; there are 4 of them: 0b0000, 0b0001, 0b0100, 0b0101.
+        let got: Vec<usize> = (0..4).map(|i| insert_two_zero_bits(i, 1, 3)).collect();
+        assert_eq!(got, vec![0b0000, 0b0001, 0b0100, 0b0101]);
+        for &g in &got {
+            assert!(!bit(g, 1) && !bit(g, 3));
+        }
+    }
+
+    #[test]
+    fn insert_two_zero_bits_all_pairs_disjoint_exhaustive() {
+        // Exhaustively verify for a 5-qubit space that the quads partition
+        // the full index set for every (lo, hi) pair.
+        for lo in 0..5 {
+            for hi in (lo + 1)..5 {
+                let mut seen = vec![false; 32];
+                for i in 0..8 {
+                    let base = insert_two_zero_bits(i, lo, hi);
+                    for (b_lo, b_hi) in [(false, false), (true, false), (false, true), (true, true)]
+                    {
+                        let idx = with_bit(with_bit(base, lo, b_lo), hi, b_hi);
+                        assert!(!seen[idx], "duplicate index {idx} for ({lo},{hi})");
+                        seen[idx] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "missing indices for ({lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_ops() {
+        assert!(bit(0b101, 0));
+        assert!(!bit(0b101, 1));
+        assert_eq!(with_bit(0b101, 1, true), 0b111);
+        assert_eq!(with_bit(0b101, 0, false), 0b100);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(!masked_parity(0b1011, 0b0100));
+        assert!(masked_parity(0b1011, 0b0010));
+        assert!(!masked_parity(0b1011, 0b1010));
+        assert!(masked_parity(0b1011, 0b1011));
+    }
+
+    #[test]
+    fn memory_scaling_matches_fig1c() {
+        // 30 qubits -> 16 GiB of amplitudes.
+        assert_eq!(statevector_bytes(30), 16 * (1u128 << 30));
+        assert_eq!(statevector_bytes(0), 16);
+    }
+}

@@ -1,0 +1,397 @@
+//! Minimal, dependency-free double-precision complex arithmetic.
+//!
+//! The statevector simulator stores amplitudes as [`C64`] and performs the
+//! vast majority of its floating-point work through this type, so the
+//! implementation favours `#[inline]` plain-old-data operations that the
+//! compiler can vectorize across amplitude blocks.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number (`re + i·im`).
+///
+/// Layout-compatible with `[f64; 2]`, which lets gate kernels treat amplitude
+/// buffers as flat slices of interleaved doubles when convenient.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity `0 + 0i`.
+pub const C_ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity `1 + 0i`.
+pub const C_ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit `i`.
+pub const C_I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|²`. This is the measurement probability weight
+    /// of an amplitude, so it is the hottest reduction in the simulator.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is
+    /// zero, mirroring `f64` division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Fused multiply-add `self * b + c`, written so LLVM can keep the
+    /// intermediate products in registers.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self {
+            re: self.re * b.re - self.im * b.im + c.re,
+            im: self.re * b.im + self.im * b.re + c.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within an absolute tolerance on each component.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.norm();
+        let re = ((r + self.re) * 0.5).max(0.0).sqrt();
+        let im_mag = ((r - self.re) * 0.5).max(0.0).sqrt();
+        Self { re, im: if self.im < 0.0 { -im_mag } else { im_mag } }
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let m = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        Self { re: m * c, im: m * s }
+    }
+
+    /// Raises to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return C_ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = C_ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C_ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(C64::new(1.5, -2.0).re, 1.5);
+        assert_eq!(C64::new(1.5, -2.0).im, -2.0);
+        assert_eq!(C_ZERO, C64::default());
+        assert_eq!(C_ONE, C64::real(1.0));
+        assert_eq!(C_I, C64::imag(1.0));
+        assert_eq!(C64::from(3.0), C64::real(3.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(2.0, -3.0);
+        assert!((z + C_ZERO).approx_eq(z, TOL));
+        assert!((z * C_ONE).approx_eq(z, TOL));
+        assert!((z - z).approx_eq(C_ZERO, TOL));
+        assert!((z * z.recip()).approx_eq(C_ONE, TOL));
+        assert!((z / z).approx_eq(C_ONE, TOL));
+        assert!((-z + z).approx_eq(C_ZERO, TOL));
+    }
+
+    #[test]
+    fn multiplication_matches_formula() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+        assert!((a * b).approx_eq(C64::new(11.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C_I * C_I).approx_eq(-C_ONE, TOL));
+    }
+
+    #[test]
+    fn cis_and_arg() {
+        let z = C64::cis(FRAC_PI_2);
+        assert!(z.approx_eq(C_I, TOL));
+        assert!((z.arg() - FRAC_PI_2).abs() < TOL);
+        assert!((C64::cis(PI).re + 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn norms() {
+        let z = C64::new(3.0, 4.0);
+        assert!((z.norm_sqr() - 25.0).abs() < TOL);
+        assert!((z.norm() - 5.0).abs() < TOL);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = C64::new(1.25, -0.5);
+        assert!((z * z.conj()).approx_eq(C64::real(z.norm_sqr()), TOL));
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 0.25);
+        let c = C64::new(3.0, -1.0);
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[
+            C64::new(4.0, 0.0),
+            C64::new(-4.0, 0.0),
+            C64::new(0.0, 2.0),
+            C64::new(3.0, -4.0),
+            C64::new(-1.0, -1.0),
+        ] {
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-10), "sqrt({z}) = {r}");
+        }
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let t = 0.7;
+        assert!(C64::imag(t).exp().approx_eq(C64::cis(t), TOL));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = C64::new(0.8, 0.3);
+        let mut acc = C_ONE;
+        for n in 0..8 {
+            assert!(z.powi(n).approx_eq(acc, 1e-10));
+            acc = acc * z;
+        }
+        assert!(z.powi(-2).approx_eq((z * z).recip(), 1e-10));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(C64::new(6.0, 4.0), TOL));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = C64::new(1.0, 1.0);
+        z += C64::new(2.0, -1.0);
+        assert!(z.approx_eq(C64::new(3.0, 0.0), TOL));
+        z -= C64::new(1.0, 1.0);
+        assert!(z.approx_eq(C64::new(2.0, -1.0), TOL));
+        z *= C_I;
+        assert!(z.approx_eq(C64::new(1.0, 2.0), TOL));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(C64::new(1.0, 2.0).is_finite());
+        assert!(!C64::new(f64::NAN, 0.0).is_finite());
+        assert!(!C64::new(0.0, f64::INFINITY).is_finite());
+    }
+}

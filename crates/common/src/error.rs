@@ -1,0 +1,88 @@
+//! Shared error type for the workspace.
+//!
+//! The simulator surface is small enough that a single enum covers all
+//! crates; downstream crates add context through the `msg` payloads rather
+//! than defining parallel hierarchies.
+
+use std::fmt;
+
+/// Errors surfaced by the NWQ-Sim-rs crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A qubit index was out of range for the register it was applied to.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// The register size.
+        n_qubits: usize,
+    },
+    /// Two-qubit operation addressed the same qubit twice.
+    DuplicateQubit(usize),
+    /// A parameterized object was executed with the wrong number of
+    /// parameter values bound.
+    ParameterMismatch {
+        /// Number of parameters expected.
+        expected: usize,
+        /// Number provided.
+        got: usize,
+    },
+    /// An operator/state dimension mismatch.
+    DimensionMismatch {
+        /// Expected dimension or qubit count.
+        expected: usize,
+        /// Provided dimension or qubit count.
+        got: usize,
+    },
+    /// Numerical failure (non-finite values, non-convergence, …).
+    Numerical(String),
+    /// Invalid user input not covered by a more specific variant.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            Error::DuplicateQubit(q) => {
+                write!(f, "two-qubit operation addresses qubit {q} twice")
+            }
+            Error::ParameterMismatch { expected, got } => {
+                write!(f, "expected {expected} parameter values, got {got}")
+            }
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::Numerical(msg) => write!(f, "numerical error: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::QubitOutOfRange { qubit: 5, n_qubits: 4 };
+        assert_eq!(e.to_string(), "qubit 5 out of range for 4-qubit register");
+        assert!(Error::DuplicateQubit(2).to_string().contains("qubit 2"));
+        assert!(Error::ParameterMismatch { expected: 3, got: 1 }
+            .to_string()
+            .contains("expected 3"));
+        assert!(Error::Numerical("nan".into()).to_string().contains("nan"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Invalid("x".into()));
+    }
+}

@@ -1,0 +1,151 @@
+//! Gate accounting for one VQE energy evaluation (paper Fig 3).
+//!
+//! Fig 3 compares, per parameter set θ:
+//!
+//! - **non-caching**: every Pauli term re-prepares the ansatz and then
+//!   applies its basis changes — `Σ_t (G_ansatz + G_basis(t))`;
+//! - **caching**: the ansatz runs once and is reused; the plotted curve is
+//!   the *additional* gates after the cached state — `Σ_t G_basis(t)`
+//!   (10⁴–10⁶ in the paper vs 10⁷–10¹¹ without caching).
+//!
+//! Both quantities are analytic in the ansatz gate count and observable;
+//! the executor-based tests cross-check them against real executions.
+//! Grouped variants quantify the extra savings from qubit-wise-commuting
+//! measurement grouping.
+
+use nwq_pauli::grouping::{group_qubit_wise, group_singletons, MeasurementGroup};
+use nwq_pauli::{Pauli, PauliOp, PauliString};
+
+/// Basis-change gate count for measuring one Pauli string: one H per X,
+/// S†+H per Y (paper §4.1.2).
+pub fn basis_gates_for_string(s: &PauliString) -> u128 {
+    s.iter_ops()
+        .map(|(_, p)| match p {
+            Pauli::X => 1u128,
+            Pauli::Y => 2,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Gate cost of one full energy evaluation under each strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvaluationCost {
+    /// Ansatz gates (`G_ansatz`).
+    pub ansatz_gates: u128,
+    /// Measurement groups / circuits executed.
+    pub circuits: u128,
+    /// Non-caching total: ansatz re-preparation per circuit plus basis
+    /// changes.
+    pub non_caching_gates: u128,
+    /// Caching total: basis-change gates only (the Fig 3 caching curve).
+    pub caching_gates: u128,
+}
+
+impl EvaluationCost {
+    /// Ratio of non-caching to caching gates (the Fig 3 gap; guards the
+    /// division when the observable is fully diagonal).
+    pub fn savings_factor(&self) -> f64 {
+        if self.caching_gates == 0 {
+            f64::INFINITY
+        } else {
+            self.non_caching_gates as f64 / self.caching_gates as f64
+        }
+    }
+}
+
+fn cost_for_groups(ansatz_gates: u128, groups: &[MeasurementGroup]) -> EvaluationCost {
+    let mut basis_total = 0u128;
+    for g in groups {
+        basis_total += g.basis_change_gates() as u128;
+    }
+    EvaluationCost {
+        ansatz_gates,
+        circuits: groups.len() as u128,
+        non_caching_gates: groups.len() as u128 * ansatz_gates + basis_total,
+        caching_gates: basis_total,
+    }
+}
+
+/// Per-term accounting (one circuit per Pauli term) — matches the paper's
+/// Fig 3 setup.
+pub fn per_term_cost(ansatz_gates: u128, observable: &PauliOp) -> EvaluationCost {
+    cost_for_groups(ansatz_gates, &group_singletons(observable))
+}
+
+/// Grouped accounting (one circuit per qubit-wise-commuting group) — the
+/// further optimization grouping buys on top of caching.
+pub fn grouped_cost(ansatz_gates: u128, observable: &PauliOp) -> EvaluationCost {
+    cost_for_groups(ansatz_gates, &group_qubit_wise(observable))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_gate_counts() {
+        assert_eq!(basis_gates_for_string(&PauliString::parse("ZZZ").unwrap()), 0);
+        assert_eq!(basis_gates_for_string(&PauliString::parse("XXI").unwrap()), 2);
+        assert_eq!(basis_gates_for_string(&PauliString::parse("YIY").unwrap()), 4);
+        assert_eq!(basis_gates_for_string(&PauliString::parse("XYZ").unwrap()), 3);
+    }
+
+    #[test]
+    fn per_term_cost_formula() {
+        // H = ZZ + XX: two terms, basis gates 0 and 2.
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
+        let c = per_term_cost(100, &h);
+        assert_eq!(c.circuits, 2);
+        assert_eq!(c.non_caching_gates, 2 * 100 + 2);
+        assert_eq!(c.caching_gates, 2);
+        assert!((c.savings_factor() - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_observable_needs_zero_caching_gates() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 ZI").unwrap();
+        let c = per_term_cost(50, &h);
+        assert_eq!(c.caching_gates, 0);
+        assert!(c.savings_factor().is_infinite());
+    }
+
+    #[test]
+    fn grouping_reduces_circuits_and_gates() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 ZI + 0.25 IZ + 1.0 XX + 0.5 XI").unwrap();
+        let per_term = per_term_cost(200, &h);
+        let grouped = grouped_cost(200, &h);
+        assert!(grouped.circuits < per_term.circuits);
+        assert!(grouped.non_caching_gates < per_term.non_caching_gates);
+        assert!(grouped.caching_gates <= per_term.caching_gates);
+    }
+
+    #[test]
+    fn accounting_matches_real_execution() {
+        // Cross-check the analytic counts against the executing paths.
+        use nwq_pauli::grouping::group_singletons;
+        use nwq_statevec::expval::{energy_cached, energy_non_caching};
+        let mut ansatz = nwq_circuit::Circuit::new(2);
+        ansatz.ry(0, 0.4).cx(0, 1).rz(1, -0.2);
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX + 0.5 YI").unwrap();
+        let groups = group_singletons(&h);
+        let nc = energy_non_caching(&ansatz, &[], &groups, 0.0).unwrap();
+        let ca = energy_cached(&ansatz, &[], &groups, 0.0).unwrap();
+        let cost = per_term_cost(ansatz.len() as u128, &h);
+        assert_eq!(nc.gates_applied as u128, cost.non_caching_gates);
+        // The executing cached path also pays the single ansatz run.
+        assert_eq!(ca.gates_applied as u128, cost.ansatz_gates + cost.caching_gates);
+    }
+
+    #[test]
+    fn savings_grow_with_term_count() {
+        let small = PauliOp::parse("1.0 XX").unwrap();
+        let big = PauliOp::parse("1.0 XX + 1.0 YY + 1.0 XY + 1.0 YX").unwrap();
+        let cs = per_term_cost(1000, &small);
+        let cb = per_term_cost(1000, &big);
+        assert!(cb.non_caching_gates > cs.non_caching_gates);
+        // Caching cost grows only with basis gates, not with ansatz size.
+        let cb_bigger_ansatz = per_term_cost(100_000, &big);
+        assert_eq!(cb.caching_gates, cb_bigger_ansatz.caching_gates);
+    }
+}

@@ -1,0 +1,457 @@
+//! Execution backends — the XACC-style abstraction (paper §3).
+//!
+//! A [`Backend`] turns `(ansatz, θ, observable)` into an energy. The four
+//! implementations span the paper's design space:
+//!
+//! | backend | ansatz executions per E(θ) | measurement | paper section |
+//! |---|---|---|---|
+//! | [`NonCachingBackend`] | one per measurement group | exact diagonal readout | Fig 3 baseline |
+//! | [`CachedMeasureBackend`] | one | basis changes on cached state | §4.1 |
+//! | [`DirectBackend`] | one | direct amplitude reduction, no basis gates | §4.1 + §4.2 |
+//! | [`SamplingBackend`] | one | finite shots (statistical noise) | §4.2.1 baseline |
+//!
+//! A fifth, [`DistributedBackend`], runs the ansatz on the simulated
+//! multi-rank engine and reads out directly — the multi-node path.
+
+use nwq_circuit::Circuit;
+use nwq_common::{Error, Result};
+use nwq_pauli::grouping::{group_qubit_wise, group_singletons};
+use nwq_pauli::PauliOp;
+use nwq_statevec::cache::PostAnsatzCache;
+use nwq_statevec::executor::Executor;
+use nwq_statevec::expval::{energy_cached, energy_non_caching};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cumulative work counters for a backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Energy evaluations served.
+    pub evaluations: u64,
+    /// Total gates applied across all evaluations.
+    pub gates_applied: u64,
+    /// Ansatz circuit executions.
+    pub ansatz_runs: u64,
+}
+
+/// An energy-evaluation engine for variational algorithms.
+pub trait Backend {
+    /// Evaluates `⟨ψ(θ)|H|ψ(θ)⟩`.
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64>;
+
+    /// Work counters.
+    fn stats(&self) -> BackendStats;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_widths(ansatz: &Circuit, observable: &PauliOp) -> Result<()> {
+    if ansatz.n_qubits() != observable.n_qubits() {
+        return Err(Error::DimensionMismatch {
+            expected: ansatz.n_qubits(),
+            got: observable.n_qubits(),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+
+/// Re-prepares the ansatz for every measurement group (Fig 3 baseline).
+#[derive(Debug, Default)]
+pub struct NonCachingBackend {
+    stats: BackendStats,
+}
+
+impl NonCachingBackend {
+    /// A fresh baseline backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for NonCachingBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        check_widths(ansatz, observable)?;
+        let groups = group_singletons(observable);
+        let eval = energy_non_caching(ansatz, params, &groups, 0.0)?;
+        self.stats.evaluations += 1;
+        self.stats.gates_applied += eval.gates_applied;
+        self.stats.ansatz_runs += groups.len() as u64;
+        Ok(eval.energy)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "non-caching"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Caches the post-ansatz state, then applies per-group basis changes
+/// (paper §4.1), with qubit-wise-commuting grouping to shrink the group
+/// count.
+#[derive(Debug, Default)]
+pub struct CachedMeasureBackend {
+    stats: BackendStats,
+}
+
+impl CachedMeasureBackend {
+    /// A fresh caching backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for CachedMeasureBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        check_widths(ansatz, observable)?;
+        let groups = group_qubit_wise(observable);
+        let eval = energy_cached(ansatz, params, &groups, 0.0)?;
+        self.stats.evaluations += 1;
+        self.stats.gates_applied += eval.gates_applied;
+        self.stats.ansatz_runs += 1;
+        Ok(eval.energy)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "cached-measure"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The paper's fastest path: cached post-ansatz state plus *direct*
+/// expectation values (§4.2) — zero measurement gates.
+#[derive(Debug)]
+pub struct DirectBackend {
+    cache: PostAnsatzCache,
+    executor: Executor,
+    stats: BackendStats,
+}
+
+impl Default for DirectBackend {
+    fn default() -> Self {
+        DirectBackend {
+            cache: PostAnsatzCache::unbounded(),
+            executor: Executor::new(),
+            stats: BackendStats::default(),
+        }
+    }
+}
+
+impl DirectBackend {
+    /// A direct backend with an unlimited device-memory model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A direct backend with a bounded device tier (spills to host above
+    /// the budget, per §4.1.4).
+    pub fn with_device_budget(bytes: u128) -> Self {
+        DirectBackend { cache: PostAnsatzCache::new(bytes), ..Default::default() }
+    }
+
+    /// Cache statistics (hits mean reused post-ansatz states).
+    pub fn cache_stats(&self) -> nwq_statevec::cache::CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Backend for DirectBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        check_widths(ansatz, observable)?;
+        let before = self.executor.stats().total_gates();
+        let state = self.cache.get_or_prepare(ansatz, params, &mut self.executor)?;
+        let e = state.energy(observable)?;
+        self.stats.evaluations += 1;
+        let after = self.executor.stats().total_gates();
+        self.stats.gates_applied += after - before;
+        if after != before {
+            self.stats.ansatz_runs += 1;
+        }
+        Ok(e)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Traditional finite-shot estimation (the baseline of §4.2.1): caching
+/// and grouping are still used, but each group is read out by sampling.
+#[derive(Debug)]
+pub struct SamplingBackend {
+    shots_per_group: usize,
+    rng: StdRng,
+    stats: BackendStats,
+}
+
+impl SamplingBackend {
+    /// A sampling backend with the given per-group shot budget and seed.
+    pub fn new(shots_per_group: usize, seed: u64) -> Self {
+        SamplingBackend {
+            shots_per_group,
+            rng: StdRng::seed_from_u64(seed),
+            stats: BackendStats::default(),
+        }
+    }
+}
+
+impl Backend for SamplingBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        check_widths(ansatz, observable)?;
+        let groups = group_qubit_wise(observable);
+        let mut ex = Executor::new();
+        let cached = ex.run(ansatz, params)?;
+        let mut energy = 0.0;
+        for g in &groups {
+            let basis = nwq_circuit::basis::group_basis_circuit(ansatz.n_qubits(), g)?;
+            let mut st = cached.clone();
+            ex.run_on(&basis, &[], &mut st)?;
+            // Diagonalize the strings for post-rotation readout.
+            let diag = nwq_pauli::grouping::MeasurementGroup {
+                terms: g
+                    .terms
+                    .iter()
+                    .map(|&(c, s)| (c, nwq_circuit::basis::diagonalized(&s)))
+                    .collect(),
+                basis: g.basis.clone(),
+            };
+            energy += nwq_statevec::measure::sampled_group_energy(
+                &st,
+                &diag,
+                self.shots_per_group,
+                &mut self.rng,
+            )?;
+        }
+        self.stats.evaluations += 1;
+        self.stats.gates_applied += ex.stats().total_gates();
+        self.stats.ansatz_runs += 1;
+        Ok(energy)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "sampling"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Runs the ansatz on the simulated multi-rank distributed engine, then
+/// reads the energy directly from the gathered state.
+#[derive(Debug)]
+pub struct DistributedBackend {
+    n_ranks: usize,
+    comm: nwq_dist::CommStats,
+    stats: BackendStats,
+}
+
+impl DistributedBackend {
+    /// A distributed backend over `n_ranks` simulated ranks.
+    pub fn new(n_ranks: usize) -> Self {
+        DistributedBackend { n_ranks, comm: Default::default(), stats: Default::default() }
+    }
+
+    /// Accumulated simulated communication.
+    pub fn comm_stats(&self) -> nwq_dist::CommStats {
+        self.comm
+    }
+}
+
+impl Backend for DistributedBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        check_widths(ansatz, observable)?;
+        let (state, comm) = nwq_dist::run_and_gather(ansatz, params, self.n_ranks)?;
+        self.comm += comm;
+        self.stats.evaluations += 1;
+        self.stats.ansatz_runs += 1;
+        self.stats.gates_applied += ansatz.len() as u64;
+        state.energy(observable)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Density-matrix execution under a gate-level noise model (the DM-Sim
+/// path): energies are exact traces `Tr(ρH)` over the noisy mixed state.
+#[derive(Debug)]
+pub struct DensityBackend {
+    noise: nwq_statevec::density::NoiseModel,
+    stats: BackendStats,
+}
+
+impl DensityBackend {
+    /// A density-matrix backend with the given noise model.
+    pub fn new(noise: nwq_statevec::density::NoiseModel) -> Self {
+        DensityBackend { noise, stats: BackendStats::default() }
+    }
+
+    /// Noiseless density-matrix execution (agrees with [`DirectBackend`]).
+    pub fn noiseless() -> Self {
+        DensityBackend::new(nwq_statevec::density::NoiseModel::noiseless())
+    }
+}
+
+impl Backend for DensityBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        check_widths(ansatz, observable)?;
+        let rho = nwq_statevec::density::run_noisy(ansatz, params, &self.noise)?;
+        self.stats.evaluations += 1;
+        self.stats.ansatz_runs += 1;
+        self.stats.gates_applied += ansatz.len() as u64;
+        rho.energy(observable)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "density-matrix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_circuit::ParamExpr;
+
+    fn toy() -> (Circuit, PauliOp) {
+        let mut ansatz = Circuit::new(2);
+        ansatz.ry(0, ParamExpr::var(0)).cx(0, 1);
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
+        (ansatz, h)
+    }
+
+    #[test]
+    fn all_backends_agree_on_exact_energy() {
+        let (ansatz, h) = toy();
+        let params = [0.7];
+        let mut direct = DirectBackend::new();
+        let reference = direct.energy(&ansatz, &params, &h).unwrap();
+        let mut nc = NonCachingBackend::new();
+        let mut cm = CachedMeasureBackend::new();
+        let mut dist = DistributedBackend::new(1);
+        for (name, e) in [
+            ("non-caching", nc.energy(&ansatz, &params, &h).unwrap()),
+            ("cached", cm.energy(&ansatz, &params, &h).unwrap()),
+            ("distributed", dist.energy(&ansatz, &params, &h).unwrap()),
+        ] {
+            assert!((e - reference).abs() < 1e-10, "{name}: {e} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn sampling_converges_to_direct() {
+        let (ansatz, h) = toy();
+        let params = [0.7];
+        let mut direct = DirectBackend::new();
+        let reference = direct.energy(&ansatz, &params, &h).unwrap();
+        let mut sampling = SamplingBackend::new(400_000, 3);
+        let e = sampling.energy(&ansatz, &params, &h).unwrap();
+        assert!((e - reference).abs() < 0.02, "{e} vs {reference}");
+    }
+
+    #[test]
+    fn gate_cost_ordering_matches_paper() {
+        // non-caching ≥ cached-measure ≥ direct in gates per evaluation.
+        let (ansatz, h) = toy();
+        let params = [0.4];
+        let mut nc = NonCachingBackend::new();
+        let mut cm = CachedMeasureBackend::new();
+        let mut d = DirectBackend::new();
+        nc.energy(&ansatz, &params, &h).unwrap();
+        cm.energy(&ansatz, &params, &h).unwrap();
+        d.energy(&ansatz, &params, &h).unwrap();
+        assert!(nc.stats().gates_applied >= cm.stats().gates_applied);
+        assert!(cm.stats().gates_applied >= d.stats().gates_applied);
+        // Direct applies exactly the ansatz, nothing else.
+        assert_eq!(d.stats().gates_applied, ansatz.len() as u64);
+    }
+
+    #[test]
+    fn direct_backend_caches_between_identical_calls() {
+        let (ansatz, h) = toy();
+        let mut d = DirectBackend::new();
+        d.energy(&ansatz, &[0.4], &h).unwrap();
+        d.energy(&ansatz, &[0.4], &h).unwrap(); // hit
+        d.energy(&ansatz, &[0.5], &h).unwrap(); // miss
+        assert_eq!(d.cache_stats().hits, 1);
+        assert_eq!(d.cache_stats().misses, 2);
+        assert_eq!(d.stats().ansatz_runs, 2);
+    }
+
+    #[test]
+    fn noiseless_density_backend_matches_direct() {
+        let (ansatz, h) = toy();
+        let mut direct = DirectBackend::new();
+        let mut dm = DensityBackend::noiseless();
+        for theta in [[0.0], [0.4], [1.3]] {
+            let a = direct.energy(&ansatz, &theta, &h).unwrap();
+            let b = dm.energy(&ansatz, &theta, &h).unwrap();
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn noisy_density_backend_raises_toy_energy() {
+        let (ansatz, h) = toy();
+        // Depolarizing noise contracts every expectation toward the
+        // maximally-mixed value Tr(H)/4 = 0.
+        let theta = [std::f64::consts::FRAC_PI_2];
+        let mut clean = DensityBackend::noiseless();
+        let mut noisy = DensityBackend::new(
+            nwq_statevec::density::NoiseModel::depolarizing(0.02, 0.05),
+        );
+        let e_clean = clean.energy(&ansatz, &theta, &h).unwrap();
+        let e_noisy = noisy.energy(&ansatz, &theta, &h).unwrap();
+        assert!(e_clean.abs() > 0.5, "toy point should be far from mixed value");
+        assert!(e_noisy.abs() < e_clean.abs() - 1e-4, "{e_noisy} vs {e_clean}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let (ansatz, _) = toy();
+        let h3 = PauliOp::parse("1.0 ZZZ").unwrap();
+        assert!(DirectBackend::new().energy(&ansatz, &[0.1], &h3).is_err());
+    }
+
+    #[test]
+    fn distributed_backend_counts_comm() {
+        let mut ansatz = Circuit::new(4);
+        ansatz.h(3).cx(3, 0); // touches global qubits at 4 ranks
+        let h = PauliOp::parse("1.0 ZIII").unwrap();
+        let mut dist = DistributedBackend::new(4);
+        dist.energy(&ansatz, &[], &h).unwrap();
+        assert!(dist.comm_stats().messages > 0);
+        assert_eq!(dist.stats().evaluations, 1);
+    }
+}

@@ -1,0 +1,371 @@
+//! Quantum phase estimation through the simulator workflow.
+//!
+//! QPE estimates an eigenphase of `U = exp(−iHt)` by phase kickback onto an
+//! ancilla register followed by an inverse QFT. The controlled evolution is
+//! first-order Trotterized with a fixed substep `δt = t / trotter_steps`
+//! (so the power `U^{2^k}` uses `2^k · trotter_steps` substeps and the
+//! Trotter error stays uniform per unit time).
+//!
+//! Register layout: system qubits `0..n_sys`, ancillas
+//! `n_sys..n_sys+n_ancilla` with ancilla `k` holding phase bit `k`.
+//! An eigenvalue `E` appears at phase `φ ≡ −Et/2π (mod 1)`, i.e. the
+//! estimator resolves energies within a window of width `2π/t` at a
+//! resolution of `2π/(t·2^m)`; use [`QpeOutcome::energy_near`] to unwrap
+//! against a reference (e.g. the Hartree–Fock energy).
+
+use nwq_circuit::exp_pauli::TrotterOrder;
+use nwq_circuit::qft::append_iqft;
+use nwq_circuit::{Circuit, Gate};
+use nwq_common::{Error, Result};
+use nwq_pauli::{PauliOp, PauliString};
+use std::f64::consts::PI;
+
+/// QPE configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct QpeConfig {
+    /// Phase-register width (resolution bits).
+    pub n_ancilla: usize,
+    /// Evolution time `t` of `U = exp(−iHt)`; the energy window is
+    /// `(−2π/t, 0]` before unwrapping.
+    pub t: f64,
+    /// Trotter substeps per unit power of `U`.
+    pub trotter_steps: usize,
+    /// Product-formula order for the controlled evolution.
+    pub order: TrotterOrder,
+}
+
+impl Default for QpeConfig {
+    fn default() -> Self {
+        QpeConfig { n_ancilla: 5, t: 1.0, trotter_steps: 4, order: TrotterOrder::First }
+    }
+}
+
+/// QPE readout.
+#[derive(Clone, Debug)]
+pub struct QpeOutcome {
+    /// Most probable phase-register value.
+    pub peak: usize,
+    /// Estimated phase `peak / 2^m ∈ [0, 1)`.
+    pub phase: f64,
+    /// Raw energy estimate `−2πφ/t` in the window `(−2π/t, 0]`.
+    pub energy: f64,
+    /// Probability of the peak outcome.
+    pub peak_probability: f64,
+    /// Full marginal distribution over the phase register.
+    pub distribution: Vec<f64>,
+    /// Evolution time used (needed for unwrapping).
+    pub t: f64,
+}
+
+impl QpeOutcome {
+    /// Energy resolution of the estimate, `2π/(t·2^m)`.
+    pub fn resolution(&self) -> f64 {
+        2.0 * PI / (self.t * self.distribution.len() as f64)
+    }
+
+    /// Unwraps the phase estimate to the energy branch nearest
+    /// `reference` (adds the multiple of `2π/t` minimizing the distance).
+    pub fn energy_near(&self, reference: f64) -> f64 {
+        let window = 2.0 * PI / self.t;
+        let k = ((reference - self.energy) / window).round();
+        self.energy + k * window
+    }
+}
+
+/// Appends one controlled Trotter substep `controlled-exp(−iH δt)` of the
+/// requested product-formula order.
+fn append_controlled_step(
+    circuit: &mut Circuit,
+    h: &PauliOp,
+    control: usize,
+    dt: f64,
+    order: TrotterOrder,
+) -> Result<()> {
+    let sweep = |circuit: &mut Circuit, scale: f64, reverse: bool| -> Result<()> {
+        let terms: Vec<_> = if reverse {
+            h.terms().iter().rev().collect()
+        } else {
+            h.terms().iter().collect()
+        };
+        for &&(coeff, string) in &terms {
+            if coeff.im.abs() > 1e-10 {
+                return Err(Error::Invalid("QPE requires a Hermitian Hamiltonian".into()));
+            }
+            let c = coeff.re;
+            if string.is_identity() {
+                // Controlled global phase e^{−ic·δt·scale}.
+                circuit.push(Gate::P(control, (-c * dt * scale).into()))?;
+                continue;
+            }
+            append_controlled_exp_pauli(circuit, &string, control, 2.0 * c * dt * scale)?;
+        }
+        Ok(())
+    };
+    match order {
+        TrotterOrder::First => sweep(circuit, 1.0, false),
+        TrotterOrder::Second => {
+            sweep(circuit, 0.5, false)?;
+            sweep(circuit, 0.5, true)
+        }
+    }
+}
+
+/// Appends `controlled-exp(−iθ/2·P)`: the standard basis-change + CNOT
+/// ladder with the central RZ replaced by its controlled decomposition
+/// `CX·RZ(−θ/2)·CX·RZ(θ/2)`.
+pub fn append_controlled_exp_pauli(
+    circuit: &mut Circuit,
+    string: &PauliString,
+    control: usize,
+    theta: f64,
+) -> Result<()> {
+    if string.op(control) != nwq_pauli::Pauli::I {
+        return Err(Error::DuplicateQubit(control));
+    }
+    let support: Vec<usize> = string.iter_ops().map(|(q, _)| q).collect();
+    // Basis changes.
+    for (q, p) in string.iter_ops() {
+        match p {
+            nwq_pauli::Pauli::X => {
+                circuit.push(Gate::H(q))?;
+            }
+            nwq_pauli::Pauli::Y => {
+                circuit.push(Gate::Sdg(q))?;
+                circuit.push(Gate::H(q))?;
+            }
+            _ => {}
+        }
+    }
+    let last = *support.last().expect("non-identity string");
+    for w in support.windows(2) {
+        circuit.push(Gate::CX(w[0], w[1]))?;
+    }
+    // Controlled-RZ(θ) on `last`.
+    circuit.push(Gate::CX(control, last))?;
+    circuit.push(Gate::RZ(last, (-theta * 0.5).into()))?;
+    circuit.push(Gate::CX(control, last))?;
+    circuit.push(Gate::RZ(last, (theta * 0.5).into()))?;
+    for w in support.windows(2).rev() {
+        circuit.push(Gate::CX(w[0], w[1]))?;
+    }
+    for (q, p) in string.iter_ops() {
+        match p {
+            nwq_pauli::Pauli::X => {
+                circuit.push(Gate::H(q))?;
+            }
+            nwq_pauli::Pauli::Y => {
+                circuit.push(Gate::H(q))?;
+                circuit.push(Gate::S(q))?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Builds the full QPE circuit: state preparation on the system register,
+/// Hadamards on the ancillas, controlled powers of the Trotterized
+/// evolution, and the inverse QFT on the ancillas.
+pub fn qpe_circuit(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Result<Circuit> {
+    if config.n_ancilla == 0 {
+        return Err(Error::Invalid("QPE needs at least one ancilla".into()));
+    }
+    if config.trotter_steps == 0 {
+        return Err(Error::Invalid("trotter_steps must be positive".into()));
+    }
+    let n_sys = h.n_qubits();
+    if state_prep.n_qubits() != n_sys {
+        return Err(Error::DimensionMismatch { expected: n_sys, got: state_prep.n_qubits() });
+    }
+    let n_total = n_sys + config.n_ancilla;
+    let h_wide = h.resized(n_total)?;
+    let mut c = Circuit::new(n_total);
+    // State preparation acts on the system qubits (indices unchanged).
+    for g in state_prep.gates() {
+        c.push(g.clone())?;
+    }
+    for k in 0..config.n_ancilla {
+        c.push(Gate::H(n_sys + k))?;
+    }
+    let dt = config.t / config.trotter_steps as f64;
+    for k in 0..config.n_ancilla {
+        let control = n_sys + k;
+        let reps = config.trotter_steps << k;
+        for _ in 0..reps {
+            append_controlled_step(&mut c, &h_wide, control, dt, config.order)?;
+        }
+    }
+    append_iqft(&mut c, n_sys, config.n_ancilla)?;
+    Ok(c)
+}
+
+/// Runs QPE and reads the phase-register marginal from the exact
+/// statevector (the simulator analog of repeated measurement).
+pub fn run_qpe(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Result<QpeOutcome> {
+    let circuit = qpe_circuit(h, state_prep, config)?;
+    let state = nwq_statevec::simulate(&circuit, &[])?;
+    let n_sys = h.n_qubits();
+    let m = config.n_ancilla;
+    let mut distribution = vec![0.0f64; 1 << m];
+    for (idx, amp) in state.amplitudes().iter().enumerate() {
+        distribution[idx >> n_sys] += amp.norm_sqr();
+    }
+    let (peak, &peak_probability) = distribution
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("non-empty distribution");
+    let phase = peak as f64 / (1usize << m) as f64;
+    let energy = -2.0 * PI * phase / config.t;
+    Ok(QpeOutcome { peak, phase, energy, peak_probability, distribution, t: config.t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpe_on_diagonal_hamiltonian_exact() {
+        // H = Z on |1⟩: E = −1. Commuting (single term): Trotter exact.
+        // Choose t = π/4 so φ = −E t / 2π = 1/8 exactly at 3 ancillas.
+        let h = PauliOp::parse("1.0 Z").unwrap();
+        let mut prep = Circuit::new(1);
+        prep.x(0);
+        let cfg = QpeConfig { n_ancilla: 3, t: PI / 4.0, trotter_steps: 1, order: TrotterOrder::First };
+        let out = run_qpe(&h, &prep, &cfg).unwrap();
+        assert_eq!(out.peak, 1, "distribution {:?}", out.distribution);
+        assert!((out.peak_probability - 1.0).abs() < 1e-9);
+        assert!((out.energy_near(-1.0) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qpe_on_plus_one_eigenstate() {
+        // H = Z on |0⟩: E = +1 → wraps; unwrap near +1.
+        let h = PauliOp::parse("1.0 Z").unwrap();
+        let prep = Circuit::new(1);
+        let cfg = QpeConfig { n_ancilla: 3, t: PI / 4.0, trotter_steps: 1, order: TrotterOrder::First };
+        let out = run_qpe(&h, &prep, &cfg).unwrap();
+        assert!((out.energy_near(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qpe_commuting_two_qubit_hamiltonian() {
+        // H = ZZ + 0.5 ZI on |11⟩: E = 1·(+1) + 0.5·(−1) = 0.5.
+        let h = PauliOp::parse("1.0 ZZ + 0.5 ZI").unwrap();
+        let mut prep = Circuit::new(2);
+        prep.x(0).x(1);
+        let cfg = QpeConfig { n_ancilla: 4, t: PI / 2.0, trotter_steps: 1, order: TrotterOrder::First };
+        let out = run_qpe(&h, &prep, &cfg).unwrap();
+        assert!(
+            (out.energy_near(0.5) - 0.5).abs() < out.resolution() / 2.0 + 1e-9,
+            "E {} res {}",
+            out.energy_near(0.5),
+            out.resolution()
+        );
+    }
+
+    #[test]
+    fn qpe_superposed_eigenstates_bimodal() {
+        // |+⟩ under H = Z: equal weight on E = ±1 peaks.
+        let h = PauliOp::parse("1.0 Z").unwrap();
+        let mut prep = Circuit::new(1);
+        prep.h(0);
+        let cfg = QpeConfig { n_ancilla: 3, t: PI / 4.0, trotter_steps: 1, order: TrotterOrder::First };
+        let out = run_qpe(&h, &prep, &cfg).unwrap();
+        // φ(E=−1) = 1/8 → bin 1; φ(E=+1) = 7/8 → bin 7.
+        assert!((out.distribution[1] - 0.5).abs() < 1e-9);
+        assert!((out.distribution[7] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qpe_h2_coarse_estimate() {
+        // Non-commuting molecular Hamiltonian: Trotter-limited, coarse
+        // settings for test speed; the example binary runs full accuracy.
+        let m = nwq_chem::molecules::h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let mut prep = Circuit::new(4);
+        nwq_chem::uccsd::append_hf_state(&mut prep, 2).unwrap();
+        let cfg = QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: 6, order: TrotterOrder::First };
+        let out = run_qpe(&h, &prep, &cfg).unwrap();
+        let e = out.energy_near(m.hf_total_energy());
+        // HF overlaps the ground state strongly; expect within a few
+        // resolution bins of FCI (−1.137).
+        assert!((e + 1.137).abs() < 0.3, "QPE estimate {e}");
+    }
+
+    #[test]
+    fn controlled_exp_pauli_matches_uncontrolled_when_control_set() {
+        use nwq_circuit::reference;
+        let s = PauliString::parse("XZ").unwrap().resized(3).unwrap();
+        let theta = 0.73;
+        // With control (qubit 2) set, the controlled version ≡ plain exp.
+        let mut controlled = Circuit::new(3);
+        controlled.x(2);
+        append_controlled_exp_pauli(&mut controlled, &s, 2, theta).unwrap();
+        let mut plain = Circuit::new(3);
+        plain.x(2);
+        nwq_circuit::exp_pauli::append_exp_pauli(&mut plain, &s, theta.into()).unwrap();
+        let a = reference::run(&controlled, &[]).unwrap();
+        let b = reference::run(&plain, &[]).unwrap();
+        assert!(reference::states_equivalent(&a, &b, 1e-10));
+    }
+
+    #[test]
+    fn controlled_exp_pauli_identity_when_control_clear() {
+        use nwq_circuit::reference;
+        let s = PauliString::parse("YX").unwrap().resized(3).unwrap();
+        let mut controlled = Circuit::new(3);
+        // Prepare a non-trivial system state, control (qubit 2) stays |0⟩.
+        controlled.h(0).cx(0, 1);
+        let before = reference::run(&controlled, &[]).unwrap();
+        append_controlled_exp_pauli(&mut controlled, &s, 2, 1.1).unwrap();
+        let after = reference::run(&controlled, &[]).unwrap();
+        assert!(reference::states_equivalent(&before, &after, 1e-10));
+    }
+
+    #[test]
+    fn second_order_trotter_improves_h2_peak() {
+        // Same substep budget, higher-order formula: the ground-state
+        // peak must not get worse, and typically sharpens.
+        let m = nwq_chem::molecules::h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let mut prep = Circuit::new(4);
+        nwq_chem::uccsd::append_hf_state(&mut prep, 2).unwrap();
+        let base = QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: 4, order: TrotterOrder::First };
+        let first = run_qpe(&h, &prep, &base).unwrap();
+        let second = run_qpe(
+            &h,
+            &prep,
+            &QpeConfig { order: TrotterOrder::Second, ..base },
+        )
+        .unwrap();
+        let fci = -1.13728;
+        let err1 = (first.energy_near(fci) - fci).abs();
+        let err2 = (second.energy_near(fci) - fci).abs();
+        assert!(err2 <= err1 + second.resolution() / 2.0, "{err2} vs {err1}");
+        assert!(second.peak_probability > 0.5);
+    }
+
+    #[test]
+    fn config_validation() {
+        let h = PauliOp::parse("1.0 Z").unwrap();
+        let prep = Circuit::new(1);
+        assert!(qpe_circuit(&h, &prep, &QpeConfig { n_ancilla: 0, ..Default::default() })
+            .is_err());
+        assert!(qpe_circuit(
+            &h,
+            &prep,
+            &QpeConfig { trotter_steps: 0, ..Default::default() }
+        )
+        .is_err());
+        let wide_prep = Circuit::new(2);
+        assert!(qpe_circuit(&h, &wide_prep, &QpeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn control_on_support_rejected() {
+        let s = PauliString::parse("XZ").unwrap();
+        let mut c = Circuit::new(2);
+        assert!(append_controlled_exp_pauli(&mut c, &s, 0, 0.5).is_err());
+    }
+}

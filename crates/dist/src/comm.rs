@@ -1,0 +1,153 @@
+//! Communication accounting for the simulated multi-rank execution.
+
+use nwq_circuit::Circuit;
+use std::ops::AddAssign;
+
+/// Counters for simulated inter-rank communication. This is the quantity
+/// that dominates distributed statevector simulation (SV-Sim's PGAS
+/// design): gates on *global* qubits (those encoded in the rank id) force
+/// partner ranks to exchange their full partitions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages exchanged.
+    pub messages: u64,
+    /// Payload bytes moved between ranks.
+    pub bytes: u64,
+    /// Gates that required communication (≥ 1 global qubit).
+    pub global_gates: u64,
+    /// Gates that were entirely rank-local.
+    pub local_gates: u64,
+}
+
+impl CommStats {
+    /// Average message size in bytes (0 when no messages were sent).
+    pub fn avg_message_bytes(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.messages as f64
+        }
+    }
+
+    /// Fraction of gates that needed communication.
+    pub fn global_fraction(&self) -> f64 {
+        let total = self.global_gates + self.local_gates;
+        if total == 0 {
+            0.0
+        } else {
+            self.global_gates as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for CommStats {
+    fn add_assign(&mut self, rhs: CommStats) {
+        self.messages += rhs.messages;
+        self.bytes += rhs.bytes;
+        self.global_gates += rhs.global_gates;
+        self.local_gates += rhs.local_gates;
+    }
+}
+
+/// Predicts the communication a circuit will generate on `n_ranks` ranks
+/// *without executing it* — used for scaling studies beyond locally
+/// simulable sizes. Must agree exactly with the executing path
+/// (pinned by tests).
+pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> CommStats {
+    assert!(n_ranks.is_power_of_two(), "rank count must be a power of two");
+    let n_global = n_ranks.trailing_zeros() as usize;
+    let n_local = circuit.n_qubits() - n_global.min(circuit.n_qubits());
+    let part_bytes = 16u64 << n_local;
+    let mut stats = CommStats::default();
+    for g in circuit.gates() {
+        let globals = g.qubits().iter().filter(|&&q| q >= n_local).count() as u32;
+        if globals == 0 {
+            stats.local_gates += 1;
+        } else {
+            stats.global_gates += 1;
+            // Each group of 2^globals ranks exchanges pairwise: every rank
+            // sends its partition to each of the (2^globals − 1) partners.
+            let group = 1u64 << globals;
+            let msgs = n_ranks as u64 / group * group * (group - 1);
+            stats.messages += msgs;
+            stats.bytes += msgs * part_bytes;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_circuit::Circuit;
+
+    #[test]
+    fn local_only_circuit_has_no_comm() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).rz(1, 0.3);
+        let s = plan_communication(&c, 4); // 2 global qubits: 2 and 3
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.local_gates, 3);
+        assert_eq!(s.global_fraction(), 0.0);
+    }
+
+    #[test]
+    fn global_single_qubit_gate_pairs_ranks() {
+        let mut c = Circuit::new(4);
+        c.h(3); // with 4 ranks, qubits 2,3 are global
+        let s = plan_communication(&c, 4);
+        // 2 groups of 2 ranks, each rank sends to 1 partner: 4 messages.
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.bytes, 4 * 16 * 4); // partitions of 2^2 amplitudes
+        assert_eq!(s.global_gates, 1);
+    }
+
+    #[test]
+    fn global_global_two_qubit_gate_quads_ranks() {
+        let mut c = Circuit::new(4);
+        c.cx(2, 3);
+        let s = plan_communication(&c, 4);
+        // One group of 4 ranks, each sends to 3 partners: 12 messages.
+        assert_eq!(s.messages, 12);
+        assert_eq!(s.global_gates, 1);
+    }
+
+    #[test]
+    fn more_ranks_more_comm() {
+        let mut c = Circuit::new(10);
+        for q in 0..10 {
+            c.h(q);
+        }
+        let s2 = plan_communication(&c, 2);
+        let s8 = plan_communication(&c, 8);
+        assert!(s8.global_gates > s2.global_gates);
+        assert!(s8.messages > s2.messages);
+    }
+
+    #[test]
+    fn single_rank_never_communicates() {
+        let mut c = Circuit::new(6);
+        c.h(5).cx(4, 5).swap(0, 5);
+        let s = plan_communication(&c, 1);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.global_gates, 0);
+        assert_eq!(s.local_gates, 3);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = CommStats { messages: 2, bytes: 64, global_gates: 1, local_gates: 3 };
+        a += CommStats { messages: 1, bytes: 32, global_gates: 1, local_gates: 0 };
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 96);
+        assert!((a.avg_message_bytes() - 32.0).abs() < 1e-12);
+        assert!((a.global_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_ranks_rejected() {
+        let c = Circuit::new(4);
+        let _ = plan_communication(&c, 3);
+    }
+}

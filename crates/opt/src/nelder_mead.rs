@@ -1,0 +1,199 @@
+//! Nelder–Mead downhill simplex — the workhorse derivative-free optimizer
+//! of the VQE loop (the role COBYLA plays in XACC).
+
+use crate::traits::{OptResult, Optimizer};
+
+/// Nelder–Mead configuration.
+#[derive(Clone, Debug)]
+pub struct NelderMead {
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+    /// Terminate when the simplex value spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex size falls below this.
+    pub x_tol: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead { initial_step: 0.1, f_tol: 1e-10, x_tol: 1e-10 }
+    }
+}
+
+impl NelderMead {
+    /// A configuration with tolerances suited to chemical-accuracy VQE
+    /// inner loops.
+    pub fn for_vqe() -> Self {
+        NelderMead { initial_step: 0.05, f_tol: 1e-9, x_tol: 1e-7 }
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(
+        &mut self,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> OptResult {
+        let n = x0.len();
+        let mut evals = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+        if n == 0 {
+            let v = eval(x0, &mut evals);
+            return OptResult { params: Vec::new(), value: v, evals, converged: true };
+        }
+
+        // Build initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(f64, Vec<f64>)> = Vec::with_capacity(n + 1);
+        let v0 = eval(x0, &mut evals);
+        simplex.push((v0, x0.to_vec()));
+        for i in 0..n {
+            let mut x = x0.to_vec();
+            x[i] += self.initial_step;
+            let v = eval(&x, &mut evals);
+            simplex.push((v, x));
+        }
+
+        const ALPHA: f64 = 1.0; // reflection
+        const GAMMA: f64 = 2.0; // expansion
+        const RHO: f64 = 0.5; // contraction
+        const SIGMA: f64 = 0.5; // shrink
+
+        let mut converged = false;
+        while evals < max_evals {
+            simplex.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let best = simplex[0].0;
+            let worst = simplex[n].0;
+            let spread = (worst - best).abs();
+            let size: f64 = (0..n)
+                .map(|i| {
+                    simplex
+                        .iter()
+                        .map(|(_, x)| x[i])
+                        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                            (lo.min(v), hi.max(v))
+                        })
+                })
+                .map(|(lo, hi)| hi - lo)
+                .fold(0.0, f64::max);
+            if spread < self.f_tol || size < self.x_tol {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (_, x) in &simplex[..n] {
+                for (c, v) in centroid.iter_mut().zip(x) {
+                    *c += v / n as f64;
+                }
+            }
+            let combine = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+                a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+            };
+
+            // Reflection.
+            let xr = combine(&centroid, &simplex[n].1, -ALPHA);
+            let vr = eval(&xr, &mut evals);
+            if vr < simplex[0].0 {
+                // Expansion.
+                let xe = combine(&centroid, &simplex[n].1, -GAMMA);
+                let ve = eval(&xe, &mut evals);
+                simplex[n] = if ve < vr { (ve, xe) } else { (vr, xr) };
+            } else if vr < simplex[n - 1].0 {
+                simplex[n] = (vr, xr);
+            } else {
+                // Contraction (outside if reflected better than worst).
+                let (vref, xref) = if vr < simplex[n].0 {
+                    (vr, xr.clone())
+                } else {
+                    (simplex[n].0, simplex[n].1.clone())
+                };
+                let xc = combine(&centroid, &xref, RHO);
+                let vc = eval(&xc, &mut evals);
+                if vc < vref {
+                    simplex[n] = (vc, xc);
+                } else {
+                    // Shrink toward the best point.
+                    let best_x = simplex[0].1.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let x: Vec<f64> = entry
+                            .1
+                            .iter()
+                            .zip(&best_x)
+                            .map(|(v, b)| b + SIGMA * (v - b))
+                            .collect();
+                        let v = eval(&x, &mut evals);
+                        *entry = (v, x);
+                        if evals >= max_evals {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let (value, params) = simplex.swap_remove(0);
+        OptResult { params, value, evals, converged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let mut nm = NelderMead::default();
+        let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2);
+        let r = nm.minimize(&mut f, &[0.0, 0.0], 2000);
+        assert!(r.converged);
+        assert!((r.params[0] - 1.0).abs() < 1e-4, "{:?}", r.params);
+        assert!((r.params[1] + 2.0).abs() < 1e-4);
+        assert!(r.value < 1e-8);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let mut nm = NelderMead { initial_step: 0.5, ..Default::default() };
+        let mut f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nm.minimize(&mut f, &[-1.2, 1.0], 5000);
+        assert!((r.params[0] - 1.0).abs() < 1e-3, "{:?}", r.params);
+        assert!((r.params[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut nm = NelderMead::default();
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| {
+            count += 1;
+            x[0].powi(2)
+        };
+        let r = nm.minimize(&mut f, &[5.0], 20);
+        assert!(r.evals <= 20 + 1); // shrink step may finish its sweep
+        assert_eq!(count, r.evals);
+    }
+
+    #[test]
+    fn handles_zero_dimensional_problem() {
+        let mut nm = NelderMead::default();
+        let mut f = |_: &[f64]| 7.0;
+        let r = nm.minimize(&mut f, &[], 10);
+        assert_eq!(r.value, 7.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_periodic_vqe_like_landscape() {
+        // E(θ) = 1 − cos θ has minimum 0 at θ = 0 (mod 2π).
+        let mut nm = NelderMead::default();
+        let mut f = |x: &[f64]| 1.0 - x[0].cos() + 0.5 * (1.0 - (x[1] - 0.3).cos());
+        let r = nm.minimize(&mut f, &[0.5, -0.5], 2000);
+        assert!(r.value < 1e-6, "value {}", r.value);
+    }
+}

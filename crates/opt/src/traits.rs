@@ -1,0 +1,56 @@
+//! Optimizer interface shared by the VQE drivers.
+
+/// Result of an optimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptResult {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub value: f64,
+    /// Objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the convergence criterion was met (vs. hitting the
+    /// evaluation budget).
+    pub converged: bool,
+}
+
+/// A minimizer of black-box objectives `f: R^n → R`.
+///
+/// Implementations must be deterministic for a fixed seed/configuration so
+/// experiment harness runs are reproducible.
+pub trait Optimizer {
+    /// Minimizes `f` starting from `x0`, with at most `max_evals`
+    /// objective evaluations.
+    fn minimize(
+        &mut self,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> OptResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl Optimizer for Null {
+        fn minimize(
+            &mut self,
+            f: &mut dyn FnMut(&[f64]) -> f64,
+            x0: &[f64],
+            _max_evals: usize,
+        ) -> OptResult {
+            OptResult { params: x0.to_vec(), value: f(x0), evals: 1, converged: false }
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut opt: Box<dyn Optimizer> = Box::new(Null);
+        let mut f = |x: &[f64]| x[0] * x[0];
+        let r = opt.minimize(&mut f, &[2.0], 10);
+        assert_eq!(r.value, 4.0);
+        assert_eq!(r.evals, 1);
+    }
+}

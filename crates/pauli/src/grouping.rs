@@ -1,0 +1,159 @@
+//! Measurement grouping of Hamiltonian terms.
+//!
+//! VQE evaluates `⟨H⟩ = Σ c_k ⟨P_k⟩`, and every group of *qubit-wise
+//! commuting* strings shares one measurement basis: a per-qubit assignment
+//! of X/Y/Z rotations applied after the cached ansatz state (paper §4.1).
+//! Grouping therefore directly multiplies the caching savings of Fig 3 —
+//! one basis change per group instead of one per term.
+
+use crate::op::PauliOp;
+use crate::pauli::Pauli;
+use crate::string::PauliString;
+use nwq_common::C64;
+
+/// A set of mutually qubit-wise-commuting terms plus the shared basis they
+/// are measured in.
+#[derive(Clone, Debug)]
+pub struct MeasurementGroup {
+    /// The terms `(coefficient, string)` measured together.
+    pub terms: Vec<(C64, PauliString)>,
+    /// For each qubit, the Pauli basis the group is measured in (`I` when
+    /// no term touches the qubit, so no rotation is needed).
+    pub basis: Vec<Pauli>,
+}
+
+impl MeasurementGroup {
+    fn new(n_qubits: usize) -> Self {
+        MeasurementGroup { terms: Vec::new(), basis: vec![Pauli::I; n_qubits] }
+    }
+
+    fn accepts(&self, s: &PauliString) -> bool {
+        s.iter_ops().all(|(q, p)| self.basis[q] == Pauli::I || self.basis[q] == p)
+    }
+
+    fn insert(&mut self, c: C64, s: PauliString) {
+        for (q, p) in s.iter_ops() {
+            self.basis[q] = p;
+        }
+        self.terms.push((c, s));
+    }
+
+    /// Number of single-qubit basis-change rotations needed to measure this
+    /// group: one gate per X-basis qubit (H) and two per Y-basis qubit
+    /// (S† then H), per paper §4.1.2.
+    pub fn basis_change_gates(&self) -> usize {
+        self.basis
+            .iter()
+            .map(|p| match p {
+                Pauli::X => 1,
+                Pauli::Y => 2,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Greedy first-fit grouping of an observable into qubit-wise commuting
+/// measurement groups. Terms are taken in descending coefficient magnitude
+/// so heavy terms anchor groups.
+pub fn group_qubit_wise(op: &PauliOp) -> Vec<MeasurementGroup> {
+    let mut terms: Vec<(C64, PauliString)> = op.terms().to_vec();
+    terms.sort_by(|a, b| b.0.norm().partial_cmp(&a.0.norm()).unwrap());
+    let mut groups: Vec<MeasurementGroup> = Vec::new();
+    for (c, s) in terms {
+        match groups.iter_mut().find(|g| g.accepts(&s)) {
+            Some(g) => g.insert(c, s),
+            None => {
+                let mut g = MeasurementGroup::new(op.n_qubits());
+                g.insert(c, s);
+                groups.push(g);
+            }
+        }
+    }
+    groups
+}
+
+/// One group per term — the ungrouped baseline the paper's non-caching
+/// execution implicitly uses.
+pub fn group_singletons(op: &PauliOp) -> Vec<MeasurementGroup> {
+    op.terms()
+        .iter()
+        .map(|&(c, s)| {
+            let mut g = MeasurementGroup::new(op.n_qubits());
+            g.insert(c, s);
+            g
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::C_ONE;
+
+    #[test]
+    fn toy_hamiltonian_needs_two_groups() {
+        // ZZ and XX do not qubit-wise commute, so Eq. 4 needs 2 bases.
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
+        let groups = group_qubit_wise(&h);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn compatible_terms_share_group() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 ZI + 0.25 IZ").unwrap();
+        let groups = group_qubit_wise(&h);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].terms.len(), 3);
+        assert_eq!(groups[0].basis, vec![Pauli::Z, Pauli::Z]);
+        assert_eq!(groups[0].basis_change_gates(), 0);
+    }
+
+    #[test]
+    fn mixed_basis_group() {
+        let h = PauliOp::parse("1.0 XZ + 0.5 XI").unwrap();
+        let groups = group_qubit_wise(&h);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].basis, vec![Pauli::Z, Pauli::X]);
+        // One H for the X-basis qubit.
+        assert_eq!(groups[0].basis_change_gates(), 1);
+    }
+
+    #[test]
+    fn y_basis_costs_two_gates() {
+        let h = PauliOp::parse("1.0 YY").unwrap();
+        let groups = group_qubit_wise(&h);
+        assert_eq!(groups[0].basis_change_gates(), 4);
+    }
+
+    #[test]
+    fn grouping_preserves_all_terms() {
+        let h = PauliOp::parse("1.0 XX + 1.0 YY + 1.0 ZZ + 0.5 XI + 0.5 IY").unwrap();
+        let groups = group_qubit_wise(&h);
+        let total: usize = groups.iter().map(|g| g.terms.len()).sum();
+        assert_eq!(total, h.num_terms());
+        // Every term's string must be compatible with its group basis.
+        for g in &groups {
+            for (_, s) in &g.terms {
+                for (q, p) in s.iter_ops() {
+                    assert_eq!(g.basis[q], p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_never_exceeds_singletons() {
+        let h = PauliOp::parse("1.0 XX + 1.0 YY + 1.0 ZZ + 0.5 ZI").unwrap();
+        assert!(group_qubit_wise(&h).len() <= group_singletons(&h).len());
+        assert_eq!(group_singletons(&h).len(), h.num_terms());
+    }
+
+    #[test]
+    fn identity_term_joins_any_group() {
+        let h = PauliOp::parse("1.0 II + 1.0 ZZ").unwrap();
+        let groups = group_qubit_wise(&h);
+        assert_eq!(groups.len(), 1);
+        let _ = C_ONE;
+    }
+}

@@ -1,0 +1,133 @@
+//! Dense matrix realizations of Pauli operators, for small-register tests
+//! and exact reference calculations (≤ ~14 qubits).
+
+use crate::op::PauliOp;
+use crate::string::PauliString;
+use nwq_common::{C64, C_ZERO};
+
+/// Dense row-major matrix of a single Pauli string (`dim × dim` with
+/// `dim = 2^n`). Each column has exactly one non-zero entry.
+pub fn string_to_dense(s: &PauliString) -> Vec<C64> {
+    let dim = 1usize << s.n_qubits();
+    let mut m = vec![C_ZERO; dim * dim];
+    for col in 0..dim {
+        let (f, row) = s.apply_to_basis(col as u64);
+        m[row as usize * dim + col] = f;
+    }
+    m
+}
+
+/// Dense row-major matrix of a Pauli sum.
+pub fn op_to_dense(op: &PauliOp) -> Vec<C64> {
+    let dim = 1usize << op.n_qubits();
+    let mut m = vec![C_ZERO; dim * dim];
+    for &(c, s) in op.terms() {
+        for col in 0..dim {
+            let (f, row) = s.apply_to_basis(col as u64);
+            m[row as usize * dim + col] += c * f;
+        }
+    }
+    m
+}
+
+/// Dense matrix–vector product (row-major), for test references.
+pub fn dense_matvec(m: &[C64], v: &[C64]) -> Vec<C64> {
+    let dim = v.len();
+    assert_eq!(m.len(), dim * dim);
+    (0..dim)
+        .map(|r| (0..dim).map(|c| m[r * dim + c] * v[c]).sum())
+        .collect()
+}
+
+/// Ground-state energy of a Hermitian operator by dense Jacobi-free power
+/// iteration on `(λ_max I − H)` — adequate for test-sized registers.
+/// Returns `(E0, ground_state)`.
+pub fn dense_ground_state(op: &PauliOp, iters: usize) -> (f64, Vec<C64>) {
+    let dim = 1usize << op.n_qubits();
+    let m = op_to_dense(op);
+    // Shift: λ_max(H) ≤ one_norm, so (shift·I − H) is PSD with the ground
+    // state of H as its dominant eigenvector.
+    let shift = op.one_norm() + 1.0;
+    let mut v: Vec<C64> = (0..dim)
+        .map(|i| C64::new(1.0 + (i as f64 * 0.7).sin() * 0.1, (i as f64 * 1.3).cos() * 0.05))
+        .collect();
+    normalize(&mut v);
+    for _ in 0..iters {
+        let hv = dense_matvec(&m, &v);
+        for i in 0..dim {
+            v[i] = v[i] * shift - hv[i];
+        }
+        normalize(&mut v);
+    }
+    let hv = dense_matvec(&m, &v);
+    let e: C64 = v.iter().zip(&hv).map(|(a, b)| a.conj() * *b).sum();
+    (e.re, v)
+}
+
+fn normalize(v: &mut [C64]) {
+    let n: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for a in v.iter_mut() {
+            *a = *a * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::C_ONE;
+
+    #[test]
+    fn dense_pauli_x() {
+        let m = string_to_dense(&PauliString::parse("X").unwrap());
+        assert!(m[0 * 2 + 1].approx_eq(C_ONE, 1e-12));
+        assert!(m[1 * 2 + 0].approx_eq(C_ONE, 1e-12));
+        assert!(m[0].approx_eq(C_ZERO, 1e-12));
+    }
+
+    #[test]
+    fn dense_zz_matches_paper_eq6() {
+        // Paper Eq. 6: diag(1, −1, −1, 1).
+        let m = string_to_dense(&PauliString::parse("ZZ").unwrap());
+        let diag: Vec<f64> = (0..4).map(|i| m[i * 4 + i].re).collect();
+        assert_eq!(diag, vec![1.0, -1.0, -1.0, 1.0]);
+        for r in 0..4 {
+            for c in 0..4 {
+                if r != c {
+                    assert!(m[r * 4 + c].approx_eq(C_ZERO, 1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_matrix_is_sum_of_strings() {
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
+        let m = op_to_dense(&h);
+        let mz = string_to_dense(&PauliString::parse("ZZ").unwrap());
+        let mx = string_to_dense(&PauliString::parse("XX").unwrap());
+        for i in 0..16 {
+            assert!(m[i].approx_eq(mz[i] + mx[i], 1e-12));
+        }
+    }
+
+    #[test]
+    fn ground_state_of_toy_hamiltonian() {
+        // H = ZZ + XX has eigenvalues {2, 0, 0, −2}; ground energy −2 with
+        // eigenvector (|01⟩ − |10⟩)/√2.
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
+        let (e0, v) = dense_ground_state(&h, 500);
+        assert!((e0 + 2.0).abs() < 1e-8, "got {e0}");
+        assert!(v[1].norm() > 0.7 - 1e-6 && v[2].norm() > 0.7 - 1e-6);
+    }
+
+    #[test]
+    fn ground_state_of_single_qubit_field() {
+        // H = X has ground energy −1 with state |−⟩.
+        let h = PauliOp::parse("1.0 X").unwrap();
+        let (e0, _) = dense_ground_state(&h, 300);
+        assert!((e0 + 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,248 @@
+//! Single-qubit Pauli operators and the quarter-phase group.
+
+use nwq_common::{C64, C_ONE};
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X (bit flip).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in canonical order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Whether this operator acts non-trivially.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        matches!(self, Pauli::I)
+    }
+
+    /// The `(x, z)` symplectic encoding: `P = i^{x·z} X^x Z^z`.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Inverse of [`Pauli::xz`].
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Parses one of `I`, `X`, `Y`, `Z` (case-insensitive).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// Single-character name.
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Product `self · rhs = phase · P`, returning the resulting Pauli and
+    /// the quarter phase (`XY = iZ`, `YX = −iZ`, …).
+    pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
+        use Pauli::*;
+        match (self, rhs) {
+            (I, p) | (p, I) => (Phase::PLUS_ONE, p),
+            (a, b) if a == b => (Phase::PLUS_ONE, I),
+            (X, Y) => (Phase::PLUS_I, Z),
+            (Y, X) => (Phase::MINUS_I, Z),
+            (Y, Z) => (Phase::PLUS_I, X),
+            (Z, Y) => (Phase::MINUS_I, X),
+            (Z, X) => (Phase::PLUS_I, Y),
+            (X, Z) => (Phase::MINUS_I, Y),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Whether `self` and `rhs` commute (all pairs commute unless both are
+    /// distinct non-identity Paulis).
+    #[inline]
+    pub fn commutes_with(self, rhs: Pauli) -> bool {
+        self == rhs || self.is_identity() || rhs.is_identity()
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// An element of the quarter-phase group `{1, i, −1, −i}`, stored as the
+/// exponent `k` in `i^k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Phase(u8);
+
+impl Phase {
+    /// `+1`.
+    pub const PLUS_ONE: Phase = Phase(0);
+    /// `+i`.
+    pub const PLUS_I: Phase = Phase(1);
+    /// `−1`.
+    pub const MINUS_ONE: Phase = Phase(2);
+    /// `−i`.
+    pub const MINUS_I: Phase = Phase(3);
+
+    /// Builds `i^k`.
+    #[inline]
+    pub fn from_power(k: u32) -> Self {
+        Phase((k % 4) as u8)
+    }
+
+    /// The exponent `k` in `i^k`, in `0..4`.
+    #[inline]
+    pub fn power(self) -> u8 {
+        self.0
+    }
+
+    /// Group product.
+    #[inline]
+    pub fn mul(self, rhs: Phase) -> Phase {
+        Phase((self.0 + rhs.0) % 4)
+    }
+
+    /// Group inverse.
+    #[inline]
+    pub fn inverse(self) -> Phase {
+        Phase((4 - self.0) % 4)
+    }
+
+    /// The complex value of this phase.
+    #[inline]
+    pub fn to_c64(self) -> C64 {
+        match self.0 {
+            0 => C_ONE,
+            1 => C64::imag(1.0),
+            2 => -C_ONE,
+            _ => C64::imag(-1.0),
+        }
+    }
+
+    /// `true` for `±1` (real phases).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 % 2 == 0
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.0 {
+            0 => "+1",
+            1 => "+i",
+            2 => "-1",
+            _ => "-i",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::mat::{mat_x, mat_y, mat_z, Mat2};
+
+    fn pauli_mat(p: Pauli) -> Mat2 {
+        match p {
+            Pauli::I => Mat2::identity(),
+            Pauli::X => mat_x(),
+            Pauli::Y => mat_y(),
+            Pauli::Z => mat_z(),
+        }
+    }
+
+    #[test]
+    fn multiplication_table_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (ph, p) = a.mul(b);
+                let expect = pauli_mat(a) * pauli_mat(b);
+                let got = pauli_mat(p).scale(ph.to_c64());
+                assert!(
+                    expect.approx_eq(&got, 1e-12),
+                    "{a}·{b} = {ph}·{p} disagrees with matrices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let ab = pauli_mat(a) * pauli_mat(b);
+                let ba = pauli_mat(b) * pauli_mat(a);
+                assert_eq!(a.commutes_with(b), ab.approx_eq(&ba, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn xz_roundtrip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.xz();
+            assert_eq!(Pauli::from_xz(x, z), p);
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+            assert_eq!(Pauli::from_char(p.to_char().to_ascii_lowercase()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('Q'), None);
+    }
+
+    #[test]
+    fn phase_group() {
+        assert_eq!(Phase::PLUS_I.mul(Phase::PLUS_I), Phase::MINUS_ONE);
+        assert_eq!(Phase::MINUS_I.mul(Phase::PLUS_I), Phase::PLUS_ONE);
+        assert_eq!(Phase::MINUS_ONE.mul(Phase::MINUS_ONE), Phase::PLUS_ONE);
+        for k in 0..4 {
+            let p = Phase::from_power(k);
+            assert_eq!(p.mul(p.inverse()), Phase::PLUS_ONE);
+            assert!(p.to_c64().approx_eq(C64::imag(1.0).powi(k as i32), 1e-12));
+        }
+    }
+
+    #[test]
+    fn phase_reality() {
+        assert!(Phase::PLUS_ONE.is_real());
+        assert!(Phase::MINUS_ONE.is_real());
+        assert!(!Phase::PLUS_I.is_real());
+        assert!(!Phase::MINUS_I.is_real());
+    }
+}

@@ -1,0 +1,420 @@
+//! Pauli strings in the symplectic (bitmask) representation.
+//!
+//! A string over `n ≤ 64` qubits is stored as two `u64` masks: `x_mask` has
+//! a bit set wherever the string contains X or Y, `z_mask` wherever it
+//! contains Z or Y. This makes products, commutation checks, and basis-state
+//! action O(1) word operations — the core reason the direct-expectation path
+//! (paper §4.2) scales to tens of thousands of Hamiltonian terms.
+
+use crate::pauli::{Pauli, Phase};
+use nwq_common::{bits::masked_parity, C64, Error, Result};
+use std::fmt;
+
+/// Maximum register width supported by the bitmask representation.
+pub const MAX_QUBITS: usize = 64;
+
+/// A phaseless tensor product of single-qubit Paulis (`Y` counts as the
+/// operator `Y`, not `iXZ`; phases appear only in products).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PauliString {
+    n_qubits: u32,
+    x_mask: u64,
+    z_mask: u64,
+}
+
+impl PauliString {
+    /// The identity string on `n_qubits`.
+    pub fn identity(n_qubits: usize) -> Self {
+        assert!(n_qubits <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
+        PauliString { n_qubits: n_qubits as u32, x_mask: 0, z_mask: 0 }
+    }
+
+    /// Builds a string from raw symplectic masks.
+    pub fn from_masks(n_qubits: usize, x_mask: u64, z_mask: u64) -> Result<Self> {
+        if n_qubits > MAX_QUBITS {
+            return Err(Error::Invalid(format!(
+                "{n_qubits} qubits exceeds the {MAX_QUBITS}-qubit limit"
+            )));
+        }
+        let valid = if n_qubits == 64 { u64::MAX } else { (1u64 << n_qubits) - 1 };
+        if x_mask & !valid != 0 || z_mask & !valid != 0 {
+            return Err(Error::Invalid("mask bits outside register".into()));
+        }
+        Ok(PauliString { n_qubits: n_qubits as u32, x_mask, z_mask })
+    }
+
+    /// Builds a string placing `pauli` on each listed qubit (identity
+    /// elsewhere). Duplicate qubits are rejected.
+    pub fn from_ops(n_qubits: usize, ops: &[(usize, Pauli)]) -> Result<Self> {
+        let mut s = PauliString::identity(n_qubits);
+        for &(q, p) in ops {
+            if q >= n_qubits {
+                return Err(Error::QubitOutOfRange { qubit: q, n_qubits });
+            }
+            if !s.op(q).is_identity() && !p.is_identity() {
+                return Err(Error::DuplicateQubit(q));
+            }
+            s.set_op(q, p);
+        }
+        Ok(s)
+    }
+
+    /// Parses a label like `"XIZY"`. **Leftmost character is the highest
+    /// qubit** (qubit `n−1`), matching the usual bra-ket printing order.
+    pub fn parse(label: &str) -> Result<Self> {
+        let n = label.chars().count();
+        if n > MAX_QUBITS {
+            return Err(Error::Invalid(format!("label longer than {MAX_QUBITS}")));
+        }
+        let mut s = PauliString::identity(n);
+        for (i, c) in label.chars().enumerate() {
+            let p = Pauli::from_char(c)
+                .ok_or_else(|| Error::Invalid(format!("bad Pauli character {c:?}")))?;
+            s.set_op(n - 1 - i, p);
+        }
+        Ok(s)
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits as usize
+    }
+
+    /// X-component mask (bits where the operator is X or Y).
+    #[inline]
+    pub fn x_mask(&self) -> u64 {
+        self.x_mask
+    }
+
+    /// Z-component mask (bits where the operator is Z or Y).
+    #[inline]
+    pub fn z_mask(&self) -> u64 {
+        self.z_mask
+    }
+
+    /// The Pauli acting on qubit `q`.
+    #[inline]
+    pub fn op(&self, q: usize) -> Pauli {
+        Pauli::from_xz((self.x_mask >> q) & 1 == 1, (self.z_mask >> q) & 1 == 1)
+    }
+
+    /// Overwrites the Pauli on qubit `q`.
+    pub fn set_op(&mut self, q: usize, p: Pauli) {
+        assert!(q < self.n_qubits as usize);
+        let (x, z) = p.xz();
+        let bit = 1u64 << q;
+        if x { self.x_mask |= bit } else { self.x_mask &= !bit }
+        if z { self.z_mask |= bit } else { self.z_mask &= !bit }
+    }
+
+    /// Number of non-identity tensor factors.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        (self.x_mask | self.z_mask).count_ones() as usize
+    }
+
+    /// `true` when every factor is the identity.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.x_mask == 0 && self.z_mask == 0
+    }
+
+    /// `true` when the string contains only I and Z factors, i.e. it is
+    /// diagonal in the computational basis and measurable without basis
+    /// changes.
+    #[inline]
+    pub fn is_diagonal(&self) -> bool {
+        self.x_mask == 0
+    }
+
+    /// Mask of qubits on which the string acts non-trivially.
+    #[inline]
+    pub fn support(&self) -> u64 {
+        self.x_mask | self.z_mask
+    }
+
+    /// Number of Y factors.
+    #[inline]
+    pub fn y_count(&self) -> u32 {
+        (self.x_mask & self.z_mask).count_ones()
+    }
+
+    /// Whether two strings commute as operators (symplectic inner product
+    /// is even).
+    #[inline]
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        debug_assert_eq!(self.n_qubits, other.n_qubits);
+        let anti = (self.x_mask & other.z_mask).count_ones()
+            + (self.z_mask & other.x_mask).count_ones();
+        anti % 2 == 0
+    }
+
+    /// Whether the strings commute *qubit-wise*: on every qubit the factors
+    /// are equal or one is identity. This is the grouping criterion for
+    /// shared measurement bases (stronger than plain commutation).
+    pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
+        debug_assert_eq!(self.n_qubits, other.n_qubits);
+        let both = self.support() & other.support();
+        // On shared support the (x, z) encodings must agree exactly.
+        (self.x_mask ^ other.x_mask) & both == 0 && (self.z_mask ^ other.z_mask) & both == 0
+    }
+
+    /// Operator product `self · other = phase · string`.
+    ///
+    /// The phase accounts for both the per-qubit Pauli products and the
+    /// `Y = iXZ` bookkeeping of the symplectic encoding.
+    pub fn mul(&self, other: &PauliString) -> (Phase, PauliString) {
+        debug_assert_eq!(self.n_qubits, other.n_qubits);
+        let x = self.x_mask ^ other.x_mask;
+        let z = self.z_mask ^ other.z_mask;
+        // Phase in the i^{x·z} X^x Z^z normal form: moving other's X past
+        // self's Z contributes (−1) per overlap; converting Y's costs
+        // i^{y_a + y_b − y_out}.
+        let mut k: u32 = 2 * (self.z_mask & other.x_mask).count_ones();
+        k += self.y_count() + other.y_count();
+        let out = PauliString { n_qubits: self.n_qubits, x_mask: x, z_mask: z };
+        k += 4 - (out.y_count() % 4);
+        (Phase::from_power(k), out)
+    }
+
+    /// Action on a computational basis state: `P|b⟩ = f(b) |b ⊕ x_mask⟩`
+    /// with `f(b) = i^{y_count} · (−1)^{|b ∧ z_mask|}`. Returns `(f(b),
+    /// flipped index)`.
+    #[inline]
+    pub fn apply_to_basis(&self, b: u64) -> (C64, u64) {
+        let sign = if masked_parity(b, self.z_mask) { -1.0 } else { 1.0 };
+        let phase = Phase::from_power(self.y_count()).to_c64() * sign;
+        (phase, b ^ self.x_mask)
+    }
+
+    /// The ±1 eigenvalue contribution of a *diagonal* string on basis state
+    /// `b`. Panics in debug builds if the string is not diagonal.
+    #[inline]
+    pub fn diagonal_eigenvalue(&self, b: u64) -> f64 {
+        debug_assert!(self.is_diagonal());
+        if masked_parity(b, self.z_mask) { -1.0 } else { 1.0 }
+    }
+
+    /// Returns the string extended or truncated to `n` qubits; truncation
+    /// requires the dropped qubits to be identity.
+    pub fn resized(&self, n: usize) -> Result<Self> {
+        if n >= self.n_qubits as usize {
+            let mut s = *self;
+            s.n_qubits = n as u32;
+            if n > MAX_QUBITS {
+                return Err(Error::Invalid(format!("{n} qubits exceeds limit")));
+            }
+            return Ok(s);
+        }
+        let keep = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        if self.support() & !keep != 0 {
+            return Err(Error::Invalid(
+                "cannot truncate non-identity factors".into(),
+            ));
+        }
+        Ok(PauliString { n_qubits: n as u32, x_mask: self.x_mask, z_mask: self.z_mask })
+    }
+
+    /// Iterator over `(qubit, Pauli)` for non-identity factors, ascending.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        let support = self.support();
+        (0..self.n_qubits as usize)
+            .filter(move |q| (support >> q) & 1 == 1)
+            .map(move |q| (q, self.op(q)))
+    }
+
+    /// Printable label, highest qubit first (inverse of [`parse`]).
+    ///
+    /// [`parse`]: PauliString::parse
+    pub fn label(&self) -> String {
+        (0..self.n_qubits as usize)
+            .rev()
+            .map(|q| self.op(q).to_char())
+            .collect()
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString({})", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::C_ONE;
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for lbl in ["XIZY", "IIII", "ZZ", "Y", "XYZI"] {
+            let s = PauliString::parse(lbl).unwrap();
+            assert_eq!(s.label(), lbl);
+            assert_eq!(s.n_qubits(), lbl.len());
+        }
+        assert!(PauliString::parse("XQ").is_err());
+    }
+
+    #[test]
+    fn parse_orientation_leftmost_is_high_qubit() {
+        let s = PauliString::parse("XIZ").unwrap();
+        assert_eq!(s.op(2), Pauli::X);
+        assert_eq!(s.op(1), Pauli::I);
+        assert_eq!(s.op(0), Pauli::Z);
+    }
+
+    #[test]
+    fn from_ops_rejects_bad_input() {
+        assert!(PauliString::from_ops(2, &[(2, Pauli::X)]).is_err());
+        assert!(PauliString::from_ops(2, &[(0, Pauli::X), (0, Pauli::Z)]).is_err());
+        let s = PauliString::from_ops(3, &[(0, Pauli::X), (2, Pauli::Y)]).unwrap();
+        assert_eq!(s.label(), "YIX");
+    }
+
+    #[test]
+    fn weight_support_diagonal() {
+        let s = PauliString::parse("XIZY").unwrap();
+        assert_eq!(s.weight(), 3);
+        assert_eq!(s.support(), 0b1011);
+        assert!(!s.is_diagonal());
+        assert!(PauliString::parse("ZIZZ").unwrap().is_diagonal());
+        assert!(PauliString::identity(5).is_identity());
+        assert_eq!(s.y_count(), 1);
+    }
+
+    #[test]
+    fn commutation_symplectic() {
+        let xx = PauliString::parse("XX").unwrap();
+        let zz = PauliString::parse("ZZ").unwrap();
+        let zi = PauliString::parse("ZI").unwrap();
+        let yy = PauliString::parse("YY").unwrap();
+        assert!(xx.commutes_with(&zz)); // two anticommuting sites -> commute
+        assert!(!xx.commutes_with(&zi));
+        assert!(xx.commutes_with(&yy));
+        assert!(xx.commutes_with(&xx));
+    }
+
+    #[test]
+    fn qubit_wise_commutation_is_stricter() {
+        let xx = PauliString::parse("XX").unwrap();
+        let zz = PauliString::parse("ZZ").unwrap();
+        let xi = PauliString::parse("XI").unwrap();
+        let ix = PauliString::parse("IX").unwrap();
+        assert!(xx.commutes_with(&zz));
+        assert!(!xx.qubit_wise_commutes(&zz));
+        assert!(xx.qubit_wise_commutes(&xi));
+        assert!(xx.qubit_wise_commutes(&ix));
+        assert!(xi.qubit_wise_commutes(&ix));
+    }
+
+    #[test]
+    fn product_phases_single_qubit() {
+        let x = PauliString::parse("X").unwrap();
+        let y = PauliString::parse("Y").unwrap();
+        let z = PauliString::parse("Z").unwrap();
+        let (ph, p) = x.mul(&y);
+        assert_eq!(p, z);
+        assert_eq!(ph, Phase::PLUS_I);
+        let (ph, p) = y.mul(&x);
+        assert_eq!(p, z);
+        assert_eq!(ph, Phase::MINUS_I);
+        let (ph, p) = z.mul(&x);
+        assert_eq!(p, y);
+        assert_eq!(ph, Phase::PLUS_I);
+        let (ph, p) = y.mul(&y);
+        assert!(p.is_identity());
+        assert_eq!(ph, Phase::PLUS_ONE);
+    }
+
+    #[test]
+    fn product_is_involution_free_square() {
+        // Every Pauli string squares to +identity.
+        for lbl in ["XYZ", "YYII", "ZXZX", "IYIY"] {
+            let s = PauliString::parse(lbl).unwrap();
+            let (ph, p) = s.mul(&s);
+            assert!(p.is_identity(), "{lbl}");
+            assert_eq!(ph, Phase::PLUS_ONE, "{lbl}");
+        }
+    }
+
+    #[test]
+    fn product_multi_qubit_matches_factorwise() {
+        let a = PauliString::parse("XYZI").unwrap();
+        let b = PauliString::parse("YYXZ").unwrap();
+        let (ph, p) = a.mul(&b);
+        // Compute expected factor-wise.
+        let mut expect_phase = Phase::PLUS_ONE;
+        let mut expect = PauliString::identity(4);
+        for q in 0..4 {
+            let (f, r) = a.op(q).mul(b.op(q));
+            expect_phase = expect_phase.mul(f);
+            expect.set_op(q, r);
+        }
+        assert_eq!(p, expect);
+        assert_eq!(ph, expect_phase);
+    }
+
+    #[test]
+    fn basis_action_x_flips() {
+        let s = PauliString::parse("IX").unwrap();
+        let (f, b) = s.apply_to_basis(0b00);
+        assert_eq!(b, 0b01);
+        assert!(f.approx_eq(C_ONE, 1e-12));
+    }
+
+    #[test]
+    fn basis_action_z_signs() {
+        let s = PauliString::parse("ZI").unwrap();
+        assert!(s.apply_to_basis(0b00).0.approx_eq(C_ONE, 1e-12));
+        assert!(s.apply_to_basis(0b10).0.approx_eq(-C_ONE, 1e-12));
+        assert_eq!(s.diagonal_eigenvalue(0b10), -1.0);
+        assert_eq!(s.diagonal_eigenvalue(0b01), 1.0);
+    }
+
+    #[test]
+    fn basis_action_y() {
+        // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+        let s = PauliString::parse("Y").unwrap();
+        let (f, b) = s.apply_to_basis(0);
+        assert_eq!(b, 1);
+        assert!(f.approx_eq(C64::imag(1.0), 1e-12));
+        let (f, b) = s.apply_to_basis(1);
+        assert_eq!(b, 0);
+        assert!(f.approx_eq(C64::imag(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn resize_behaviour() {
+        let s = PauliString::parse("IX").unwrap();
+        let bigger = s.resized(5).unwrap();
+        assert_eq!(bigger.label(), "IIIIX");
+        let smaller = bigger.resized(1).unwrap();
+        assert_eq!(smaller.label(), "X");
+        assert!(PauliString::parse("XI").unwrap().resized(1).is_err());
+    }
+
+    #[test]
+    fn iter_ops_lists_nontrivial() {
+        let s = PauliString::parse("XIZY").unwrap();
+        let ops: Vec<_> = s.iter_ops().collect();
+        assert_eq!(
+            ops,
+            vec![(0, Pauli::Y), (1, Pauli::Z), (3, Pauli::X)]
+        );
+    }
+
+    #[test]
+    fn from_masks_validation() {
+        assert!(PauliString::from_masks(2, 0b100, 0).is_err());
+        assert!(PauliString::from_masks(65, 0, 0).is_err());
+        let s = PauliString::from_masks(3, 0b011, 0b110).unwrap();
+        assert_eq!(s.label(), "ZYX");
+    }
+}

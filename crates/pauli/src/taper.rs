@@ -1,0 +1,302 @@
+//! Qubit tapering via Z2 symmetries (Bravyi–Gambetta–Kitaev–Temme).
+//!
+//! Molecular Hamiltonians conserve discrete parities (α-electron parity,
+//! β-electron parity, …) that appear after Jordan–Wigner as Z-type Pauli
+//! strings commuting with every Hamiltonian term. Each such symmetry lets
+//! one qubit be replaced by its classical eigenvalue:
+//!
+//! 1. find a basis of Z-only strings `τ` with `[H, τ] = 0` — a GF(2)
+//!    nullspace of the Hamiltonian's X-masks;
+//! 2. pick a distinct pivot qubit `q_k` in each `τ_k`'s support;
+//! 3. conjugate `H → U H U` with the Hermitian unitaries
+//!    `U_k = (X_{q_k} + τ_k)/√2`, after which qubit `q_k` appears only as
+//!    `I` or `X` in every term;
+//! 4. substitute `X_{q_k} → ±1` (the symmetry sector of the reference
+//!    determinant) and drop the qubit.
+//!
+//! The tapered operator acts on `n − k` qubits with the *same* eigenvalues
+//! in the chosen sector — H2 goes from 4 qubits to 1.
+
+use crate::op::PauliOp;
+use crate::pauli::Pauli;
+use crate::string::PauliString;
+use nwq_common::{C64, Error, Result};
+
+/// Finds a basis of Z-only Pauli strings commuting with every term of
+/// `h`, excluding the identity. These are the Z2 symmetry generators
+/// reachable without Clifford pre-rotations (sufficient for JW molecular
+/// Hamiltonians).
+pub fn find_z2_symmetries(h: &PauliOp) -> Vec<PauliString> {
+    let n = h.n_qubits();
+    // A Z-string with mask v commutes with a term (x, z) iff |x ∧ v| is
+    // even, so v must lie in the GF(2) nullspace of the x-mask rows.
+    let mut rows: Vec<u64> = h.terms().iter().map(|(_, s)| s.x_mask()).collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows.retain(|&r| r != 0);
+
+    // Row echelon over GF(2); record pivot columns.
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut echelon: Vec<u64> = Vec::new();
+    for mut row in rows {
+        for (&p, &e) in pivots.iter().zip(&echelon) {
+            if (row >> p) & 1 == 1 {
+                row ^= e;
+            }
+        }
+        if row != 0 {
+            let p = row.trailing_zeros() as usize;
+            // Reduce existing rows by the new pivot for full reduction.
+            for e in echelon.iter_mut() {
+                if (*e >> p) & 1 == 1 {
+                    *e ^= row;
+                }
+            }
+            pivots.push(p);
+            echelon.push(row);
+        }
+    }
+    // Nullspace basis: one vector per free column.
+    let mut generators = Vec::new();
+    for free in 0..n {
+        if pivots.contains(&free) {
+            continue;
+        }
+        let mut v = 1u64 << free;
+        for (&p, &e) in pivots.iter().zip(&echelon) {
+            // Fully reduced echelon: pivot row e has 1 in column `free`?
+            if (e >> free) & 1 == 1 {
+                v |= 1u64 << p;
+            }
+        }
+        let s = PauliString::from_masks(n, 0, v).expect("mask within register");
+        generators.push(s);
+    }
+    generators
+}
+
+/// Result of a tapering transformation.
+#[derive(Clone, Debug)]
+pub struct TaperingResult {
+    /// The tapered operator on `n − k` qubits.
+    pub tapered: PauliOp,
+    /// The symmetry generators used.
+    pub generators: Vec<PauliString>,
+    /// The pivot qubit removed for each generator.
+    pub pivots: Vec<usize>,
+    /// The ±1 eigenvalue sector substituted for each generator.
+    pub sector: Vec<i8>,
+}
+
+/// Tapers all Z-type Z2 symmetries off `h`, selecting the symmetry sector
+/// of the computational reference determinant `reference` (e.g. the
+/// Hartree–Fock bitstring).
+pub fn taper(h: &PauliOp, reference: u64) -> Result<TaperingResult> {
+    let n = h.n_qubits();
+    let mut generators = find_z2_symmetries(h);
+    if generators.is_empty() {
+        return Ok(TaperingResult {
+            tapered: h.clone(),
+            generators,
+            pivots: Vec::new(),
+            sector: Vec::new(),
+        });
+    }
+    // Choose distinct pivots by Gaussian elimination on the z-masks so
+    // that generator k is the only one acting on pivot k.
+    let mut masks: Vec<u64> = generators.iter().map(|g| g.z_mask()).collect();
+    let mut pivots: Vec<usize> = Vec::new();
+    for i in 0..masks.len() {
+        let mut m = masks[i];
+        for (&p, j) in pivots.iter().zip(0..i) {
+            let _ = j;
+            m &= !(1u64 << p); // prefer fresh columns
+        }
+        if m == 0 {
+            return Err(Error::Numerical(
+                "dependent symmetry generators; cannot choose pivots".into(),
+            ));
+        }
+        let p = m.trailing_zeros() as usize;
+        pivots.push(p);
+        // Eliminate pivot p from the other generators.
+        for j in 0..masks.len() {
+            if j != i && (masks[j] >> p) & 1 == 1 {
+                masks[j] ^= masks[i];
+            }
+        }
+    }
+    for (g, &m) in generators.iter_mut().zip(&masks) {
+        *g = PauliString::from_masks(n, 0, m)?;
+    }
+
+    // Sector from the reference determinant (before conjugation, the
+    // symmetry eigenvalue of |ref⟩).
+    let sector: Vec<i8> = generators
+        .iter()
+        .map(|g| if (reference & g.z_mask()).count_ones() % 2 == 1 { -1 } else { 1 })
+        .collect();
+
+    // Conjugate by U_k = (X_{q_k} + τ_k)/√2, all k.
+    let inv_sqrt2 = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    let mut transformed = h.clone();
+    for (g, &p) in generators.iter().zip(&pivots) {
+        let u = PauliOp::from_terms(
+            n,
+            vec![
+                (inv_sqrt2, PauliString::from_ops(n, &[(p, Pauli::X)])?),
+                (inv_sqrt2, *g),
+            ],
+        );
+        transformed = u.mul_op(&transformed)?.mul_op(&u)?;
+    }
+
+    // Every pivot qubit must now carry only I or X; substitute ±1.
+    let keep: Vec<usize> = (0..n).filter(|q| !pivots.contains(q)).collect();
+    let mut new_terms: Vec<(C64, PauliString)> = Vec::with_capacity(transformed.num_terms());
+    for &(c, s) in transformed.terms() {
+        let mut coeff = c;
+        let mut ops: Vec<(usize, Pauli)> = Vec::new();
+        for (q, p) in s.iter_ops() {
+            if let Some(pos) = keep.iter().position(|&k| k == q) {
+                ops.push((pos, p));
+            } else {
+                match p {
+                    Pauli::X => {
+                        let k = pivots.iter().position(|&pv| pv == q).expect("pivot");
+                        coeff = coeff * (sector[k] as f64);
+                    }
+                    Pauli::I => {}
+                    other => {
+                        return Err(Error::Numerical(format!(
+                            "tapering left {other} on pivot qubit {q}"
+                        )));
+                    }
+                }
+            }
+        }
+        new_terms.push((coeff, PauliString::from_ops(keep.len(), &ops)?));
+    }
+    Ok(TaperingResult {
+        tapered: PauliOp::from_terms(keep.len(), new_terms),
+        generators,
+        pivots,
+        sector,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dense_ground_state;
+
+    #[test]
+    fn finds_symmetries_of_ising_like_model() {
+        // H = ZZ + ZI: purely diagonal, every Z-string commutes — the
+        // nullspace is the whole space (2 generators on 2 qubits).
+        let h = PauliOp::parse("1.0 ZZ + 0.5 ZI").unwrap();
+        let gens = find_z2_symmetries(&h);
+        assert_eq!(gens.len(), 2);
+        for g in &gens {
+            assert!(g.is_diagonal());
+            for (_, s) in h.terms() {
+                assert!(g.commutes_with(s));
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_terms_leave_only_global_parity() {
+        // H = ZZ + XX + YY (Heisenberg pair): single-qubit Z symmetries
+        // are broken by the exchange terms; only the pair parity ZZ
+        // survives. (A transverse-field model's surviving symmetry is
+        // X-type — outside the Z-only search by design.)
+        let h = PauliOp::parse("1.0 ZZ + 0.5 XX + 0.5 YY").unwrap();
+        let gens = find_z2_symmetries(&h);
+        assert_eq!(gens.len(), 1);
+        assert_eq!(gens[0].label(), "ZZ");
+    }
+
+    #[test]
+    fn no_symmetries_when_x_masks_span() {
+        // Single-qubit X and Y break everything on a 1-qubit register.
+        let h = PauliOp::parse("1.0 X + 0.5 Z").unwrap();
+        assert!(find_z2_symmetries(&h).is_empty());
+        let r = taper(&h, 0).unwrap();
+        assert_eq!(r.tapered, h);
+    }
+
+    #[test]
+    fn tapering_preserves_ground_energy_tfim() {
+        // Transverse-field Ising on 3 qubits has the global flip parity
+        // X⊗X⊗X?? No — its symmetry is Z-type only after rotation; use a
+        // model with an explicit Z-type symmetry instead: H commutes with
+        // Z0Z1 (terms act on the pair only via XX/YY/ZZ).
+        let h = PauliOp::parse("1.0 XXI + 1.0 YYI + 0.5 ZZI + 0.4 IIX + 0.2 ZII")
+            .unwrap();
+        // Hmm: ZII does not commute with XXI? |x∧v|: XXI has x-mask on
+        // qubits 1,2… rely on the library: verify the generators it finds
+        // and the spectrum it preserves.
+        let gens = find_z2_symmetries(&h);
+        assert!(!gens.is_empty());
+        let (e_full, _) = dense_ground_state(&h, 3000);
+        // Try both sectors of every generator via reference determinants
+        // 0..2^3 and take the best tapered energy: must match e_full.
+        let mut best = f64::INFINITY;
+        for reference in 0u64..8 {
+            let r = taper(&h, reference).unwrap();
+            if r.tapered.n_qubits() == 0 {
+                continue;
+            }
+            let (e, _) = dense_ground_state(&r.tapered, 3000);
+            best = best.min(e);
+        }
+        assert!((best - e_full).abs() < 1e-6, "{best} vs {e_full}");
+    }
+
+    #[test]
+    fn tapered_operator_width_shrinks_by_generator_count() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 XX").unwrap();
+        let gens = find_z2_symmetries(&h);
+        assert_eq!(gens.len(), 1); // ZZ parity
+        // The ground state of ZZ + 0.5·XX lives in the odd-parity sector
+        // (spectrum: {1.5, 0.5} even, {−0.5, −1.5} odd); pick it via an
+        // odd reference determinant.
+        let r = taper(&h, 0b01).unwrap();
+        assert_eq!(r.tapered.n_qubits(), 1);
+        assert_eq!(r.pivots.len(), 1);
+        let (e_full, _) = dense_ground_state(&h, 2000);
+        let (e_tapered, _) = dense_ground_state(&r.tapered, 2000);
+        assert!((e_full - e_tapered).abs() < 1e-8, "{e_full} vs {e_tapered}");
+        // Even sector: ground is 0.5.
+        let even = taper(&h, 0b00).unwrap();
+        let (e_even, _) = dense_ground_state(&even.tapered, 2000);
+        assert!((e_even - 0.5).abs() < 1e-8, "{e_even}");
+    }
+
+    #[test]
+    fn sector_signs_follow_reference() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 XX").unwrap();
+        let even = taper(&h, 0b00).unwrap();
+        let odd = taper(&h, 0b01).unwrap();
+        assert_eq!(even.sector, vec![1]);
+        assert_eq!(odd.sector, vec![-1]);
+        // Different sectors generally have different spectra.
+        let (e_even, _) = dense_ground_state(&even.tapered, 2000);
+        let (e_odd, _) = dense_ground_state(&odd.tapered, 2000);
+        // For ZZ+0.5XX: even sector ground −√(1+0.25)… just require both
+        // are ≥ the full ground energy and one matches it.
+        let (e_full, _) = dense_ground_state(&h, 2000);
+        assert!(e_even >= e_full - 1e-9);
+        assert!(e_odd >= e_full - 1e-9);
+        assert!((e_even - e_full).abs() < 1e-8 || (e_odd - e_full).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tapered_terms_never_exceed_original_support() {
+        let h = PauliOp::parse("1.0 ZZ + 0.5 XX + 0.25 YY").unwrap();
+        let r = taper(&h, 0).unwrap();
+        assert!(r.tapered.n_qubits() < h.n_qubits());
+        assert!(r.tapered.is_hermitian(1e-10));
+    }
+}

@@ -1,0 +1,457 @@
+//! Density-matrix simulation with noise channels — the DM-Sim half of the
+//! NWQ-Sim suite (paper ref [7]).
+//!
+//! A density matrix over `n` qubits is stored in "vectorized" layout: the
+//! element `ρ_{r,c}` lives at flat index `(c << n) | r`, i.e. the matrix
+//! is a statevector over `2n` qubits with row bits low and column bits
+//! high. A unitary gate `ρ → UρU†` then reuses the optimized statevector
+//! kernels twice: `U` on the row qubits and `U*` on the column qubits.
+//! Kraus channels `ρ → Σ_k K_k ρ K_k†` apply each Kraus operator the same
+//! way and accumulate.
+//!
+//! Practical up to ~12 qubits (4¹² complex entries); the VQE noise
+//! studies here use 2–6 qubits.
+
+use crate::kernels::{apply_mat2, apply_mat4};
+use crate::state::StateVector;
+use nwq_circuit::{Circuit, GateMatrix};
+use nwq_common::bits::dim;
+use nwq_common::{C64, C_ONE, C_ZERO, Error, Mat2, Mat4, Result};
+use nwq_pauli::{PauliOp, PauliString};
+
+/// A density matrix in vectorized (row-low, column-high) layout.
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    /// `4^n` entries; `elems[(c << n) | r] = ρ_{r,c}`.
+    elems: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn zero(n_qubits: usize) -> Self {
+        let d = dim(n_qubits);
+        let mut elems = vec![C_ZERO; d * d];
+        elems[0] = C_ONE;
+        DensityMatrix { n_qubits, elems }
+    }
+
+    /// The pure state `|ψ⟩⟨ψ|`.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let n = state.n_qubits();
+        let d = state.len();
+        let amps = state.amplitudes();
+        let mut elems = vec![C_ZERO; d * d];
+        for c in 0..d {
+            for r in 0..d {
+                elems[(c << n) | r] = amps[r] * amps[c].conj();
+            }
+        }
+        DensityMatrix { n_qubits: n, elems }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Element `ρ_{r,c}`.
+    pub fn get(&self, r: usize, c: usize) -> C64 {
+        self.elems[(c << self.n_qubits) | r]
+    }
+
+    /// Trace (1 for a normalized state).
+    pub fn trace(&self) -> C64 {
+        let d = dim(self.n_qubits);
+        (0..d).map(|r| self.get(r, r)).sum()
+    }
+
+    /// Purity `Tr(ρ²)` — 1 for pure states, `1/2^n` for the maximally
+    /// mixed state.
+    pub fn purity(&self) -> f64 {
+        // Tr(ρ²) = Σ_{r,c} ρ_{r,c} ρ_{c,r} = Σ |ρ_{r,c}|² for Hermitian ρ.
+        self.elems.iter().map(|e| e.norm_sqr()).sum()
+    }
+
+    /// Applies a unitary gate.
+    pub fn apply_gate(&mut self, gate: &GateMatrix) -> Result<()> {
+        let n = self.n_qubits;
+        match gate {
+            GateMatrix::One(q, m) => {
+                if *q >= n {
+                    return Err(Error::QubitOutOfRange { qubit: *q, n_qubits: n });
+                }
+                apply_mat2(&mut self.elems, *q, m);
+                apply_mat2(&mut self.elems, q + n, &conj2(m));
+            }
+            GateMatrix::Two(a, b, m) => {
+                if *a >= n || *b >= n {
+                    return Err(Error::QubitOutOfRange { qubit: (*a).max(*b), n_qubits: n });
+                }
+                apply_mat4(&mut self.elems, *a, *b, m);
+                apply_mat4(&mut self.elems, a + n, b + n, &conj4(m));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit Kraus channel `ρ → Σ_k K_k ρ K_k†` on `q`.
+    pub fn apply_kraus1(&mut self, q: usize, kraus: &[Mat2]) -> Result<()> {
+        if q >= self.n_qubits {
+            return Err(Error::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits });
+        }
+        let mut acc = vec![C_ZERO; self.elems.len()];
+        for k in kraus {
+            let mut term = self.elems.clone();
+            apply_mat2(&mut term, q, k);
+            apply_mat2(&mut term, q + self.n_qubits, &conj2(k));
+            for (a, t) in acc.iter_mut().zip(&term) {
+                *a += *t;
+            }
+        }
+        self.elems = acc;
+        Ok(())
+    }
+
+    /// Exact expectation `Tr(ρP)` of a Pauli string:
+    /// `Σ_c f(c) ρ_{c⊕m, c}` with `P|c⟩ = f(c)|c⊕m⟩`.
+    pub fn expectation_string(&self, s: &PauliString) -> Result<C64> {
+        if s.n_qubits() != self.n_qubits {
+            return Err(Error::DimensionMismatch {
+                expected: self.n_qubits,
+                got: s.n_qubits(),
+            });
+        }
+        let d = dim(self.n_qubits);
+        let mut acc = C_ZERO;
+        for c in 0..d {
+            let (f, flipped) = s.apply_to_basis(c as u64);
+            acc += f * self.get(flipped as usize, c);
+        }
+        Ok(acc)
+    }
+
+    /// Exact expectation `Tr(ρH)` of a Pauli sum.
+    pub fn expectation(&self, op: &PauliOp) -> Result<C64> {
+        let mut acc = C_ZERO;
+        for &(coeff, s) in op.terms() {
+            acc += coeff * self.expectation_string(&s)?;
+        }
+        Ok(acc)
+    }
+
+    /// Energy `Re Tr(ρH)`.
+    pub fn energy(&self, op: &PauliOp) -> Result<f64> {
+        Ok(self.expectation(op)?.re)
+    }
+
+    /// Overlap with a pure state, `⟨ψ|ρ|ψ⟩`.
+    pub fn fidelity_with_pure(&self, state: &StateVector) -> Result<f64> {
+        if state.n_qubits() != self.n_qubits {
+            return Err(Error::DimensionMismatch {
+                expected: self.n_qubits,
+                got: state.n_qubits(),
+            });
+        }
+        let d = dim(self.n_qubits);
+        let amps = state.amplitudes();
+        let mut acc = C_ZERO;
+        for c in 0..d {
+            for r in 0..d {
+                acc += amps[r].conj() * self.get(r, c) * amps[c];
+            }
+        }
+        Ok(acc.re)
+    }
+}
+
+fn conj2(m: &Mat2) -> Mat2 {
+    let mut out = *m;
+    for r in 0..2 {
+        for c in 0..2 {
+            out.0[r][c] = m.0[r][c].conj();
+        }
+    }
+    out
+}
+
+fn conj4(m: &Mat4) -> Mat4 {
+    let mut out = *m;
+    for r in 0..4 {
+        for c in 0..4 {
+            out.0[r][c] = m.0[r][c].conj();
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Noise channels.
+// ---------------------------------------------------------------------------
+
+/// Standard single-qubit noise channels as Kraus sets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoiseChannel {
+    /// Depolarizing with error probability `p` (state replaced by the
+    /// maximally mixed state with probability p).
+    Depolarizing(f64),
+    /// Bit flip (X) with probability `p`.
+    BitFlip(f64),
+    /// Phase flip (Z) with probability `p`.
+    PhaseFlip(f64),
+    /// Amplitude damping with decay probability `γ`.
+    AmplitudeDamping(f64),
+}
+
+impl NoiseChannel {
+    /// The Kraus operators of the channel.
+    pub fn kraus(&self) -> Vec<Mat2> {
+        use nwq_common::mat::{mat_x, mat_y, mat_z};
+        match *self {
+            NoiseChannel::Depolarizing(p) => {
+                let k0 = Mat2::identity().scale(C64::real((1.0 - p).sqrt()));
+                let kp = (p / 3.0).sqrt();
+                vec![
+                    k0,
+                    mat_x().scale(C64::real(kp)),
+                    mat_y().scale(C64::real(kp)),
+                    mat_z().scale(C64::real(kp)),
+                ]
+            }
+            NoiseChannel::BitFlip(p) => vec![
+                Mat2::identity().scale(C64::real((1.0 - p).sqrt())),
+                mat_x().scale(C64::real(p.sqrt())),
+            ],
+            NoiseChannel::PhaseFlip(p) => vec![
+                Mat2::identity().scale(C64::real((1.0 - p).sqrt())),
+                mat_z().scale(C64::real(p.sqrt())),
+            ],
+            NoiseChannel::AmplitudeDamping(g) => {
+                let mut k0 = Mat2::identity();
+                k0.0[1][1] = C64::real((1.0 - g).sqrt());
+                let mut k1 = Mat2([[C_ZERO; 2]; 2]);
+                k1.0[0][1] = C64::real(g.sqrt());
+                vec![k0, k1]
+            }
+        }
+    }
+
+    /// Verifies the completeness relation `Σ K†K = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        let mut sum = Mat2([[C_ZERO; 2]; 2]);
+        for k in self.kraus() {
+            let kk = k.dagger() * k;
+            for r in 0..2 {
+                for c in 0..2 {
+                    sum.0[r][c] += kk.0[r][c];
+                }
+            }
+        }
+        sum.approx_eq(&Mat2::identity(), tol)
+    }
+}
+
+/// A gate-level noise model: channels applied to each operand qubit after
+/// every gate of the corresponding arity.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseModel {
+    /// Channels applied after single-qubit gates.
+    pub after_1q: Vec<NoiseChannel>,
+    /// Channels applied after two-qubit gates (to both qubits).
+    pub after_2q: Vec<NoiseChannel>,
+}
+
+impl NoiseModel {
+    /// Uniform depolarizing noise: `p1` after 1-qubit, `p2` after 2-qubit
+    /// gates (the standard first-order device model).
+    pub fn depolarizing(p1: f64, p2: f64) -> Self {
+        NoiseModel {
+            after_1q: vec![NoiseChannel::Depolarizing(p1)],
+            after_2q: vec![NoiseChannel::Depolarizing(p2)],
+        }
+    }
+
+    /// No noise (density-matrix execution equals statevector).
+    pub fn noiseless() -> Self {
+        NoiseModel::default()
+    }
+}
+
+/// Runs a circuit on a density matrix from `|0…0⟩⟨0…0|` under a noise
+/// model.
+pub fn run_noisy(
+    circuit: &Circuit,
+    params: &[f64],
+    noise: &NoiseModel,
+) -> Result<DensityMatrix> {
+    let mut rho = DensityMatrix::zero(circuit.n_qubits());
+    for gate in circuit.gates() {
+        let m = gate.matrix(params)?;
+        rho.apply_gate(&m)?;
+        let (qubits, channels) = match &m {
+            GateMatrix::One(q, _) => (vec![*q], &noise.after_1q),
+            GateMatrix::Two(a, b, _) => (vec![*a, *b], &noise.after_2q),
+        };
+        for &q in &qubits {
+            for ch in channels {
+                rho.apply_kraus1(q, &ch.kraus())?;
+            }
+        }
+    }
+    Ok(rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::simulate;
+    use nwq_circuit::Circuit;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn pure_state_roundtrip() {
+        let psi = simulate(&bell(), &[]).unwrap();
+        let rho = DensityMatrix::from_pure(&psi);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.fidelity_with_pure(&psi).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_execution_matches_statevector() {
+        let c = {
+            let mut c = Circuit::new(3);
+            c.h(0).cx(0, 1).rz(1, 0.4).ry(2, -0.7).cx(1, 2).swap(0, 2);
+            c
+        };
+        let psi = simulate(&c, &[]).unwrap();
+        let rho = run_noisy(&c, &[], &NoiseModel::noiseless()).unwrap();
+        assert!((rho.fidelity_with_pure(&psi).unwrap() - 1.0).abs() < 1e-10);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+        // Energies agree for an arbitrary observable.
+        let h = PauliOp::parse("0.5 ZZI + 0.3 XIX + 0.2 IYY").unwrap();
+        assert!((rho.energy(&h).unwrap() - psi.energy(&h).unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn all_channels_trace_preserving() {
+        for ch in [
+            NoiseChannel::Depolarizing(0.1),
+            NoiseChannel::BitFlip(0.2),
+            NoiseChannel::PhaseFlip(0.05),
+            NoiseChannel::AmplitudeDamping(0.3),
+        ] {
+            assert!(ch.is_trace_preserving(1e-12), "{ch:?}");
+        }
+    }
+
+    #[test]
+    fn depolarizing_mixes_the_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let rho = run_noisy(&c, &[], &NoiseModel::depolarizing(0.2, 0.0)).unwrap();
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!(rho.purity() < 1.0 - 1e-3);
+        // Fully depolarizing limit: maximally mixed.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let rho = run_noisy(&c, &[], &NoiseModel::depolarizing(0.75, 0.0)).unwrap();
+        assert!((rho.purity() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bit_flip_flips_population() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let noise = NoiseModel {
+            after_1q: vec![NoiseChannel::BitFlip(0.25)],
+            after_2q: vec![],
+        };
+        let rho = run_noisy(&c, &[], &noise).unwrap();
+        // P(|1⟩) = 0.75 after one flip channel.
+        assert!((rho.get(1, 1).re - 0.75).abs() < 1e-12);
+        assert!((rho.get(0, 0).re - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let noise = NoiseModel {
+            after_1q: vec![NoiseChannel::AmplitudeDamping(0.4)],
+            after_2q: vec![],
+        };
+        let rho = run_noisy(&c, &[], &noise).unwrap();
+        assert!((rho.get(1, 1).re - 0.6).abs() < 1e-12);
+        assert!((rho.get(0, 0).re - 0.4).abs() < 1e-12);
+        // Damping toward |0⟩ keeps the trace.
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_flip_kills_coherence_not_population() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let noise = NoiseModel {
+            after_1q: vec![NoiseChannel::PhaseFlip(0.5)],
+            after_2q: vec![],
+        };
+        let rho = run_noisy(&c, &[], &noise).unwrap();
+        // p = 1/2 phase flip fully dephases: off-diagonals vanish,
+        // populations stay 1/2.
+        assert!(rho.get(0, 1).norm() < 1e-12);
+        assert!((rho.get(0, 0).re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_vqe_energy_interpolates_to_noiseless() {
+        // Noise raises the Bell-pair energy of H = ZZ + XX toward 0
+        // (maximally mixed); shrinking noise recovers the pure value.
+        let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
+        let mut c = Circuit::new(2);
+        c.ry(0, std::f64::consts::FRAC_PI_2).cx(0, 1).ry(1, std::f64::consts::PI);
+        let pure_e = simulate(&c, &[]).unwrap().energy(&h).unwrap();
+        assert!((pure_e + 2.0).abs() < 1e-9);
+        let mut last = pure_e;
+        for p in [0.0, 0.01, 0.05, 0.2] {
+            let rho = run_noisy(&c, &[], &NoiseModel::depolarizing(p, p)).unwrap();
+            let e = rho.energy(&h).unwrap();
+            assert!(e >= last - 1e-9, "noise must not lower the energy: {e} < {last}");
+            last = e;
+        }
+        assert!(last > -1.5, "strong noise should visibly raise the energy");
+    }
+
+    #[test]
+    fn expectation_matches_dense_trace() {
+        let c = bell();
+        let rho = run_noisy(&c, &[], &NoiseModel::depolarizing(0.1, 0.1)).unwrap();
+        let h = PauliOp::parse("0.7 ZZ + 0.2 XI + 0.1 YY").unwrap();
+        // Reference: explicit Tr(ρH) from dense matrices.
+        let dense_h = nwq_pauli::matrix::op_to_dense(&h);
+        let d = 4;
+        let mut tr = C_ZERO;
+        for r in 0..d {
+            for c2 in 0..d {
+                tr += rho.get(r, c2) * dense_h[c2 * d + r];
+            }
+        }
+        assert!((rho.expectation(&h).unwrap() - tr).norm() < 1e-10);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rho = DensityMatrix::zero(2);
+        assert!(rho
+            .apply_gate(&GateMatrix::One(5, Mat2::identity()))
+            .is_err());
+        assert!(rho.apply_kraus1(3, &[Mat2::identity()]).is_err());
+        let s = PauliString::parse("ZZZ").unwrap();
+        assert!(rho.expectation_string(&s).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! In-place, Rayon-parallel gate application kernels.
+//!
+//! These are the CPU analog of NWQ-Sim's GPU kernels: each gate touches
+//! every amplitude exactly once, and disjoint amplitude pairs/quads are
+//! distributed across cores. Safe-Rust chunking strategies give the
+//! data-race freedom Rayon guarantees without `unsafe`:
+//!
+//! - For a single-qubit gate on qubit `q`, the array splits into blocks of
+//!   `2^{q+1}`; each block holds `2^q` independent (low, high) pairs.
+//!   Low-`q` gates parallelize across blocks; high-`q` gates have few
+//!   blocks, so the kernel instead splits each block and zips the halves
+//!   in parallel.
+//! - Two-qubit gates use blocks of `2^{hi+1}` with an inner split for the
+//!   `hi` bit and chunked pairing for the `lo` bit.
+//!
+//! Diagonal matrices (RZ, CZ, CP, RZZ, fused diagonals) take a fast path
+//! that multiplies amplitudes without pairing.
+
+use nwq_common::{C64, Mat2, Mat4};
+use rayon::prelude::*;
+
+/// Minimum number of independent outer blocks before parallel dispatch is
+/// worthwhile; below this the serial loop wins.
+const MIN_PAR_BLOCKS: usize = 8;
+/// Minimum amplitudes per parallel work item for the inner-split paths.
+const MIN_PAR_ELEMS: usize = 1 << 11;
+
+#[inline]
+fn pair_update(lo: &mut C64, hi: &mut C64, m: &Mat2) {
+    let a = *lo;
+    let b = *hi;
+    *lo = m.0[0][0] * a + m.0[0][1] * b;
+    *hi = m.0[1][0] * a + m.0[1][1] * b;
+}
+
+fn mat2_is_diagonal(m: &Mat2) -> bool {
+    m.0[0][1].norm_sqr() == 0.0 && m.0[1][0].norm_sqr() == 0.0
+}
+
+fn mat4_is_diagonal(m: &Mat4) -> bool {
+    (0..4).all(|r| (0..4).all(|c| r == c || m.0[r][c].norm_sqr() == 0.0))
+}
+
+/// Applies a single-qubit unitary to qubit `q`, in place.
+pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
+    debug_assert!(1usize << q < amps.len());
+    if mat2_is_diagonal(m) {
+        return apply_diag1(amps, q, m.0[0][0], m.0[1][1]);
+    }
+    let stride = 1usize << q;
+    let block = stride << 1;
+    let nblocks = amps.len() / block;
+    if nblocks >= MIN_PAR_BLOCKS {
+        amps.par_chunks_mut(block).for_each(|c| {
+            let (lo, hi) = c.split_at_mut(stride);
+            for j in 0..stride {
+                pair_update(&mut lo[j], &mut hi[j], m);
+            }
+        });
+    } else {
+        for c in amps.chunks_mut(block) {
+            let (lo, hi) = c.split_at_mut(stride);
+            if stride >= MIN_PAR_ELEMS {
+                lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
+                    pair_update(a, b, m);
+                });
+            } else {
+                for j in 0..stride {
+                    pair_update(&mut lo[j], &mut hi[j], m);
+                }
+            }
+        }
+    }
+}
+
+/// Diagonal single-qubit fast path: `amp[i] *= d0` or `d1` by bit `q`.
+fn apply_diag1(amps: &mut [C64], q: usize, d0: C64, d1: C64) {
+    let body = |(i, a): (usize, &mut C64)| {
+        let d = if (i >> q) & 1 == 1 { d1 } else { d0 };
+        *a = *a * d;
+    };
+    if amps.len() >= MIN_PAR_ELEMS {
+        amps.par_iter_mut().enumerate().for_each(body);
+    } else {
+        amps.iter_mut().enumerate().for_each(body);
+    }
+}
+
+#[inline]
+fn quad_update(a00: &mut C64, a01: &mut C64, a10: &mut C64, a11: &mut C64, m: &Mat4) {
+    // Index convention: (high bit, low bit); a01 = high 0, low 1.
+    let v = [*a00, *a01, *a10, *a11];
+    let mut out = [C64::default(); 4];
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &m.0[r];
+        *o = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+    }
+    *a00 = out[0];
+    *a01 = out[1];
+    *a10 = out[2];
+    *a11 = out[3];
+}
+
+/// Applies a two-qubit unitary, in place. The matrix follows the workspace
+/// convention: index = `(bit(q_high_arg) << 1) | bit(q_low_arg)` where
+/// `q_high_arg`/`q_low_arg` are the *argument* roles (first/second), not
+/// the numeric order. Internally the kernel sorts the qubits and swaps the
+/// matrix when needed.
+pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
+    debug_assert!(qa != qb);
+    debug_assert!(1usize << qa < amps.len() && 1usize << qb < amps.len());
+    // Normalize so `hi > lo` with the matrix's high bit on `hi`.
+    let (hi, lo, mat) = if qa > qb { (qa, qb, *m) } else { (qb, qa, m.swap_qubits()) };
+    if mat4_is_diagonal(&mat) {
+        return apply_diag2(amps, hi, lo, [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]]);
+    }
+    let s_lo = 1usize << lo;
+    let s_hi = 1usize << hi;
+    let block = s_hi << 1;
+    let nblocks = amps.len() / block;
+
+    let process_half_pair = |half0: &mut [C64], half1: &mut [C64]| {
+        // Within each half, pair on the low bit.
+        debug_assert_eq!(half0.len(), s_hi);
+        let lo_block = s_lo << 1;
+        for (c0, c1) in half0.chunks_mut(lo_block).zip(half1.chunks_mut(lo_block)) {
+            let (c00, c01) = c0.split_at_mut(s_lo);
+            let (c10, c11) = c1.split_at_mut(s_lo);
+            for j in 0..s_lo {
+                quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], &mat);
+            }
+        }
+    };
+
+    if nblocks >= MIN_PAR_BLOCKS {
+        amps.par_chunks_mut(block).for_each(|c| {
+            let (h0, h1) = c.split_at_mut(s_hi);
+            process_half_pair(h0, h1);
+        });
+    } else {
+        for c in amps.chunks_mut(block) {
+            let (h0, h1) = c.split_at_mut(s_hi);
+            if s_hi >= MIN_PAR_ELEMS && s_lo >= 1 {
+                // Parallelize across low-bit chunk pairs.
+                let lo_block = s_lo << 1;
+                h0.par_chunks_mut(lo_block)
+                    .zip(h1.par_chunks_mut(lo_block))
+                    .for_each(|(c0, c1)| {
+                        let (c00, c01) = c0.split_at_mut(s_lo);
+                        let (c10, c11) = c1.split_at_mut(s_lo);
+                        for j in 0..s_lo {
+                            quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], &mat);
+                        }
+                    });
+            } else {
+                process_half_pair(h0, h1);
+            }
+        }
+    }
+}
+
+/// Diagonal two-qubit fast path (`hi > lo` already normalized).
+fn apply_diag2(amps: &mut [C64], hi: usize, lo: usize, d: [C64; 4]) {
+    let body = |(i, a): (usize, &mut C64)| {
+        let idx = (((i >> hi) & 1) << 1) | ((i >> lo) & 1);
+        *a = *a * d[idx];
+    };
+    if amps.len() >= MIN_PAR_ELEMS {
+        amps.par_iter_mut().enumerate().for_each(body);
+    } else {
+        amps.iter_mut().enumerate().for_each(body);
+    }
+}
+
+/// Probability that qubit `q` measures 1 (parallel reduction).
+pub fn prob_one(amps: &[C64], q: usize) -> f64 {
+    let body = |(i, a): (usize, &C64)| if (i >> q) & 1 == 1 { a.norm_sqr() } else { 0.0 };
+    if amps.len() >= MIN_PAR_ELEMS {
+        amps.par_iter().enumerate().map(body).sum()
+    } else {
+        amps.iter().enumerate().map(body).sum()
+    }
+}
+
+/// Collapses qubit `q` to `outcome` and renormalizes. `prob` is the
+/// probability of that outcome (precomputed by the caller from
+/// [`prob_one`]).
+pub fn collapse(amps: &mut [C64], q: usize, outcome: bool, prob: f64) {
+    let inv = 1.0 / prob.sqrt();
+    let body = |(i, a): (usize, &mut C64)| {
+        if ((i >> q) & 1 == 1) == outcome {
+            *a = *a * inv;
+        } else {
+            *a = C64::default();
+        }
+    };
+    if amps.len() >= MIN_PAR_ELEMS {
+        amps.par_iter_mut().enumerate().for_each(body);
+    } else {
+        amps.iter_mut().enumerate().for_each(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::mat::{
+        mat_cp, mat_cx, mat_cz, mat_h, mat_rz, mat_rzz, mat_swap, mat_x, mat_y,
+    };
+    use nwq_common::{C_ONE, C_ZERO};
+    use nwq_circuit::reference;
+
+    fn zero(n: usize) -> Vec<C64> {
+        let mut v = vec![C_ZERO; 1 << n];
+        v[0] = C_ONE;
+        v
+    }
+
+    fn rand_state(n: usize, seed: u64) -> Vec<C64> {
+        let mut v: Vec<C64> = (0..1usize << n)
+            .map(|i| {
+                let t = (i as f64 + seed as f64 * 0.77).sin();
+                C64::new(t, (t * 1.7).cos())
+            })
+            .collect();
+        let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut v {
+            *a = *a * (1.0 / norm);
+        }
+        v
+    }
+
+    #[test]
+    fn x_kernel_on_each_qubit() {
+        for n in 1..=4 {
+            for q in 0..n {
+                let mut amps = zero(n);
+                apply_mat2(&mut amps, q, &mat_x());
+                assert!(amps[1 << q].approx_eq(C_ONE, 1e-12), "n={n} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_reference_mat2() {
+        for q in 0..5 {
+            for m in [mat_h(), mat_x(), mat_y(), mat_rz(0.7)] {
+                let psi = rand_state(5, q as u64);
+                let mut fast = psi.clone();
+                apply_mat2(&mut fast, q, &m);
+                let slow = reference::apply_mat2(&psi, q, &m);
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!(a.approx_eq(*b, 1e-10), "q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_reference_mat4() {
+        for qa in 0..4 {
+            for qb in 0..4 {
+                if qa == qb {
+                    continue;
+                }
+                for m in [mat_cx(), mat_cz(), mat_swap(), mat_rzz(0.9), mat_cp(0.4)] {
+                    let psi = rand_state(4, (qa * 7 + qb) as u64);
+                    let mut fast = psi.clone();
+                    apply_mat4(&mut fast, qa, qb, &m);
+                    let slow = reference::apply_mat4(&psi, qa, qb, &m);
+                    for (a, b) in fast.iter().zip(&slow) {
+                        assert!(a.approx_eq(*b, 1e-10), "qa={qa} qb={qb}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_general() {
+        let psi = rand_state(6, 3);
+        let mut fast = psi.clone();
+        apply_mat2(&mut fast, 2, &mat_rz(1.1));
+        // Force the general path with an equivalent non-detected matrix:
+        // slight perturbation of the off-diagonals keeps it the same matrix
+        // numerically (norm 0 entries), so instead compare to the reference.
+        let slow = reference::apply_mat2(&psi, 2, &mat_rz(1.1));
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn big_state_parallel_paths() {
+        // Large enough to hit the Rayon branches; verify norm preservation
+        // and a known outcome.
+        let n = 14;
+        let mut amps = zero(n);
+        apply_mat2(&mut amps, 0, &mat_h());
+        apply_mat2(&mut amps, n - 1, &mat_h()); // high qubit: inner-split path
+        apply_mat4(&mut amps, 0, n - 1, &mat_cx());
+        apply_mat4(&mut amps, n - 2, 1, &mat_rzz(0.3));
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bell_via_kernels() {
+        let mut amps = zero(2);
+        apply_mat2(&mut amps, 0, &mat_h());
+        apply_mat4(&mut amps, 0, 1, &mat_cx());
+        // CX(control=arg0 high bit). amps convention check vs reference.
+        let slow = {
+            let mut c = nwq_circuit::Circuit::new(2);
+            c.h(0).cx(0, 1);
+            reference::run(&c, &[]).unwrap()
+        };
+        for (a, b) in amps.iter().zip(&slow) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn prob_and_collapse() {
+        let mut amps = zero(2);
+        apply_mat2(&mut amps, 1, &mat_h());
+        assert!((prob_one(&amps, 1) - 0.5).abs() < 1e-12);
+        assert!(prob_one(&amps, 0) < 1e-12);
+        let p = prob_one(&amps, 1);
+        collapse(&mut amps, 1, true, p);
+        assert!((prob_one(&amps, 1) - 1.0).abs() < 1e-12);
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! The statevector container.
+
+use nwq_common::bits::{dim, statevector_bytes};
+use nwq_common::{C64, C_ONE, C_ZERO, Error, Result};
+use nwq_pauli::PauliOp;
+
+/// A full statevector over `n` qubits: `2^n` complex amplitudes with qubit
+/// 0 at the least significant index bit. This is the object whose memory
+/// footprint paper Fig 1c plots (16 bytes per amplitude).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// `|0…0⟩` on `n_qubits`.
+    pub fn zero(n_qubits: usize) -> Self {
+        let mut amps = vec![C_ZERO; dim(n_qubits)];
+        amps[0] = C_ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    pub fn basis(n_qubits: usize, index: usize) -> Result<Self> {
+        let d = dim(n_qubits);
+        if index >= d {
+            return Err(Error::Invalid(format!("basis index {index} out of range {d}")));
+        }
+        let mut amps = vec![C_ZERO; d];
+        amps[index] = C_ONE;
+        Ok(StateVector { n_qubits, amps })
+    }
+
+    /// Wraps raw amplitudes (must have power-of-two length matching some
+    /// qubit count). The state is *not* renormalized.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Result<Self> {
+        let len = amps.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(Error::Invalid(format!("length {len} is not a power of two")));
+        }
+        Ok(StateVector { n_qubits: len.trailing_zeros() as usize, amps })
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of amplitudes (`2^n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// `false` — a statevector always has at least one amplitude; provided
+    /// for clippy-friendly symmetry with `len`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.amps.is_empty()
+    }
+
+    /// Immutable amplitude slice.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutable amplitude slice (used by the gate kernels).
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// Consumes the state, returning its amplitudes.
+    pub fn into_amplitudes(self) -> Vec<C64> {
+        self.amps
+    }
+
+    /// Squared 2-norm (should be 1 for a physical state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales to unit norm. Errors on the zero vector.
+    pub fn normalize(&mut self) -> Result<()> {
+        let n = self.norm_sqr().sqrt();
+        if n <= 0.0 || !n.is_finite() {
+            return Err(Error::Numerical("cannot normalize zero/non-finite state".into()));
+        }
+        let inv = 1.0 / n;
+        for a in &mut self.amps {
+            *a = *a * inv;
+        }
+        Ok(())
+    }
+
+    /// Probability of observing basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &StateVector) -> Result<C64> {
+        if self.n_qubits != other.n_qubits {
+            return Err(Error::DimensionMismatch { expected: self.n_qubits, got: other.n_qubits });
+        }
+        Ok(self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> Result<f64> {
+        Ok(self.inner(other)?.norm_sqr())
+    }
+
+    /// Exact expectation value `⟨ψ|H|ψ⟩` via the direct method (paper §4.2).
+    pub fn expectation(&self, op: &PauliOp) -> Result<C64> {
+        nwq_pauli::apply::expectation_op(op, &self.amps)
+    }
+
+    /// Real energy `Re⟨ψ|H|ψ⟩`.
+    pub fn energy(&self, op: &PauliOp) -> Result<f64> {
+        Ok(self.expectation(op)?.re)
+    }
+
+    /// Bytes of amplitude storage this state occupies (Fig 1c).
+    pub fn memory_bytes(&self) -> u128 {
+        statevector_bytes(self.n_qubits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_properties() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.n_qubits(), 3);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn basis_state() {
+        let s = StateVector::basis(2, 3).unwrap();
+        assert!((s.probability(3) - 1.0).abs() < 1e-12);
+        assert!(StateVector::basis(2, 4).is_err());
+    }
+
+    #[test]
+    fn from_amplitudes_validation() {
+        assert!(StateVector::from_amplitudes(vec![C_ONE; 3]).is_err());
+        assert!(StateVector::from_amplitudes(Vec::new()).is_err());
+        let s = StateVector::from_amplitudes(vec![C_ONE, C_ZERO]).unwrap();
+        assert_eq!(s.n_qubits(), 1);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut s = StateVector::from_amplitudes(vec![C64::real(3.0), C64::real(4.0)]).unwrap();
+        s.normalize().unwrap();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((s.probability(0) - 0.36).abs() < 1e-12);
+        let mut z = StateVector::from_amplitudes(vec![C_ZERO, C_ZERO]).unwrap();
+        assert!(z.normalize().is_err());
+    }
+
+    #[test]
+    fn inner_and_fidelity() {
+        let a = StateVector::zero(2);
+        let b = StateVector::basis(2, 0).unwrap();
+        assert!(a.inner(&b).unwrap().approx_eq(C_ONE, 1e-12));
+        assert!((a.fidelity(&b).unwrap() - 1.0).abs() < 1e-12);
+        let c = StateVector::basis(2, 1).unwrap();
+        assert!(a.fidelity(&c).unwrap() < 1e-12);
+        assert!(a.inner(&StateVector::zero(3)).is_err());
+    }
+
+    #[test]
+    fn expectation_through_state() {
+        let h = PauliOp::parse("1.0 ZZ").unwrap();
+        let s = StateVector::basis(2, 1).unwrap();
+        assert!((s.energy(&h).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert_eq!(StateVector::zero(10).memory_bytes(), 16 * 1024);
+        // Paper Fig 1c: ~16 GB at 30 qubits.
+        assert_eq!(nwq_common::bits::statevector_bytes(30), 17_179_869_184);
+    }
+}

@@ -1,0 +1,51 @@
+//! Execution statistics used by the evaluation harness (paper Figs 3, 4).
+
+use std::ops::AddAssign;
+
+/// Counters accumulated by the executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Single-qubit gate applications.
+    pub gates_1q: u64,
+    /// Two-qubit gate applications.
+    pub gates_2q: u64,
+    /// Of which: fused blocks produced by the transpiler.
+    pub fused_blocks: u64,
+    /// Full circuit executions started.
+    pub circuits_run: u64,
+    /// Amplitude updates performed (each gate touches all `2^n`
+    /// amplitudes), a proxy for floating-point work.
+    pub amplitude_updates: u64,
+}
+
+impl ExecStats {
+    /// Total gates applied.
+    pub fn total_gates(&self) -> u64 {
+        self.gates_1q + self.gates_2q
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        self.gates_1q += rhs.gates_1q;
+        self.gates_2q += rhs.gates_2q;
+        self.fused_blocks += rhs.fused_blocks;
+        self.circuits_run += rhs.circuits_run;
+        self.amplitude_updates += rhs.amplitude_updates;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = ExecStats { gates_1q: 3, gates_2q: 2, ..Default::default() };
+        assert_eq!(a.total_gates(), 5);
+        a += ExecStats { gates_1q: 1, circuits_run: 1, ..Default::default() };
+        assert_eq!(a.gates_1q, 4);
+        assert_eq!(a.circuits_run, 1);
+        assert_eq!(a.total_gates(), 6);
+    }
+}

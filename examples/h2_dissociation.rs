@@ -1,0 +1,56 @@
+//! H2 dissociation curve from first principles.
+//!
+//! ```text
+//! cargo run --release -p nwq-core --example h2_dissociation
+//! ```
+//!
+//! Uses the built-in STO-3G integral engine (Gaussian integrals + RHF SCF
+//! at every geometry) and runs UCCSD-VQE at each bond length with
+//! *warm-started* parameters — the incremental-optimization strategy the
+//! paper's §6.2 proposes for accelerating VQE sweeps. Prints HF, VQE, and
+//! FCI energies across the curve; VQE tracks FCI through the
+//! strong-correlation (dissociation) regime where RHF fails.
+
+use nwq_chem::sto3g::h2_molecule;
+use nwq_chem::uccsd::uccsd_ansatz;
+use nwq_core::backend::DirectBackend;
+use nwq_core::exact::ground_energy_default;
+use nwq_core::vqe::{run_vqe, VqeProblem};
+use nwq_opt::NelderMead;
+
+fn main() {
+    println!("=== H2/STO-3G dissociation curve (UCCSD-VQE, warm-started) ===\n");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>11} {:>7}",
+        "R [a0]", "E_HF", "E_VQE", "E_FCI", "VQE-FCI", "evals"
+    );
+    let radii = [0.9, 1.1, 1.3, 1.4, 1.6, 1.9, 2.3, 2.8, 3.5, 4.5, 6.0];
+    let ansatz = uccsd_ansatz(4, 2).expect("UCCSD builds");
+    let mut warm = vec![0.0; ansatz.n_params()];
+    let mut worst_err: f64 = 0.0;
+    for &r in &radii {
+        let mol = h2_molecule(r).expect("geometry valid");
+        let h = mol.to_qubit_hamiltonian().expect("JW");
+        let fci = ground_energy_default(&h).expect("Lanczos");
+        let problem = VqeProblem { hamiltonian: h, ansatz: ansatz.clone() };
+        let mut backend = DirectBackend::new();
+        let mut opt = NelderMead::for_vqe();
+        let result =
+            run_vqe(&problem, &mut backend, &mut opt, &warm, 4000).expect("VQE runs");
+        warm = result.params.clone(); // §6.2 warm start for the next geometry
+        let err = result.energy - fci;
+        worst_err = worst_err.max(err.abs());
+        println!(
+            "{:>7.2} {:>12.6} {:>12.6} {:>12.6} {:>11.2e} {:>7}",
+            r,
+            mol.hf_total_energy(),
+            result.energy,
+            fci,
+            err,
+            result.evaluations
+        );
+    }
+    println!("\nworst |VQE − FCI| across the curve: {worst_err:.2e} Ha");
+    println!("RHF overbinds at dissociation; UCCSD-VQE follows FCI to two H atoms (−0.9332 Ha).");
+    assert!(worst_err < 1.6e-3, "VQE lost chemical accuracy somewhere on the curve");
+}

@@ -1,0 +1,158 @@
+//! Integration: the chemistry substrate end to end — integrals →
+//! fermionic operators → Jordan–Wigner → energies, validated against
+//! literature values and physical invariants.
+
+use nwq_chem::downfold::{downfold_to_active, freeze_core, truncate_virtuals};
+use nwq_chem::jw::{determinant_index, jordan_wigner};
+use nwq_chem::molecules::{h2_sto3g, hydrogen_chain, water_model};
+use nwq_chem::uccsd::uccsd_excitations;
+use nwq_core::exact::ground_energy_default;
+use nwq_pauli::apply::expectation_op;
+
+#[test]
+fn h2_literature_energies() {
+    let mol = h2_sto3g();
+    // HF: −1.1167 Ha (Szabo–Ostlund).
+    assert!((mol.hf_total_energy() + 1.1167).abs() < 2e-3);
+    // FCI: −1.1373 Ha.
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let e = ground_energy_default(&h).expect("Lanczos");
+    assert!((e + 1.1373).abs() < 2e-3, "FCI {e}");
+    // Correlation energy ≈ −20.6 mHa.
+    let corr = e - mol.hf_total_energy();
+    assert!(corr < -0.015 && corr > -0.03, "correlation {corr}");
+}
+
+#[test]
+fn hamiltonian_commutes_with_particle_number() {
+    // [H, N] = 0: the electronic Hamiltonian conserves particle number.
+    let mol = h2_sto3g();
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let mut n_op = nwq_chem::fermion::FermionOp::zero();
+    for p in 0..4 {
+        n_op.add_assign(nwq_chem::fermion::FermionOp::one_body(1.0, p, p));
+    }
+    let n_q = jordan_wigner(&n_op, 4).expect("JW");
+    let comm = h.commutator(&n_q).expect("commutator");
+    assert!(comm.one_norm() < 1e-10, "[H,N] norm {}", comm.one_norm());
+}
+
+#[test]
+fn hf_expectation_matches_rhf_formula_on_models() {
+    for mol in [water_model(4, 4), water_model(5, 6), hydrogen_chain(4, -1.0, 2.0)] {
+        let h = mol.to_qubit_hamiltonian().expect("JW");
+        let mut psi = vec![nwq_common::C_ZERO; 1 << h.n_qubits()];
+        psi[mol.hf_determinant() as usize] = nwq_common::C_ONE;
+        let e = expectation_op(&h, &psi).expect("expectation").re;
+        assert!(
+            (e - mol.hf_total_energy()).abs() < 1e-8,
+            "⟨HF|H|HF⟩ {e} vs RHF {}",
+            mol.hf_total_energy()
+        );
+    }
+}
+
+#[test]
+fn ground_energy_below_every_determinant() {
+    // Variational principle: E0 ≤ ⟨D|H|D⟩ for every determinant D with
+    // the right particle number.
+    let mol = water_model(3, 4);
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let e0 = ground_energy_default(&h).expect("Lanczos");
+    let n_q = h.n_qubits();
+    for det in 0u64..(1 << n_q) {
+        if det.count_ones() as usize != mol.n_electrons() {
+            continue;
+        }
+        let mut psi = vec![nwq_common::C_ZERO; 1 << n_q];
+        psi[det as usize] = nwq_common::C_ONE;
+        let e = expectation_op(&h, &psi).expect("expectation").re;
+        assert!(e0 <= e + 1e-9, "det {det:b}: E0 {e0} > {e}");
+    }
+}
+
+#[test]
+fn freeze_core_then_truncate_composes_with_downfold() {
+    let mol = water_model(6, 6);
+    let frozen = freeze_core(&mol, 1).expect("freeze");
+    let bare = truncate_virtuals(&frozen, 4).expect("truncate");
+    let (folded, report) = downfold_to_active(&mol, 1, 4).expect("downfold");
+    // Same active problem, the fold only shifts the scalar part.
+    assert_eq!(bare.n_spatial(), folded.n_spatial());
+    assert_eq!(bare.n_electrons(), folded.n_electrons());
+    assert!(
+        (folded.nuclear_repulsion
+            - bare.nuclear_repulsion
+            - report.external_mp2_energy
+            - report.external_singles_energy)
+            .abs()
+            < 1e-12
+    );
+    for p in 0..4 {
+        for q in 0..4 {
+            assert!((bare.h(p, q) - folded.h(p, q)).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn excitation_counts_match_closed_form() {
+    // Interleaved spins, closed shell: singles = 2·o·v; doubles follow
+    // the spin-resolved combinatorics (αα, ββ, αβ channels).
+    for (o, v) in [(1usize, 1usize), (1, 2), (2, 2), (2, 3)] {
+        let n_so = 2 * (o + v);
+        let n_e = 2 * o;
+        let excs = uccsd_excitations(n_so, n_e);
+        let singles = excs.iter().filter(|e| e.is_single()).count();
+        assert_eq!(singles, 2 * o * v, "o={o} v={v}");
+        let same_spin_pairs = o * (o - 1) / 2;
+        let same_spin_virt = v * (v - 1) / 2;
+        let doubles_expected =
+            2 * same_spin_pairs * same_spin_virt + (o * o) * (v * v);
+        let doubles = excs.len() - singles;
+        assert_eq!(doubles, doubles_expected, "o={o} v={v}");
+    }
+}
+
+#[test]
+fn determinant_energy_ordering_tracks_orbital_energies() {
+    // Promoting an electron to a higher orbital must not lower the
+    // mean-field energy in a well-ordered model.
+    let mol = water_model(4, 4);
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let hf = determinant_index(&[0, 1, 2, 3]);
+    let excited = determinant_index(&[0, 1, 2, 5]); // β HOMO → β LUMO
+    let energy_of = |det: u64| {
+        let mut psi = vec![nwq_common::C_ZERO; 1 << 8];
+        psi[det as usize] = nwq_common::C_ONE;
+        expectation_op(&h, &psi).expect("expectation").re
+    };
+    assert!(energy_of(hf) < energy_of(excited));
+}
+
+#[test]
+fn h2_tapering_reduces_qubits_and_preserves_ground_energy() {
+    // H2/STO-3G after JW has Z2 parity symmetries (α parity, β parity, …):
+    // tapering must shrink the register and keep the FCI energy in the
+    // Hartree–Fock sector.
+    let mol = h2_sto3g();
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let gens = nwq_pauli::taper::find_z2_symmetries(&h);
+    assert!(!gens.is_empty(), "H2 must expose Z2 symmetries");
+    for g in &gens {
+        let comm = h
+            .commutator(&nwq_pauli::PauliOp::single(nwq_common::C_ONE, *g))
+            .expect("commutator");
+        assert!(comm.one_norm() < 1e-10, "generator {} does not commute", g);
+    }
+    let r = nwq_pauli::taper::taper(&h, mol.hf_determinant()).expect("taper");
+    assert!(r.tapered.n_qubits() <= 4 - gens.len());
+    assert!(r.tapered.is_hermitian(1e-10));
+    let e_full = ground_energy_default(&h).expect("Lanczos");
+    let e_tapered = ground_energy_default(&r.tapered).expect("Lanczos");
+    assert!(
+        (e_full - e_tapered).abs() < 1e-8,
+        "tapered {e_tapered} vs full {e_full} ({} qubits left)",
+        r.tapered.n_qubits()
+    );
+}

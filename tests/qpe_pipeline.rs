@@ -1,0 +1,88 @@
+//! Integration: quantum phase estimation through the full stack —
+//! Hamiltonians from the chemistry substrate, circuits from the
+//! transpiler, execution on the optimized simulator.
+
+use nwq_chem::molecules::h2_sto3g;
+use nwq_chem::uccsd::{append_hf_state, uccsd_ansatz};
+use nwq_core::exact::ground_energy_default;
+use nwq_core::qpe::{run_qpe, QpeConfig};
+use nwq_pauli::PauliOp;
+use std::f64::consts::PI;
+
+#[test]
+fn qpe_exact_on_commuting_chemistry_like_hamiltonian() {
+    // Diagonal (Z-only) Hamiltonians commute term-wise: QPE is exact up
+    // to register resolution.
+    let h = PauliOp::parse("0.5 ZII + 0.25 IZI + 0.125 IIZ").expect("parses");
+    let mut prep = nwq_circuit::Circuit::new(3);
+    prep.x(0).x(2); // |101⟩: E = −0.5 + 0.25 − 0.125 = −0.375
+    let cfg = QpeConfig { n_ancilla: 6, t: PI, trotter_steps: 1, ..Default::default() };
+    let out = run_qpe(&h, &prep, &cfg).expect("QPE");
+    let e = out.energy_near(-0.4);
+    assert!((e + 0.375).abs() <= out.resolution() / 2.0 + 1e-12, "E {e}");
+    assert!(out.peak_probability > 0.9);
+}
+
+#[test]
+fn qpe_h2_improves_with_resolution() {
+    let mol = h2_sto3g();
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let mut prep = nwq_circuit::Circuit::new(4);
+    append_hf_state(&mut prep, 2).expect("prep");
+    let fci = ground_energy_default(&h).expect("Lanczos");
+    let coarse = run_qpe(&h, &prep, &QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: 6, ..Default::default() })
+        .expect("QPE");
+    let fine = run_qpe(&h, &prep, &QpeConfig { n_ancilla: 6, t: 1.5, trotter_steps: 12, ..Default::default() })
+        .expect("QPE");
+    let err_coarse = (coarse.energy_near(fci) - fci).abs();
+    let err_fine = (fine.energy_near(fci) - fci).abs();
+    assert!(err_fine <= err_coarse + 1e-9, "{err_fine} !<= {err_coarse}");
+    assert!(err_fine < 0.1, "fine QPE error {err_fine}");
+}
+
+#[test]
+fn qpe_from_vqe_state_sharpens_peak() {
+    // Preparing the ansatz-optimized state (instead of bare HF) increases
+    // the ground-peak weight: the VQE → QPE handoff of the workflow.
+    let mol = h2_sto3g();
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let fci = ground_energy_default(&h).expect("Lanczos");
+
+    let mut hf_prep = nwq_circuit::Circuit::new(4);
+    append_hf_state(&mut hf_prep, 2).expect("prep");
+
+    // Short VQE to get good parameters.
+    let ansatz = uccsd_ansatz(4, 2).expect("UCCSD");
+    let problem =
+        nwq_core::vqe::VqeProblem { hamiltonian: h.clone(), ansatz: ansatz.clone() };
+    let mut backend = nwq_core::backend::DirectBackend::new();
+    let mut opt = nwq_opt::NelderMead::for_vqe();
+    let x0 = vec![0.0; ansatz.n_params()];
+    let vqe = nwq_core::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, 2500)
+        .expect("VQE");
+    let vqe_prep = ansatz.bind(&vqe.params).expect("bind");
+
+    let cfg = QpeConfig { n_ancilla: 5, t: 1.5, trotter_steps: 10, ..Default::default() };
+    let from_hf = run_qpe(&h, &hf_prep, &cfg).expect("QPE");
+    let from_vqe = run_qpe(&h, &vqe_prep, &cfg).expect("QPE");
+    assert!(
+        from_vqe.peak_probability >= from_hf.peak_probability - 1e-9,
+        "VQE state peak {} < HF peak {}",
+        from_vqe.peak_probability,
+        from_hf.peak_probability
+    );
+    let e = from_vqe.energy_near(fci);
+    assert!((e - fci).abs() < 0.15, "QPE-from-VQE error {}", (e - fci).abs());
+}
+
+#[test]
+fn qpe_distribution_normalized() {
+    let h = PauliOp::parse("1.0 Z").expect("parses");
+    let mut prep = nwq_circuit::Circuit::new(1);
+    prep.h(0);
+    let out = run_qpe(&h, &prep, &QpeConfig { n_ancilla: 4, t: 1.0, trotter_steps: 2, ..Default::default() })
+        .expect("QPE");
+    let total: f64 = out.distribution.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    assert!(out.phase >= 0.0 && out.phase < 1.0);
+}

@@ -1,0 +1,86 @@
+//! Integration: transpiler passes preserve semantics on real chemistry
+//! circuits, executed on the optimized simulator (not just the test
+//! oracle).
+
+use nwq_chem::molecules::h2_sto3g;
+use nwq_chem::uccsd::uccsd_ansatz;
+use nwq_circuit::fusion::fuse;
+use nwq_circuit::passes::cancel_and_merge;
+use nwq_circuit::qft::qft_circuit;
+use nwq_circuit::Circuit;
+use nwq_statevec::simulate;
+
+fn fidelity(a: &nwq_statevec::StateVector, b: &nwq_statevec::StateVector) -> f64 {
+    a.fidelity(b).expect("same width")
+}
+
+#[test]
+fn fusion_preserves_uccsd_states_and_energies() {
+    let mol = h2_sto3g();
+    let h = mol.to_qubit_hamiltonian().expect("JW");
+    let ansatz = uccsd_ansatz(4, 2).expect("UCCSD");
+    for theta in [[0.0, 0.0, 0.0], [0.07, -0.04, -0.21], [0.3, 0.2, 0.1]] {
+        let bound = ansatz.bind(&theta).expect("bind");
+        let (fused, stats) = fuse(&bound).expect("fuse");
+        assert!(stats.reduction() > 0.5, "fusion under 50% on UCCSD: {:?}", stats);
+        let plain = simulate(&bound, &[]).expect("plain run");
+        let optimized = simulate(&fused, &[]).expect("fused run");
+        assert!((fidelity(&plain, &optimized) - 1.0).abs() < 1e-9);
+        let e_plain = plain.energy(&h).expect("energy");
+        let e_fused = optimized.energy(&h).expect("energy");
+        assert!((e_plain - e_fused).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn cancellation_then_fusion_compose() {
+    let ansatz = uccsd_ansatz(6, 2).expect("UCCSD").bind(&vec![0.11; 8]).expect("bind");
+    let cleaned = cancel_and_merge(&ansatz).expect("cancel");
+    let (fused, _) = fuse(&cleaned).expect("fuse");
+    assert!(fused.len() <= cleaned.len());
+    assert!(cleaned.len() <= ansatz.len());
+    let a = simulate(&ansatz, &[]).expect("run");
+    let b = simulate(&fused, &[]).expect("run");
+    assert!((fidelity(&a, &b) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn fusion_on_qft_circuit() {
+    let qft = qft_circuit(6).expect("QFT builds");
+    let (fused, stats) = fuse(&qft).expect("fuse");
+    assert!(stats.gates_after < stats.gates_before);
+    let a = simulate(&qft, &[]).expect("run");
+    let b = simulate(&fused, &[]).expect("run");
+    assert!((fidelity(&a, &b) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn uccsd_inverse_roundtrip_on_simulator() {
+    let ansatz = uccsd_ansatz(6, 2).expect("UCCSD");
+    let theta = vec![0.09; ansatz.n_params()];
+    let bound = ansatz.bind(&theta).expect("bind");
+    let mut round = bound.clone();
+    round.append(&bound.inverse()).expect("append");
+    let state = simulate(&round, &[]).expect("run");
+    assert!((state.probability(0) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn fusion_respects_two_qubit_cap() {
+    // Every fused block in a wide circuit stays ≤ 2 qubits (paper §4.3's
+    // deliberate design decision).
+    let mut c = Circuit::new(8);
+    for q in 0..8 {
+        c.h(q);
+    }
+    for q in 0..7 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..8 {
+        c.rz(q, 0.1 * q as f64);
+    }
+    let (fused, _) = fuse(&c).expect("fuse");
+    for g in fused.gates() {
+        assert!(g.qubits().len() <= 2);
+    }
+}
