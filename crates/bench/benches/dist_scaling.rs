@@ -25,7 +25,9 @@ fn bench_rank_scaling(c: &mut Criterion) {
     let circuit = ghz_plus_rotations(14);
     let mut group = c.benchmark_group("dist_execution_14q");
     group.sample_size(10);
-    group.bench_function("single_node", |b| b.iter(|| simulate(&circuit, &[]).unwrap()));
+    group.bench_function("single_node", |b| {
+        b.iter(|| simulate(&circuit, &[]).unwrap())
+    });
     for n_ranks in [2usize, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("ranks", n_ranks),

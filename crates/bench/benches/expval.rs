@@ -15,14 +15,21 @@ fn bench_direct_vs_sampling(c: &mut Criterion) {
     group.sample_size(10);
     for (label, h, state) in [
         ("h2_4q", h2_sto3g().to_qubit_hamiltonian().unwrap(), {
-            let a = uccsd_ansatz(4, 2).unwrap().bind(&[0.05, -0.02, -0.22]).unwrap();
+            let a = uccsd_ansatz(4, 2)
+                .unwrap()
+                .bind(&[0.05, -0.02, -0.22])
+                .unwrap();
             simulate(&a, &[]).unwrap()
         }),
-        ("water_8q", water_model(4, 4).to_qubit_hamiltonian().unwrap(), {
-            let ansatz = uccsd_ansatz(8, 4).unwrap();
-            let theta = vec![0.03; ansatz.n_params()];
-            simulate(&ansatz.bind(&theta).unwrap(), &[]).unwrap()
-        }),
+        (
+            "water_8q",
+            water_model(4, 4).to_qubit_hamiltonian().unwrap(),
+            {
+                let ansatz = uccsd_ansatz(8, 4).unwrap();
+                let theta = vec![0.03; ansatz.n_params()];
+                simulate(&ansatz.bind(&theta).unwrap(), &[]).unwrap()
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("direct", label), &(), |b, _| {
             b.iter(|| state.energy(&h).unwrap())

@@ -10,7 +10,9 @@ use nwq_statevec::simulate;
 
 fn bound_uccsd(n_qubits: usize, n_elec: usize) -> Circuit {
     let ansatz = uccsd_ansatz(n_qubits, n_elec).expect("UCCSD");
-    let params: Vec<f64> = (0..ansatz.n_params()).map(|k| 0.1 + 0.01 * k as f64).collect();
+    let params: Vec<f64> = (0..ansatz.n_params())
+        .map(|k| 0.1 + 0.01 * k as f64)
+        .collect();
     ansatz.bind(&params).expect("bind")
 }
 

@@ -45,10 +45,14 @@ fn bench_two_qubit(c: &mut Criterion) {
             let mut amps = state(n);
             b.iter(|| apply_mat4(&mut amps, 0, n - 1, &mat_cx()));
         });
-        group.bench_with_input(BenchmarkId::new("rzz_diagonal_fast_path", n), &n, |b, &n| {
-            let mut amps = state(n);
-            b.iter(|| apply_mat4(&mut amps, 1, n - 2, &mat_rzz(0.4)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rzz_diagonal_fast_path", n),
+            &n,
+            |b, &n| {
+                let mut amps = state(n);
+                b.iter(|| apply_mat4(&mut amps, 1, n - 2, &mat_rzz(0.4)));
+            },
+        );
     }
     group.finish();
 }

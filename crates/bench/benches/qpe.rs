@@ -13,12 +13,15 @@ fn bench_qpe(c: &mut Criterion) {
     let mut group = c.benchmark_group("qpe_commuting_2q");
     group.sample_size(10);
     for ancillas in [4usize, 6, 8] {
-        let cfg = QpeConfig { n_ancilla: ancillas, t: 1.0, trotter_steps: 1, ..Default::default() };
-        group.bench_with_input(
-            BenchmarkId::new("synthesize", ancillas),
-            &cfg,
-            |b, cfg| b.iter(|| qpe_circuit(&h, &prep, cfg).unwrap()),
-        );
+        let cfg = QpeConfig {
+            n_ancilla: ancillas,
+            t: 1.0,
+            trotter_steps: 1,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("synthesize", ancillas), &cfg, |b, cfg| {
+            b.iter(|| qpe_circuit(&h, &prep, cfg).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("run", ancillas), &cfg, |b, cfg| {
             b.iter(|| run_qpe(&h, &prep, cfg).unwrap())
         });
@@ -33,12 +36,15 @@ fn bench_qpe(c: &mut Criterion) {
     let mut group = c.benchmark_group("qpe_h2");
     group.sample_size(10);
     for steps in [4usize, 8] {
-        let cfg = QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: steps, ..Default::default() };
-        group.bench_with_input(
-            BenchmarkId::new("trotter_steps", steps),
-            &cfg,
-            |b, cfg| b.iter(|| run_qpe(&h2, &hf, cfg).unwrap()),
-        );
+        let cfg = QpeConfig {
+            n_ancilla: 4,
+            t: 1.5,
+            trotter_steps: steps,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("trotter_steps", steps), &cfg, |b, cfg| {
+            b.iter(|| run_qpe(&h2, &hf, cfg).unwrap())
+        });
     }
     group.finish();
 }

@@ -1,12 +1,14 @@
 //! Regenerates every table/figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p nwq-bench --bin figures -- [fig1a|fig1b|fig1c|fig3|fig4|fig5|dist|qpe|all]
+//! cargo run --release -p nwq-bench --bin figures -- [fig1a|fig1b|fig1c|fig3|fig4|fig5|dist|qpe|bench|all]
 //! ```
 //!
 //! Each subcommand prints the series behind the corresponding figure of
 //! *Enabling Scalable VQE Simulation on Leading HPC Systems* (SC-W 2023).
-//! EXPERIMENTS.md records the paper-vs-measured comparison.
+//! EXPERIMENTS.md records the paper-vs-measured comparison. The `bench`
+//! subcommand instead writes machine-readable baselines (`BENCH_vqe.json`,
+//! `BENCH_kernels.json`) at the repository root via the telemetry layer.
 
 use nwq_chem::molecules::{water_fig5, water_scaling};
 use nwq_chem::pool::OperatorPool;
@@ -32,7 +34,10 @@ fn fig1a() {
     for n_qubits in (12..=30).step_by(2) {
         let (_, n_elec) = water_qubits_to_electrons(n_qubits);
         let stats = uccsd_stats(n_qubits, n_elec).expect("valid register");
-        println!("{:>8} {:>10} {:>14}", n_qubits, stats.n_params, stats.gate_count);
+        println!(
+            "{:>8} {:>10} {:>14}",
+            n_qubits, stats.n_params, stats.gate_count
+        );
     }
 }
 
@@ -85,12 +90,16 @@ fn fig3() {
 /// Fig 4: gate fusion on 4/6/8-qubit UCCSD circuits.
 fn fig4() {
     println!("# Fig 4: UCCSD gate counts before/after fusion");
-    println!("{:>8} {:>10} {:>10} {:>10}", "qubits", "original", "fused", "reduction");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "qubits", "original", "fused", "reduction"
+    );
     for (n_qubits, n_elec) in [(4usize, 2usize), (6, 2), (8, 4)] {
         let ansatz = uccsd_ansatz(n_qubits, n_elec).expect("ansatz builds");
         // Bind representative (non-trivial) angles before fusing.
-        let params: Vec<f64> =
-            (0..ansatz.n_params()).map(|k| 0.1 + 0.05 * k as f64).collect();
+        let params: Vec<f64> = (0..ansatz.n_params())
+            .map(|k| 0.1 + 0.05 * k as f64)
+            .collect();
         let bound = ansatz.bind(&params).expect("binding succeeds");
         let (_, stats) = fuse(&bound).expect("fusion succeeds");
         println!(
@@ -113,9 +122,11 @@ fn fig5() {
         .expect("Lanczos converges");
     let e_hf = m.hf_total_energy();
     println!("  E_HF    = {e_hf:.6} Ha");
-    println!("  E_exact = {e_exact:.6} Ha (correlation {:.6})", e_exact - e_hf);
-    let pool = OperatorPool::singles_doubles(h.n_qubits(), m.n_electrons())
-        .expect("pool builds");
+    println!(
+        "  E_exact = {e_exact:.6} Ha (correlation {:.6})",
+        e_exact - e_hf
+    );
+    let pool = OperatorPool::singles_doubles(h.n_qubits(), m.n_electrons()).expect("pool builds");
     println!("  pool size: {}", pool.len());
     let mut backend = DirectBackend::new();
     let mut opt = NelderMead::for_vqe();
@@ -184,7 +195,12 @@ fn qpe() {
     let mut prep = nwq_circuit::Circuit::new(4);
     nwq_chem::uccsd::append_hf_state(&mut prep, 2).expect("HF prep");
     for (ancilla, steps) in [(4usize, 8usize), (6, 16), (8, 32)] {
-        let cfg = QpeConfig { n_ancilla: ancilla, t: 1.5, trotter_steps: steps, ..Default::default() };
+        let cfg = QpeConfig {
+            n_ancilla: ancilla,
+            t: 1.5,
+            trotter_steps: steps,
+            ..Default::default()
+        };
         let out = run_qpe(&h, &prep, &cfg).expect("QPE runs");
         let e = out.energy_near(m.hf_total_energy());
         println!(
@@ -204,10 +220,13 @@ fn ablation() {
     println!("# Ablation 1: ADAPT pool flavour (8-qubit water-like model)");
     let m = nwq_chem::molecules::water_model(4, 4);
     let h = m.to_qubit_hamiltonian().expect("hamiltonian builds");
-    let e_exact = ground_energy_sector_default(&h, Sector::closed_shell(4))
-        .expect("Lanczos converges");
+    let e_exact =
+        ground_energy_sector_default(&h, Sector::closed_shell(4)).expect("Lanczos converges");
     for (label, pool) in [
-        ("fermionic singles+doubles", OperatorPool::singles_doubles(8, 4).unwrap()),
+        (
+            "fermionic singles+doubles",
+            OperatorPool::singles_doubles(8, 4).unwrap(),
+        ),
         ("qubit pool", OperatorPool::qubit_pool(8, 4).unwrap()),
     ] {
         let mut backend = DirectBackend::new();
@@ -241,7 +260,13 @@ fn ablation() {
         // The π/2 parameter-shift rule is *wrong* for UCCSD excitation
         // parameters (zero gradient at HF) — kept in the table because it
         // demonstrates the silent failure the π/4 rule fixes.
-        ("adam (pi/2 shift: stalls)", Box::new(nwq_opt::Adam { lr: 0.1, ..Default::default() })),
+        (
+            "adam (pi/2 shift: stalls)",
+            Box::new(nwq_opt::Adam {
+                lr: 0.1,
+                ..Default::default()
+            }),
+        ),
         (
             "adam (finite-diff)",
             Box::new(nwq_opt::Adam {
@@ -250,12 +275,17 @@ fn ablation() {
                 ..Default::default()
             }),
         ),
-        ("spsa", Box::new(nwq_opt::Spsa { a: 0.3, ..Default::default() })),
+        (
+            "spsa",
+            Box::new(nwq_opt::Spsa {
+                a: 0.3,
+                ..Default::default()
+            }),
+        ),
     ];
     for (label, mut opt) in opts {
         let mut backend = DirectBackend::new();
-        let mut objective =
-            |x: &[f64]| backend.energy(&ansatz, x, &h2).unwrap_or(f64::INFINITY);
+        let mut objective = |x: &[f64]| backend.energy(&ansatz, x, &h2).unwrap_or(f64::INFINITY);
         let r = opt.minimize(&mut objective, &vec![0.0; ansatz.n_params()], 6000);
         println!(
             "  {label:<20} E={:+.6} dE={:+.2e} evals={}",
@@ -277,18 +307,23 @@ fn ablation() {
         tapered.tapered.num_terms(),
         gens.len()
     );
-    println!("  E_full = {fci:+.6} Ha, E_tapered = {e_tapered:+.6} Ha (dE = {:+.1e})",
-        e_tapered - fci);
+    println!(
+        "  E_full = {fci:+.6} Ha, E_tapered = {e_tapered:+.6} Ha (dE = {:+.1e})",
+        e_tapered - fci
+    );
 
     println!("\n# Ablation 4: depolarizing noise on the H2 VQE energy (DM-Sim path)");
-    let bound = ansatz.bind(&{
-        // Use the known optimum parameters via a quick optimization.
-        let mut backend = DirectBackend::new();
-        let mut opt = NelderMead::for_vqe();
-        let mut objective =
-            |x: &[f64]| backend.energy(&ansatz, x, &h2).unwrap_or(f64::INFINITY);
-        opt.minimize(&mut objective, &vec![0.0; ansatz.n_params()], 4000).params
-    }).unwrap();
+    let bound = ansatz
+        .bind(&{
+            // Use the known optimum parameters via a quick optimization.
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::for_vqe();
+            let mut objective =
+                |x: &[f64]| backend.energy(&ansatz, x, &h2).unwrap_or(f64::INFINITY);
+            opt.minimize(&mut objective, &vec![0.0; ansatz.n_params()], 4000)
+                .params
+        })
+        .unwrap();
     for p in [0.0, 1e-4, 1e-3, 1e-2] {
         let noise = nwq_statevec::density::NoiseModel::depolarizing(p, 10.0 * p);
         let rho = nwq_statevec::density::run_noisy(&bound, &[], &noise).unwrap();
@@ -298,6 +333,107 @@ fn ablation() {
             rho.purity()
         );
     }
+}
+
+/// `bench`: machine-readable benchmark baselines at the repository root.
+///
+/// `BENCH_vqe.json` is the telemetry snapshot of an H2/UCCSD VQE run
+/// (schema: run/spans/counters/iterations); `BENCH_kernels.json` reports
+/// amplitude-update throughput of the mat2/mat4 kernels.
+fn bench() {
+    use nwq_common::mat::{mat_cx, mat_h};
+    use nwq_telemetry::JsonValue;
+    use std::time::Instant;
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+    // --- VQE baseline: H2/UCCSD through the telemetry layer. ---
+    nwq_telemetry::reset();
+    nwq_telemetry::set_enabled(true);
+    nwq_telemetry::set_run_info("benchmark", "vqe_h2_uccsd");
+    let mol = nwq_chem::molecules::h2_sto3g();
+    let h = mol.to_qubit_hamiltonian().expect("hamiltonian builds");
+    let ansatz = uccsd_ansatz(4, 2).expect("ansatz builds");
+    let problem = nwq_core::vqe::VqeProblem {
+        hamiltonian: h,
+        ansatz,
+    };
+    let mut backend = DirectBackend::new();
+    let mut opt = NelderMead::for_vqe();
+    let x0 = vec![0.0; problem.ansatz.n_params()];
+    let t0 = Instant::now();
+    let r = nwq_core::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, 4000).expect("VQE runs");
+    nwq_telemetry::set_run_info("energy_ha", format!("{:.8}", r.energy));
+    nwq_telemetry::set_run_info("evaluations", r.evaluations.to_string());
+    nwq_telemetry::set_run_info("wall_s", format!("{:.3}", t0.elapsed().as_secs_f64()));
+    let vqe_path = format!("{root}/BENCH_vqe.json");
+    nwq_telemetry::snapshot()
+        .write_json(std::path::Path::new(&vqe_path))
+        .expect("write BENCH_vqe.json");
+    nwq_telemetry::set_enabled(false);
+    println!(
+        "wrote BENCH_vqe.json     (E = {:+.6} Ha, {} evals)",
+        r.energy, r.evaluations
+    );
+
+    // --- Kernel baseline: amplitude updates/s for mat2/mat4 kernels. ---
+    let n_qubits = 18usize;
+    let dim = 1usize << n_qubits;
+    let reps = 20u32;
+    let mut cases: Vec<(String, JsonValue)> = Vec::new();
+    fn time_case(
+        dim: usize,
+        reps: u32,
+        name: &str,
+        cases: &mut Vec<(String, JsonValue)>,
+        body: &mut dyn FnMut(),
+    ) {
+        body(); // warm-up
+        let t = Instant::now();
+        for _ in 0..reps {
+            body();
+        }
+        let s = t.elapsed().as_secs_f64() / reps as f64;
+        let updates_per_s = dim as f64 / s;
+        cases.push((
+            name.to_string(),
+            JsonValue::Object(vec![
+                ("seconds_per_gate".into(), JsonValue::Float(s)),
+                ("updates_per_s".into(), JsonValue::Float(updates_per_s)),
+            ]),
+        ));
+        println!(
+            "  {name:<18} {:.3e} s/gate ({:.3e} updates/s)",
+            s, updates_per_s
+        );
+    }
+    let mut state = nwq_statevec::StateVector::zero(n_qubits);
+    let h_mat = mat_h();
+    let cx_mat = mat_cx();
+    let hi = n_qubits - 1;
+    let amps = state.amplitudes_mut();
+    time_case(dim, reps, "mat2_low_qubit", &mut cases, &mut || {
+        nwq_statevec::kernels::apply_mat2(amps, 0, &h_mat)
+    });
+    time_case(dim, reps, "mat2_high_qubit", &mut cases, &mut || {
+        nwq_statevec::kernels::apply_mat2(amps, hi, &h_mat)
+    });
+    time_case(dim, reps, "mat4_mixed", &mut cases, &mut || {
+        nwq_statevec::kernels::apply_mat4(amps, hi, 0, &cx_mat)
+    });
+    let kernels = JsonValue::Object(vec![
+        ("benchmark".into(), JsonValue::Str("gate_kernels".into())),
+        ("n_qubits".into(), JsonValue::Int(n_qubits as u64)),
+        ("reps".into(), JsonValue::Int(reps as u64)),
+        (
+            "threads".into(),
+            JsonValue::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64),
+        ),
+        ("cases".into(), JsonValue::Object(cases)),
+    ]);
+    let kernels_path = format!("{root}/BENCH_kernels.json");
+    std::fs::write(&kernels_path, kernels.render()).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json (n = {n_qubits}, {reps} reps/case)");
 }
 
 fn main() {
@@ -313,6 +449,7 @@ fn main() {
         "dist" => dist(),
         "qpe" => qpe(),
         "ablation" => ablation(),
+        "bench" => bench(),
         "all" => {
             fig1a();
             println!();
@@ -332,7 +469,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown figure {other:?}; expected fig1a|fig1b|fig1c|fig3|fig4|fig5|dist|qpe|ablation|all"
+                "unknown figure {other:?}; expected fig1a|fig1b|fig1c|fig3|fig4|fig5|dist|qpe|ablation|bench|all"
             );
             std::process::exit(2);
         }

@@ -20,7 +20,7 @@
 
 use crate::fermion::FermionOp;
 use crate::integrals::MolecularIntegrals;
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 use nwq_pauli::{Pauli, PauliOp, PauliString};
 
 // ---------------------------------------------------------------------------
@@ -54,17 +54,16 @@ pub fn commutator_expansion(h: &PauliOp, sigma: &PauliOp, order: usize) -> Resul
 /// computational reference and kills the term; an external Z contributes
 /// ±1 by occupation; external I contributes 1. Active factors survive,
 /// re-indexed to `0..active.len()` in the order given.
-pub fn project_active(
-    h: &PauliOp,
-    active: &[usize],
-    external_occupation: u64,
-) -> Result<PauliOp> {
+pub fn project_active(h: &PauliOp, active: &[usize], external_occupation: u64) -> Result<PauliOp> {
     let n = h.n_qubits();
     let m = active.len();
     let mut position = vec![usize::MAX; n];
     for (new, &q) in active.iter().enumerate() {
         if q >= n {
-            return Err(Error::QubitOutOfRange { qubit: q, n_qubits: n });
+            return Err(Error::QubitOutOfRange {
+                qubit: q,
+                n_qubits: n,
+            });
         }
         if position[q] != usize::MAX {
             return Err(Error::DuplicateQubit(q));
@@ -139,7 +138,10 @@ pub fn mp2_external_sigma(m: &MolecularIntegrals, n_active_spatial: usize) -> Fe
                     let t = num / den;
                     // Opposite-spin component (the dominant channel).
                     let (ia, jb, aa, bb) = (so(i, 0), so(j, 1), so(a, 0), so(b, 1));
-                    t_ext.push(C64::real(t), vec![(aa, true), (bb, true), (jb, false), (ia, false)]);
+                    t_ext.push(
+                        C64::real(t),
+                        vec![(aa, true), (bb, true), (jb, false), (ia, false)],
+                    );
                 }
             }
         }
@@ -157,7 +159,10 @@ pub fn mp2_external_sigma(m: &MolecularIntegrals, n_active_spatial: usize) -> Fe
             }
             let t = f_ia / den;
             for spin in 0..2 {
-                t_ext.push(C64::real(t), vec![(so(a, spin), true), (so(i, spin), false)]);
+                t_ext.push(
+                    C64::real(t),
+                    vec![(so(a, spin), true), (so(i, spin), false)],
+                );
             }
         }
     }
@@ -246,7 +251,10 @@ pub fn truncate_virtuals(m: &MolecularIntegrals, n_keep: usize) -> Result<Molecu
         )));
     }
     if n_keep > m.n_spatial() {
-        return Err(Error::DimensionMismatch { expected: m.n_spatial(), got: n_keep });
+        return Err(Error::DimensionMismatch {
+            expected: m.n_spatial(),
+            got: n_keep,
+        });
     }
     let mut out = MolecularIntegrals::new(n_keep, m.n_electrons())?;
     out.nuclear_repulsion = m.nuclear_repulsion;
@@ -555,8 +563,7 @@ mod tests {
             let dim = 1usize << nq;
             // Power iteration on (shift − H) restricted to the sector.
             let shift = h.one_norm() + 1.0;
-            let in_sector =
-                |i: usize| (i as u64).count_ones() as usize == n_elec;
+            let in_sector = |i: usize| (i as u64).count_ones() as usize == n_elec;
             let mut v: Vec<C64> = (0..dim)
                 .map(|i| {
                     if in_sector(i) {
@@ -590,8 +597,7 @@ mod tests {
         let bare = truncate_virtuals(&m, 3).unwrap();
         let e_bare = ground_in_sector(&bare.to_qubit_hamiltonian().unwrap(), 4);
 
-        let sigma =
-            crate::jw::jordan_wigner(&mp2_external_sigma(&m, 3), 8).unwrap();
+        let sigma = crate::jw::jordan_wigner(&mp2_external_sigma(&m, 3), 8).unwrap();
         let active: Vec<usize> = (0..6).collect();
         let h_eff = hermitian_downfold_qubit(&h_full, &sigma, &active, 0, 2).unwrap();
         let e_eq2 = ground_in_sector(&h_eff, 4);

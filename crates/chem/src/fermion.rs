@@ -6,7 +6,7 @@
 //! downstream (products for two-body terms, Hermitian conjugates for
 //! anti-Hermitian cluster operators) lives here.
 
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 use std::fmt;
 
 /// One ladder operator: `(orbital, is_creation)`.
@@ -57,7 +57,9 @@ impl FermionOp {
 
     /// A single term.
     pub fn single(coeff: C64, ops: Vec<Ladder>) -> Self {
-        FermionOp { terms: vec![FermionTerm::new(coeff, ops)] }
+        FermionOp {
+            terms: vec![FermionTerm::new(coeff, ops)],
+        }
     }
 
     /// One-body term `coeff · a†_p a_q`.
@@ -67,7 +69,10 @@ impl FermionOp {
 
     /// Two-body term `coeff · a†_p a†_q a_r a_s`.
     pub fn two_body(coeff: f64, p: usize, q: usize, r: usize, s: usize) -> Self {
-        FermionOp::single(C64::real(coeff), vec![(p, true), (q, true), (r, false), (s, false)])
+        FermionOp::single(
+            C64::real(coeff),
+            vec![(p, true), (q, true), (r, false), (s, false)],
+        )
     }
 
     /// Appends all terms of `other`.
@@ -82,7 +87,9 @@ impl FermionOp {
 
     /// Hermitian conjugate of the sum.
     pub fn dagger(&self) -> Self {
-        FermionOp { terms: self.terms.iter().map(FermionTerm::dagger).collect() }
+        FermionOp {
+            terms: self.terms.iter().map(FermionTerm::dagger).collect(),
+        }
     }
 
     /// `self − self†` — the anti-Hermitian combination used for unitary
@@ -90,7 +97,10 @@ impl FermionOp {
     pub fn anti_hermitian_part(&self) -> Self {
         let mut out = self.clone();
         for t in self.dagger().terms {
-            out.terms.push(FermionTerm { coeff: -t.coeff, ops: t.ops });
+            out.terms.push(FermionTerm {
+                coeff: -t.coeff,
+                ops: t.ops,
+            });
         }
         out
     }
@@ -113,7 +123,10 @@ impl FermionOp {
     /// Validates that all orbitals are below `n`.
     pub fn validate(&self, n: usize) -> Result<()> {
         match self.max_orbital() {
-            Some(m) if m >= n => Err(Error::QubitOutOfRange { qubit: m, n_qubits: n }),
+            Some(m) if m >= n => Err(Error::QubitOutOfRange {
+                qubit: m,
+                n_qubits: n,
+            }),
             _ => Ok(()),
         }
     }

@@ -27,8 +27,10 @@ impl MolecularIntegrals {
     /// An all-zero integral set for `n_spatial` orbitals and
     /// `n_electrons` electrons (must be even: RHF closed shell).
     pub fn new(n_spatial: usize, n_electrons: usize) -> Result<Self> {
-        if n_electrons % 2 != 0 {
-            return Err(Error::Invalid("closed-shell integrals need an even electron count".into()));
+        if !n_electrons.is_multiple_of(2) {
+            return Err(Error::Invalid(
+                "closed-shell integrals need an even electron count".into(),
+            ));
         }
         if n_electrons > 2 * n_spatial {
             return Err(Error::Invalid(format!(

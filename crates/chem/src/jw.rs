@@ -14,13 +14,16 @@
 //! special-case templates.
 
 use crate::fermion::{FermionOp, FermionTerm};
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 use nwq_pauli::{Pauli, PauliOp, PauliString};
 
 /// JW image of a single ladder operator.
 pub fn ladder_to_pauli(n_qubits: usize, orbital: usize, creation: bool) -> Result<PauliOp> {
     if orbital >= n_qubits {
-        return Err(Error::QubitOutOfRange { qubit: orbital, n_qubits });
+        return Err(Error::QubitOutOfRange {
+            qubit: orbital,
+            n_qubits,
+        });
     }
     // Z string on qubits 0..orbital, X or Y at `orbital`.
     let mut x_ops: Vec<(usize, Pauli)> = (0..orbital).map(|q| (q, Pauli::Z)).collect();
@@ -31,8 +34,15 @@ pub fn ladder_to_pauli(n_qubits: usize, orbital: usize, creation: bool) -> Resul
     let ys = PauliString::from_ops(n_qubits, &y_ops)?;
     let half = C64::real(0.5);
     // a† has −i/2 on Y, a has +i/2.
-    let y_coeff = if creation { C64::new(0.0, -0.5) } else { C64::new(0.0, 0.5) };
-    Ok(PauliOp::from_terms(n_qubits, vec![(half, xs), (y_coeff, ys)]))
+    let y_coeff = if creation {
+        C64::new(0.0, -0.5)
+    } else {
+        C64::new(0.0, 0.5)
+    };
+    Ok(PauliOp::from_terms(
+        n_qubits,
+        vec![(half, xs), (y_coeff, ys)],
+    ))
 }
 
 /// JW image of a product term.
@@ -78,7 +88,11 @@ mod tests {
                 let row = col | (1 << p);
                 // Fermionic sign: parity of occupied orbitals below p.
                 let below = (col as u64) & ((1u64 << p) - 1);
-                let sign = if below.count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+                let sign = if below.count_ones() % 2 == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 m[row * dim + col] = C64::real(sign);
             }
         }

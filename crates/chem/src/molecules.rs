@@ -35,7 +35,10 @@ pub fn h2_sto3g() -> MolecularIntegrals {
 /// orbital basis. `n_sites` spatial orbitals host `n_sites` electrons
 /// (half filling, `n_sites` even).
 pub fn hydrogen_chain(n_sites: usize, t: f64, u: f64) -> MolecularIntegrals {
-    assert!(n_sites % 2 == 0, "half filling needs an even site count");
+    assert!(
+        n_sites.is_multiple_of(2),
+        "half filling needs an even site count"
+    );
     let mut m = MolecularIntegrals::new(n_sites, n_sites).expect("valid electron count");
     m.nuclear_repulsion = 0.0;
     for p in 0..n_sites {
@@ -94,8 +97,7 @@ pub fn water_model(n_spatial: usize, n_electrons: usize) -> MolecularIntegrals {
                     if (r, s) < (p, q) {
                         continue;
                     }
-                    let centroid_gap =
-                        ((p + q) as f64 * 0.5 - (r + s) as f64 * 0.5).abs();
+                    let centroid_gap = ((p + q) as f64 * 0.5 - (r + s) as f64 * 0.5).abs();
                     let base = 0.77 * pair(p, q) * pair(r, s) * (-0.21 * centroid_gap).exp();
                     // Suppress highly off-diagonal (small-overlap) terms,
                     // as real integrals do.
@@ -126,7 +128,10 @@ pub fn water_fig5() -> MolecularIntegrals {
 /// The Fig 1a/1b scaling series: active spaces of `n_spatial` orbitals
 /// hosting the 10 electrons of water (requires `n_spatial ≥ 5`).
 pub fn water_scaling(n_spatial: usize) -> MolecularIntegrals {
-    assert!(n_spatial >= 5, "water needs at least 5 spatial orbitals for 10 electrons");
+    assert!(
+        n_spatial >= 5,
+        "water needs at least 5 spatial orbitals for 10 electrons"
+    );
     water_model(n_spatial, 10)
 }
 

@@ -7,7 +7,7 @@
 //! the fermionic generators (qubit-ADAPT).
 
 use crate::uccsd::{uccsd_excitations, Excitation};
-use nwq_common::{C64, Result};
+use nwq_common::{Result, C64};
 use nwq_pauli::{PauliOp, PauliString};
 
 /// A candidate ansatz-growth operator.
@@ -35,7 +35,10 @@ impl OperatorPool {
         for exc in &excs {
             let generator = exc.generator(n_spin_orbitals)?;
             if !generator.is_zero() {
-                ops.push(PoolOperator { name: exc.name(), generator });
+                ops.push(PoolOperator {
+                    name: exc.name(),
+                    generator,
+                });
             }
         }
         Ok(OperatorPool { ops })
@@ -80,17 +83,19 @@ impl OperatorPool {
 
     /// Gradients of all pool elements (the ADAPT screening step).
     pub fn gradients(&self, hamiltonian: &PauliOp, psi: &[C64]) -> Result<Vec<f64>> {
-        (0..self.ops.len()).map(|k| self.gradient(k, hamiltonian, psi)).collect()
+        (0..self.ops.len())
+            .map(|k| self.gradient(k, hamiltonian, psi))
+            .collect()
     }
 }
 
 /// Convenience: the single excitation used in tests/examples.
-pub fn single_excitation_generator(
-    n_qubits: usize,
-    from: usize,
-    to: usize,
-) -> Result<PauliOp> {
-    Excitation { from: vec![from], to: vec![to] }.generator(n_qubits)
+pub fn single_excitation_generator(n_qubits: usize, from: usize, to: usize) -> Result<PauliOp> {
+    Excitation {
+        from: vec![from],
+        to: vec![to],
+    }
+    .generator(n_qubits)
 }
 
 #[cfg(test)]

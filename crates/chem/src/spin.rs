@@ -7,11 +7,11 @@
 
 use crate::fermion::FermionOp;
 use crate::jw::jordan_wigner;
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 use nwq_pauli::PauliOp;
 
 fn check_even(n_spin_orbitals: usize) -> Result<usize> {
-    if n_spin_orbitals % 2 != 0 {
+    if !n_spin_orbitals.is_multiple_of(2) {
         return Err(Error::Invalid(format!(
             "{n_spin_orbitals} spin orbitals: interleaved convention needs an even count"
         )));

@@ -72,12 +72,7 @@ pub fn erf(x: f64) -> f64 {
 }
 
 /// Gaussian product prefactor and combined center for two primitives.
-fn gaussian_product(
-    alpha: f64,
-    a: [f64; 3],
-    beta: f64,
-    b: [f64; 3],
-) -> (f64, f64, [f64; 3]) {
+fn gaussian_product(alpha: f64, a: [f64; 3], beta: f64, b: [f64; 3]) -> (f64, f64, [f64; 3]) {
     let p = alpha + beta;
     let k = (-alpha * beta / p * dist_sqr(a, b)).exp();
     let center = [
@@ -130,12 +125,7 @@ pub fn nuclear_attraction(a: &SGaussian, b: &SGaussian, z: f64, c: [f64; 3]) -> 
 
 /// Contracted two-electron repulsion integral `(ab|cd)` in chemist
 /// notation.
-pub fn electron_repulsion(
-    a: &SGaussian,
-    b: &SGaussian,
-    c: &SGaussian,
-    d: &SGaussian,
-) -> f64 {
+pub fn electron_repulsion(a: &SGaussian, b: &SGaussian, c: &SGaussian, d: &SGaussian) -> f64 {
     let mut g = 0.0;
     for (&ai, &ca) in a.exponents.iter().zip(&a.coeffs) {
         for (&bj, &cb) in b.exponents.iter().zip(&b.coeffs) {
@@ -145,7 +135,10 @@ pub fn electron_repulsion(
                     let (q, kcd, rq) = gaussian_product(ck, c.center, dl, d.center);
                     let f = boys_f0(p * q / (p + q) * dist_sqr(rp, rq));
                     let pref = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt());
-                    g += ca * cb * cc * cd
+                    g += ca
+                        * cb
+                        * cc
+                        * cd
                         * norm_s(ai)
                         * norm_s(bj)
                         * norm_s(ck)
@@ -170,11 +163,14 @@ pub fn electron_repulsion(
 /// the symmetric combination by symmetry, so convergence is immediate,
 /// but the loop is written generally.
 pub fn h2_molecule(r: f64) -> Result<MolecularIntegrals> {
-    if !(r > 0.0) {
+    if r <= 0.0 || r.is_nan() {
         return Err(Error::Invalid(format!("bond length {r} must be positive")));
     }
     let centers = [[0.0, 0.0, 0.0], [0.0, 0.0, r]];
-    let basis = [SGaussian::hydrogen(centers[0]), SGaussian::hydrogen(centers[1])];
+    let basis = [
+        SGaussian::hydrogen(centers[0]),
+        SGaussian::hydrogen(centers[1]),
+    ];
     let n = 2;
 
     // AO matrices.
@@ -264,10 +260,12 @@ pub fn h2_molecule(r: f64) -> Result<MolecularIntegrals> {
         last_e = e;
     }
 
-    // MO transformation.
+    // MO transformation. Index loops mirror the tensor-contraction math;
+    // iterator forms would obscure the Einstein-summation structure.
     let mo = |p: usize, i: usize| coeffs[i][p];
     let mut out = MolecularIntegrals::new(2, 2)?;
     out.nuclear_repulsion = 1.0 / r;
+    #[allow(clippy::needless_range_loop)]
     for p in 0..2 {
         for q in p..2 {
             let mut v = 0.0;
@@ -279,6 +277,7 @@ pub fn h2_molecule(r: f64) -> Result<MolecularIntegrals> {
             out.set_h(p, q, v);
         }
     }
+    #[allow(clippy::needless_range_loop)]
     for p in 0..2 {
         for q in p..2 {
             for r2 in 0..2 {
@@ -291,7 +290,10 @@ pub fn h2_molecule(r: f64) -> Result<MolecularIntegrals> {
                         for j in 0..2 {
                             for k in 0..2 {
                                 for l in 0..2 {
-                                    v += mo(p, i) * mo(q, j) * mo(r2, k) * mo(s2, l)
+                                    v += mo(p, i)
+                                        * mo(q, j)
+                                        * mo(r2, k)
+                                        * mo(s2, l)
                                         * g_ao[i][j][k][l];
                                 }
                             }
@@ -384,7 +386,7 @@ pub fn hydrogen_cluster(centers: &[[f64; 3]], n_electrons: usize) -> Result<Mole
     if n == 0 {
         return Err(Error::Invalid("cluster needs at least one center".into()));
     }
-    if n_electrons % 2 != 0 || n_electrons == 0 || n_electrons > 2 * n {
+    if !n_electrons.is_multiple_of(2) || n_electrons == 0 || n_electrons > 2 * n {
         return Err(Error::Invalid(format!(
             "{n_electrons} electrons invalid for a closed-shell {n}-center cluster"
         )));
@@ -430,7 +432,9 @@ pub fn hydrogen_cluster(centers: &[[f64; 3]], n_electrons: usize) -> Result<Mole
     // X = S^{-1/2} via Jacobi.
     let (s_evals, s_evecs) = jacobi_eigen(&s_mat, n);
     if s_evals.iter().any(|&l| l <= 1e-8) {
-        return Err(Error::Numerical("overlap matrix near-singular (centers too close?)".into()));
+        return Err(Error::Numerical(
+            "overlap matrix near-singular (centers too close?)".into(),
+        ));
     }
     let mut x = vec![0.0; n * n];
     for i in 0..n {
@@ -568,8 +572,7 @@ pub fn hydrogen_cluster(centers: &[[f64; 3]], n_electrons: usize) -> Result<Mole
 
 /// A linear hydrogen chain with spacing `r` (bohr), half filling.
 pub fn hydrogen_chain_sto3g(n_sites: usize, r: f64) -> Result<MolecularIntegrals> {
-    let centers: Vec<[f64; 3]> =
-        (0..n_sites).map(|k| [0.0, 0.0, r * k as f64]).collect();
+    let centers: Vec<[f64; 3]> = (0..n_sites).map(|k| [0.0, 0.0, r * k as f64]).collect();
     hydrogen_cluster(&centers, n_sites)
 }
 
@@ -683,7 +686,12 @@ mod tests {
         // molecules::h2_sto3g (within basis-convention rounding).
         let m = h2_molecule(R_EQ).unwrap();
         let lit = crate::molecules::h2_sto3g();
-        assert!((m.h(0, 0) - lit.h(0, 0)).abs() < 3e-3, "{} vs {}", m.h(0, 0), lit.h(0, 0));
+        assert!(
+            (m.h(0, 0) - lit.h(0, 0)).abs() < 3e-3,
+            "{} vs {}",
+            m.h(0, 0),
+            lit.h(0, 0)
+        );
         assert!((m.h(1, 1) - lit.h(1, 1)).abs() < 3e-3);
         assert!((m.g(0, 0, 0, 0) - lit.g(0, 0, 0, 0)).abs() < 3e-3);
         assert!((m.g(0, 0, 1, 1) - lit.g(0, 0, 1, 1)).abs() < 3e-3);

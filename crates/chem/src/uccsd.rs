@@ -45,7 +45,10 @@ impl Excitation {
     /// A short printable name like `2->4` or `0,1->4,5`.
     pub fn name(&self) -> String {
         let join = |v: &[usize]| {
-            v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         };
         format!("{}->{}", join(&self.from), join(&self.to))
     }
@@ -73,7 +76,10 @@ pub fn uccsd_excitations(n_spin_orbitals: usize, n_electrons: usize) -> Vec<Exci
     for &i in &occ {
         for &a in &virt {
             if spin(i) == spin(a) {
-                out.push(Excitation { from: vec![i], to: vec![a] });
+                out.push(Excitation {
+                    from: vec![i],
+                    to: vec![a],
+                });
             }
         }
     }
@@ -83,7 +89,10 @@ pub fn uccsd_excitations(n_spin_orbitals: usize, n_electrons: usize) -> Vec<Exci
             for (xa, &a) in virt.iter().enumerate() {
                 for &b in virt.iter().skip(xa + 1) {
                     if spin(i) + spin(j) == spin(a) + spin(b) {
-                        out.push(Excitation { from: vec![i, j], to: vec![a, b] });
+                        out.push(Excitation {
+                            from: vec![i, j],
+                            to: vec![a, b],
+                        });
                     }
                 }
             }
@@ -134,7 +143,11 @@ pub fn append_generator_exponential(
         if c == 0.0 {
             continue;
         }
-        append_exp_pauli(circuit, string, ParamExpr::scaled_var(param_index, -2.0 * c))?;
+        append_exp_pauli(
+            circuit,
+            string,
+            ParamExpr::scaled_var(param_index, -2.0 * c),
+        )?;
     }
     Ok(())
 }
@@ -161,7 +174,10 @@ pub fn uccsd_stats(n_spin_orbitals: usize, n_electrons: usize) -> Result<UccsdSt
             }
         }
     }
-    Ok(UccsdStats { n_params: excs.len(), gate_count: gates })
+    Ok(UccsdStats {
+        n_params: excs.len(),
+        gate_count: gates,
+    })
 }
 
 #[cfg(test)]
@@ -174,9 +190,27 @@ mod tests {
         // 4 spin orbitals, 2 electrons: singles 0→2, 1→3; doubles 01→23.
         let excs = uccsd_excitations(4, 2);
         assert_eq!(excs.len(), 3);
-        assert_eq!(excs[0], Excitation { from: vec![0], to: vec![2] });
-        assert_eq!(excs[1], Excitation { from: vec![1], to: vec![3] });
-        assert_eq!(excs[2], Excitation { from: vec![0, 1], to: vec![2, 3] });
+        assert_eq!(
+            excs[0],
+            Excitation {
+                from: vec![0],
+                to: vec![2]
+            }
+        );
+        assert_eq!(
+            excs[1],
+            Excitation {
+                from: vec![1],
+                to: vec![3]
+            }
+        );
+        assert_eq!(
+            excs[2],
+            Excitation {
+                from: vec![0, 1],
+                to: vec![2, 3]
+            }
+        );
         assert!(excs[0].is_single());
         assert!(!excs[2].is_single());
         assert_eq!(excs[2].name(), "0,1->2,3");
@@ -210,7 +244,10 @@ mod tests {
     #[test]
     fn single_excitation_generator_structure() {
         // A_0→2 on 4 qubits: (i/2)(X0 Z1 Y2 − Y0 Z1 X2) pattern.
-        let exc = Excitation { from: vec![0], to: vec![2] };
+        let exc = Excitation {
+            from: vec![0],
+            to: vec![2],
+        };
         let g = exc.generator(4).unwrap();
         assert_eq!(g.num_terms(), 2);
         for (c, s) in g.terms() {

@@ -17,12 +17,20 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit on `n_qubits` with no parameters.
     pub fn new(n_qubits: usize) -> Self {
-        Circuit { n_qubits, n_params: 0, gates: Vec::new() }
+        Circuit {
+            n_qubits,
+            n_params: 0,
+            gates: Vec::new(),
+        }
     }
 
     /// An empty circuit declaring `n_params` variational parameters.
     pub fn with_params(n_qubits: usize, n_params: usize) -> Self {
-        Circuit { n_qubits, n_params, gates: Vec::new() }
+        Circuit {
+            n_qubits,
+            n_params,
+            gates: Vec::new(),
+        }
     }
 
     /// Register width.
@@ -220,7 +228,10 @@ impl Circuit {
     /// Binds parameters, producing a fully concrete circuit.
     pub fn bind(&self, params: &[f64]) -> Result<Circuit> {
         if params.len() < self.n_params {
-            return Err(Error::ParameterMismatch { expected: self.n_params, got: params.len() });
+            return Err(Error::ParameterMismatch {
+                expected: self.n_params,
+                got: params.len(),
+            });
         }
         let mut out = Circuit::new(self.n_qubits);
         for g in &self.gates {

@@ -317,10 +317,7 @@ mod tests {
         let h = nwq_pauli::PauliOp::parse("1.0 ZZ").unwrap();
         let mut c = Circuit::new(2);
         assert!(append_evolution(&mut c, &h, 1.0, 0, TrotterOrder::First).is_err());
-        let anti = nwq_pauli::PauliOp::single(
-            nwq_common::C_I,
-            PauliString::parse("XY").unwrap(),
-        );
+        let anti = nwq_pauli::PauliOp::single(nwq_common::C_I, PauliString::parse("XY").unwrap());
         assert!(append_evolution(&mut c, &anti, 1.0, 4, TrotterOrder::First).is_err());
     }
 

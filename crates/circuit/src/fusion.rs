@@ -106,7 +106,11 @@ pub fn fuse(circuit: &Circuit) -> Result<(Circuit, FusionStats)> {
                 for (q, is_high) in [(a, true), (b, false)] {
                     if let Some(i) = active[q] {
                         if let Block::One(_, m1) = blocks[i] {
-                            let emb = if is_high { embed_high(&m1) } else { embed_low(&m1) };
+                            let emb = if is_high {
+                                embed_high(&m1)
+                            } else {
+                                embed_low(&m1)
+                            };
                             acc = acc * emb;
                             blocks[i] = Block::Dead;
                         }
@@ -132,7 +136,10 @@ pub fn fuse(circuit: &Circuit) -> Result<(Circuit, FusionStats)> {
             Block::Dead => {}
         }
     }
-    let stats = FusionStats { gates_before: circuit.len(), gates_after: out.len() };
+    let stats = FusionStats {
+        gates_before: circuit.len(),
+        gates_after: out.len(),
+    };
     Ok((out, stats))
 }
 

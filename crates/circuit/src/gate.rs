@@ -74,8 +74,21 @@ impl Gate {
     pub fn qubits(&self) -> Vec<usize> {
         use Gate::*;
         match *self {
-            X(q) | Y(q) | Z(q) | H(q) | S(q) | Sdg(q) | T(q) | Tdg(q) | SX(q) | RX(q, _)
-            | RY(q, _) | RZ(q, _) | P(q, _) | U3(q, _, _, _) | Fused1(q, _) => vec![q],
+            X(q)
+            | Y(q)
+            | Z(q)
+            | H(q)
+            | S(q)
+            | Sdg(q)
+            | T(q)
+            | Tdg(q)
+            | SX(q)
+            | RX(q, _)
+            | RY(q, _)
+            | RZ(q, _)
+            | P(q, _)
+            | U3(q, _, _, _)
+            | Fused1(q, _) => vec![q],
             CX(a, b) | CZ(a, b) | CP(a, b, _) | SWAP(a, b) | RZZ(a, b, _) | Fused2(a, b, _) => {
                 vec![a, b]
             }
@@ -147,9 +160,10 @@ impl Gate {
             RY(q, e) => GateMatrix::One(*q, mat_ry(e.eval(params)?)),
             RZ(q, e) => GateMatrix::One(*q, mat_rz(e.eval(params)?)),
             P(q, e) => GateMatrix::One(*q, mat_p(e.eval(params)?)),
-            U3(q, t, p, l) => {
-                GateMatrix::One(*q, mat_u3(t.eval(params)?, p.eval(params)?, l.eval(params)?))
-            }
+            U3(q, t, p, l) => GateMatrix::One(
+                *q,
+                mat_u3(t.eval(params)?, p.eval(params)?, l.eval(params)?),
+            ),
             CX(a, b) => GateMatrix::Two(*a, *b, mat_cx()),
             CZ(a, b) => GateMatrix::Two(*a, *b, mat_cz()),
             CP(a, b, e) => GateMatrix::Two(*a, *b, mat_cp(e.eval(params)?)),
@@ -333,7 +347,14 @@ mod tests {
     fn symbolic_inverse_negates_parameter() {
         let g = Gate::RZ(0, ParamExpr::var(3));
         match g.inverse() {
-            Gate::RZ(0, ParamExpr::Var { index: 3, coeff, offset }) => {
+            Gate::RZ(
+                0,
+                ParamExpr::Var {
+                    index: 3,
+                    coeff,
+                    offset,
+                },
+            ) => {
                 assert_eq!(coeff, -1.0);
                 assert_eq!(offset, 0.0);
             }

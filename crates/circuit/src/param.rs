@@ -29,22 +29,37 @@ pub enum ParamExpr {
 impl ParamExpr {
     /// A bare reference to parameter `index`.
     pub fn var(index: usize) -> Self {
-        ParamExpr::Var { index, coeff: 1.0, offset: 0.0 }
+        ParamExpr::Var {
+            index,
+            coeff: 1.0,
+            offset: 0.0,
+        }
     }
 
     /// `coeff · θ[index]`.
     pub fn scaled_var(index: usize, coeff: f64) -> Self {
-        ParamExpr::Var { index, coeff, offset: 0.0 }
+        ParamExpr::Var {
+            index,
+            coeff,
+            offset: 0.0,
+        }
     }
 
     /// Evaluates against a bound parameter vector.
     pub fn eval(&self, params: &[f64]) -> Result<f64> {
         match *self {
             ParamExpr::Const(v) => Ok(v),
-            ParamExpr::Var { index, coeff, offset } => params
+            ParamExpr::Var {
+                index,
+                coeff,
+                offset,
+            } => params
                 .get(index)
                 .map(|&t| coeff * t + offset)
-                .ok_or(Error::ParameterMismatch { expected: index + 1, got: params.len() }),
+                .ok_or(Error::ParameterMismatch {
+                    expected: index + 1,
+                    got: params.len(),
+                }),
         }
     }
 
@@ -65,9 +80,15 @@ impl ParamExpr {
     pub fn negated(&self) -> Self {
         match *self {
             ParamExpr::Const(v) => ParamExpr::Const(-v),
-            ParamExpr::Var { index, coeff, offset } => {
-                ParamExpr::Var { index, coeff: -coeff, offset: -offset }
-            }
+            ParamExpr::Var {
+                index,
+                coeff,
+                offset,
+            } => ParamExpr::Var {
+                index,
+                coeff: -coeff,
+                offset: -offset,
+            },
         }
     }
 
@@ -76,9 +97,15 @@ impl ParamExpr {
     pub fn shifted(&self, delta: usize) -> Self {
         match *self {
             ParamExpr::Const(v) => ParamExpr::Const(v),
-            ParamExpr::Var { index, coeff, offset } => {
-                ParamExpr::Var { index: index + delta, coeff, offset }
-            }
+            ParamExpr::Var {
+                index,
+                coeff,
+                offset,
+            } => ParamExpr::Var {
+                index: index + delta,
+                coeff,
+                offset,
+            },
         }
     }
 
@@ -98,7 +125,11 @@ impl fmt::Display for ParamExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             ParamExpr::Const(v) => write!(f, "{v:.6}"),
-            ParamExpr::Var { index, coeff, offset } => {
+            ParamExpr::Var {
+                index,
+                coeff,
+                offset,
+            } => {
                 if offset == 0.0 {
                     write!(f, "{coeff:.3}·θ{index}")
                 } else {
@@ -135,7 +166,11 @@ mod tests {
 
     #[test]
     fn negation_and_shift() {
-        let e = ParamExpr::Var { index: 0, coeff: 2.0, offset: 1.0 };
+        let e = ParamExpr::Var {
+            index: 0,
+            coeff: 2.0,
+            offset: 1.0,
+        };
         assert_eq!(e.negated().eval(&[3.0]).unwrap(), -7.0);
         let s = e.shifted(4);
         assert_eq!(s.param_index(), Some(4));

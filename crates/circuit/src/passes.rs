@@ -15,9 +15,7 @@ fn cancels(a: &Gate, b: &Gate) -> bool {
         (CX(a1, b1), CX(a2, b2)) | (CZ(a1, b1), CZ(a2, b2)) => {
             (a1 == a2 && b1 == b2) || (matches!(a, CZ(..)) && a1 == b2 && b1 == a2)
         }
-        (SWAP(a1, b1), SWAP(a2, b2)) => {
-            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
-        }
+        (SWAP(a1, b1), SWAP(a2, b2)) => (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2),
         _ => false,
     }
 }
@@ -31,9 +29,21 @@ fn merge_rotations(a: &Gate, b: &Gate) -> Option<Gate> {
             (ParamExpr::Const(u), ParamExpr::Const(v)) => Some(ParamExpr::Const(u + v)),
             // Same parameter, affine combine.
             (
-                ParamExpr::Var { index: i, coeff: c1, offset: o1 },
-                ParamExpr::Var { index: j, coeff: c2, offset: o2 },
-            ) if i == j => Some(ParamExpr::Var { index: *i, coeff: c1 + c2, offset: o1 + o2 }),
+                ParamExpr::Var {
+                    index: i,
+                    coeff: c1,
+                    offset: o1,
+                },
+                ParamExpr::Var {
+                    index: j,
+                    coeff: c2,
+                    offset: o2,
+                },
+            ) if i == j => Some(ParamExpr::Var {
+                index: *i,
+                coeff: c1 + c2,
+                offset: o1 + o2,
+            }),
             _ => None,
         }
     };

@@ -345,7 +345,15 @@ mod tests {
         // Realistic payload: a bound chemistry ansatz.
         let mut c = Circuit::new(4);
         // A UCCSD-like fragment (basis changes + ladder + rotation).
-        c.h(0).h(2).cx(0, 1).cx(1, 2).rz(2, 0.173).cx(1, 2).cx(0, 1).h(2).h(0);
+        c.h(0)
+            .h(2)
+            .cx(0, 1)
+            .cx(1, 2)
+            .rz(2, 0.173)
+            .cx(1, 2)
+            .cx(0, 1)
+            .h(2)
+            .h(0);
         let back = from_qasm(&to_qasm(&c).unwrap()).unwrap();
         let a = reference::run(&c, &[]).unwrap();
         let b = reference::run(&back, &[]).unwrap();

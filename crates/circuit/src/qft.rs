@@ -71,8 +71,7 @@ mod tests {
             let psi = run_on(&c, &[], init).unwrap();
             let scale = 1.0 / (dimension as f64).sqrt();
             for (y, a) in psi.iter().enumerate() {
-                let expect =
-                    C64::cis(2.0 * PI * (x * y) as f64 / dimension as f64) * scale;
+                let expect = C64::cis(2.0 * PI * (x * y) as f64 / dimension as f64) * scale;
                 assert!(a.approx_eq(expect, 1e-10), "x={x} y={y}: {a} vs {expect}");
             }
         }

@@ -8,7 +8,7 @@
 use crate::circuit::Circuit;
 use crate::gate::GateMatrix;
 use nwq_common::bits::{bit, dim, with_bit};
-use nwq_common::{C64, C_ONE, C_ZERO, Mat2, Mat4, Result};
+use nwq_common::{Mat2, Mat4, Result, C64, C_ONE, C_ZERO};
 
 /// `|0…0⟩` on `n` qubits.
 pub fn zero_state(n_qubits: usize) -> Vec<C64> {

@@ -26,26 +26,35 @@ impl CouplingMap {
         let mut set = BTreeSet::new();
         for &(a, b) in edges {
             if a >= n_qubits || b >= n_qubits {
-                return Err(Error::QubitOutOfRange { qubit: a.max(b), n_qubits });
+                return Err(Error::QubitOutOfRange {
+                    qubit: a.max(b),
+                    n_qubits,
+                });
             }
             if a == b {
                 return Err(Error::DuplicateQubit(a));
             }
             set.insert((a.min(b), a.max(b)));
         }
-        Ok(CouplingMap { n_qubits, edges: set })
+        Ok(CouplingMap {
+            n_qubits,
+            edges: set,
+        })
     }
 
     /// Linear chain 0—1—…—(n−1).
     pub fn linear(n_qubits: usize) -> Self {
-        let edges: Vec<_> = (0..n_qubits.saturating_sub(1)).map(|q| (q, q + 1)).collect();
+        let edges: Vec<_> = (0..n_qubits.saturating_sub(1))
+            .map(|q| (q, q + 1))
+            .collect();
         CouplingMap::new(n_qubits, &edges).expect("valid by construction")
     }
 
     /// Ring topology.
     pub fn ring(n_qubits: usize) -> Self {
-        let mut edges: Vec<_> =
-            (0..n_qubits.saturating_sub(1)).map(|q| (q, q + 1)).collect();
+        let mut edges: Vec<_> = (0..n_qubits.saturating_sub(1))
+            .map(|q| (q, q + 1))
+            .collect();
         if n_qubits > 2 {
             edges.push((n_qubits - 1, 0));
         }
@@ -102,7 +111,9 @@ impl CouplingMap {
                 }
             }
         }
-        Err(Error::Invalid(format!("qubits {from} and {to} are disconnected")))
+        Err(Error::Invalid(format!(
+            "qubits {from} and {to} are disconnected"
+        )))
     }
 }
 
@@ -132,14 +143,18 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<RoutedCircuit> {
     let mut inverse: Vec<usize> = (0..n).collect();
     let mut out = Circuit::with_params(n, circuit.n_params());
     let mut swaps = 0usize;
-    let apply_swap =
-        |out: &mut Circuit, layout: &mut Vec<usize>, inverse: &mut Vec<usize>, a: usize, b: usize| -> Result<()> {
-            out.push(Gate::SWAP(a, b))?;
-            let (la, lb) = (inverse[a], inverse[b]);
-            inverse.swap(a, b);
-            layout.swap(la, lb);
-            Ok(())
-        };
+    let apply_swap = |out: &mut Circuit,
+                      layout: &mut Vec<usize>,
+                      inverse: &mut Vec<usize>,
+                      a: usize,
+                      b: usize|
+     -> Result<()> {
+        out.push(Gate::SWAP(a, b))?;
+        let (la, lb) = (inverse[a], inverse[b]);
+        inverse.swap(a, b);
+        layout.swap(la, lb);
+        Ok(())
+    };
     for gate in circuit.gates() {
         let qs = gate.qubits();
         if qs.len() == 2 {
@@ -156,7 +171,11 @@ pub fn route(circuit: &Circuit, map: &CouplingMap) -> Result<RoutedCircuit> {
         }
         out.push(gate.remapped(|q| layout[q]))?;
     }
-    Ok(RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted: swaps })
+    Ok(RoutedCircuit {
+        circuit: out,
+        final_layout: layout,
+        swaps_inserted: swaps,
+    })
 }
 
 #[cfg(test)]
@@ -233,7 +252,11 @@ mod tests {
         let mut c = Circuit::new(4);
         c.h(0).cx(0, 3);
         let routed = check_routed_equivalence(&c, &CouplingMap::linear(4));
-        assert!(routed.swaps_inserted >= 2, "swaps {}", routed.swaps_inserted);
+        assert!(
+            routed.swaps_inserted >= 2,
+            "swaps {}",
+            routed.swaps_inserted
+        );
     }
 
     #[test]
@@ -259,7 +282,15 @@ mod tests {
     #[test]
     fn uccsd_fragment_routes_correctly() {
         let mut c = Circuit::new(4);
-        c.h(0).h(2).cx(0, 2).rz(2, 0.37).cx(0, 2).h(0).h(2).cx(3, 1).ry(1, -0.2);
+        c.h(0)
+            .h(2)
+            .cx(0, 2)
+            .rz(2, 0.37)
+            .cx(0, 2)
+            .h(0)
+            .h(2)
+            .cx(3, 1)
+            .ry(1, -0.2);
         let routed = check_routed_equivalence(&c, &CouplingMap::linear(4));
         assert!(routed.swaps_inserted > 0);
     }

@@ -2,18 +2,19 @@
 //!
 //! ```text
 //! nwq vqe   [--molecule h2|h4|water] [--r BOHR] [--orbitals N] [--electrons M]
-//!           [--optimizer nm|lbfgs|spsa] [--max-evals N]
-//! nwq adapt [--orbitals N] [--electrons M] [--max-iter K]
-//! nwq qpe   [--r BOHR] [--ancillas N] [--steps N] [--order 1|2]
+//!           [--optimizer nm|lbfgs|spsa] [--max-evals N] [--metrics FILE.json]
+//! nwq adapt [--orbitals N] [--electrons M] [--max-iter K] [--metrics FILE.json]
+//! nwq qpe   [--r BOHR] [--ancillas N] [--steps N] [--order 1|2] [--metrics FILE.json]
 //! nwq fuse  --in FILE.qasm [--out FILE.qasm is unsupported: fused blocks
 //!           have no QASM form; stats are printed instead]
 //! nwq info
 //! ```
 //!
 //! Every subcommand prints plain-text results; exit code 0 on success,
-//! 1 on a domain error, 2 on a usage error.
+//! 1 on a domain error, 2 on a usage error. `--metrics FILE.json` enables
+//! the nwq-telemetry layer and writes its JSON snapshot on success.
 
-use nwq_chem::molecules::{water_model, h2_sto3g};
+use nwq_chem::molecules::{h2_sto3g, water_model};
 use nwq_chem::sto3g::h2_molecule;
 use nwq_chem::uccsd::uccsd_ansatz;
 use nwq_chem::MolecularIntegrals;
@@ -46,12 +47,17 @@ impl Args {
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {v:?}")),
         }
     }
 
     fn str_or(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -83,7 +89,11 @@ fn optimizer_from(args: &Args) -> Result<Box<dyn Optimizer>, String> {
         "nm" => Box::new(NelderMead::for_vqe()),
         "lbfgs" => Box::new(Lbfgs::default()),
         "spsa" => Box::new(Spsa::default()),
-        other => return Err(format!("unknown optimizer {other:?} (expected nm|lbfgs|spsa)")),
+        other => {
+            return Err(format!(
+                "unknown optimizer {other:?} (expected nm|lbfgs|spsa)"
+            ))
+        }
     })
 }
 
@@ -99,19 +109,32 @@ fn cmd_vqe(args: &Args) -> Result<(), String> {
         h.n_qubits(),
         h.num_terms()
     );
-    println!("ansatz  : UCCSD, {} gates, {} parameters", ansatz.len(), ansatz.n_params());
+    println!(
+        "ansatz  : UCCSD, {} gates, {} parameters",
+        ansatz.len(),
+        ansatz.n_params()
+    );
     println!("E_HF    : {:+.6} Ha", mol.hf_total_energy());
-    let problem = VqeProblem { hamiltonian: h.clone(), ansatz };
+    let problem = VqeProblem {
+        hamiltonian: h.clone(),
+        ansatz,
+    };
     let mut backend = DirectBackend::new();
     let mut optimizer = optimizer_from(args)?;
     let x0 = vec![0.0; problem.ansatz.n_params()];
     let r = run_vqe(&problem, &mut backend, &mut *optimizer, &x0, max_evals)
         .map_err(|e| e.to_string())?;
-    println!("E_VQE   : {:+.6} Ha  ({} evaluations)", r.energy, r.evaluations);
+    println!(
+        "E_VQE   : {:+.6} Ha  ({} evaluations)",
+        r.energy, r.evaluations
+    );
     if h.n_qubits() <= 14 {
         let exact = ground_energy_sector_default(&h, Sector::closed_shell(mol.n_electrons()))
             .map_err(|e| e.to_string())?;
-        println!("E_exact : {exact:+.6} Ha  (error {:+.2e})", r.energy - exact);
+        println!(
+            "E_exact : {exact:+.6} Ha  (error {:+.2e})",
+            r.energy - exact
+        );
     }
     println!(
         "backend : {} ansatz runs, {} gates applied",
@@ -229,6 +252,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics_path = args.flags.get("metrics").cloned();
+    if metrics_path.is_some() {
+        nwq_telemetry::set_enabled(true);
+        nwq_telemetry::set_run_info("command", cmd.as_str());
+        nwq_telemetry::set_run_info("argv", argv.join(" "));
+        nwq_telemetry::set_run_info("version", env!("CARGO_PKG_VERSION"));
+    }
     let result = match cmd.as_str() {
         "vqe" => cmd_vqe(&args),
         "adapt" => cmd_adapt(&args),
@@ -243,6 +273,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let (Some(path), Ok(())) = (&metrics_path, &result) {
+        match nwq_telemetry::snapshot().write_json(std::path::Path::new(path)) {
+            Ok(()) => println!("metrics : wrote {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write metrics to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

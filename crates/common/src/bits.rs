@@ -120,7 +120,7 @@ mod tests {
         // the full index set for every (lo, hi) pair.
         for lo in 0..5 {
             for hi in (lo + 1)..5 {
-                let mut seen = vec![false; 32];
+                let mut seen = [false; 32];
                 for i in 0..8 {
                     let base = insert_two_zero_bits(i, lo, hi);
                     for (b_lo, b_hi) in [(false, false), (true, false), (false, true), (true, true)]

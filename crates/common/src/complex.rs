@@ -58,7 +58,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²`. This is the measurement probability weight
@@ -85,7 +88,10 @@ impl C64 {
     #[inline]
     pub fn recip(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Fused multiply-add `self * b + c`, written so LLVM can keep the
@@ -101,7 +107,10 @@ impl C64 {
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// `true` when both components are finite.
@@ -121,14 +130,20 @@ impl C64 {
         let r = self.norm();
         let re = ((r + self.re) * 0.5).max(0.0).sqrt();
         let im_mag = ((r - self.re) * 0.5).max(0.0).sqrt();
-        Self { re, im: if self.im < 0.0 { -im_mag } else { im_mag } }
+        Self {
+            re,
+            im: if self.im < 0.0 { -im_mag } else { im_mag },
+        }
     }
 
     /// Complex exponential `e^z`.
     pub fn exp(self) -> Self {
         let m = self.re.exp();
         let (s, c) = self.im.sin_cos();
-        Self { re: m * c, im: m * s }
+        Self {
+            re: m * c,
+            im: m * s,
+        }
     }
 
     /// Raises to an integer power by repeated squaring.
@@ -143,7 +158,7 @@ impl C64 {
         let mut acc = C_ONE;
         while n > 0 {
             if n & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             n >>= 1;
@@ -156,7 +171,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, rhs: C64) -> C64 {
-        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -164,7 +182,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
-        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -181,6 +202,8 @@ impl Mul for C64 {
 
 impl Div for C64 {
     type Output = C64;
+    // Complex division *is* multiplication by the reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()
@@ -191,7 +214,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -360,7 +386,7 @@ mod tests {
         let mut acc = C_ONE;
         for n in 0..8 {
             assert!(z.powi(n).approx_eq(acc, 1e-10));
-            acc = acc * z;
+            acc *= z;
         }
         assert!(z.powi(-2).approx_eq((z * z).recip(), 1e-10));
     }

@@ -43,7 +43,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             Error::DuplicateQubit(q) => {
                 write!(f, "two-qubit operation addresses qubit {q} twice")
@@ -71,12 +74,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::QubitOutOfRange { qubit: 5, n_qubits: 4 };
+        let e = Error::QubitOutOfRange {
+            qubit: 5,
+            n_qubits: 4,
+        };
         assert_eq!(e.to_string(), "qubit 5 out of range for 4-qubit register");
         assert!(Error::DuplicateQubit(2).to_string().contains("qubit 2"));
-        assert!(Error::ParameterMismatch { expected: 3, got: 1 }
-            .to_string()
-            .contains("expected 3"));
+        assert!(Error::ParameterMismatch {
+            expected: 3,
+            got: 1
+        }
+        .to_string()
+        .contains("expected 3"));
         assert!(Error::Numerical("nan".into()).to_string().contains("nan"));
     }
 

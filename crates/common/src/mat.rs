@@ -11,7 +11,7 @@ use std::ops::{Index, IndexMut, Mul};
 /// A 2×2 complex matrix in row-major order — the representation of every
 /// single-qubit gate.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Mat2 (pub [[C64; 2]; 2]);
+pub struct Mat2(pub [[C64; 2]; 2]);
 
 /// A 4×4 complex matrix in row-major order — the representation of every
 /// two-qubit gate. Basis ordering is `|q_hi q_lo⟩` with the *first* qubit
@@ -301,30 +301,30 @@ pub fn mat_sdg() -> Mat2 {
 
 /// T gate = diag(1, e^{iπ/4}).
 pub fn mat_t() -> Mat2 {
-    Mat2([[C_ONE, C_ZERO], [C_ZERO, C64::cis(std::f64::consts::FRAC_PI_4)]])
+    Mat2([
+        [C_ONE, C_ZERO],
+        [C_ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
+    ])
 }
 
 /// T† gate.
 pub fn mat_tdg() -> Mat2 {
-    Mat2([[C_ONE, C_ZERO], [C_ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)]])
+    Mat2([
+        [C_ONE, C_ZERO],
+        [C_ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)],
+    ])
 }
 
 /// Rotation about X: `RX(θ) = exp(−iθX/2)`.
 pub fn mat_rx(theta: f64) -> Mat2 {
     let (s, c) = (theta * 0.5).sin_cos();
-    Mat2([
-        [C64::real(c), C64::imag(-s)],
-        [C64::imag(-s), C64::real(c)],
-    ])
+    Mat2([[C64::real(c), C64::imag(-s)], [C64::imag(-s), C64::real(c)]])
 }
 
 /// Rotation about Y: `RY(θ) = exp(−iθY/2)`.
 pub fn mat_ry(theta: f64) -> Mat2 {
     let (s, c) = (theta * 0.5).sin_cos();
-    Mat2([
-        [C64::real(c), C64::real(-s)],
-        [C64::real(s), C64::real(c)],
-    ])
+    Mat2([[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]])
 }
 
 /// Rotation about Z: `RZ(θ) = exp(−iθZ/2) = diag(e^{−iθ/2}, e^{iθ/2})`.

@@ -85,10 +85,22 @@ mod tests {
 
     #[test]
     fn basis_gate_counts() {
-        assert_eq!(basis_gates_for_string(&PauliString::parse("ZZZ").unwrap()), 0);
-        assert_eq!(basis_gates_for_string(&PauliString::parse("XXI").unwrap()), 2);
-        assert_eq!(basis_gates_for_string(&PauliString::parse("YIY").unwrap()), 4);
-        assert_eq!(basis_gates_for_string(&PauliString::parse("XYZ").unwrap()), 3);
+        assert_eq!(
+            basis_gates_for_string(&PauliString::parse("ZZZ").unwrap()),
+            0
+        );
+        assert_eq!(
+            basis_gates_for_string(&PauliString::parse("XXI").unwrap()),
+            2
+        );
+        assert_eq!(
+            basis_gates_for_string(&PauliString::parse("YIY").unwrap()),
+            4
+        );
+        assert_eq!(
+            basis_gates_for_string(&PauliString::parse("XYZ").unwrap()),
+            3
+        );
     }
 
     #[test]
@@ -134,7 +146,10 @@ mod tests {
         let cost = per_term_cost(ansatz.len() as u128, &h);
         assert_eq!(nc.gates_applied as u128, cost.non_caching_gates);
         // The executing cached path also pays the single ansatz run.
-        assert_eq!(ca.gates_applied as u128, cost.ansatz_gates + cost.caching_gates);
+        assert_eq!(
+            ca.gates_applied as u128,
+            cost.ansatz_gates + cost.caching_gates
+        );
     }
 
     #[test]

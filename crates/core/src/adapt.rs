@@ -103,8 +103,10 @@ pub fn run_adapt_vqe(
     let mut iterations: Vec<AdaptIteration> = Vec::new();
     let mut energy = backend.energy(&ansatz, &params, hamiltonian)?;
     let mut stop_reason = StopReason::IterationLimit;
+    let _span = nwq_telemetry::span!("adapt.run");
 
     for _iter in 0..config.max_iterations {
+        let iter_start = std::time::Instant::now();
         // Screening: gradients need the current state.
         let state = simulate(&ansatz.bind(&params)?, &[])?;
         let grads = pool.gradients(hamiltonian, state.amplitudes())?;
@@ -138,6 +140,17 @@ pub fn run_adapt_vqe(
             energy,
             ansatz_gates: ansatz.len(),
         });
+        if nwq_telemetry::enabled() {
+            nwq_telemetry::record_iteration(nwq_telemetry::IterationRecord {
+                iteration: iterations.len() - 1,
+                energy,
+                grad_norm: Some(best_g),
+                evaluations: r.evals as u64,
+                gates: ansatz.len() as u64,
+                wall_ms: iter_start.elapsed().as_secs_f64() * 1e3,
+                label: Some(pool.ops[best_k].name.clone()),
+            });
+        }
         if let Some(target) = config.target_energy {
             if energy - target <= config.accuracy {
                 stop_reason = StopReason::ReachedAccuracy;
@@ -145,7 +158,13 @@ pub fn run_adapt_vqe(
             }
         }
     }
-    Ok(AdaptResult { energy, params, ansatz, iterations, stop_reason })
+    Ok(AdaptResult {
+        energy,
+        params,
+        ansatz,
+        iterations,
+        stop_reason,
+    })
 }
 
 #[cfg(test)]
@@ -188,7 +207,10 @@ mod tests {
         let pool = OperatorPool::singles_doubles(4, 2).unwrap();
         let mut backend = DirectBackend::new();
         let mut opt = NelderMead::for_vqe();
-        let config = AdaptConfig { max_iterations: 3, ..Default::default() };
+        let config = AdaptConfig {
+            max_iterations: 3,
+            ..Default::default()
+        };
         let r = run_adapt_vqe(&h, &pool, 2, &mut backend, &mut opt, &config).unwrap();
         let mut prev = f64::INFINITY;
         for it in &r.iterations {
@@ -206,7 +228,11 @@ mod tests {
         let pool = OperatorPool::singles_doubles(4, 2).unwrap();
         let mut backend = DirectBackend::new();
         let mut opt = NelderMead::for_vqe();
-        let config = AdaptConfig { max_iterations: 3, grad_tol: 1e-8, ..Default::default() };
+        let config = AdaptConfig {
+            max_iterations: 3,
+            grad_tol: 1e-8,
+            ..Default::default()
+        };
         let r = run_adapt_vqe(&h, &pool, 2, &mut backend, &mut opt, &config).unwrap();
         assert_eq!(r.params.len(), r.iterations.len());
         let mut prev_gates = 0;
@@ -223,8 +249,15 @@ mod tests {
         let pool = OperatorPool::singles_doubles(4, 2).unwrap();
         let mut backend = DirectBackend::new();
         let mut opt = NelderMead::for_vqe();
-        let r = run_adapt_vqe(&h, &pool, 2, &mut backend, &mut opt, &AdaptConfig::default())
-            .unwrap();
+        let r = run_adapt_vqe(
+            &h,
+            &pool,
+            2,
+            &mut backend,
+            &mut opt,
+            &AdaptConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.stop_reason, StopReason::GradientConverged);
         assert!(r.iterations.is_empty());
         assert!((r.energy + 4.0).abs() < 1e-10);
@@ -236,7 +269,14 @@ mod tests {
         let pool = OperatorPool { ops: Vec::new() };
         let mut backend = DirectBackend::new();
         let mut opt = NelderMead::default();
-        assert!(run_adapt_vqe(&h, &pool, 1, &mut backend, &mut opt, &AdaptConfig::default())
-            .is_err());
+        assert!(run_adapt_vqe(
+            &h,
+            &pool,
+            1,
+            &mut backend,
+            &mut opt,
+            &AdaptConfig::default()
+        )
+        .is_err());
     }
 }

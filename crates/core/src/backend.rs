@@ -158,7 +158,10 @@ impl DirectBackend {
     /// A direct backend with a bounded device tier (spills to host above
     /// the budget, per §4.1.4).
     pub fn with_device_budget(bytes: u128) -> Self {
-        DirectBackend { cache: PostAnsatzCache::new(bytes), ..Default::default() }
+        DirectBackend {
+            cache: PostAnsatzCache::new(bytes),
+            ..Default::default()
+        }
     }
 
     /// Cache statistics (hits mean reused post-ansatz states).
@@ -171,7 +174,9 @@ impl Backend for DirectBackend {
     fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
         check_widths(ansatz, observable)?;
         let before = self.executor.stats().total_gates();
-        let state = self.cache.get_or_prepare(ansatz, params, &mut self.executor)?;
+        let state = self
+            .cache
+            .get_or_prepare(ansatz, params, &mut self.executor)?;
         let e = state.energy(observable)?;
         self.stats.evaluations += 1;
         let after = self.executor.stats().total_gates();
@@ -269,7 +274,11 @@ pub struct DistributedBackend {
 impl DistributedBackend {
     /// A distributed backend over `n_ranks` simulated ranks.
     pub fn new(n_ranks: usize) -> Self {
-        DistributedBackend { n_ranks, comm: Default::default(), stats: Default::default() }
+        DistributedBackend {
+            n_ranks,
+            comm: Default::default(),
+            stats: Default::default(),
+        }
     }
 
     /// Accumulated simulated communication.
@@ -311,7 +320,10 @@ pub struct DensityBackend {
 impl DensityBackend {
     /// A density-matrix backend with the given noise model.
     pub fn new(noise: nwq_statevec::density::NoiseModel) -> Self {
-        DensityBackend { noise, stats: BackendStats::default() }
+        DensityBackend {
+            noise,
+            stats: BackendStats::default(),
+        }
     }
 
     /// Noiseless density-matrix execution (agrees with [`DirectBackend`]).
@@ -428,13 +440,18 @@ mod tests {
         // maximally-mixed value Tr(H)/4 = 0.
         let theta = [std::f64::consts::FRAC_PI_2];
         let mut clean = DensityBackend::noiseless();
-        let mut noisy = DensityBackend::new(
-            nwq_statevec::density::NoiseModel::depolarizing(0.02, 0.05),
-        );
+        let mut noisy =
+            DensityBackend::new(nwq_statevec::density::NoiseModel::depolarizing(0.02, 0.05));
         let e_clean = clean.energy(&ansatz, &theta, &h).unwrap();
         let e_noisy = noisy.energy(&ansatz, &theta, &h).unwrap();
-        assert!(e_clean.abs() > 0.5, "toy point should be far from mixed value");
-        assert!(e_noisy.abs() < e_clean.abs() - 1e-4, "{e_noisy} vs {e_clean}");
+        assert!(
+            e_clean.abs() > 0.5,
+            "toy point should be far from mixed value"
+        );
+        assert!(
+            e_noisy.abs() < e_clean.abs() - 1e-4,
+            "{e_noisy} vs {e_clean}"
+        );
     }
 
     #[test]

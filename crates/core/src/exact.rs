@@ -5,7 +5,7 @@
 //! dense diagonalization but easy for Lanczos with matrix-free
 //! `H|v⟩` products ([`nwq_pauli::apply::apply_op`]).
 
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 use nwq_pauli::PauliOp;
 
 /// Configuration for the Lanczos solver.
@@ -21,7 +21,11 @@ pub struct LanczosConfig {
 
 impl Default for LanczosConfig {
     fn default() -> Self {
-        LanczosConfig { max_dim: 160, tol: 1e-11, seed: 11 }
+        LanczosConfig {
+            max_dim: 160,
+            tol: 1e-11,
+            seed: 11,
+        }
     }
 }
 
@@ -66,7 +70,11 @@ fn tridiag_kth_eig(a: &[f64], b: &[f64], k: usize) -> f64 {
             count += 1;
         }
         for i in 1..n {
-            let denom = if d.abs() < 1e-300 { 1e-300_f64.copysign(d) } else { d };
+            let denom = if d.abs() < 1e-300 {
+                1e-300_f64.copysign(d)
+            } else {
+                d
+            };
             d = a[i] - x - b[i - 1] * b[i - 1] / denom;
             if d < 0.0 {
                 count += 1;
@@ -76,7 +84,7 @@ fn tridiag_kth_eig(a: &[f64], b: &[f64], k: usize) -> f64 {
     };
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
-        if count_below(mid) >= k + 1 {
+        if count_below(mid) > k {
             hi = mid;
         } else {
             lo = mid;
@@ -118,7 +126,11 @@ fn tridiag_smallest_eig(a: &[f64], b: &[f64]) -> f64 {
             count += 1;
         }
         for i in 1..n {
-            let denom = if d.abs() < 1e-300 { 1e-300_f64.copysign(d) } else { d };
+            let denom = if d.abs() < 1e-300 {
+                1e-300_f64.copysign(d)
+            } else {
+                d
+            };
             d = a[i] - x - b[i - 1] * b[i - 1] / denom;
             if d < 0.0 {
                 count += 1;
@@ -144,7 +156,9 @@ fn tridiag_smallest_eig(a: &[f64], b: &[f64]) -> f64 {
 /// Lanczos with full reorthogonalization.
 pub fn ground_energy(h: &PauliOp, config: LanczosConfig) -> Result<f64> {
     if !h.is_hermitian(1e-9) {
-        return Err(Error::Invalid("Lanczos requires a Hermitian operator".into()));
+        return Err(Error::Invalid(
+            "Lanczos requires a Hermitian operator".into(),
+        ));
     }
     if h.is_zero() {
         return Ok(0.0);
@@ -153,7 +167,9 @@ pub fn ground_energy(h: &PauliOp, config: LanczosConfig) -> Result<f64> {
     // Deterministic start vector (splitmix-style hashing).
     let mut state = config.seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     let mut v: Vec<C64> = (0..dim).map(|_| C64::new(next(), next())).collect();
@@ -231,7 +247,10 @@ pub enum Sector {
 impl Sector {
     /// The balanced sector of a closed-shell molecule with `n_electrons`.
     pub fn closed_shell(n_electrons: usize) -> Self {
-        Sector::Spin { n_alpha: n_electrons / 2, n_beta: n_electrons - n_electrons / 2 }
+        Sector::Spin {
+            n_alpha: n_electrons / 2,
+            n_beta: n_electrons - n_electrons / 2,
+        }
     }
 
     /// Whether basis state `idx` belongs to the sector.
@@ -252,18 +271,18 @@ impl Sector {
 /// must commute with the sector (electronic Hamiltonians do); the Krylov
 /// space is seeded inside the sector and re-projected each iteration to
 /// suppress numerical drift.
-pub fn ground_energy_sector(
-    h: &PauliOp,
-    sector: Sector,
-    config: LanczosConfig,
-) -> Result<f64> {
+pub fn ground_energy_sector(h: &PauliOp, sector: Sector, config: LanczosConfig) -> Result<f64> {
     if !h.is_hermitian(1e-9) {
-        return Err(Error::Invalid("Lanczos requires a Hermitian operator".into()));
+        return Err(Error::Invalid(
+            "Lanczos requires a Hermitian operator".into(),
+        ));
     }
     let dim = 1usize << h.n_qubits();
     let mut state = config.seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     let project = |v: &mut Vec<C64>| {
@@ -336,18 +355,25 @@ pub fn ground_energy_sector_default(h: &PauliOp, sector: Sector) -> Result<f64> 
 /// levels.
 pub fn lowest_eigenvalues(h: &PauliOp, k: usize, config: LanczosConfig) -> Result<Vec<f64>> {
     if !h.is_hermitian(1e-9) {
-        return Err(Error::Invalid("Lanczos requires a Hermitian operator".into()));
+        return Err(Error::Invalid(
+            "Lanczos requires a Hermitian operator".into(),
+        ));
     }
     let dim = 1usize << h.n_qubits();
     if k == 0 {
         return Ok(Vec::new());
     }
     if k > dim {
-        return Err(Error::DimensionMismatch { expected: dim, got: k });
+        return Err(Error::DimensionMismatch {
+            expected: dim,
+            got: k,
+        });
     }
     let mut state = config.seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     };
     let mut v: Vec<C64> = (0..dim).map(|_| C64::new(next(), next())).collect();
@@ -374,8 +400,9 @@ pub fn lowest_eigenvalues(h: &PauliOp, k: usize, config: LanczosConfig) -> Resul
             }
         }
         if alphas.len() >= k {
-            let current: Vec<f64> =
-                (0..k).map(|j| tridiag_kth_eig(&alphas, &betas, j)).collect();
+            let current: Vec<f64> = (0..k)
+                .map(|j| tridiag_kth_eig(&alphas, &betas, j))
+                .collect();
             let converged = current
                 .iter()
                 .zip(&prev)
@@ -396,9 +423,13 @@ pub fn lowest_eigenvalues(h: &PauliOp, k: usize, config: LanczosConfig) -> Resul
         basis.push(w);
     }
     if alphas.len() < k {
-        return Err(Error::Numerical("Krylov space smaller than requested k".into()));
+        return Err(Error::Numerical(
+            "Krylov space smaller than requested k".into(),
+        ));
     }
-    Ok((0..k).map(|j| tridiag_kth_eig(&alphas, &betas, j)).collect())
+    Ok((0..k)
+        .map(|j| tridiag_kth_eig(&alphas, &betas, j))
+        .collect())
 }
 
 #[cfg(test)]
@@ -426,7 +457,10 @@ mod tests {
         let h = PauliOp::parse("0.7 XY + 0.4 ZI + 0.3 IZ + 0.2 YY + 0.1 XX").unwrap();
         let (e_dense, _) = dense_ground_state(&h, 3000);
         let e_lanczos = ground_energy_default(&h).unwrap();
-        assert!((e_dense - e_lanczos).abs() < 1e-6, "{e_dense} vs {e_lanczos}");
+        assert!(
+            (e_dense - e_lanczos).abs() < 1e-6,
+            "{e_dense} vs {e_lanczos}"
+        );
     }
 
     #[test]
@@ -441,10 +475,7 @@ mod tests {
     fn transverse_field_ising_known_energy() {
         // H = −(Z0Z1 + Z1Z2) − g(X0+X1+X2), g = 1: small chain, compare
         // against dense reference.
-        let h = PauliOp::parse(
-            "-1.0 ZZI - 1.0 IZZ - 1.0 XII - 1.0 IXI - 1.0 IIX",
-        )
-        .unwrap();
+        let h = PauliOp::parse("-1.0 ZZI - 1.0 IZZ - 1.0 XII - 1.0 IXI - 1.0 IIX").unwrap();
         let (e_dense, _) = dense_ground_state(&h, 3000);
         let e = ground_energy_default(&h).unwrap();
         assert!((e - e_dense).abs() < 1e-7);
@@ -483,21 +514,36 @@ mod tests {
         let sector = ground_energy_sector_default(&h, Sector::Particles(2)).unwrap();
         assert!((sector + 2.0).abs() < 1e-9);
         // Spin-resolved: one α + one β — orbitals 0 (α) and 1 (β).
-        let spin =
-            ground_energy_sector_default(&h, Sector::Spin { n_alpha: 1, n_beta: 1 }).unwrap();
+        let spin = ground_energy_sector_default(
+            &h,
+            Sector::Spin {
+                n_alpha: 1,
+                n_beta: 1,
+            },
+        )
+        .unwrap();
         assert!((spin + 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn sector_membership_masks() {
-        let s = Sector::Spin { n_alpha: 2, n_beta: 1 };
+        let s = Sector::Spin {
+            n_alpha: 2,
+            n_beta: 1,
+        };
         // Qubits 0, 2 are α; qubit 1 is β.
         assert!(s.contains(0b0111));
         assert!(!s.contains(0b1110));
         assert!(Sector::Particles(3).contains(0b0111));
         assert!(!Sector::Particles(3).contains(0b0011));
         let cs = Sector::closed_shell(4);
-        assert_eq!(cs, Sector::Spin { n_alpha: 2, n_beta: 2 });
+        assert_eq!(
+            cs,
+            Sector::Spin {
+                n_alpha: 2,
+                n_beta: 2
+            }
+        );
     }
 
     #[test]
@@ -511,8 +557,7 @@ mod tests {
         let m = nwq_chem::molecules::water_model(3, 4);
         let h = m.to_qubit_hamiltonian().unwrap();
         let global = ground_energy_default(&h).unwrap();
-        let sector =
-            ground_energy_sector_default(&h, Sector::closed_shell(4)).unwrap();
+        let sector = ground_energy_sector_default(&h, Sector::closed_shell(4)).unwrap();
         assert!(sector >= global - 1e-9, "sector {sector} < global {global}");
     }
 
@@ -523,6 +568,10 @@ mod tests {
         let h = m.to_qubit_hamiltonian().unwrap();
         let e = ground_energy_default(&h).unwrap();
         // Variational sanity: at or below the HF energy.
-        assert!(e <= m.hf_total_energy() + 1e-9, "E0 {e} vs HF {}", m.hf_total_energy());
+        assert!(
+            e <= m.hf_total_energy() + 1e-9,
+            "E0 {e} vs HF {}",
+            m.hf_total_energy()
+        );
     }
 }

@@ -47,8 +47,8 @@ pub mod workflow;
 
 pub use adapt::{run_adapt_vqe, AdaptConfig, AdaptResult};
 pub use backend::{
-    Backend, BackendStats, CachedMeasureBackend, DensityBackend, DirectBackend,
-    DistributedBackend, NonCachingBackend, SamplingBackend,
+    Backend, BackendStats, CachedMeasureBackend, DensityBackend, DirectBackend, DistributedBackend,
+    NonCachingBackend, SamplingBackend,
 };
 pub use exact::{ground_energy_sector_default, Sector};
 pub use qpe::{run_qpe, QpeConfig, QpeOutcome};

@@ -36,7 +36,12 @@ pub struct QpeConfig {
 
 impl Default for QpeConfig {
     fn default() -> Self {
-        QpeConfig { n_ancilla: 5, t: 1.0, trotter_steps: 4, order: TrotterOrder::First }
+        QpeConfig {
+            n_ancilla: 5,
+            t: 1.0,
+            trotter_steps: 4,
+            order: TrotterOrder::First,
+        }
     }
 }
 
@@ -89,7 +94,9 @@ fn append_controlled_step(
         };
         for &&(coeff, string) in &terms {
             if coeff.im.abs() > 1e-10 {
-                return Err(Error::Invalid("QPE requires a Hermitian Hamiltonian".into()));
+                return Err(Error::Invalid(
+                    "QPE requires a Hermitian Hamiltonian".into(),
+                ));
             }
             let c = coeff.re;
             if string.is_identity() {
@@ -175,7 +182,10 @@ pub fn qpe_circuit(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Res
     }
     let n_sys = h.n_qubits();
     if state_prep.n_qubits() != n_sys {
-        return Err(Error::DimensionMismatch { expected: n_sys, got: state_prep.n_qubits() });
+        return Err(Error::DimensionMismatch {
+            expected: n_sys,
+            got: state_prep.n_qubits(),
+        });
     }
     let n_total = n_sys + config.n_ancilla;
     let h_wide = h.resized(n_total)?;
@@ -217,7 +227,14 @@ pub fn run_qpe(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Result<
         .expect("non-empty distribution");
     let phase = peak as f64 / (1usize << m) as f64;
     let energy = -2.0 * PI * phase / config.t;
-    Ok(QpeOutcome { peak, phase, energy, peak_probability, distribution, t: config.t })
+    Ok(QpeOutcome {
+        peak,
+        phase,
+        energy,
+        peak_probability,
+        distribution,
+        t: config.t,
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +248,12 @@ mod tests {
         let h = PauliOp::parse("1.0 Z").unwrap();
         let mut prep = Circuit::new(1);
         prep.x(0);
-        let cfg = QpeConfig { n_ancilla: 3, t: PI / 4.0, trotter_steps: 1, order: TrotterOrder::First };
+        let cfg = QpeConfig {
+            n_ancilla: 3,
+            t: PI / 4.0,
+            trotter_steps: 1,
+            order: TrotterOrder::First,
+        };
         let out = run_qpe(&h, &prep, &cfg).unwrap();
         assert_eq!(out.peak, 1, "distribution {:?}", out.distribution);
         assert!((out.peak_probability - 1.0).abs() < 1e-9);
@@ -243,7 +265,12 @@ mod tests {
         // H = Z on |0⟩: E = +1 → wraps; unwrap near +1.
         let h = PauliOp::parse("1.0 Z").unwrap();
         let prep = Circuit::new(1);
-        let cfg = QpeConfig { n_ancilla: 3, t: PI / 4.0, trotter_steps: 1, order: TrotterOrder::First };
+        let cfg = QpeConfig {
+            n_ancilla: 3,
+            t: PI / 4.0,
+            trotter_steps: 1,
+            order: TrotterOrder::First,
+        };
         let out = run_qpe(&h, &prep, &cfg).unwrap();
         assert!((out.energy_near(1.0) - 1.0).abs() < 1e-9);
     }
@@ -254,7 +281,12 @@ mod tests {
         let h = PauliOp::parse("1.0 ZZ + 0.5 ZI").unwrap();
         let mut prep = Circuit::new(2);
         prep.x(0).x(1);
-        let cfg = QpeConfig { n_ancilla: 4, t: PI / 2.0, trotter_steps: 1, order: TrotterOrder::First };
+        let cfg = QpeConfig {
+            n_ancilla: 4,
+            t: PI / 2.0,
+            trotter_steps: 1,
+            order: TrotterOrder::First,
+        };
         let out = run_qpe(&h, &prep, &cfg).unwrap();
         assert!(
             (out.energy_near(0.5) - 0.5).abs() < out.resolution() / 2.0 + 1e-9,
@@ -270,7 +302,12 @@ mod tests {
         let h = PauliOp::parse("1.0 Z").unwrap();
         let mut prep = Circuit::new(1);
         prep.h(0);
-        let cfg = QpeConfig { n_ancilla: 3, t: PI / 4.0, trotter_steps: 1, order: TrotterOrder::First };
+        let cfg = QpeConfig {
+            n_ancilla: 3,
+            t: PI / 4.0,
+            trotter_steps: 1,
+            order: TrotterOrder::First,
+        };
         let out = run_qpe(&h, &prep, &cfg).unwrap();
         // φ(E=−1) = 1/8 → bin 1; φ(E=+1) = 7/8 → bin 7.
         assert!((out.distribution[1] - 0.5).abs() < 1e-9);
@@ -285,7 +322,12 @@ mod tests {
         let h = m.to_qubit_hamiltonian().unwrap();
         let mut prep = Circuit::new(4);
         nwq_chem::uccsd::append_hf_state(&mut prep, 2).unwrap();
-        let cfg = QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: 6, order: TrotterOrder::First };
+        let cfg = QpeConfig {
+            n_ancilla: 4,
+            t: 1.5,
+            trotter_steps: 6,
+            order: TrotterOrder::First,
+        };
         let out = run_qpe(&h, &prep, &cfg).unwrap();
         let e = out.energy_near(m.hf_total_energy());
         // HF overlaps the ground state strongly; expect within a few
@@ -331,12 +373,20 @@ mod tests {
         let h = m.to_qubit_hamiltonian().unwrap();
         let mut prep = Circuit::new(4);
         nwq_chem::uccsd::append_hf_state(&mut prep, 2).unwrap();
-        let base = QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: 4, order: TrotterOrder::First };
+        let base = QpeConfig {
+            n_ancilla: 4,
+            t: 1.5,
+            trotter_steps: 4,
+            order: TrotterOrder::First,
+        };
         let first = run_qpe(&h, &prep, &base).unwrap();
         let second = run_qpe(
             &h,
             &prep,
-            &QpeConfig { order: TrotterOrder::Second, ..base },
+            &QpeConfig {
+                order: TrotterOrder::Second,
+                ..base
+            },
         )
         .unwrap();
         let fci = -1.13728;
@@ -350,12 +400,22 @@ mod tests {
     fn config_validation() {
         let h = PauliOp::parse("1.0 Z").unwrap();
         let prep = Circuit::new(1);
-        assert!(qpe_circuit(&h, &prep, &QpeConfig { n_ancilla: 0, ..Default::default() })
-            .is_err());
         assert!(qpe_circuit(
             &h,
             &prep,
-            &QpeConfig { trotter_steps: 0, ..Default::default() }
+            &QpeConfig {
+                n_ancilla: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(qpe_circuit(
+            &h,
+            &prep,
+            &QpeConfig {
+                trotter_steps: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         let wide_prep = Circuit::new(2);

@@ -25,7 +25,11 @@ pub struct VqdConfig {
 
 impl Default for VqdConfig {
     fn default() -> Self {
-        VqdConfig { n_states: 2, beta: 10.0, max_evals_per_state: 3000 }
+        VqdConfig {
+            n_states: 2,
+            beta: 10.0,
+            max_evals_per_state: 3000,
+        }
     }
 }
 
@@ -74,7 +78,7 @@ pub fn run_vqd(
     }
     let mut found: Vec<StateVector> = Vec::new();
     let mut states: Vec<VqdState> = Vec::new();
-    for k in 0..config.n_states {
+    for x0 in initial_points.iter().take(config.n_states) {
         let mut failure: Option<Error> = None;
         let result = {
             let mut objective = |theta: &[f64]| -> f64 {
@@ -87,7 +91,7 @@ pub fn run_vqd(
                 }
             };
             let mut opt = optimizer_factory();
-            opt.minimize(&mut objective, &initial_points[k], config.max_evals_per_state)
+            opt.minimize(&mut objective, x0, config.max_evals_per_state)
         };
         if let Some(e) = failure {
             return Err(e);
@@ -99,7 +103,11 @@ pub fn run_vqd(
             .map(|f| state.fidelity(f).unwrap_or(1.0))
             .fold(0.0, f64::max);
         found.push(state);
-        states.push(VqdState { params: result.params, energy, max_overlap });
+        states.push(VqdState {
+            params: result.params,
+            energy,
+            max_overlap,
+        });
     }
     Ok(VqdResult { states })
 }
@@ -127,7 +135,10 @@ mod tests {
     use nwq_pauli::PauliOp;
 
     fn nm_factory() -> Box<dyn Optimizer> {
-        Box::new(NelderMead { initial_step: 0.4, ..Default::default() })
+        Box::new(NelderMead {
+            initial_step: 0.4,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -135,14 +146,25 @@ mod tests {
         // H = 0.7 Z: spectrum {−0.7, +0.7}.
         let h = PauliOp::parse("0.7 Z").unwrap();
         let ansatz = hardware_efficient_ansatz(1, 1).unwrap();
-        let problem = VqeProblem { hamiltonian: h, ansatz };
+        let problem = VqeProblem {
+            hamiltonian: h,
+            ansatz,
+        };
         let starts = vec![vec![0.3; 4], vec![2.5; 4]];
-        let cfg = VqdConfig { n_states: 2, beta: 5.0, max_evals_per_state: 1500 };
+        let cfg = VqdConfig {
+            n_states: 2,
+            beta: 5.0,
+            max_evals_per_state: 1500,
+        };
         let r = run_vqd(&problem, &mut nm_factory, &starts, &cfg).unwrap();
         let e = r.energies();
         assert!((e[0] + 0.7).abs() < 1e-5, "{e:?}");
         assert!((e[1] - 0.7).abs() < 1e-5, "{e:?}");
-        assert!(r.states[1].max_overlap < 1e-4, "overlap {}", r.states[1].max_overlap);
+        assert!(
+            r.states[1].max_overlap < 1e-4,
+            "overlap {}",
+            r.states[1].max_overlap
+        );
     }
 
     #[test]
@@ -154,7 +176,10 @@ mod tests {
         assert!((exact[0] + 2.0).abs() < 1e-9);
         assert!(exact[1].abs() < 1e-9);
         let ansatz = hardware_efficient_ansatz(2, 2).unwrap();
-        let problem = VqeProblem { hamiltonian: h, ansatz };
+        let problem = VqeProblem {
+            hamiltonian: h,
+            ansatz,
+        };
         let starts: Vec<Vec<f64>> = (0..3)
             .map(|k| {
                 (0..problem.ansatz.n_params())
@@ -162,11 +187,18 @@ mod tests {
                     .collect()
             })
             .collect();
-        let cfg = VqdConfig { n_states: 3, beta: 8.0, max_evals_per_state: 5000 };
+        let cfg = VqdConfig {
+            n_states: 3,
+            beta: 8.0,
+            max_evals_per_state: 5000,
+        };
         let r = run_vqd(&problem, &mut nm_factory, &starts, &cfg).unwrap();
         let e = r.energies();
         assert!((e[0] - exact[0]).abs() < 1e-3, "ground {e:?} vs {exact:?}");
-        assert!((e[1] - exact[1]).abs() < 0.05, "first excited {e:?} vs {exact:?}");
+        assert!(
+            (e[1] - exact[1]).abs() < 0.05,
+            "first excited {e:?} vs {exact:?}"
+        );
         // Deflation keeps states (nearly) orthogonal.
         for s in &r.states[1..] {
             assert!(s.max_overlap < 0.05, "overlap {}", s.max_overlap);
@@ -198,8 +230,14 @@ mod tests {
     fn validation_errors() {
         let h = PauliOp::parse("1.0 Z").unwrap();
         let ansatz = hardware_efficient_ansatz(1, 1).unwrap();
-        let problem = VqeProblem { hamiltonian: h, ansatz };
-        let cfg = VqdConfig { n_states: 2, ..Default::default() };
+        let problem = VqeProblem {
+            hamiltonian: h,
+            ansatz,
+        };
+        let cfg = VqdConfig {
+            n_states: 2,
+            ..Default::default()
+        };
         // Too few starting points.
         assert!(run_vqd(&problem, &mut nm_factory, &[vec![0.0; 4]], &cfg).is_err());
     }

@@ -50,12 +50,31 @@ pub fn run_vqe(
     }
     let mut history: Vec<f64> = Vec::new();
     let mut failure: Option<Error> = None;
+    let _span = nwq_telemetry::span!("vqe.run");
+    let telemetry = nwq_telemetry::enabled();
+    let ansatz_gates = problem.ansatz.len() as u64;
+    let mut last_mark = std::time::Instant::now();
     let result: OptResult = {
         let mut objective = |theta: &[f64]| -> f64 {
             match backend.energy(&problem.ansatz, theta, &problem.hamiltonian) {
                 Ok(e) => {
-                    let best = history.last().copied().unwrap_or(f64::INFINITY).min(e);
+                    let prev_best = history.last().copied().unwrap_or(f64::INFINITY);
+                    let best = prev_best.min(e);
                     history.push(best);
+                    // One record per *improvement*, not per evaluation —
+                    // keeps the artifact bounded for long optimizer runs.
+                    if telemetry && best < prev_best {
+                        nwq_telemetry::record_iteration(nwq_telemetry::IterationRecord {
+                            iteration: history.len() - 1,
+                            energy: best,
+                            grad_norm: None,
+                            evaluations: history.len() as u64,
+                            gates: ansatz_gates,
+                            wall_ms: last_mark.elapsed().as_secs_f64() * 1e3,
+                            label: None,
+                        });
+                        last_mark = std::time::Instant::now();
+                    }
                     e
                 }
                 Err(err) => {
@@ -96,7 +115,10 @@ mod tests {
             .ry(0, ParamExpr::var(0))
             .cx(0, 1)
             .ry(1, ParamExpr::var(1));
-        VqeProblem { hamiltonian: PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap(), ansatz }
+        VqeProblem {
+            hamiltonian: PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap(),
+            ansatz,
+        }
     }
 
     #[test]
@@ -119,7 +141,10 @@ mod tests {
         let h = m.to_qubit_hamiltonian().unwrap();
         let ansatz = uccsd_ansatz(4, 2).unwrap();
         let exact = ground_energy_default(&h).unwrap();
-        let problem = VqeProblem { hamiltonian: h, ansatz };
+        let problem = VqeProblem {
+            hamiltonian: h,
+            ansatz,
+        };
         let mut backend = DirectBackend::new();
         let mut opt = NelderMead::for_vqe();
         let x0 = vec![0.0; problem.ansatz.n_params()];
@@ -152,13 +177,19 @@ mod tests {
         let mut backend = SamplingBackend::new(4000, 5);
         let start = {
             let mut b = DirectBackend::new();
-            b.energy(&problem.ansatz, &[0.9, 0.4], &problem.hamiltonian).unwrap()
+            b.energy(&problem.ansatz, &[0.9, 0.4], &problem.hamiltonian)
+                .unwrap()
         };
-        let mut opt = Spsa { a: 0.3, ..Default::default() };
+        let mut opt = Spsa {
+            a: 0.3,
+            ..Default::default()
+        };
         let r = run_vqe(&problem, &mut backend, &mut opt, &[0.9, 0.4], 600).unwrap();
         // Check true (noiseless) energy at the found parameters improved.
         let mut b = DirectBackend::new();
-        let true_e = b.energy(&problem.ansatz, &r.params, &problem.hamiltonian).unwrap();
+        let true_e = b
+            .energy(&problem.ansatz, &r.params, &problem.hamiltonian)
+            .unwrap();
         assert!(true_e < start, "{true_e} !< {start}");
     }
 

@@ -55,11 +55,20 @@ pub fn run_vqe_workflow(
     let n_qubits = hamiltonian.n_qubits();
     let n_terms = hamiltonian.num_terms();
     let ansatz = uccsd_ansatz(n_qubits, active.n_electrons())?;
-    let problem = VqeProblem { hamiltonian: hamiltonian.clone(), ansatz };
+    let problem = VqeProblem {
+        hamiltonian: hamiltonian.clone(),
+        ansatz,
+    };
     let mut backend = DirectBackend::new();
     let mut optimizer = NelderMead::for_vqe();
     let x0 = vec![0.0; problem.ansatz.n_params()];
-    let vqe = run_vqe(&problem, &mut backend, &mut optimizer, &x0, config.max_evals)?;
+    let vqe = run_vqe(
+        &problem,
+        &mut backend,
+        &mut optimizer,
+        &x0,
+        config.max_evals,
+    )?;
     let exact_energy = if config.compute_exact {
         // Restrict to the molecule's own (closed-shell) sector: the global
         // qubit ground state may carry a different electron count, which a
@@ -123,7 +132,11 @@ mod tests {
         let r = run_vqe_workflow(&m, &cfg).unwrap();
         assert_eq!(r.n_qubits, 4);
         let exact = r.exact_energy.unwrap();
-        assert!((r.vqe.energy - exact).abs() < 1.6e-3, "{} vs {exact}", r.vqe.energy);
+        assert!(
+            (r.vqe.energy - exact).abs() < 1.6e-3,
+            "{} vs {exact}",
+            r.vqe.energy
+        );
         assert!(r.vqe.energy < r.hf_energy);
         assert!(r.n_terms > 4);
     }
@@ -153,7 +166,11 @@ mod tests {
     fn adapt_workflow_on_small_active_space() {
         let m = water_model(4, 4);
         let mut backend = DirectBackend::new();
-        let cfg = AdaptConfig { max_iterations: 4, inner_max_evals: 800, ..Default::default() };
+        let cfg = AdaptConfig {
+            max_iterations: 4,
+            inner_max_evals: 800,
+            ..Default::default()
+        };
         let (h, r, report) = run_adapt_workflow(&m, 0, 3, &mut backend, &cfg).unwrap();
         assert_eq!(h.n_qubits(), 6);
         assert!(report.discarded_virtuals == 1);

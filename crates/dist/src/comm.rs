@@ -54,7 +54,10 @@ impl AddAssign for CommStats {
 /// simulable sizes. Must agree exactly with the executing path
 /// (pinned by tests).
 pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> CommStats {
-    assert!(n_ranks.is_power_of_two(), "rank count must be a power of two");
+    assert!(
+        n_ranks.is_power_of_two(),
+        "rank count must be a power of two"
+    );
     let n_global = n_ranks.trailing_zeros() as usize;
     let n_local = circuit.n_qubits() - n_global.min(circuit.n_qubits());
     let part_bytes = 16u64 << n_local;
@@ -136,8 +139,18 @@ mod tests {
 
     #[test]
     fn accumulation() {
-        let mut a = CommStats { messages: 2, bytes: 64, global_gates: 1, local_gates: 3 };
-        a += CommStats { messages: 1, bytes: 32, global_gates: 1, local_gates: 0 };
+        let mut a = CommStats {
+            messages: 2,
+            bytes: 64,
+            global_gates: 1,
+            local_gates: 3,
+        };
+        a += CommStats {
+            messages: 1,
+            bytes: 32,
+            global_gates: 1,
+            local_gates: 0,
+        };
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 96);
         assert!((a.avg_message_bytes() - 32.0).abs() < 1e-12);

@@ -24,7 +24,11 @@ impl CostModel {
     /// Perlmutter-like defaults: ~2 µs MPI latency, ~25 GB/s effective
     /// per-NIC bandwidth, ~10^10 amplitude updates/s per GPU.
     pub fn perlmutter_like() -> Self {
-        CostModel { latency_s: 2e-6, bandwidth_bps: 25e9, updates_per_s: 1e10 }
+        CostModel {
+            latency_s: 2e-6,
+            bandwidth_bps: 25e9,
+            updates_per_s: 1e10,
+        }
     }
 
     /// Modeled communication time for the given counters, assuming the
@@ -65,7 +69,12 @@ mod tests {
     use super::*;
 
     fn stats(messages: u64, bytes: u64, global: u64, local: u64) -> CommStats {
-        CommStats { messages, bytes, global_gates: global, local_gates: local }
+        CommStats {
+            messages,
+            bytes,
+            global_gates: global,
+            local_gates: local,
+        }
     }
 
     #[test]

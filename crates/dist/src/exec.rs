@@ -13,6 +13,7 @@ pub fn run_distributed(
     params: &[f64],
     n_ranks: usize,
 ) -> Result<DistStateVector> {
+    let _span = nwq_telemetry::span!("dist.run");
     let mut state = DistStateVector::zero(circuit.n_qubits(), n_ranks)?;
     for gate in circuit.gates() {
         match gate.matrix(params)? {
@@ -20,6 +21,14 @@ pub fn run_distributed(
             GateMatrix::Two(a, b, m) => state.apply_mat4(a, b, &m)?,
         }
     }
+    let stats = state.comm_stats();
+    let model = crate::costmodel::CostModel::perlmutter_like();
+    let total_gates = stats.global_gates + stats.local_gates;
+    nwq_telemetry::value_add("dist.modeled_comm_s", model.comm_time_s(&stats, n_ranks));
+    nwq_telemetry::value_add(
+        "dist.modeled_total_s",
+        model.total_time_s(&stats, total_gates, circuit.n_qubits(), n_ranks),
+    );
     Ok(state)
 }
 

@@ -9,7 +9,7 @@
 
 use crate::comm::CommStats;
 use nwq_common::bits::dim;
-use nwq_common::{C64, C_ONE, C_ZERO, Error, Mat2, Mat4, Result};
+use nwq_common::{Error, Mat2, Mat4, Result, C64, C_ONE, C_ZERO};
 use nwq_statevec::StateVector;
 use rayon::prelude::*;
 
@@ -28,7 +28,9 @@ impl DistStateVector {
     /// remain possible).
     pub fn zero(n_qubits: usize, n_ranks: usize) -> Result<Self> {
         if !n_ranks.is_power_of_two() {
-            return Err(Error::Invalid(format!("{n_ranks} ranks: must be a power of two")));
+            return Err(Error::Invalid(format!(
+                "{n_ranks} ranks: must be a power of two"
+            )));
         }
         let n_global = n_ranks.trailing_zeros() as usize;
         if n_global + 2 > n_qubits {
@@ -40,7 +42,12 @@ impl DistStateVector {
         let part_len = dim(n_local);
         let mut partitions = vec![vec![C_ZERO; part_len]; n_ranks];
         partitions[0][0] = C_ONE;
-        Ok(DistStateVector { n_qubits, n_local, partitions, comm: CommStats::default() })
+        Ok(DistStateVector {
+            n_qubits,
+            n_local,
+            partitions,
+            comm: CommStats::default(),
+        })
     }
 
     /// Register width.
@@ -81,11 +88,15 @@ impl DistStateVector {
     /// Applies a single-qubit gate.
     pub fn apply_mat2(&mut self, q: usize, m: &Mat2) -> Result<()> {
         if q >= self.n_qubits {
-            return Err(Error::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits });
+            return Err(Error::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            });
         }
         if q < self.n_local {
             // Rank-local: every rank applies the kernel to its partition.
             self.comm.local_gates += 1;
+            nwq_telemetry::counter_add("dist.local_gates", 1);
             self.partitions
                 .par_iter_mut()
                 .for_each(|p| nwq_statevec::kernels::apply_mat2(p, q, m));
@@ -94,6 +105,7 @@ impl DistStateVector {
         // Global qubit: ranks pair up across the qubit's rank-id bit and
         // exchange partitions (modeled MPI sendrecv, 2 messages per pair).
         self.comm.global_gates += 1;
+        nwq_telemetry::counter_add("dist.global_gates", 1);
         let bit = 1usize << (q - self.n_local);
         let n_ranks = self.partitions.len();
         let part_bytes = self.part_bytes();
@@ -113,6 +125,8 @@ impl DistStateVector {
                 *b = m.0[1][0] * x + m.0[1][1] * y;
             });
         }
+        nwq_telemetry::counter_add("dist.messages", n_ranks as u64);
+        nwq_telemetry::counter_add("dist.bytes", n_ranks as u64 * part_bytes);
         Ok(())
     }
 
@@ -131,6 +145,7 @@ impl DistStateVector {
         match (qa < local, qb < local) {
             (true, true) => {
                 self.comm.local_gates += 1;
+                nwq_telemetry::counter_add("dist.local_gates", 1);
                 self.partitions
                     .par_iter_mut()
                     .for_each(|p| nwq_statevec::kernels::apply_mat4(p, qa, qb, m));
@@ -148,6 +163,7 @@ impl DistStateVector {
     /// Two-qubit gate with `g` global (matrix high bit) and `l` local.
     fn apply_global_local(&mut self, g: usize, l: usize, m: &Mat4, _: bool) -> Result<()> {
         self.comm.global_gates += 1;
+        nwq_telemetry::counter_add("dist.global_gates", 1);
         let bit = 1usize << (g - self.n_local);
         let n_ranks = self.partitions.len();
         let l_mask = 1usize << l;
@@ -180,12 +196,15 @@ impl DistStateVector {
                 p1[j] = out[3];
             }
         }
+        nwq_telemetry::counter_add("dist.messages", n_ranks as u64);
+        nwq_telemetry::counter_add("dist.bytes", n_ranks as u64 * part_bytes);
         Ok(())
     }
 
     /// Two-qubit gate with both qubits global: groups of four ranks.
     fn apply_global_global(&mut self, qa: usize, qb: usize, m: &Mat4) -> Result<()> {
         self.comm.global_gates += 1;
+        nwq_telemetry::counter_add("dist.global_gates", 1);
         let ba = 1usize << (qa - self.n_local);
         let bb = 1usize << (qb - self.n_local);
         let n_ranks = self.partitions.len();
@@ -212,6 +231,9 @@ impl DistStateVector {
                 }
             }
         }
+        // 12 messages per quad of ranks → 3 per rank overall.
+        nwq_telemetry::counter_add("dist.messages", 3 * n_ranks as u64);
+        nwq_telemetry::counter_add("dist.bytes", 3 * n_ranks as u64 * self.part_bytes());
         Ok(())
     }
 }

@@ -13,7 +13,7 @@
 use crate::comm::CommStats;
 use crate::exec::run_distributed;
 use nwq_circuit::Circuit;
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 use nwq_statevec::StateVector;
 
 /// Number of gates touching each qubit.
@@ -32,7 +32,9 @@ pub fn gate_frequency(circuit: &Circuit) -> Vec<usize> {
 /// original order so the map is deterministic.
 pub fn plan_layout(circuit: &Circuit, n_ranks: usize) -> Result<Vec<usize>> {
     if !n_ranks.is_power_of_two() {
-        return Err(Error::Invalid(format!("{n_ranks} ranks: must be a power of two")));
+        return Err(Error::Invalid(format!(
+            "{n_ranks} ranks: must be a power of two"
+        )));
     }
     let n_global = n_ranks.trailing_zeros() as usize;
     if n_global > circuit.n_qubits() {
@@ -57,7 +59,10 @@ pub fn plan_layout(circuit: &Circuit, n_ranks: usize) -> Result<Vec<usize>> {
 /// `layout[q]` carries logical bit `q`.
 pub fn unpermute(state: &StateVector, layout: &[usize]) -> Result<StateVector> {
     if layout.len() != state.n_qubits() {
-        return Err(Error::DimensionMismatch { expected: state.n_qubits(), got: layout.len() });
+        return Err(Error::DimensionMismatch {
+            expected: state.n_qubits(),
+            got: layout.len(),
+        });
     }
     let n = layout.len();
     let amps = state.amplitudes();
@@ -121,7 +126,7 @@ mod tests {
     fn layout_places_busy_qubits_local() {
         let c = top_heavy(6);
         let layout = plan_layout(&c, 4).unwrap(); // 4 local, 2 global slots
-        // Qubits 4 and 5 are the busiest: both must land in 0..4.
+                                                  // Qubits 4 and 5 are the busiest: both must land in 0..4.
         assert!(layout[5] < 4, "layout {layout:?}");
         assert!(layout[4] < 4, "layout {layout:?}");
         // Layout is a permutation.

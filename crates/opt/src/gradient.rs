@@ -9,10 +9,7 @@
 use crate::traits::{OptResult, Optimizer};
 
 /// Exact parameter-shift gradient for ±1-eigenvalue generators.
-pub fn parameter_shift_gradient(
-    f: &mut dyn FnMut(&[f64]) -> f64,
-    x: &[f64],
-) -> Vec<f64> {
+pub fn parameter_shift_gradient(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
     let s = std::f64::consts::FRAC_PI_2;
     let mut grad = vec![0.0; x.len()];
     let mut xp = x.to_vec();
@@ -103,7 +100,7 @@ impl Optimizer for Adam {
         let mut converged = false;
         let grad_cost = 2 * n.max(1);
         let mut t = 0usize;
-        while evals + grad_cost + 1 <= max_evals {
+        while evals + grad_cost < max_evals {
             t += 1;
             let grad = match self.mode {
                 GradientMode::ParameterShift => parameter_shift_gradient(f, &x),
@@ -129,7 +126,12 @@ impl Optimizer for Adam {
                 best_x = x.clone();
             }
         }
-        OptResult { params: best_x, value: best_val, evals, converged }
+        OptResult {
+            params: best_x,
+            value: best_val,
+            evals,
+            converged,
+        }
     }
 }
 
@@ -158,7 +160,10 @@ mod tests {
     #[test]
     fn adam_minimizes_vqe_like_energy() {
         // E(θ) = 1 − cos(θ0)·cos(θ1), minimum 0 at origin.
-        let mut adam = Adam { lr: 0.1, ..Default::default() };
+        let mut adam = Adam {
+            lr: 0.1,
+            ..Default::default()
+        };
         let mut f = |x: &[f64]| 1.0 - x[0].cos() * x[1].cos();
         let r = adam.minimize(&mut f, &[0.8, -0.6], 4000);
         assert!(r.value < 1e-6, "value {}", r.value);

@@ -28,7 +28,14 @@ pub struct Lbfgs {
 
 impl Default for Lbfgs {
     fn default() -> Self {
-        Lbfgs { memory: 8, fd_eps: 1e-6, g_tol: 1e-7, c1: 1e-4, backtrack: 0.5, max_ls: 25 }
+        Lbfgs {
+            memory: 8,
+            fd_eps: 1e-6,
+            g_tol: 1e-7,
+            c1: 1e-4,
+            backtrack: 0.5,
+            max_ls: 25,
+        }
     }
 }
 
@@ -45,7 +52,12 @@ impl Optimizer for Lbfgs {
         let mut fx = f(&x);
         evals += 1;
         if n == 0 {
-            return OptResult { params: x, value: fx, evals, converged: true };
+            return OptResult {
+                params: x,
+                value: fx,
+                evals,
+                converged: true,
+            };
         }
         let grad_cost = 2 * n;
         let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new(); // (s, y, 1/yᵀs)
@@ -126,7 +138,12 @@ impl Optimizer for Lbfgs {
             g = finite_difference_gradient(f, &x, self.fd_eps);
             evals += grad_cost;
         }
-        OptResult { params: x, value: fx, evals, converged }
+        OptResult {
+            params: x,
+            value: fx,
+            evals,
+            converged,
+        }
     }
 }
 
@@ -193,7 +210,10 @@ mod tests {
         // 10-dimensional convex quadratic: L-BFGS should reach 1e-8 in
         // far fewer evaluations than Nelder–Mead.
         let bowl = |x: &[f64]| -> f64 {
-            x.iter().enumerate().map(|(i, v)| (1.0 + i as f64) * v * v).sum()
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (1.0 + i as f64) * v * v)
+                .sum()
         };
         let x0 = vec![1.0; 10];
         let mut lbfgs = Lbfgs::default();

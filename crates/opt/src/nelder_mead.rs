@@ -16,7 +16,11 @@ pub struct NelderMead {
 
 impl Default for NelderMead {
     fn default() -> Self {
-        NelderMead { initial_step: 0.1, f_tol: 1e-10, x_tol: 1e-10 }
+        NelderMead {
+            initial_step: 0.1,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+        }
     }
 }
 
@@ -24,7 +28,11 @@ impl NelderMead {
     /// A configuration with tolerances suited to chemical-accuracy VQE
     /// inner loops.
     pub fn for_vqe() -> Self {
-        NelderMead { initial_step: 0.05, f_tol: 1e-9, x_tol: 1e-7 }
+        NelderMead {
+            initial_step: 0.05,
+            f_tol: 1e-9,
+            x_tol: 1e-7,
+        }
     }
 }
 
@@ -43,7 +51,12 @@ impl Optimizer for NelderMead {
         };
         if n == 0 {
             let v = eval(x0, &mut evals);
-            return OptResult { params: Vec::new(), value: v, evals, converged: true };
+            return OptResult {
+                params: Vec::new(),
+                value: v,
+                evals,
+                converged: true,
+            };
         }
 
         // Build initial simplex: x0 plus a step along each axis.
@@ -137,7 +150,12 @@ impl Optimizer for NelderMead {
         }
         simplex.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let (value, params) = simplex.swap_remove(0);
-        OptResult { params, value, evals, converged }
+        OptResult {
+            params,
+            value,
+            evals,
+            converged,
+        }
     }
 }
 
@@ -158,9 +176,11 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let mut nm = NelderMead { initial_step: 0.5, ..Default::default() };
-        let mut f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let mut nm = NelderMead {
+            initial_step: 0.5,
+            ..Default::default()
+        };
+        let mut f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nm.minimize(&mut f, &[-1.2, 1.0], 5000);
         assert!((r.params[0] - 1.0).abs() < 1e-3, "{:?}", r.params);
         assert!((r.params[1] - 1.0).abs() < 1e-3);

@@ -28,7 +28,14 @@ pub struct Spsa {
 
 impl Default for Spsa {
     fn default() -> Self {
-        Spsa { a: 0.2, c: 0.1, big_a: 10.0, alpha: 0.602, gamma: 0.101, seed: 7 }
+        Spsa {
+            a: 0.2,
+            c: 0.1,
+            big_a: 10.0,
+            alpha: 0.602,
+            gamma: 0.101,
+            seed: 7,
+        }
     }
 }
 
@@ -46,15 +53,21 @@ impl Optimizer for Spsa {
         let mut best = (f(&x), x.clone());
         evals += 1;
         if n == 0 {
-            return OptResult { params: x, value: best.0, evals, converged: true };
+            return OptResult {
+                params: x,
+                value: best.0,
+                evals,
+                converged: true,
+            };
         }
         let mut k = 0usize;
         while evals + 2 <= max_evals {
             let ak = self.a / ((k as f64) + 1.0 + self.big_a).powf(self.alpha);
             let ck = self.c / ((k as f64) + 1.0).powf(self.gamma);
             // Rademacher perturbation.
-            let delta: Vec<f64> =
-                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + ck * d).collect();
             let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v - ck * d).collect();
             let fp = f(&xp);
@@ -71,7 +84,12 @@ impl Optimizer for Spsa {
             }
             k += 1;
         }
-        OptResult { params: best.1, value: best.0, evals, converged: false }
+        OptResult {
+            params: best.1,
+            value: best.0,
+            evals,
+            converged: false,
+        }
     }
 }
 
@@ -81,7 +99,10 @@ mod tests {
 
     #[test]
     fn minimizes_quadratic() {
-        let mut spsa = Spsa { a: 0.5, ..Default::default() };
+        let mut spsa = Spsa {
+            a: 0.5,
+            ..Default::default()
+        };
         let mut f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 0.5).powi(2);
         let r = spsa.minimize(&mut f, &[0.0, 0.0], 3000);
         assert!(r.value < 1e-3, "value {}", r.value);
@@ -104,7 +125,11 @@ mod tests {
     #[test]
     fn tolerates_noisy_objective() {
         // Deterministic pseudo-noise superimposed on a bowl.
-        let mut spsa = Spsa { a: 0.4, c: 0.2, ..Default::default() };
+        let mut spsa = Spsa {
+            a: 0.4,
+            c: 0.2,
+            ..Default::default()
+        };
         let mut calls = 0usize;
         let mut f = |x: &[f64]| {
             calls += 1;

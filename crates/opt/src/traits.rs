@@ -41,7 +41,12 @@ mod tests {
             x0: &[f64],
             _max_evals: usize,
         ) -> OptResult {
-            OptResult { params: x0.to_vec(), value: f(x0), evals: 1, converged: false }
+            OptResult {
+                params: x0.to_vec(),
+                value: f(x0),
+                evals: 1,
+                converged: false,
+            }
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::op::PauliOp;
 use crate::string::PauliString;
-use nwq_common::{bits::masked_parity, C64, C_ZERO, Error, Result};
+use nwq_common::{bits::masked_parity, Error, Result, C64, C_ZERO};
 use rayon::prelude::*;
 
 /// Number of amplitudes below which the serial path is used; parallel
@@ -18,7 +18,10 @@ const PAR_THRESHOLD: usize = 1 << 12;
 
 fn check_dim(n_qubits: usize, len: usize) -> Result<()> {
     if len != 1usize << n_qubits {
-        return Err(Error::DimensionMismatch { expected: 1usize << n_qubits, got: len });
+        return Err(Error::DimensionMismatch {
+            expected: 1usize << n_qubits,
+            got: len,
+        });
     }
     Ok(())
 }
@@ -32,7 +35,11 @@ pub fn apply_string(string: &PauliString, coeff: C64, input: &[C64]) -> Result<V
     let y_phase = crate::pauli::Phase::from_power(string.y_count()).to_c64() * coeff;
     let body = |y: usize| {
         let src = y ^ m as usize;
-        let sign = if masked_parity(src as u64, z) { -1.0 } else { 1.0 };
+        let sign = if masked_parity(src as u64, z) {
+            -1.0
+        } else {
+            1.0
+        };
         y_phase * sign * input[src]
     };
     let out = if input.len() >= PAR_THRESHOLD {
@@ -57,11 +64,17 @@ pub fn accumulate_string(
     let y_phase = crate::pauli::Phase::from_power(string.y_count()).to_c64() * coeff;
     let body = |(y, o): (usize, &mut C64)| {
         let src = y ^ m;
-        let sign = if masked_parity(src as u64, z) { -1.0 } else { 1.0 };
+        let sign = if masked_parity(src as u64, z) {
+            -1.0
+        } else {
+            1.0
+        };
         *o += y_phase * sign * input[src];
     };
     if out.len() >= PAR_THRESHOLD {
-        out.par_iter_mut().enumerate().for_each(|(y, o)| body((y, o)));
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(y, o)| body((y, o)));
     } else {
         out.iter_mut().enumerate().for_each(|(y, o)| body((y, o)));
     }
@@ -87,11 +100,18 @@ pub fn expectation_string(string: &PauliString, psi: &[C64]) -> Result<C64> {
     let z = string.z_mask();
     let y_phase = crate::pauli::Phase::from_power(string.y_count()).to_c64();
     let body = |x: usize| {
-        let sign = if masked_parity(x as u64, z) { -1.0 } else { 1.0 };
+        let sign = if masked_parity(x as u64, z) {
+            -1.0
+        } else {
+            1.0
+        };
         psi[x ^ m].conj() * psi[x] * sign
     };
     let raw: C64 = if psi.len() >= PAR_THRESHOLD {
-        (0..psi.len()).into_par_iter().map(body).reduce(|| C_ZERO, |a, b| a + b)
+        (0..psi.len())
+            .into_par_iter()
+            .map(body)
+            .reduce(|| C_ZERO, |a, b| a + b)
     } else {
         (0..psi.len()).map(body).sum()
     };
@@ -112,14 +132,22 @@ pub fn expectation_op(op: &PauliOp, psi: &[C64]) -> Result<C64> {
             (0..psi.len())
                 .into_par_iter()
                 .map(|x| {
-                    let sign = if masked_parity(x as u64, z) { -1.0 } else { 1.0 };
+                    let sign = if masked_parity(x as u64, z) {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                     psi[x ^ m].conj() * psi[x] * sign
                 })
                 .reduce(|| C_ZERO, |a, b| a + b)
         } else {
             (0..psi.len())
                 .map(|x| {
-                    let sign = if masked_parity(x as u64, z) { -1.0 } else { 1.0 };
+                    let sign = if masked_parity(x as u64, z) {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                     psi[x ^ m].conj() * psi[x] * sign
                 })
                 .sum()
@@ -127,7 +155,10 @@ pub fn expectation_op(op: &PauliOp, psi: &[C64]) -> Result<C64> {
         raw * y_phase * *c
     };
     let total = if many_terms {
-        op.terms().par_iter().map(term_exp).reduce(|| C_ZERO, |a, b| a + b)
+        op.terms()
+            .par_iter()
+            .map(term_exp)
+            .reduce(|| C_ZERO, |a, b| a + b)
     } else {
         op.terms().iter().map(term_exp).sum()
     };
@@ -257,7 +288,10 @@ mod tests {
         let norm: f64 = psi.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
         let psi: Vec<C64> = psi.into_iter().map(|a| a * (1.0 / norm)).collect();
         let e = expectation_op(&h, &psi).unwrap();
-        assert!(e.im.abs() < 1e-10, "Hermitian expectation must be real, got {e}");
+        assert!(
+            e.im.abs() < 1e-10,
+            "Hermitian expectation must be real, got {e}"
+        );
     }
 
     #[test]

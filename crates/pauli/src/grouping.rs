@@ -24,11 +24,15 @@ pub struct MeasurementGroup {
 
 impl MeasurementGroup {
     fn new(n_qubits: usize) -> Self {
-        MeasurementGroup { terms: Vec::new(), basis: vec![Pauli::I; n_qubits] }
+        MeasurementGroup {
+            terms: Vec::new(),
+            basis: vec![Pauli::I; n_qubits],
+        }
     }
 
     fn accepts(&self, s: &PauliString) -> bool {
-        s.iter_ops().all(|(q, p)| self.basis[q] == Pauli::I || self.basis[q] == p)
+        s.iter_ops()
+            .all(|(q, p)| self.basis[q] == Pauli::I || self.basis[q] == p)
     }
 
     fn insert(&mut self, c: C64, s: PauliString) {

@@ -7,7 +7,7 @@
 //! bounded.
 
 use crate::string::PauliString;
-use nwq_common::{C64, C_ZERO, Error, Result};
+use nwq_common::{Error, Result, C64, C_ZERO};
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
@@ -27,7 +27,10 @@ pub struct PauliOp {
 impl PauliOp {
     /// The zero operator.
     pub fn zero(n_qubits: usize) -> Self {
-        PauliOp { n_qubits, terms: Vec::new() }
+        PauliOp {
+            n_qubits,
+            terms: Vec::new(),
+        }
     }
 
     /// The identity operator scaled by `c`.
@@ -87,7 +90,10 @@ impl PauliOp {
         let mut parsed = Vec::with_capacity(terms.len());
         for (c, lbl) in terms {
             if lbl.chars().count() != n {
-                return Err(Error::DimensionMismatch { expected: n, got: lbl.chars().count() });
+                return Err(Error::DimensionMismatch {
+                    expected: n,
+                    got: lbl.chars().count(),
+                });
             }
             parsed.push((C64::real(c), PauliString::parse(lbl)?));
         }
@@ -134,7 +140,7 @@ impl PauliOp {
         if self.terms.is_empty() {
             return;
         }
-        self.terms.sort_unstable_by(|a, b| a.1.cmp(&b.1));
+        self.terms.sort_unstable_by_key(|a| a.1);
         let mut out: Vec<(C64, PauliString)> = Vec::with_capacity(self.terms.len());
         for &(c, s) in &self.terms {
             match out.last_mut() {
@@ -190,7 +196,10 @@ impl PauliOp {
     /// O(|A|·|B|) string multiplications; the result is simplified.
     pub fn mul_op(&self, rhs: &PauliOp) -> Result<PauliOp> {
         if self.n_qubits != rhs.n_qubits {
-            return Err(Error::DimensionMismatch { expected: self.n_qubits, got: rhs.n_qubits });
+            return Err(Error::DimensionMismatch {
+                expected: self.n_qubits,
+                got: rhs.n_qubits,
+            });
         }
         let mut acc: HashMap<PauliString, C64> =
             HashMap::with_capacity(self.terms.len().max(rhs.terms.len()));
@@ -210,7 +219,10 @@ impl PauliOp {
     /// downfolding expansions (paper Eq. 2).
     pub fn commutator(&self, rhs: &PauliOp) -> Result<PauliOp> {
         if self.n_qubits != rhs.n_qubits {
-            return Err(Error::DimensionMismatch { expected: self.n_qubits, got: rhs.n_qubits });
+            return Err(Error::DimensionMismatch {
+                expected: self.n_qubits,
+                got: rhs.n_qubits,
+            });
         }
         let mut acc: HashMap<PauliString, C64> = HashMap::new();
         for &(ca, sa) in &self.terms {
@@ -274,7 +286,12 @@ impl Mul<f64> for &PauliOp {
 
 impl fmt::Debug for PauliOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PauliOp[{} qubits, {} terms]", self.n_qubits, self.terms.len())
+        write!(
+            f,
+            "PauliOp[{} qubits, {} terms]",
+            self.n_qubits,
+            self.terms.len()
+        )
     }
 }
 

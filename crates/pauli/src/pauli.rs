@@ -71,6 +71,8 @@ impl Pauli {
 
     /// Product `self · rhs = phase · P`, returning the resulting Pauli and
     /// the quarter phase (`XY = iZ`, `YX = −iZ`, …).
+    // Not `std::ops::Mul`: the product carries a phase alongside the Pauli.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Pauli) -> (Phase, Pauli) {
         use Pauli::*;
         match (self, rhs) {
@@ -128,6 +130,8 @@ impl Phase {
     }
 
     /// Group product.
+    // Kept as an inherent method for symmetry with `Pauli::mul`.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn mul(self, rhs: Phase) -> Phase {
         Phase((self.0 + rhs.0) % 4)
@@ -153,7 +157,7 @@ impl Phase {
     /// `true` for `±1` (real phases).
     #[inline]
     pub fn is_real(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 }
 

@@ -7,7 +7,7 @@
 //! (paper §4.2) scales to tens of thousands of Hamiltonian terms.
 
 use crate::pauli::{Pauli, Phase};
-use nwq_common::{bits::masked_parity, C64, Error, Result};
+use nwq_common::{bits::masked_parity, Error, Result, C64};
 use std::fmt;
 
 /// Maximum register width supported by the bitmask representation.
@@ -25,8 +25,15 @@ pub struct PauliString {
 impl PauliString {
     /// The identity string on `n_qubits`.
     pub fn identity(n_qubits: usize) -> Self {
-        assert!(n_qubits <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
-        PauliString { n_qubits: n_qubits as u32, x_mask: 0, z_mask: 0 }
+        assert!(
+            n_qubits <= MAX_QUBITS,
+            "at most {MAX_QUBITS} qubits supported"
+        );
+        PauliString {
+            n_qubits: n_qubits as u32,
+            x_mask: 0,
+            z_mask: 0,
+        }
     }
 
     /// Builds a string from raw symplectic masks.
@@ -36,11 +43,19 @@ impl PauliString {
                 "{n_qubits} qubits exceeds the {MAX_QUBITS}-qubit limit"
             )));
         }
-        let valid = if n_qubits == 64 { u64::MAX } else { (1u64 << n_qubits) - 1 };
+        let valid = if n_qubits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n_qubits) - 1
+        };
         if x_mask & !valid != 0 || z_mask & !valid != 0 {
             return Err(Error::Invalid("mask bits outside register".into()));
         }
-        Ok(PauliString { n_qubits: n_qubits as u32, x_mask, z_mask })
+        Ok(PauliString {
+            n_qubits: n_qubits as u32,
+            x_mask,
+            z_mask,
+        })
     }
 
     /// Builds a string placing `pauli` on each listed qubit (identity
@@ -104,8 +119,16 @@ impl PauliString {
         assert!(q < self.n_qubits as usize);
         let (x, z) = p.xz();
         let bit = 1u64 << q;
-        if x { self.x_mask |= bit } else { self.x_mask &= !bit }
-        if z { self.z_mask |= bit } else { self.z_mask &= !bit }
+        if x {
+            self.x_mask |= bit
+        } else {
+            self.x_mask &= !bit
+        }
+        if z {
+            self.z_mask |= bit
+        } else {
+            self.z_mask &= !bit
+        }
     }
 
     /// Number of non-identity tensor factors.
@@ -145,9 +168,9 @@ impl PauliString {
     #[inline]
     pub fn commutes_with(&self, other: &PauliString) -> bool {
         debug_assert_eq!(self.n_qubits, other.n_qubits);
-        let anti = (self.x_mask & other.z_mask).count_ones()
-            + (self.z_mask & other.x_mask).count_ones();
-        anti % 2 == 0
+        let anti =
+            (self.x_mask & other.z_mask).count_ones() + (self.z_mask & other.x_mask).count_ones();
+        anti.is_multiple_of(2)
     }
 
     /// Whether the strings commute *qubit-wise*: on every qubit the factors
@@ -173,7 +196,11 @@ impl PauliString {
         // i^{y_a + y_b − y_out}.
         let mut k: u32 = 2 * (self.z_mask & other.x_mask).count_ones();
         k += self.y_count() + other.y_count();
-        let out = PauliString { n_qubits: self.n_qubits, x_mask: x, z_mask: z };
+        let out = PauliString {
+            n_qubits: self.n_qubits,
+            x_mask: x,
+            z_mask: z,
+        };
         k += 4 - (out.y_count() % 4);
         (Phase::from_power(k), out)
     }
@@ -183,7 +210,11 @@ impl PauliString {
     /// flipped index)`.
     #[inline]
     pub fn apply_to_basis(&self, b: u64) -> (C64, u64) {
-        let sign = if masked_parity(b, self.z_mask) { -1.0 } else { 1.0 };
+        let sign = if masked_parity(b, self.z_mask) {
+            -1.0
+        } else {
+            1.0
+        };
         let phase = Phase::from_power(self.y_count()).to_c64() * sign;
         (phase, b ^ self.x_mask)
     }
@@ -193,7 +224,11 @@ impl PauliString {
     #[inline]
     pub fn diagonal_eigenvalue(&self, b: u64) -> f64 {
         debug_assert!(self.is_diagonal());
-        if masked_parity(b, self.z_mask) { -1.0 } else { 1.0 }
+        if masked_parity(b, self.z_mask) {
+            -1.0
+        } else {
+            1.0
+        }
     }
 
     /// Returns the string extended or truncated to `n` qubits; truncation
@@ -213,7 +248,11 @@ impl PauliString {
                 "cannot truncate non-identity factors".into(),
             ));
         }
-        Ok(PauliString { n_qubits: n as u32, x_mask: self.x_mask, z_mask: self.z_mask })
+        Ok(PauliString {
+            n_qubits: n as u32,
+            x_mask: self.x_mask,
+            z_mask: self.z_mask,
+        })
     }
 
     /// Iterator over `(qubit, Pauli)` for non-identity factors, ascending.
@@ -404,10 +443,7 @@ mod tests {
     fn iter_ops_lists_nontrivial() {
         let s = PauliString::parse("XIZY").unwrap();
         let ops: Vec<_> = s.iter_ops().collect();
-        assert_eq!(
-            ops,
-            vec![(0, Pauli::Y), (1, Pauli::Z), (3, Pauli::X)]
-        );
+        assert_eq!(ops, vec![(0, Pauli::Y), (1, Pauli::Z), (3, Pauli::X)]);
     }
 
     #[test]

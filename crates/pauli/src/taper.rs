@@ -20,7 +20,7 @@
 use crate::op::PauliOp;
 use crate::pauli::Pauli;
 use crate::string::PauliString;
-use nwq_common::{C64, Error, Result};
+use nwq_common::{Error, Result, C64};
 
 /// Finds a basis of Z-only Pauli strings commuting with every term of
 /// `h`, excluding the identity. These are the Z2 symmetry generators
@@ -134,7 +134,13 @@ pub fn taper(h: &PauliOp, reference: u64) -> Result<TaperingResult> {
     // symmetry eigenvalue of |ref⟩).
     let sector: Vec<i8> = generators
         .iter()
-        .map(|g| if (reference & g.z_mask()).count_ones() % 2 == 1 { -1 } else { 1 })
+        .map(|g| {
+            if (reference & g.z_mask()).count_ones() % 2 == 1 {
+                -1
+            } else {
+                1
+            }
+        })
         .collect();
 
     // Conjugate by U_k = (X_{q_k} + τ_k)/√2, all k.
@@ -232,8 +238,7 @@ mod tests {
         // X⊗X⊗X?? No — its symmetry is Z-type only after rotation; use a
         // model with an explicit Z-type symmetry instead: H commutes with
         // Z0Z1 (terms act on the pair only via XX/YY/ZZ).
-        let h = PauliOp::parse("1.0 XXI + 1.0 YYI + 0.5 ZZI + 0.4 IIX + 0.2 ZII")
-            .unwrap();
+        let h = PauliOp::parse("1.0 XXI + 1.0 YYI + 0.5 ZZI + 0.4 IIX + 0.2 ZII").unwrap();
         // Hmm: ZII does not commute with XXI? |x∧v|: XXI has x-mask on
         // qubits 1,2… rely on the library: verify the generators it finds
         // and the spectrum it preserves.
@@ -259,9 +264,9 @@ mod tests {
         let h = PauliOp::parse("1.0 ZZ + 0.5 XX").unwrap();
         let gens = find_z2_symmetries(&h);
         assert_eq!(gens.len(), 1); // ZZ parity
-        // The ground state of ZZ + 0.5·XX lives in the odd-parity sector
-        // (spectrum: {1.5, 0.5} even, {−0.5, −1.5} odd); pick it via an
-        // odd reference determinant.
+                                   // The ground state of ZZ + 0.5·XX lives in the odd-parity sector
+                                   // (spectrum: {1.5, 0.5} even, {−0.5, −1.5} odd); pick it via an
+                                   // odd reference determinant.
         let r = taper(&h, 0b01).unwrap();
         assert_eq!(r.tapered.n_qubits(), 1);
         assert_eq!(r.pivots.len(), 1);

@@ -122,7 +122,9 @@ mod tests {
     #[test]
     fn batch_matches_serial_states() {
         let (c, _) = toy();
-        let sets: Vec<Vec<f64>> = (0..6).map(|k| vec![0.1 * k as f64, -0.2 * k as f64]).collect();
+        let sets: Vec<Vec<f64>> = (0..6)
+            .map(|k| vec![0.1 * k as f64, -0.2 * k as f64])
+            .collect();
         let batch = run_batch(&c, &sets).unwrap();
         for (params, state) in sets.iter().zip(&batch) {
             let serial = crate::executor::simulate(&c, params).unwrap();
@@ -136,7 +138,10 @@ mod tests {
         let sets: Vec<Vec<f64>> = (0..5).map(|k| vec![0.3 * k as f64, 0.7]).collect();
         let energies = batched_energies(&c, &sets, &h).unwrap();
         for (params, &e) in sets.iter().zip(&energies) {
-            let serial = crate::executor::simulate(&c, params).unwrap().energy(&h).unwrap();
+            let serial = crate::executor::simulate(&c, params)
+                .unwrap()
+                .energy(&h)
+                .unwrap();
             assert!((e - serial).abs() < 1e-12);
         }
     }
@@ -152,11 +157,21 @@ mod tests {
         for i in 0..2 {
             let mut p = theta.to_vec();
             p[i] += eps;
-            let ep = crate::executor::simulate(&c, &p).unwrap().energy(&h).unwrap();
+            let ep = crate::executor::simulate(&c, &p)
+                .unwrap()
+                .energy(&h)
+                .unwrap();
             p[i] -= 2.0 * eps;
-            let em = crate::executor::simulate(&c, &p).unwrap().energy(&h).unwrap();
+            let em = crate::executor::simulate(&c, &p)
+                .unwrap()
+                .energy(&h)
+                .unwrap();
             let fd = (ep - em) / (2.0 * eps);
-            assert!((grad[i] - fd).abs() < 1e-6, "param {i}: {} vs {fd}", grad[i]);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6,
+                "param {i}: {} vs {fd}",
+                grad[i]
+            );
         }
     }
 
@@ -171,8 +186,14 @@ mod tests {
         let gen = nwq_pauli::PauliOp::from_terms(
             2,
             vec![
-                (nwq_common::C64::imag(0.5), nwq_pauli::PauliString::parse("XY").unwrap()),
-                (nwq_common::C64::imag(-0.5), nwq_pauli::PauliString::parse("YX").unwrap()),
+                (
+                    nwq_common::C64::imag(0.5),
+                    nwq_pauli::PauliString::parse("XY").unwrap(),
+                ),
+                (
+                    nwq_common::C64::imag(-0.5),
+                    nwq_pauli::PauliString::parse("YX").unwrap(),
+                ),
             ],
         );
         for (coeff, s) in gen.terms() {
@@ -188,11 +209,24 @@ mod tests {
         let naive = batched_parameter_shift_gradient(&c, &theta, &h).unwrap();
         let proper = batched_excitation_gradient(&c, &theta, &h).unwrap();
         let eps = 1e-6;
-        let ep = crate::executor::simulate(&c, &[eps]).unwrap().energy(&h).unwrap();
-        let em = crate::executor::simulate(&c, &[-eps]).unwrap().energy(&h).unwrap();
+        let ep = crate::executor::simulate(&c, &[eps])
+            .unwrap()
+            .energy(&h)
+            .unwrap();
+        let em = crate::executor::simulate(&c, &[-eps])
+            .unwrap()
+            .energy(&h)
+            .unwrap();
         let fd = (ep - em) / (2.0 * eps);
-        assert!(fd.abs() > 0.1, "test setup: finite gradient expected, got {fd}");
-        assert!(naive[0].abs() < 1e-9, "π/2 rule should vanish here, got {}", naive[0]);
+        assert!(
+            fd.abs() > 0.1,
+            "test setup: finite gradient expected, got {fd}"
+        );
+        assert!(
+            naive[0].abs() < 1e-9,
+            "π/2 rule should vanish here, got {}",
+            naive[0]
+        );
         assert!((proper[0] - fd).abs() < 1e-6, "{} vs {fd}", proper[0]);
     }
 

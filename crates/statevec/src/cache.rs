@@ -57,14 +57,22 @@ struct Entry {
 }
 
 fn key_of(params: &[f64]) -> Vec<u64> {
-    params.iter().map(|p| p.to_bits()).collect()
+    // Bit-pattern keys keep NaN parameters cacheable (NaN != NaN under f64
+    // comparison), but 0.0 and -0.0 compare equal while having different
+    // bit patterns — an optimizer crossing zero from below would spuriously
+    // miss. Normalize -0.0 to 0.0 before taking bits.
+    params.iter().map(|p| (p + 0.0).to_bits()).collect()
 }
 
 impl PostAnsatzCache {
     /// A cache modeling a device with `device_budget_bytes` of fast memory
     /// (e.g. 40 GiB for a Perlmutter A100).
     pub fn new(device_budget_bytes: u128) -> Self {
-        PostAnsatzCache { device_budget_bytes, entry: None, stats: CacheStats::default() }
+        PostAnsatzCache {
+            device_budget_bytes,
+            entry: None,
+            stats: CacheStats::default(),
+        }
     }
 
     /// A cache with an effectively unlimited device tier.
@@ -100,13 +108,16 @@ impl PostAnsatzCache {
         let hit = matches!(&self.entry, Some(e) if e.key == key);
         if hit {
             self.stats.hits += 1;
+            nwq_telemetry::counter_add("cache.hits", 1);
         } else {
             self.stats.misses += 1;
+            nwq_telemetry::counter_add("cache.misses", 1);
             let state = executor.run(ansatz, params)?;
             let tier = if state.memory_bytes() <= self.device_budget_bytes {
                 MemoryTier::Device
             } else {
                 self.stats.host_spills += 1;
+                nwq_telemetry::counter_add("cache.host_spills", 1);
                 MemoryTier::Host
             };
             self.entry = Some(Entry { key, state, tier });
@@ -146,7 +157,9 @@ mod tests {
         let a = ansatz();
         let mut cache = PostAnsatzCache::unbounded();
         let mut ex = Executor::new();
-        let s = cache.get_or_prepare(&a, &[std::f64::consts::PI], &mut ex).unwrap();
+        let s = cache
+            .get_or_prepare(&a, &[std::f64::consts::PI], &mut ex)
+            .unwrap();
         // RY(π)|0⟩ = |1⟩, CX -> |11⟩.
         assert!((s.probability(3) - 1.0).abs() < 1e-12);
     }
@@ -188,5 +201,36 @@ mod tests {
         cache.get_or_prepare(&a, &[f64::NAN], &mut ex).unwrap();
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn signed_zero_params_share_a_key() {
+        // 0.0 == -0.0, so a parameter crossing zero from below must reuse
+        // the cached state instead of missing on the sign bit.
+        let a = ansatz();
+        let mut cache = PostAnsatzCache::unbounded();
+        let mut ex = Executor::new();
+        cache.get_or_prepare(&a, &[0.0], &mut ex).unwrap();
+        cache.get_or_prepare(&a, &[-0.0], &mut ex).unwrap();
+        cache.get_or_prepare(&a, &[0.0], &mut ex).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 2, "-0.0 must hit the 0.0 entry");
+        assert_eq!(s.misses, 1);
+        assert_eq!(ex.stats().circuits_run, 1);
+    }
+
+    #[test]
+    fn signed_zero_mixed_with_nan_and_nonzero() {
+        let a = ansatz();
+        let mut cache = PostAnsatzCache::unbounded();
+        let mut ex = Executor::new();
+        cache.get_or_prepare(&a, &[-0.0], &mut ex).unwrap();
+        cache.get_or_prepare(&a, &[0.0], &mut ex).unwrap(); // hit
+        cache.get_or_prepare(&a, &[f64::NAN], &mut ex).unwrap(); // miss
+        cache.get_or_prepare(&a, &[f64::NAN], &mut ex).unwrap(); // hit
+        cache.get_or_prepare(&a, &[0.5], &mut ex).unwrap(); // miss
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 3);
     }
 }

@@ -16,7 +16,7 @@ use crate::kernels::{apply_mat2, apply_mat4};
 use crate::state::StateVector;
 use nwq_circuit::{Circuit, GateMatrix};
 use nwq_common::bits::dim;
-use nwq_common::{C64, C_ONE, C_ZERO, Error, Mat2, Mat4, Result};
+use nwq_common::{Error, Mat2, Mat4, Result, C64, C_ONE, C_ZERO};
 use nwq_pauli::{PauliOp, PauliString};
 
 /// A density matrix in vectorized (row-low, column-high) layout.
@@ -79,14 +79,20 @@ impl DensityMatrix {
         match gate {
             GateMatrix::One(q, m) => {
                 if *q >= n {
-                    return Err(Error::QubitOutOfRange { qubit: *q, n_qubits: n });
+                    return Err(Error::QubitOutOfRange {
+                        qubit: *q,
+                        n_qubits: n,
+                    });
                 }
                 apply_mat2(&mut self.elems, *q, m);
                 apply_mat2(&mut self.elems, q + n, &conj2(m));
             }
             GateMatrix::Two(a, b, m) => {
                 if *a >= n || *b >= n {
-                    return Err(Error::QubitOutOfRange { qubit: (*a).max(*b), n_qubits: n });
+                    return Err(Error::QubitOutOfRange {
+                        qubit: (*a).max(*b),
+                        n_qubits: n,
+                    });
                 }
                 apply_mat4(&mut self.elems, *a, *b, m);
                 apply_mat4(&mut self.elems, a + n, b + n, &conj4(m));
@@ -98,7 +104,10 @@ impl DensityMatrix {
     /// Applies a single-qubit Kraus channel `ρ → Σ_k K_k ρ K_k†` on `q`.
     pub fn apply_kraus1(&mut self, q: usize, kraus: &[Mat2]) -> Result<()> {
         if q >= self.n_qubits {
-            return Err(Error::QubitOutOfRange { qubit: q, n_qubits: self.n_qubits });
+            return Err(Error::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            });
         }
         let mut acc = vec![C_ZERO; self.elems.len()];
         for k in kraus {
@@ -279,11 +288,7 @@ impl NoiseModel {
 
 /// Runs a circuit on a density matrix from `|0…0⟩⟨0…0|` under a noise
 /// model.
-pub fn run_noisy(
-    circuit: &Circuit,
-    params: &[f64],
-    noise: &NoiseModel,
-) -> Result<DensityMatrix> {
+pub fn run_noisy(circuit: &Circuit, params: &[f64], noise: &NoiseModel) -> Result<DensityMatrix> {
     let mut rho = DensityMatrix::zero(circuit.n_qubits());
     for gate in circuit.gates() {
         let m = gate.matrix(params)?;
@@ -414,14 +419,19 @@ mod tests {
         // (maximally mixed); shrinking noise recovers the pure value.
         let h = PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
         let mut c = Circuit::new(2);
-        c.ry(0, std::f64::consts::FRAC_PI_2).cx(0, 1).ry(1, std::f64::consts::PI);
+        c.ry(0, std::f64::consts::FRAC_PI_2)
+            .cx(0, 1)
+            .ry(1, std::f64::consts::PI);
         let pure_e = simulate(&c, &[]).unwrap().energy(&h).unwrap();
         assert!((pure_e + 2.0).abs() < 1e-9);
         let mut last = pure_e;
         for p in [0.0, 0.01, 0.05, 0.2] {
             let rho = run_noisy(&c, &[], &NoiseModel::depolarizing(p, p)).unwrap();
             let e = rho.energy(&h).unwrap();
-            assert!(e >= last - 1e-9, "noise must not lower the energy: {e} < {last}");
+            assert!(
+                e >= last - 1e-9,
+                "noise must not lower the energy: {e} < {last}"
+            );
             last = e;
         }
         assert!(last > -1.5, "strong noise should visibly raise the energy");

@@ -42,24 +42,36 @@ impl Executor {
             });
         }
         self.stats.circuits_run += 1;
+        nwq_telemetry::counter_add("executor.circuits_run", 1);
+        let _span = nwq_telemetry::span!("executor.run");
         let dim = state.len() as u64;
+        let mut gates_1q = 0u64;
+        let mut gates_2q = 0u64;
+        let mut fused = 0u64;
         for gate in circuit.gates() {
             if matches!(gate, Gate::Fused1(..) | Gate::Fused2(..)) {
                 self.stats.fused_blocks += 1;
+                fused += 1;
             }
             match gate.matrix(params)? {
                 GateMatrix::One(q, m) => {
                     apply_mat2(state.amplitudes_mut(), q, &m);
                     self.stats.gates_1q += 1;
                     self.stats.amplitude_updates += dim;
+                    gates_1q += 1;
                 }
                 GateMatrix::Two(a, b, m) => {
                     apply_mat4(state.amplitudes_mut(), a, b, &m);
                     self.stats.gates_2q += 1;
                     self.stats.amplitude_updates += dim;
+                    gates_2q += 1;
                 }
             }
         }
+        nwq_telemetry::counter_add("executor.gates_1q", gates_1q);
+        nwq_telemetry::counter_add("executor.gates_2q", gates_2q);
+        nwq_telemetry::counter_add("executor.fused_blocks", fused);
+        nwq_telemetry::counter_add("executor.amplitude_updates", dim * (gates_1q + gates_2q));
         Ok(())
     }
 

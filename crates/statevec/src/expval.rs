@@ -84,7 +84,10 @@ pub fn energy_non_caching(
         ex.run_on(&basis, &[], &mut state)?;
         energy += diagonal_group_energy_with_diagonalized(&state, g);
     }
-    Ok(EnergyEval { energy, gates_applied: ex.stats().total_gates() })
+    Ok(EnergyEval {
+        energy,
+        gates_applied: ex.stats().total_gates(),
+    })
 }
 
 /// Caching execution: one ansatz run, then per-group basis changes applied
@@ -108,7 +111,10 @@ pub fn energy_cached(
             energy += diagonal_group_energy_with_diagonalized(&state, g);
         }
     }
-    Ok(EnergyEval { energy, gates_applied: ex.stats().total_gates() })
+    Ok(EnergyEval {
+        energy,
+        gates_applied: ex.stats().total_gates(),
+    })
 }
 
 /// After the group's basis change, each string contributes through its
@@ -151,8 +157,18 @@ mod tests {
         let nc = energy_non_caching(&ansatz, params, &groups, 0.0).unwrap();
         let ca = energy_cached(&ansatz, params, &groups, 0.0).unwrap();
         let nc_s = energy_non_caching(&ansatz, params, &singles, 0.0).unwrap();
-        assert!((nc.energy - direct).abs() < 1e-10, "non-caching {} vs {}", nc.energy, direct);
-        assert!((ca.energy - direct).abs() < 1e-10, "cached {} vs {}", ca.energy, direct);
+        assert!(
+            (nc.energy - direct).abs() < 1e-10,
+            "non-caching {} vs {}",
+            nc.energy,
+            direct
+        );
+        assert!(
+            (ca.energy - direct).abs() < 1e-10,
+            "cached {} vs {}",
+            ca.energy,
+            direct
+        );
         assert!((nc_s.energy - direct).abs() < 1e-10);
         // Caching must never use more gates.
         assert!(ca.gates_applied <= nc.gates_applied);

@@ -16,7 +16,7 @@
 //! Diagonal matrices (RZ, CZ, CP, RZZ, fused diagonals) take a fast path
 //! that multiplies amplitudes without pairing.
 
-use nwq_common::{C64, Mat2, Mat4};
+use nwq_common::{Error, Mat2, Mat4, Result, C64};
 use rayon::prelude::*;
 
 /// Minimum number of independent outer blocks before parallel dispatch is
@@ -44,13 +44,16 @@ fn mat4_is_diagonal(m: &Mat4) -> bool {
 /// Applies a single-qubit unitary to qubit `q`, in place.
 pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
     debug_assert!(1usize << q < amps.len());
+    nwq_telemetry::counter_add("kernels.amplitude_updates", amps.len() as u64);
     if mat2_is_diagonal(m) {
+        nwq_telemetry::counter_add("kernels.mat2.diag", 1);
         return apply_diag1(amps, q, m.0[0][0], m.0[1][1]);
     }
     let stride = 1usize << q;
     let block = stride << 1;
     let nblocks = amps.len() / block;
     if nblocks >= MIN_PAR_BLOCKS {
+        nwq_telemetry::counter_add("kernels.mat2.par_blocks", 1);
         amps.par_chunks_mut(block).for_each(|c| {
             let (lo, hi) = c.split_at_mut(stride);
             for j in 0..stride {
@@ -58,6 +61,11 @@ pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
             }
         });
     } else {
+        if stride >= MIN_PAR_ELEMS {
+            nwq_telemetry::counter_add("kernels.mat2.par_inner", 1);
+        } else {
+            nwq_telemetry::counter_add("kernels.mat2.serial", 1);
+        }
         for c in amps.chunks_mut(block) {
             let (lo, hi) = c.split_at_mut(stride);
             if stride >= MIN_PAR_ELEMS {
@@ -77,7 +85,7 @@ pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
 fn apply_diag1(amps: &mut [C64], q: usize, d0: C64, d1: C64) {
     let body = |(i, a): (usize, &mut C64)| {
         let d = if (i >> q) & 1 == 1 { d1 } else { d0 };
-        *a = *a * d;
+        *a *= d;
     };
     if amps.len() >= MIN_PAR_ELEMS {
         amps.par_iter_mut().enumerate().for_each(body);
@@ -110,9 +118,20 @@ pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
     debug_assert!(qa != qb);
     debug_assert!(1usize << qa < amps.len() && 1usize << qb < amps.len());
     // Normalize so `hi > lo` with the matrix's high bit on `hi`.
-    let (hi, lo, mat) = if qa > qb { (qa, qb, *m) } else { (qb, qa, m.swap_qubits()) };
+    let (hi, lo, mat) = if qa > qb {
+        (qa, qb, *m)
+    } else {
+        (qb, qa, m.swap_qubits())
+    };
+    nwq_telemetry::counter_add("kernels.amplitude_updates", amps.len() as u64);
     if mat4_is_diagonal(&mat) {
-        return apply_diag2(amps, hi, lo, [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]]);
+        nwq_telemetry::counter_add("kernels.mat4.diag", 1);
+        return apply_diag2(
+            amps,
+            hi,
+            lo,
+            [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]],
+        );
     }
     let s_lo = 1usize << lo;
     let s_hi = 1usize << hi;
@@ -133,11 +152,17 @@ pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
     };
 
     if nblocks >= MIN_PAR_BLOCKS {
+        nwq_telemetry::counter_add("kernels.mat4.par_blocks", 1);
         amps.par_chunks_mut(block).for_each(|c| {
             let (h0, h1) = c.split_at_mut(s_hi);
             process_half_pair(h0, h1);
         });
     } else {
+        if s_hi >= MIN_PAR_ELEMS {
+            nwq_telemetry::counter_add("kernels.mat4.par_inner", 1);
+        } else {
+            nwq_telemetry::counter_add("kernels.mat4.serial", 1);
+        }
         for c in amps.chunks_mut(block) {
             let (h0, h1) = c.split_at_mut(s_hi);
             if s_hi >= MIN_PAR_ELEMS && s_lo >= 1 {
@@ -163,7 +188,7 @@ pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
 fn apply_diag2(amps: &mut [C64], hi: usize, lo: usize, d: [C64; 4]) {
     let body = |(i, a): (usize, &mut C64)| {
         let idx = (((i >> hi) & 1) << 1) | ((i >> lo) & 1);
-        *a = *a * d[idx];
+        *a *= d[idx];
     };
     if amps.len() >= MIN_PAR_ELEMS {
         amps.par_iter_mut().enumerate().for_each(body);
@@ -185,7 +210,17 @@ pub fn prob_one(amps: &[C64], q: usize) -> f64 {
 /// Collapses qubit `q` to `outcome` and renormalizes. `prob` is the
 /// probability of that outcome (precomputed by the caller from
 /// [`prob_one`]).
-pub fn collapse(amps: &mut [C64], q: usize, outcome: bool, prob: f64) {
+///
+/// Errors if `prob` is not a positive finite number: collapsing onto a
+/// zero-probability outcome has no defined post-measurement state (the
+/// unguarded `1/√prob` would silently fill the state with `inf`/NaN).
+pub fn collapse(amps: &mut [C64], q: usize, outcome: bool, prob: f64) -> Result<()> {
+    if !(prob > 0.0 && prob.is_finite()) {
+        return Err(Error::Invalid(format!(
+            "cannot collapse qubit {q} to outcome {}: probability {prob} is not positive",
+            outcome as u8
+        )));
+    }
     let inv = 1.0 / prob.sqrt();
     let body = |(i, a): (usize, &mut C64)| {
         if ((i >> q) & 1 == 1) == outcome {
@@ -199,16 +234,15 @@ pub fn collapse(amps: &mut [C64], q: usize, outcome: bool, prob: f64) {
     } else {
         amps.iter_mut().enumerate().for_each(body);
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nwq_common::mat::{
-        mat_cp, mat_cx, mat_cz, mat_h, mat_rz, mat_rzz, mat_swap, mat_x, mat_y,
-    };
-    use nwq_common::{C_ONE, C_ZERO};
     use nwq_circuit::reference;
+    use nwq_common::mat::{mat_cp, mat_cx, mat_cz, mat_h, mat_rz, mat_rzz, mat_swap, mat_x, mat_y};
+    use nwq_common::{C_ONE, C_ZERO};
 
     fn zero(n: usize) -> Vec<C64> {
         let mut v = vec![C_ZERO; 1 << n];
@@ -327,9 +361,30 @@ mod tests {
         assert!((prob_one(&amps, 1) - 0.5).abs() < 1e-12);
         assert!(prob_one(&amps, 0) < 1e-12);
         let p = prob_one(&amps, 1);
-        collapse(&mut amps, 1, true, p);
+        collapse(&mut amps, 1, true, p).unwrap();
         assert!((prob_one(&amps, 1) - 1.0).abs() < 1e-12);
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_impossible_outcome_is_an_error() {
+        // |00⟩: qubit 1 can never measure 1. Before the guard, this filled
+        // the state with inf (1/√0) and silently corrupted later math.
+        let mut amps = zero(2);
+        let p = prob_one(&amps, 1);
+        assert!(p < 1e-300);
+        let err = collapse(&mut amps, 1, true, p);
+        assert!(err.is_err(), "collapse onto p=0 outcome must fail");
+        // The state must be untouched by the failed collapse.
+        assert!(amps[0].approx_eq(C_ONE, 1e-15));
+        assert!(amps.iter().all(|a| a.norm_sqr().is_finite()));
+        // NaN and negative probabilities are rejected too.
+        assert!(collapse(&mut amps, 0, false, f64::NAN).is_err());
+        assert!(collapse(&mut amps, 0, false, -0.25).is_err());
+        assert!(collapse(&mut amps, 0, false, f64::INFINITY).is_err());
+        // A legitimate collapse still works.
+        collapse(&mut amps, 1, false, 1.0).unwrap();
+        assert!(amps[0].approx_eq(C_ONE, 1e-15));
     }
 }

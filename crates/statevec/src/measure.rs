@@ -13,11 +13,7 @@ use std::collections::HashMap;
 ///
 /// Uses inverse-transform sampling over the cumulative distribution;
 /// preparation is O(2^n), each shot O(log 2^n).
-pub fn sample_counts<R: Rng>(
-    state: &StateVector,
-    shots: usize,
-    rng: &mut R,
-) -> HashMap<u64, u64> {
+pub fn sample_counts<R: Rng>(state: &StateVector, shots: usize, rng: &mut R) -> HashMap<u64, u64> {
     let mut cdf = Vec::with_capacity(state.len());
     let mut acc = 0.0;
     for a in state.amplitudes() {
@@ -43,7 +39,13 @@ pub fn estimate_diagonal(counts: &HashMap<u64, u64>, support: u64) -> f64 {
     }
     let signed: f64 = counts
         .iter()
-        .map(|(&x, &n)| if masked_parity(x, support) { -(n as f64) } else { n as f64 })
+        .map(|(&x, &n)| {
+            if masked_parity(x, support) {
+                -(n as f64)
+            } else {
+                n as f64
+            }
+        })
         .sum();
     signed / shots as f64
 }
@@ -94,7 +96,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let counts = sample_counts(&s, 8000, &mut rng);
         assert_eq!(counts.len(), 8);
-        for (_, &n) in &counts {
+        for &n in counts.values() {
             // each ≈ 1000, loose 5σ bound
             assert!((n as f64 - 1000.0).abs() < 160.0, "count {n}");
         }

@@ -1,7 +1,7 @@
 //! The statevector container.
 
 use nwq_common::bits::{dim, statevector_bytes};
-use nwq_common::{C64, C_ONE, C_ZERO, Error, Result};
+use nwq_common::{Error, Result, C64, C_ONE, C_ZERO};
 use nwq_pauli::PauliOp;
 
 /// A full statevector over `n` qubits: `2^n` complex amplitudes with qubit
@@ -25,7 +25,9 @@ impl StateVector {
     pub fn basis(n_qubits: usize, index: usize) -> Result<Self> {
         let d = dim(n_qubits);
         if index >= d {
-            return Err(Error::Invalid(format!("basis index {index} out of range {d}")));
+            return Err(Error::Invalid(format!(
+                "basis index {index} out of range {d}"
+            )));
         }
         let mut amps = vec![C_ZERO; d];
         amps[index] = C_ONE;
@@ -37,9 +39,14 @@ impl StateVector {
     pub fn from_amplitudes(amps: Vec<C64>) -> Result<Self> {
         let len = amps.len();
         if len == 0 || !len.is_power_of_two() {
-            return Err(Error::Invalid(format!("length {len} is not a power of two")));
+            return Err(Error::Invalid(format!(
+                "length {len} is not a power of two"
+            )));
         }
-        Ok(StateVector { n_qubits: len.trailing_zeros() as usize, amps })
+        Ok(StateVector {
+            n_qubits: len.trailing_zeros() as usize,
+            amps,
+        })
     }
 
     /// Register width.
@@ -87,7 +94,9 @@ impl StateVector {
     pub fn normalize(&mut self) -> Result<()> {
         let n = self.norm_sqr().sqrt();
         if n <= 0.0 || !n.is_finite() {
-            return Err(Error::Numerical("cannot normalize zero/non-finite state".into()));
+            return Err(Error::Numerical(
+                "cannot normalize zero/non-finite state".into(),
+            ));
         }
         let inv = 1.0 / n;
         for a in &mut self.amps {
@@ -104,7 +113,10 @@ impl StateVector {
     /// Inner product `⟨self|other⟩`.
     pub fn inner(&self, other: &StateVector) -> Result<C64> {
         if self.n_qubits != other.n_qubits {
-            return Err(Error::DimensionMismatch { expected: self.n_qubits, got: other.n_qubits });
+            return Err(Error::DimensionMismatch {
+                expected: self.n_qubits,
+                got: other.n_qubits,
+            });
         }
         Ok(self
             .amps

@@ -41,9 +41,17 @@ mod tests {
 
     #[test]
     fn totals_and_accumulation() {
-        let mut a = ExecStats { gates_1q: 3, gates_2q: 2, ..Default::default() };
+        let mut a = ExecStats {
+            gates_1q: 3,
+            gates_2q: 2,
+            ..Default::default()
+        };
         assert_eq!(a.total_gates(), 5);
-        a += ExecStats { gates_1q: 1, circuits_run: 1, ..Default::default() };
+        a += ExecStats {
+            gates_1q: 1,
+            circuits_run: 1,
+            ..Default::default()
+        };
         assert_eq!(a.gates_1q, 4);
         assert_eq!(a.circuits_run, 1);
         assert_eq!(a.total_gates(), 6);

@@ -1,0 +1,211 @@
+//! Value-exact parity between the Rayon kernel dispatch paths and a
+//! fully-serial mirror.
+//!
+//! Every dispatch path of `apply_mat2` / `apply_mat4` (outer-block
+//! parallel, inner-split parallel, serial, diagonal fast path) computes
+//! each amplitude pair/quad with the same arithmetic in the same order —
+//! parallelism only changes *which thread* owns a block, never the
+//! floating-point expression. The results must therefore be **bitwise
+//! identical** to a serial mirror, not merely approximately equal. These
+//! tests pin that guarantee across the `MIN_PAR_BLOCKS` /
+//! `MIN_PAR_ELEMS` thresholds: at n = 12–15 qubits, low target qubits
+//! take the block-parallel path, high qubits the inner-split path, and
+//! diagonal matrices the multiply-only path.
+
+use nwq_common::mat::{mat_cp, mat_cx, mat_h, mat_rz, mat_rzz, mat_swap, mat_x, mat_y};
+use nwq_common::{Mat2, Mat4, C64};
+use nwq_statevec::kernels::{apply_mat2, apply_mat4};
+use proptest::prelude::*;
+
+/// Serial mirror of `apply_mat2`, replicating both the diagonal fast path
+/// and the general pair math expression-for-expression.
+fn serial_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
+    if m.0[0][1].norm_sqr() == 0.0 && m.0[1][0].norm_sqr() == 0.0 {
+        let (d0, d1) = (m.0[0][0], m.0[1][1]);
+        for (i, a) in amps.iter_mut().enumerate() {
+            let d = if (i >> q) & 1 == 1 { d1 } else { d0 };
+            *a *= d;
+        }
+        return;
+    }
+    let stride = 1usize << q;
+    let block = stride << 1;
+    for c in amps.chunks_mut(block) {
+        let (lo, hi) = c.split_at_mut(stride);
+        for j in 0..stride {
+            let a = lo[j];
+            let b = hi[j];
+            lo[j] = m.0[0][0] * a + m.0[0][1] * b;
+            hi[j] = m.0[1][0] * a + m.0[1][1] * b;
+        }
+    }
+}
+
+/// Serial mirror of `apply_mat4` (same qubit normalization, same quad
+/// expression).
+fn serial_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
+    let (hi_q, lo_q, mat) = if qa > qb {
+        (qa, qb, *m)
+    } else {
+        (qb, qa, m.swap_qubits())
+    };
+    if (0..4).all(|r| (0..4).all(|c| r == c || mat.0[r][c].norm_sqr() == 0.0)) {
+        let d = [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]];
+        for (i, a) in amps.iter_mut().enumerate() {
+            let idx = (((i >> hi_q) & 1) << 1) | ((i >> lo_q) & 1);
+            *a *= d[idx];
+        }
+        return;
+    }
+    let s_lo = 1usize << lo_q;
+    let s_hi = 1usize << hi_q;
+    let block = s_hi << 1;
+    let lo_block = s_lo << 1;
+    for c in amps.chunks_mut(block) {
+        let (h0, h1) = c.split_at_mut(s_hi);
+        for (c0, c1) in h0.chunks_mut(lo_block).zip(h1.chunks_mut(lo_block)) {
+            let (c00, c01) = c0.split_at_mut(s_lo);
+            let (c10, c11) = c1.split_at_mut(s_lo);
+            for j in 0..s_lo {
+                let v = [c00[j], c01[j], c10[j], c11[j]];
+                let mut out = [C64::default(); 4];
+                for (r, o) in out.iter_mut().enumerate() {
+                    let row = &mat.0[r];
+                    *o = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+                }
+                c00[j] = out[0];
+                c01[j] = out[1];
+                c10[j] = out[2];
+                c11[j] = out[3];
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random normalized state.
+fn rand_state(n: usize, seed: u64) -> Vec<C64> {
+    let mut v: Vec<C64> = (0..1usize << n)
+        .map(|i| {
+            let t = (i as f64 * 0.61803 + seed as f64 * 0.77).sin();
+            C64::new(t, (t * 1.7 + 0.3).cos())
+        })
+        .collect();
+    let norm: f64 = v.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+    for a in &mut v {
+        *a = *a * (1.0 / norm);
+    }
+    v
+}
+
+fn bits(v: &[C64]) -> Vec<(u64, u64)> {
+    v.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+}
+
+fn assert_bit_identical(fast: &[C64], slow: &[C64], what: &str) {
+    for (i, (x, y)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+            "{what}: amplitude {i} differs bitwise: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn mat2_bitwise_parity_across_dispatch_paths() {
+    // n = 12..15 with low/mid/high q sweeps the block-parallel
+    // (q <= n-4), inner-parallel (high q, stride >= MIN_PAR_ELEMS), and
+    // small-stride serial branches.
+    for n in 12..=15usize {
+        for q in [0, 1, n / 2, n - 3, n - 2, n - 1] {
+            for (label, m) in [
+                ("h", mat_h()),
+                ("x", mat_x()),
+                ("y", mat_y()),
+                ("rz", mat_rz(0.7)),
+            ] {
+                let psi = rand_state(n, (n * 31 + q) as u64);
+                let mut fast = psi.clone();
+                let mut slow = psi;
+                apply_mat2(&mut fast, q, &m);
+                serial_mat2(&mut slow, q, &m);
+                assert_bit_identical(&fast, &slow, &format!("mat2 {label} n={n} q={q}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn mat4_bitwise_parity_across_dispatch_paths() {
+    for n in 12..=15usize {
+        // Low/low, high/high, and mixed pairs in both argument orders.
+        let pairs = [
+            (0, 1),
+            (1, 0),
+            (n - 1, n - 2),
+            (n - 2, n - 1),
+            (0, n - 1),
+            (n - 1, 0),
+            (2, n - 3),
+        ];
+        for (qa, qb) in pairs {
+            for (label, m) in [
+                ("cx", mat_cx()),
+                ("swap", mat_swap()),
+                ("rzz", mat_rzz(0.9)),
+                ("cp", mat_cp(0.4)),
+            ] {
+                let psi = rand_state(n, (n * 131 + qa * 17 + qb) as u64);
+                let mut fast = psi.clone();
+                let mut slow = psi;
+                apply_mat4(&mut fast, qa, qb, &m);
+                serial_mat4(&mut slow, qa, qb, &m);
+                assert_bit_identical(&fast, &slow, &format!("mat4 {label} n={n} qa={qa} qb={qb}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mat2_parity_random(n in 12usize..16, q in 0usize..16, kind in 0u8..4, seed in 0u64..1000) {
+        let q = q % n;
+        let m = match kind {
+            0 => mat_h(),
+            1 => mat_x(),
+            2 => mat_rz(0.1 + seed as f64 * 1e-3),
+            _ => mat_y(),
+        };
+        let psi = rand_state(n, seed);
+        let mut fast = psi.clone();
+        let mut slow = psi;
+        apply_mat2(&mut fast, q, &m);
+        serial_mat2(&mut slow, q, &m);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn mat4_parity_random(
+        n in 12usize..16,
+        qa in 0usize..16,
+        dq in 1usize..15,
+        kind in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        let qa = qa % n;
+        let qb = (qa + 1 + (dq - 1) % (n - 1)) % n; // always != qa
+        let m = match kind {
+            0 => mat_cx(),
+            1 => mat_swap(),
+            2 => mat_rzz(0.1 + seed as f64 * 1e-3),
+            _ => mat_cp(0.2 + seed as f64 * 1e-3),
+        };
+        let psi = rand_state(n, seed.wrapping_add(7));
+        let mut fast = psi.clone();
+        let mut slow = psi;
+        apply_mat4(&mut fast, qa, qb, &m);
+        serial_mat4(&mut slow, qa, qb, &m);
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal hand-rolled JSON emitter.
+//!
+//! Supports exactly what the telemetry schema needs: objects with ordered
+//! keys, arrays, strings, integers, floats, and null. Floats that are not
+//! finite serialize as `null` (JSON has no NaN/Infinity); integer-valued
+//! floats keep a trailing `.0` so consumers see a consistent number type.
+
+/// A JSON value tree.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// JSON string (escaped on render).
+    Str(String),
+    /// Non-negative integer.
+    Int(u64),
+    /// Finite or non-finite float (non-finite renders as `null`).
+    Float(f64),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        out.push_str(&format!("{f:.1}"));
+                    } else {
+                        out.push_str(&format!("{f}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for [`JsonValue::Object`] preserving insertion order.
+#[derive(Default)]
+pub struct Object {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Appends a field.
+    pub fn push(&mut self, key: impl Into<String>, value: JsonValue) {
+        self.fields.push((key.into(), value));
+    }
+
+    /// Finishes into a [`JsonValue`].
+    pub fn into_value(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let mut inner = Object::new();
+        inner.push("n", JsonValue::Int(3));
+        inner.push("x", JsonValue::Float(1.5));
+        let mut root = Object::new();
+        root.push("a", inner.into_value());
+        root.push(
+            "list",
+            JsonValue::Array(vec![JsonValue::Null, JsonValue::Str("hi".into())]),
+        );
+        assert_eq!(
+            root.into_value().render(),
+            r#"{"a":{"n":3,"x":1.5},"list":[null,"hi"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_and_specials() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0");
+        assert_eq!(JsonValue::Float(-0.25).render(), "-0.25");
+    }
+}

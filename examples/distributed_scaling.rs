@@ -23,13 +23,20 @@ fn main() {
 
     // Reference energy from the single-node engine.
     let mut single = DirectBackend::new();
-    let e_ref = single.energy(&ansatz, &theta, &h).expect("single-node energy");
+    let e_ref = single
+        .energy(&ansatz, &theta, &h)
+        .expect("single-node energy");
     println!("single-node energy: {e_ref:+.8} Ha\n");
 
-    println!("{:>6} {:>14} {:>10} {:>12} {:>12}", "ranks", "E [Ha]", "messages", "bytes", "|dE|");
+    println!(
+        "{:>6} {:>14} {:>10} {:>12} {:>12}",
+        "ranks", "E [Ha]", "messages", "bytes", "|dE|"
+    );
     for n_ranks in [1usize, 2, 4] {
         let mut dist = DistributedBackend::new(n_ranks);
-        let e = dist.energy(&ansatz, &theta, &h).expect("distributed energy");
+        let e = dist
+            .energy(&ansatz, &theta, &h)
+            .expect("distributed energy");
         let comm = dist.comm_stats();
         println!(
             "{:>6} {:>14.8} {:>10} {:>12} {:>12.2e}",

@@ -14,8 +14,7 @@
 //!    commutator expansion, active-space projection.
 
 use nwq_chem::downfold::{
-    commutator_expansion, downfold_to_active, mp2_external_sigma, project_active,
-    truncate_virtuals,
+    commutator_expansion, downfold_to_active, mp2_external_sigma, project_active, truncate_virtuals,
 };
 use nwq_chem::jw::jordan_wigner;
 use nwq_chem::molecules::water_model;
@@ -27,7 +26,11 @@ fn main() {
     let h_full = mol.to_qubit_hamiltonian().expect("hamiltonian builds");
     let sector = Sector::closed_shell(mol.n_electrons());
     let e_full = ground_energy_sector_default(&h_full, sector).expect("Lanczos");
-    println!("full problem      : {} qubits, {} terms", h_full.n_qubits(), h_full.num_terms());
+    println!(
+        "full problem      : {} qubits, {} terms",
+        h_full.n_qubits(),
+        h_full.num_terms()
+    );
     println!("E_full (FCI)      : {e_full:+.6} Ha\n");
 
     let n_active = 3; // keep 3 of 4 spatial orbitals → 6 qubits
@@ -51,14 +54,23 @@ fn main() {
     let e_eq2 = ground_energy_sector_default(&h_eq2, sector).expect("Lanczos");
 
     println!("{:<28} {:>12} {:>12}", "method", "E [Ha]", "error [Ha]");
-    println!("{:<28} {:>12.6} {:>12.6}", "bare truncation", e_bare, e_bare - e_full);
     println!(
         "{:<28} {:>12.6} {:>12.6}",
-        "integral-level downfold", e_fold, e_fold - e_full
+        "bare truncation",
+        e_bare,
+        e_bare - e_full
     );
     println!(
         "{:<28} {:>12.6} {:>12.6}",
-        "qubit-level Eq. 2 (order 2)", e_eq2, e_eq2 - e_full
+        "integral-level downfold",
+        e_fold,
+        e_fold - e_full
+    );
+    println!(
+        "{:<28} {:>12.6} {:>12.6}",
+        "qubit-level Eq. 2 (order 2)",
+        e_eq2,
+        e_eq2 - e_full
     );
     println!(
         "\nfolded core energy: {:+.6} Ha; external MP2 fold: {:+.6} Ha; \
@@ -66,7 +78,11 @@ fn main() {
         report.core_energy, report.external_mp2_energy, report.external_singles_energy
     );
     println!("σ_ext terms       : {}", sigma.num_terms());
-    println!("H_eff terms       : {} (from {} full-space terms)", h_eq2.num_terms(), transformed.num_terms());
+    println!(
+        "H_eff terms       : {} (from {} full-space terms)",
+        h_eq2.num_terms(),
+        transformed.num_terms()
+    );
 
     let improvement = (e_bare - e_full).abs() / (e_fold - e_full).abs().max(1e-12);
     println!("\nintegral-level downfolding shrinks the truncation error {improvement:.1}x");

@@ -32,11 +32,13 @@ fn main() {
         let mol = h2_molecule(r).expect("geometry valid");
         let h = mol.to_qubit_hamiltonian().expect("JW");
         let fci = ground_energy_default(&h).expect("Lanczos");
-        let problem = VqeProblem { hamiltonian: h, ansatz: ansatz.clone() };
+        let problem = VqeProblem {
+            hamiltonian: h,
+            ansatz: ansatz.clone(),
+        };
         let mut backend = DirectBackend::new();
         let mut opt = NelderMead::for_vqe();
-        let result =
-            run_vqe(&problem, &mut backend, &mut opt, &warm, 4000).expect("VQE runs");
+        let result = run_vqe(&problem, &mut backend, &mut opt, &warm, 4000).expect("VQE runs");
         warm = result.params.clone(); // §6.2 warm start for the next geometry
         let err = result.energy - fci;
         worst_err = worst_err.max(err.abs());
@@ -52,5 +54,8 @@ fn main() {
     }
     println!("\nworst |VQE − FCI| across the curve: {worst_err:.2e} Ha");
     println!("RHF overbinds at dissociation; UCCSD-VQE follows FCI to two H atoms (−0.9332 Ha).");
-    assert!(worst_err < 1.6e-3, "VQE lost chemical accuracy somewhere on the curve");
+    assert!(
+        worst_err < 1.6e-3,
+        "VQE lost chemical accuracy somewhere on the curve"
+    );
 }

@@ -18,7 +18,11 @@ use nwq_opt::NelderMead;
 
 fn main() {
     let full = std::env::args().any(|a| a == "full");
-    let mol = if full { water_fig5() } else { water_model(4, 4) };
+    let mol = if full {
+        water_fig5()
+    } else {
+        water_model(4, 4)
+    };
     println!(
         "=== ADAPT-VQE on a downfolded water-like model ({} qubits) ===\n",
         mol.n_spin_orbitals()
@@ -32,9 +36,11 @@ fn main() {
     println!("E_exact          : {e_exact:+.6} Ha");
     println!("correlation      : {:+.6} Ha\n", e_exact - e_hf);
 
-    let pool = OperatorPool::singles_doubles(h.n_qubits(), mol.n_electrons())
-        .expect("pool builds");
-    println!("operator pool    : {} singles+doubles generators\n", pool.len());
+    let pool = OperatorPool::singles_doubles(h.n_qubits(), mol.n_electrons()).expect("pool builds");
+    println!(
+        "operator pool    : {} singles+doubles generators\n",
+        pool.len()
+    );
 
     let mut backend = DirectBackend::new();
     let mut optimizer = NelderMead::for_vqe();
@@ -55,9 +61,16 @@ fn main() {
     )
     .expect("ADAPT-VQE runs");
 
-    println!("{:>5} {:>18} {:>14} {:>12} {:>8}", "iter", "operator", "E [Ha]", "dE [Ha]", "gates");
+    println!(
+        "{:>5} {:>18} {:>14} {:>12} {:>8}",
+        "iter", "operator", "E [Ha]", "dE [Ha]", "gates"
+    );
     for (i, it) in result.iterations.iter().enumerate() {
-        let marker = if it.energy - e_exact <= 1e-3 { "  <- chemical accuracy" } else { "" };
+        let marker = if it.energy - e_exact <= 1e-3 {
+            "  <- chemical accuracy"
+        } else {
+            ""
+        };
         println!(
             "{:>5} {:>18} {:>14.8} {:>12.6} {:>8}{marker}",
             i + 1,
@@ -73,5 +86,8 @@ fn main() {
         result.energy - e_exact,
         result.params.len()
     );
-    assert!(result.energy >= e_exact - 1e-8, "variational bound violated");
+    assert!(
+        result.energy >= e_exact - 1e-8,
+        "variational bound violated"
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
     let ansatz = uccsd_ansatz(4, 2).expect("UCCSD");
 
     // Noiseless optimum as the reference point.
-    let problem = VqeProblem { hamiltonian: h.clone(), ansatz: ansatz.clone() };
+    let problem = VqeProblem {
+        hamiltonian: h.clone(),
+        ansatz: ansatz.clone(),
+    };
     let mut clean_backend = DirectBackend::new();
     let mut opt = NelderMead::for_vqe();
     let x0 = vec![0.0; ansatz.n_params()];
@@ -38,8 +41,8 @@ fn main() {
     println!("{:>10} {:>14} {:>10}", "p(1q)", "E [Ha]", "purity");
     let bound = ansatz.bind(&clean.params).expect("bind");
     for p in [0.0, 1e-4, 1e-3, 5e-3] {
-        let rho = run_noisy(&bound, &[], &NoiseModel::depolarizing(p, 10.0 * p))
-            .expect("noisy run");
+        let rho =
+            run_noisy(&bound, &[], &NoiseModel::depolarizing(p, 10.0 * p)).expect("noisy run");
         println!(
             "{:>10.0e} {:>14.6} {:>10.4}",
             p,
@@ -56,16 +59,22 @@ fn main() {
         .energy(&ansatz, &clean.params, &h)
         .expect("noisy energy");
     let mut opt = NelderMead::for_vqe();
-    let noisy = run_vqe(&problem, &mut noisy_backend, &mut opt, &clean.params, 800)
-        .expect("noisy VQE");
+    let noisy =
+        run_vqe(&problem, &mut noisy_backend, &mut opt, &clean.params, 800).expect("noisy VQE");
     println!("clean params under noise : {e_clean_params:+.6} Ha");
     println!("re-optimized under noise : {:+.6} Ha", noisy.energy);
     assert!(noisy.energy <= e_clean_params + 1e-9);
 
     println!("\n--- 3. gate fusion as an error-mitigation lever ---");
     let (fused, stats) = nwq_circuit::fusion::fuse(&bound).expect("fuse");
-    let e_unfused = run_noisy(&bound, &[], &noise).expect("run").energy(&h).unwrap();
-    let e_fused = run_noisy(&fused, &[], &noise).expect("run").energy(&h).unwrap();
+    let e_unfused = run_noisy(&bound, &[], &noise)
+        .expect("run")
+        .energy(&h)
+        .unwrap();
+    let e_fused = run_noisy(&fused, &[], &noise)
+        .expect("run")
+        .energy(&h)
+        .unwrap();
     println!(
         "unfused: {} gates -> E = {e_unfused:+.6} Ha\nfused  : {} gates -> E = {e_fused:+.6} Ha",
         stats.gates_before, stats.gates_after

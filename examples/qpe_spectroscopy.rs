@@ -21,9 +21,17 @@ fn main() {
     let h = mol.to_qubit_hamiltonian().expect("hamiltonian builds");
     let mut prep = nwq_circuit::Circuit::new(4);
     append_hf_state(&mut prep, 2).expect("HF prep");
-    println!("{:>9} {:>7} {:>12} {:>12} {:>8}", "ancillas", "steps", "E [Ha]", "resol.", "peak p");
+    println!(
+        "{:>9} {:>7} {:>12} {:>12} {:>8}",
+        "ancillas", "steps", "E [Ha]", "resol.", "peak p"
+    );
     for (ancillas, steps) in [(4usize, 8usize), (5, 12), (6, 16), (8, 32)] {
-        let cfg = QpeConfig { n_ancilla: ancillas, t: 1.5, trotter_steps: steps, ..Default::default() };
+        let cfg = QpeConfig {
+            n_ancilla: ancillas,
+            t: 1.5,
+            trotter_steps: steps,
+            ..Default::default()
+        };
         let out = run_qpe(&h, &prep, &cfg).expect("QPE runs");
         println!(
             "{:>9} {:>7} {:>12.5} {:>12.5} {:>8.3}",
@@ -34,7 +42,10 @@ fn main() {
             out.peak_probability
         );
     }
-    println!("reference: E_FCI = -1.13728 Ha, E_HF = {:.5} Ha", mol.hf_total_energy());
+    println!(
+        "reference: E_FCI = -1.13728 Ha, E_HF = {:.5} Ha",
+        mol.hf_total_energy()
+    );
 
     println!("\n=== QPE spectroscopy: superposed eigenstates of H = Z0 + 0.5 Z1 ===\n");
     // Eigenvalues: ±1 ± 0.5. Prepare |+⟩|+⟩ = equal superposition of all
@@ -42,7 +53,12 @@ fn main() {
     let h = PauliOp::parse("1.0 IZ + 0.5 ZI").unwrap();
     let mut prep = nwq_circuit::Circuit::new(2);
     prep.h(0).h(1);
-    let cfg = QpeConfig { n_ancilla: 5, t: std::f64::consts::PI / 2.0, trotter_steps: 1, ..Default::default() };
+    let cfg = QpeConfig {
+        n_ancilla: 5,
+        t: std::f64::consts::PI / 2.0,
+        trotter_steps: 1,
+        ..Default::default()
+    };
     let out = run_qpe(&h, &prep, &cfg).expect("QPE runs");
     println!("{:>6} {:>10} {:>12}", "bin", "p", "E [Ha]");
     for (bin, &p) in out.distribution.iter().enumerate() {
@@ -51,7 +67,11 @@ fn main() {
             let e_raw = -2.0 * std::f64::consts::PI * phase / cfg.t;
             // Unwrap into the symmetric window around 0.
             let window = 2.0 * std::f64::consts::PI / cfg.t;
-            let e = if e_raw < -window / 2.0 { e_raw + window } else { e_raw };
+            let e = if e_raw < -window / 2.0 {
+                e_raw + window
+            } else {
+                e_raw
+            };
             println!("{bin:>6} {p:>10.4} {e:>12.4}");
         }
     }

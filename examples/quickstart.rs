@@ -43,18 +43,26 @@ fn main() {
 
     // 4. VQE with the direct backend (post-ansatz caching + direct
     //    expectation values — the paper's fast path).
-    let problem = VqeProblem { hamiltonian: hamiltonian.clone(), ansatz };
+    let problem = VqeProblem {
+        hamiltonian: hamiltonian.clone(),
+        ansatz,
+    };
     let mut backend = DirectBackend::new();
     let mut optimizer = NelderMead::for_vqe();
     let x0 = vec![0.0; problem.ansatz.n_params()];
-    let result = run_vqe(&problem, &mut backend, &mut optimizer, &x0, 4000)
-        .expect("VQE runs");
+    let result = run_vqe(&problem, &mut backend, &mut optimizer, &x0, 4000).expect("VQE runs");
 
     // 5. Compare with the exact (Lanczos) ground energy.
     let exact = ground_energy_default(&hamiltonian).expect("Lanczos converges");
-    println!("E_VQE            : {:+.6} Ha ({} evaluations)", result.energy, result.evaluations);
+    println!(
+        "E_VQE            : {:+.6} Ha ({} evaluations)",
+        result.energy, result.evaluations
+    );
     println!("E_FCI (exact)    : {:+.6} Ha", exact);
-    println!("error            : {:+.3e} Ha (chemical accuracy: 1.6e-3)", result.energy - exact);
+    println!(
+        "error            : {:+.3e} Ha (chemical accuracy: 1.6e-3)",
+        result.energy - exact
+    );
     println!(
         "correlation      : {:+.6} Ha recovered below HF",
         result.energy - mol.hf_total_energy()
@@ -65,6 +73,9 @@ fn main() {
         backend.stats().ansatz_runs,
         backend.stats().gates_applied
     );
-    assert!((result.energy - exact).abs() < 1.6e-3, "missed chemical accuracy");
+    assert!(
+        (result.energy - exact).abs() < 1.6e-3,
+        "missed chemical accuracy"
+    );
     println!("\nOK: VQE reached chemical accuracy against FCI.");
 }

@@ -14,8 +14,7 @@ use nwq_opt::NelderMead;
 fn adapt_reaches_chemical_accuracy_on_8_qubit_water_model() {
     let mol = water_model(4, 4);
     let h = mol.to_qubit_hamiltonian().expect("hamiltonian builds");
-    let e_exact =
-        ground_energy_sector_default(&h, Sector::closed_shell(4)).expect("Lanczos");
+    let e_exact = ground_energy_sector_default(&h, Sector::closed_shell(4)).expect("Lanczos");
     let e_hf = mol.hf_total_energy();
     assert!(e_exact < e_hf, "model must have correlation energy");
 
@@ -33,7 +32,12 @@ fn adapt_reaches_chemical_accuracy_on_8_qubit_water_model() {
 
     // Fig 5's qualitative claims at this scale:
     // (1) chemical accuracy is reached,
-    assert_eq!(r.stop_reason, StopReason::ReachedAccuracy, "dE = {}", r.energy - e_exact);
+    assert_eq!(
+        r.stop_reason,
+        StopReason::ReachedAccuracy,
+        "dE = {}",
+        r.energy - e_exact
+    );
     assert!(r.energy - e_exact <= 1e-3);
     // (2) energy decreases monotonically with iteration,
     let mut prev = f64::INFINITY;
@@ -60,14 +64,13 @@ fn adapt_workflow_downfolds_then_converges() {
         target_energy: None,
         accuracy: 1e-3,
     };
-    let (h, r, report) = run_adapt_workflow(&mol, 0, 4, &mut backend, &config)
-        .expect("workflow runs");
+    let (h, r, report) =
+        run_adapt_workflow(&mol, 0, 4, &mut backend, &config).expect("workflow runs");
     assert_eq!(h.n_qubits(), 8);
     assert_eq!(report.discarded_virtuals, 1);
     assert!(report.external_mp2_energy < 0.0);
     // The ADAPT energy must sit between exact and HF of the active space.
-    let e_exact =
-        ground_energy_sector_default(&h, Sector::closed_shell(4)).expect("Lanczos");
+    let e_exact = ground_energy_sector_default(&h, Sector::closed_shell(4)).expect("Lanczos");
     assert!(r.energy >= e_exact - 1e-8);
     assert!(!r.iterations.is_empty());
     let first = r.iterations.first().unwrap().energy;
@@ -92,7 +95,11 @@ fn adapt_gradient_screening_prefers_strong_operators() {
         .0;
     let mut backend = DirectBackend::new();
     let mut opt = NelderMead::for_vqe();
-    let config = AdaptConfig { max_iterations: 1, inner_max_evals: 400, ..Default::default() };
+    let config = AdaptConfig {
+        max_iterations: 1,
+        inner_max_evals: 400,
+        ..Default::default()
+    };
     let r = run_adapt_vqe(&h, &pool, 4, &mut backend, &mut opt, &config).expect("ADAPT");
     assert_eq!(r.iterations[0].operator, pool.ops[best_by_grad].name);
 }

@@ -16,10 +16,18 @@ fn hea_vqe_solves_toy_hamiltonian() {
     let h = nwq_pauli::PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap();
     let exact = ground_energy_default(&h).unwrap();
     let ansatz = hardware_efficient_ansatz(2, 2).unwrap();
-    let problem = VqeProblem { hamiltonian: h, ansatz };
+    let problem = VqeProblem {
+        hamiltonian: h,
+        ansatz,
+    };
     let mut backend = DirectBackend::new();
-    let mut opt = NelderMead { initial_step: 0.4, ..Default::default() };
-    let x0: Vec<f64> = (0..problem.ansatz.n_params()).map(|k| 0.3 + 0.1 * k as f64).collect();
+    let mut opt = NelderMead {
+        initial_step: 0.4,
+        ..Default::default()
+    };
+    let x0: Vec<f64> = (0..problem.ansatz.n_params())
+        .map(|k| 0.3 + 0.1 * k as f64)
+        .collect();
     let r = run_vqe(&problem, &mut backend, &mut opt, &x0, 6000).unwrap();
     assert!((r.energy - exact).abs() < 1e-4, "{} vs {exact}", r.energy);
 }
@@ -31,7 +39,12 @@ fn hea_is_shallower_but_less_structured_than_uccsd() {
     // structure.
     let uccsd = uccsd_ansatz(4, 2).unwrap();
     let hea = hardware_efficient_ansatz(4, 2).unwrap();
-    assert!(hea.len() < uccsd.len() / 3, "HEA {} vs UCCSD {}", hea.len(), uccsd.len());
+    assert!(
+        hea.len() < uccsd.len() / 3,
+        "HEA {} vs UCCSD {}",
+        hea.len(),
+        uccsd.len()
+    );
     assert!(hea.depth() < uccsd.depth());
 }
 
@@ -64,7 +77,11 @@ fn hea_vqe_on_h2_beats_hartree_fock() {
         .unwrap()
         .energy(&h)
         .unwrap();
-    assert!(e < mol.hf_total_energy() - 1e-3, "{e} vs HF {}", mol.hf_total_energy());
+    assert!(
+        e < mol.hf_total_energy() - 1e-3,
+        "{e} vs HF {}",
+        mol.hf_total_energy()
+    );
     assert!(e >= exact - 1e-9, "variational bound violated");
 }
 
@@ -98,15 +115,23 @@ fn batched_gradient_descent_matches_nelder_mead_optimum() {
         .unwrap()
         .energy(&h)
         .unwrap();
-    assert!((e - exact).abs() < 1.6e-3, "batched-gradient VQE {e} vs {exact}");
+    assert!(
+        (e - exact).abs() < 1.6e-3,
+        "batched-gradient VQE {e} vs {exact}"
+    );
 
     // Cross-check against the derivative-free optimum.
-    let problem = VqeProblem { hamiltonian: h, ansatz };
+    let problem = VqeProblem {
+        hamiltonian: h,
+        ansatz,
+    };
     let mut backend = DirectBackend::new();
     let mut nm = NelderMead::for_vqe();
     let x0 = vec![0.0; problem.ansatz.n_params()];
     let mut objective = |x: &[f64]| {
-        backend.energy(&problem.ansatz, x, &problem.hamiltonian).unwrap()
+        backend
+            .energy(&problem.ansatz, x, &problem.hamiltonian)
+            .unwrap()
     };
     let nm_result = nm.minimize(&mut objective, &x0, 4000);
     assert!((e - nm_result.value).abs() < 2e-3);

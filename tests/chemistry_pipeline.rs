@@ -39,7 +39,11 @@ fn hamiltonian_commutes_with_particle_number() {
 
 #[test]
 fn hf_expectation_matches_rhf_formula_on_models() {
-    for mol in [water_model(4, 4), water_model(5, 6), hydrogen_chain(4, -1.0, 2.0)] {
+    for mol in [
+        water_model(4, 4),
+        water_model(5, 6),
+        hydrogen_chain(4, -1.0, 2.0),
+    ] {
         let h = mol.to_qubit_hamiltonian().expect("JW");
         let mut psi = vec![nwq_common::C_ZERO; 1 << h.n_qubits()];
         psi[mol.hf_determinant() as usize] = nwq_common::C_ONE;
@@ -107,8 +111,7 @@ fn excitation_counts_match_closed_form() {
         assert_eq!(singles, 2 * o * v, "o={o} v={v}");
         let same_spin_pairs = o * (o - 1) / 2;
         let same_spin_virt = v * (v - 1) / 2;
-        let doubles_expected =
-            2 * same_spin_pairs * same_spin_virt + (o * o) * (v * v);
+        let doubles_expected = 2 * same_spin_pairs * same_spin_virt + (o * o) * (v * v);
         let doubles = excs.len() - singles;
         assert_eq!(doubles, doubles_expected, "o={o} v={v}");
     }

@@ -10,7 +10,10 @@ use nwq_statevec::simulate;
 
 #[test]
 fn uccsd_ansatz_bit_exact_across_rank_counts() {
-    let ansatz = uccsd_ansatz(6, 2).expect("UCCSD").bind(&vec![0.13; 8]).expect("bind");
+    let ansatz = uccsd_ansatz(6, 2)
+        .expect("UCCSD")
+        .bind(&[0.13; 8])
+        .expect("bind");
     let single = simulate(&ansatz, &[]).expect("single-node");
     for n_ranks in [1usize, 2, 4, 8] {
         let (gathered, _) = run_and_gather(&ansatz, &[], n_ranks).expect("distributed");
@@ -27,7 +30,10 @@ fn energies_match_across_engines() {
     let ansatz = uccsd_ansatz(4, 2).expect("UCCSD");
     let theta = [0.06, -0.03, -0.2];
     let bound = ansatz.bind(&theta).expect("bind");
-    let e_single = simulate(&bound, &[]).expect("run").energy(&h).expect("energy");
+    let e_single = simulate(&bound, &[])
+        .expect("run")
+        .energy(&h)
+        .expect("energy");
     let (gathered, _) = run_and_gather(&bound, &[], 2).expect("distributed");
     let e_dist = gathered.energy(&h).expect("energy");
     assert!((e_single - e_dist).abs() < 1e-12);
@@ -49,7 +55,10 @@ fn qft_stresses_global_qubits() {
 
 #[test]
 fn planner_matches_execution_on_chemistry_circuits() {
-    let ansatz = uccsd_ansatz(6, 2).expect("UCCSD").bind(&vec![0.1; 8]).expect("bind");
+    let ansatz = uccsd_ansatz(6, 2)
+        .expect("UCCSD")
+        .bind(&[0.1; 8])
+        .expect("bind");
     for n_ranks in [2usize, 4] {
         let (_, executed) = run_and_gather(&ansatz, &[], n_ranks).expect("distributed");
         let planned = plan_communication(&ansatz, n_ranks);
@@ -59,7 +68,10 @@ fn planner_matches_execution_on_chemistry_circuits() {
 
 #[test]
 fn cost_model_shows_compute_scaling() {
-    let ansatz = uccsd_ansatz(6, 2).expect("UCCSD").bind(&vec![0.1; 8]).expect("bind");
+    let ansatz = uccsd_ansatz(6, 2)
+        .expect("UCCSD")
+        .bind(&[0.1; 8])
+        .expect("bind");
     let model = CostModel::perlmutter_like();
     let t1 = model.compute_time_s(ansatz.len() as u64, 6, 1);
     let t4 = model.compute_time_s(ansatz.len() as u64, 6, 4);

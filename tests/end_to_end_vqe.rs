@@ -15,7 +15,10 @@ fn h2_problem() -> (VqeProblem, f64, f64) {
     let mol = h2_sto3g();
     let h = mol.to_qubit_hamiltonian().expect("JW");
     let exact = ground_energy_default(&h).expect("Lanczos");
-    let problem = VqeProblem { hamiltonian: h, ansatz: uccsd_ansatz(4, 2).expect("UCCSD") };
+    let problem = VqeProblem {
+        hamiltonian: h,
+        ansatz: uccsd_ansatz(4, 2).expect("UCCSD"),
+    };
     (problem, exact, mol.hf_total_energy())
 }
 
@@ -62,7 +65,12 @@ fn all_exact_backends_agree_along_the_optimization_path() {
 #[test]
 fn workflow_and_manual_pipeline_agree() {
     let mol = h2_sto3g();
-    let cfg = WorkflowConfig { n_frozen: 0, n_active: 2, max_evals: 4000, compute_exact: true };
+    let cfg = WorkflowConfig {
+        n_frozen: 0,
+        n_active: 2,
+        max_evals: 4000,
+        compute_exact: true,
+    };
     let wf = run_vqe_workflow(&mol, &cfg).expect("workflow");
     let (problem, exact, _) = h2_problem();
     let mut backend = DirectBackend::new();
@@ -114,7 +122,10 @@ fn vqe_on_parsed_textbook_hamiltonian() {
         .cx(0, 1)
         .ry(1, nwq_circuit::ParamExpr::var(1));
     let exact = ground_energy_default(&h).expect("Lanczos");
-    let problem = VqeProblem { hamiltonian: h, ansatz };
+    let problem = VqeProblem {
+        hamiltonian: h,
+        ansatz,
+    };
     let mut backend = DirectBackend::new();
     let mut opt = NelderMead::default();
     let r = run_vqe(&problem, &mut backend, &mut opt, &[1.0, 2.5], 2500).expect("VQE");

@@ -16,7 +16,12 @@ fn qpe_exact_on_commuting_chemistry_like_hamiltonian() {
     let h = PauliOp::parse("0.5 ZII + 0.25 IZI + 0.125 IIZ").expect("parses");
     let mut prep = nwq_circuit::Circuit::new(3);
     prep.x(0).x(2); // |101⟩: E = −0.5 + 0.25 − 0.125 = −0.375
-    let cfg = QpeConfig { n_ancilla: 6, t: PI, trotter_steps: 1, ..Default::default() };
+    let cfg = QpeConfig {
+        n_ancilla: 6,
+        t: PI,
+        trotter_steps: 1,
+        ..Default::default()
+    };
     let out = run_qpe(&h, &prep, &cfg).expect("QPE");
     let e = out.energy_near(-0.4);
     assert!((e + 0.375).abs() <= out.resolution() / 2.0 + 1e-12, "E {e}");
@@ -30,10 +35,28 @@ fn qpe_h2_improves_with_resolution() {
     let mut prep = nwq_circuit::Circuit::new(4);
     append_hf_state(&mut prep, 2).expect("prep");
     let fci = ground_energy_default(&h).expect("Lanczos");
-    let coarse = run_qpe(&h, &prep, &QpeConfig { n_ancilla: 4, t: 1.5, trotter_steps: 6, ..Default::default() })
-        .expect("QPE");
-    let fine = run_qpe(&h, &prep, &QpeConfig { n_ancilla: 6, t: 1.5, trotter_steps: 12, ..Default::default() })
-        .expect("QPE");
+    let coarse = run_qpe(
+        &h,
+        &prep,
+        &QpeConfig {
+            n_ancilla: 4,
+            t: 1.5,
+            trotter_steps: 6,
+            ..Default::default()
+        },
+    )
+    .expect("QPE");
+    let fine = run_qpe(
+        &h,
+        &prep,
+        &QpeConfig {
+            n_ancilla: 6,
+            t: 1.5,
+            trotter_steps: 12,
+            ..Default::default()
+        },
+    )
+    .expect("QPE");
     let err_coarse = (coarse.energy_near(fci) - fci).abs();
     let err_fine = (fine.energy_near(fci) - fci).abs();
     assert!(err_fine <= err_coarse + 1e-9, "{err_fine} !<= {err_coarse}");
@@ -53,16 +76,22 @@ fn qpe_from_vqe_state_sharpens_peak() {
 
     // Short VQE to get good parameters.
     let ansatz = uccsd_ansatz(4, 2).expect("UCCSD");
-    let problem =
-        nwq_core::vqe::VqeProblem { hamiltonian: h.clone(), ansatz: ansatz.clone() };
+    let problem = nwq_core::vqe::VqeProblem {
+        hamiltonian: h.clone(),
+        ansatz: ansatz.clone(),
+    };
     let mut backend = nwq_core::backend::DirectBackend::new();
     let mut opt = nwq_opt::NelderMead::for_vqe();
     let x0 = vec![0.0; ansatz.n_params()];
-    let vqe = nwq_core::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, 2500)
-        .expect("VQE");
+    let vqe = nwq_core::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, 2500).expect("VQE");
     let vqe_prep = ansatz.bind(&vqe.params).expect("bind");
 
-    let cfg = QpeConfig { n_ancilla: 5, t: 1.5, trotter_steps: 10, ..Default::default() };
+    let cfg = QpeConfig {
+        n_ancilla: 5,
+        t: 1.5,
+        trotter_steps: 10,
+        ..Default::default()
+    };
     let from_hf = run_qpe(&h, &hf_prep, &cfg).expect("QPE");
     let from_vqe = run_qpe(&h, &vqe_prep, &cfg).expect("QPE");
     assert!(
@@ -72,7 +101,11 @@ fn qpe_from_vqe_state_sharpens_peak() {
         from_hf.peak_probability
     );
     let e = from_vqe.energy_near(fci);
-    assert!((e - fci).abs() < 0.15, "QPE-from-VQE error {}", (e - fci).abs());
+    assert!(
+        (e - fci).abs() < 0.15,
+        "QPE-from-VQE error {}",
+        (e - fci).abs()
+    );
 }
 
 #[test]
@@ -80,8 +113,17 @@ fn qpe_distribution_normalized() {
     let h = PauliOp::parse("1.0 Z").expect("parses");
     let mut prep = nwq_circuit::Circuit::new(1);
     prep.h(0);
-    let out = run_qpe(&h, &prep, &QpeConfig { n_ancilla: 4, t: 1.0, trotter_steps: 2, ..Default::default() })
-        .expect("QPE");
+    let out = run_qpe(
+        &h,
+        &prep,
+        &QpeConfig {
+            n_ancilla: 4,
+            t: 1.0,
+            trotter_steps: 2,
+            ..Default::default()
+        },
+    )
+    .expect("QPE");
     let total: f64 = out.distribution.iter().sum();
     assert!((total - 1.0).abs() < 1e-9);
     assert!(out.phase >= 0.0 && out.phase < 1.0);

@@ -22,7 +22,11 @@ fn fusion_preserves_uccsd_states_and_energies() {
     for theta in [[0.0, 0.0, 0.0], [0.07, -0.04, -0.21], [0.3, 0.2, 0.1]] {
         let bound = ansatz.bind(&theta).expect("bind");
         let (fused, stats) = fuse(&bound).expect("fuse");
-        assert!(stats.reduction() > 0.5, "fusion under 50% on UCCSD: {:?}", stats);
+        assert!(
+            stats.reduction() > 0.5,
+            "fusion under 50% on UCCSD: {:?}",
+            stats
+        );
         let plain = simulate(&bound, &[]).expect("plain run");
         let optimized = simulate(&fused, &[]).expect("fused run");
         assert!((fidelity(&plain, &optimized) - 1.0).abs() < 1e-9);
@@ -34,7 +38,10 @@ fn fusion_preserves_uccsd_states_and_energies() {
 
 #[test]
 fn cancellation_then_fusion_compose() {
-    let ansatz = uccsd_ansatz(6, 2).expect("UCCSD").bind(&vec![0.11; 8]).expect("bind");
+    let ansatz = uccsd_ansatz(6, 2)
+        .expect("UCCSD")
+        .bind(&[0.11; 8])
+        .expect("bind");
     let cleaned = cancel_and_merge(&ansatz).expect("cancel");
     let (fused, _) = fuse(&cleaned).expect("fuse");
     assert!(fused.len() <= cleaned.len());

@@ -1,0 +1,522 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! This workspace builds in containers with no network access and no cargo
+//! registry cache, so external crates are replaced by minimal local
+//! implementations of exactly the API surface the workspace uses:
+//! the [`proptest!`] / [`prop_compose!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_filter`, range and tuple strategies,
+//! [`collection::vec`], and [`bool::ANY`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - cases are generated from a deterministic per-test RNG (FNV-1a hash of
+//!   the test name XOR the case index), so failures are reproducible by
+//!   rerunning the same test, but there is no persistence file;
+//! - **no shrinking** — a failing case reports the generated inputs as-is.
+
+/// Test-case failure carrier plus the run configuration.
+pub mod test_runner {
+    /// Error returned (via `prop_assert!`) from a property body.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed property with an explanatory message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        /// The failure message.
+        pub fn message(&self) -> &str {
+            &self.message
+        }
+    }
+
+    /// Run configuration for a [`crate::proptest!`] block.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator driving value generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name and case index (reproducible).
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64) << 32) ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 raw bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform u64 in [0, bound).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// `generate` returns `None` when a `prop_filter` rejects the draw; the
+    /// test runner retries (bounded) on rejection.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value, or `None` on filter rejection.
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: std::fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`.
+        fn prop_filter<F>(self, _reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred }
+        }
+    }
+
+    /// Draws from a strategy, retrying bounded times on filter rejection.
+    pub fn generate_retrying<S: Strategy>(s: &S, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            if let Some(v) = s.generate(rng) {
+                return v;
+            }
+        }
+        panic!("proptest shim: strategy rejected 1000 consecutive draws (filter too strict)");
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: std::fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Strategy built from a generation closure (used by `prop_compose!`).
+    pub struct FnStrategy<F> {
+        f: F,
+    }
+
+    impl<F> FnStrategy<F> {
+        /// Wraps `f` as a strategy.
+        pub fn new(f: F) -> Self {
+            FnStrategy { f }
+        }
+    }
+
+    impl<T, F> Strategy for FnStrategy<F>
+    where
+        T: std::fmt::Debug,
+        F: Fn(&mut TestRng) -> Option<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            (self.f)(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    Some(self.start + rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e - s) as u64 + 1;
+                    Some(s + rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+            assert!(self.start < self.end, "empty range strategy");
+            Some(self.start + (rng.unit_f64() as f32) * (self.end - self.start))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($s,)+) = self;
+                    Some(($($s.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Lengths accepted by [`vec`]: a fixed size or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                return self.start;
+            }
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.pick_len(rng);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                // One element rejection rejects the whole draw; the runner
+                // retries, matching filter semantics closely enough.
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `bool` strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, proptest};
+}
+
+/// Fails the surrounding property when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let mut case_desc = ::std::string::String::new();
+                    $(
+                        let value =
+                            $crate::strategy::generate_retrying(&($strat), &mut rng);
+                        case_desc.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($arg),
+                            &value
+                        ));
+                        let $arg = value;
+                    )*
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}\ninputs:\n{}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e.message(),
+                            case_desc
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Composes strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($outer:ident : $oty:ty),* $(,)? )
+        ( $($arg:pat in $strat:expr),* $(,)? ) -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name(
+            $($outer: $oty),*
+        ) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |rng: &mut $crate::test_runner::TestRng| {
+                    $( let $arg = ($strat).generate(rng)?; )*
+                    ::std::option::Option::Some($body)
+                },
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair(limit: u64)(a in 0u64..limit, b in 0u64..limit) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.0..2.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0u8..4, 0usize..10).prop_map(|(a, b)| a as usize + b)) {
+            prop_assert!(p < 13);
+        }
+
+        #[test]
+        fn filters_apply(v in (0u64..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..5, 2usize..6), b in crate::bool::ANY) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            let _ = b;
+        }
+
+        #[test]
+        fn composed(pair in arb_pair(9)) {
+            prop_assert!(pair.0 < 9 && pair.1 < 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{generate_retrying, Strategy};
+        let s = (0u64..1000).prop_map(|x| x * 2);
+        let mut r1 = crate::test_runner::TestRng::for_case("det", 7);
+        let mut r2 = crate::test_runner::TestRng::for_case("det", 7);
+        assert_eq!(
+            generate_retrying(&s, &mut r1),
+            generate_retrying(&s, &mut r2)
+        );
+    }
+}

@@ -1,0 +1,611 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! This workspace builds in containers with no network access and no cargo
+//! registry cache, so external crates are replaced by minimal local
+//! implementations of exactly the API surface the workspace uses. This shim
+//! provides data-parallel slice/range iterators (`par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`, `into_par_iter` with `map`/`enumerate`/`zip` adapters
+//! and `for_each`/`sum`/`reduce`/`fold`/`collect` terminals) executed on a
+//! persistent global thread pool (see [`pool`]).
+//!
+//! Splits are deterministic: a source of length `L` is cut into at most
+//! `num_threads` contiguous parts whose sizes differ by at most one, so
+//! parallel results are bitwise identical to serial execution for the
+//! orderings the workspace relies on (`for_each` over disjoint chunks,
+//! ordered `collect`).
+
+mod pool;
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Number of threads the global pool can run concurrently (including the
+/// caller). Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    pool::default_pieces()
+}
+
+/// Everything needed to call the parallel-iterator methods.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Evenly distributes `len` items over at most `pieces` non-empty parts.
+fn part_sizes(len: usize, pieces: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let base = len / pieces;
+    let rem = len % pieces;
+    (0..pieces).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// A parallel iterator: splittable into ordered, independently consumable
+/// sequential parts. `parts` returns `(start_item_index, iterator)` pairs
+/// covering the items in order; the index feeds `enumerate`.
+pub trait ParallelIterator: Sized {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// One contiguous sequential part of the iteration.
+    type Part: Iterator<Item = Self::Item> + Send;
+
+    /// Splits into at most `pieces` ordered parts with their start indices.
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)>;
+
+    /// Maps each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Iterates two equal-length parallel iterators in lockstep.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let parts = self.parts(pool::default_pieces());
+        let f = &f;
+        pool::run_scoped(
+            parts
+                .into_iter()
+                .map(|(_, p)| {
+                    move || {
+                        for x in p {
+                            f(x);
+                        }
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let parts = self.parts(pool::default_pieces());
+        let partials: Vec<S> = pool::run_scoped(
+            parts
+                .into_iter()
+                .map(|(_, p)| move || p.sum::<S>())
+                .collect(),
+        );
+        partials.into_iter().sum()
+    }
+
+    /// Reduces all items with `op`, seeding each part with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let parts = self.parts(pool::default_pieces());
+        let id = &identity;
+        let op_ref = &op;
+        let partials: Vec<Self::Item> = pool::run_scoped(
+            parts
+                .into_iter()
+                .map(|(_, p)| move || p.fold(id(), op_ref))
+                .collect(),
+        );
+        partials.into_iter().fold(identity(), op)
+    }
+
+    /// Folds each part into an accumulator; combine the per-part
+    /// accumulators with [`Fold::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, Self::Item) -> T + Send + Sync,
+    {
+        Fold {
+            inner: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Collects all items, in order, into `C`.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let parts = self.parts(pool::default_pieces());
+        let chunks: Vec<Vec<Self::Item>> = pool::run_scoped(
+            parts
+                .into_iter()
+                .map(|(_, p)| move || p.collect::<Vec<_>>())
+                .collect(),
+        );
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        C::from_par_vec(out)
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        self.map(|_| 1usize).sum()
+    }
+}
+
+/// Conversion from an ordered `Vec` of parallel-iterator items.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds `Self` from the ordered items.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Types convertible into a [`ParallelIterator`] by value.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = IntoParRange;
+    fn into_par_iter(self) -> IntoParRange {
+        IntoParRange { range: self }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Iter = IntoParRangeU64;
+    fn into_par_iter(self) -> IntoParRangeU64 {
+        IntoParRangeU64 { range: self }
+    }
+}
+
+/// Shared-reference parallel access to slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Mutable parallel access to slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel iterator over `&T` of a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Part = std::slice::Iter<'a, T>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let mut rest = self.slice;
+        let mut off = 0;
+        let mut out = Vec::new();
+        for size in part_sizes(rest.len(), pieces) {
+            let (head, tail) = rest.split_at(size);
+            out.push((off, head.iter()));
+            off += size;
+            rest = tail;
+        }
+        out
+    }
+}
+
+/// Parallel iterator over `&mut T` of a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Part = std::slice::IterMut<'a, T>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let mut rest = self.slice;
+        let mut off = 0;
+        let mut out = Vec::new();
+        for size in part_sizes(rest.len(), pieces) {
+            let (head, tail) = rest.split_at_mut(size);
+            out.push((off, head.iter_mut()));
+            off += size;
+            rest = tail;
+        }
+        out
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Part = std::slice::ChunksMut<'a, T>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let nchunks = self.slice.len().div_ceil(self.size);
+        let mut rest = self.slice;
+        let mut chunk_off = 0;
+        let mut out = Vec::new();
+        for chunks in part_sizes(nchunks, pieces) {
+            let elems = (chunks * self.size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            out.push((chunk_off, head.chunks_mut(self.size)));
+            chunk_off += chunks;
+            rest = tail;
+        }
+        out
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct IntoParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for IntoParRange {
+    type Item = usize;
+    type Part = Range<usize>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let len = self.range.end.saturating_sub(self.range.start);
+        let mut start = self.range.start;
+        let mut out = Vec::new();
+        for size in part_sizes(len, pieces) {
+            out.push((start - self.range.start, start..start + size));
+            start += size;
+        }
+        out
+    }
+}
+
+/// Parallel iterator over a `Range<u64>`.
+pub struct IntoParRangeU64 {
+    range: Range<u64>,
+}
+
+impl ParallelIterator for IntoParRangeU64 {
+    type Item = u64;
+    type Part = Range<u64>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let len = usize::try_from(self.range.end.saturating_sub(self.range.start))
+            .expect("range too large to split");
+        let mut start = self.range.start;
+        let mut out = Vec::new();
+        for size in part_sizes(len, pieces) {
+            out.push((
+                (start - self.range.start) as usize,
+                start..start + size as u64,
+            ));
+            start += size as u64;
+        }
+        out
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+/// Sequential part of a [`Map`].
+pub struct MapPart<P, F> {
+    inner: P,
+    f: Arc<F>,
+}
+
+impl<P, U, F> Iterator for MapPart<P, F>
+where
+    P: Iterator,
+    F: Fn(P::Item) -> U,
+{
+    type Item = U;
+    fn next(&mut self) -> Option<U> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    type Part = MapPart<I::Part, F>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let f = Arc::new(self.f);
+        self.inner
+            .parts(pieces)
+            .into_iter()
+            .map(|(off, p)| {
+                (
+                    off,
+                    MapPart {
+                        inner: p,
+                        f: Arc::clone(&f),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+/// Sequential part of an [`Enumerate`].
+pub struct EnumeratePart<P> {
+    next: usize,
+    inner: P,
+}
+
+impl<P: Iterator> Iterator for EnumeratePart<P> {
+    type Item = (usize, P::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Part = EnumeratePart<I::Part>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        self.inner
+            .parts(pieces)
+            .into_iter()
+            .map(|(off, p)| {
+                (
+                    off,
+                    EnumeratePart {
+                        next: off,
+                        inner: p,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Part = std::iter::Zip<A::Part, B::Part>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let pa = self.a.parts(pieces);
+        let pb = self.b.parts(pieces);
+        // Sources of equal length split identically (part_sizes is a pure
+        // function of length and pieces), keeping lockstep pairing exact.
+        debug_assert_eq!(pa.len(), pb.len(), "zip of unequal-length sources");
+        pa.into_iter()
+            .zip(pb)
+            .map(|((off, a), (_, b))| (off, a.zip(b)))
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::fold`]; consumed by [`Fold::reduce`].
+pub struct Fold<I, ID, F> {
+    inner: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<T, I, ID, F> Fold<I, ID, F>
+where
+    T: Send,
+    I: ParallelIterator,
+    ID: Fn() -> T + Send + Sync,
+    F: Fn(T, I::Item) -> T + Send + Sync,
+{
+    /// Combines the per-part fold accumulators with `op`.
+    pub fn reduce<ID2, OP>(self, identity2: ID2, op: OP) -> T
+    where
+        ID2: Fn() -> T + Send + Sync,
+        OP: Fn(T, T) -> T + Send + Sync,
+    {
+        let parts = self.inner.parts(pool::default_pieces());
+        let id = &self.identity;
+        let f = &self.fold_op;
+        let partials: Vec<T> = pool::run_scoped(
+            parts
+                .into_iter()
+                .map(|(_, p)| move || p.fold(id(), f))
+                .collect(),
+        );
+        partials.into_iter().fold(identity2(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        let mut v: Vec<u64> = vec![0; 10_000];
+        v.par_iter_mut().for_each(|x| *x += 3);
+        assert!(v.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_and_complete() {
+        let mut v: Vec<usize> = (0..1023).collect();
+        v.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn enumerate_offsets_are_global() {
+        let v: Vec<u32> = (0..4097).collect();
+        let got: Vec<(usize, u32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(got.len(), v.len());
+        assert!(got.iter().all(|&(i, x)| i as u32 == x));
+    }
+
+    #[test]
+    fn chunk_enumerate_counts_chunks() {
+        let mut v = vec![0u8; 300];
+        let idx: Vec<usize> = v.par_chunks_mut(64).enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.5).collect();
+        let par: f64 = v.par_iter().map(|&x| x).sum();
+        let ser: f64 = v.iter().sum();
+        // Different association order; equal for this data, close in general.
+        assert!((par - ser).abs() < 1e-6 * ser.abs());
+    }
+
+    #[test]
+    fn reduce_and_fold() {
+        let r: usize = (0..1000usize).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 499_500);
+        let folded: Vec<f64> = (0..1024usize)
+            .into_par_iter()
+            .map(|i| (i % 4, 1.0f64))
+            .fold(
+                || vec![0.0; 4],
+                |mut acc, (k, w)| {
+                    acc[k] += w;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0.0; 4],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(folded, vec![256.0; 4]);
+    }
+
+    #[test]
+    fn collect_result_ok_and_err() {
+        let ok: Result<Vec<usize>, String> = (0..100usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), (0..100).collect::<Vec<_>>());
+        let err: Result<Vec<usize>, String> = (0..100usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 57 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "bad 57");
+    }
+
+    #[test]
+    fn zip_lockstep() {
+        let mut lo = vec![1.0f64; 5000];
+        let hi = vec![2.0f64; 5000];
+        lo.par_iter_mut()
+            .zip(hi.par_iter())
+            .for_each(|(a, &b)| *a += b);
+        assert!(lo.iter().all(|&x| x == 3.0));
+    }
+}

@@ -1,0 +1,267 @@
+//! A minimal persistent thread pool with scoped job execution.
+//!
+//! Replaces rayon's work-stealing runtime with the simplest structure that
+//! keeps the workspace's usage patterns fast and deadlock-free:
+//!
+//! - a global FIFO of type-erased jobs served by `N − 1` long-lived workers;
+//! - [`run_scoped`] submits a batch of borrowing closures, runs the first
+//!   one inline, and **helps drain the global queue while waiting** for the
+//!   rest — so nested parallel calls (a parallel batch whose entries use
+//!   parallel kernels) can never deadlock: a blocked waiter always makes
+//!   progress on whatever job is queued.
+//!
+//! Scoped lifetimes are erased with a `transmute` to `'static`, exactly the
+//! pre-`std::thread::scope` crossbeam pattern; soundness rests on
+//! [`run_scoped`] never returning (or unwinding) before every submitted job
+//! has completed, which the latch enforces on all paths.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Task>>,
+    work_available: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let workers = threads.saturating_sub(1);
+            let pool = Pool {
+                queue: Mutex::new(VecDeque::new()),
+                work_available: Condvar::new(),
+                workers,
+            };
+            for i in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("nwq-par-{i}"))
+                    .spawn(worker_loop)
+                    .expect("spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    fn submit(&self, task: Task) {
+        self.queue.lock().unwrap().push_back(task);
+        self.work_available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+fn worker_loop() {
+    let pool = Pool::global();
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = pool.work_available.wait(q).unwrap();
+            }
+        };
+        // Tasks are wrapped in catch_unwind by run_scoped; the extra guard
+        // keeps a worker alive even if an unwrapped task slips through.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+    }
+}
+
+/// Number of useful parallel parts for a split (callers may produce fewer).
+pub(crate) fn default_pieces() -> usize {
+    Pool::global().workers + 1
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Latch {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut s = self.state.lock().unwrap();
+        s.remaining -= 1;
+        if let Some(p) = panic {
+            s.panic.get_or_insert(p);
+        }
+        if s.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until all jobs complete, running queued tasks while waiting.
+    fn wait_helping(&self, pool: &Pool) {
+        loop {
+            if self.state.lock().unwrap().remaining == 0 {
+                return;
+            }
+            if let Some(task) = pool.try_pop() {
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                continue;
+            }
+            let s = self.state.lock().unwrap();
+            if s.remaining == 0 {
+                return;
+            }
+            // Short timeout bounds the race between try_pop and this wait.
+            let _ = self
+                .done
+                .wait_timeout(s, Duration::from_micros(200))
+                .unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().unwrap().panic.take()
+    }
+}
+
+/// Erases a scoped job's borrow lifetime so it can sit in the global queue.
+///
+/// # Safety
+/// The caller must not return or unwind before the job has completed.
+unsafe fn erase<'env>(f: Box<dyn FnOnce() + Send + 'env>) -> Task {
+    std::mem::transmute(f)
+}
+
+/// Runs `jobs` to completion, possibly in parallel, returning their results
+/// in input order. Job 0 runs inline on the calling thread; panics from any
+/// job are propagated after all jobs have finished.
+pub(crate) fn run_scoped<R, F>(jobs: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let pool = Pool::global();
+    if n == 1 || pool.workers == 0 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let latch = Latch::new(n - 1);
+    let first_outcome;
+    {
+        let mut slots = results.iter_mut();
+        let mut jobs = jobs.into_iter();
+        let first_job = jobs.next().expect("n >= 1");
+        let first_slot = slots.next().expect("n >= 1");
+        for (job, slot) in jobs.zip(slots) {
+            let latch = &latch;
+            let f: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(v) => {
+                        *slot = Some(v);
+                        latch.complete(None);
+                    }
+                    Err(p) => latch.complete(Some(p)),
+                });
+            // SAFETY: wait_helping below blocks (on every path, including
+            // the inline job panicking) until all submitted jobs are done,
+            // so the borrows inside `f` outlive its execution.
+            pool.submit(unsafe { erase(f) });
+        }
+        first_outcome = catch_unwind(AssertUnwindSafe(first_job));
+        latch.wait_helping(pool);
+        match first_outcome {
+            Ok(v) => *first_slot = Some(v),
+            Err(p) => resume_unwind(p),
+        }
+    }
+    if let Some(p) = latch.take_panic() {
+        resume_unwind(p);
+    }
+    results
+        .into_iter()
+        .map(|o| o.expect("latch guaranteed completion"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_order() {
+        let jobs: Vec<_> = (0..64).map(|i| move || i * 2).collect();
+        assert_eq!(run_scoped(jobs), (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_disjoint_slots() {
+        let mut data = vec![0u64; 32];
+        let jobs: Vec<_> = data
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| move || *slot = i as u64 + 1)
+            .collect();
+        run_scoped(jobs);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        let outer: Vec<_> = (0..16)
+            .map(|_| {
+                let total = &total;
+                move || {
+                    let inner: Vec<_> = (0..8).map(|j| move || j as usize).collect();
+                    let got: usize = run_scoped(inner).into_iter().sum();
+                    total.fetch_add(got, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        run_scoped(outer);
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 28);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                move || {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let r = catch_unwind(AssertUnwindSafe(|| run_scoped(jobs)));
+        assert!(r.is_err());
+    }
+}
