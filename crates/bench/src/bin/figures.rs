@@ -338,8 +338,11 @@ fn ablation() {
 /// `bench`: machine-readable benchmark baselines at the repository root.
 ///
 /// `BENCH_vqe.json` is the telemetry snapshot of an H2/UCCSD VQE run
-/// (schema: run/spans/counters/iterations); `BENCH_kernels.json` reports
-/// amplitude-update throughput of the mat2/mat4 kernels.
+/// (schema: run/spans/counters/iterations), including the compiled-plan
+/// counters (`plan.*`, `executor.fused_blocks`) and the fused-vs-unfused
+/// energy delta; `BENCH_kernels.json` reports amplitude-update throughput
+/// of the mat2/mat4 kernels (parallel and serial dispatch) and of the
+/// per-term vs flip-mask-batched expectation sweeps.
 fn bench() {
     use nwq_common::mat::{mat_cx, mat_h};
     use nwq_telemetry::JsonValue;
@@ -363,20 +366,45 @@ fn bench() {
     let x0 = vec![0.0; problem.ansatz.n_params()];
     let t0 = Instant::now();
     let r = nwq_core::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, 4000).expect("VQE runs");
+    let wall_s = t0.elapsed().as_secs_f64();
+    // Re-evaluate at the final θ: same key, so the post-ansatz cache must
+    // hit — the baseline records a non-trivial hit rate.
+    use nwq_core::backend::Backend;
+    let e_replay = backend
+        .energy(&problem.ansatz, &r.params, &problem.hamiltonian)
+        .expect("replay evaluation");
+    nwq_telemetry::gauge_set("cache.hit_rate", backend.cache_stats().hit_rate());
+    // Unfused reference: gate-by-gate execution + per-term expectation.
+    // The compiled-plan path must agree to well under 1e-9 Ha.
+    let unfused_state = nwq_statevec::simulate(&problem.ansatz, &r.params).expect("unfused run");
+    let e_unfused = nwq_pauli::apply::energy(&problem.hamiltonian, unfused_state.amplitudes())
+        .expect("unfused energy");
+    let fused_delta = (e_replay - e_unfused).abs();
+    let ex = backend.executor_stats();
     nwq_telemetry::set_run_info("energy_ha", format!("{:.8}", r.energy));
     nwq_telemetry::set_run_info("evaluations", r.evaluations.to_string());
-    nwq_telemetry::set_run_info("wall_s", format!("{:.3}", t0.elapsed().as_secs_f64()));
+    nwq_telemetry::set_run_info("wall_s", format!("{:.3}", wall_s));
+    nwq_telemetry::set_run_info("unfused_energy_ha", format!("{e_unfused:.8}"));
+    nwq_telemetry::set_run_info("fused_unfused_delta_ha", format!("{fused_delta:.3e}"));
+    nwq_telemetry::set_run_info(
+        "amplitude_updates_per_eval",
+        format!(
+            "{:.1}",
+            ex.amplitude_updates as f64 / r.evaluations.max(1) as f64
+        ),
+    );
     let vqe_path = format!("{root}/BENCH_vqe.json");
     nwq_telemetry::snapshot()
         .write_json(std::path::Path::new(&vqe_path))
         .expect("write BENCH_vqe.json");
     nwq_telemetry::set_enabled(false);
     println!(
-        "wrote BENCH_vqe.json     (E = {:+.6} Ha, {} evals)",
-        r.energy, r.evaluations
+        "wrote BENCH_vqe.json     (E = {:+.6} Ha, {} evals, fused blocks {}, |dE| fused-vs-unfused = {:.1e})",
+        r.energy, r.evaluations, ex.fused_blocks, fused_delta
     );
 
-    // --- Kernel baseline: amplitude updates/s for mat2/mat4 kernels. ---
+    // --- Kernel baseline: amplitude updates/s for mat2/mat4 kernels,
+    // parallel vs forced-serial dispatch, and expectation sweeps. ---
     let n_qubits = 18usize;
     let dim = 1usize << n_qubits;
     let reps = 20u32;
@@ -411,15 +439,55 @@ fn bench() {
     let h_mat = mat_h();
     let cx_mat = mat_cx();
     let hi = n_qubits - 1;
-    let amps = state.amplitudes_mut();
-    time_case(dim, reps, "mat2_low_qubit", &mut cases, &mut || {
-        nwq_statevec::kernels::apply_mat2(amps, 0, &h_mat)
+    {
+        let amps = state.amplitudes_mut();
+        time_case(dim, reps, "mat2_low_qubit", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat2(amps, 0, &h_mat)
+        });
+        time_case(dim, reps, "mat2_high_qubit", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat2(amps, hi, &h_mat)
+        });
+        time_case(dim, reps, "mat4_mixed", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat4(amps, hi, 0, &cx_mat)
+        });
+        // Forced-serial counterparts: the parallel/serial ratio is the
+        // worker-pool scaling factor on this host.
+        time_case(dim, reps, "mat2_low_serial", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
+        });
+        time_case(dim, reps, "mat4_mixed_serial", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
+        });
+    }
+    // Expectation sweeps: 12 off-diagonal terms sharing one X flip-mask
+    // plus 6 diagonal terms — the batched path covers them in 2 passes
+    // where the per-term path walks the register once per term.
+    let expval_op = {
+        let mut terms = Vec::new();
+        for j in 0..12usize {
+            let mut s: Vec<u8> = vec![b'I'; n_qubits];
+            s[0] = b'X';
+            s[2 + j % (n_qubits - 2)] = b'Z';
+            terms.push((
+                nwq_common::C64::real(0.125),
+                nwq_pauli::PauliString::parse(std::str::from_utf8(&s).unwrap()).unwrap(),
+            ));
+        }
+        for j in 0..6usize {
+            let mut s: Vec<u8> = vec![b'I'; n_qubits];
+            s[1 + j] = b'Z';
+            terms.push((
+                nwq_common::C64::real(0.25),
+                nwq_pauli::PauliString::parse(std::str::from_utf8(&s).unwrap()).unwrap(),
+            ));
+        }
+        nwq_pauli::PauliOp::from_terms(n_qubits, terms)
+    };
+    time_case(dim, reps, "expval_per_term", &mut cases, &mut || {
+        nwq_pauli::apply::energy(&expval_op, state.amplitudes()).unwrap();
     });
-    time_case(dim, reps, "mat2_high_qubit", &mut cases, &mut || {
-        nwq_statevec::kernels::apply_mat2(amps, hi, &h_mat)
-    });
-    time_case(dim, reps, "mat4_mixed", &mut cases, &mut || {
-        nwq_statevec::kernels::apply_mat4(amps, hi, 0, &cx_mat)
+    time_case(dim, reps, "expval_batched", &mut cases, &mut || {
+        nwq_statevec::expval::energy_direct_batched(&state, &expval_op).unwrap();
     });
     let kernels = JsonValue::Object(vec![
         ("benchmark".into(), JsonValue::Str("gate_kernels".into())),
@@ -427,13 +495,16 @@ fn bench() {
         ("reps".into(), JsonValue::Int(reps as u64)),
         (
             "threads".into(),
-            JsonValue::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64),
+            JsonValue::Int(rayon::current_num_threads() as u64),
         ),
         ("cases".into(), JsonValue::Object(cases)),
     ]);
     let kernels_path = format!("{root}/BENCH_kernels.json");
     std::fs::write(&kernels_path, kernels.render()).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json (n = {n_qubits}, {reps} reps/case)");
+    println!(
+        "wrote BENCH_kernels.json (n = {n_qubits}, {reps} reps/case, {} worker threads)",
+        rayon::current_num_threads()
+    );
 }
 
 fn main() {

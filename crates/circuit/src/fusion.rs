@@ -46,20 +46,29 @@ enum Block {
 }
 
 /// Fuses a *concrete* circuit into maximal ≤2-qubit blocks, returning the
-/// fused circuit and statistics. Symbolic circuits must be bound first.
+/// fused circuit and statistics. Symbolic circuits must be bound first
+/// (or use [`fuse_bound`] to bind and fuse in one scan).
 pub fn fuse(circuit: &Circuit) -> Result<(Circuit, FusionStats)> {
     if !circuit.is_concrete() {
         return Err(Error::Invalid(
             "gate fusion requires a concrete (bound) circuit".into(),
         ));
     }
+    fuse_bound(circuit, &[])
+}
+
+/// Binds every `ParamExpr` against `params` and fuses in the same linear
+/// scan, so parameterized ansatz gates fuse without an intermediate bound
+/// `Circuit` allocation. This is the bind-time entry point used by the
+/// compiled-plan layer in `nwq-statevec`.
+pub fn fuse_bound(circuit: &Circuit, params: &[f64]) -> Result<(Circuit, FusionStats)> {
     let n = circuit.n_qubits();
     let mut blocks: Vec<Block> = Vec::with_capacity(circuit.len());
     // For each qubit: index into `blocks` of the latest block touching it.
     let mut active: Vec<Option<usize>> = vec![None; n];
 
     for gate in circuit.gates() {
-        match gate.matrix(&[])? {
+        match gate.matrix(params)? {
             GateMatrix::One(q, m) => {
                 let merged = if let Some(i) = active[q] {
                     match &mut blocks[i] {
@@ -253,6 +262,40 @@ mod tests {
         assert!(fuse(&c).is_err());
         let bound = c.bind(&[0.3]).unwrap();
         assert!(fuse(&bound).is_ok());
+    }
+
+    #[test]
+    fn fuse_bound_matches_bind_then_fuse() {
+        let mut c = Circuit::new(2);
+        c.ry(0, ParamExpr::var(0))
+            .cx(0, 1)
+            .rz(1, ParamExpr::var(1))
+            .ry(1, ParamExpr::var(0));
+        let theta = [0.37, -1.2];
+        let (direct, ds) = fuse_bound(&c, &theta).unwrap();
+        let (via_bind, bs) = fuse(&c.bind(&theta).unwrap()).unwrap();
+        assert_eq!(ds, bs);
+        assert_eq!(direct.len(), via_bind.len());
+        for (a, b) in direct.gates().iter().zip(via_bind.gates()) {
+            match (a, b) {
+                (Gate::Fused1(qa, ma), Gate::Fused1(qb, mb)) => {
+                    assert_eq!(qa, qb);
+                    assert!(ma.approx_eq(mb, 1e-14));
+                }
+                (Gate::Fused2(a0, a1, ma), Gate::Fused2(b0, b1, mb)) => {
+                    assert_eq!((a0, a1), (b0, b1));
+                    assert!(ma.approx_eq(mb, 1e-14));
+                }
+                (ga, gb) => panic!("mismatched fused gates {ga:?} vs {gb:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_bound_missing_params_errors() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamExpr::var(3));
+        assert!(fuse_bound(&c, &[0.1]).is_err());
     }
 
     #[test]

@@ -274,6 +274,12 @@ fn main() -> ExitCode {
         }
     };
     if let (Some(path), Ok(())) = (&metrics_path, &result) {
+        // Derived gauge: fraction of post-ansatz lookups served from cache.
+        let hits = nwq_telemetry::counter_value("cache.hits");
+        let misses = nwq_telemetry::counter_value("cache.misses");
+        if hits + misses > 0 {
+            nwq_telemetry::gauge_set("cache.hit_rate", hits as f64 / (hits + misses) as f64);
+        }
         match nwq_telemetry::snapshot().write_json(std::path::Path::new(path)) {
             Ok(()) => println!("metrics : wrote {path}"),
             Err(e) => {

@@ -13,7 +13,7 @@ use nwq_circuit::Circuit;
 use nwq_common::{Error, Result};
 use nwq_opt::Optimizer;
 use nwq_pauli::PauliOp;
-use nwq_statevec::executor::simulate;
+use nwq_statevec::executor::simulate_plan;
 
 /// ADAPT-VQE configuration.
 #[derive(Clone, Debug)]
@@ -108,7 +108,7 @@ pub fn run_adapt_vqe(
     for _iter in 0..config.max_iterations {
         let iter_start = std::time::Instant::now();
         // Screening: gradients need the current state.
-        let state = simulate(&ansatz.bind(&params)?, &[])?;
+        let state = simulate_plan(&ansatz, &params)?;
         let grads = pool.gradients(hamiltonian, state.amplitudes())?;
         let (best_k, best_g) = grads
             .iter()

@@ -213,7 +213,7 @@ pub fn qpe_circuit(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Res
 /// statevector (the simulator analog of repeated measurement).
 pub fn run_qpe(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Result<QpeOutcome> {
     let circuit = qpe_circuit(h, state_prep, config)?;
-    let state = nwq_statevec::simulate(&circuit, &[])?;
+    let state = nwq_statevec::simulate_plan(&circuit, &[])?;
     let n_sys = h.n_qubits();
     let m = config.n_ancilla;
     let mut distribution = vec![0.0f64; 1 << m];

@@ -10,7 +10,7 @@
 use crate::vqe::VqeProblem;
 use nwq_common::{Error, Result};
 use nwq_opt::Optimizer;
-use nwq_statevec::{simulate, StateVector};
+use nwq_statevec::{simulate_plan, StateVector};
 
 /// VQD configuration.
 #[derive(Clone, Debug)]
@@ -96,7 +96,7 @@ pub fn run_vqd(
         if let Some(e) = failure {
             return Err(e);
         }
-        let state = simulate(&problem.ansatz.bind(&result.params)?, &[])?;
+        let state = simulate_plan(&problem.ansatz, &result.params)?;
         let energy = state.energy(&problem.hamiltonian)?;
         let max_overlap = found
             .iter()
@@ -118,7 +118,7 @@ fn deflated_objective(
     found: &[StateVector],
     beta: f64,
 ) -> Result<f64> {
-    let state = simulate(&problem.ansatz.bind(theta)?, &[])?;
+    let state = simulate_plan(&problem.ansatz, theta)?;
     let mut value = state.energy(&problem.hamiltonian)?;
     for f in found {
         value += beta * state.fidelity(f)?;

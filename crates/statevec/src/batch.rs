@@ -9,23 +9,30 @@
 //! single batch.
 
 use crate::executor::Executor;
+use crate::expval::energy_direct_batched;
+use crate::plan::ExecPlan;
 use crate::state::StateVector;
 use nwq_circuit::Circuit;
 use nwq_common::Result;
 use nwq_pauli::PauliOp;
 use rayon::prelude::*;
 
-/// Runs `circuit` once per parameter set, in parallel. Returns the final
-/// states in input order.
+/// Runs `circuit` once per parameter set, in parallel. Each entry compiles
+/// its own [`ExecPlan`] (parameters differ, so matrices differ) and runs
+/// the fused plan. Returns the final states in input order.
 pub fn run_batch(circuit: &Circuit, param_sets: &[Vec<f64>]) -> Result<Vec<StateVector>> {
     param_sets
         .par_iter()
-        .map(|params| Executor::new().run(circuit, params))
+        .map(|params| {
+            let plan = ExecPlan::compile(circuit, params)?;
+            Executor::new().run_plan(&plan)
+        })
         .collect()
 }
 
 /// Batched energy evaluation: `E(θ_k) = ⟨ψ(θ_k)|H|ψ(θ_k)⟩` for every
-/// parameter set, in parallel.
+/// parameter set, in parallel, through the compiled-plan and batched
+/// direct-expectation fast paths.
 pub fn batched_energies(
     circuit: &Circuit,
     param_sets: &[Vec<f64>],
@@ -34,8 +41,9 @@ pub fn batched_energies(
     param_sets
         .par_iter()
         .map(|params| {
-            let state = Executor::new().run(circuit, params)?;
-            state.energy(observable)
+            let plan = ExecPlan::compile(circuit, params)?;
+            let state = Executor::new().run_plan(&plan)?;
+            energy_direct_batched(&state, observable)
         })
         .collect()
 }

@@ -14,6 +14,7 @@
 //! accounting are what the paper's behaviour depends on).
 
 use crate::executor::Executor;
+use crate::plan::ExecPlan;
 use crate::state::StateVector;
 use nwq_circuit::Circuit;
 use nwq_common::Result;
@@ -37,6 +38,18 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of cached states that landed in the host tier.
     pub host_spills: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 on no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A single-slot cache of the most recent post-ansatz state, keyed by the
@@ -124,6 +137,39 @@ impl PostAnsatzCache {
         }
         Ok(&self.entry.as_ref().expect("entry was just ensured").state)
     }
+
+    /// Plan-compiling variant of [`get_or_prepare`](Self::get_or_prepare):
+    /// on a miss the ansatz is compiled to an [`ExecPlan`] (bind-time
+    /// fusion + diagonal coalescing) and executed through the plan path.
+    /// The key is the same exact-parameter key, so callers can mix this
+    /// with `get_or_prepare` without spurious misses.
+    pub fn get_or_prepare_plan(
+        &mut self,
+        ansatz: &Circuit,
+        params: &[f64],
+        executor: &mut Executor,
+    ) -> Result<&StateVector> {
+        let key = key_of(params);
+        let hit = matches!(&self.entry, Some(e) if e.key == key);
+        if hit {
+            self.stats.hits += 1;
+            nwq_telemetry::counter_add("cache.hits", 1);
+        } else {
+            self.stats.misses += 1;
+            nwq_telemetry::counter_add("cache.misses", 1);
+            let plan = ExecPlan::compile(ansatz, params)?;
+            let state = executor.run_plan(&plan)?;
+            let tier = if state.memory_bytes() <= self.device_budget_bytes {
+                MemoryTier::Device
+            } else {
+                self.stats.host_spills += 1;
+                nwq_telemetry::counter_add("cache.host_spills", 1);
+                MemoryTier::Host
+            };
+            self.entry = Some(Entry { key, state, tier });
+        }
+        Ok(&self.entry.as_ref().expect("entry was just ensured").state)
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +196,33 @@ mod tests {
         assert_eq!(s.misses, 2);
         // Ansatz ran only on misses.
         assert_eq!(ex.stats().circuits_run, 2);
+    }
+
+    #[test]
+    fn plan_prepare_shares_keys_with_gate_prepare_and_tracks_hit_rate() {
+        let a = ansatz();
+        let mut cache = PostAnsatzCache::unbounded();
+        let mut ex = Executor::new();
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.get_or_prepare_plan(&a, &[0.3], &mut ex).unwrap();
+        // Same θ through the gate-by-gate entry point must hit.
+        cache.get_or_prepare(&a, &[0.3], &mut ex).unwrap();
+        cache.get_or_prepare_plan(&a, &[0.3], &mut ex).unwrap();
+        cache.get_or_prepare_plan(&a, &[0.7], &mut ex).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-15);
+        // Plan-prepared state matches gate-by-gate preparation.
+        let via_plan = cache
+            .get_or_prepare_plan(&a, &[0.7], &mut ex)
+            .unwrap()
+            .clone();
+        let mut fresh = PostAnsatzCache::unbounded();
+        let via_gates = fresh.get_or_prepare(&a, &[0.7], &mut ex).unwrap();
+        for (x, y) in via_plan.amplitudes().iter().zip(via_gates.amplitudes()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Circuit execution on the parallel statevector kernels.
 
-use crate::kernels::{apply_mat2, apply_mat4};
+use crate::kernels::{apply_diag_sweep, apply_mat2, apply_mat4};
+use crate::plan::{ExecPlan, PlanOp};
 use crate::state::StateVector;
 use crate::stats::ExecStats;
 use nwq_circuit::{Circuit, Gate, GateMatrix};
@@ -81,11 +82,74 @@ impl Executor {
         self.run_on(circuit, params, &mut state)?;
         Ok(state)
     }
+
+    /// Applies a compiled plan to `state` in place. Every plan op counts as
+    /// a fused block; a coalesced diagonal sweep costs one amplitude pass
+    /// no matter how many logical gates it carries.
+    pub fn run_plan_on(&mut self, plan: &ExecPlan, state: &mut StateVector) -> Result<()> {
+        if plan.n_qubits() != state.n_qubits() {
+            return Err(Error::DimensionMismatch {
+                expected: state.n_qubits(),
+                got: plan.n_qubits(),
+            });
+        }
+        self.stats.circuits_run += 1;
+        nwq_telemetry::counter_add("executor.circuits_run", 1);
+        let _span = nwq_telemetry::span!("executor.run_plan");
+        let dim = state.len() as u64;
+        let mut gates_1q = 0u64;
+        let mut gates_2q = 0u64;
+        for op in plan.ops() {
+            match op {
+                PlanOp::One(q, m) => {
+                    apply_mat2(state.amplitudes_mut(), *q, m);
+                    gates_1q += 1;
+                }
+                PlanOp::Two(a, b, m) => {
+                    apply_mat4(state.amplitudes_mut(), *a, *b, m);
+                    gates_2q += 1;
+                }
+                PlanOp::DiagSweep(fs) => {
+                    apply_diag_sweep(state.amplitudes_mut(), fs);
+                    if op.is_two_qubit() {
+                        gates_2q += 1;
+                    } else {
+                        gates_1q += 1;
+                    }
+                }
+            }
+        }
+        let ops = plan.len() as u64;
+        self.stats.gates_1q += gates_1q;
+        self.stats.gates_2q += gates_2q;
+        self.stats.fused_blocks += ops;
+        self.stats.amplitude_updates += dim * ops;
+        nwq_telemetry::counter_add("executor.gates_1q", gates_1q);
+        nwq_telemetry::counter_add("executor.gates_2q", gates_2q);
+        nwq_telemetry::counter_add("executor.fused_blocks", ops);
+        nwq_telemetry::counter_add("executor.amplitude_updates", dim * ops);
+        Ok(())
+    }
+
+    /// Runs a compiled plan from `|0…0⟩`, returning the final state.
+    pub fn run_plan(&mut self, plan: &ExecPlan) -> Result<StateVector> {
+        let mut state = StateVector::zero(plan.n_qubits());
+        self.run_plan_on(plan, &mut state)?;
+        Ok(state)
+    }
 }
 
 /// One-shot convenience: run a circuit from `|0…0⟩` without tracking stats.
 pub fn simulate(circuit: &Circuit, params: &[f64]) -> Result<StateVector> {
     Executor::new().run(circuit, params)
+}
+
+/// One-shot convenience: compile `circuit` against `params` (bind + fuse +
+/// diagonal coalescing) and run the plan from `|0…0⟩`. This is the fast
+/// path every energy-evaluation loop in `nwq-core` routes through.
+pub fn simulate_plan(circuit: &Circuit, params: &[f64]) -> Result<StateVector> {
+    let plan = ExecPlan::compile(circuit, params)?;
+    Executor::new().run_plan(&plan)
 }
 
 #[cfg(test)]
@@ -156,6 +220,31 @@ mod tests {
         for (a, b) in fast.amplitudes().iter().zip(&slow) {
             assert!(a.approx_eq(*b, 1e-10));
         }
+    }
+
+    #[test]
+    fn plan_execution_counts_sweeps_not_logical_gates() {
+        // h t cx on 2 qubits fuses to one block: one sweep of 4 amplitudes.
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1);
+        let plan = crate::plan::ExecPlan::compile(&c, &[]).unwrap();
+        let mut ex = Executor::new();
+        let fast = ex.run_plan(&plan).unwrap();
+        let s = ex.stats();
+        assert_eq!(s.fused_blocks, 1);
+        assert_eq!(s.amplitude_updates, 4);
+        assert_eq!(s.circuits_run, 1);
+        let slow = reference::run(&c, &[]).unwrap();
+        for (a, b) in fast.amplitudes().iter().zip(&slow) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn plan_width_mismatch_rejected() {
+        let plan = crate::plan::ExecPlan::compile(&Circuit::new(3), &[]).unwrap();
+        let mut st = StateVector::zero(2);
+        assert!(Executor::new().run_plan_on(&plan, &mut st).is_err());
     }
 
     #[test]

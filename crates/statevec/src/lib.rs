@@ -6,6 +6,9 @@
 //! - [`kernels`] — in-place parallel gate kernels (safe chunking, diagonal
 //!   fast paths) — the CPU analog of NWQ-Sim's GPU amplitude updates;
 //! - [`executor::Executor`] — circuit execution with gate accounting;
+//! - [`plan::ExecPlan`] — compiled circuits: one-time parameter binding,
+//!   §4.3 fusion at bind time, and commuting-diagonal coalescing, so the
+//!   variational hot loop re-evaluates nothing per gate;
 //! - [`cache::PostAnsatzCache`] — §4.1 post-ansatz state caching with the
 //!   two-tier (device/host) memory model;
 //! - [`expval`] — §4.1/§4.2 energy evaluation strategies (non-caching
@@ -26,10 +29,12 @@ pub mod executor;
 pub mod expval;
 pub mod kernels;
 pub mod measure;
+pub mod plan;
 pub mod state;
 pub mod stats;
 
-pub use executor::{simulate, Executor};
+pub use executor::{simulate, simulate_plan, Executor};
+pub use plan::{ExecPlan, PlanOp, PlanStats};
 pub use state::StateVector;
 
 #[cfg(test)]

@@ -1,0 +1,320 @@
+//! Compiled execution plans: bind once, fuse at bind time, sweep fast.
+//!
+//! The variational hot loop evaluates the same circuit shape at thousands of
+//! parameter vectors. Executing the raw `Circuit` re-evaluates every gate's
+//! `ParamExpr` and rebuilds every matrix on every evaluation, and — because
+//! the §4.3 fusion pass only accepts concrete circuits — parameterized
+//! ansätze never fused at all (`executor.fused_blocks == 0` in the seed VQE
+//! baseline). An [`ExecPlan`] closes that gap: compiling a circuit against
+//! one parameter vector
+//!
+//! 1. **binds** every `ParamExpr` and materializes each gate matrix into a
+//!    flat, cache-friendly op list (no allocation or expression evaluation
+//!    remains inside the sweep loop);
+//! 2. **fuses** at bind time via `fusion::fuse_bound`, so parameterized
+//!    gates get the same adjacent 1q→1q and 1q/2q→2q merges as concrete
+//!    ones;
+//! 3. **coalesces** adjacent commuting-diagonal blocks (RZ/CZ/CP/RZZ chains,
+//!    ubiquitous in UCCSD ansätze) into single [`PlanOp::DiagSweep`] ops
+//!    that [`crate::kernels::apply_diag_sweep`] applies in ONE amplitude
+//!    pass.
+//!
+//! Execution happens through `Executor::run_plan_on` /
+//! [`crate::simulate_plan`]; compilation emits `plan.*` telemetry counters
+//! (gates in, ops out, sweeps saved, bind time).
+
+use crate::kernels::{mat2_is_diagonal, mat4_is_diagonal, DiagFactor};
+use nwq_circuit::{fusion, Circuit, Gate};
+use nwq_common::{Error, Mat2, Mat4, Result};
+
+/// One compiled operation: parameters bound, matrix materialized.
+#[derive(Clone, Debug)]
+pub enum PlanOp {
+    /// Fused single-qubit block.
+    One(usize, Mat2),
+    /// Fused two-qubit block (argument order preserved from fusion).
+    Two(usize, usize, Mat4),
+    /// Run of ≥2 commuting diagonal blocks applied in one amplitude pass.
+    DiagSweep(Vec<DiagFactor>),
+}
+
+impl PlanOp {
+    /// `true` when the op touches two or more distinct qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        match self {
+            PlanOp::One(..) => false,
+            PlanOp::Two(..) => true,
+            PlanOp::DiagSweep(fs) => fs.iter().any(|f| matches!(f, DiagFactor::Two { .. })),
+        }
+    }
+}
+
+/// Statistics from one plan compilation (the bind-time analog of
+/// `fusion::FusionStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanStats {
+    /// Logical gates in the source circuit, before fusion.
+    pub gates_in: usize,
+    /// Fused blocks after the §4.3 pass, before diagonal coalescing.
+    pub fused_blocks: usize,
+    /// Final op count: amplitude sweeps one execution will perform.
+    pub ops: usize,
+    /// Diagonal blocks folded into `DiagSweep` ops.
+    pub diag_coalesced: usize,
+    /// Wall-clock time spent compiling, in seconds.
+    pub bind_seconds: f64,
+}
+
+impl PlanStats {
+    /// Amplitude sweeps avoided per execution vs the unfused circuit.
+    pub fn sweeps_saved(&self) -> usize {
+        self.gates_in.saturating_sub(self.ops)
+    }
+
+    /// Fractional sweep reduction, e.g. `0.52` for 52 %.
+    pub fn reduction(&self) -> f64 {
+        if self.gates_in == 0 {
+            0.0
+        } else {
+            1.0 - self.ops as f64 / self.gates_in as f64
+        }
+    }
+}
+
+/// A circuit compiled against one parameter vector: flat op list, every
+/// matrix materialized, fusion and diagonal coalescing already applied.
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    n_qubits: usize,
+    ops: Vec<PlanOp>,
+    stats: PlanStats,
+}
+
+impl ExecPlan {
+    /// Compiles `circuit` with `params` bound. Fails if the circuit
+    /// references parameters `params` does not supply.
+    pub fn compile(circuit: &Circuit, params: &[f64]) -> Result<ExecPlan> {
+        let start = std::time::Instant::now();
+        let _span = nwq_telemetry::span!("plan.compile");
+        let (fused, fstats) = fusion::fuse_bound(circuit, params)?;
+
+        let mut ops: Vec<PlanOp> = Vec::with_capacity(fused.len());
+        // Pending run of adjacent diagonal blocks: kept in both original-op
+        // and factor form so a run of one falls back to the plain kernel
+        // (whose diagonal fast path is already a single pass).
+        let mut pending: Vec<(PlanOp, DiagFactor)> = Vec::new();
+        let mut diag_coalesced = 0usize;
+
+        let flush = |pending: &mut Vec<(PlanOp, DiagFactor)>,
+                     ops: &mut Vec<PlanOp>,
+                     diag_coalesced: &mut usize| {
+            match pending.len() {
+                0 => {}
+                1 => ops.push(pending.pop().unwrap().0),
+                _ => {
+                    *diag_coalesced += pending.len();
+                    ops.push(PlanOp::DiagSweep(
+                        pending.drain(..).map(|(_, f)| f).collect(),
+                    ));
+                }
+            }
+        };
+
+        for gate in fused.gates() {
+            match gate {
+                Gate::Fused1(q, m) => {
+                    if mat2_is_diagonal(m) {
+                        pending.push((
+                            PlanOp::One(*q, *m),
+                            DiagFactor::One {
+                                q: *q,
+                                d: [m.0[0][0], m.0[1][1]],
+                            },
+                        ));
+                    } else {
+                        flush(&mut pending, &mut ops, &mut diag_coalesced);
+                        ops.push(PlanOp::One(*q, *m));
+                    }
+                }
+                Gate::Fused2(a, b, m) => {
+                    // Normalize hi > lo for the factor form, mirroring the
+                    // kernel's own normalization.
+                    let (hi, lo, mat) = if a > b {
+                        (*a, *b, *m)
+                    } else {
+                        (*b, *a, m.swap_qubits())
+                    };
+                    if mat4_is_diagonal(&mat) {
+                        pending.push((
+                            PlanOp::Two(*a, *b, *m),
+                            DiagFactor::Two {
+                                hi,
+                                lo,
+                                d: [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]],
+                            },
+                        ));
+                    } else {
+                        flush(&mut pending, &mut ops, &mut diag_coalesced);
+                        ops.push(PlanOp::Two(*a, *b, *m));
+                    }
+                }
+                other => {
+                    return Err(Error::Invalid(format!(
+                        "fusion emitted a non-fused gate: {other:?}"
+                    )));
+                }
+            }
+        }
+        flush(&mut pending, &mut ops, &mut diag_coalesced);
+
+        let stats = PlanStats {
+            gates_in: fstats.gates_before,
+            fused_blocks: fstats.gates_after,
+            ops: ops.len(),
+            diag_coalesced,
+            bind_seconds: start.elapsed().as_secs_f64(),
+        };
+        nwq_telemetry::counter_add("plan.compiled", 1);
+        nwq_telemetry::counter_add("plan.gates_in", stats.gates_in as u64);
+        nwq_telemetry::counter_add("plan.ops", stats.ops as u64);
+        nwq_telemetry::counter_add("plan.sweeps_saved", stats.sweeps_saved() as u64);
+        nwq_telemetry::counter_add("plan.diag_coalesced", stats.diag_coalesced as u64);
+        nwq_telemetry::value_add("plan.bind_ms", stats.bind_seconds * 1e3);
+        Ok(ExecPlan {
+            n_qubits: circuit.n_qubits(),
+            ops,
+            stats,
+        })
+    }
+
+    /// Register width the plan was compiled for.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The compiled op list, in execution order.
+    #[inline]
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Number of amplitude sweeps one execution performs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the plan performs no sweeps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Compilation statistics.
+    #[inline]
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{simulate, simulate_plan};
+    use nwq_circuit::ParamExpr;
+
+    #[test]
+    fn plan_matches_gate_by_gate_execution() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .ry(1, ParamExpr::var(0))
+            .cx(0, 1)
+            .rz(1, ParamExpr::var(1))
+            .cx(0, 1)
+            .rzz(2, 3, 0.7)
+            .h(2)
+            .cp(3, 0, -0.4);
+        let theta = [0.83, -1.91];
+        let fast = simulate_plan(&c, &theta).unwrap();
+        let slow = simulate(&c.bind(&theta).unwrap(), &[]).unwrap();
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parameterized_gates_fuse_at_bind_time() {
+        // The seed baseline's gap: symbolic circuits never fused. A UCCSD-
+        // style CX ladder with an RZ core must compile to fewer sweeps.
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        c.cx(0, 1).cx(1, 2).cx(2, 3);
+        c.rz(3, ParamExpr::var(0));
+        c.cx(2, 3).cx(1, 2).cx(0, 1);
+        c.h(0).h(1).h(2).h(3);
+        let plan = ExecPlan::compile(&c, &[0.21]).unwrap();
+        assert!(plan.len() < c.len(), "{} !< {}", plan.len(), c.len());
+        assert_eq!(plan.stats().gates_in, c.len());
+        assert!(plan.stats().sweeps_saved() > 0);
+    }
+
+    #[test]
+    fn adjacent_diagonals_coalesce_into_one_sweep() {
+        // RZ(0), RZ(1), CZ(2,3), RZZ(2,3): four diagonal gates on disjoint /
+        // shared qubits -> fusion leaves 3 blocks, coalescing leaves 1 sweep.
+        let mut c = Circuit::new(4);
+        c.rz(0, ParamExpr::var(0))
+            .rz(1, 0.4)
+            .cz(2, 3)
+            .rzz(2, 3, 0.9);
+        let plan = ExecPlan::compile(&c, &[1.1]).unwrap();
+        assert_eq!(plan.len(), 1, "ops: {:?}", plan.ops());
+        assert!(matches!(&plan.ops()[0], PlanOp::DiagSweep(fs) if fs.len() == 3));
+        assert_eq!(plan.stats().diag_coalesced, 3);
+        // And it still computes the right state.
+        let theta = [1.1];
+        let fast = simulate_plan(&c, &theta).unwrap();
+        let slow = simulate(&c.bind(&theta).unwrap(), &[]).unwrap();
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_diagonal_stays_a_plain_op() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(1, 0.3).h(1);
+        let plan = ExecPlan::compile(&c, &[]).unwrap();
+        assert!(plan
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, PlanOp::DiagSweep(_))));
+        assert_eq!(plan.stats().diag_coalesced, 0);
+    }
+
+    #[test]
+    fn one_into_two_qubit_merge() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1);
+        let plan = ExecPlan::compile(&c, &[]).unwrap();
+        assert_eq!(plan.len(), 1);
+        assert!(matches!(plan.ops()[0], PlanOp::Two(0, 1, _)));
+        assert!(plan.ops()[0].is_two_qubit());
+    }
+
+    #[test]
+    fn missing_params_rejected() {
+        let mut c = Circuit::new(1);
+        c.rx(0, ParamExpr::var(2));
+        assert!(ExecPlan::compile(&c, &[0.1]).is_err());
+    }
+
+    #[test]
+    fn empty_circuit_compiles_to_empty_plan() {
+        let plan = ExecPlan::compile(&Circuit::new(3), &[]).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.stats().reduction(), 0.0);
+        assert_eq!(plan.n_qubits(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: compiled-plan execution is numerically identical to
+//! gate-by-gate execution of the same circuit at the same parameters.
+//!
+//! The generator biases toward the plan compiler's interesting paths:
+//! diagonal runs (RZ/CZ/CP/RZZ chains → `DiagSweep` coalescing), 1q→2q
+//! merges (single-qubit gates absorbed into CX/CZ blocks), and symbolic
+//! parameters bound at compile time. Register widths 2–8 stay on the
+//! serial kernels; a deterministic 13-qubit case crosses the parallel
+//! dispatch thresholds.
+
+use nwq_circuit::{Circuit, ParamExpr};
+use nwq_statevec::{simulate, simulate_plan, ExecPlan, Executor, PlanOp};
+use proptest::prelude::*;
+
+const N_PARAMS: usize = 4;
+
+/// A parameterized circuit: some angles are constants, some reference one
+/// of `N_PARAMS` shared variational parameters (scaled, so distinct gates
+/// bind to distinct values).
+fn arb_symbolic_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (
+        0..12u8,
+        0..n,
+        1..n.max(2),
+        -3.0..3.0f64,
+        0..N_PARAMS,
+        proptest::bool::ANY,
+    );
+    proptest::collection::vec(gate, 0..max_len).prop_map(move |specs| {
+        let mut c = Circuit::with_params(n, N_PARAMS);
+        for (kind, q, dq, angle, var, symbolic) in specs {
+            let q2 = (q + dq) % n;
+            let expr = if symbolic {
+                ParamExpr::scaled_var(var, if angle == 0.0 { 1.0 } else { angle })
+            } else {
+                ParamExpr::Const(angle)
+            };
+            match kind {
+                // Diagonal-heavy arms: exercise DiagSweep coalescing.
+                0 => c.rz(q, expr),
+                1 if q2 != q => c.cz(q, q2),
+                2 if q2 != q => c.rzz(q, q2, expr),
+                3 if q2 != q => c.cp(q, q2, expr),
+                4 => c.s(q),
+                // Non-diagonal 1q: exercise 1q→1q and 1q→2q merges.
+                5 => c.h(q),
+                6 => c.ry(q, expr),
+                7 => c.sx(q),
+                8 => c.u3(q, angle, angle * 0.5, -angle),
+                // 2q entanglers: merge targets for pending 1q blocks.
+                9 if q2 != q => c.cx(q, q2),
+                10 if q2 != q => c.swap(q, q2),
+                _ => c.rx(q, expr),
+            };
+        }
+        c
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.0..3.0f64, N_PARAMS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_matches_gate_by_gate(
+        (c, theta) in (2..=8usize).prop_flat_map(|n| (arb_symbolic_circuit(n, 32), arb_params()))
+    ) {
+        let via_plan = simulate_plan(&c, &theta).unwrap();
+        let gate_by_gate = simulate(&c.bind(&theta).unwrap(), &[]).unwrap();
+        for (a, b) in via_plan.amplitudes().iter().zip(gate_by_gate.amplitudes()) {
+            prop_assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn plan_never_does_more_sweeps_than_gates(
+        (c, theta) in (2..=6usize).prop_flat_map(|n| (arb_symbolic_circuit(n, 24), arb_params()))
+    ) {
+        let plan = ExecPlan::compile(&c, &theta).unwrap();
+        prop_assert!(plan.len() <= c.len());
+        prop_assert_eq!(plan.stats().gates_in, c.len());
+        prop_assert_eq!(plan.stats().ops, plan.len());
+        // Every DiagSweep carries at least two factors (single diagonals
+        // stay plain ops so the kernel fast path handles them).
+        for op in plan.ops() {
+            if let PlanOp::DiagSweep(fs) = op {
+                prop_assert!(fs.len() >= 2);
+            }
+        }
+    }
+}
+
+/// Deterministic wide-register case: 2^13 amplitudes cross the kernels'
+/// MIN_PAR_ELEMS threshold, so the plan runs through the parallel dispatch
+/// paths (and the diag sweep's parallel branch).
+#[test]
+fn plan_matches_gate_by_gate_on_parallel_dispatch_widths() {
+    let n = 13;
+    let mut c = Circuit::with_params(n, 2);
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    // A diagonal run over scattered qubits: coalesces into one sweep.
+    c.rz(0, ParamExpr::var(0));
+    c.rz(5, ParamExpr::scaled_var(1, -0.5));
+    c.cz(2, 9).rzz(3, 11, 0.77).cp(12, 4, -1.1);
+    // Trailing mixers so the diagonals sit mid-circuit.
+    c.ry(6, ParamExpr::var(1)).h(12);
+    let theta = [0.93, -1.37];
+
+    let plan = ExecPlan::compile(&c, &theta).unwrap();
+    assert!(
+        plan.ops()
+            .iter()
+            .any(|op| matches!(op, PlanOp::DiagSweep(_))),
+        "expected a coalesced diagonal sweep in {:?} ops",
+        plan.len()
+    );
+    assert!(plan.len() < c.len());
+
+    let mut ex = Executor::new();
+    let via_plan = ex.run_plan(&plan).unwrap();
+    assert_eq!(ex.stats().fused_blocks, plan.len() as u64);
+    let gate_by_gate = simulate(&c.bind(&theta).unwrap(), &[]).unwrap();
+    for (a, b) in via_plan.amplitudes().iter().zip(gate_by_gate.amplitudes()) {
+        assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+    }
+}

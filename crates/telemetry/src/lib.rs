@@ -151,6 +151,19 @@ pub fn value_add(name: &'static str, delta: f64) {
     }
 }
 
+/// Overwrites the float gauge `name` with `value` (last write wins). Use for
+/// derived ratios such as cache hit-rates where accumulation is meaningless.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .counters
+        .insert(name.to_string(), CounterValue::Float(value));
+}
+
 /// Records one optimizer iteration.
 pub fn record_iteration(record: IterationRecord) {
     if !enabled() {
@@ -363,6 +376,19 @@ mod tests {
         assert_eq!(nested.count, 3);
         assert!(nested.total_ns >= nested.min_ns * 3 / 2);
         assert!(nested.min_ns <= nested.max_ns);
+    }
+
+    #[test]
+    fn gauges_overwrite_instead_of_accumulating() {
+        with_telemetry(|| {
+            gauge_set("test.gauge.rate", 0.25);
+            gauge_set("test.gauge.rate", 0.75);
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.gauge.rate"], CounterValue::Float(0.75));
+        set_enabled(false);
+        gauge_set("test.gauge.disabled", 1.0);
+        assert!(!snapshot().counters.contains_key("test.gauge.disabled"));
     }
 
     #[test]

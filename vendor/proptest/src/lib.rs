@@ -5,8 +5,8 @@
 //! implementations of exactly the API surface the workspace uses:
 //! the [`proptest!`] / [`prop_compose!`] / [`prop_assert!`] /
 //! [`prop_assert_eq!`] macros, the [`strategy::Strategy`] trait with
-//! `prop_map` / `prop_filter`, range and tuple strategies,
-//! [`collection::vec`], and [`bool::ANY`].
+//! `prop_map` / `prop_filter` / `prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], and [`bool::ANY`].
 //!
 //! Differences from real proptest, deliberately accepted:
 //! - cases are generated from a deterministic per-test RNG (FNV-1a hash of
@@ -129,6 +129,17 @@ pub mod strategy {
         {
             Filter { inner: self, pred }
         }
+
+        /// Builds a dependent strategy from each generated value (e.g. draw
+        /// a size first, then a structure of that size).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Draws from a strategy, retrying bounded times on filter rejection.
@@ -156,6 +167,25 @@ pub mod strategy {
         type Value = U;
         fn generate(&self, rng: &mut TestRng) -> Option<U> {
             self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+            let first = self.inner.generate(rng)?;
+            (self.f)(first).generate(rng)
         }
     }
 
@@ -494,6 +524,15 @@ mod tests {
         #[test]
         fn filters_apply(v in (0u64..100).prop_filter("even", |x| x % 2 == 0)) {
             prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn flat_maps_build_dependent_strategies(
+            v in (1usize..6).prop_flat_map(|n| crate::collection::vec(0usize..n, n..n + 1))
+        ) {
+            let n = v.len();
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(v.iter().all(|&x| x < n));
         }
 
         #[test]

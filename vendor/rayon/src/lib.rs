@@ -213,11 +213,18 @@ impl IntoParallelIterator for Range<u64> {
 pub trait ParallelSlice<T: Sync> {
     /// Parallel iterator over `&T`.
     fn par_iter(&self) -> ParIter<'_, T>;
+    /// Parallel iterator over non-overlapping shared chunks of `size`.
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParIter<'_, T> {
         ParIter { slice: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, size }
     }
 }
 
@@ -280,6 +287,32 @@ impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
             let (head, tail) = rest.split_at_mut(size);
             out.push((off, head.iter_mut()));
             off += size;
+            rest = tail;
+        }
+        out
+    }
+}
+
+/// Parallel iterator over non-overlapping shared chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Part = std::slice::Chunks<'a, T>;
+
+    fn parts(self, pieces: usize) -> Vec<(usize, Self::Part)> {
+        let nchunks = self.slice.len().div_ceil(self.size);
+        let mut rest = self.slice;
+        let mut chunk_off = 0;
+        let mut out = Vec::new();
+        for chunks in part_sizes(nchunks, pieces) {
+            let elems = (chunks * self.size).min(rest.len());
+            let (head, tail) = rest.split_at(elems);
+            out.push((chunk_off, head.chunks(self.size)));
+            chunk_off += chunks;
             rest = tail;
         }
         out
@@ -530,6 +563,21 @@ mod tests {
             }
         });
         assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn chunks_shared_enumerate_is_global_and_complete() {
+        let v: Vec<usize> = (0..1023).collect();
+        let sums: Vec<(usize, usize)> = v
+            .par_chunks(64)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum()))
+            .collect();
+        assert_eq!(sums.len(), v.len().div_ceil(64));
+        for (i, s) in &sums {
+            let expect: usize = v[i * 64..(i * 64 + 64).min(v.len())].iter().sum();
+            assert_eq!(*s, expect);
+        }
     }
 
     #[test]
