@@ -172,7 +172,7 @@ fn dist() {
         "ranks", "messages", "bytes", "comm_s", "compute_s", "total_s"
     );
     for n_ranks in [1usize, 2, 4, 8, 16, 32, 64] {
-        let plan = plan_communication(&circuit, n_ranks);
+        let plan = plan_communication(&circuit, n_ranks).expect("power-of-two ranks");
         let comm = model.comm_time_s(&plan, n_ranks);
         let compute = model.compute_time_s(ansatz.gate_count as u64, n_qubits, n_ranks);
         println!(

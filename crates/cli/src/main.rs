@@ -3,11 +3,25 @@
 //! ```text
 //! nwq vqe   [--molecule h2|h4|water] [--r BOHR] [--orbitals N] [--electrons M]
 //!           [--optimizer nm|lbfgs|spsa] [--max-evals N] [--metrics FILE.json]
+//!           [resilience flags]
 //! nwq adapt [--orbitals N] [--electrons M] [--max-iter K] [--metrics FILE.json]
+//!           [resilience flags]
 //! nwq qpe   [--r BOHR] [--ancillas N] [--steps N] [--order 1|2] [--metrics FILE.json]
 //! nwq fuse  --in FILE.qasm [--out FILE.qasm is unsupported: fused blocks
 //!           have no QASM form; stats are printed instead]
 //! nwq info
+//! ```
+//!
+//! Resilience flags (vqe and adapt):
+//!
+//! ```text
+//! --checkpoint FILE        write atomic JSON snapshots to FILE
+//! --checkpoint-every N     snapshot cadence in best-energy improvements (10)
+//! --resume FILE            resume a previous run from its checkpoint
+//! --retries N              transient-failure retry budget per evaluation (5)
+//! --inject-faults RATE     inject seeded evaluation failures at RATE
+//! --fault-seed SEED        fault-injection RNG seed (12345)
+//! --kill-after-evals N     abort after N fresh evaluations (testing hook)
 //! ```
 //!
 //! Every subcommand prints plain-text results; exit code 0 on success,
@@ -21,7 +35,11 @@ use nwq_chem::MolecularIntegrals;
 use nwq_core::backend::{Backend, DirectBackend};
 use nwq_core::exact::{ground_energy_sector_default, Sector};
 use nwq_core::qpe::{run_qpe, QpeConfig};
-use nwq_core::vqe::{run_vqe, VqeProblem};
+use nwq_core::resilience::{
+    run_vqe_with, CheckpointConfig, FaultSpec, FaultyBackend, ResilienceOptions, ResumeState,
+    RetryPolicy,
+};
+use nwq_core::vqe::VqeProblem;
 use nwq_opt::{Lbfgs, NelderMead, Optimizer, Spsa};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -97,6 +115,53 @@ fn optimizer_from(args: &Args) -> Result<Box<dyn Optimizer>, String> {
     })
 }
 
+/// Builds [`ResilienceOptions`] from the shared resilience flags.
+fn resilience_from(args: &Args) -> Result<ResilienceOptions, String> {
+    let mut opts = ResilienceOptions {
+        retry: RetryPolicy {
+            max_retries: args.get("retries", 5)?,
+        },
+        ..Default::default()
+    };
+    if let Some(path) = args.flags.get("checkpoint") {
+        opts.checkpoint = Some(CheckpointConfig {
+            path: path.into(),
+            every_improvements: args.get("checkpoint-every", 10)?,
+        });
+    }
+    if let Some(path) = args.flags.get("resume") {
+        let state = ResumeState::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        println!(
+            "resume  : replaying {} evaluations from {path}",
+            state.evaluations()
+        );
+        opts.resume = Some(state);
+    }
+    if args.flags.contains_key("kill-after-evals") {
+        opts.abort_after_evals = Some(args.get("kill-after-evals", 0)?);
+    }
+    Ok(opts)
+}
+
+/// A [`DirectBackend`], wrapped in fault injection when `--inject-faults`
+/// asks for it.
+fn backend_from(args: &Args) -> Result<Box<dyn Backend>, String> {
+    let rate: f64 = args.get("inject-faults", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--inject-faults must be in [0, 1], got {rate}"));
+    }
+    if rate > 0.0 {
+        let seed: u64 = args.get("fault-seed", 12345)?;
+        println!("faults  : injecting evaluation failures at rate {rate} (seed {seed})");
+        Ok(Box::new(FaultyBackend::wrap(
+            DirectBackend::new(),
+            FaultSpec::eval_failures(rate, seed),
+        )))
+    } else {
+        Ok(Box::new(DirectBackend::new()))
+    }
+}
+
 fn cmd_vqe(args: &Args) -> Result<(), String> {
     let mol = molecule_from(args)?;
     let max_evals: usize = args.get("max-evals", 4000)?;
@@ -119,15 +184,26 @@ fn cmd_vqe(args: &Args) -> Result<(), String> {
         hamiltonian: h.clone(),
         ansatz,
     };
-    let mut backend = DirectBackend::new();
+    let opts = resilience_from(args)?;
+    let mut backend = backend_from(args)?;
     let mut optimizer = optimizer_from(args)?;
     let x0 = vec![0.0; problem.ansatz.n_params()];
-    let r = run_vqe(&problem, &mut backend, &mut *optimizer, &x0, max_evals)
-        .map_err(|e| e.to_string())?;
+    let r = run_vqe_with(
+        &problem,
+        &mut *backend,
+        &mut *optimizer,
+        &x0,
+        max_evals,
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "E_VQE   : {:+.6} Ha  ({} evaluations)",
         r.energy, r.evaluations
     );
+    if let Some(ckpt) = &opts.checkpoint {
+        println!("ckpt    : wrote {}", ckpt.path.display());
+    }
     if h.n_qubits() <= 14 {
         let exact = ground_energy_sector_default(&h, Sector::closed_shell(mol.n_electrons()))
             .map_err(|e| e.to_string())?;
@@ -160,15 +236,24 @@ fn cmd_adapt(args: &Args) -> Result<(), String> {
         h.num_terms(),
         pool.len()
     );
-    let mut backend = DirectBackend::new();
+    let opts = resilience_from(args)?;
+    let mut backend = backend_from(args)?;
     let mut opt = NelderMead::for_vqe();
     let config = nwq_core::adapt::AdaptConfig {
         max_iterations: max_iter,
         target_energy: Some(exact),
         ..Default::default()
     };
-    let r = nwq_core::adapt::run_adapt_vqe(&h, &pool, electrons, &mut backend, &mut opt, &config)
-        .map_err(|e| e.to_string())?;
+    let r = nwq_core::adapt::run_adapt_vqe_with(
+        &h,
+        &pool,
+        electrons,
+        &mut *backend,
+        &mut opt,
+        &config,
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
     for (i, it) in r.iterations.iter().enumerate() {
         println!(
             "iter {:>2}: +{:<14} E = {:+.8}  dE = {:+.2e}",
@@ -178,7 +263,15 @@ fn cmd_adapt(args: &Args) -> Result<(), String> {
             it.energy - exact
         );
     }
-    println!("stop: {:?} (dE = {:+.2e})", r.stop_reason, r.energy - exact);
+    println!(
+        "stop: {:?} (dE = {:+.2e}, {} evaluations)",
+        r.stop_reason,
+        r.energy - exact,
+        r.total_evaluations
+    );
+    if let Some(ckpt) = &opts.checkpoint {
+        println!("ckpt    : wrote {}", ckpt.path.display());
+    }
     Ok(())
 }
 

@@ -37,6 +37,30 @@ pub enum Error {
     Numerical(String),
     /// Invalid user input not covered by a more specific variant.
     Invalid(String),
+    /// Transient backend/infrastructure failure (lost rank, corrupted
+    /// exchange, injected fault). Unlike the variants above this one is
+    /// *retryable*: the same evaluation may succeed on a fresh attempt.
+    Backend(String),
+    /// A long-running driver was interrupted by a non-recoverable failure
+    /// after exhausting its retry budget. Carries the path of the
+    /// checkpoint written on the way down (when checkpointing was
+    /// configured) so the run can be resumed, plus the underlying cause.
+    Interrupted {
+        /// Checkpoint file written at interruption, if any.
+        checkpoint: Option<String>,
+        /// The error that forced the interruption.
+        cause: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Whether a retry of the same operation could plausibly succeed.
+    /// Structural errors (bad qubit indices, dimension mismatches, invalid
+    /// input) are deterministic and never transient; backend faults and
+    /// numerical corruption can clear on re-execution.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Backend(_) | Error::Numerical(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -59,6 +83,11 @@ impl fmt::Display for Error {
             }
             Error::Numerical(msg) => write!(f, "numerical error: {msg}"),
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            Error::Backend(msg) => write!(f, "backend failure: {msg}"),
+            Error::Interrupted { checkpoint, cause } => match checkpoint {
+                Some(path) => write!(f, "run interrupted ({cause}); checkpoint written to {path}"),
+                None => write!(f, "run interrupted ({cause}); no checkpoint configured"),
+            },
         }
     }
 }
@@ -93,5 +122,33 @@ mod tests {
     fn is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::Invalid("x".into()));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::Backend("rank 3 lost".into()).is_transient());
+        assert!(Error::Numerical("nan energy".into()).is_transient());
+        assert!(!Error::Invalid("bad".into()).is_transient());
+        assert!(!Error::DuplicateQubit(1).is_transient());
+        assert!(!Error::Interrupted {
+            checkpoint: None,
+            cause: Box::new(Error::Backend("x".into())),
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn interrupted_display_mentions_checkpoint() {
+        let e = Error::Interrupted {
+            checkpoint: Some("ck.json".into()),
+            cause: Box::new(Error::Backend("rank lost".into())),
+        };
+        let s = e.to_string();
+        assert!(s.contains("ck.json") && s.contains("rank lost"), "{s}");
+        let none = Error::Interrupted {
+            checkpoint: None,
+            cause: Box::new(Error::Numerical("nan".into())),
+        };
+        assert!(none.to_string().contains("no checkpoint"));
     }
 }

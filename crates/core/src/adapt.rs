@@ -7,6 +7,7 @@
 //! until the largest gradient or the energy improvement stalls.
 
 use crate::backend::Backend;
+use crate::resilience::{prepare_resume, snapshot_header, ResilienceOptions, ResilientEvaluator};
 use nwq_chem::pool::OperatorPool;
 use nwq_chem::uccsd::{append_generator_exponential, append_hf_state};
 use nwq_circuit::Circuit;
@@ -14,6 +15,7 @@ use nwq_common::{Error, Result};
 use nwq_opt::Optimizer;
 use nwq_pauli::PauliOp;
 use nwq_statevec::executor::simulate_plan;
+use nwq_telemetry::JsonValue;
 
 /// ADAPT-VQE configuration.
 #[derive(Clone, Debug)]
@@ -69,6 +71,9 @@ pub struct AdaptResult {
     pub iterations: Vec<AdaptIteration>,
     /// Why the loop stopped.
     pub stop_reason: StopReason,
+    /// Successful backend energy evaluations across the whole run
+    /// (initial HF energy plus every inner-loop evaluation).
+    pub total_evaluations: usize,
 }
 
 /// Why ADAPT-VQE terminated.
@@ -92,18 +97,112 @@ pub fn run_adapt_vqe(
     optimizer: &mut dyn Optimizer,
     config: &AdaptConfig,
 ) -> Result<AdaptResult> {
+    run_adapt_vqe_with(
+        hamiltonian,
+        pool,
+        n_electrons,
+        backend,
+        optimizer,
+        config,
+        &ResilienceOptions::default(),
+    )
+}
+
+/// [`run_adapt_vqe`] with resilience: checkpoint/restart, bounded retries
+/// of transient failures, and prompt abort (wrapped in
+/// [`Error::Interrupted`]) once the retry budget is exhausted.
+///
+/// Restart replays the checkpoint's successful-energy log from the start
+/// of the run; because pool screening and the inner optimizers are
+/// deterministic given that log, the resumed trajectory — operator
+/// selections included — is bitwise identical to an uninterrupted run.
+pub fn run_adapt_vqe_with(
+    hamiltonian: &PauliOp,
+    pool: &OperatorPool,
+    n_electrons: usize,
+    backend: &mut dyn Backend,
+    optimizer: &mut dyn Optimizer,
+    config: &AdaptConfig,
+    opts: &ResilienceOptions,
+) -> Result<AdaptResult> {
     if pool.is_empty() {
         return Err(Error::Invalid("ADAPT pool is empty".into()));
     }
+    let _span = nwq_telemetry::span!("adapt.run");
+    let fingerprint = adapt_fingerprint(hamiltonian, pool, n_electrons, config);
+    let resumed_log = prepare_resume(opts, "adapt", &fingerprint, optimizer)?;
+    let header = snapshot_header("adapt", fingerprint, optimizer);
+    let mut ev = ResilientEvaluator::new(backend, opts, header, resumed_log);
+    match adapt_loop(hamiltonian, pool, n_electrons, optimizer, config, &mut ev) {
+        Ok((energy, params, ansatz, iterations, stop_reason)) => {
+            ev.checkpoint_final()?;
+            Ok(AdaptResult {
+                energy,
+                params,
+                ansatz,
+                iterations,
+                stop_reason,
+                total_evaluations: ev.total_evals(),
+            })
+        }
+        Err(cause) => Err(ev.interrupt(cause)),
+    }
+}
+
+fn adapt_fingerprint(
+    hamiltonian: &PauliOp,
+    pool: &OperatorPool,
+    n_electrons: usize,
+    config: &AdaptConfig,
+) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "n_qubits".into(),
+            JsonValue::Int(hamiltonian.n_qubits() as u64),
+        ),
+        (
+            "h_terms".into(),
+            JsonValue::Int(hamiltonian.terms().len() as u64),
+        ),
+        ("pool_size".into(), JsonValue::Int(pool.ops.len() as u64)),
+        ("n_electrons".into(), JsonValue::Int(n_electrons as u64)),
+        (
+            "max_iterations".into(),
+            JsonValue::Int(config.max_iterations as u64),
+        ),
+        ("grad_tol".into(), JsonValue::Float(config.grad_tol)),
+        (
+            "inner_max_evals".into(),
+            JsonValue::Int(config.inner_max_evals as u64),
+        ),
+        ("accuracy".into(), JsonValue::Float(config.accuracy)),
+        (
+            "target_energy".into(),
+            config
+                .target_energy
+                .map_or(JsonValue::Null, JsonValue::Float),
+        ),
+    ])
+}
+
+type AdaptLoopOutput = (f64, Vec<f64>, Circuit, Vec<AdaptIteration>, StopReason);
+
+fn adapt_loop(
+    hamiltonian: &PauliOp,
+    pool: &OperatorPool,
+    n_electrons: usize,
+    optimizer: &mut dyn Optimizer,
+    config: &AdaptConfig,
+    ev: &mut ResilientEvaluator<'_>,
+) -> Result<AdaptLoopOutput> {
     let n_qubits = hamiltonian.n_qubits();
     let mut ansatz = Circuit::new(n_qubits);
     append_hf_state(&mut ansatz, n_electrons)?;
     let mut params: Vec<f64> = Vec::new();
-    let mut chosen: Vec<usize> = Vec::new();
+    let mut chosen: Vec<String> = Vec::new();
     let mut iterations: Vec<AdaptIteration> = Vec::new();
-    let mut energy = backend.energy(&ansatz, &params, hamiltonian)?;
+    let mut energy = ev.eval(&ansatz, &params, hamiltonian)?;
     let mut stop_reason = StopReason::IterationLimit;
-    let _span = nwq_telemetry::span!("adapt.run");
 
     for _iter in 0..config.max_iterations {
         let iter_start = std::time::Instant::now();
@@ -114,7 +213,9 @@ pub fn run_adapt_vqe(
             .iter()
             .enumerate()
             .map(|(k, g)| (k, g.abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            // total_cmp keeps screening panic-free if a corrupted state
+            // produces NaN gradients.
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty pool");
         if best_g < config.grad_tol {
             stop_reason = StopReason::GradientConverged;
@@ -122,16 +223,19 @@ pub fn run_adapt_vqe(
         }
         // Grow the ansatz by one layer.
         append_generator_exponential(&mut ansatz, &pool.ops[best_k].generator, params.len())?;
-        chosen.push(best_k);
+        chosen.push(pool.ops[best_k].name.clone());
+        ev.set_extra(
+            "chosen_operators",
+            JsonValue::Array(chosen.iter().cloned().map(JsonValue::Str).collect()),
+        );
         params.push(0.0);
 
         // Re-optimize all parameters (warm start from previous optimum).
-        let mut objective = |theta: &[f64]| -> f64 {
-            backend
-                .energy(&ansatz, theta, hamiltonian)
-                .unwrap_or(f64::INFINITY)
-        };
-        let r = optimizer.minimize(&mut objective, &params, config.inner_max_evals);
+        let r = optimizer.try_minimize(
+            &mut |theta| ev.eval(&ansatz, theta, hamiltonian),
+            &params,
+            config.inner_max_evals,
+        )?;
         params = r.params;
         energy = r.value;
         iterations.push(AdaptIteration {
@@ -158,13 +262,7 @@ pub fn run_adapt_vqe(
             }
         }
     }
-    Ok(AdaptResult {
-        energy,
-        params,
-        ansatz,
-        iterations,
-        stop_reason,
-    })
+    Ok((energy, params, ansatz, iterations, stop_reason))
 }
 
 #[cfg(test)]
@@ -261,6 +359,66 @@ mod tests {
         assert_eq!(r.stop_reason, StopReason::GradientConverged);
         assert!(r.iterations.is_empty());
         assert!((r.energy + 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adapt_kill_and_resume_is_bitwise_identical() {
+        let m = h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let pool = OperatorPool::singles_doubles(4, 2).unwrap();
+        let config = AdaptConfig {
+            max_iterations: 3,
+            grad_tol: 1e-8,
+            inner_max_evals: 400,
+            ..Default::default()
+        };
+        let clean = {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::for_vqe();
+            run_adapt_vqe(&h, &pool, 2, &mut backend, &mut opt, &config).unwrap()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "nwq-resilience-{}-adapt-kill.json",
+            std::process::id()
+        ));
+        {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::for_vqe();
+            let opts = crate::resilience::ResilienceOptions {
+                checkpoint: Some(crate::resilience::CheckpointConfig::new(&path)),
+                abort_after_evals: Some(clean.total_evaluations / 2),
+                ..Default::default()
+            };
+            let err = run_adapt_vqe_with(&h, &pool, 2, &mut backend, &mut opt, &config, &opts)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::Interrupted {
+                        checkpoint: Some(_),
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+        let resumed = {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::for_vqe();
+            let opts = crate::resilience::ResilienceOptions {
+                resume: Some(crate::resilience::ResumeState::load(&path).unwrap()),
+                ..Default::default()
+            };
+            run_adapt_vqe_with(&h, &pool, 2, &mut backend, &mut opt, &config, &opts).unwrap()
+        };
+        assert_eq!(resumed.energy.to_bits(), clean.energy.to_bits());
+        assert_eq!(resumed.total_evaluations, clean.total_evaluations);
+        assert_eq!(resumed.iterations.len(), clean.iterations.len());
+        for (a, b) in resumed.iterations.iter().zip(&clean.iterations) {
+            assert_eq!(a.operator, b.operator);
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub trait Backend {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Drops cached derived state (post-ansatz states, compiled plans) so
+    /// the next evaluation recomputes from scratch — the recovery hook the
+    /// resilience layer pulls between retries, since a transient fault may
+    /// have poisoned whatever was cached. No-op for stateless backends.
+    fn invalidate_cache(&mut self) {}
 }
 
 fn check_widths(ansatz: &Circuit, observable: &PauliOp) -> Result<()> {
@@ -202,6 +208,10 @@ impl Backend for DirectBackend {
 
     fn name(&self) -> &'static str {
         "direct"
+    }
+
+    fn invalidate_cache(&mut self) {
+        self.cache.invalidate();
     }
 }
 

@@ -41,17 +41,21 @@ pub mod adapt;
 pub mod backend;
 pub mod exact;
 pub mod qpe;
+pub mod resilience;
 pub mod vqd;
 pub mod vqe;
 pub mod workflow;
 
-pub use adapt::{run_adapt_vqe, AdaptConfig, AdaptResult};
+pub use adapt::{run_adapt_vqe, run_adapt_vqe_with, AdaptConfig, AdaptResult};
 pub use backend::{
     Backend, BackendStats, CachedMeasureBackend, DensityBackend, DirectBackend, DistributedBackend,
     NonCachingBackend, SamplingBackend,
 };
 pub use exact::{ground_energy_sector_default, Sector};
 pub use qpe::{run_qpe, QpeConfig, QpeOutcome};
+pub use resilience::{
+    run_vqe_with, CheckpointConfig, FaultyBackend, ResilienceOptions, ResumeState, RetryPolicy,
+};
 pub use vqd::{run_vqd, VqdConfig, VqdResult};
 pub use vqe::{run_vqe, VqeProblem, VqeResult};
 pub use workflow::{run_vqe_workflow, WorkflowConfig, WorkflowResult};

@@ -143,6 +143,7 @@ pub fn append_controlled_exp_pauli(
             _ => {}
         }
     }
+    // Infallible: callers skip identity strings, so `support` is non-empty.
     let last = *support.last().expect("non-identity string");
     for w in support.windows(2) {
         circuit.push(Gate::CX(w[0], w[1]))?;
@@ -223,7 +224,9 @@ pub fn run_qpe(h: &PauliOp, state_prep: &Circuit, config: &QpeConfig) -> Result<
     let (peak, &peak_probability) = distribution
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        // total_cmp keeps this panic-free even if a fault left NaN
+        // probabilities in the distribution.
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty distribution");
     let phase = peak as f64 / (1usize << m) as f64;
     let energy = -2.0 * PI * phase / config.t;

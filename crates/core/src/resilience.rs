@@ -1,0 +1,909 @@
+//! Fault-tolerant driving of the variational loops: checkpoint/restart,
+//! bounded retries, and a fault-injecting backend decorator.
+//!
+//! Long VQE campaigns on shared HPC systems die for reasons that have
+//! nothing to do with chemistry — job-time limits, preempted nodes, lost
+//! ranks, corrupted exchanges. This module makes such runs resumable and
+//! the recovery paths testable:
+//!
+//! - [`CheckpointConfig`] + [`ResumeState`] — versioned, dependency-free
+//!   JSON snapshots of a run (optimizer configuration, the ordered log of
+//!   successful energies, best parameters), written atomically
+//!   (temp + rename) every N improvements and on the way down after a
+//!   non-recoverable failure;
+//! - [`RetryPolicy`] — bounded re-attempts of transient evaluation
+//!   failures ([`Error::is_transient`]), with a cache invalidation between
+//!   attempts so a poisoned post-ansatz state cannot survive a retry;
+//! - [`FaultyBackend`] — wraps any [`Backend`] and injects deterministic,
+//!   seeded evaluation failures and NaN energies from
+//!   [`nwq_dist::FaultSpec`].
+//!
+//! ## Restart semantics: evaluation-log replay
+//!
+//! A checkpoint stores the ordered energies of every *successful*
+//! evaluation. On resume the driver re-runs the optimizer from the same
+//! starting point with the same restored configuration and answers the
+//! first `eval_log.len()` objective calls from the log without touching
+//! the backend. Because every optimizer in `nwq-opt` is deterministic
+//! given its configuration (SPSA re-seeds its RNG at the start of each
+//! minimization), the replayed trajectory is *bitwise identical* to the
+//! original — the resumed run continues exactly where the interrupted one
+//! stopped, and its final energy and evaluation count match an
+//! uninterrupted run exactly.
+
+use crate::backend::Backend;
+use crate::vqe::{VqeProblem, VqeResult};
+use nwq_circuit::Circuit;
+use nwq_common::{Error, Result};
+use nwq_dist::FaultInjector;
+use nwq_opt::Optimizer;
+use nwq_pauli::PauliOp;
+use nwq_telemetry::JsonValue;
+use std::path::{Path, PathBuf};
+
+pub use nwq_dist::{FaultSpec, FaultStats};
+
+/// Checkpoint schema version; bumped on incompatible layout changes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Bounded-retry policy for transient evaluation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts allowed per evaluation after the first try. Transient
+    /// failures beyond this budget abort the run (writing a checkpoint
+    /// when one is configured).
+    pub max_retries: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 5 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is immediately fatal.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0 }
+    }
+}
+
+/// Where and how often to write checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Snapshot file path (written atomically via a `.tmp` sibling).
+    pub path: PathBuf,
+    /// Write a snapshot every this many best-energy improvements. A
+    /// snapshot is also written after a failure and at successful
+    /// completion regardless of this cadence.
+    pub every_improvements: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints at `path` with the default cadence (every 10
+    /// improvements).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: path.into(),
+            every_improvements: 10,
+        }
+    }
+}
+
+/// Resilience knobs accepted by [`run_vqe_with`] and
+/// [`crate::adapt::run_adapt_vqe_with`].
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceOptions {
+    /// Periodic checkpointing (off by default).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from a previously written checkpoint.
+    pub resume: Option<ResumeState>,
+    /// Transient-failure retry budget.
+    pub retry: RetryPolicy,
+    /// Testing hook: inject a fatal failure after this many *fresh*
+    /// (non-replayed) successful evaluations — the `--kill-after-evals`
+    /// switch the kill-and-resume smoke test uses.
+    pub abort_after_evals: Option<usize>,
+}
+
+/// A loaded checkpoint, ready to hand to a `*_with` driver.
+#[derive(Clone, Debug)]
+pub struct ResumeState {
+    doc: JsonValue,
+}
+
+impl ResumeState {
+    /// Loads and validates a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let context = |e: &dyn std::fmt::Display| {
+            Error::Invalid(format!("checkpoint {}: {e}", path.display()))
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| context(&e))?;
+        let doc = JsonValue::parse(&text).map_err(|e| context(&e))?;
+        match doc.get("version").and_then(JsonValue::as_u64) {
+            Some(CHECKPOINT_VERSION) => Ok(ResumeState { doc }),
+            v => Err(context(&format!(
+                "unsupported checkpoint version {v:?} (expected {CHECKPOINT_VERSION})"
+            ))),
+        }
+    }
+
+    /// The run kind recorded in the checkpoint (`"vqe"` or `"adapt"`).
+    pub fn kind(&self) -> &str {
+        self.doc
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+    }
+
+    /// Best energy recorded at snapshot time, if any evaluation succeeded.
+    pub fn best_energy(&self) -> Option<f64> {
+        self.doc.get("best")?.get("energy")?.as_f64()
+    }
+
+    /// Successful evaluations recorded at snapshot time.
+    pub fn evaluations(&self) -> usize {
+        self.doc
+            .get("eval_log")
+            .and_then(JsonValue::as_array)
+            .map_or(0, <[JsonValue]>::len)
+    }
+
+    /// The ordered successful-energy log to replay.
+    fn eval_log(&self) -> Result<Vec<f64>> {
+        let items = self
+            .doc
+            .get("eval_log")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| Error::Invalid("checkpoint is missing eval_log".into()))?;
+        items
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    Error::Invalid("non-numeric entry in checkpoint eval_log".into())
+                })
+            })
+            .collect()
+    }
+
+    /// Verifies the checkpoint matches this run (kind, problem
+    /// fingerprint, optimizer), restores the optimizer configuration, and
+    /// returns the evaluation log to replay.
+    fn prepare(
+        &self,
+        kind: &str,
+        fingerprint: &JsonValue,
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<Vec<f64>> {
+        if self.kind() != kind {
+            return Err(Error::Invalid(format!(
+                "checkpoint kind {:?} cannot resume a {kind} run",
+                self.kind()
+            )));
+        }
+        let stored = self.doc.get("fingerprint").ok_or_else(|| {
+            Error::Invalid("checkpoint is missing its problem fingerprint".into())
+        })?;
+        if stored.render() != fingerprint.render() {
+            return Err(Error::Invalid(
+                "checkpoint fingerprint does not match this problem \
+                 (different Hamiltonian, ansatz, start point, or budget)"
+                    .into(),
+            ));
+        }
+        let opt = self
+            .doc
+            .get("optimizer")
+            .ok_or_else(|| Error::Invalid("checkpoint is missing optimizer state".into()))?;
+        let name = opt.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        if name != optimizer.name() {
+            return Err(Error::Invalid(format!(
+                "checkpoint was written by optimizer {name:?}, cannot resume with {:?}",
+                optimizer.name()
+            )));
+        }
+        optimizer.restore_state(opt.get("state").unwrap_or(&JsonValue::Null))?;
+        self.eval_log()
+    }
+}
+
+/// Writes `doc` to `path` atomically: render to `<path>.tmp`, then rename
+/// over the target, so a crash mid-write can never leave a truncated
+/// checkpoint behind.
+fn write_atomic(path: &Path, doc: &JsonValue) -> Result<()> {
+    let context =
+        |e: &std::io::Error| Error::Invalid(format!("writing checkpoint {}: {e}", path.display()));
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    std::fs::write(&tmp, doc.render()).map_err(|e| context(&e))?;
+    std::fs::rename(&tmp, path).map_err(|e| context(&e))?;
+    nwq_telemetry::counter_add("resilience.checkpoints_written", 1);
+    Ok(())
+}
+
+/// The shared evaluation engine behind [`run_vqe_with`] and
+/// [`crate::adapt::run_adapt_vqe_with`]: replays the resumed prefix,
+/// retries transient failures with cache invalidation, enforces the kill
+/// switch, tracks the best point, and writes checkpoints.
+pub(crate) struct ResilientEvaluator<'a> {
+    backend: &'a mut dyn Backend,
+    retry: RetryPolicy,
+    checkpoint: Option<CheckpointConfig>,
+    abort_after_evals: Option<usize>,
+    /// Header fields every snapshot starts with (version, kind,
+    /// fingerprint, optimizer configuration).
+    header: Vec<(String, JsonValue)>,
+    /// Driver-provided informational fields (e.g. ADAPT pool selections).
+    extra: Vec<(String, JsonValue)>,
+    /// All successful energies, in evaluation order: the resumed prefix
+    /// followed by fresh results.
+    eval_log: Vec<f64>,
+    /// Objective calls served so far; calls below `replay_until` are
+    /// answered from `eval_log` without touching the backend.
+    cursor: usize,
+    replay_until: usize,
+    fresh_evals: usize,
+    best_energy: f64,
+    best_params: Vec<f64>,
+    improvements_since_ckpt: usize,
+}
+
+impl<'a> ResilientEvaluator<'a> {
+    pub(crate) fn new(
+        backend: &'a mut dyn Backend,
+        opts: &ResilienceOptions,
+        header: Vec<(String, JsonValue)>,
+        resumed_log: Vec<f64>,
+    ) -> Self {
+        let replay_until = resumed_log.len();
+        ResilientEvaluator {
+            backend,
+            retry: opts.retry,
+            checkpoint: opts.checkpoint.clone(),
+            abort_after_evals: opts.abort_after_evals,
+            header,
+            extra: Vec::new(),
+            eval_log: resumed_log,
+            cursor: 0,
+            replay_until,
+            fresh_evals: 0,
+            best_energy: f64::INFINITY,
+            best_params: Vec::new(),
+            improvements_since_ckpt: 0,
+        }
+    }
+
+    /// Total successful evaluations so far (replayed + fresh).
+    pub(crate) fn total_evals(&self) -> usize {
+        self.eval_log.len()
+    }
+
+    /// Attaches/overwrites an informational snapshot field.
+    pub(crate) fn set_extra(&mut self, key: &str, value: JsonValue) {
+        if let Some(slot) = self.extra.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.extra.push((key.to_string(), value));
+        }
+    }
+
+    /// One resilient objective evaluation at `theta`.
+    pub(crate) fn eval(&mut self, ansatz: &Circuit, theta: &[f64], h: &PauliOp) -> Result<f64> {
+        if self.cursor < self.replay_until {
+            let e = self.eval_log[self.cursor];
+            self.cursor += 1;
+            nwq_telemetry::counter_add("resilience.evals_replayed", 1);
+            self.note_success(e, theta);
+            return Ok(e);
+        }
+        if let Some(limit) = self.abort_after_evals {
+            if self.fresh_evals >= limit {
+                return Err(Error::Invalid(format!(
+                    "kill switch tripped after {limit} fresh evaluations"
+                )));
+            }
+        }
+        let mut attempt = 0;
+        loop {
+            let outcome = self.backend.energy(ansatz, theta, h).and_then(|e| {
+                if e.is_finite() {
+                    Ok(e)
+                } else {
+                    nwq_telemetry::counter_add("resilience.nonfinite_detected", 1);
+                    Err(Error::Numerical(
+                        "non-finite energy returned by backend".into(),
+                    ))
+                }
+            });
+            match outcome {
+                Ok(e) => {
+                    self.cursor += 1;
+                    self.fresh_evals += 1;
+                    self.eval_log.push(e);
+                    let improved = self.note_success(e, theta);
+                    if improved {
+                        self.maybe_checkpoint()?;
+                    }
+                    return Ok(e);
+                }
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    nwq_telemetry::counter_add("resilience.retries", 1);
+                    // A transient fault may have poisoned cached derived
+                    // state; drop it so the retry recomputes from scratch.
+                    self.backend.invalidate_cache();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn note_success(&mut self, e: f64, theta: &[f64]) -> bool {
+        if e < self.best_energy {
+            self.best_energy = e;
+            self.best_params = theta.to_vec();
+            self.improvements_since_ckpt += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn snapshot(&self) -> JsonValue {
+        let mut fields = self.header.clone();
+        fields.extend(self.extra.iter().cloned());
+        fields.push((
+            "eval_log".into(),
+            JsonValue::Array(self.eval_log.iter().map(|&e| JsonValue::Float(e)).collect()),
+        ));
+        let best = if self.best_params.is_empty() {
+            JsonValue::Null
+        } else {
+            JsonValue::Object(vec![
+                ("energy".into(), JsonValue::Float(self.best_energy)),
+                (
+                    "params".into(),
+                    JsonValue::Array(
+                        self.best_params
+                            .iter()
+                            .map(|&p| JsonValue::Float(p))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "evaluations".into(),
+                    JsonValue::Int(self.eval_log.len() as u64),
+                ),
+            ])
+        };
+        fields.push(("best".into(), best));
+        JsonValue::Object(fields)
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        let due = match &self.checkpoint {
+            Some(cfg) => self.improvements_since_ckpt >= cfg.every_improvements.max(1),
+            None => false,
+        };
+        if due {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self) -> Result<()> {
+        if let Some(cfg) = &self.checkpoint {
+            write_atomic(&cfg.path, &self.snapshot())?;
+            self.improvements_since_ckpt = 0;
+        }
+        Ok(())
+    }
+
+    /// Final snapshot after a successful run (propagates write errors).
+    pub(crate) fn checkpoint_final(&mut self) -> Result<()> {
+        self.write_checkpoint()
+    }
+
+    /// Best-effort snapshot on the way down; returns the path on success
+    /// for embedding in [`Error::Interrupted`].
+    pub(crate) fn checkpoint_on_failure(&mut self) -> Option<String> {
+        let path = self.checkpoint.as_ref()?.path.display().to_string();
+        self.write_checkpoint().ok()?;
+        Some(path)
+    }
+
+    /// Wraps `cause` in [`Error::Interrupted`] after attempting a final
+    /// checkpoint.
+    pub(crate) fn interrupt(&mut self, cause: Error) -> Error {
+        nwq_telemetry::counter_add("resilience.interrupted", 1);
+        Error::Interrupted {
+            checkpoint: self.checkpoint_on_failure(),
+            cause: Box::new(cause),
+        }
+    }
+}
+
+/// Builds the VQE problem fingerprint stored in (and verified against)
+/// checkpoints: resuming is only sound when the objective and the start
+/// point are exactly those of the interrupted run.
+fn vqe_fingerprint(problem: &VqeProblem, x0: &[f64], max_evals: usize) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "n_qubits".into(),
+            JsonValue::Int(problem.ansatz.n_qubits() as u64),
+        ),
+        (
+            "n_params".into(),
+            JsonValue::Int(problem.ansatz.n_params() as u64),
+        ),
+        (
+            "ansatz_gates".into(),
+            JsonValue::Int(problem.ansatz.len() as u64),
+        ),
+        (
+            "h_terms".into(),
+            JsonValue::Int(problem.hamiltonian.terms().len() as u64),
+        ),
+        (
+            "x0".into(),
+            JsonValue::Array(x0.iter().map(|&x| JsonValue::Float(x)).collect()),
+        ),
+        ("max_evals".into(), JsonValue::Int(max_evals as u64)),
+    ])
+}
+
+/// Builds the snapshot header shared by both run kinds. Call *after*
+/// restoring the optimizer so the stored state reflects what actually ran.
+pub(crate) fn snapshot_header(
+    kind: &str,
+    fingerprint: JsonValue,
+    optimizer: &dyn Optimizer,
+) -> Vec<(String, JsonValue)> {
+    vec![
+        ("version".into(), JsonValue::Int(CHECKPOINT_VERSION)),
+        ("kind".into(), JsonValue::Str(kind.into())),
+        ("fingerprint".into(), fingerprint),
+        (
+            "optimizer".into(),
+            JsonValue::Object(vec![
+                ("name".into(), JsonValue::Str(optimizer.name().into())),
+                ("state".into(), optimizer.state_json()),
+            ]),
+        ),
+    ]
+}
+
+/// Verifies and applies `opts.resume` (when present), returning the
+/// evaluation log to replay.
+pub(crate) fn prepare_resume(
+    opts: &ResilienceOptions,
+    kind: &str,
+    fingerprint: &JsonValue,
+    optimizer: &mut dyn Optimizer,
+) -> Result<Vec<f64>> {
+    match &opts.resume {
+        Some(state) => state.prepare(kind, fingerprint, optimizer),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// [`crate::vqe::run_vqe`] with resilience: checkpoint/restart, bounded
+/// retries of transient failures, and prompt abort (wrapped in
+/// [`Error::Interrupted`]) once the retry budget is exhausted.
+pub fn run_vqe_with(
+    problem: &VqeProblem,
+    backend: &mut dyn Backend,
+    optimizer: &mut dyn Optimizer,
+    x0: &[f64],
+    max_evals: usize,
+    opts: &ResilienceOptions,
+) -> Result<VqeResult> {
+    if x0.len() < problem.ansatz.n_params() {
+        return Err(Error::ParameterMismatch {
+            expected: problem.ansatz.n_params(),
+            got: x0.len(),
+        });
+    }
+    if !problem.hamiltonian.is_hermitian(1e-9) {
+        return Err(Error::Invalid("VQE observable must be Hermitian".into()));
+    }
+    let _span = nwq_telemetry::span!("vqe.run");
+    let fingerprint = vqe_fingerprint(problem, x0, max_evals);
+    let resumed_log = prepare_resume(opts, "vqe", &fingerprint, optimizer)?;
+    let header = snapshot_header("vqe", fingerprint, optimizer);
+    let mut ev = ResilientEvaluator::new(backend, opts, header, resumed_log);
+
+    let mut history: Vec<f64> = Vec::new();
+    let telemetry = nwq_telemetry::enabled();
+    let ansatz_gates = problem.ansatz.len() as u64;
+    let mut last_mark = std::time::Instant::now();
+    let result = {
+        let mut objective = |theta: &[f64]| -> Result<f64> {
+            let e = ev.eval(&problem.ansatz, theta, &problem.hamiltonian)?;
+            let prev_best = history.last().copied().unwrap_or(f64::INFINITY);
+            let best = prev_best.min(e);
+            history.push(best);
+            // One record per *improvement*, not per evaluation — keeps
+            // the artifact bounded for long optimizer runs.
+            if telemetry && best < prev_best {
+                nwq_telemetry::record_iteration(nwq_telemetry::IterationRecord {
+                    iteration: history.len() - 1,
+                    energy: best,
+                    grad_norm: None,
+                    evaluations: history.len() as u64,
+                    gates: ansatz_gates,
+                    wall_ms: last_mark.elapsed().as_secs_f64() * 1e3,
+                    label: None,
+                });
+                last_mark = std::time::Instant::now();
+            }
+            Ok(e)
+        };
+        optimizer.try_minimize(&mut objective, x0, max_evals)
+    };
+    match result {
+        Ok(r) => {
+            ev.checkpoint_final()?;
+            Ok(VqeResult {
+                energy: r.value,
+                params: r.params,
+                evaluations: r.evals,
+                converged: r.converged,
+                history,
+            })
+        }
+        Err(cause) => Err(ev.interrupt(cause)),
+    }
+}
+
+/// Wraps any [`Backend`] with deterministic, seeded fault injection:
+/// evaluation failures surface as transient [`Error::Backend`] and
+/// NaN-amplitude faults as non-finite energies, exercising the retry and
+/// health-guard paths of the drivers above.
+pub struct FaultyBackend {
+    inner: Box<dyn Backend>,
+    injector: FaultInjector,
+}
+
+impl FaultyBackend {
+    /// Decorates `inner` with faults drawn from `spec`.
+    pub fn new(inner: Box<dyn Backend>, spec: FaultSpec) -> Self {
+        FaultyBackend {
+            inner,
+            injector: FaultInjector::new(spec),
+        }
+    }
+
+    /// Decorates a concrete backend (convenience over [`FaultyBackend::new`]).
+    pub fn wrap(inner: impl Backend + 'static, spec: FaultSpec) -> Self {
+        FaultyBackend::new(Box::new(inner), spec)
+    }
+
+    /// Faults injected so far, by class.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn Backend {
+        self.inner.as_ref()
+    }
+}
+
+impl Backend for FaultyBackend {
+    fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
+        // Both draws happen before the inner call so the fault sequence is
+        // a pure function of the seed, independent of inner behaviour.
+        let fail = self.injector.should_fail_eval();
+        let nan = self.injector.should_inject_nan();
+        if fail {
+            return Err(Error::Backend("injected evaluation failure".into()));
+        }
+        if nan {
+            // Models corrupted amplitudes reaching the reduction: the
+            // readout "completes" but the result is garbage.
+            return Ok(f64::NAN);
+        }
+        self.inner.energy(ansatz, params, observable)
+    }
+
+    fn stats(&self) -> crate::backend::BackendStats {
+        self.inner.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn invalidate_cache(&mut self) {
+        self.inner.invalidate_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendStats, DirectBackend};
+    use nwq_circuit::ParamExpr;
+    use nwq_opt::{NelderMead, Spsa};
+
+    fn toy_problem() -> VqeProblem {
+        let mut ansatz = Circuit::new(2);
+        ansatz
+            .ry(0, ParamExpr::var(0))
+            .cx(0, 1)
+            .ry(1, ParamExpr::var(1));
+        VqeProblem {
+            hamiltonian: PauliOp::parse("1.0 ZZ + 1.0 XX").unwrap(),
+            ansatz,
+        }
+    }
+
+    fn tmp_checkpoint(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("nwq-resilience-{}-{name}.json", std::process::id()))
+    }
+
+    /// Fails every evaluation with a structural (non-transient) error.
+    struct BrokenBackend {
+        attempts: u64,
+    }
+
+    impl Backend for BrokenBackend {
+        fn energy(&mut self, _: &Circuit, _: &[f64], _: &PauliOp) -> Result<f64> {
+            self.attempts += 1;
+            Err(Error::Invalid("backend is permanently broken".into()))
+        }
+        fn stats(&self) -> BackendStats {
+            BackendStats::default()
+        }
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn fatal_error_aborts_promptly_without_poisoning() {
+        let problem = toy_problem();
+        let mut backend = BrokenBackend { attempts: 0 };
+        let mut opt = NelderMead::default();
+        let err = run_vqe_with(
+            &problem,
+            &mut backend,
+            &mut opt,
+            &[0.4, 0.2],
+            500,
+            &ResilienceOptions::default(),
+        )
+        .unwrap_err();
+        // Non-transient: no retries, aborted at the very first evaluation.
+        assert_eq!(backend.attempts, 1);
+        match err {
+            Error::Interrupted { checkpoint, cause } => {
+                assert!(checkpoint.is_none());
+                assert!(matches!(*cause, Error::Invalid(_)));
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn retries_recover_from_injected_eval_failures() {
+        let problem = toy_problem();
+        let mut backend =
+            FaultyBackend::wrap(DirectBackend::new(), FaultSpec::eval_failures(0.1, 42));
+        let mut opt = NelderMead::default();
+        let r = run_vqe_with(
+            &problem,
+            &mut backend,
+            &mut opt,
+            &[1.0, 2.5],
+            2000,
+            &ResilienceOptions::default(),
+        )
+        .unwrap();
+        assert!((r.energy + 2.0).abs() < 1e-4, "energy {}", r.energy);
+        assert!(
+            backend.fault_stats().eval_failures > 0,
+            "10% fault rate over a long run must fire"
+        );
+    }
+
+    #[test]
+    fn nan_injection_is_detected_and_retried() {
+        let problem = toy_problem();
+        let spec = FaultSpec {
+            nan_amplitude: 0.1,
+            seed: 9,
+            ..FaultSpec::default()
+        };
+        let mut backend = FaultyBackend::wrap(DirectBackend::new(), spec);
+        let mut opt = NelderMead::default();
+        let r = run_vqe_with(
+            &problem,
+            &mut backend,
+            &mut opt,
+            &[1.0, 2.5],
+            2000,
+            &ResilienceOptions::default(),
+        )
+        .unwrap();
+        assert!(r.energy.is_finite());
+        assert!((r.energy + 2.0).abs() < 1e-4, "energy {}", r.energy);
+        assert!(backend.fault_stats().nan_amplitudes > 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_interrupts_with_checkpoint() {
+        let problem = toy_problem();
+        let path = tmp_checkpoint("exhausted");
+        let spec = FaultSpec::eval_failures(1.0, 3); // every evaluation fails
+        let mut backend = FaultyBackend::wrap(DirectBackend::new(), spec);
+        let mut opt = NelderMead::default();
+        let opts = ResilienceOptions {
+            checkpoint: Some(CheckpointConfig::new(&path)),
+            retry: RetryPolicy { max_retries: 2 },
+            ..Default::default()
+        };
+        let err =
+            run_vqe_with(&problem, &mut backend, &mut opt, &[0.4, 0.2], 500, &opts).unwrap_err();
+        match err {
+            Error::Interrupted { checkpoint, cause } => {
+                assert_eq!(checkpoint.as_deref(), path.to_str());
+                assert!(cause.is_transient(), "cause should be the backend fault");
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+        // 1 initial try + 2 retries, nothing more.
+        assert_eq!(backend.fault_stats().eval_failures, 3);
+        let resumed = ResumeState::load(&path).unwrap();
+        assert_eq!(resumed.kind(), "vqe");
+        assert_eq!(resumed.evaluations(), 0); // nothing ever succeeded
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn vqe_kill_and_resume_is_bitwise_identical() {
+        let problem = toy_problem();
+        let x0 = [1.0, 2.5];
+        let max_evals = 400;
+        let clean = {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::default();
+            crate::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, max_evals).unwrap()
+        };
+
+        let path = tmp_checkpoint("vqe-kill");
+        let killed = {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::default();
+            let opts = ResilienceOptions {
+                checkpoint: Some(CheckpointConfig::new(&path)),
+                abort_after_evals: Some(37),
+                ..Default::default()
+            };
+            run_vqe_with(&problem, &mut backend, &mut opt, &x0, max_evals, &opts).unwrap_err()
+        };
+        assert!(
+            matches!(
+                killed,
+                Error::Interrupted {
+                    checkpoint: Some(_),
+                    ..
+                }
+            ),
+            "{killed}"
+        );
+
+        let resumed = {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::default();
+            let opts = ResilienceOptions {
+                resume: Some(ResumeState::load(&path).unwrap()),
+                ..Default::default()
+            };
+            run_vqe_with(&problem, &mut backend, &mut opt, &x0, max_evals, &opts).unwrap()
+        };
+        assert_eq!(resumed.energy.to_bits(), clean.energy.to_bits());
+        assert_eq!(resumed.evaluations, clean.evaluations);
+        assert_eq!(resumed.params.len(), clean.params.len());
+        for (a, b) in resumed.params.iter().zip(&clean.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(resumed.history, clean.history);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spsa_kill_and_resume_is_bitwise_identical() {
+        let problem = toy_problem();
+        let x0 = [0.9, 0.4];
+        let max_evals = 240;
+        let mk_opt = || Spsa {
+            a: 0.3,
+            ..Default::default()
+        };
+        let clean = {
+            let mut backend = DirectBackend::new();
+            let mut opt = mk_opt();
+            crate::vqe::run_vqe(&problem, &mut backend, &mut opt, &x0, max_evals).unwrap()
+        };
+        let path = tmp_checkpoint("spsa-kill");
+        {
+            let mut backend = DirectBackend::new();
+            let mut opt = mk_opt();
+            let opts = ResilienceOptions {
+                checkpoint: Some(CheckpointConfig::new(&path)),
+                abort_after_evals: Some(51),
+                ..Default::default()
+            };
+            run_vqe_with(&problem, &mut backend, &mut opt, &x0, max_evals, &opts).unwrap_err();
+        }
+        let resumed = {
+            let mut backend = DirectBackend::new();
+            let mut opt = mk_opt();
+            let opts = ResilienceOptions {
+                resume: Some(ResumeState::load(&path).unwrap()),
+                ..Default::default()
+            };
+            run_vqe_with(&problem, &mut backend, &mut opt, &x0, max_evals, &opts).unwrap()
+        };
+        assert_eq!(resumed.energy.to_bits(), clean.energy.to_bits());
+        assert_eq!(resumed.evaluations, clean.evaluations);
+        for (a, b) in resumed.params.iter().zip(&clean.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_problem_and_optimizer() {
+        let problem = toy_problem();
+        let path = tmp_checkpoint("mismatch");
+        {
+            let mut backend = DirectBackend::new();
+            let mut opt = NelderMead::default();
+            let opts = ResilienceOptions {
+                checkpoint: Some(CheckpointConfig::new(&path)),
+                ..Default::default()
+            };
+            run_vqe_with(&problem, &mut backend, &mut opt, &[0.4, 0.2], 200, &opts).unwrap();
+        }
+        let resume = ResumeState::load(&path).unwrap();
+        // Different starting point → fingerprint mismatch.
+        let mut backend = DirectBackend::new();
+        let mut opt = NelderMead::default();
+        let opts = ResilienceOptions {
+            resume: Some(resume.clone()),
+            ..Default::default()
+        };
+        let err =
+            run_vqe_with(&problem, &mut backend, &mut opt, &[0.5, 0.2], 200, &opts).unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)), "{err}");
+        // Different optimizer → rejected by name.
+        let mut spsa = Spsa::default();
+        let err =
+            run_vqe_with(&problem, &mut backend, &mut spsa, &[0.4, 0.2], 200, &opts).unwrap_err();
+        assert!(err.to_string().contains("optimizer"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_write_is_atomic_no_tmp_left_behind() {
+        let problem = toy_problem();
+        let path = tmp_checkpoint("atomic");
+        let mut backend = DirectBackend::new();
+        let mut opt = NelderMead::default();
+        let opts = ResilienceOptions {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                every_improvements: 1,
+            }),
+            ..Default::default()
+        };
+        run_vqe_with(&problem, &mut backend, &mut opt, &[1.0, 2.5], 300, &opts).unwrap();
+        assert!(path.exists());
+        assert!(!PathBuf::from(format!("{}.tmp", path.display())).exists());
+        let resumed = ResumeState::load(&path).unwrap();
+        assert!(resumed.best_energy().unwrap() < -1.9);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -79,23 +79,14 @@ pub fn run_vqd(
     let mut found: Vec<StateVector> = Vec::new();
     let mut states: Vec<VqdState> = Vec::new();
     for x0 in initial_points.iter().take(config.n_states) {
-        let mut failure: Option<Error> = None;
+        // A fallible objective aborts the sweep at the first failure
+        // instead of poisoning the optimizer with infinite values.
         let result = {
-            let mut objective = |theta: &[f64]| -> f64 {
-                match deflated_objective(problem, theta, &found, config.beta) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        failure.get_or_insert(e);
-                        f64::INFINITY
-                    }
-                }
-            };
+            let mut objective =
+                |theta: &[f64]| deflated_objective(problem, theta, &found, config.beta);
             let mut opt = optimizer_factory();
-            opt.minimize(&mut objective, x0, config.max_evals_per_state)
+            opt.try_minimize(&mut objective, x0, config.max_evals_per_state)?
         };
-        if let Some(e) = failure {
-            return Err(e);
-        }
         let state = simulate_plan(&problem.ansatz, &result.params)?;
         let energy = state.energy(&problem.hamiltonian)?;
         let max_overlap = found

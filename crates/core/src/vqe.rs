@@ -2,8 +2,8 @@
 
 use crate::backend::Backend;
 use nwq_circuit::Circuit;
-use nwq_common::{Error, Result};
-use nwq_opt::{OptResult, Optimizer};
+use nwq_common::Result;
+use nwq_opt::Optimizer;
 use nwq_pauli::PauliOp;
 
 /// A VQE problem instance: observable plus parameterized ansatz.
@@ -32,6 +32,11 @@ pub struct VqeResult {
 
 /// Runs VQE: minimizes `⟨ψ(θ)|H|ψ(θ)⟩` over θ with the given backend and
 /// optimizer, starting from `x0` (pass zeros for a HF start).
+///
+/// Backend failures abort the run promptly (after the default transient
+/// retry budget) instead of silently poisoning the optimizer with infinite
+/// objective values; see [`crate::resilience::run_vqe_with`] for
+/// checkpointing and custom retry policies.
 pub fn run_vqe(
     problem: &VqeProblem,
     backend: &mut dyn Backend,
@@ -39,62 +44,14 @@ pub fn run_vqe(
     x0: &[f64],
     max_evals: usize,
 ) -> Result<VqeResult> {
-    if x0.len() < problem.ansatz.n_params() {
-        return Err(Error::ParameterMismatch {
-            expected: problem.ansatz.n_params(),
-            got: x0.len(),
-        });
-    }
-    if !problem.hamiltonian.is_hermitian(1e-9) {
-        return Err(Error::Invalid("VQE observable must be Hermitian".into()));
-    }
-    let mut history: Vec<f64> = Vec::new();
-    let mut failure: Option<Error> = None;
-    let _span = nwq_telemetry::span!("vqe.run");
-    let telemetry = nwq_telemetry::enabled();
-    let ansatz_gates = problem.ansatz.len() as u64;
-    let mut last_mark = std::time::Instant::now();
-    let result: OptResult = {
-        let mut objective = |theta: &[f64]| -> f64 {
-            match backend.energy(&problem.ansatz, theta, &problem.hamiltonian) {
-                Ok(e) => {
-                    let prev_best = history.last().copied().unwrap_or(f64::INFINITY);
-                    let best = prev_best.min(e);
-                    history.push(best);
-                    // One record per *improvement*, not per evaluation —
-                    // keeps the artifact bounded for long optimizer runs.
-                    if telemetry && best < prev_best {
-                        nwq_telemetry::record_iteration(nwq_telemetry::IterationRecord {
-                            iteration: history.len() - 1,
-                            energy: best,
-                            grad_norm: None,
-                            evaluations: history.len() as u64,
-                            gates: ansatz_gates,
-                            wall_ms: last_mark.elapsed().as_secs_f64() * 1e3,
-                            label: None,
-                        });
-                        last_mark = std::time::Instant::now();
-                    }
-                    e
-                }
-                Err(err) => {
-                    failure.get_or_insert(err);
-                    f64::INFINITY
-                }
-            }
-        };
-        optimizer.minimize(&mut objective, x0, max_evals)
-    };
-    if let Some(err) = failure {
-        return Err(err);
-    }
-    Ok(VqeResult {
-        energy: result.value,
-        params: result.params,
-        evaluations: result.evals,
-        converged: result.converged,
-        history,
-    })
+    crate::resilience::run_vqe_with(
+        problem,
+        backend,
+        optimizer,
+        x0,
+        max_evals,
+        &crate::resilience::ResilienceOptions::default(),
+    )
 }
 
 #[cfg(test)]

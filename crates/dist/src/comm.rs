@@ -1,6 +1,7 @@
 //! Communication accounting for the simulated multi-rank execution.
 
 use nwq_circuit::Circuit;
+use nwq_common::{Error, Result};
 use std::ops::AddAssign;
 
 /// Counters for simulated inter-rank communication. This is the quantity
@@ -53,11 +54,12 @@ impl AddAssign for CommStats {
 /// *without executing it* — used for scaling studies beyond locally
 /// simulable sizes. Must agree exactly with the executing path
 /// (pinned by tests).
-pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> CommStats {
-    assert!(
-        n_ranks.is_power_of_two(),
-        "rank count must be a power of two"
-    );
+pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> Result<CommStats> {
+    if !n_ranks.is_power_of_two() {
+        return Err(Error::Invalid(format!(
+            "{n_ranks} ranks: rank count must be a power of two"
+        )));
+    }
     let n_global = n_ranks.trailing_zeros() as usize;
     let n_local = circuit.n_qubits() - n_global.min(circuit.n_qubits());
     let part_bytes = 16u64 << n_local;
@@ -76,7 +78,7 @@ pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> CommStats {
             stats.bytes += msgs * part_bytes;
         }
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -88,7 +90,7 @@ mod tests {
     fn local_only_circuit_has_no_comm() {
         let mut c = Circuit::new(4);
         c.h(0).cx(0, 1).rz(1, 0.3);
-        let s = plan_communication(&c, 4); // 2 global qubits: 2 and 3
+        let s = plan_communication(&c, 4).unwrap(); // 2 global qubits: 2 and 3
         assert_eq!(s.messages, 0);
         assert_eq!(s.local_gates, 3);
         assert_eq!(s.global_fraction(), 0.0);
@@ -98,7 +100,7 @@ mod tests {
     fn global_single_qubit_gate_pairs_ranks() {
         let mut c = Circuit::new(4);
         c.h(3); // with 4 ranks, qubits 2,3 are global
-        let s = plan_communication(&c, 4);
+        let s = plan_communication(&c, 4).unwrap();
         // 2 groups of 2 ranks, each rank sends to 1 partner: 4 messages.
         assert_eq!(s.messages, 4);
         assert_eq!(s.bytes, 4 * 16 * 4); // partitions of 2^2 amplitudes
@@ -109,7 +111,7 @@ mod tests {
     fn global_global_two_qubit_gate_quads_ranks() {
         let mut c = Circuit::new(4);
         c.cx(2, 3);
-        let s = plan_communication(&c, 4);
+        let s = plan_communication(&c, 4).unwrap();
         // One group of 4 ranks, each sends to 3 partners: 12 messages.
         assert_eq!(s.messages, 12);
         assert_eq!(s.global_gates, 1);
@@ -121,8 +123,8 @@ mod tests {
         for q in 0..10 {
             c.h(q);
         }
-        let s2 = plan_communication(&c, 2);
-        let s8 = plan_communication(&c, 8);
+        let s2 = plan_communication(&c, 2).unwrap();
+        let s8 = plan_communication(&c, 8).unwrap();
         assert!(s8.global_gates > s2.global_gates);
         assert!(s8.messages > s2.messages);
     }
@@ -131,7 +133,7 @@ mod tests {
     fn single_rank_never_communicates() {
         let mut c = Circuit::new(6);
         c.h(5).cx(4, 5).swap(0, 5);
-        let s = plan_communication(&c, 1);
+        let s = plan_communication(&c, 1).unwrap();
         assert_eq!(s.messages, 0);
         assert_eq!(s.global_gates, 0);
         assert_eq!(s.local_gates, 3);
@@ -158,9 +160,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn non_power_of_two_ranks_rejected() {
         let c = Circuit::new(4);
-        let _ = plan_communication(&c, 3);
+        for bad in [0usize, 3, 6, 12] {
+            let e = plan_communication(&c, bad).unwrap_err();
+            assert!(
+                matches!(e, nwq_common::Error::Invalid(_)),
+                "{bad} ranks: {e}"
+            );
+        }
     }
 }

@@ -1,9 +1,10 @@
 //! Circuit execution on the distributed statevector.
 
 use crate::comm::CommStats;
+use crate::faults::FaultInjector;
 use crate::partition::DistStateVector;
 use nwq_circuit::{Circuit, GateMatrix};
-use nwq_common::Result;
+use nwq_common::{Error, Result, C64};
 use nwq_statevec::StateVector;
 
 /// Runs `circuit` on a fresh distributed `|0…0⟩` over `n_ranks`,
@@ -29,6 +30,53 @@ pub fn run_distributed(
         "dist.modeled_total_s",
         model.total_time_s(&stats, total_gates, circuit.n_qubits(), n_ranks),
     );
+    Ok(state)
+}
+
+/// Runs `circuit` on a fresh distributed `|0…0⟩` with faults drawn from
+/// `injector`:
+///
+/// - **rank loss** may strike before any gate (a node can die at any
+///   point) and aborts with `Error::Backend` naming the lost rank;
+/// - **message corruption** and **norm drift** strike only after gates on
+///   global qubits — they model damage carried by the partition exchange,
+///   so rank-local gates cannot trigger them.
+///
+/// The injected damage is left in the returned state for downstream health
+/// guards ([`nwq_statevec::NormGuard`], the expval finiteness checks) to
+/// detect; this function only plants it.
+pub fn run_distributed_faulty(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    injector: &mut FaultInjector,
+) -> Result<DistStateVector> {
+    let _span = nwq_telemetry::span!("dist.run_faulty");
+    let mut state = DistStateVector::zero(circuit.n_qubits(), n_ranks)?;
+    let n_local = state.n_local();
+    for gate in circuit.gates() {
+        if let Some(rank) = injector.should_lose_rank(n_ranks) {
+            return Err(Error::Backend(format!(
+                "rank {rank} lost during distributed execution"
+            )));
+        }
+        let is_global = gate.qubits().iter().any(|&q| q >= n_local);
+        match gate.matrix(params)? {
+            GateMatrix::One(q, m) => state.apply_mat2(q, &m)?,
+            GateMatrix::Two(a, b, m) => state.apply_mat4(a, b, &m)?,
+        }
+        if is_global {
+            if injector.should_corrupt_message() {
+                let rank = injector.pick_index(n_ranks);
+                let idx = injector.pick_index(state.partition_len());
+                state.corrupt_amplitude(rank, idx, C64::new(f64::NAN, f64::NAN))?;
+            }
+            if injector.should_drift_norm() {
+                let rank = injector.pick_index(n_ranks);
+                state.scale_partition(rank, 1.001)?;
+            }
+        }
+    }
     Ok(state)
 }
 
@@ -77,7 +125,7 @@ mod tests {
         let c = sample_circuit(6);
         for n_ranks in [1usize, 2, 4] {
             let (_, stats) = run_and_gather(&c, &[], n_ranks).unwrap();
-            let planned = plan_communication(&c, n_ranks);
+            let planned = plan_communication(&c, n_ranks).unwrap();
             assert_eq!(stats.messages, planned.messages, "ranks={n_ranks}");
             assert_eq!(stats.bytes, planned.bytes, "ranks={n_ranks}");
             assert_eq!(stats.global_gates, planned.global_gates);
@@ -99,6 +147,66 @@ mod tests {
         assert!((s.probability(0) - 0.5).abs() < 1e-10);
         assert!((s.probability(0b11111) - 0.5).abs() < 1e-10);
         assert!(stats.global_gates >= 2); // CX onto qubits 3 and 4
+    }
+
+    #[test]
+    fn zero_rate_faulty_run_matches_clean_run() {
+        let c = sample_circuit(5);
+        let clean = run_distributed(&c, &[], 4).unwrap().gather();
+        let mut inj = FaultInjector::new(crate::faults::FaultSpec::default());
+        let faulty = run_distributed_faulty(&c, &[], 4, &mut inj)
+            .unwrap()
+            .gather();
+        for (a, b) in faulty.amplitudes().iter().zip(clean.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn rank_loss_aborts_with_backend_error() {
+        let c = sample_circuit(5);
+        let mut inj = FaultInjector::new(crate::faults::FaultSpec {
+            rank_loss: 1.0,
+            seed: 5,
+            ..Default::default()
+        });
+        let e = run_distributed_faulty(&c, &[], 4, &mut inj).unwrap_err();
+        assert!(matches!(e, Error::Backend(_)), "{e}");
+        assert!(e.is_transient());
+        assert_eq!(inj.stats().rank_losses, 1);
+    }
+
+    #[test]
+    fn message_corruption_plants_non_finite_amplitudes() {
+        let c = sample_circuit(5);
+        let mut inj = FaultInjector::new(crate::faults::FaultSpec {
+            message_corruption: 1.0,
+            seed: 11,
+            ..Default::default()
+        });
+        let s = run_distributed_faulty(&c, &[], 4, &mut inj)
+            .unwrap()
+            .gather();
+        assert!(inj.stats().message_corruptions > 0);
+        assert!(!s.norm_sqr().is_finite());
+    }
+
+    #[test]
+    fn norm_drift_breaks_normalization_detectably() {
+        let c = sample_circuit(5);
+        let mut inj = FaultInjector::new(crate::faults::FaultSpec {
+            norm_drift: 1.0,
+            seed: 2,
+            ..Default::default()
+        });
+        let s = run_distributed_faulty(&c, &[], 4, &mut inj)
+            .unwrap()
+            .gather();
+        assert!(inj.stats().norm_drifts > 0);
+        let norm = s.norm_sqr();
+        assert!(norm.is_finite());
+        assert!((norm - 1.0).abs() > 1e-9, "norm {norm} should have drifted");
     }
 
     #[test]

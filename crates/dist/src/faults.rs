@@ -1,0 +1,275 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Long VQE campaigns on real HPC systems see evaluation failures, NaN/Inf
+//! amplitudes, norm drift, lost ranks, and corrupted exchanges as routine
+//! events. This module makes those events *reproducible*: a seeded
+//! [`FaultInjector`] decides, per opportunity, whether a fault fires, so
+//! every recovery path in the workspace can be exercised by an ordinary
+//! unit test. The injector is pure configuration + RNG — it never touches
+//! simulator state itself; the execution layers ([`crate::exec`] and the
+//! `FaultyBackend` decorator in `nwq-core`) ask it what to break.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-opportunity fault probabilities (each in `[0, 1]`) plus the RNG
+/// seed. The default spec injects nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that an energy evaluation fails outright (models a
+    /// crashed/preempted backend call).
+    pub eval_failure: f64,
+    /// Probability that an evaluation returns a NaN energy (models
+    /// corrupted amplitudes reaching the reduction).
+    pub nan_amplitude: f64,
+    /// Probability that a kernel sweep leaves the state with norm drift
+    /// (models accumulated floating-point corruption).
+    pub norm_drift: f64,
+    /// Probability that a rank is lost during a global-qubit exchange.
+    pub rank_loss: f64,
+    /// Probability that an exchanged message corrupts an amplitude.
+    pub message_corruption: f64,
+    /// RNG seed; the whole fault sequence is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            eval_failure: 0.0,
+            nan_amplitude: 0.0,
+            norm_drift: 0.0,
+            rank_loss: 0.0,
+            message_corruption: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that injects evaluation failures at `rate` — the knob the
+    /// CLI's `--inject-faults RATE` exposes.
+    pub fn eval_failures(rate: f64, seed: u64) -> Self {
+        FaultSpec {
+            eval_failure: rate,
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Whether any fault class has a nonzero rate.
+    pub fn is_active(&self) -> bool {
+        self.eval_failure > 0.0
+            || self.nan_amplitude > 0.0
+            || self.norm_drift > 0.0
+            || self.rank_loss > 0.0
+            || self.message_corruption > 0.0
+    }
+}
+
+/// Counts of faults actually injected, by class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Evaluation failures fired.
+    pub eval_failures: u64,
+    /// NaN-amplitude faults fired.
+    pub nan_amplitudes: u64,
+    /// Norm-drift faults fired.
+    pub norm_drifts: u64,
+    /// Rank losses fired.
+    pub rank_losses: u64,
+    /// Message corruptions fired.
+    pub message_corruptions: u64,
+}
+
+impl FaultStats {
+    /// Total faults fired across all classes.
+    pub fn total(&self) -> u64 {
+        self.eval_failures
+            + self.nan_amplitudes
+            + self.norm_drifts
+            + self.rank_losses
+            + self.message_corruptions
+    }
+}
+
+/// Seeded fault source. Each `should_*` call consumes exactly one RNG draw
+/// for its class, so the fault sequence is deterministic given the spec —
+/// two runs with the same seed fail at the same opportunities.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector driven by `spec`.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultInjector {
+            spec,
+            rng: StdRng::seed_from_u64(spec.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The driving spec.
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+
+    /// Faults fired so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// One seeded draw for one fault opportunity. The draw is consumed
+    /// even at rate 0, so enabling one class never shifts another class's
+    /// sequence.
+    fn trip(&mut self, rate: f64, class: &'static str) -> bool {
+        let fired = self.rng.gen_bool(rate.clamp(0.0, 1.0));
+        if fired {
+            nwq_telemetry::counter_add("resilience.faults_injected", 1);
+            nwq_telemetry::counter_add(class, 1);
+        }
+        fired
+    }
+
+    /// Should the next energy evaluation fail?
+    pub fn should_fail_eval(&mut self) -> bool {
+        let fired = self.trip(self.spec.eval_failure, "resilience.faults.eval_failure");
+        self.stats.eval_failures += fired as u64;
+        fired
+    }
+
+    /// Should the next evaluation return a NaN energy?
+    pub fn should_inject_nan(&mut self) -> bool {
+        let fired = self.trip(self.spec.nan_amplitude, "resilience.faults.nan_amplitude");
+        self.stats.nan_amplitudes += fired as u64;
+        fired
+    }
+
+    /// Should the next sweep pick up norm drift?
+    pub fn should_drift_norm(&mut self) -> bool {
+        let fired = self.trip(self.spec.norm_drift, "resilience.faults.norm_drift");
+        self.stats.norm_drifts += fired as u64;
+        fired
+    }
+
+    /// Should the next global exchange lose a rank? Returns the lost rank
+    /// id (in `0..n_ranks`) when it fires.
+    pub fn should_lose_rank(&mut self, n_ranks: usize) -> Option<usize> {
+        let fired = self.trip(self.spec.rank_loss, "resilience.faults.rank_loss");
+        self.stats.rank_losses += fired as u64;
+        if fired && n_ranks > 0 {
+            Some(self.rng.gen_range(0..n_ranks))
+        } else {
+            None
+        }
+    }
+
+    /// Should the next exchanged message corrupt an amplitude?
+    pub fn should_corrupt_message(&mut self) -> bool {
+        let fired = self.trip(
+            self.spec.message_corruption,
+            "resilience.faults.message_corruption",
+        );
+        self.stats.message_corruptions += fired as u64;
+        fired
+    }
+
+    /// A random index into a partition of `len` amplitudes (used to pick
+    /// the corruption site).
+    pub fn pick_index(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultSpec::default());
+        assert!(!inj.spec().is_active());
+        for _ in 0..1000 {
+            assert!(!inj.should_fail_eval());
+            assert!(!inj.should_inject_nan());
+            assert!(!inj.should_drift_norm());
+            assert!(inj.should_lose_rank(4).is_none());
+            assert!(!inj.should_corrupt_message());
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic() {
+        let spec = FaultSpec {
+            eval_failure: 0.3,
+            rank_loss: 0.2,
+            seed: 99,
+            ..FaultSpec::default()
+        };
+        let draw = |spec| {
+            let mut inj = FaultInjector::new(spec);
+            let evals: Vec<bool> = (0..200).map(|_| inj.should_fail_eval()).collect();
+            let ranks: Vec<Option<usize>> = (0..200).map(|_| inj.should_lose_rank(8)).collect();
+            (evals, ranks, inj.stats())
+        };
+        let (e1, r1, s1) = draw(spec);
+        let (e2, r2, s2) = draw(spec);
+        assert_eq!(e1, e2);
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        assert!(s1.eval_failures > 0 && s1.rank_losses > 0);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut inj = FaultInjector::new(FaultSpec::eval_failures(0.1, 7));
+        assert!(inj.spec().is_active());
+        let n = 10_000;
+        let fired = (0..n).filter(|_| inj.should_fail_eval()).count();
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "observed rate {rate}");
+        assert_eq!(inj.stats().eval_failures, fired as u64);
+    }
+
+    #[test]
+    fn telemetry_counts_injected_faults() {
+        nwq_telemetry::reset();
+        nwq_telemetry::set_enabled(true);
+        let before = nwq_telemetry::counter_value("resilience.faults_injected");
+        let mut inj = FaultInjector::new(FaultSpec {
+            message_corruption: 1.0,
+            seed: 1,
+            ..FaultSpec::default()
+        });
+        assert!(inj.should_corrupt_message());
+        assert!(inj.should_corrupt_message());
+        let injected = nwq_telemetry::counter_value("resilience.faults_injected") - before;
+        let by_class = nwq_telemetry::counter_value("resilience.faults.message_corruption");
+        nwq_telemetry::set_enabled(false);
+        assert_eq!(injected, 2);
+        assert_eq!(by_class, 2);
+    }
+
+    #[test]
+    fn lost_rank_ids_are_in_range() {
+        let mut inj = FaultInjector::new(FaultSpec {
+            rank_loss: 1.0,
+            seed: 3,
+            ..FaultSpec::default()
+        });
+        for _ in 0..100 {
+            let r = inj.should_lose_rank(4).unwrap();
+            assert!(r < 4);
+        }
+        assert!(inj.pick_index(1) == 0 && inj.pick_index(16) < 16);
+    }
+}

@@ -85,6 +85,38 @@ impl DistStateVector {
         (self.partitions[0].len() * 16) as u64
     }
 
+    /// Amplitudes per rank partition.
+    pub fn partition_len(&self) -> usize {
+        self.partitions[0].len()
+    }
+
+    /// Overwrites one amplitude of one rank's partition — the
+    /// fault-injection hook modelling a corrupted exchange payload. The
+    /// simulator itself never calls this.
+    pub fn corrupt_amplitude(&mut self, rank: usize, index: usize, value: C64) -> Result<()> {
+        let part = self.partitions.get_mut(rank).ok_or(Error::Invalid(format!(
+            "rank {rank} out of range for corruption hook"
+        )))?;
+        let len = part.len();
+        let slot = part.get_mut(index).ok_or(Error::Invalid(format!(
+            "amplitude {index} out of range {len}"
+        )))?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Rescales one rank's partition — the fault-injection hook modelling
+    /// accumulated norm drift on a node.
+    pub fn scale_partition(&mut self, rank: usize, factor: f64) -> Result<()> {
+        let part = self.partitions.get_mut(rank).ok_or(Error::Invalid(format!(
+            "rank {rank} out of range for drift hook"
+        )))?;
+        for a in part.iter_mut() {
+            *a = *a * factor;
+        }
+        Ok(())
+    }
+
     /// Applies a single-qubit gate.
     pub fn apply_mat2(&mut self, q: usize, m: &Mat2) -> Result<()> {
         if q >= self.n_qubits {

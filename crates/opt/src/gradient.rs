@@ -6,22 +6,54 @@
 //! `s = π/2` for generators with eigenvalues ±1. Central finite differences
 //! are provided for everything else.
 
-use crate::traits::{OptResult, Optimizer};
+use crate::traits::{state_f64, OptResult, Optimizer};
+use nwq_common::Result;
+use nwq_telemetry::JsonValue;
 
-/// Exact parameter-shift gradient for ±1-eigenvalue generators.
-pub fn parameter_shift_gradient(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+/// Exact parameter-shift gradient for ±1-eigenvalue generators, with a
+/// fallible objective: the first evaluation error aborts the sweep.
+pub fn try_parameter_shift_gradient(
+    f: &mut dyn FnMut(&[f64]) -> Result<f64>,
+    x: &[f64],
+) -> Result<Vec<f64>> {
     let s = std::f64::consts::FRAC_PI_2;
     let mut grad = vec![0.0; x.len()];
     let mut xp = x.to_vec();
     for i in 0..x.len() {
         xp[i] = x[i] + s;
-        let fp = f(&xp);
+        let fp = f(&xp)?;
         xp[i] = x[i] - s;
-        let fm = f(&xp);
+        let fm = f(&xp)?;
         xp[i] = x[i];
         grad[i] = (fp - fm) / 2.0;
     }
-    grad
+    Ok(grad)
+}
+
+/// Exact parameter-shift gradient for ±1-eigenvalue generators.
+pub fn parameter_shift_gradient(f: &mut dyn FnMut(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    try_parameter_shift_gradient(&mut |p| Ok(f(p)), x)
+        .expect("infallible objective cannot produce an error")
+}
+
+/// Central finite-difference gradient with step `eps` and a fallible
+/// objective: the first evaluation error aborts the sweep.
+pub fn try_finite_difference_gradient(
+    f: &mut dyn FnMut(&[f64]) -> Result<f64>,
+    x: &[f64],
+    eps: f64,
+) -> Result<Vec<f64>> {
+    let mut grad = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        xp[i] = x[i] + eps;
+        let fp = f(&xp)?;
+        xp[i] = x[i] - eps;
+        let fm = f(&xp)?;
+        xp[i] = x[i];
+        grad[i] = (fp - fm) / (2.0 * eps);
+    }
+    Ok(grad)
 }
 
 /// Central finite-difference gradient with step `eps`.
@@ -30,17 +62,8 @@ pub fn finite_difference_gradient(
     x: &[f64],
     eps: f64,
 ) -> Vec<f64> {
-    let mut grad = vec![0.0; x.len()];
-    let mut xp = x.to_vec();
-    for i in 0..x.len() {
-        xp[i] = x[i] + eps;
-        let fp = f(&xp);
-        xp[i] = x[i] - eps;
-        let fm = f(&xp);
-        xp[i] = x[i];
-        grad[i] = (fp - fm) / (2.0 * eps);
-    }
-    grad
+    try_finite_difference_gradient(&mut |p| Ok(f(p)), x, eps)
+        .expect("infallible objective cannot produce an error")
 }
 
 /// How [`Adam`] obtains gradients.
@@ -83,18 +106,58 @@ impl Default for Adam {
 }
 
 impl Optimizer for Adam {
-    fn minimize(
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
+    fn state_json(&self) -> JsonValue {
+        let (mode, fd_step) = match self.mode {
+            GradientMode::ParameterShift => ("parameter-shift", JsonValue::Null),
+            GradientMode::FiniteDifference(eps) => ("finite-difference", JsonValue::Float(eps)),
+        };
+        JsonValue::Object(vec![
+            ("lr".into(), JsonValue::Float(self.lr)),
+            ("beta1".into(), JsonValue::Float(self.beta1)),
+            ("beta2".into(), JsonValue::Float(self.beta2)),
+            ("eps".into(), JsonValue::Float(self.eps)),
+            ("g_tol".into(), JsonValue::Float(self.g_tol)),
+            ("mode".into(), JsonValue::Str(mode.into())),
+            ("fd_step".into(), fd_step),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &JsonValue) -> Result<()> {
+        self.lr = state_f64(state, "lr")?;
+        self.beta1 = state_f64(state, "beta1")?;
+        self.beta2 = state_f64(state, "beta2")?;
+        self.eps = state_f64(state, "eps")?;
+        self.g_tol = state_f64(state, "g_tol")?;
+        self.mode = match state.get("mode").and_then(JsonValue::as_str) {
+            Some("parameter-shift") => GradientMode::ParameterShift,
+            Some("finite-difference") => {
+                GradientMode::FiniteDifference(state_f64(state, "fd_step")?)
+            }
+            other => {
+                return Err(nwq_common::Error::Invalid(format!(
+                    "unknown adam gradient mode {other:?}"
+                )))
+            }
+        };
+        Ok(())
+    }
+
+    fn try_minimize(
         &mut self,
-        f: &mut dyn FnMut(&[f64]) -> f64,
+        f: &mut dyn FnMut(&[f64]) -> Result<f64>,
         x0: &[f64],
         max_evals: usize,
-    ) -> OptResult {
+    ) -> Result<OptResult> {
         let n = x0.len();
         let mut x = x0.to_vec();
         let mut m = vec![0.0; n];
         let mut v = vec![0.0; n];
         let mut evals = 0usize;
-        let mut best_val = f(&x);
+        let mut best_val = f(&x)?;
         evals += 1;
         let mut best_x = x.clone();
         let mut converged = false;
@@ -103,8 +166,8 @@ impl Optimizer for Adam {
         while evals + grad_cost < max_evals {
             t += 1;
             let grad = match self.mode {
-                GradientMode::ParameterShift => parameter_shift_gradient(f, &x),
-                GradientMode::FiniteDifference(eps) => finite_difference_gradient(f, &x, eps),
+                GradientMode::ParameterShift => try_parameter_shift_gradient(f, &x)?,
+                GradientMode::FiniteDifference(eps) => try_finite_difference_gradient(f, &x, eps)?,
             };
             evals += grad_cost;
             let gnorm = grad.iter().fold(0.0f64, |a, g| a.max(g.abs()));
@@ -119,19 +182,19 @@ impl Optimizer for Adam {
                 let vhat = v[i] / (1.0 - self.beta2.powi(t as i32));
                 x[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
-            let val = f(&x);
+            let val = f(&x)?;
             evals += 1;
             if val < best_val {
                 best_val = val;
                 best_x = x.clone();
             }
         }
-        OptResult {
+        Ok(OptResult {
             params: best_x,
             value: best_val,
             evals,
             converged,
-        }
+        })
     }
 }
 
@@ -188,6 +251,41 @@ mod tests {
         let r = adam.minimize(&mut f, &[0.5], 100);
         assert!(r.converged);
         assert_eq!(r.value, 1.0);
+    }
+
+    #[test]
+    fn adam_aborts_promptly_on_objective_error() {
+        let mut adam = Adam::default();
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| -> Result<f64> {
+            count += 1;
+            if count == 4 {
+                Err(nwq_common::Error::Backend("lost".into()))
+            } else {
+                Ok(x[0].powi(2))
+            }
+        };
+        assert!(adam.try_minimize(&mut f, &[1.0], 5000).is_err());
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn adam_state_round_trip_both_modes() {
+        for mode in [
+            GradientMode::ParameterShift,
+            GradientMode::FiniteDifference(1e-5),
+        ] {
+            let src = Adam {
+                lr: 0.07,
+                mode,
+                ..Default::default()
+            };
+            let mut dst = Adam::default();
+            dst.restore_state(&src.state_json()).unwrap();
+            assert_eq!(dst.lr, 0.07);
+            assert_eq!(dst.mode, mode);
+        }
+        assert_eq!(Adam::default().name(), "adam");
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! noise), where it converges in far fewer energy evaluations than
 //! simplex or SPSA methods.
 
-use crate::gradient::finite_difference_gradient;
-use crate::traits::{OptResult, Optimizer};
+use crate::gradient::try_finite_difference_gradient;
+use crate::traits::{state_f64, state_u64, OptResult, Optimizer};
+use nwq_common::Result;
+use nwq_telemetry::JsonValue;
 use std::collections::VecDeque;
 
 /// L-BFGS configuration.
@@ -40,28 +42,53 @@ impl Default for Lbfgs {
 }
 
 impl Optimizer for Lbfgs {
-    fn minimize(
+    fn name(&self) -> &'static str {
+        "lbfgs"
+    }
+
+    fn state_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("memory".into(), JsonValue::Int(self.memory as u64)),
+            ("fd_eps".into(), JsonValue::Float(self.fd_eps)),
+            ("g_tol".into(), JsonValue::Float(self.g_tol)),
+            ("c1".into(), JsonValue::Float(self.c1)),
+            ("backtrack".into(), JsonValue::Float(self.backtrack)),
+            ("max_ls".into(), JsonValue::Int(self.max_ls as u64)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &JsonValue) -> Result<()> {
+        self.memory = state_u64(state, "memory")? as usize;
+        self.fd_eps = state_f64(state, "fd_eps")?;
+        self.g_tol = state_f64(state, "g_tol")?;
+        self.c1 = state_f64(state, "c1")?;
+        self.backtrack = state_f64(state, "backtrack")?;
+        self.max_ls = state_u64(state, "max_ls")? as usize;
+        Ok(())
+    }
+
+    fn try_minimize(
         &mut self,
-        f: &mut dyn FnMut(&[f64]) -> f64,
+        f: &mut dyn FnMut(&[f64]) -> Result<f64>,
         x0: &[f64],
         max_evals: usize,
-    ) -> OptResult {
+    ) -> Result<OptResult> {
         let n = x0.len();
         let mut evals = 0usize;
         let mut x = x0.to_vec();
-        let mut fx = f(&x);
+        let mut fx = f(&x)?;
         evals += 1;
         if n == 0 {
-            return OptResult {
+            return Ok(OptResult {
                 params: x,
                 value: fx,
                 evals,
                 converged: true,
-            };
+            });
         }
         let grad_cost = 2 * n;
         let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new(); // (s, y, 1/yᵀs)
-        let mut g = finite_difference_gradient(f, &x, self.fd_eps);
+        let mut g = try_finite_difference_gradient(f, &x, self.fd_eps)?;
         evals += grad_cost;
         let mut converged = false;
 
@@ -100,7 +127,7 @@ impl Optimizer for Lbfgs {
                 // Not a descent direction (stale curvature) — reset.
                 history.clear();
                 let d: Vec<f64> = g.iter().map(|v| -v).collect();
-                let (nx, nfx, used, ok) = self.line_search(f, &x, fx, &g, &d, max_evals - evals);
+                let (nx, nfx, used, ok) = self.line_search(f, &x, fx, &g, &d, max_evals - evals)?;
                 evals += used;
                 if !ok {
                     break;
@@ -108,7 +135,7 @@ impl Optimizer for Lbfgs {
                 x = nx;
                 fx = nfx;
             } else {
-                let (nx, nfx, used, ok) = self.line_search(f, &x, fx, &g, &d, max_evals - evals);
+                let (nx, nfx, used, ok) = self.line_search(f, &x, fx, &g, &d, max_evals - evals)?;
                 evals += used;
                 if !ok {
                     break;
@@ -119,7 +146,7 @@ impl Optimizer for Lbfgs {
                 if evals + grad_cost > max_evals {
                     break;
                 }
-                let new_g = finite_difference_gradient(f, &x, self.fd_eps);
+                let new_g = try_finite_difference_gradient(f, &x, self.fd_eps)?;
                 evals += grad_cost;
                 let y: Vec<f64> = new_g.iter().zip(&g).map(|(a, b)| a - b).collect();
                 let ys = dot(&y, &s);
@@ -135,15 +162,15 @@ impl Optimizer for Lbfgs {
             if evals + grad_cost > max_evals {
                 break;
             }
-            g = finite_difference_gradient(f, &x, self.fd_eps);
+            g = try_finite_difference_gradient(f, &x, self.fd_eps)?;
             evals += grad_cost;
         }
-        OptResult {
+        Ok(OptResult {
             params: x,
             value: fx,
             evals,
             converged,
-        }
+        })
     }
 }
 
@@ -152,13 +179,13 @@ impl Lbfgs {
     /// evals_used, success)`.
     fn line_search(
         &self,
-        f: &mut dyn FnMut(&[f64]) -> f64,
+        f: &mut dyn FnMut(&[f64]) -> Result<f64>,
         x: &[f64],
         fx: f64,
         g: &[f64],
         d: &[f64],
         budget: usize,
-    ) -> (Vec<f64>, f64, usize, bool) {
+    ) -> Result<(Vec<f64>, f64, usize, bool)> {
         let slope = dot(g, d);
         let mut t = 1.0;
         let mut used = 0usize;
@@ -167,14 +194,14 @@ impl Lbfgs {
                 break;
             }
             let cand: Vec<f64> = x.iter().zip(d).map(|(xi, di)| xi + t * di).collect();
-            let fc = f(&cand);
+            let fc = f(&cand)?;
             used += 1;
             if fc <= fx + self.c1 * t * slope {
-                return (cand, fc, used, true);
+                return Ok((cand, fc, used, true));
             }
             t *= self.backtrack;
         }
-        (x.to_vec(), fx, used, false)
+        Ok((x.to_vec(), fx, used, false))
     }
 }
 
@@ -232,6 +259,36 @@ mod tests {
         let mut f = |x: &[f64]| 2.0 - x[0].cos() - (x[1] - 0.4).cos();
         let r = opt.minimize(&mut f, &[0.6, -0.3], 1000);
         assert!(r.value < 1e-8, "value {}", r.value);
+    }
+
+    #[test]
+    fn aborts_promptly_on_objective_error() {
+        let mut opt = Lbfgs::default();
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| -> Result<f64> {
+            count += 1;
+            if count == 3 {
+                Err(nwq_common::Error::Backend("fault".into()))
+            } else {
+                Ok((x[0] - 1.0).powi(2))
+            }
+        };
+        assert!(opt.try_minimize(&mut f, &[0.0], 5000).is_err());
+        assert_eq!(count, 3, "must stop inside the first gradient sweep");
+    }
+
+    #[test]
+    fn state_json_round_trip() {
+        let src = Lbfgs {
+            memory: 12,
+            fd_eps: 1e-5,
+            ..Default::default()
+        };
+        let mut dst = Lbfgs::default();
+        dst.restore_state(&src.state_json()).unwrap();
+        assert_eq!(dst.memory, 12);
+        assert_eq!(dst.fd_eps, 1e-5);
+        assert_eq!(src.name(), "lbfgs");
     }
 
     #[test]

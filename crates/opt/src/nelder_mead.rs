@@ -1,7 +1,9 @@
 //! Nelder–Mead downhill simplex — the workhorse derivative-free optimizer
 //! of the VQE loop (the role COBYLA plays in XACC).
 
-use crate::traits::{OptResult, Optimizer};
+use crate::traits::{state_f64, OptResult, Optimizer};
+use nwq_common::Result;
+use nwq_telemetry::JsonValue;
 
 /// Nelder–Mead configuration.
 #[derive(Clone, Debug)]
@@ -37,36 +39,55 @@ impl NelderMead {
 }
 
 impl Optimizer for NelderMead {
-    fn minimize(
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+
+    fn state_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("initial_step".into(), JsonValue::Float(self.initial_step)),
+            ("f_tol".into(), JsonValue::Float(self.f_tol)),
+            ("x_tol".into(), JsonValue::Float(self.x_tol)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &JsonValue) -> Result<()> {
+        self.initial_step = state_f64(state, "initial_step")?;
+        self.f_tol = state_f64(state, "f_tol")?;
+        self.x_tol = state_f64(state, "x_tol")?;
+        Ok(())
+    }
+
+    fn try_minimize(
         &mut self,
-        f: &mut dyn FnMut(&[f64]) -> f64,
+        f: &mut dyn FnMut(&[f64]) -> Result<f64>,
         x0: &[f64],
         max_evals: usize,
-    ) -> OptResult {
+    ) -> Result<OptResult> {
         let n = x0.len();
         let mut evals = 0usize;
-        let mut eval = |x: &[f64], evals: &mut usize| {
+        let mut eval = |x: &[f64], evals: &mut usize| -> Result<f64> {
             *evals += 1;
             f(x)
         };
         if n == 0 {
-            let v = eval(x0, &mut evals);
-            return OptResult {
+            let v = eval(x0, &mut evals)?;
+            return Ok(OptResult {
                 params: Vec::new(),
                 value: v,
                 evals,
                 converged: true,
-            };
+            });
         }
 
         // Build initial simplex: x0 plus a step along each axis.
         let mut simplex: Vec<(f64, Vec<f64>)> = Vec::with_capacity(n + 1);
-        let v0 = eval(x0, &mut evals);
+        let v0 = eval(x0, &mut evals)?;
         simplex.push((v0, x0.to_vec()));
         for i in 0..n {
             let mut x = x0.to_vec();
             x[i] += self.initial_step;
-            let v = eval(&x, &mut evals);
+            let v = eval(&x, &mut evals)?;
             simplex.push((v, x));
         }
 
@@ -110,11 +131,11 @@ impl Optimizer for NelderMead {
 
             // Reflection.
             let xr = combine(&centroid, &simplex[n].1, -ALPHA);
-            let vr = eval(&xr, &mut evals);
+            let vr = eval(&xr, &mut evals)?;
             if vr < simplex[0].0 {
                 // Expansion.
                 let xe = combine(&centroid, &simplex[n].1, -GAMMA);
-                let ve = eval(&xe, &mut evals);
+                let ve = eval(&xe, &mut evals)?;
                 simplex[n] = if ve < vr { (ve, xe) } else { (vr, xr) };
             } else if vr < simplex[n - 1].0 {
                 simplex[n] = (vr, xr);
@@ -126,7 +147,7 @@ impl Optimizer for NelderMead {
                     (simplex[n].0, simplex[n].1.clone())
                 };
                 let xc = combine(&centroid, &xref, RHO);
-                let vc = eval(&xc, &mut evals);
+                let vc = eval(&xc, &mut evals)?;
                 if vc < vref {
                     simplex[n] = (vc, xc);
                 } else {
@@ -139,7 +160,7 @@ impl Optimizer for NelderMead {
                             .zip(&best_x)
                             .map(|(v, b)| b + SIGMA * (v - b))
                             .collect();
-                        let v = eval(&x, &mut evals);
+                        let v = eval(&x, &mut evals)?;
                         *entry = (v, x);
                         if evals >= max_evals {
                             break;
@@ -150,12 +171,12 @@ impl Optimizer for NelderMead {
         }
         simplex.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let (value, params) = simplex.swap_remove(0);
-        OptResult {
+        Ok(OptResult {
             params,
             value,
             evals,
             converged,
-        }
+        })
     }
 }
 
@@ -206,6 +227,39 @@ mod tests {
         let r = nm.minimize(&mut f, &[], 10);
         assert_eq!(r.value, 7.0);
         assert!(r.converged);
+    }
+
+    #[test]
+    fn aborts_promptly_on_objective_error() {
+        let mut nm = NelderMead::default();
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| -> Result<f64> {
+            count += 1;
+            if count == 5 {
+                Err(nwq_common::Error::Backend("rank lost".into()))
+            } else {
+                Ok(x[0].powi(2))
+            }
+        };
+        let e = nm.try_minimize(&mut f, &[2.0], 10_000).unwrap_err();
+        assert!(e.is_transient());
+        assert_eq!(count, 5, "must stop at the failing evaluation");
+    }
+
+    #[test]
+    fn state_json_round_trip() {
+        let src = NelderMead {
+            initial_step: 0.25,
+            f_tol: 1e-8,
+            x_tol: 1e-6,
+        };
+        let mut dst = NelderMead::default();
+        dst.restore_state(&src.state_json()).unwrap();
+        assert_eq!(dst.initial_step, 0.25);
+        assert_eq!(dst.f_tol, 1e-8);
+        assert_eq!(dst.x_tol, 1e-6);
+        assert_eq!(src.name(), "nelder-mead");
+        assert!(dst.restore_state(&JsonValue::Null).is_err());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! iteration regardless of dimension — the standard choice when VQE
 //! energies are noisy (shot-based backends) or parameter counts are large.
 
-use crate::traits::{OptResult, Optimizer};
+use crate::traits::{state_f64, state_u64, OptResult, Optimizer};
+use nwq_common::Result;
+use nwq_telemetry::JsonValue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,25 +42,53 @@ impl Default for Spsa {
 }
 
 impl Optimizer for Spsa {
-    fn minimize(
+    fn name(&self) -> &'static str {
+        "spsa"
+    }
+
+    fn state_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("a".into(), JsonValue::Float(self.a)),
+            ("c".into(), JsonValue::Float(self.c)),
+            ("big_a".into(), JsonValue::Float(self.big_a)),
+            ("alpha".into(), JsonValue::Float(self.alpha)),
+            ("gamma".into(), JsonValue::Float(self.gamma)),
+            ("seed".into(), JsonValue::Int(self.seed)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &JsonValue) -> Result<()> {
+        self.a = state_f64(state, "a")?;
+        self.c = state_f64(state, "c")?;
+        self.big_a = state_f64(state, "big_a")?;
+        self.alpha = state_f64(state, "alpha")?;
+        self.gamma = state_f64(state, "gamma")?;
+        self.seed = state_u64(state, "seed")?;
+        Ok(())
+    }
+
+    fn try_minimize(
         &mut self,
-        f: &mut dyn FnMut(&[f64]) -> f64,
+        f: &mut dyn FnMut(&[f64]) -> Result<f64>,
         x0: &[f64],
         max_evals: usize,
-    ) -> OptResult {
+    ) -> Result<OptResult> {
         let n = x0.len();
+        // Re-seeding at the start of every run makes the perturbation
+        // sequence a pure function of the configuration: a resumed run
+        // replaying a logged energy prefix reconstructs the RNG exactly.
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut x = x0.to_vec();
         let mut evals = 0usize;
-        let mut best = (f(&x), x.clone());
+        let mut best = (f(&x)?, x.clone());
         evals += 1;
         if n == 0 {
-            return OptResult {
+            return Ok(OptResult {
                 params: x,
                 value: best.0,
                 evals,
                 converged: true,
-            };
+            });
         }
         let mut k = 0usize;
         while evals + 2 <= max_evals {
@@ -70,26 +100,26 @@ impl Optimizer for Spsa {
                 .collect();
             let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + ck * d).collect();
             let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v - ck * d).collect();
-            let fp = f(&xp);
-            let fm = f(&xm);
+            let fp = f(&xp)?;
+            let fm = f(&xm)?;
             evals += 2;
             let diff = (fp - fm) / (2.0 * ck);
             for (v, d) in x.iter_mut().zip(&delta) {
                 *v -= ak * diff / d;
             }
-            let fx = f(&x);
+            let fx = f(&x)?;
             evals += 1;
             if fx < best.0 {
                 best = (fx, x.clone());
             }
             k += 1;
         }
-        OptResult {
+        Ok(OptResult {
             params: best.1,
             value: best.0,
             evals,
             converged: false,
-        }
+        })
     }
 }
 
@@ -139,6 +169,48 @@ mod tests {
         let r = spsa.minimize(&mut f, &[1.5, -1.5], 4000);
         assert!(r.params[0].abs() < 0.2, "{:?}", r.params);
         assert!(r.params[1].abs() < 0.2);
+    }
+
+    #[test]
+    fn aborts_promptly_on_objective_error() {
+        let mut spsa = Spsa::default();
+        let mut count = 0usize;
+        let mut f = |x: &[f64]| -> Result<f64> {
+            count += 1;
+            if count == 7 {
+                Err(nwq_common::Error::Numerical("nan energy".into()))
+            } else {
+                Ok(x[0].powi(2))
+            }
+        };
+        let e = spsa.try_minimize(&mut f, &[1.0, 2.0], 10_000).unwrap_err();
+        assert!(e.is_transient());
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn state_json_round_trip_preserves_seed() {
+        let src = Spsa {
+            seed: 424242,
+            a: 0.3,
+            ..Default::default()
+        };
+        let mut dst = Spsa::default();
+        dst.restore_state(&src.state_json()).unwrap();
+        assert_eq!(dst.seed, 424242);
+        assert_eq!(dst.a, 0.3);
+        assert_eq!(src.name(), "spsa");
+        // Restored configuration reproduces the exact trajectory.
+        let run = |opt: &mut Spsa| {
+            let mut f = |x: &[f64]| x[0].powi(2) + 0.3 * x[1].powi(2);
+            opt.minimize(&mut f, &[1.0, -1.0], 300)
+        };
+        let mut a = Spsa {
+            seed: 424242,
+            a: 0.3,
+            ..Default::default()
+        };
+        assert_eq!(run(&mut a).params, run(&mut dst).params);
     }
 
     #[test]

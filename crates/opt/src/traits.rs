@@ -1,5 +1,8 @@
 //! Optimizer interface shared by the VQE drivers.
 
+use nwq_common::Result;
+use nwq_telemetry::JsonValue;
+
 /// Result of an optimization run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OptResult {
@@ -17,36 +20,91 @@ pub struct OptResult {
 /// A minimizer of black-box objectives `f: R^n → R`.
 ///
 /// Implementations must be deterministic for a fixed seed/configuration so
-/// experiment harness runs are reproducible.
+/// experiment harness runs are reproducible — the checkpoint/restart layer
+/// in `nwq-core` relies on this to replay an interrupted trajectory from a
+/// logged prefix of objective values.
 pub trait Optimizer {
-    /// Minimizes `f` starting from `x0`, with at most `max_evals`
-    /// objective evaluations.
+    /// Minimizes the *fallible* objective `f` starting from `x0`, with at
+    /// most `max_evals` evaluations. An `Err` from the objective aborts the
+    /// run promptly and is propagated to the caller — implementations must
+    /// not keep burning the evaluation budget after a failure.
+    fn try_minimize(
+        &mut self,
+        f: &mut dyn FnMut(&[f64]) -> Result<f64>,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> Result<OptResult>;
+
+    /// Infallible convenience wrapper around
+    /// [`try_minimize`](Self::try_minimize).
     fn minimize(
         &mut self,
         f: &mut dyn FnMut(&[f64]) -> f64,
         x0: &[f64],
         max_evals: usize,
-    ) -> OptResult;
+    ) -> OptResult {
+        self.try_minimize(&mut |x| Ok(f(x)), x0, max_evals)
+            .expect("infallible objective cannot produce an error")
+    }
+
+    /// Stable identifier used in checkpoint files to verify that a resumed
+    /// run reconstructs the same optimizer kind (e.g. `"nelder-mead"`).
+    fn name(&self) -> &'static str;
+
+    /// Serializable configuration snapshot for checkpoints. The default is
+    /// `null` (stateless / nothing worth recording); optimizers whose
+    /// trajectory depends on configuration (step sizes, RNG seeds) should
+    /// return an object so resume can verify or restore it.
+    fn state_json(&self) -> JsonValue {
+        JsonValue::Null
+    }
+
+    /// Restores configuration from a [`state_json`](Self::state_json)
+    /// snapshot. The default accepts anything and changes nothing.
+    fn restore_state(&mut self, _state: &JsonValue) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Reads a required float field out of an optimizer state object, keeping
+/// restore-path error messages uniform across implementations.
+pub(crate) fn state_f64(state: &JsonValue, key: &str) -> Result<f64> {
+    state
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| nwq_common::Error::Invalid(format!("optimizer state missing float '{key}'")))
+}
+
+/// Reads a required unsigned-integer field out of an optimizer state object.
+pub(crate) fn state_u64(state: &JsonValue, key: &str) -> Result<u64> {
+    state.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+        nwq_common::Error::Invalid(format!("optimizer state missing integer '{key}'"))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nwq_common::Error;
 
     struct Null;
     impl Optimizer for Null {
-        fn minimize(
+        fn try_minimize(
             &mut self,
-            f: &mut dyn FnMut(&[f64]) -> f64,
+            f: &mut dyn FnMut(&[f64]) -> Result<f64>,
             x0: &[f64],
             _max_evals: usize,
-        ) -> OptResult {
-            OptResult {
+        ) -> Result<OptResult> {
+            Ok(OptResult {
                 params: x0.to_vec(),
-                value: f(x0),
+                value: f(x0)?,
                 evals: 1,
                 converged: false,
-            }
+            })
+        }
+
+        fn name(&self) -> &'static str {
+            "null"
         }
     }
 
@@ -57,5 +115,21 @@ mod tests {
         let r = opt.minimize(&mut f, &[2.0], 10);
         assert_eq!(r.value, 4.0);
         assert_eq!(r.evals, 1);
+    }
+
+    #[test]
+    fn objective_error_propagates() {
+        let mut opt = Null;
+        let mut f = |_: &[f64]| Err(Error::Backend("boom".into()));
+        let e = opt.try_minimize(&mut f, &[1.0], 10).unwrap_err();
+        assert_eq!(e, Error::Backend("boom".into()));
+    }
+
+    #[test]
+    fn default_state_round_trip() {
+        let mut opt = Null;
+        assert!(matches!(opt.state_json(), JsonValue::Null));
+        opt.restore_state(&JsonValue::Int(3)).unwrap();
+        assert_eq!(opt.name(), "null");
     }
 }

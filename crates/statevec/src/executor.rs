@@ -7,16 +7,81 @@ use crate::stats::ExecStats;
 use nwq_circuit::{Circuit, Gate, GateMatrix};
 use nwq_common::{Error, Result};
 
+/// Post-sweep numerical health checks (paper-scale runs accumulate norm
+/// drift over millions of kernel sweeps; hardware faults show up as NaN/Inf
+/// amplitudes). The check is one `norm_sqr` pass, amortized over
+/// `check_interval` circuit runs so the steady-state overhead stays well
+/// under 1% of the plan sweeps it guards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormGuard {
+    /// Master switch; disabled guards cost nothing.
+    pub enabled: bool,
+    /// Renormalize when `|‖ψ‖² − 1|` exceeds this.
+    pub tolerance: f64,
+    /// Check once every this many circuit runs (0 is treated as 1).
+    pub check_interval: u64,
+}
+
+impl Default for NormGuard {
+    fn default() -> Self {
+        NormGuard {
+            enabled: true,
+            tolerance: 1e-6,
+            check_interval: 8,
+        }
+    }
+}
+
+impl NormGuard {
+    /// A guard that checks after every circuit run — what the fault tests
+    /// use so injected drift is caught on the very next sweep.
+    pub fn strict() -> Self {
+        NormGuard {
+            enabled: true,
+            tolerance: 1e-9,
+            check_interval: 1,
+        }
+    }
+
+    /// A disabled guard (pre-resilience behavior).
+    pub fn disabled() -> Self {
+        NormGuard {
+            enabled: false,
+            ..NormGuard::default()
+        }
+    }
+}
+
 /// Executes circuits against statevectors, accumulating gate statistics.
 #[derive(Debug, Default)]
 pub struct Executor {
     stats: ExecStats,
+    guard: NormGuard,
+    runs_since_check: u64,
 }
 
 impl Executor {
-    /// A fresh executor with zeroed counters.
+    /// A fresh executor with zeroed counters and the default norm guard.
     pub fn new() -> Self {
         Executor::default()
+    }
+
+    /// A fresh executor with an explicit health-check policy.
+    pub fn with_guard(guard: NormGuard) -> Self {
+        Executor {
+            guard,
+            ..Executor::default()
+        }
+    }
+
+    /// The active health-check policy.
+    pub fn guard(&self) -> NormGuard {
+        self.guard
+    }
+
+    /// Replaces the health-check policy.
+    pub fn set_guard(&mut self, guard: NormGuard) {
+        self.guard = guard;
     }
 
     /// Accumulated statistics.
@@ -27,6 +92,34 @@ impl Executor {
     /// Resets the counters.
     pub fn reset_stats(&mut self) {
         self.stats = ExecStats::default();
+    }
+
+    /// Amortized post-sweep health check: every `check_interval` circuit
+    /// runs, verify the state norm is finite (NaN/Inf → `Error::Numerical`,
+    /// the caller's retry layer decides what to do) and renormalize away
+    /// accumulated drift beyond the tolerance.
+    fn health_check(&mut self, state: &mut StateVector) -> Result<()> {
+        if !self.guard.enabled {
+            return Ok(());
+        }
+        self.runs_since_check += 1;
+        if self.runs_since_check < self.guard.check_interval.max(1) {
+            return Ok(());
+        }
+        self.runs_since_check = 0;
+        nwq_telemetry::counter_add("resilience.norm_checks", 1);
+        let norm2 = state.norm_sqr();
+        if !norm2.is_finite() {
+            nwq_telemetry::counter_add("resilience.nonfinite_detected", 1);
+            return Err(Error::Numerical(
+                "non-finite amplitudes detected after kernel sweep".into(),
+            ));
+        }
+        if (norm2 - 1.0).abs() > self.guard.tolerance {
+            state.normalize()?;
+            nwq_telemetry::counter_add("resilience.renormalizations", 1);
+        }
+        Ok(())
     }
 
     /// Applies `circuit` (with `params` bound) to `state` in place.
@@ -73,7 +166,7 @@ impl Executor {
         nwq_telemetry::counter_add("executor.gates_2q", gates_2q);
         nwq_telemetry::counter_add("executor.fused_blocks", fused);
         nwq_telemetry::counter_add("executor.amplitude_updates", dim * (gates_1q + gates_2q));
-        Ok(())
+        self.health_check(state)
     }
 
     /// Runs `circuit` from `|0…0⟩`, returning the final state.
@@ -128,7 +221,7 @@ impl Executor {
         nwq_telemetry::counter_add("executor.gates_2q", gates_2q);
         nwq_telemetry::counter_add("executor.fused_blocks", ops);
         nwq_telemetry::counter_add("executor.amplitude_updates", dim * ops);
-        Ok(())
+        self.health_check(state)
     }
 
     /// Runs a compiled plan from `|0…0⟩`, returning the final state.
@@ -245,6 +338,70 @@ mod tests {
         let plan = crate::plan::ExecPlan::compile(&Circuit::new(3), &[]).unwrap();
         let mut st = StateVector::zero(2);
         assert!(Executor::new().run_plan_on(&plan, &mut st).is_err());
+    }
+
+    #[test]
+    fn norm_guard_renormalizes_drifted_state() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut ex = Executor::with_guard(NormGuard::strict());
+        let mut st = StateVector::zero(1);
+        // Inject multiplicative drift well past the tolerance.
+        for a in st.amplitudes_mut() {
+            *a = *a * 1.01;
+        }
+        ex.run_on(&c, &[], &mut st).unwrap();
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-12, "{}", st.norm_sqr());
+    }
+
+    #[test]
+    fn norm_guard_rejects_non_finite_amplitudes() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut ex = Executor::with_guard(NormGuard::strict());
+        let mut st = StateVector::zero(1);
+        st.amplitudes_mut()[0] = nwq_common::C64::new(f64::NAN, 0.0);
+        let e = ex.run_on(&c, &[], &mut st).unwrap_err();
+        assert!(matches!(e, Error::Numerical(_)), "{e}");
+    }
+
+    #[test]
+    fn norm_guard_amortizes_over_interval() {
+        nwq_telemetry::reset();
+        nwq_telemetry::set_enabled(true);
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let guard = NormGuard {
+            enabled: true,
+            tolerance: 1e-6,
+            check_interval: 4,
+        };
+        let mut ex = Executor::with_guard(guard);
+        let before = nwq_telemetry::counter_value("resilience.norm_checks");
+        let mut st = StateVector::zero(1);
+        for _ in 0..8 {
+            ex.run_on(&c, &[], &mut st).unwrap();
+        }
+        let checks = nwq_telemetry::counter_value("resilience.norm_checks") - before;
+        nwq_telemetry::set_enabled(false);
+        assert_eq!(checks, 2, "8 runs at interval 4 → 2 checks");
+    }
+
+    #[test]
+    fn disabled_guard_leaves_drift_alone() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut ex = Executor::with_guard(NormGuard::disabled());
+        assert!(!ex.guard().enabled);
+        let mut st = StateVector::zero(1);
+        for a in st.amplitudes_mut() {
+            *a = *a * 2.0;
+        }
+        ex.run_on(&c, &[], &mut st).unwrap();
+        assert!((st.norm_sqr() - 4.0).abs() < 1e-12);
+        ex.set_guard(NormGuard::strict());
+        ex.run_on(&c, &[], &mut st).unwrap();
+        assert!((st.norm_sqr() - 1.0).abs() < 1e-12);
     }
 
     #[test]

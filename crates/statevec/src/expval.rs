@@ -35,6 +35,21 @@ use std::collections::BTreeMap;
 /// Amplitude count at or above which the reductions here go parallel.
 const PAR_THRESHOLD: usize = 1 << 12;
 
+/// Every energy entry point funnels its result through this: a NaN/Inf
+/// energy (corrupted amplitudes, injected fault) is surfaced as
+/// `Error::Numerical` instead of silently poisoning the optimizer, and
+/// counted so `--metrics` artifacts show how often it happened.
+fn ensure_finite_energy(energy: f64, context: &str) -> Result<f64> {
+    if energy.is_finite() {
+        Ok(energy)
+    } else {
+        nwq_telemetry::counter_add("resilience.nonfinite_detected", 1);
+        Err(Error::Numerical(format!(
+            "non-finite energy from {context}"
+        )))
+    }
+}
+
 /// Once every string in a group has been rotated to diagonal form, all its
 /// expectations come from a single pass over the probabilities:
 /// `⟨P_t⟩ = Σ_x |a_x|² (−1)^{|x ∧ support(P_t)|}`.
@@ -137,7 +152,7 @@ pub fn energy_direct_batched(state: &StateVector, op: &PauliOp) -> Result<f64> {
             (0..psi.len()).map(body).sum()
         };
     }
-    Ok(total.re)
+    ensure_finite_energy(total.re, "batched direct expectation")
 }
 
 /// Result of a full energy evaluation, with the gate accounting that
@@ -175,7 +190,7 @@ pub fn energy_non_caching(
         energy += diagonal_group_energy_with_diagonalized(&state, g);
     }
     Ok(EnergyEval {
-        energy,
+        energy: ensure_finite_energy(energy, "non-caching group evaluation")?,
         gates_applied,
     })
 }
@@ -207,7 +222,7 @@ pub fn energy_cached(
         }
     }
     Ok(EnergyEval {
-        energy,
+        energy: ensure_finite_energy(energy, "cached group evaluation")?,
         gates_applied,
     })
 }
@@ -382,6 +397,15 @@ mod tests {
         let per_term = s.energy(&h).unwrap();
         let batched = energy_direct_batched(&s, &h).unwrap();
         assert!((batched - per_term).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_direct_rejects_non_finite_energy() {
+        let mut s = crate::executor::simulate(&toy_ansatz(), &[0.1, 0.2]).unwrap();
+        s.amplitudes_mut()[0] = nwq_common::C64::new(f64::NAN, 0.0);
+        let h = PauliOp::parse("1.0 ZZ").unwrap();
+        let e = energy_direct_batched(&s, &h).unwrap_err();
+        assert!(matches!(e, Error::Numerical(_)), "{e}");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod plan;
 pub mod state;
 pub mod stats;
 
-pub use executor::{simulate, simulate_plan, Executor};
+pub use executor::{simulate, simulate_plan, Executor, NormGuard};
 pub use plan::{ExecPlan, PlanOp, PlanStats};
 pub use state::StateVector;
 

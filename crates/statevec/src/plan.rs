@@ -110,6 +110,7 @@ impl ExecPlan {
                      diag_coalesced: &mut usize| {
             match pending.len() {
                 0 => {}
+                // Infallible: this arm only runs when `pending.len() == 1`.
                 1 => ops.push(pending.pop().unwrap().0),
                 _ => {
                     *diag_coalesced += pending.len();

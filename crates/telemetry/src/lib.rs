@@ -24,7 +24,7 @@
 
 mod json;
 
-pub use json::JsonValue;
+pub use json::{JsonValue, ParseError};
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;

@@ -59,7 +59,7 @@ fn main() {
     let t1 = model.compute_time_s(big.len() as u64, 24, 1);
     for exp in 0..=7 {
         let n_ranks = 1usize << exp;
-        let plan = plan_communication(&big, n_ranks);
+        let plan = plan_communication(&big, n_ranks).expect("power-of-two ranks");
         let comm = model.comm_time_s(&plan, n_ranks);
         let comp = model.compute_time_s(big.len() as u64, 24, n_ranks);
         let total = comm + comp;

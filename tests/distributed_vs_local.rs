@@ -61,7 +61,7 @@ fn planner_matches_execution_on_chemistry_circuits() {
         .expect("bind");
     for n_ranks in [2usize, 4] {
         let (_, executed) = run_and_gather(&ansatz, &[], n_ranks).expect("distributed");
-        let planned = plan_communication(&ansatz, n_ranks);
+        let planned = plan_communication(&ansatz, n_ranks).expect("plan");
         assert_eq!(executed, planned, "ranks={n_ranks}");
     }
 }
@@ -77,6 +77,9 @@ fn cost_model_shows_compute_scaling() {
     let t4 = model.compute_time_s(ansatz.len() as u64, 6, 4);
     assert!((t1 / t4 - 4.0).abs() < 1e-9);
     // Communication is zero on one rank, positive on more.
-    assert_eq!(model.comm_time_s(&plan_communication(&ansatz, 1), 1), 0.0);
-    assert!(model.comm_time_s(&plan_communication(&ansatz, 4), 4) > 0.0);
+    assert_eq!(
+        model.comm_time_s(&plan_communication(&ansatz, 1).expect("plan"), 1),
+        0.0
+    );
+    assert!(model.comm_time_s(&plan_communication(&ansatz, 4).expect("plan"), 4) > 0.0);
 }
