@@ -9,6 +9,14 @@
 //! nwq qpe   [--r BOHR] [--ancillas N] [--steps N] [--order 1|2] [--metrics FILE.json]
 //! nwq fuse  --in FILE.qasm [--out FILE.qasm is unsupported: fused blocks
 //!           have no QASM form; stats are printed instead]
+//! nwq serve [--addr 127.0.0.1:7878] [--workers N] [--queue-capacity N]
+//!           [--max-batch N] [--cache-capacity N] [--aging-ms MS]
+//!           [--retries N] [--inject-faults RATE] [--fault-seed SEED]
+//!           [--kill-after-evals N] [--metrics FILE.json]
+//! nwq client --addr HOST:PORT --op submit|status|result|cancel|stats|drain
+//!           [--molecule toy|h2|water] [--job energy|vqe|adapt]
+//!           [--params a,b,...] [--x0 a,b,...] [--max-evals N] [--max-iter K]
+//!           [--priority low|normal|high] [--deadline-ms MS] [--id N] [--wait 0|1]
 //! nwq info
 //! ```
 //!
@@ -324,11 +332,158 @@ fn cmd_fuse(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `nwq serve`: bind the TCP job server and run until a client drains it.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.str_or("addr", "127.0.0.1:7878");
+    let rate: f64 = args.get("inject-faults", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--inject-faults must be in [0, 1], got {rate}"));
+    }
+    let mut engine = nwq_serve::EngineConfig {
+        workers: args.get("workers", 2)?,
+        queue: nwq_serve::QueueConfig {
+            capacity: args.get("queue-capacity", 64)?,
+            aging_ms: args.get("aging-ms", 1000.0)?,
+        },
+        cache: nwq_serve::CacheConfig {
+            capacity: args.get("cache-capacity", 4096)?,
+        },
+        max_batch: args.get("max-batch", 8)?,
+        retry: RetryPolicy {
+            max_retries: args.get("retries", 5)?,
+        },
+        ..Default::default()
+    };
+    if rate > 0.0 {
+        let seed: u64 = args.get("fault-seed", 12345)?;
+        println!("faults  : injecting evaluation failures at rate {rate} (seed {seed})");
+        engine.faults = Some(FaultSpec::eval_failures(rate, seed));
+    }
+    if args.flags.contains_key("kill-after-evals") {
+        engine.abort_after_evals = Some(args.get("kill-after-evals", 0)?);
+    }
+    let cfg = nwq_serve::ServerConfig {
+        engine,
+        ..Default::default()
+    };
+    let server = nwq_serve::Server::bind(&addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving : {bound} ({} workers, queue {}, max batch {})",
+        args.get("workers", 2usize)?,
+        args.get("queue-capacity", 64usize)?,
+        args.get("max-batch", 8usize)?
+    );
+    println!("drain   : nwq client --addr {bound} --op drain");
+    server.run().map_err(|e| e.to_string())?;
+    println!("drained : all accepted jobs reached a terminal state");
+    Ok(())
+}
+
+/// Parses `--params`-style comma-separated float lists.
+fn float_list(args: &Args, key: &str) -> Result<Vec<f64>, String> {
+    match args.flags.get(key) {
+        None => Ok(Vec::new()),
+        Some(s) if s.trim().is_empty() => Ok(Vec::new()),
+        Some(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad float {t:?} in --{key}"))
+            })
+            .collect(),
+    }
+}
+
+/// Builds a [`nwq_serve::JobSpec`] from `client --op submit` flags.
+fn job_spec_from(args: &Args) -> Result<nwq_serve::JobSpec, String> {
+    let molecule = args.str_or("molecule", "toy");
+    let kind = match args.str_or("job", "energy").as_str() {
+        "energy" => nwq_serve::JobKind::EnergyEval {
+            params: float_list(args, "params")?,
+        },
+        "vqe" => nwq_serve::JobKind::Vqe {
+            x0: float_list(args, "x0")?,
+            max_evals: args.get("max-evals", 2000)?,
+        },
+        "adapt" => nwq_serve::JobKind::Adapt {
+            max_iterations: args.get("max-iter", 8)?,
+        },
+        other => return Err(format!("unknown --job {other:?} (energy|vqe|adapt)")),
+    };
+    let priority_name = args.str_or("priority", "normal");
+    let priority = nwq_serve::Priority::parse(&priority_name)
+        .ok_or_else(|| format!("unknown --priority {priority_name:?} (low|normal|high)"))?;
+    let mut spec = nwq_serve::JobSpec {
+        molecule,
+        kind,
+        priority,
+        deadline_ms: None,
+    };
+    if args.flags.contains_key("deadline-ms") {
+        spec.deadline_ms = Some(args.get("deadline-ms", 0)?);
+    }
+    Ok(spec)
+}
+
+/// `nwq client`: one protocol operation against a running server. Replies
+/// are printed as raw protocol JSON — one line, pipeable to `jq`.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let addr = args
+        .flags
+        .get("addr")
+        .ok_or_else(|| "--addr HOST:PORT is required".to_string())?;
+    let op = args.str_or("op", "stats");
+    let mut client = nwq_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    let id = |key: &str| -> Result<u64, String> { args.get(key, u64::MAX) };
+    let reply = match op.as_str() {
+        "submit" => {
+            let spec = job_spec_from(args)?;
+            match client.submit(&spec).map_err(|e| e.to_string())? {
+                nwq_serve::SubmitOutcome::Accepted(id) => {
+                    if args.get("wait", 0u8)? != 0 {
+                        client.wait_result(id).map_err(|e| e.to_string())?
+                    } else {
+                        client.result(id).map_err(|e| e.to_string())?
+                    }
+                }
+                nwq_serve::SubmitOutcome::Rejected { reason } => {
+                    println!("{{\"ok\":0,\"rejected\":1,\"reason\":\"{reason}\"}}");
+                    return Err(format!("submission rejected: {reason}"));
+                }
+            }
+        }
+        "status" => client
+            .request(&nwq_serve::Request::Status { id: id("id")? })
+            .map_err(|e| e.to_string())?,
+        "result" => {
+            if args.get("wait", 0u8)? != 0 {
+                client.wait_result(id("id")?).map_err(|e| e.to_string())?
+            } else {
+                client.result(id("id")?).map_err(|e| e.to_string())?
+            }
+        }
+        "cancel" => client
+            .request(&nwq_serve::Request::Cancel { id: id("id")? })
+            .map_err(|e| e.to_string())?,
+        "stats" => client.stats().map_err(|e| e.to_string())?,
+        "drain" => client.drain().map_err(|e| e.to_string())?,
+        other => {
+            return Err(format!(
+                "unknown --op {other:?} (submit|status|result|cancel|stats|drain)"
+            ))
+        }
+    };
+    println!("{}", reply.render());
+    Ok(())
+}
+
 fn cmd_info() {
     println!("NWQ-Sim-rs {}", env!("CARGO_PKG_VERSION"));
     println!("Rust reproduction of 'Enabling Scalable VQE Simulation on Leading HPC Systems' (SC-W 2023).");
     println!();
-    println!("subcommands: vqe | adapt | qpe | fuse | info");
+    println!("subcommands: vqe | adapt | qpe | fuse | serve | client | info");
     println!("figures    : cargo run --release -p nwq-bench --bin figures -- all");
 }
 
@@ -357,6 +512,8 @@ fn main() -> ExitCode {
         "adapt" => cmd_adapt(&args),
         "qpe" => cmd_qpe(&args),
         "fuse" => cmd_fuse(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "info" => {
             cmd_info();
             Ok(())

@@ -34,6 +34,12 @@ pub struct BackendStats {
     pub ansatz_runs: u64,
 }
 
+/// An owned, thread-movable backend — the form worker pools hold. Every
+/// backend in this module is `Send` (plain owned data, no interior
+/// mutability), so boxing with the bound costs nothing and lets a server
+/// hand each worker thread its own engine.
+pub type BoxedBackend = Box<dyn Backend + Send>;
+
 /// An energy-evaluation engine for variational algorithms.
 pub trait Backend {
     /// Evaluates `⟨ψ(θ)|H|ψ(θ)⟩`.
@@ -374,6 +380,33 @@ impl Backend for DensityBackend {
 mod tests {
     use super::*;
     use nwq_circuit::ParamExpr;
+
+    /// Compile-time thread-safety audit: a worker pool moves backends into
+    /// threads (`Send`) and shares immutable handles across them (`Sync`).
+    /// Every concrete backend is plain owned data — if someone introduces
+    /// an `Rc`/`RefCell`/raw pointer into a backend or its statevec
+    /// internals, this stops compiling rather than failing at runtime.
+    #[test]
+    fn backends_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BackendStats>();
+        assert_send_sync::<NonCachingBackend>();
+        assert_send_sync::<CachedMeasureBackend>();
+        assert_send_sync::<DirectBackend>();
+        assert_send_sync::<SamplingBackend>();
+        assert_send_sync::<DistributedBackend>();
+        assert_send_sync::<DensityBackend>();
+        // DirectBackend internals, audited individually so a regression
+        // names the offending type.
+        assert_send_sync::<PostAnsatzCache>();
+        assert_send_sync::<Executor>();
+        assert_send_sync::<nwq_statevec::cache::CacheStats>();
+        assert_send_sync::<nwq_statevec::stats::ExecStats>();
+        // The boxed trait-object path workers own must be movable.
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<BoxedBackend>();
+        assert_send::<crate::resilience::FaultyBackend>();
+    }
 
     fn toy() -> (Circuit, PauliOp) {
         let mut ansatz = Circuit::new(2);

@@ -48,13 +48,14 @@ pub mod workflow;
 
 pub use adapt::{run_adapt_vqe, run_adapt_vqe_with, AdaptConfig, AdaptResult};
 pub use backend::{
-    Backend, BackendStats, CachedMeasureBackend, DensityBackend, DirectBackend, DistributedBackend,
-    NonCachingBackend, SamplingBackend,
+    Backend, BackendStats, BoxedBackend, CachedMeasureBackend, DensityBackend, DirectBackend,
+    DistributedBackend, NonCachingBackend, SamplingBackend,
 };
 pub use exact::{ground_energy_sector_default, Sector};
 pub use qpe::{run_qpe, QpeConfig, QpeOutcome};
 pub use resilience::{
-    run_vqe_with, CheckpointConfig, FaultyBackend, ResilienceOptions, ResumeState, RetryPolicy,
+    circuit_content_fingerprint, problem_content_fingerprint, run_vqe_with, CheckpointConfig,
+    FaultyBackend, ResilienceOptions, ResumeState, RetryPolicy,
 };
 pub use vqd::{run_vqd, VqdConfig, VqdResult};
 pub use vqe::{run_vqe, VqeProblem, VqeResult};

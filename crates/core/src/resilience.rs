@@ -31,7 +31,7 @@
 //! stopped, and its final energy and evaluation count match an
 //! uninterrupted run exactly.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, BoxedBackend};
 use crate::vqe::{VqeProblem, VqeResult};
 use nwq_circuit::Circuit;
 use nwq_common::{Error, Result};
@@ -422,11 +422,62 @@ impl<'a> ResilientEvaluator<'a> {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// 64-bit FNV-1a content fingerprint of a circuit: width, parameter count,
+/// and the structural form of every gate (kind, qubits, parameter
+/// expressions). Two circuits fingerprint equal iff they would compile to
+/// the same `ExecPlan` for the same bindings — the identity the serving
+/// layer batches and caches by.
+pub fn circuit_content_fingerprint(circuit: &Circuit) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, &(circuit.n_qubits() as u64).to_le_bytes());
+    h = fnv1a(h, &(circuit.n_params() as u64).to_le_bytes());
+    for gate in circuit.gates() {
+        // The structural Debug form covers kind, qubits, and symbolic
+        // parameter expressions deterministically.
+        h = fnv1a(h, format!("{gate:?}").as_bytes());
+        h = fnv1a(h, b";");
+    }
+    h
+}
+
+/// Content fingerprint of a `(Hamiltonian, ansatz)` pair: the circuit
+/// fingerprint folded with every Pauli term's exact coefficient bits and
+/// X/Z masks. Equal fingerprints mean an energy evaluation is the same
+/// computation — safe to answer from a shared cache or to batch into one
+/// expectation sweep across tenants.
+pub fn problem_content_fingerprint(hamiltonian: &PauliOp, ansatz: &Circuit) -> u64 {
+    let mut h = circuit_content_fingerprint(ansatz);
+    h = fnv1a(h, &(hamiltonian.n_qubits() as u64).to_le_bytes());
+    for (coeff, string) in hamiltonian.terms() {
+        h = fnv1a(h, &coeff.re.to_bits().to_le_bytes());
+        h = fnv1a(h, &coeff.im.to_bits().to_le_bytes());
+        h = fnv1a(h, &string.x_mask().to_le_bytes());
+        h = fnv1a(h, &string.z_mask().to_le_bytes());
+    }
+    h
+}
+
 /// Builds the VQE problem fingerprint stored in (and verified against)
 /// checkpoints: resuming is only sound when the objective and the start
 /// point are exactly those of the interrupted run.
 fn vqe_fingerprint(problem: &VqeProblem, x0: &[f64], max_evals: usize) -> JsonValue {
     JsonValue::Object(vec![
+        (
+            "content_fp".into(),
+            JsonValue::Int(problem_content_fingerprint(
+                &problem.hamiltonian,
+                &problem.ansatz,
+            )),
+        ),
         (
             "n_qubits".into(),
             JsonValue::Int(problem.ansatz.n_qubits() as u64),
@@ -560,13 +611,15 @@ pub fn run_vqe_with(
 /// NaN-amplitude faults as non-finite energies, exercising the retry and
 /// health-guard paths of the drivers above.
 pub struct FaultyBackend {
-    inner: Box<dyn Backend>,
+    inner: BoxedBackend,
     injector: FaultInjector,
 }
 
 impl FaultyBackend {
-    /// Decorates `inner` with faults drawn from `spec`.
-    pub fn new(inner: Box<dyn Backend>, spec: FaultSpec) -> Self {
+    /// Decorates `inner` with faults drawn from `spec`. The inner box is
+    /// `Send` so a fault-injecting backend can still be owned by a worker
+    /// thread.
+    pub fn new(inner: BoxedBackend, spec: FaultSpec) -> Self {
         FaultyBackend {
             inner,
             injector: FaultInjector::new(spec),
@@ -574,7 +627,7 @@ impl FaultyBackend {
     }
 
     /// Decorates a concrete backend (convenience over [`FaultyBackend::new`]).
-    pub fn wrap(inner: impl Backend + 'static, spec: FaultSpec) -> Self {
+    pub fn wrap(inner: impl Backend + Send + 'static, spec: FaultSpec) -> Self {
         FaultyBackend::new(Box::new(inner), spec)
     }
 
@@ -658,6 +711,38 @@ mod tests {
         fn name(&self) -> &'static str {
             "broken"
         }
+    }
+
+    #[test]
+    fn content_fingerprints_separate_problems_not_instances() {
+        let p = toy_problem();
+        // Same content, fresh instances → identical fingerprint.
+        let a = problem_content_fingerprint(&p.hamiltonian, &p.ansatz);
+        let b = {
+            let q = toy_problem();
+            problem_content_fingerprint(&q.hamiltonian, &q.ansatz)
+        };
+        assert_eq!(a, b);
+        // Different Hamiltonian coefficient → different fingerprint.
+        let h2 = PauliOp::parse("1.0 ZZ + 0.5 XX").unwrap();
+        assert_ne!(a, problem_content_fingerprint(&h2, &p.ansatz));
+        // Different ansatz structure → different fingerprint.
+        let mut other = Circuit::new(2);
+        other.ry(1, nwq_circuit::ParamExpr::var(0)).cx(0, 1);
+        assert_ne!(
+            circuit_content_fingerprint(&p.ansatz),
+            circuit_content_fingerprint(&other)
+        );
+        assert_ne!(a, problem_content_fingerprint(&p.hamiltonian, &other));
+        // Gate order matters: ry·cx vs cx·ry are different circuits.
+        let mut swapped = Circuit::new(2);
+        swapped.cx(0, 1).ry(0, nwq_circuit::ParamExpr::var(0));
+        let mut original = Circuit::new(2);
+        original.ry(0, nwq_circuit::ParamExpr::var(0)).cx(0, 1);
+        assert_ne!(
+            circuit_content_fingerprint(&swapped),
+            circuit_content_fingerprint(&original)
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Shared cross-tenant energy cache.
+//!
+//! Keyed by `(problem fingerprint, exact parameter bit patterns)`: two
+//! tenants asking for the same molecule at the same θ get one computation.
+//! Because every energy path in the workspace is deterministic, a cached
+//! value is bitwise identical to a recomputation — serving from the cache
+//! preserves the server's exactness guarantee. Negative zero normalizes to
+//! positive zero in the key (mirroring the post-ansatz cache in
+//! `nwq-statevec`) since `E(−0.0) = E(0.0)` exactly.
+//!
+//! Eviction is FIFO over insertion order — cheap and deterministic, and
+//! serving workloads are dominated by bursts of identical requests where
+//! recency tracking buys little.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Shared-cache sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Maximum cached energies; 0 disables the cache.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: 4096 }
+    }
+}
+
+/// Hit/miss accounting for the shared cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computation.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+}
+
+impl SharedCacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Key = (u64, Vec<u64>);
+
+fn key_of(fingerprint: u64, params: &[f64]) -> Key {
+    let bits = params
+        .iter()
+        .map(|&p| if p == 0.0 { 0.0f64 } else { p }.to_bits())
+        .collect();
+    (fingerprint, bits)
+}
+
+struct Inner {
+    map: HashMap<Key, f64>,
+    order: VecDeque<Key>,
+    stats: SharedCacheStats,
+}
+
+/// The process-wide energy memo shared by all workers.
+pub struct SharedCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SharedCache {
+    /// An empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        SharedCache {
+            capacity: cfg.capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                stats: SharedCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Looks up a cached energy; records a hit or miss either way.
+    pub fn lookup(&self, fingerprint: u64, params: &[f64]) -> Option<f64> {
+        let mut g = self.lock();
+        match g.map.get(&key_of(fingerprint, params)).copied() {
+            Some(e) => {
+                g.stats.hits += 1;
+                nwq_telemetry::counter_add("serve.cache.hits", 1);
+                Some(e)
+            }
+            None => {
+                g.stats.misses += 1;
+                nwq_telemetry::counter_add("serve.cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed energy (idempotent; no-op at zero capacity).
+    pub fn insert(&self, fingerprint: u64, params: &[f64], energy: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = key_of(fingerprint, params);
+        let mut g = self.lock();
+        if g.map.contains_key(&key) {
+            return;
+        }
+        g.map.insert(key.clone(), energy);
+        g.order.push_back(key);
+        g.stats.insertions += 1;
+        while g.map.len() > self.capacity {
+            if let Some(old) = g.order.pop_front() {
+                g.map.remove(&old);
+                g.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> SharedCacheStats {
+        self.lock().stats
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_returns_exact_bits() {
+        let c = SharedCache::new(CacheConfig::default());
+        let theta = [0.25, -1.5];
+        assert_eq!(c.lookup(7, &theta), None);
+        let e = -1.137_283_834_976_1_f64;
+        c.insert(7, &theta, e);
+        assert_eq!(c.lookup(7, &theta).unwrap().to_bits(), e.to_bits());
+        // Different fingerprint or θ misses.
+        assert_eq!(c.lookup(8, &theta), None);
+        assert_eq!(c.lookup(7, &[0.25, -1.6]), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 3, 1));
+        assert!((s.hit_rate() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_zero_params_share_an_entry() {
+        let c = SharedCache::new(CacheConfig::default());
+        c.insert(1, &[0.0, 0.5], 2.5);
+        assert_eq!(c.lookup(1, &[-0.0, 0.5]), Some(2.5));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let c = SharedCache::new(CacheConfig { capacity: 2 });
+        c.insert(1, &[1.0], 1.0);
+        c.insert(1, &[2.0], 2.0);
+        c.insert(1, &[3.0], 3.0); // evicts [1.0]
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(1, &[1.0]), None);
+        assert_eq!(c.lookup(1, &[3.0]), Some(3.0));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let c = SharedCache::new(CacheConfig { capacity: 0 });
+        c.insert(1, &[1.0], 1.0);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(1, &[1.0]), None);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let c = SharedCache::new(CacheConfig { capacity: 8 });
+        c.insert(1, &[1.0], 1.0);
+        c.insert(1, &[1.0], 999.0); // first value wins; no double entry
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(1, &[1.0]), Some(1.0));
+        assert_eq!(c.stats().insertions, 1);
+    }
+}

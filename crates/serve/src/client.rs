@@ -1,0 +1,147 @@
+//! A minimal blocking client for the line-JSON protocol — used by the CLI
+//! `client` subcommand, the load generator, and the integration tests.
+
+use crate::engine::SubmitOutcome;
+use crate::job::{JobId, JobSpec, JobStatus};
+use crate::protocol::Request;
+use nwq_common::{Error, Result};
+use nwq_telemetry::JsonValue;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One protocol connection to a running server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::Backend(format!("connecting to {addr}: {e}")))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| Error::Backend(format!("cloning stream: {e}")))?,
+        );
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw protocol line and reads one reply line.
+    pub fn raw_line(&mut self, line: &str) -> Result<JsonValue> {
+        writeln!(self.writer, "{line}")
+            .map_err(|e| Error::Backend(format!("sending request: {e}")))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| Error::Backend(format!("reading reply: {e}")))?;
+        if n == 0 {
+            return Err(Error::Backend("server closed the connection".into()));
+        }
+        JsonValue::parse(reply.trim_end())
+            .map_err(|e| Error::Invalid(format!("unparseable reply {reply:?}: {e}")))
+    }
+
+    /// Sends a typed request and reads the reply.
+    pub fn request(&mut self, req: &Request) -> Result<JsonValue> {
+        self.raw_line(&req.to_line())
+    }
+
+    /// Submits a job; distinguishes acceptance from explicit rejection.
+    /// Protocol-level errors (bad molecule, transport) are `Err`.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome> {
+        let reply = self.request(&Request::Submit(spec.clone()))?;
+        if reply.get("ok").and_then(JsonValue::as_u64) == Some(1) {
+            let id = reply
+                .get("id")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| Error::Invalid("accepted reply without an id".into()))?;
+            return Ok(SubmitOutcome::Accepted(id));
+        }
+        if reply.get("rejected").and_then(JsonValue::as_u64) == Some(1) {
+            let reason = reply
+                .get("reason")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unspecified")
+                .to_string();
+            return Ok(SubmitOutcome::Rejected { reason });
+        }
+        Err(Error::Invalid(format!(
+            "submit failed: {}",
+            reply
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown error")
+        )))
+    }
+
+    /// Queries a job's lifecycle status.
+    pub fn status(&mut self, id: JobId) -> Result<Option<JobStatus>> {
+        let reply = self.request(&Request::Status { id })?;
+        match reply.get("status").and_then(JsonValue::as_str) {
+            Some(s) => Ok(parse_status(s)),
+            None => Ok(None),
+        }
+    }
+
+    /// Fetches a job's result without blocking.
+    pub fn result(&mut self, id: JobId) -> Result<JsonValue> {
+        self.request(&Request::Result { id, wait: false })
+    }
+
+    /// Blocks until the job is terminal (re-polling past the server's wait
+    /// cap) and returns the final result reply.
+    pub fn wait_result(&mut self, id: JobId) -> Result<JsonValue> {
+        loop {
+            let reply = self.request(&Request::Result { id, wait: true })?;
+            match reply.get("status").and_then(JsonValue::as_str) {
+                Some(s) if parse_status(s).is_some_and(JobStatus::is_terminal) => return Ok(reply),
+                Some(_) => continue, // wait cap hit; poll again
+                None => {
+                    return Err(Error::Invalid(format!(
+                        "result failed: {}",
+                        reply
+                            .get("error")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("unknown error")
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Cancels a still-queued job; `Ok(true)` when it was removed.
+    pub fn cancel(&mut self, id: JobId) -> Result<bool> {
+        let reply = self.request(&Request::Cancel { id })?;
+        Ok(reply.get("cancelled").and_then(JsonValue::as_u64) == Some(1))
+    }
+
+    /// Server-wide statistics snapshot.
+    pub fn stats(&mut self) -> Result<JsonValue> {
+        self.request(&Request::Stats)
+    }
+
+    /// Drains the server: blocks until every accepted job finished and the
+    /// server acknowledges shutdown.
+    pub fn drain(&mut self) -> Result<JsonValue> {
+        self.request(&Request::Drain)
+    }
+}
+
+fn parse_status(s: &str) -> Option<JobStatus> {
+    [
+        JobStatus::Queued,
+        JobStatus::Running,
+        JobStatus::Done,
+        JobStatus::Failed,
+        JobStatus::Cancelled,
+        JobStatus::Expired,
+    ]
+    .into_iter()
+    .find(|status| status.as_str() == s)
+}

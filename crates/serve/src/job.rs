@@ -1,0 +1,354 @@
+//! The job model: what tenants submit and what they get back.
+//!
+//! A [`JobSpec`] names a molecule from the registry, the kind of work
+//! (single energy evaluation, full VQE minimization, or ADAPT-VQE growth),
+//! a [`Priority`], and an optional queueing deadline. Specs round-trip
+//! through the line-JSON protocol via [`JobSpec::to_json`] /
+//! [`JobSpec::from_json`]; parameters survive the trip bitwise because the
+//! telemetry JSON layer round-trips finite `f64` exactly — which is what
+//! lets the server promise energies identical to a local run.
+
+use nwq_telemetry::{JsonValue, Object};
+
+/// Server-assigned job identifier, unique per engine lifetime.
+pub type JobId = u64;
+
+/// Scheduling priority. Higher classes are served first, but queued jobs
+/// age upward (see [`crate::queue::QueueConfig::aging_ms`]) so low-priority
+/// work cannot starve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Background work.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive work.
+    High,
+}
+
+impl Priority {
+    /// Base scheduling level (aging adds to this).
+    pub fn level(self) -> f64 {
+        match self {
+            Priority::Low => 0.0,
+            Priority::Normal => 1.0,
+            Priority::High => 2.0,
+        }
+    }
+
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// What a job computes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobKind {
+    /// One energy evaluation `E(θ)` at fixed parameters — the batchable
+    /// kind: compatible pending evaluations (same problem fingerprint) are
+    /// grouped into one expectation sweep.
+    EnergyEval {
+        /// Ansatz parameters, one per symbolic parameter.
+        params: Vec<f64>,
+    },
+    /// A full VQE minimization.
+    Vqe {
+        /// Starting point; empty means all zeros.
+        x0: Vec<f64>,
+        /// Optimizer evaluation budget.
+        max_evals: usize,
+    },
+    /// An ADAPT-VQE growth run.
+    Adapt {
+        /// Growth-iteration budget.
+        max_iterations: usize,
+    },
+}
+
+impl JobKind {
+    /// Wire name of the kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobKind::EnergyEval { .. } => "energy",
+            JobKind::Vqe { .. } => "vqe",
+            JobKind::Adapt { .. } => "adapt",
+        }
+    }
+
+    /// Whether jobs of this kind may share one batched expectation sweep.
+    pub fn batchable(&self) -> bool {
+        matches!(self, JobKind::EnergyEval { .. })
+    }
+}
+
+/// A submitted unit of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Registry molecule name (see [`crate::problem::MOLECULES`]).
+    pub molecule: String,
+    /// What to compute.
+    pub kind: JobKind,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Maximum time the job may wait in the queue, in milliseconds; jobs
+    /// exceeding it are marked [`JobStatus::Expired`] instead of running.
+    pub deadline_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// An energy-evaluation spec at normal priority.
+    pub fn energy(molecule: impl Into<String>, params: Vec<f64>) -> Self {
+        JobSpec {
+            molecule: molecule.into(),
+            kind: JobKind::EnergyEval { params },
+            priority: Priority::Normal,
+            deadline_ms: None,
+        }
+    }
+
+    /// A VQE spec at normal priority (empty `x0` means all zeros).
+    pub fn vqe(molecule: impl Into<String>, x0: Vec<f64>, max_evals: usize) -> Self {
+        JobSpec {
+            molecule: molecule.into(),
+            kind: JobKind::Vqe { x0, max_evals },
+            priority: Priority::Normal,
+            deadline_ms: None,
+        }
+    }
+
+    /// An ADAPT-VQE spec at normal priority.
+    pub fn adapt(molecule: impl Into<String>, max_iterations: usize) -> Self {
+        JobSpec {
+            molecule: molecule.into(),
+            kind: JobKind::Adapt { max_iterations },
+            priority: Priority::Normal,
+            deadline_ms: None,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the queueing deadline (builder style).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Protocol encoding.
+    pub fn to_json(&self) -> JsonValue {
+        let floats =
+            |xs: &[f64]| JsonValue::Array(xs.iter().map(|&x| JsonValue::Float(x)).collect());
+        let mut o = Object::new();
+        o.push("molecule", JsonValue::Str(self.molecule.clone()));
+        o.push("job", JsonValue::Str(self.kind.as_str().into()));
+        match &self.kind {
+            JobKind::EnergyEval { params } => o.push("params", floats(params)),
+            JobKind::Vqe { x0, max_evals } => {
+                o.push("x0", floats(x0));
+                o.push("max_evals", JsonValue::Int(*max_evals as u64));
+            }
+            JobKind::Adapt { max_iterations } => {
+                o.push("max_iterations", JsonValue::Int(*max_iterations as u64));
+            }
+        }
+        o.push("priority", JsonValue::Str(self.priority.as_str().into()));
+        if let Some(d) = self.deadline_ms {
+            o.push("deadline_ms", JsonValue::Int(d));
+        }
+        o.into_value()
+    }
+
+    /// Protocol decoding (inverse of [`JobSpec::to_json`]).
+    pub fn from_json(v: &JsonValue) -> Result<JobSpec, String> {
+        let molecule = v
+            .get("molecule")
+            .and_then(JsonValue::as_str)
+            .ok_or("submit is missing \"molecule\"")?
+            .to_string();
+        let floats = |key: &str| -> Result<Vec<f64>, String> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(arr) => arr
+                    .as_array()
+                    .ok_or_else(|| format!("\"{key}\" must be an array of numbers"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| format!("non-numeric entry in \"{key}\""))
+                    })
+                    .collect(),
+            }
+        };
+        let kind = match v.get("job").and_then(JsonValue::as_str).unwrap_or("energy") {
+            "energy" => JobKind::EnergyEval {
+                params: floats("params")?,
+            },
+            "vqe" => JobKind::Vqe {
+                x0: floats("x0")?,
+                max_evals: v
+                    .get("max_evals")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(2000) as usize,
+            },
+            "adapt" => JobKind::Adapt {
+                max_iterations: v
+                    .get("max_iterations")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(8) as usize,
+            },
+            other => return Err(format!("unknown job kind {other:?}")),
+        };
+        let priority = match v.get("priority").and_then(JsonValue::as_str) {
+            None => Priority::Normal,
+            Some(s) => Priority::parse(s).ok_or_else(|| format!("unknown priority {s:?}"))?,
+        };
+        Ok(JobSpec {
+            molecule,
+            kind,
+            priority,
+            deadline_ms: v.get("deadline_ms").and_then(JsonValue::as_u64),
+        })
+    }
+}
+
+/// Lifecycle of a job inside the engine. Admission rejection is *not* a
+/// status: rejected submissions never get an id or a record — backpressure
+/// is reported on the submit reply itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting in the admission queue.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished successfully; the record carries a [`JobOutcome`].
+    Done,
+    /// Finished unsuccessfully; the record carries an error message.
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+    /// Queueing deadline elapsed before a worker claimed it.
+    Expired,
+}
+
+impl JobStatus {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Expired => "expired",
+        }
+    }
+
+    /// Whether the job will never change state again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+/// What a successfully completed job produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// The computed energy (final energy for VQE/ADAPT).
+    pub energy: f64,
+    /// Backend evaluations consumed.
+    pub evaluations: u64,
+    /// Size of the cross-job batch this job rode in (1 = alone).
+    pub batch_size: usize,
+    /// Whether the energy was answered from the shared cross-tenant cache.
+    pub cache_hit: bool,
+    /// Submit-to-completion latency in milliseconds.
+    pub wall_ms: f64,
+    /// Time spent waiting in the admission queue, in milliseconds.
+    pub queue_wait_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_round_trips_all_kinds_bitwise() {
+        // One ULP off 0.1 — a value decimal shortest-round-trip must get
+        // exactly right — plus a negative zero and an irrational.
+        let theta = [
+            f64::from_bits(0.1f64.to_bits() + 1),
+            -0.0,
+            std::f64::consts::PI,
+        ];
+        let specs = [
+            JobSpec::energy("h2", theta.to_vec())
+                .with_priority(Priority::High)
+                .with_deadline_ms(250),
+            JobSpec::vqe("toy", vec![0.4, 0.2], 1500).with_priority(Priority::Low),
+            JobSpec::adapt("water", 6),
+        ];
+        for spec in specs {
+            let line = spec.to_json().render();
+            let back = JobSpec::from_json(&JsonValue::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, spec, "{line}");
+            if let (JobKind::EnergyEval { params: a }, JobKind::EnergyEval { params: b }) =
+                (&back.kind, &spec.kind)
+            {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "params must survive bitwise");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_decoding_rejects_malformed_input() {
+        for bad in [
+            r#"{"job":"energy"}"#,                         // no molecule
+            r#"{"molecule":"h2","job":"teleport"}"#,       // unknown kind
+            r#"{"molecule":"h2","priority":"urgent"}"#,    // unknown priority
+            r#"{"molecule":"h2","params":["x"]}"#,         // non-numeric params
+            r#"{"molecule":"h2","params":{"not":"arr"}}"#, // wrong shape
+        ] {
+            let v = JsonValue::parse(bad).unwrap();
+            assert!(JobSpec::from_json(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn priority_ordering_and_terminal_statuses() {
+        assert!(Priority::High.level() > Priority::Normal.level());
+        assert!(Priority::Normal.level() > Priority::Low.level());
+        assert_eq!(Priority::parse("high"), Some(Priority::High));
+        for s in [
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+            JobStatus::Expired,
+        ] {
+            assert!(s.is_terminal());
+            assert_eq!(JobStatus::Queued.as_str(), "queued");
+        }
+        assert!(!JobStatus::Queued.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+    }
+}

@@ -1,0 +1,66 @@
+//! # nwq-serve
+//!
+//! A multi-tenant VQE job server over the workspace's simulation stack:
+//! many clients submit energy-evaluation, VQE, and ADAPT-VQE jobs against
+//! named molecules; a bounded admission queue with priority aging feeds a
+//! worker pool; compatible pending energy evaluations from *different*
+//! tenants are grouped into one batched expectation sweep; and a shared
+//! cross-tenant cache answers repeated `(problem, θ)` requests without
+//! recomputation.
+//!
+//! The server's core promise is **exactness under multi-tenancy**: every
+//! energy it returns is bitwise identical to running the same job alone
+//! through [`nwq_core`] — batching rides the deterministic
+//! `batched_energies` pipeline (the same compiled-plan path
+//! `DirectBackend` uses), cached values are replays of deterministic
+//! computations, and injected faults (for resilience testing) only ever
+//! cause retries of deterministic work.
+//!
+//! ## Layers
+//!
+//! - [`job`] — what tenants submit ([`JobSpec`]) and receive
+//!   ([`JobOutcome`], [`JobStatus`]);
+//! - [`problem`] — the molecule registry (built once, shared by `Arc`);
+//! - [`queue`] — bounded admission with priority aging and batch-aware
+//!   claims; rejection is explicit backpressure, never silent loss;
+//! - [`cache`] — the shared cross-tenant energy memo;
+//! - [`engine`] — worker pool (each worker owns a warmed
+//!   `DirectBackend`), cross-job batching, retries, graceful drain;
+//! - [`protocol`] / [`server`] / [`client`] — the line-delimited JSON
+//!   wire layer over `std::net` (no dependencies beyond the workspace).
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use nwq_serve::{Engine, EngineConfig, JobSpec, SubmitOutcome};
+//! use std::time::Duration;
+//!
+//! let engine = Engine::start(EngineConfig::default());
+//! let id = match engine.submit(JobSpec::energy("toy", vec![0.3, -0.4])) {
+//!     SubmitOutcome::Accepted(id) => id,
+//!     SubmitOutcome::Rejected { reason } => panic!("rejected: {reason}"),
+//! };
+//! let view = engine.wait_terminal(id, Duration::from_secs(30)).unwrap();
+//! assert!(view.outcome.unwrap().energy.is_finite());
+//! engine.drain();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod job;
+pub mod problem;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheConfig, SharedCache, SharedCacheStats};
+pub use client::Client;
+pub use engine::{Engine, EngineConfig, EngineStats, JobView, SubmitOutcome};
+pub use job::{JobId, JobKind, JobOutcome, JobSpec, JobStatus, Priority};
+pub use problem::{build_problem, ServeProblem, MOLECULES};
+pub use protocol::Request;
+pub use queue::{Admission, AdmissionQueue, QueueConfig, QueuedJob};
+pub use server::{Server, ServerConfig};

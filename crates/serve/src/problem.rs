@@ -1,0 +1,108 @@
+//! The molecule registry: named problems tenants can submit against.
+//!
+//! Every job names a molecule; the engine builds the qubit Hamiltonian and
+//! UCCSD ansatz once per name and shares the result (`Arc`) across all
+//! workers and jobs — tenants never pay the Jordan–Wigner mapping or
+//! ansatz synthesis twice. The [`ServeProblem::fingerprint`] is the
+//! content hash the batcher and the shared energy cache key by.
+
+use nwq_chem::uccsd::uccsd_ansatz;
+use nwq_common::{Error, Result};
+use nwq_core::problem_content_fingerprint;
+use nwq_core::vqe::VqeProblem;
+use nwq_pauli::PauliOp;
+
+/// Molecule names the registry accepts.
+pub const MOLECULES: &[&str] = &["toy", "h2", "water"];
+
+/// A fully prepared problem, built once per molecule name and shared.
+#[derive(Clone, Debug)]
+pub struct ServeProblem {
+    /// Registry name.
+    pub name: String,
+    /// Hamiltonian + ansatz, ready for any driver.
+    pub problem: VqeProblem,
+    /// Electron count (ADAPT pool construction needs it).
+    pub n_electrons: usize,
+    /// Content fingerprint of `(hamiltonian, ansatz)` — the batching and
+    /// shared-cache key.
+    pub fingerprint: u64,
+}
+
+/// Builds a registry problem by name.
+pub fn build_problem(name: &str) -> Result<ServeProblem> {
+    let (hamiltonian, ansatz, n_electrons) = match name {
+        // A 2-qubit toy with a hand-rolled entangling ansatz: fast enough
+        // to serve thousands of jobs in tests and benchmarks.
+        "toy" => {
+            let h = PauliOp::parse("1.0 ZZ + 1.0 XX")?;
+            let mut ansatz = nwq_circuit::Circuit::new(2);
+            ansatz
+                .ry(0, nwq_circuit::ParamExpr::var(0))
+                .cx(0, 1)
+                .ry(1, nwq_circuit::ParamExpr::var(1));
+            (h, ansatz, 1)
+        }
+        "h2" => {
+            let mol = nwq_chem::molecules::h2_sto3g();
+            let h = mol.to_qubit_hamiltonian()?;
+            let ansatz = uccsd_ansatz(h.n_qubits(), mol.n_electrons())?;
+            (h, ansatz, mol.n_electrons())
+        }
+        "water" => {
+            let mol = nwq_chem::molecules::water_model(4, 4);
+            let h = mol.to_qubit_hamiltonian()?;
+            let ansatz = uccsd_ansatz(h.n_qubits(), mol.n_electrons())?;
+            (h, ansatz, mol.n_electrons())
+        }
+        other => {
+            return Err(Error::Invalid(format!(
+                "unknown molecule {other:?} (expected one of {MOLECULES:?})"
+            )))
+        }
+    };
+    let fingerprint = problem_content_fingerprint(&hamiltonian, &ansatz);
+    Ok(ServeProblem {
+        name: name.to_string(),
+        problem: VqeProblem {
+            hamiltonian,
+            ansatz,
+        },
+        n_electrons,
+        fingerprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_every_molecule_with_stable_fingerprints() {
+        for name in MOLECULES {
+            let a = build_problem(name).unwrap();
+            let b = build_problem(name).unwrap();
+            assert_eq!(a.fingerprint, b.fingerprint, "{name}");
+            assert!(a.problem.ansatz.n_params() > 0, "{name}");
+            assert_eq!(
+                a.problem.ansatz.n_qubits(),
+                a.problem.hamiltonian.n_qubits()
+            );
+        }
+        // Distinct molecules must not collide (they'd share cache entries).
+        let fps: Vec<u64> = MOLECULES
+            .iter()
+            .map(|m| build_problem(m).unwrap().fingerprint)
+            .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "{} vs {}", MOLECULES[i], MOLECULES[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_molecule_is_rejected() {
+        assert!(build_problem("benzene").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Bounded admission queue with priority aging and batch-aware pops.
+//!
+//! Admission is where backpressure lives: a full queue rejects *at
+//! submit time* with an explicit reason, instead of buffering without
+//! bound or hanging the client. Scheduling order is by *effective*
+//! priority — the job's class level plus its queue age divided by
+//! [`QueueConfig::aging_ms`] — so a high-priority stream cannot starve
+//! low-priority tenants: every `aging_ms` of waiting promotes a job by
+//! one full class.
+//!
+//! Pops are batch-aware: after choosing the highest-effective-priority
+//! job, a worker also claims up to `max_batch − 1` *batchable* jobs with
+//! the same problem fingerprint, so compatible energy evaluations from
+//! different tenants leave the queue as one group and run as one
+//! expectation sweep.
+//!
+//! This module intentionally uses `std::sync::{Mutex, Condvar}` (not the
+//! vendored `parking_lot`, which has no condvar) — blocking pops need a
+//! real wait/notify primitive.
+
+use crate::job::{JobId, Priority};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Admission-queue tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Maximum queued (not yet claimed) jobs; submissions beyond this are
+    /// rejected.
+    pub capacity: usize,
+    /// Milliseconds of queue age worth one priority class. Smaller values
+    /// age faster.
+    pub aging_ms: f64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 64,
+            aging_ms: 1000.0,
+        }
+    }
+}
+
+/// A queued job, as the scheduler sees it.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// Engine job id.
+    pub id: JobId,
+    /// Problem content fingerprint (batching key).
+    pub fingerprint: u64,
+    /// Whether this job may join a cross-job batch.
+    pub batchable: bool,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Queueing deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl QueuedJob {
+    /// Milliseconds spent in the queue as of `now`.
+    pub fn waited_ms(&self, now: Instant) -> f64 {
+        now.duration_since(self.enqueued).as_secs_f64() * 1e3
+    }
+
+    /// Whether the queueing deadline has elapsed as of `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline_ms
+            .is_some_and(|d| self.waited_ms(now) > d as f64)
+    }
+}
+
+/// Outcome of an admission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The job entered the queue.
+    Accepted,
+    /// The bounded queue is full — explicit backpressure, retry later.
+    RejectedQueueFull,
+    /// The server is draining and takes no new work.
+    RejectedDraining,
+}
+
+struct Inner {
+    entries: Vec<QueuedJob>,
+    draining: bool,
+    closed: bool,
+}
+
+/// The bounded, aging, batch-aware admission queue.
+pub struct AdmissionQueue {
+    cfg: QueueConfig,
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+impl AdmissionQueue {
+    /// An empty queue.
+    pub fn new(cfg: QueueConfig) -> Self {
+        AdmissionQueue {
+            cfg,
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                draining: false,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Jobs currently queued (claimed jobs are no longer counted).
+    pub fn depth(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Attempts admission. Never blocks.
+    pub fn push(&self, job: QueuedJob) -> Admission {
+        let mut g = self.lock();
+        if g.draining || g.closed {
+            return Admission::RejectedDraining;
+        }
+        if g.entries.len() >= self.cfg.capacity.max(1) {
+            return Admission::RejectedQueueFull;
+        }
+        g.entries.push(job);
+        drop(g);
+        self.available.notify_one();
+        Admission::Accepted
+    }
+
+    /// Blocks until work is available (or the queue is closed), then claims
+    /// the highest-effective-priority job plus up to `max_batch − 1`
+    /// batchable jobs sharing its fingerprint. Returns `None` only on
+    /// close-and-empty — the worker-exit signal.
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<QueuedJob>> {
+        let mut g = self.lock();
+        loop {
+            if !g.entries.is_empty() {
+                break;
+            }
+            if g.closed {
+                return None;
+            }
+            g = self
+                .available
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let now = Instant::now();
+        let lead_idx = (0..g.entries.len())
+            .max_by(|&a, &b| {
+                let ea = self.effective_priority(&g.entries[a], now);
+                let eb = self.effective_priority(&g.entries[b], now);
+                // Ties (and NaN-free floats generally) break FIFO: the
+                // smaller id was submitted first and wins.
+                ea.total_cmp(&eb)
+                    .then_with(|| g.entries[b].id.cmp(&g.entries[a].id))
+            })
+            .expect("entries is non-empty");
+        let lead = g.entries.remove(lead_idx);
+        let mut batch = vec![lead];
+        if batch[0].batchable {
+            let mut i = 0;
+            while i < g.entries.len() && batch.len() < max_batch.max(1) {
+                if g.entries[i].batchable && g.entries[i].fingerprint == batch[0].fingerprint {
+                    batch.push(g.entries.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Removes a still-queued job (the cancel path). Returns whether it was
+    /// found — `false` means a worker already claimed it.
+    pub fn remove(&self, id: JobId) -> bool {
+        let mut g = self.lock();
+        match g.entries.iter().position(|j| j.id == id) {
+            Some(idx) => {
+                g.entries.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops admitting new jobs; queued jobs still run to completion.
+    pub fn set_draining(&self) {
+        self.lock().draining = true;
+    }
+
+    /// Whether the queue is draining.
+    pub fn draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Wakes all blocked pops and makes future pops return `None` once the
+    /// queue empties. Call after the last job has been claimed.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn effective_priority(&self, job: &QueuedJob, now: Instant) -> f64 {
+        job.priority.level() + job.waited_ms(now) / self.cfg.aging_ms.max(1e-9)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn job(id: JobId, fp: u64, batchable: bool, priority: Priority) -> QueuedJob {
+        QueuedJob {
+            id,
+            fingerprint: fp,
+            batchable,
+            priority,
+            enqueued: Instant::now(),
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn bounded_admission_rejects_when_full() {
+        let q = AdmissionQueue::new(QueueConfig {
+            capacity: 2,
+            ..Default::default()
+        });
+        assert_eq!(
+            q.push(job(1, 0, true, Priority::Normal)),
+            Admission::Accepted
+        );
+        assert_eq!(
+            q.push(job(2, 0, true, Priority::Normal)),
+            Admission::Accepted
+        );
+        assert_eq!(
+            q.push(job(3, 0, true, Priority::Normal)),
+            Admission::RejectedQueueFull
+        );
+        assert_eq!(q.depth(), 2);
+        // Claiming frees capacity again.
+        q.pop_batch(1).unwrap();
+        assert_eq!(
+            q.push(job(3, 0, true, Priority::Normal)),
+            Admission::Accepted
+        );
+    }
+
+    #[test]
+    fn higher_priority_pops_first_ties_break_fifo() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        q.push(job(1, 0, false, Priority::Low));
+        q.push(job(2, 0, false, Priority::High));
+        q.push(job(3, 0, false, Priority::High));
+        q.push(job(4, 0, false, Priority::Normal));
+        let order: Vec<JobId> = (0..4).map(|_| q.pop_batch(1).unwrap()[0].id).collect();
+        assert_eq!(order, vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn aging_eventually_promotes_low_priority() {
+        // 1 ms per class: a low job older than ~2 ms outranks fresh high.
+        let q = AdmissionQueue::new(QueueConfig {
+            capacity: 8,
+            aging_ms: 1.0,
+        });
+        let mut old_low = job(1, 0, false, Priority::Low);
+        old_low.enqueued = Instant::now() - Duration::from_millis(50);
+        q.push(old_low);
+        q.push(job(2, 0, false, Priority::High));
+        assert_eq!(q.pop_batch(1).unwrap()[0].id, 1, "aged job must win");
+    }
+
+    #[test]
+    fn pop_groups_batchable_jobs_by_fingerprint_only() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        q.push(job(1, 77, true, Priority::High));
+        q.push(job(2, 77, true, Priority::Low)); // same problem, rides along
+        q.push(job(3, 99, true, Priority::Low)); // different problem
+        q.push(job(4, 77, false, Priority::Low)); // same fp but not batchable
+        q.push(job(5, 77, true, Priority::Low)); // same problem, rides along
+        let batch = q.pop_batch(8).unwrap();
+        let ids: Vec<JobId> = batch.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2, 5]);
+        assert_eq!(q.depth(), 2);
+        // max_batch caps the group size.
+        q.push(job(6, 99, true, Priority::Low));
+        q.push(job(7, 99, true, Priority::Low));
+        let capped = q.pop_batch(2).unwrap();
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn non_batchable_lead_pops_alone() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        q.push(job(1, 77, false, Priority::High));
+        q.push(job(2, 77, true, Priority::Low));
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn draining_rejects_new_work_but_serves_queued() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        q.push(job(1, 0, true, Priority::Normal));
+        q.set_draining();
+        assert_eq!(
+            q.push(job(2, 0, true, Priority::Normal)),
+            Admission::RejectedDraining
+        );
+        assert_eq!(q.pop_batch(1).unwrap()[0].id, 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pop() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(QueueConfig::default()));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop_batch(1));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(t.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn cancel_removes_only_queued_jobs() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        q.push(job(1, 0, true, Priority::Normal));
+        assert!(q.remove(1));
+        assert!(!q.remove(1), "already removed");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn deadline_expiry_is_visible_to_claimants() {
+        let mut j = job(1, 0, true, Priority::Normal);
+        j.deadline_ms = Some(5);
+        assert!(!j.expired(j.enqueued + Duration::from_millis(2)));
+        assert!(j.expired(j.enqueued + Duration::from_millis(9)));
+    }
+}

@@ -1,0 +1,241 @@
+//! The TCP front end: `std::net` listener, one handler thread per
+//! connection, line-JSON dispatch onto the shared [`Engine`].
+//!
+//! Shutdown is protocol-driven: a `drain` request stops admission, waits
+//! for every accepted job to reach a terminal state (the PR 3 graceful
+//! kill-switch discipline — no accepted work is ever lost), replies, and
+//! then stops the accept loop. Blocking `result` waits are capped by
+//! [`ServerConfig::wait_cap`] so a slow client cannot pin a handler
+//! forever — capped waiters just poll again.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::{self, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Front-end tuning.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Engine (queue/workers/batching/cache) configuration.
+    pub engine: EngineConfig,
+    /// Upper bound on one blocking `result` wait; longer waits return the
+    /// current (possibly non-terminal) status and the client polls again.
+    pub wait_cap: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            wait_cap: Duration::from_secs(300),
+        }
+    }
+}
+
+/// A bound, not-yet-serving TCP server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener and starts the engine's worker pool. Use port 0
+    /// to let the OS pick (tests and the loopback smoke do).
+    pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let engine = Arc::new(Engine::start(cfg.engine.clone()));
+        Ok(Server {
+            listener,
+            engine,
+            cfg,
+        })
+    }
+
+    /// The bound address (read the OS-assigned port from here).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to the engine backing this server.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Serves until a client sends `drain`. Returns once the engine has
+    /// drained and every connection handler has exited.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            engine,
+            cfg,
+        } = self;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let local = listener.local_addr()?;
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Per-connection accept errors (e.g. a client that went
+                // away mid-handshake) don't take the server down.
+                Err(_) => continue,
+            };
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            let wait_cap = cfg.wait_cap;
+            handlers.push(std::thread::spawn(move || {
+                let drained = handle_connection(stream, &engine, wait_cap);
+                if drained {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // The accept loop is blocked in `incoming()`; a
+                    // throwaway self-connection unblocks it so it can
+                    // observe the flag and exit.
+                    let _ = TcpStream::connect(local);
+                }
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection; returns whether this client drained the server.
+fn handle_connection(stream: TcpStream, engine: &Engine, wait_cap: Duration) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        nwq_telemetry::counter_add("serve.requests", 1);
+        let (reply, drained) = dispatch(&line, engine, wait_cap);
+        if writeln!(writer, "{}", reply.render()).is_err() {
+            break;
+        }
+        if drained {
+            return true;
+        }
+    }
+    false
+}
+
+/// Decodes and executes one request line. Returns the reply and whether
+/// the request was a completed `drain`.
+fn dispatch(line: &str, engine: &Engine, wait_cap: Duration) -> (nwq_telemetry::JsonValue, bool) {
+    let req = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => return (protocol::error_reply(&e), false),
+    };
+    match req {
+        Request::Submit(spec) => (protocol::submit_reply(&engine.submit(spec)), false),
+        Request::Status { id } => (protocol::status_reply(id, engine.status(id)), false),
+        Request::Result { id, wait } => {
+            let view = if wait {
+                engine.wait_terminal(id, wait_cap)
+            } else {
+                engine.view(id)
+            };
+            (protocol::result_reply(view.as_ref()), false)
+        }
+        Request::Cancel { id } => (protocol::cancel_reply(engine.cancel(id)), false),
+        Request::Stats => (
+            protocol::stats_reply(
+                engine.queue_depth(),
+                engine.draining(),
+                &engine.stats(),
+                &engine.cache_stats(),
+            ),
+            false,
+        ),
+        Request::Drain => {
+            engine.drain();
+            (protocol::drain_reply(), true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::job::{JobSpec, JobStatus};
+
+    /// Full loopback round trip: submit over TCP, wait for the result,
+    /// check stats, drain; the server thread must exit cleanly.
+    #[test]
+    fn loopback_submit_result_drain() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let serving = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let id = match client
+            .submit(&JobSpec::energy("toy", vec![0.3, 0.6]))
+            .unwrap()
+        {
+            crate::SubmitOutcome::Accepted(id) => id,
+            r => panic!("{r:?}"),
+        };
+        let result = client.wait_result(id).unwrap();
+        assert_eq!(
+            result
+                .get("status")
+                .and_then(nwq_telemetry::JsonValue::as_str),
+            Some(JobStatus::Done.as_str())
+        );
+        let energy = result
+            .get("energy")
+            .and_then(nwq_telemetry::JsonValue::as_f64)
+            .unwrap();
+        assert!(energy.is_finite());
+
+        let stats = client.stats().unwrap();
+        assert_eq!(
+            stats
+                .get("engine")
+                .and_then(|e| e.get("completed"))
+                .and_then(nwq_telemetry::JsonValue::as_u64),
+            Some(1)
+        );
+
+        client.drain().unwrap();
+        serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_connection() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let engine = server.engine();
+        let serving = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let err = client.raw_line("this is not json").unwrap();
+        assert_eq!(
+            err.get("ok").and_then(nwq_telemetry::JsonValue::as_u64),
+            Some(0)
+        );
+        // Same connection still works.
+        assert!(matches!(
+            client
+                .submit(&JobSpec::energy("toy", vec![0.0, 0.0]))
+                .unwrap(),
+            crate::SubmitOutcome::Accepted(_)
+        ));
+        client.drain().unwrap();
+        serving.join().unwrap().unwrap();
+        assert_eq!(engine.stats().completed, 1);
+    }
+}

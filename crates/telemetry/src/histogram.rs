@@ -1,0 +1,282 @@
+//! Fixed log-bucket histogram for latency-style quantities.
+//!
+//! The serving layer needs tail percentiles (p50/p95/p99) over request
+//! latencies without keeping every sample. A [`Histogram`] stores counts in
+//! geometrically spaced buckets — `BUCKETS_PER_OCTAVE` buckets per factor of
+//! two above a fixed floor — so recording is O(1), memory is a fixed few
+//! kilobytes, merging is element-wise addition, and any quantile is
+//! recoverable to within one bucket's relative width
+//! (`2^(1/BUCKETS_PER_OCTAVE) − 1 ≈ 19 %`). Exact `min`/`max`/`sum` are
+//! tracked on the side, and quantile estimates are clamped to the observed
+//! `[min, max]` so small samples never report values outside what was seen.
+//!
+//! Units are caller-defined; the registry's `serve.*` histograms record
+//! milliseconds.
+
+/// Total bucket count. With 4 buckets per octave the dynamic range above
+/// [`FLOOR`] is `2^(256/4) = 2^64` — for millisecond samples that spans
+/// nanoseconds to centuries.
+pub const BUCKETS: usize = 256;
+
+/// Buckets per factor-of-two of value growth.
+pub const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// Values at or below this land in bucket 0.
+pub const FLOOR: f64 = 1e-6;
+
+/// A mergeable fixed-size log-bucket histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(value: f64) -> usize {
+    if value.is_nan() || value <= FLOOR {
+        // NaN and everything at or below the floor.
+        return 0;
+    }
+    // Subtract logs rather than dividing: `value / FLOOR` can overflow to
+    // infinity for huge samples, and clamp in f64 before the cast.
+    let b = ((value.log2() - FLOOR.log2()) * BUCKETS_PER_OCTAVE).floor() + 1.0;
+    b.clamp(1.0, (BUCKETS - 1) as f64) as usize
+}
+
+/// Geometric midpoint of a bucket — the representative value quantile
+/// queries report for samples that landed there.
+fn bucket_mid(bucket: usize) -> f64 {
+    if bucket == 0 {
+        FLOOR
+    } else {
+        FLOOR * ((bucket as f64 - 0.5) / BUCKETS_PER_OCTAVE).exp2()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. NaN samples are dropped; negative samples clamp
+    /// to the floor bucket.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value.max(0.0);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (negatives counted as zero).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) to within one bucket's relative
+    /// width, clamped to the observed range. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_mid(b).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; exact
+    /// min/max/sum merge exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serializes the summary statistics (not the raw buckets) as a JSON
+    /// object: `{count, mean, min, max, p50, p95, p99}`.
+    pub fn summary_json(&self) -> crate::JsonValue {
+        let f = |v: Option<f64>| {
+            v.map(crate::JsonValue::Float)
+                .unwrap_or(crate::JsonValue::Null)
+        };
+        crate::JsonValue::Object(vec![
+            ("count".into(), crate::JsonValue::Int(self.count)),
+            ("mean".into(), f(self.mean())),
+            ("min".into(), f(self.min())),
+            ("max".into(), f(self.max())),
+            ("p50".into(), f(self.p50())),
+            ("p95".into(), f(self.p95())),
+            ("p99".into(), f(self.p99())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_none());
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.p50().is_none());
+        assert!(h.quantile(0.99).is_none());
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        // 1..=1000 uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990 — each must
+        // come back within one bucket's relative width (~19%).
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let tol = BUCKETS_PER_OCTAVE.recip().exp2() - 1.0 + 1e-9;
+        for (q, expect) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q).unwrap();
+            assert!(
+                (got / expect - 1.0).abs() <= tol,
+                "q{q}: {got} vs {expect} (tol {tol})"
+            );
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1000.0));
+        assert!((h.mean().unwrap() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        // Clamping to [min, max] makes one-sample histograms exact.
+        let mut h = Histogram::new();
+        h.record(3.7);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.7));
+        }
+    }
+
+    #[test]
+    fn extremes_land_in_terminal_buckets() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 3);
+        // NaN is dropped entirely.
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(-5.0));
+        assert_eq!(h.max(), Some(f64::MAX));
+        // Quantiles stay finite and ordered.
+        assert!(h.p50().unwrap() <= h.p99().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..200 {
+            let v = 0.1 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { 37.0 };
+            if i < 120 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Sum is merged as a.sum + b.sum — same samples, different addition
+        // order than `all`, so compare with a relative tolerance.
+        assert!((a.sum() / all.sum() - 1.0).abs() < 1e-12);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        h.record(4.0);
+        let doc = h.summary_json().render();
+        for key in [
+            "\"count\":2",
+            "\"mean\":3.0",
+            "\"p50\"",
+            "\"p95\"",
+            "\"p99\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+    }
+}

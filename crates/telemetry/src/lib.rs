@@ -15,16 +15,21 @@
 //!                "total_ms": 3.4, "min_ms": 0.1, "max_ms": 0.9 } ],
 //!   "counters": { "statevec.gates_1q": 420, "dist.modeled_time_s": 0.0012 },
 //!   "iterations": [ { "i": 0, "energy": -1.1, "grad_norm": 0.3,
-//!                     "evaluations": 5, "gates": 120, "wall_ms": 1.2 } ]
+//!                     "evaluations": 5, "gates": 120, "wall_ms": 1.2 } ],
+//!   "histograms": { "serve.latency_ms": { "count": 120, "mean": 4.2,
+//!                   "min": 0.4, "max": 39.0, "p50": 3.1, "p95": 12.0,
+//!                   "p99": 31.0 } }
 //! }
 //! ```
 //!
 //! Only `std` and `parking_lot` are used; JSON is serialized by hand so the
 //! crate stays dependency-light and the schema stays under our control.
 
+mod histogram;
 mod json;
 
-pub use json::{JsonValue, ParseError};
+pub use histogram::Histogram;
+pub use json::{JsonValue, Object, ParseError};
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -78,9 +83,11 @@ struct Registry {
     spans: BTreeMap<String, SpanStats>,
     counters: BTreeMap<String, CounterValue>,
     iterations: Vec<IterationRecord>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static SPAN_HISTOGRAMS: AtomicBool = AtomicBool::new(false);
 
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
@@ -88,6 +95,7 @@ fn registry() -> &'static Mutex<Registry> {
         spans: BTreeMap::new(),
         counters: BTreeMap::new(),
         iterations: Vec::new(),
+        histograms: BTreeMap::new(),
     });
     &REGISTRY
 }
@@ -164,6 +172,33 @@ pub fn gauge_set(name: &'static str, value: f64) {
         .insert(name.to_string(), CounterValue::Float(value));
 }
 
+/// Records one sample into the histogram `name` (creating it on first
+/// use). Histograms aggregate latency-style quantities into fixed
+/// log-buckets; the export carries p50/p95/p99 summaries.
+pub fn histogram_record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(value);
+}
+
+/// Reads a copy of the histogram `name`, if it has recorded anything.
+pub fn histogram_snapshot(name: &str) -> Option<Histogram> {
+    registry().lock().histograms.get(name).cloned()
+}
+
+/// When enabled, every completed [`span`] additionally records its elapsed
+/// milliseconds into a histogram named `span.<path>`, making tail latency
+/// (not just min/mean/max) visible for any instrumented section.
+pub fn set_span_histograms(on: bool) {
+    SPAN_HISTOGRAMS.store(on, Ordering::Relaxed);
+}
+
 /// Records one optimizer iteration.
 pub fn record_iteration(record: IterationRecord) {
     if !enabled() {
@@ -202,6 +237,12 @@ impl Drop for SpanGuard {
             path
         });
         let mut reg = registry().lock();
+        if SPAN_HISTOGRAMS.load(Ordering::Relaxed) {
+            reg.histograms
+                .entry(format!("span.{path}"))
+                .or_default()
+                .record(elapsed as f64 / 1e6);
+        }
         let s = reg.spans.entry(path).or_default();
         s.count += 1;
         s.total_ns += elapsed;
@@ -233,6 +274,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, CounterValue>,
     /// Optimizer iterations in recording order.
     pub iterations: Vec<IterationRecord>,
+    /// Log-bucket histograms keyed by name.
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 /// Copies the current registry contents.
@@ -243,6 +286,7 @@ pub fn snapshot() -> Snapshot {
         spans: reg.spans.clone(),
         counters: reg.counters.clone(),
         iterations: reg.iterations.clone(),
+        histograms: reg.histograms.clone(),
     }
 }
 
@@ -253,6 +297,7 @@ pub fn reset() {
     reg.spans.clear();
     reg.counters.clear();
     reg.iterations.clear();
+    reg.histograms.clear();
 }
 
 /// Convenience: reads a counter's integer value (0 when absent or float).
@@ -315,6 +360,12 @@ impl Snapshot {
             iterations.push(o.into_value());
         }
         root.push("iterations", JsonValue::Array(iterations));
+
+        let mut histograms = json::Object::new();
+        for (name, h) in &self.histograms {
+            histograms.push(name, h.summary_json());
+        }
+        root.push("histograms", histograms.into_value());
 
         root.into_value().render()
     }
@@ -418,9 +469,53 @@ mod tests {
         });
         let doc = snapshot().to_json();
         assert!(doc.starts_with('{'));
-        for key in ["\"run\"", "\"spans\"", "\"counters\"", "\"iterations\""] {
+        for key in [
+            "\"run\"",
+            "\"spans\"",
+            "\"counters\"",
+            "\"iterations\"",
+            "\"histograms\"",
+        ] {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }
         assert!(doc.contains("test \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn histogram_registry_records_and_exports() {
+        with_telemetry(|| {
+            for i in 1..=100 {
+                histogram_record("test.hist.latency", i as f64);
+            }
+        });
+        let h = histogram_snapshot("test.hist.latency").unwrap();
+        assert_eq!(h.count(), 100);
+        assert!(h.p99().unwrap() >= h.p50().unwrap());
+        let doc = snapshot().to_json();
+        assert!(doc.contains("\"test.hist.latency\""), "{doc}");
+        // Disabled: nothing recorded.
+        set_enabled(false);
+        histogram_record("test.hist.disabled", 1.0);
+        assert!(histogram_snapshot("test.hist.disabled").is_none());
+    }
+
+    #[test]
+    fn span_timers_feed_histograms_when_opted_in() {
+        with_telemetry(|| {
+            set_span_histograms(true);
+            for _ in 0..5 {
+                let _g = span("test_span_hist");
+            }
+            set_span_histograms(false);
+            let _g = span("test_span_hist_off");
+        });
+        let h = histogram_snapshot("span.test_span_hist").unwrap();
+        assert_eq!(h.count(), 5);
+        assert!(h.p95().unwrap() >= 0.0);
+        assert!(histogram_snapshot("span.test_span_hist_off").is_none());
+        // The plain span aggregate still recorded both.
+        let snap = snapshot();
+        assert_eq!(snap.spans["test_span_hist"].count, 5);
+        assert_eq!(snap.spans["test_span_hist_off"].count, 1);
     }
 }

@@ -1,0 +1,244 @@
+//! Multi-tenant serving must not change physics: energies served to N
+//! concurrent clients are bitwise identical to serial library runs — with
+//! cross-job batching, shared caching, worker reuse, and injected faults
+//! all in play — and overload surfaces as explicit rejection, never lost
+//! or corrupted jobs.
+
+use nwq_core::backend::{Backend, DirectBackend};
+use nwq_core::resilience::{run_vqe_with, FaultSpec, ResilienceOptions};
+use nwq_opt::NelderMead;
+use nwq_serve::{
+    build_problem, Client, Engine, EngineConfig, JobSpec, JobStatus, Priority, QueueConfig, Server,
+    ServerConfig, SubmitOutcome,
+};
+use std::time::Duration;
+
+fn accept(engine: &Engine, spec: JobSpec) -> u64 {
+    match engine.submit(spec) {
+        SubmitOutcome::Accepted(id) => id,
+        r => panic!("expected acceptance, got {r:?}"),
+    }
+}
+
+fn finished(engine: &Engine, id: u64) -> nwq_serve::JobView {
+    let view = engine
+        .wait_terminal(id, Duration::from_secs(120))
+        .expect("job id must be known");
+    assert_eq!(view.status, JobStatus::Done, "job {id}: {:?}", view.error);
+    view
+}
+
+/// Serial references computed through the plain library, no server.
+fn reference_energies(thetas: &[Vec<f64>]) -> Vec<f64> {
+    let problem = build_problem("toy").expect("registry");
+    let mut backend = DirectBackend::new();
+    thetas
+        .iter()
+        .map(|t| {
+            backend
+                .energy(&problem.problem.ansatz, t, &problem.problem.hamiltonian)
+                .expect("serial evaluation")
+        })
+        .collect()
+}
+
+fn theta_grid(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|k| vec![-1.2 + 0.17 * k as f64, 0.9 - 0.21 * k as f64])
+        .collect()
+}
+
+#[test]
+fn concurrent_energy_jobs_match_serial_backend_bitwise() {
+    let engine = Engine::start(EngineConfig {
+        workers: 4,
+        max_batch: 8,
+        ..Default::default()
+    });
+    let thetas = theta_grid(24);
+    let references = reference_energies(&thetas);
+    // Submit from 4 concurrent tenant threads, interleaved priorities.
+    let ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let engine = &engine;
+                let thetas = &thetas;
+                scope.spawn(move || {
+                    thetas
+                        .iter()
+                        .skip(c)
+                        .step_by(4)
+                        .map(|t| {
+                            let pri = if c % 2 == 0 {
+                                Priority::High
+                            } else {
+                                Priority::Low
+                            };
+                            accept(engine, JobSpec::energy("toy", t.clone()).with_priority(pri))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (c, client_ids) in ids.iter().enumerate() {
+        for (i, &id) in client_ids.iter().enumerate() {
+            let k = c + 4 * i; // position in the original grid
+            let served = finished(&engine, id).outcome.unwrap().energy;
+            assert_eq!(
+                served.to_bits(),
+                references[k].to_bits(),
+                "θ #{k} served through the engine must be bitwise identical"
+            );
+        }
+    }
+    engine.drain();
+}
+
+#[test]
+fn concurrent_vqe_jobs_match_serial_driver_bitwise() {
+    let engine = Engine::start(EngineConfig {
+        workers: 3,
+        ..Default::default()
+    });
+    let x0 = vec![0.8, -0.4];
+    // Three tenants run the *same* minimization concurrently; a serial
+    // library run is the ground truth for all of them.
+    let ids: Vec<u64> = (0..3)
+        .map(|_| accept(&engine, JobSpec::vqe("toy", x0.clone(), 1200)))
+        .collect();
+    let problem = build_problem("toy").unwrap();
+    let mut backend = DirectBackend::new();
+    let mut opt = NelderMead::for_vqe();
+    let reference = run_vqe_with(
+        &problem.problem,
+        &mut backend,
+        &mut opt,
+        &x0,
+        1200,
+        &ResilienceOptions::default(),
+    )
+    .unwrap();
+    for id in ids {
+        let out = finished(&engine, id).outcome.unwrap();
+        assert_eq!(
+            out.energy.to_bits(),
+            reference.energy.to_bits(),
+            "served VQE energy must equal the serial driver's bitwise"
+        );
+        assert_eq!(out.evaluations, reference.evaluations as u64);
+    }
+    engine.drain();
+}
+
+#[test]
+fn injected_faults_with_retries_leave_energies_bitwise_identical() {
+    // A hostile 25% evaluation-failure rate on every worker: retries must
+    // absorb all of it without changing a single returned bit.
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        faults: Some(FaultSpec::eval_failures(0.25, 20260805)),
+        ..Default::default()
+    });
+    let thetas = theta_grid(16);
+    let references = reference_energies(&thetas);
+    let energy_ids: Vec<u64> = thetas
+        .iter()
+        .map(|t| accept(&engine, JobSpec::energy("toy", t.clone())))
+        .collect();
+    let x0 = vec![0.8, -0.4];
+    let vqe_id = accept(&engine, JobSpec::vqe("toy", x0.clone(), 900));
+
+    for (k, id) in energy_ids.into_iter().enumerate() {
+        let served = finished(&engine, id).outcome.unwrap().energy;
+        assert_eq!(served.to_bits(), references[k].to_bits(), "θ #{k}");
+    }
+    let problem = build_problem("toy").unwrap();
+    let mut backend = DirectBackend::new();
+    let mut opt = NelderMead::for_vqe();
+    let clean = run_vqe_with(
+        &problem.problem,
+        &mut backend,
+        &mut opt,
+        &x0,
+        900,
+        &ResilienceOptions::default(),
+    )
+    .unwrap();
+    let served = finished(&engine, vqe_id).outcome.unwrap();
+    assert_eq!(served.energy.to_bits(), clean.energy.to_bits());
+    engine.drain();
+}
+
+#[test]
+fn overload_rejects_explicitly_and_drains_without_loss() {
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        queue: QueueConfig {
+            capacity: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    // Pin the worker so the queue actually fills.
+    let blocker = accept(&engine, JobSpec::vqe("toy", vec![1.0, 2.0], 1500));
+    let mut accepted = vec![blocker];
+    let mut rejected = 0u64;
+    for k in 0..20 {
+        match engine.submit(JobSpec::energy("toy", vec![0.05 * k as f64, 0.3])) {
+            SubmitOutcome::Accepted(id) => accepted.push(id),
+            SubmitOutcome::Rejected { reason } => {
+                assert_eq!(reason, "queue_full");
+                rejected += 1;
+            }
+        }
+    }
+    assert!(rejected > 0, "20 submissions into 4 slots must overflow");
+    engine.drain();
+    // Drain loses nothing: every accepted job is terminal-and-done.
+    for id in accepted {
+        assert_eq!(engine.view(id).unwrap().status, JobStatus::Done);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(
+        stats.completed + stats.rejected,
+        stats.submitted,
+        "every submission is accounted for: {stats:?}"
+    );
+}
+
+#[test]
+fn tcp_round_trip_preserves_energies_bitwise() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().unwrap().to_string();
+    let serving = std::thread::spawn(move || server.run());
+
+    let thetas = theta_grid(6);
+    let references = reference_energies(&thetas);
+    let mut client = Client::connect(&addr).expect("connect");
+    let ids: Vec<u64> = thetas
+        .iter()
+        .map(
+            |t| match client.submit(&JobSpec::energy("toy", t.clone())).unwrap() {
+                SubmitOutcome::Accepted(id) => id,
+                r => panic!("{r:?}"),
+            },
+        )
+        .collect();
+    for (k, id) in ids.into_iter().enumerate() {
+        let reply = client.wait_result(id).expect("result");
+        let served = reply
+            .get("energy")
+            .and_then(nwq_telemetry::JsonValue::as_f64)
+            .expect("done reply carries energy");
+        assert_eq!(
+            served.to_bits(),
+            references[k].to_bits(),
+            "θ #{k} must survive engine + JSON wire bitwise"
+        );
+    }
+    client.drain().expect("drain");
+    serving.join().unwrap().expect("server exits cleanly");
+}
