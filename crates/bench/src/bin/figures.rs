@@ -351,6 +351,9 @@ fn bench() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
 
     // --- VQE baseline: H2/UCCSD through the telemetry layer. ---
+    // Start from a cold template cache so `plan.compiled` counts exactly
+    // the structure builds of THIS run: one per distinct circuit shape.
+    nwq_statevec::plan_cache::clear();
     nwq_telemetry::reset();
     nwq_telemetry::set_enabled(true);
     nwq_telemetry::set_run_info("benchmark", "vqe_h2_uccsd");
@@ -415,7 +418,7 @@ fn bench() {
         name: &str,
         cases: &mut Vec<(String, JsonValue)>,
         body: &mut dyn FnMut(),
-    ) {
+    ) -> f64 {
         body(); // warm-up
         let t = Instant::now();
         for _ in 0..reps {
@@ -434,28 +437,30 @@ fn bench() {
             "  {name:<18} {:.3e} s/gate ({:.3e} updates/s)",
             s, updates_per_s
         );
+        s
     }
     let mut state = nwq_statevec::StateVector::zero(n_qubits);
     let h_mat = mat_h();
     let cx_mat = mat_cx();
     let hi = n_qubits - 1;
+    let (mat2_dispatch_s, mat4_dispatch_s, mat2_serial_s, mat4_serial_s);
     {
         let amps = state.amplitudes_mut();
-        time_case(dim, reps, "mat2_low_qubit", &mut cases, &mut || {
+        mat2_dispatch_s = time_case(dim, reps, "mat2_low_qubit", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat2(amps, 0, &h_mat)
         });
         time_case(dim, reps, "mat2_high_qubit", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat2(amps, hi, &h_mat)
         });
-        time_case(dim, reps, "mat4_mixed", &mut cases, &mut || {
+        mat4_dispatch_s = time_case(dim, reps, "mat4_mixed", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat4(amps, hi, 0, &cx_mat)
         });
         // Forced-serial counterparts: the parallel/serial ratio is the
         // worker-pool scaling factor on this host.
-        time_case(dim, reps, "mat2_low_serial", &mut cases, &mut || {
+        mat2_serial_s = time_case(dim, reps, "mat2_low_serial", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
         });
-        time_case(dim, reps, "mat4_mixed_serial", &mut cases, &mut || {
+        mat4_serial_s = time_case(dim, reps, "mat4_mixed_serial", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
         });
     }
@@ -483,12 +488,66 @@ fn bench() {
         }
         nwq_pauli::PauliOp::from_terms(n_qubits, terms)
     };
-    time_case(dim, reps, "expval_per_term", &mut cases, &mut || {
+    let per_term_s = time_case(dim, reps, "expval_per_term", &mut cases, &mut || {
         nwq_pauli::apply::energy(&expval_op, state.amplitudes()).unwrap();
     });
-    time_case(dim, reps, "expval_batched", &mut cases, &mut || {
+    let batched_s = time_case(dim, reps, "expval_batched", &mut cases, &mut || {
         nwq_statevec::expval::energy_direct_batched(&state, &expval_op).unwrap();
     });
+
+    // Calibration record + regime assertions: the dynamic MIN_PAR gating
+    // must pick the winning dispatch path on this host. With one worker
+    // thread the kernels must run the serial bodies (the parallel path is
+    // pure overhead there); with a real pool, parallel dispatch may only
+    // beat-or-tie serial. 1.35 is a generous noise bound on a 20-rep mean.
+    let parallel_dispatch = nwq_statevec::kernels::parallel_dispatch_enabled();
+    let mat2_ratio = mat2_dispatch_s / mat2_serial_s;
+    let mat4_ratio = mat4_dispatch_s / mat4_serial_s;
+    let expval_speedup = per_term_s / batched_s;
+    for (label, ratio) in [("mat2", mat2_ratio), ("mat4", mat4_ratio)] {
+        assert!(
+            ratio < 1.35,
+            "{label} dispatch path is {ratio:.2}x its forced-serial time with \
+             parallel_dispatch={parallel_dispatch} ({} threads): the MIN_PAR \
+             thresholds are routing to the losing regime",
+            rayon::current_num_threads()
+        );
+    }
+    assert!(
+        batched_s < per_term_s * 1.35,
+        "flip-mask-batched expectation ({batched_s:.3e} s) regressed vs the \
+         per-term path ({per_term_s:.3e} s)"
+    );
+    println!(
+        "  calibration: dispatch/serial mat2 {mat2_ratio:.3}, mat4 {mat4_ratio:.3}; \
+         expval batched speedup {expval_speedup:.3}x"
+    );
+    let calibration = JsonValue::Object(vec![
+        (
+            "parallel_dispatch".into(),
+            JsonValue::Int(parallel_dispatch as u64),
+        ),
+        (
+            "min_par_blocks".into(),
+            JsonValue::Int(nwq_statevec::kernels::MIN_PAR_BLOCKS as u64),
+        ),
+        (
+            "min_par_elems".into(),
+            JsonValue::Int(nwq_statevec::kernels::MIN_PAR_ELEMS as u64),
+        ),
+        (
+            "mat2_dispatch_vs_serial".into(),
+            JsonValue::Float(mat2_ratio),
+        ),
+        (
+            "mat4_dispatch_vs_serial".into(),
+            JsonValue::Float(mat4_ratio),
+        ),
+        (
+            "expval_batched_speedup".into(),
+            JsonValue::Float(expval_speedup),
+        ),
+    ]);
     let kernels = JsonValue::Object(vec![
         ("benchmark".into(), JsonValue::Str("gate_kernels".into())),
         ("n_qubits".into(), JsonValue::Int(n_qubits as u64)),
@@ -497,6 +556,7 @@ fn bench() {
             "threads".into(),
             JsonValue::Int(rayon::current_num_threads() as u64),
         ),
+        ("calibration".into(), calibration),
         ("cases".into(), JsonValue::Object(cases)),
     ]);
     let kernels_path = format!("{root}/BENCH_kernels.json");

@@ -152,6 +152,206 @@ pub fn fuse_bound(circuit: &Circuit, params: &[f64]) -> Result<(Circuit, FusionS
     Ok((out, stats))
 }
 
+/// Arity and operands of a structural fused block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockArity {
+    /// Single-qubit block on `q`.
+    One(usize),
+    /// Two-qubit block on `(a, b)` in the orientation of its opening gate
+    /// (`a` is the high operand of the accumulated matrix).
+    Two(usize, usize),
+}
+
+/// One bind-time replay step of a structural block. `gate` indexes the
+/// source circuit; the step says exactly which floating-point operation
+/// [`fuse_bound`] would perform with that gate's matrix, so replaying the
+/// tape with concrete parameters reproduces the fused matrix bitwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeStep {
+    /// `acc = M(gate)` — the gate that opened the block.
+    Init {
+        /// Index of the opening gate in the source circuit.
+        gate: usize,
+    },
+    /// `acc = M(gate) · acc` — a same-target 1q merge, or an aligned
+    /// same-pair 2q merge.
+    MulLeft {
+        /// Index of the merged gate in the source circuit.
+        gate: usize,
+    },
+    /// `acc = M(gate).swap_qubits() · acc` — a reversed same-pair 2q merge.
+    MulLeftSwapped {
+        /// Index of the merged gate in the source circuit.
+        gate: usize,
+    },
+    /// `acc = embed(M(gate)) · acc` — a later 1q gate folded into a 2q
+    /// block (`high` selects `embed_high` vs `embed_low`).
+    MulLeftEmbed {
+        /// Index of the merged 1q gate in the source circuit.
+        gate: usize,
+        /// `true` when the gate targets the block's high operand.
+        high: bool,
+    },
+    /// `acc = acc · embed(P(block))` — absorb the pending 1q block
+    /// `block`'s accumulated product when this 2q block opens.
+    AbsorbBlock {
+        /// Index of the absorbed 1q block in the structure's block list.
+        block: usize,
+        /// `true` when the absorbed block sits on this block's high operand.
+        high: bool,
+    },
+}
+
+/// A fused block described symbolically: its operands and the ordered
+/// merge steps that produce its matrix at bind time.
+#[derive(Clone, Debug)]
+pub struct StructuralBlock {
+    /// Operand qubits.
+    pub arity: BlockArity,
+    /// `true` when the block was absorbed into a later two-qubit block
+    /// and therefore emits nothing itself.
+    pub absorbed: bool,
+    /// Replay tape, in the exact order [`fuse_bound`] applies the merges.
+    pub steps: Vec<MergeStep>,
+}
+
+/// θ-independent output of the fusion scan: which gates land in which
+/// block and the exact merge operation each contributes. Built once per
+/// circuit *structure* and replayed per θ by the compiled-plan layer.
+#[derive(Clone, Debug)]
+pub struct FusionStructure {
+    n_qubits: usize,
+    gates_in: usize,
+    blocks: Vec<StructuralBlock>,
+}
+
+impl FusionStructure {
+    /// Register width of the source circuit.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Gate count of the source circuit.
+    pub fn gates_in(&self) -> usize {
+        self.gates_in
+    }
+
+    /// All blocks in creation order, including absorbed ones (absorbed
+    /// blocks are referenced by `AbsorbBlock` steps of later blocks).
+    pub fn blocks(&self) -> &[StructuralBlock] {
+        &self.blocks
+    }
+
+    /// Number of live (emitted) blocks — equals `FusionStats::gates_after`
+    /// of the equivalent [`fuse_bound`] run.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.absorbed).count()
+    }
+}
+
+/// Runs the fusion scan *structurally*: every merge decision in
+/// [`fuse_bound`] depends only on gate arity and operand qubits, never on
+/// matrix values, so the block topology and merge order can be recorded
+/// once per circuit shape without evaluating a single `ParamExpr`. The
+/// returned tape, replayed against concrete parameters in the same step
+/// order, performs the identical floating-point operations as
+/// `fuse_bound` and therefore reproduces its output bitwise.
+pub fn fuse_structure(circuit: &Circuit) -> FusionStructure {
+    let n = circuit.n_qubits();
+    let mut blocks: Vec<StructuralBlock> = Vec::with_capacity(circuit.len());
+    // For each qubit: index into `blocks` of the latest block touching it.
+    let mut active: Vec<Option<usize>> = vec![None; n];
+
+    for (gi, gate) in circuit.gates().iter().enumerate() {
+        let qs = gate.qubits();
+        match qs.len() {
+            1 => {
+                let q = qs[0];
+                let merged = if let Some(i) = active[q] {
+                    let absorbed = blocks[i].absorbed;
+                    match blocks[i].arity {
+                        _ if absorbed => false,
+                        BlockArity::One(_) => {
+                            blocks[i].steps.push(MergeStep::MulLeft { gate: gi });
+                            true
+                        }
+                        BlockArity::Two(a, _b) => {
+                            let high = a == q;
+                            blocks[i]
+                                .steps
+                                .push(MergeStep::MulLeftEmbed { gate: gi, high });
+                            true
+                        }
+                    }
+                } else {
+                    false
+                };
+                if !merged {
+                    blocks.push(StructuralBlock {
+                        arity: BlockArity::One(q),
+                        absorbed: false,
+                        steps: vec![MergeStep::Init { gate: gi }],
+                    });
+                    active[q] = Some(blocks.len() - 1);
+                }
+            }
+            2 => {
+                let (a, b) = (qs[0], qs[1]);
+                // Same unordered pair as the active block on both qubits?
+                let ia = active[a];
+                let ib = active[b];
+                let same_pair = match (ia, ib) {
+                    (Some(i), Some(j)) if i == j => {
+                        !blocks[i].absorbed && matches!(blocks[i].arity, BlockArity::Two(..))
+                    }
+                    _ => false,
+                };
+                if same_pair {
+                    let i = ia.unwrap();
+                    if let BlockArity::Two(ba, _bb) = blocks[i].arity {
+                        let step = if ba == a {
+                            MergeStep::MulLeft { gate: gi }
+                        } else {
+                            MergeStep::MulLeftSwapped { gate: gi }
+                        };
+                        blocks[i].steps.push(step);
+                    }
+                    continue;
+                }
+                // Start a new two-qubit block, absorbing any pending
+                // single-qubit blocks on its operands.
+                let mut steps = vec![MergeStep::Init { gate: gi }];
+                for (q, is_high) in [(a, true), (b, false)] {
+                    if let Some(i) = active[q] {
+                        if !blocks[i].absorbed && matches!(blocks[i].arity, BlockArity::One(_)) {
+                            steps.push(MergeStep::AbsorbBlock {
+                                block: i,
+                                high: is_high,
+                            });
+                            blocks[i].absorbed = true;
+                        }
+                    }
+                }
+                blocks.push(StructuralBlock {
+                    arity: BlockArity::Two(a, b),
+                    absorbed: false,
+                    steps,
+                });
+                let idx = blocks.len() - 1;
+                active[a] = Some(idx);
+                active[b] = Some(idx);
+            }
+            k => unreachable!("gate on {k} qubits cannot exist in a Circuit"),
+        }
+    }
+
+    FusionStructure {
+        n_qubits: n,
+        gates_in: circuit.len(),
+        blocks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +503,139 @@ mod tests {
         let (fused, stats) = fuse(&Circuit::new(3)).unwrap();
         assert!(fused.is_empty());
         assert_eq!(stats.reduction(), 0.0);
+    }
+
+    /// Naive interpreter for a [`FusionStructure`]: replays every tape with
+    /// concrete parameters. The production replay lives in `nwq-statevec`
+    /// (with constant folding); this one exists to pin the contract that a
+    /// structural replay is bitwise identical to [`fuse_bound`].
+    fn replay(s: &FusionStructure, c: &Circuit, params: &[f64]) -> Vec<Gate> {
+        let gates = c.gates();
+        let mat2 = |gi: usize| match gates[gi].matrix(params).unwrap() {
+            GateMatrix::One(_, m) => m,
+            _ => panic!("expected 1q gate"),
+        };
+        let mat4 = |gi: usize| match gates[gi].matrix(params).unwrap() {
+            GateMatrix::Two(_, _, m) => m,
+            _ => panic!("expected 2q gate"),
+        };
+        let emb = |m: &Mat2, high: bool| if high { embed_high(m) } else { embed_low(m) };
+        let mut prods1: Vec<Option<Mat2>> = vec![None; s.blocks().len()];
+        let mut out = Vec::new();
+        for (bi, b) in s.blocks().iter().enumerate() {
+            match b.arity {
+                BlockArity::One(q) => {
+                    let mut acc = None;
+                    for step in &b.steps {
+                        acc = Some(match *step {
+                            MergeStep::Init { gate } => mat2(gate),
+                            MergeStep::MulLeft { gate } => mat2(gate) * acc.unwrap(),
+                            ref other => panic!("1q block cannot hold {other:?}"),
+                        });
+                    }
+                    let acc = acc.unwrap();
+                    prods1[bi] = Some(acc);
+                    if !b.absorbed {
+                        out.push(Gate::Fused1(q, acc));
+                    }
+                }
+                BlockArity::Two(a, bq) => {
+                    let mut acc = None;
+                    for step in &b.steps {
+                        acc = Some(match *step {
+                            MergeStep::Init { gate } => mat4(gate),
+                            MergeStep::MulLeft { gate } => mat4(gate) * acc.unwrap(),
+                            MergeStep::MulLeftSwapped { gate } => {
+                                mat4(gate).swap_qubits() * acc.unwrap()
+                            }
+                            MergeStep::MulLeftEmbed { gate, high } => {
+                                emb(&mat2(gate), high) * acc.unwrap()
+                            }
+                            MergeStep::AbsorbBlock { block, high } => {
+                                acc.unwrap() * emb(&prods1[block].unwrap(), high)
+                            }
+                        });
+                    }
+                    assert!(!b.absorbed, "2q blocks are never absorbed");
+                    out.push(Gate::Fused2(a, bq, acc.unwrap()));
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_bitwise_eq(a: &[Gate], b: &[Gate]) {
+        assert_eq!(a.len(), b.len());
+        for (ga, gb) in a.iter().zip(b) {
+            match (ga, gb) {
+                (Gate::Fused1(qa, ma), Gate::Fused1(qb, mb)) => {
+                    assert_eq!(qa, qb);
+                    for r in 0..2 {
+                        for c in 0..2 {
+                            assert_eq!(ma.0[r][c].re.to_bits(), mb.0[r][c].re.to_bits());
+                            assert_eq!(ma.0[r][c].im.to_bits(), mb.0[r][c].im.to_bits());
+                        }
+                    }
+                }
+                (Gate::Fused2(a0, a1, ma), Gate::Fused2(b0, b1, mb)) => {
+                    assert_eq!((a0, a1), (b0, b1));
+                    for r in 0..4 {
+                        for c in 0..4 {
+                            assert_eq!(ma.0[r][c].re.to_bits(), mb.0[r][c].re.to_bits());
+                            assert_eq!(ma.0[r][c].im.to_bits(), mb.0[r][c].im.to_bits());
+                        }
+                    }
+                }
+                (ga, gb) => panic!("mismatched fused gates {ga:?} vs {gb:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn structural_replay_is_bitwise_identical_to_fuse_bound() {
+        // Exercises every MergeStep kind: 1q merges, embeds into a 2q
+        // block, aligned and swapped same-pair merges, and absorption of
+        // both constant and symbolic pending 1q blocks.
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .ry(1, ParamExpr::var(0))
+            .cx(0, 1)
+            .cx(1, 0)
+            .rz(1, ParamExpr::var(1))
+            .h(2)
+            .cz(1, 2)
+            .rzz(1, 2, ParamExpr::var(2))
+            .t(0);
+        let theta = [0.37, -1.2, 2.6];
+        let s = fuse_structure(&c);
+        let (fused, stats) = fuse_bound(&c, &theta).unwrap();
+        assert_eq!(s.gates_in(), stats.gates_before);
+        assert_eq!(s.live_blocks(), stats.gates_after);
+        assert_bitwise_eq(&replay(&s, &c, &theta), fused.gates());
+    }
+
+    #[test]
+    fn structural_replay_matches_on_concrete_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, 0.4)
+            .cx(1, 2)
+            .h(2)
+            .t(0)
+            .cx(2, 3)
+            .cx(0, 1);
+        let s = fuse_structure(&c);
+        let (fused, stats) = fuse_bound(&c, &[]).unwrap();
+        assert_eq!(s.live_blocks(), stats.gates_after);
+        assert_bitwise_eq(&replay(&s, &c, &[]), fused.gates());
+    }
+
+    #[test]
+    fn structure_of_empty_circuit_is_empty() {
+        let s = fuse_structure(&Circuit::new(2));
+        assert_eq!(s.live_blocks(), 0);
+        assert!(s.blocks().is_empty());
     }
 
     #[test]

@@ -191,10 +191,12 @@ impl DirectBackend {
 impl Backend for DirectBackend {
     fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64> {
         check_widths(ansatz, observable)?;
-        // Cache misses compile the ansatz to an ExecPlan (bind-time fusion,
-        // diagonal coalescing); the energy readout batches Pauli terms by
-        // flip-mask. `gates_applied` stays the logical gate count so the
-        // Fig 3 cost comparison is independent of how much the plan fuses.
+        // Cache misses bind the ansatz's globally cached PlanTemplate (the
+        // structural fusion/coalescing pass runs once per circuit shape,
+        // process-wide; each θ only replays the recorded arithmetic); the
+        // energy readout batches Pauli terms by flip-mask. `gates_applied`
+        // stays the logical gate count so the Fig 3 cost comparison is
+        // independent of how much the plan fuses.
         let misses_before = self.cache.stats().misses;
         let state = self
             .cache

@@ -19,6 +19,14 @@
 //! cross-job batch, or answered from the shared cache), and VQE/ADAPT jobs
 //! run the stock resilient drivers. Injected faults only ever trigger
 //! retries, which recompute the same deterministic values.
+//!
+//! `ExecPlan::compile` resolves through the process-global
+//! [`nwq_statevec::plan_cache`], so all workers share ONE
+//! [`nwq_statevec::PlanTemplate`] per circuit structure: the first worker
+//! to see a molecule's ansatz pays the structural fusion pass, every
+//! later evaluation on any worker only rebinds θ. Template binding is
+//! bitwise identical to a cold compile (pinned by the plan-parity suite),
+//! so this sharing is invisible in results.
 
 use crate::cache::{CacheConfig, SharedCache, SharedCacheStats};
 use crate::job::{JobId, JobKind, JobOutcome, JobSpec, JobStatus};

@@ -59,6 +59,10 @@ pub struct PostAnsatzCache {
     device_budget_bytes: u128,
     entry: Option<Entry>,
     stats: CacheStats,
+    /// Scratch plan reused across misses: `PlanTemplate::bind_into`
+    /// rewrites it with zero allocation once the op/factor lists have
+    /// grown to the ansatz's size.
+    plan_scratch: ExecPlan,
 }
 
 #[derive(Debug)]
@@ -85,6 +89,7 @@ impl PostAnsatzCache {
             device_budget_bytes,
             entry: None,
             stats: CacheStats::default(),
+            plan_scratch: ExecPlan::empty(),
         }
     }
 
@@ -139,10 +144,12 @@ impl PostAnsatzCache {
     }
 
     /// Plan-compiling variant of [`get_or_prepare`](Self::get_or_prepare):
-    /// on a miss the ansatz is compiled to an [`ExecPlan`] (bind-time
-    /// fusion + diagonal coalescing) and executed through the plan path.
-    /// The key is the same exact-parameter key, so callers can mix this
-    /// with `get_or_prepare` without spurious misses.
+    /// on a miss the ansatz's cached [`crate::PlanTemplate`] (built once
+    /// per circuit structure by the global [`crate::plan_cache`]) is bound
+    /// against `params` into a reusable scratch plan — no re-fusion, no
+    /// allocation after the first miss — and executed through the plan
+    /// path. The key is the same exact-parameter key, so callers can mix
+    /// this with `get_or_prepare` without spurious misses.
     pub fn get_or_prepare_plan(
         &mut self,
         ansatz: &Circuit,
@@ -157,8 +164,9 @@ impl PostAnsatzCache {
         } else {
             self.stats.misses += 1;
             nwq_telemetry::counter_add("cache.misses", 1);
-            let plan = ExecPlan::compile(ansatz, params)?;
-            let state = executor.run_plan(&plan)?;
+            let template = crate::plan_cache::template_for(ansatz)?;
+            template.bind_into(params, &mut self.plan_scratch)?;
+            let state = executor.run_plan(&self.plan_scratch)?;
             let tier = if state.memory_bytes() <= self.device_budget_bytes {
                 MemoryTier::Device
             } else {

@@ -1,6 +1,6 @@
 //! Circuit execution on the parallel statevector kernels.
 
-use crate::kernels::{apply_diag_sweep, apply_mat2, apply_mat4};
+use crate::kernels::{apply_diag_sweep, apply_mat2, apply_mat4, apply_mat4_prenorm};
 use crate::plan::{ExecPlan, PlanOp};
 use crate::state::StateVector;
 use crate::stats::ExecStats;
@@ -198,13 +198,21 @@ impl Executor {
                     apply_mat2(state.amplitudes_mut(), *q, m);
                     gates_1q += 1;
                 }
-                PlanOp::Two(a, b, m) => {
-                    apply_mat4(state.amplitudes_mut(), *a, *b, m);
+                PlanOp::Two(hi, lo, m) => {
+                    // Plans pre-normalize to hi > lo at bind time.
+                    apply_mat4_prenorm(state.amplitudes_mut(), *hi, *lo, m);
                     gates_2q += 1;
                 }
-                PlanOp::DiagSweep(fs) => {
-                    apply_diag_sweep(state.amplitudes_mut(), fs);
-                    if op.is_two_qubit() {
+                PlanOp::DiagSweep {
+                    start,
+                    len,
+                    two_qubit,
+                } => {
+                    apply_diag_sweep(
+                        state.amplitudes_mut(),
+                        &plan.factors()[*start..*start + *len],
+                    );
+                    if *two_qubit {
                         gates_2q += 1;
                     } else {
                         gates_1q += 1;

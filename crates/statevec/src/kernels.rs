@@ -16,14 +16,51 @@
 //! Diagonal matrices (RZ, CZ, CP, RZZ, fused diagonals) take a fast path
 //! that multiplies amplitudes without pairing.
 
-use nwq_common::{Error, Mat2, Mat4, Result, C64, C_ONE};
+use nwq_common::{Error, Mat2, Mat4, Result, C64};
 use rayon::prelude::*;
 
 /// Minimum number of independent outer blocks before parallel dispatch is
-/// worthwhile; below this the serial loop wins.
-const MIN_PAR_BLOCKS: usize = 8;
-/// Minimum amplitudes per parallel work item for the inner-split paths.
-const MIN_PAR_ELEMS: usize = 1 << 11;
+/// worthwhile *when the pool has multiple threads*; below this the serial
+/// loop wins. See [`min_par_blocks`] for the effective value.
+pub const MIN_PAR_BLOCKS: usize = 8;
+/// Minimum amplitudes per parallel work item for the inner-split paths
+/// when the pool has multiple threads. See [`min_par_elems`].
+pub const MIN_PAR_ELEMS: usize = 1 << 11;
+
+/// `true` when the Rayon pool can actually run work concurrently. On a
+/// single-thread pool the parallel paths still compute correct results,
+/// but pay pure dispatch overhead: the calibration sweep in
+/// `BENCH_kernels.json` measured `mat4_mixed` at 163 M updates/s through
+/// parallel dispatch vs 304 M serial on one thread (the par path boxes a
+/// closure per outer block — ~65 k of them at 18 qubits — and runs them
+/// serially anyway).
+#[inline]
+pub fn parallel_dispatch_enabled() -> bool {
+    rayon::current_num_threads() > 1
+}
+
+/// Effective outer-block threshold for parallel dispatch: the calibrated
+/// [`MIN_PAR_BLOCKS`] on a multi-thread pool, `usize::MAX` (never) on a
+/// single-thread pool.
+#[inline]
+pub fn min_par_blocks() -> usize {
+    if parallel_dispatch_enabled() {
+        MIN_PAR_BLOCKS
+    } else {
+        usize::MAX
+    }
+}
+
+/// Effective per-item element threshold for the inner-split and
+/// per-amplitude parallel paths (see [`min_par_blocks`]).
+#[inline]
+pub fn min_par_elems() -> usize {
+    if parallel_dispatch_enabled() {
+        MIN_PAR_ELEMS
+    } else {
+        usize::MAX
+    }
+}
 
 #[inline]
 fn pair_update(lo: &mut C64, hi: &mut C64, m: &Mat2) {
@@ -52,7 +89,8 @@ pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
     let stride = 1usize << q;
     let block = stride << 1;
     let nblocks = amps.len() / block;
-    if nblocks >= MIN_PAR_BLOCKS {
+    let par_elems = min_par_elems();
+    if nblocks >= min_par_blocks() {
         nwq_telemetry::counter_add("kernels.mat2.par_blocks", 1);
         amps.par_chunks_mut(block).for_each(|c| {
             let (lo, hi) = c.split_at_mut(stride);
@@ -61,14 +99,14 @@ pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
             }
         });
     } else {
-        if stride >= MIN_PAR_ELEMS {
+        if stride >= par_elems {
             nwq_telemetry::counter_add("kernels.mat2.par_inner", 1);
         } else {
             nwq_telemetry::counter_add("kernels.mat2.serial", 1);
         }
         for c in amps.chunks_mut(block) {
             let (lo, hi) = c.split_at_mut(stride);
-            if stride >= MIN_PAR_ELEMS {
+            if stride >= par_elems {
                 lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
                     pair_update(a, b, m);
                 });
@@ -87,7 +125,7 @@ fn apply_diag1(amps: &mut [C64], q: usize, d0: C64, d1: C64) {
         let d = if (i >> q) & 1 == 1 { d1 } else { d0 };
         *a *= d;
     };
-    if amps.len() >= MIN_PAR_ELEMS {
+    if amps.len() >= min_par_elems() {
         amps.par_iter_mut().enumerate().for_each(body);
     } else {
         amps.iter_mut().enumerate().for_each(body);
@@ -115,16 +153,23 @@ fn quad_update(a00: &mut C64, a01: &mut C64, a10: &mut C64, a11: &mut C64, m: &M
 /// the numeric order. Internally the kernel sorts the qubits and swaps the
 /// matrix when needed.
 pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
-    debug_assert!(qa != qb);
-    debug_assert!(1usize << qa < amps.len() && 1usize << qb < amps.len());
     // Normalize so `hi > lo` with the matrix's high bit on `hi`.
-    let (hi, lo, mat) = if qa > qb {
-        (qa, qb, *m)
+    if qa > qb {
+        apply_mat4_prenorm(amps, qa, qb, m);
     } else {
-        (qb, qa, m.swap_qubits())
-    };
+        apply_mat4_prenorm(amps, qb, qa, &m.swap_qubits());
+    }
+}
+
+/// [`apply_mat4`] for matrices already normalized to `hi > lo` (first
+/// qubit is the matrix's high bit). Compiled plans pre-normalize at
+/// template build/bind time, so this entry skips the per-call
+/// `swap_qubits` reshuffle of the general wrapper.
+pub fn apply_mat4_prenorm(amps: &mut [C64], hi: usize, lo: usize, mat: &Mat4) {
+    debug_assert!(hi > lo);
+    debug_assert!(1usize << hi < amps.len());
     nwq_telemetry::counter_add("kernels.amplitude_updates", amps.len() as u64);
-    if mat4_is_diagonal(&mat) {
+    if mat4_is_diagonal(mat) {
         nwq_telemetry::counter_add("kernels.mat4.diag", 1);
         return apply_diag2(
             amps,
@@ -133,53 +178,59 @@ pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
             [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]],
         );
     }
+    // One stack copy so the optimizer can keep the 16 elements in
+    // registers across the amplitude loop — measurably faster than
+    // chasing the caller's reference (which it must conservatively
+    // reload), and worth far more than the 256-byte memcpy costs.
+    let mat = &{ *mat };
     let s_lo = 1usize << lo;
     let s_hi = 1usize << hi;
     let block = s_hi << 1;
     let nblocks = amps.len() / block;
 
-    let process_half_pair = |half0: &mut [C64], half1: &mut [C64]| {
-        // Within each half, pair on the low bit.
-        debug_assert_eq!(half0.len(), s_hi);
-        let lo_block = s_lo << 1;
-        for (c0, c1) in half0.chunks_mut(lo_block).zip(half1.chunks_mut(lo_block)) {
-            let (c00, c01) = c0.split_at_mut(s_lo);
-            let (c10, c11) = c1.split_at_mut(s_lo);
-            for j in 0..s_lo {
-                quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], &mat);
-            }
-        }
-    };
-
-    if nblocks >= MIN_PAR_BLOCKS {
+    if nblocks >= min_par_blocks() {
         nwq_telemetry::counter_add("kernels.mat4.par_blocks", 1);
         amps.par_chunks_mut(block).for_each(|c| {
             let (h0, h1) = c.split_at_mut(s_hi);
-            process_half_pair(h0, h1);
+            mat4_half_pair(h0, h1, s_lo, mat);
         });
-    } else {
-        if s_hi >= MIN_PAR_ELEMS {
-            nwq_telemetry::counter_add("kernels.mat4.par_inner", 1);
-        } else {
-            nwq_telemetry::counter_add("kernels.mat4.serial", 1);
-        }
+    } else if s_hi >= min_par_elems() {
+        nwq_telemetry::counter_add("kernels.mat4.par_inner", 1);
+        let lo_block = s_lo << 1;
         for c in amps.chunks_mut(block) {
             let (h0, h1) = c.split_at_mut(s_hi);
-            if s_hi >= MIN_PAR_ELEMS && s_lo >= 1 {
-                // Parallelize across low-bit chunk pairs.
-                let lo_block = s_lo << 1;
-                h0.par_chunks_mut(lo_block)
-                    .zip(h1.par_chunks_mut(lo_block))
-                    .for_each(|(c0, c1)| {
-                        let (c00, c01) = c0.split_at_mut(s_lo);
-                        let (c10, c11) = c1.split_at_mut(s_lo);
-                        for j in 0..s_lo {
-                            quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], &mat);
-                        }
-                    });
-            } else {
-                process_half_pair(h0, h1);
-            }
+            // Parallelize across low-bit chunk pairs.
+            h0.par_chunks_mut(lo_block)
+                .zip(h1.par_chunks_mut(lo_block))
+                .for_each(|(c0, c1)| {
+                    let (c00, c01) = c0.split_at_mut(s_lo);
+                    let (c10, c11) = c1.split_at_mut(s_lo);
+                    for j in 0..s_lo {
+                        quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], mat);
+                    }
+                });
+        }
+    } else {
+        nwq_telemetry::counter_add("kernels.mat4.serial", 1);
+        for c in amps.chunks_mut(block) {
+            let (h0, h1) = c.split_at_mut(s_hi);
+            mat4_half_pair(h0, h1, s_lo, mat);
+        }
+    }
+}
+
+/// Serial half-pair body of the mat4 kernel: pairs the two low-bit chunks
+/// of each half and applies the 4×4 update. A standalone function (not a
+/// closure inside the large dispatch function) so the optimizer compiles
+/// it as the same tight loop [`apply_mat4_serial`] gets.
+#[inline(never)]
+fn mat4_half_pair(half0: &mut [C64], half1: &mut [C64], s_lo: usize, mat: &Mat4) {
+    let lo_block = s_lo << 1;
+    for (c0, c1) in half0.chunks_mut(lo_block).zip(half1.chunks_mut(lo_block)) {
+        let (c00, c01) = c0.split_at_mut(s_lo);
+        let (c10, c11) = c1.split_at_mut(s_lo);
+        for j in 0..s_lo {
+            quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], mat);
         }
     }
 }
@@ -190,7 +241,7 @@ fn apply_diag2(amps: &mut [C64], hi: usize, lo: usize, d: [C64; 4]) {
         let idx = (((i >> hi) & 1) << 1) | ((i >> lo) & 1);
         *a *= d[idx];
     };
-    if amps.len() >= MIN_PAR_ELEMS {
+    if amps.len() >= min_par_elems() {
         amps.par_iter_mut().enumerate().for_each(body);
     } else {
         amps.iter_mut().enumerate().for_each(body);
@@ -235,8 +286,16 @@ impl DiagFactor {
 
 /// Applies a run of commuting diagonal gates in ONE amplitude pass: each
 /// amplitude is read and written once regardless of how many factors the
-/// sweep carries. This is the coalesced form the compiled-plan layer emits
-/// for adjacent diagonal gates (RZ/CZ/CP/RZZ chains in UCCSD ansätze).
+/// sweep carries. The compiled-plan layer emits sweeps for every diagonal
+/// block (runs of length 1 are common — UCCSD's CX·RZ·CX apex blocks are
+/// diagonal but fenced apart by ladder blocks; genuinely adjacent
+/// RZ/CZ/CP/RZZ chains coalesce into longer runs).
+///
+/// Each factor multiplies the amplitude *in place* rather than
+/// accumulating a combined phase first: for a run of one this performs
+/// exactly the `amp *= d` of the plain kernels' diagonal fast path, so a
+/// one-factor sweep is bitwise identical to [`apply_mat2`] /
+/// [`apply_mat4`] on the same diagonal matrix.
 pub fn apply_diag_sweep(amps: &mut [C64], factors: &[DiagFactor]) {
     if factors.is_empty() {
         return;
@@ -245,13 +304,11 @@ pub fn apply_diag_sweep(amps: &mut [C64], factors: &[DiagFactor]) {
     nwq_telemetry::counter_add("kernels.diag_sweep", 1);
     nwq_telemetry::counter_add("kernels.diag_sweep_factors", factors.len() as u64);
     let body = |(i, a): (usize, &mut C64)| {
-        let mut d = C_ONE;
         for f in factors {
-            d *= f.at(i);
+            *a *= f.at(i);
         }
-        *a *= d;
     };
-    if amps.len() >= MIN_PAR_ELEMS {
+    if amps.len() >= min_par_elems() {
         amps.par_iter_mut().enumerate().for_each(body);
     } else {
         amps.iter_mut().enumerate().for_each(body);
@@ -314,7 +371,7 @@ pub fn apply_mat4_serial(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
 /// Probability that qubit `q` measures 1 (parallel reduction).
 pub fn prob_one(amps: &[C64], q: usize) -> f64 {
     let body = |(i, a): (usize, &C64)| if (i >> q) & 1 == 1 { a.norm_sqr() } else { 0.0 };
-    if amps.len() >= MIN_PAR_ELEMS {
+    if amps.len() >= min_par_elems() {
         amps.par_iter().enumerate().map(body).sum()
     } else {
         amps.iter().enumerate().map(body).sum()
@@ -343,7 +400,7 @@ pub fn collapse(amps: &mut [C64], q: usize, outcome: bool, prob: f64) -> Result<
             *a = C64::default();
         }
     };
-    if amps.len() >= MIN_PAR_ELEMS {
+    if amps.len() >= min_par_elems() {
         amps.par_iter_mut().enumerate().for_each(body);
     } else {
         amps.iter_mut().enumerate().for_each(body);
@@ -507,9 +564,74 @@ mod tests {
             ];
             let mut swept = psi.clone();
             apply_diag_sweep(&mut swept, &factors);
+            // The sweep multiplies each factor in place, exactly like the
+            // per-gate diagonal fast paths: bitwise identical, not approx.
             for (a, b) in swept.iter().zip(&seq) {
-                assert!(a.approx_eq(*b, 1e-12), "n={n}");
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn one_factor_sweep_is_bitwise_the_diagonal_fast_path() {
+        let psi = rand_state(5, 9);
+        let rzz = mat_rzz(0.61);
+        let mut direct = psi.clone();
+        apply_mat4(&mut direct, 1, 4, &rzz); // normalizes to hi=4, lo=1
+        let swapped = rzz.swap_qubits();
+        let mut swept = psi.clone();
+        apply_diag_sweep(
+            &mut swept,
+            &[DiagFactor::Two {
+                hi: 4,
+                lo: 1,
+                d: [
+                    swapped.0[0][0],
+                    swapped.0[1][1],
+                    swapped.0[2][2],
+                    swapped.0[3][3],
+                ],
+            }],
+        );
+        for (a, b) in swept.iter().zip(&direct) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn prenorm_entry_matches_general_wrapper() {
+        for (qa, qb) in [(3, 1), (1, 3)] {
+            let psi = rand_state(5, 21);
+            let m = mat_cx();
+            let mut via_wrapper = psi.clone();
+            apply_mat4(&mut via_wrapper, qa, qb, &m);
+            let (hi, lo, mat) = if qa > qb {
+                (qa, qb, m)
+            } else {
+                (qb, qa, m.swap_qubits())
+            };
+            let mut via_prenorm = psi.clone();
+            apply_mat4_prenorm(&mut via_prenorm, hi, lo, &mat);
+            for (a, b) in via_prenorm.iter().zip(&via_wrapper) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "qa={qa} qb={qb}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "qa={qa} qb={qb}");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_track_pool_width() {
+        // Parallel dispatch on a single-thread pool is pure overhead (the
+        // 18-qubit calibration measured 163 M vs 304 M updates/s), so the
+        // effective thresholds must disable it entirely there.
+        if parallel_dispatch_enabled() {
+            assert_eq!(min_par_blocks(), MIN_PAR_BLOCKS);
+            assert_eq!(min_par_elems(), MIN_PAR_ELEMS);
+        } else {
+            assert_eq!(min_par_blocks(), usize::MAX);
+            assert_eq!(min_par_elems(), usize::MAX);
         }
     }
 

@@ -6,9 +6,12 @@
 //! - [`kernels`] — in-place parallel gate kernels (safe chunking, diagonal
 //!   fast paths) — the CPU analog of NWQ-Sim's GPU amplitude updates;
 //! - [`executor::Executor`] — circuit execution with gate accounting;
-//! - [`plan::ExecPlan`] — compiled circuits: one-time parameter binding,
-//!   §4.3 fusion at bind time, and commuting-diagonal coalescing, so the
-//!   variational hot loop re-evaluates nothing per gate;
+//! - [`plan::ExecPlan`] / [`plan::PlanTemplate`] — compiled circuits with
+//!   a structure/bind split: the §4.3 fusion and commuting-diagonal
+//!   coalescing decisions are made ONCE per circuit *shape*
+//!   ([`plan::PlanTemplate::build`], cached globally by [`plan_cache`])
+//!   and each new θ only replays the recorded arithmetic
+//!   ([`plan::PlanTemplate::bind`], microseconds, zero re-fusion);
 //! - [`cache::PostAnsatzCache`] — §4.1 post-ansatz state caching with the
 //!   two-tier (device/host) memory model;
 //! - [`expval`] — §4.1/§4.2 energy evaluation strategies (non-caching
@@ -30,11 +33,12 @@ pub mod expval;
 pub mod kernels;
 pub mod measure;
 pub mod plan;
+pub mod plan_cache;
 pub mod state;
 pub mod stats;
 
 pub use executor::{simulate, simulate_plan, Executor, NormGuard};
-pub use plan::{ExecPlan, PlanOp, PlanStats};
+pub use plan::{ExecPlan, PlanOp, PlanStats, PlanTemplate};
 pub use state::StateVector;
 
 #[cfg(test)]

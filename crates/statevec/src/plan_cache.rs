@@ -1,0 +1,245 @@
+//! Global LRU cache of [`PlanTemplate`]s keyed by circuit structure.
+//!
+//! Building a template (the structural fusion pass plus constant folding)
+//! is the expensive half of plan compilation; binding θ is microseconds.
+//! This cache makes [`crate::ExecPlan::compile`] amortize the build across
+//! every evaluation of the same circuit shape — within one optimizer run,
+//! across `PostAnsatzCache` invalidations, and across jobs on all
+//! `nwq-serve` workers (the cache is process-global and thread-safe).
+//!
+//! The key is an exact encoding of everything θ-independent that shapes
+//! the template: register width, declared parameter count, and each
+//! gate's variant, operands, parameter expressions (including constant
+//! angles — those fold into the template matrices) and fused-matrix bits.
+//! A 64-bit FNV-1a fingerprint prunes comparisons; equality is always
+//! confirmed against the full key, so collisions cannot alias templates.
+//!
+//! Telemetry: `plan.cache.hits` / `plan.cache.misses` /
+//! `plan.cache.evictions` counters and the `plan.cache.size` gauge.
+
+use crate::plan::PlanTemplate;
+use nwq_circuit::{Circuit, Gate, ParamExpr};
+use nwq_common::Result;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Maximum number of cached templates; least-recently-used beyond this.
+pub const CAPACITY: usize = 64;
+
+struct Entry {
+    fingerprint: u64,
+    key: Vec<u64>,
+    template: Arc<PlanTemplate>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+static CACHE: Mutex<Inner> = Mutex::new(Inner {
+    entries: Vec::new(),
+    tick: 0,
+});
+
+fn push_expr(key: &mut Vec<u64>, e: &ParamExpr) {
+    match *e {
+        ParamExpr::Const(v) => {
+            key.push(0);
+            key.push(v.to_bits());
+        }
+        ParamExpr::Var {
+            index,
+            coeff,
+            offset,
+        } => {
+            key.push(1);
+            key.push(index as u64);
+            key.push(coeff.to_bits());
+            key.push(offset.to_bits());
+        }
+    }
+}
+
+/// Exact structural key: equal keys ⇔ identical templates.
+fn structural_key(circuit: &Circuit) -> Vec<u64> {
+    // Rough capacity: tag + 2 qubits + ~4 expr words per gate.
+    let mut key = Vec::with_capacity(3 + circuit.len() * 7);
+    key.push(circuit.n_qubits() as u64);
+    key.push(circuit.n_params() as u64);
+    key.push(circuit.len() as u64);
+    for gate in circuit.gates() {
+        // The mnemonic is unique per variant and ≤ 8 bytes: pack it as
+        // the variant tag.
+        let mut tag = 0u64;
+        for b in gate.name().bytes() {
+            tag = (tag << 8) | b as u64;
+        }
+        key.push(tag);
+        for q in gate.qubits() {
+            key.push(q as u64);
+        }
+        for e in gate.param_exprs() {
+            push_expr(&mut key, &e);
+        }
+        match gate {
+            Gate::Fused1(_, m) => {
+                for row in &m.0 {
+                    for c in row {
+                        key.push(c.re.to_bits());
+                        key.push(c.im.to_bits());
+                    }
+                }
+            }
+            Gate::Fused2(_, _, m) => {
+                for row in &m.0 {
+                    for c in row {
+                        key.push(c.re.to_bits());
+                        key.push(c.im.to_bits());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    key
+}
+
+fn fingerprint(key: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &word in key {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn lookup(fp: u64, key: &[u64]) -> Option<Arc<PlanTemplate>> {
+    let mut inner = CACHE.lock();
+    inner.tick += 1;
+    let tick = inner.tick;
+    inner
+        .entries
+        .iter_mut()
+        .find(|e| e.fingerprint == fp && e.key == key)
+        .map(|e| {
+            e.last_used = tick;
+            e.template.clone()
+        })
+}
+
+fn insert(fp: u64, key: Vec<u64>, template: Arc<PlanTemplate>) -> Arc<PlanTemplate> {
+    let mut inner = CACHE.lock();
+    inner.tick += 1;
+    let tick = inner.tick;
+    // Another thread may have built the same template while we did; keep
+    // the canonical copy so concurrent callers share one allocation.
+    if let Some(e) = inner
+        .entries
+        .iter_mut()
+        .find(|e| e.fingerprint == fp && e.key == key)
+    {
+        e.last_used = tick;
+        return e.template.clone();
+    }
+    if inner.entries.len() >= CAPACITY {
+        if let Some((idx, _)) = inner
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+        {
+            inner.entries.swap_remove(idx);
+            nwq_telemetry::counter_add("plan.cache.evictions", 1);
+        }
+    }
+    inner.entries.push(Entry {
+        fingerprint: fp,
+        key,
+        template: template.clone(),
+        last_used: tick,
+    });
+    nwq_telemetry::gauge_set("plan.cache.size", inner.entries.len() as f64);
+    template
+}
+
+/// Returns the cached template for `circuit`'s structure, building and
+/// inserting it on first sight. The build happens outside the cache lock;
+/// losing a build race returns the canonical cached copy.
+pub fn template_for(circuit: &Circuit) -> Result<Arc<PlanTemplate>> {
+    let key = structural_key(circuit);
+    let fp = fingerprint(&key);
+    if let Some(t) = lookup(fp, &key) {
+        nwq_telemetry::counter_add("plan.cache.hits", 1);
+        return Ok(t);
+    }
+    nwq_telemetry::counter_add("plan.cache.misses", 1);
+    let template = Arc::new(PlanTemplate::build(circuit)?);
+    Ok(insert(fp, key, template))
+}
+
+/// Number of templates currently cached.
+pub fn len() -> usize {
+    CACHE.lock().entries.len()
+}
+
+/// Drops every cached template. Intended for tests that assert build
+/// counts; safe at any time (outstanding `Arc`s stay valid).
+pub fn clear() {
+    CACHE.lock().entries.clear();
+    nwq_telemetry::gauge_set("plan.cache.size", 0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_circuit::ParamExpr;
+
+    fn param_circuit(angle_offset: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.ry(0, ParamExpr::var(0)).cx(0, 1).rz(1, angle_offset);
+        c
+    }
+
+    #[test]
+    fn same_structure_shares_one_template() {
+        let a = template_for(&param_circuit(0.25)).unwrap();
+        let b = template_for(&param_circuit(0.25)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_const_angles_are_different_structures() {
+        // Constant angles fold into template matrices, so they are part
+        // of the structure.
+        let a = template_for(&param_circuit(0.25)).unwrap();
+        let b = template_for(&param_circuit(0.75)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn capacity_bounds_cache_size() {
+        for i in 0..(CAPACITY + 8) {
+            let mut c = Circuit::new(8);
+            // Distinct structures: vary the target qubit.
+            c.h(i % 8).rz((i / 8) % 8, 0.1 + i as f64);
+            template_for(&c).unwrap();
+        }
+        assert!(len() <= CAPACITY);
+    }
+
+    #[test]
+    fn clear_resets_and_rebuild_matches_bitwise() {
+        let c = param_circuit(0.5);
+        let before = template_for(&c).unwrap().bind(&[0.3]).unwrap();
+        clear();
+        let after = template_for(&c).unwrap().bind(&[0.3]).unwrap();
+        assert_eq!(before.ops().len(), after.ops().len());
+        for (x, y) in before.factors().iter().zip(after.factors()) {
+            assert_eq!(x, y);
+        }
+    }
+}
