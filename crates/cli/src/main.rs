@@ -17,6 +17,9 @@
 //!           [--molecule toy|h2|water] [--job energy|vqe|adapt]
 //!           [--params a,b,...] [--x0 a,b,...] [--max-evals N] [--max-iter K]
 //!           [--priority low|normal|high] [--deadline-ms MS] [--id N] [--wait 0|1]
+//!           [--timeout-ms MS]
+//! nwq dist  [--qubits N] [--ranks R] [--layers L] [--fuse-local 0|1]
+//!           [--metrics FILE.json]
 //! nwq info
 //! ```
 //!
@@ -380,6 +383,84 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `nwq dist`: run a layered benchmark circuit through the real sharded
+/// executor and report the measured-vs-modeled communication picture plus
+/// a gather-free energy readout.
+fn cmd_dist(args: &Args) -> Result<(), String> {
+    let n_qubits: usize = args.get("qubits", 16)?;
+    let n_ranks: usize = args.get("ranks", 4)?;
+    let layers: usize = args.get("layers", 2)?;
+    let fuse_local = args.get("fuse-local", 0u8)? != 0;
+
+    // Layered hardware-efficient circuit whose CX ring always crosses the
+    // global/local boundary — same family the dist_scaling bench sweeps.
+    let mut c = nwq_circuit::Circuit::new(n_qubits);
+    for q in 0..n_qubits {
+        c.h(q);
+    }
+    for l in 0..layers {
+        for q in 0..n_qubits {
+            c.ry(q, 0.3 + 0.1 * (l * n_qubits + q) as f64 / n_qubits as f64);
+        }
+        for q in 0..n_qubits {
+            c.cx(q, (q + 1) % n_qubits);
+        }
+    }
+
+    let plan = nwq_dist::plan_communication(&c, n_ranks).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let opts = nwq_dist::ShardOptions { fuse_local };
+    let state = nwq_dist::run_sharded(&c, &[], n_ranks, &opts).map_err(|e| e.to_string())?;
+    let wall_s = started.elapsed().as_secs_f64();
+    let stats = state.comm_stats();
+
+    // Gather-free readout: ZZ ring + X fields, reduced shard by shard.
+    let op = {
+        let mut terms = Vec::new();
+        for q in 0..n_qubits {
+            let mut zz = vec!['I'; n_qubits];
+            zz[q] = 'Z';
+            zz[(q + 1) % n_qubits] = 'Z';
+            terms.push(format!("0.5 {}", zz.iter().collect::<String>()));
+        }
+        nwq_pauli::PauliOp::parse(&terms.join(" + ")).map_err(|e| e.to_string())?
+    };
+    let energy = nwq_dist::distributed_energy(&state, &op).map_err(|e| e.to_string())?;
+
+    let model = nwq_dist::CostModel::perlmutter_like();
+    let gates = c.gates().len() as u64;
+    let updates = gates as f64 * (1u64 << n_qubits) as f64;
+    println!(
+        "layout  : {n_qubits} qubits over {n_ranks} ranks ({} local qubits, {} amps/shard)",
+        state.n_local(),
+        state.partition_len()
+    );
+    println!(
+        "gates   : {gates} total ({} local, {} global{})",
+        stats.local_gates,
+        stats.global_gates,
+        if fuse_local { ", local runs fused" } else { "" }
+    );
+    println!(
+        "comm    : {} messages, {} bytes (planned {} / {})",
+        stats.messages, stats.bytes, plan.messages, plan.bytes
+    );
+    if !fuse_local && stats != plan {
+        return Err("measured exchange traffic diverged from plan_communication".into());
+    }
+    println!(
+        "model   : {:.3e} s comm + {:.3e} s compute (Perlmutter-like α–β)",
+        model.comm_time_s(&stats, n_ranks),
+        model.compute_time_s(gates, n_qubits, n_ranks)
+    );
+    println!(
+        "measured: {wall_s:.3} s wall, {:.3e} amplitude updates/s",
+        updates / wall_s
+    );
+    println!("E       : {energy:+.6} (gather-free ZZ-ring readout)");
+    Ok(())
+}
+
 /// Parses `--params`-style comma-separated float lists.
 fn float_list(args: &Args, key: &str) -> Result<Vec<f64>, String> {
     match args.flags.get(key) {
@@ -435,7 +516,13 @@ fn cmd_client(args: &Args) -> Result<(), String> {
         .get("addr")
         .ok_or_else(|| "--addr HOST:PORT is required".to_string())?;
     let op = args.str_or("op", "stats");
-    let mut client = nwq_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    // A read timeout turns a hung server into a clean error instead of a
+    // stuck process. Default 0 = disabled: blocking waits (`--wait 1`) may
+    // legitimately sit for the server's full 300 s wait cap.
+    let timeout_ms: u64 = args.get("timeout-ms", 0)?;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let mut client =
+        nwq_serve::Client::connect_with_timeout(addr, timeout).map_err(|e| e.to_string())?;
     let id = |key: &str| -> Result<u64, String> { args.get(key, u64::MAX) };
     let reply = match op.as_str() {
         "submit" => {
@@ -483,7 +570,7 @@ fn cmd_info() {
     println!("NWQ-Sim-rs {}", env!("CARGO_PKG_VERSION"));
     println!("Rust reproduction of 'Enabling Scalable VQE Simulation on Leading HPC Systems' (SC-W 2023).");
     println!();
-    println!("subcommands: vqe | adapt | qpe | fuse | serve | client | info");
+    println!("subcommands: vqe | adapt | qpe | fuse | serve | client | dist | info");
     println!("figures    : cargo run --release -p nwq-bench --bin figures -- all");
 }
 
@@ -514,6 +601,7 @@ fn main() -> ExitCode {
         "fuse" => cmd_fuse(&args),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
+        "dist" => cmd_dist(&args),
         "info" => {
             cmd_info();
             Ok(())

@@ -53,7 +53,11 @@ impl AddAssign for CommStats {
 /// Predicts the communication a circuit will generate on `n_ranks` ranks
 /// *without executing it* — used for scaling studies beyond locally
 /// simulable sizes. Must agree exactly with the executing path
-/// (pinned by tests).
+/// (pinned by tests), which includes rejecting exactly the rank counts
+/// the executor rejects: `n_ranks` must be a power of two small enough
+/// that every rank keeps at least 2 local qubits. (The planner used to
+/// clamp `n_local` to 0 in that regime and happily report full-partition
+/// pairwise traffic for partitions that cannot exist.)
 pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> Result<CommStats> {
     if !n_ranks.is_power_of_two() {
         return Err(Error::Invalid(format!(
@@ -61,7 +65,13 @@ pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> Result<CommStats
         )));
     }
     let n_global = n_ranks.trailing_zeros() as usize;
-    let n_local = circuit.n_qubits() - n_global.min(circuit.n_qubits());
+    let n_qubits = circuit.n_qubits();
+    if n_global + 2 > n_qubits {
+        return Err(Error::Invalid(format!(
+            "{n_ranks} ranks leave fewer than 2 local qubits of a {n_qubits}-qubit register"
+        )));
+    }
+    let n_local = n_qubits - n_global;
     let part_bytes = 16u64 << n_local;
     let mut stats = CommStats::default();
     for g in circuit.gates() {
@@ -168,6 +178,46 @@ mod tests {
                 matches!(e, nwq_common::Error::Invalid(_)),
                 "{bad} ranks: {e}"
             );
+        }
+    }
+
+    /// Regression for the degenerate-rank divergence: with
+    /// `n_ranks ∈ {2^n_qubits, 2^(n_qubits+1)}` the executor refuses to
+    /// build partitions (fewer than 2 local qubits per rank), but the
+    /// planner used to clamp `n_local` and report full pairwise traffic
+    /// for 1-amplitude "partitions". Planner and executor must agree in
+    /// this regime too: both reject.
+    #[test]
+    fn degenerate_rank_counts_agree_with_executor() {
+        for n_qubits in [3usize, 4, 5] {
+            let mut c = Circuit::new(n_qubits);
+            for q in 0..n_qubits {
+                c.h(q);
+            }
+            for n_ranks in [1usize << n_qubits, 1usize << (n_qubits + 1)] {
+                let planned = plan_communication(&c, n_ranks);
+                let executed = crate::exec::run_distributed(&c, &[], n_ranks);
+                assert!(
+                    planned.is_err(),
+                    "planner must reject {n_ranks} ranks on {n_qubits} qubits"
+                );
+                assert!(
+                    executed.is_err(),
+                    "executor must reject {n_ranks} ranks on {n_qubits} qubits"
+                );
+                assert!(matches!(
+                    planned.unwrap_err(),
+                    nwq_common::Error::Invalid(_)
+                ));
+            }
+            // The boundary case (exactly 2 local qubits) is valid on both
+            // sides and must agree exactly.
+            if n_qubits >= 4 {
+                let n_ranks = 1usize << (n_qubits - 2);
+                let planned = plan_communication(&c, n_ranks).unwrap();
+                let (_, measured) = crate::exec::run_and_gather(&c, &[], n_ranks).unwrap();
+                assert_eq!(planned, measured, "{n_qubits} qubits / {n_ranks} ranks");
+            }
         }
     }
 }

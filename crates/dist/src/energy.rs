@@ -1,0 +1,153 @@
+//! Gather-free distributed expectation values.
+//!
+//! The point of sharded execution is registers too large to hold in one
+//! allocation — so the energy readout must not [`DistStateVector::gather`]
+//! either. This module evaluates `⟨ψ|H|ψ⟩` directly on the shards with the
+//! batched §4.2 flip-group reduction from [`nwq_statevec::expval`]:
+//!
+//! `⟨H⟩ = Σ_m Σ_x conj(ψ[x⊕m]) ψ[x] · Σ_{t: m_t=m} c_t φ_t (−1)^{|x∧z_t|}`
+//!
+//! For a flip-mask `m`, rank `r`'s partner shard is `r ⊕ (m >> n_local)` —
+//! each rank reads exactly one remote shard per group, the distributed
+//! analog of one exchanged message per rank. The per-rank partials are
+//! summed in rank order, so the reduction is deterministic.
+//!
+//! The expectation-phase traffic is recorded in telemetry
+//! (`dist.expval_messages` / `dist.expval_bytes`) but *not* folded into
+//! the gate-phase [`crate::comm::CommStats`]: `plan_communication`
+//! predicts circuit execution, and the measured-equals-planned invariant
+//! is pinned by tests.
+
+use crate::partition::DistStateVector;
+use nwq_common::{Error, Result, C_ZERO};
+use nwq_pauli::PauliOp;
+use nwq_statevec::expval::{flip_groups, shard_group_partial};
+use rayon::prelude::*;
+
+/// Evaluates `Re⟨ψ|H|ψ⟩` on a sharded register without gathering.
+pub fn distributed_energy(state: &DistStateVector, op: &PauliOp) -> Result<f64> {
+    if op.n_qubits() != state.n_qubits() {
+        return Err(Error::DimensionMismatch {
+            expected: 1usize << state.n_qubits(),
+            got: 1usize << op.n_qubits(),
+        });
+    }
+    let _span = nwq_telemetry::span!("dist.energy");
+    let n_local = state.n_local();
+    let n_ranks = state.n_ranks();
+    let part_bytes = (state.partition_len() * 16) as u64;
+    let groups = flip_groups(op);
+    let mut expval_messages = 0u64;
+    let mut total = C_ZERO;
+    for g in &groups {
+        let global_flip = (g.mask >> n_local) as usize;
+        if global_flip >= n_ranks {
+            // A flip on a rank-id bit beyond the layout pairs each shard
+            // with one that does not exist — every such product is over
+            // amplitudes of disjoint support halves, but the mask cannot
+            // arise: PauliOp width was checked above, so global_flip < 2^n_global.
+            return Err(Error::Invalid(format!(
+                "flip mask {:#x} addresses rank {global_flip} of {n_ranks}",
+                g.mask
+            )));
+        }
+        if global_flip != 0 {
+            // One cross-rank shard read per rank, mirroring an exchange.
+            expval_messages += n_ranks as u64;
+        }
+        // Per-rank partials computed in parallel, folded in rank order so
+        // the result is deterministic run-to-run.
+        let partials: Vec<_> = (0..n_ranks)
+            .into_par_iter()
+            .map(|r| {
+                shard_group_partial(
+                    state.partition(r),
+                    state.partition(r ^ global_flip),
+                    r,
+                    n_local,
+                    g.mask,
+                    &g.terms,
+                )
+            })
+            .collect();
+        for p in partials {
+            total += p;
+        }
+    }
+    nwq_telemetry::counter_add("dist.expval_messages", expval_messages);
+    nwq_telemetry::counter_add("dist.expval_bytes", expval_messages * part_bytes);
+    if total.re.is_finite() {
+        Ok(total.re)
+    } else {
+        nwq_telemetry::counter_add("resilience.nonfinite_detected", 1);
+        Err(Error::Numerical(
+            "non-finite energy from distributed expectation".into(),
+        ))
+    }
+}
+
+/// Convenience for scaling runs: execute `circuit` sharded over `n_ranks`
+/// and read the energy without ever materializing the full register in
+/// one allocation. Returns `(energy, comm stats of the gate phase)`.
+pub fn run_distributed_energy(
+    circuit: &nwq_circuit::Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    op: &PauliOp,
+) -> Result<(f64, crate::comm::CommStats)> {
+    let state = crate::exec::run_distributed(circuit, params, n_ranks)?;
+    let energy = distributed_energy(&state, op)?;
+    Ok((energy, state.comm_stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_circuit::Circuit;
+
+    fn sample_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c.rz(n - 1, 0.7).ry(0, -0.4).swap(0, n - 1);
+        c
+    }
+
+    #[test]
+    fn distributed_energy_matches_single_node() {
+        let c = sample_circuit(6);
+        let h =
+            PauliOp::parse("0.5 ZZIIII + 0.25 XIIIIX + 0.125 IYZXII + 0.1 ZIIIII + 0.05 IIIIII")
+                .unwrap();
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        let expected = nwq_statevec::expval::energy_direct_batched(&single, &h).unwrap();
+        for n_ranks in [1usize, 2, 4, 8] {
+            let (e, _) = run_distributed_energy(&c, &[], n_ranks, &h).unwrap();
+            assert!(
+                (e - expected).abs() < 1e-12,
+                "ranks={n_ranks}: {e} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_rejects_width_mismatch() {
+        let c = sample_circuit(4);
+        let d = crate::exec::run_distributed(&c, &[], 2).unwrap();
+        let h = PauliOp::parse("1.0 ZZZZZ").unwrap();
+        assert!(distributed_energy(&d, &h).is_err());
+    }
+
+    #[test]
+    fn energy_surfaces_non_finite_states() {
+        let c = sample_circuit(5);
+        let mut d = crate::exec::run_distributed(&c, &[], 4).unwrap();
+        d.corrupt_amplitude(1, 0, nwq_common::C64::new(f64::NAN, 0.0))
+            .unwrap();
+        let h = PauliOp::parse("1.0 ZZZZZ").unwrap();
+        let e = distributed_energy(&d, &h).unwrap_err();
+        assert!(matches!(e, Error::Numerical(_)), "{e}");
+    }
+}

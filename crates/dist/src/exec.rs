@@ -3,25 +3,25 @@
 use crate::comm::CommStats;
 use crate::faults::FaultInjector;
 use crate::partition::DistStateVector;
-use nwq_circuit::{Circuit, GateMatrix};
-use nwq_common::{Error, Result, C64};
+use crate::shard::{run_sharded, run_sharded_faulty, ShardOptions};
+use nwq_circuit::Circuit;
+use nwq_common::Result;
 use nwq_statevec::StateVector;
 
 /// Runs `circuit` on a fresh distributed `|0…0⟩` over `n_ranks`,
 /// returning the final distributed state.
+///
+/// Execution is *real* sharded execution ([`crate::shard`]): one worker
+/// thread per rank, true partner exchanges on global-qubit gates. The
+/// unfused per-gate path keeps the result bitwise identical to the
+/// single-node simulator, which the parity tests below pin down.
 pub fn run_distributed(
     circuit: &Circuit,
     params: &[f64],
     n_ranks: usize,
 ) -> Result<DistStateVector> {
     let _span = nwq_telemetry::span!("dist.run");
-    let mut state = DistStateVector::zero(circuit.n_qubits(), n_ranks)?;
-    for gate in circuit.gates() {
-        match gate.matrix(params)? {
-            GateMatrix::One(q, m) => state.apply_mat2(q, &m)?,
-            GateMatrix::Two(a, b, m) => state.apply_mat4(a, b, &m)?,
-        }
-    }
+    let state = run_sharded(circuit, params, n_ranks, &ShardOptions::default())?;
     let stats = state.comm_stats();
     let model = crate::costmodel::CostModel::perlmutter_like();
     let total_gates = stats.global_gates + stats.local_gates;
@@ -37,14 +37,17 @@ pub fn run_distributed(
 /// `injector`:
 ///
 /// - **rank loss** may strike before any gate (a node can die at any
-///   point) and aborts with `Error::Backend` naming the lost rank;
+///   point): the losing worker drops out and the run aborts with
+///   `Error::Backend` naming the lost rank;
 /// - **message corruption** and **norm drift** strike only after gates on
 ///   global qubits — they model damage carried by the partition exchange,
 ///   so rank-local gates cannot trigger them.
 ///
-/// The injected damage is left in the returned state for downstream health
-/// guards ([`nwq_statevec::NormGuard`], the expval finiteness checks) to
-/// detect; this function only plants it.
+/// Faults are drawn at compile time in the same per-gate order the old
+/// simulated path used (seeded schedules reproduce), then replayed by the
+/// owning worker threads. The injected damage is left in the returned
+/// state for downstream health guards ([`nwq_statevec::NormGuard`], the
+/// expval finiteness checks) to detect; this function only plants it.
 pub fn run_distributed_faulty(
     circuit: &Circuit,
     params: &[f64],
@@ -52,32 +55,7 @@ pub fn run_distributed_faulty(
     injector: &mut FaultInjector,
 ) -> Result<DistStateVector> {
     let _span = nwq_telemetry::span!("dist.run_faulty");
-    let mut state = DistStateVector::zero(circuit.n_qubits(), n_ranks)?;
-    let n_local = state.n_local();
-    for gate in circuit.gates() {
-        if let Some(rank) = injector.should_lose_rank(n_ranks) {
-            return Err(Error::Backend(format!(
-                "rank {rank} lost during distributed execution"
-            )));
-        }
-        let is_global = gate.qubits().iter().any(|&q| q >= n_local);
-        match gate.matrix(params)? {
-            GateMatrix::One(q, m) => state.apply_mat2(q, &m)?,
-            GateMatrix::Two(a, b, m) => state.apply_mat4(a, b, &m)?,
-        }
-        if is_global {
-            if injector.should_corrupt_message() {
-                let rank = injector.pick_index(n_ranks);
-                let idx = injector.pick_index(state.partition_len());
-                state.corrupt_amplitude(rank, idx, C64::new(f64::NAN, f64::NAN))?;
-            }
-            if injector.should_drift_norm() {
-                let rank = injector.pick_index(n_ranks);
-                state.scale_partition(rank, 1.001)?;
-            }
-        }
-    }
-    Ok(state)
+    run_sharded_faulty(circuit, params, n_ranks, injector)
 }
 
 /// Runs distributed and gathers, returning `(state, comm stats)` — the
@@ -97,6 +75,7 @@ mod tests {
     use super::*;
     use crate::comm::plan_communication;
     use nwq_circuit::Circuit;
+    use nwq_common::Error;
 
     fn sample_circuit(n: usize) -> Circuit {
         let mut c = Circuit::new(n);
@@ -110,12 +89,15 @@ mod tests {
 
     #[test]
     fn distributed_matches_single_node_all_rank_counts() {
+        // BITWISE parity: the real sharded path replicates the single-node
+        // kernels' arithmetic exactly, not just to tolerance.
         let c = sample_circuit(6);
         let single = nwq_statevec::simulate(&c, &[]).unwrap();
         for n_ranks in [1usize, 2, 4, 8] {
             let (gathered, _) = run_and_gather(&c, &[], n_ranks).unwrap();
             for (a, b) in gathered.amplitudes().iter().zip(single.amplitudes()) {
-                assert!(a.approx_eq(*b, 1e-10), "ranks={n_ranks}");
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "ranks={n_ranks}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "ranks={n_ranks}");
             }
         }
     }
@@ -123,7 +105,7 @@ mod tests {
     #[test]
     fn executed_comm_matches_plan() {
         let c = sample_circuit(6);
-        for n_ranks in [1usize, 2, 4] {
+        for n_ranks in [1usize, 2, 4, 8] {
             let (_, stats) = run_and_gather(&c, &[], n_ranks).unwrap();
             let planned = plan_communication(&c, n_ranks).unwrap();
             assert_eq!(stats.messages, planned.messages, "ranks={n_ranks}");
@@ -158,7 +140,8 @@ mod tests {
             .unwrap()
             .gather();
         for (a, b) in faulty.amplitudes().iter().zip(clean.amplitudes()) {
-            assert!(a.approx_eq(*b, 1e-12));
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
         assert_eq!(inj.stats().total(), 0);
     }

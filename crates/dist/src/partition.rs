@@ -50,6 +50,31 @@ impl DistStateVector {
         })
     }
 
+    /// Assembles a distributed state from worker-produced shards (the real
+    /// sharded executor's reassembly path). Shard shape is the caller's
+    /// invariant: `partitions.len()` ranks of `2^n_local` amplitudes each.
+    pub(crate) fn from_parts(
+        n_qubits: usize,
+        n_local: usize,
+        partitions: Vec<Vec<C64>>,
+        comm: CommStats,
+    ) -> Self {
+        debug_assert_eq!(partitions.len() << n_local, dim(n_qubits));
+        debug_assert!(partitions.iter().all(|p| p.len() == dim(n_local)));
+        DistStateVector {
+            n_qubits,
+            n_local,
+            partitions,
+            comm,
+        }
+    }
+
+    /// Read-only view of one rank's shard (global indices
+    /// `rank·2^n_local .. (rank+1)·2^n_local`).
+    pub fn partition(&self, rank: usize) -> &[C64] {
+        &self.partitions[rank]
+    }
+
     /// Register width.
     pub fn n_qubits(&self) -> usize {
         self.n_qubits

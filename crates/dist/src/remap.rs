@@ -37,9 +37,11 @@ pub fn plan_layout(circuit: &Circuit, n_ranks: usize) -> Result<Vec<usize>> {
         )));
     }
     let n_global = n_ranks.trailing_zeros() as usize;
-    if n_global > circuit.n_qubits() {
+    // Same bound the executor and planner enforce: every rank must keep at
+    // least 2 local qubits.
+    if n_global + 2 > circuit.n_qubits() {
         return Err(Error::Invalid(format!(
-            "{n_ranks} ranks exceed the {}-qubit register",
+            "{n_ranks} ranks leave fewer than 2 local qubits of a {}-qubit register",
             circuit.n_qubits()
         )));
     }

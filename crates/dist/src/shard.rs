@@ -1,0 +1,616 @@
+//! Real sharded execution: one OS worker thread per rank, true message
+//! exchange on global-qubit gates.
+//!
+//! This is the executing backend behind [`crate::exec::run_distributed`].
+//! Where [`crate::partition::DistStateVector`]'s own `apply_*` methods
+//! *simulate* multi-rank execution by walking a single `Vec<Vec<C64>>`,
+//! this module actually distributes the register: each rank's shard is
+//! owned by its own thread, and a gate on a global qubit moves the
+//! partner shard through a channel (the in-process analog of an MPI
+//! sendrecv — same payload sizes, same message counts, same pairing).
+//!
+//! The execution is compiled first: the coordinator resolves every gate
+//! matrix once, classifies it local/global against the PGAS layout, and
+//! precomputes any injected faults so all workers replay one deterministic
+//! step list. Workers then run lock-free — the only cross-thread traffic
+//! is the amplitude payloads themselves.
+//!
+//! Bitwise parity with the single-node simulator is a hard invariant
+//! (pinned by tests and proptests across 1/2/4/8 shards): the per-shard
+//! apply paths in [`nwq_statevec::kernels`] mirror the single-node
+//! kernels' arithmetic exactly, including the diagonal fast paths.
+
+use crate::comm::CommStats;
+use crate::faults::FaultInjector;
+use crate::partition::DistStateVector;
+use nwq_circuit::{Circuit, Gate, GateMatrix};
+use nwq_common::{Error, Mat2, Mat4, Result, C64, C_ONE, C_ZERO};
+use nwq_statevec::kernels;
+use nwq_statevec::{ExecPlan, PlanOp};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options for [`run_sharded`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardOptions {
+    /// Fuse runs of ≥ 2 consecutive rank-local gates through the compiled
+    /// [`ExecPlan`] machinery (template cache + rebind). Fusion multiplies
+    /// matrices, so the result is no longer *bitwise* identical to the
+    /// per-gate path — the parity harness runs unfused; benches opt in.
+    pub fuse_local: bool,
+}
+
+/// One entry of the compiled, deterministic step list every worker replays.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Rank-local single-qubit gate.
+    Local1(usize, Mat2),
+    /// Rank-local two-qubit gate, original argument order (the kernel
+    /// normalizes exactly like the single-node path).
+    Local2(usize, usize, Mat4),
+    /// Fused run of rank-local gates (only with
+    /// [`ShardOptions::fuse_local`]).
+    LocalFused(Arc<ExecPlan>),
+    /// Single-qubit gate on global (rank-id) bit `gbit`: pair exchange.
+    Global1 { gbit: usize, m: Mat2 },
+    /// Two-qubit gate, global bit `gbit` is the matrix high bit, `lo` is
+    /// rank-local: pair exchange.
+    GlobalLocal { gbit: usize, lo: usize, m: Mat4 },
+    /// Two-qubit gate on two global bits (`bhi` the matrix high bit):
+    /// quad all-to-all exchange.
+    GlobalGlobal { bhi: usize, blo: usize, m: Mat4 },
+    /// Injected fault: overwrite one amplitude of one rank with NaN.
+    Corrupt { rank: usize, index: usize },
+    /// Injected fault: scale one rank's shard by the drift factor.
+    Drift { rank: usize },
+    /// Injected fault: the named rank dies (always the final step — the
+    /// legacy injector aborted the run at the point the loss fired).
+    Lose { rank: usize },
+}
+
+/// Compiled execution: the shared step list plus the gate accounting the
+/// planner predicts (`plan_communication` must agree with what the workers
+/// measure; the gate split is known at compile time).
+struct Compiled {
+    steps: Arc<Vec<Step>>,
+    local_gates: u64,
+    global_gates: u64,
+}
+
+fn validate_ranks(n_qubits: usize, n_ranks: usize) -> Result<usize> {
+    if !n_ranks.is_power_of_two() {
+        return Err(Error::Invalid(format!(
+            "{n_ranks} ranks: must be a power of two"
+        )));
+    }
+    let n_global = n_ranks.trailing_zeros() as usize;
+    if n_global + 2 > n_qubits {
+        return Err(Error::Invalid(format!(
+            "{n_ranks} ranks leave fewer than 2 local qubits of a {n_qubits}-qubit register"
+        )));
+    }
+    Ok(n_qubits - n_global)
+}
+
+/// Classifies and resolves one gate against the PGAS layout.
+fn gate_step(gate: &Gate, params: &[f64], n_local: usize) -> Result<(Step, bool)> {
+    let step = match gate.matrix(params)? {
+        GateMatrix::One(q, m) => {
+            if q < n_local {
+                Step::Local1(q, m)
+            } else {
+                Step::Global1 {
+                    gbit: q - n_local,
+                    m,
+                }
+            }
+        }
+        GateMatrix::Two(a, b, m) => match (a < n_local, b < n_local) {
+            (true, true) => Step::Local2(a, b, m),
+            (false, true) => Step::GlobalLocal {
+                gbit: a - n_local,
+                lo: b,
+                m,
+            },
+            (true, false) => Step::GlobalLocal {
+                gbit: b - n_local,
+                lo: a,
+                m: m.swap_qubits(),
+            },
+            (false, false) => {
+                // Normalize like the single-node kernel: numerically
+                // higher qubit becomes the matrix high bit.
+                let (hi, lo, m) = if a > b {
+                    (a, b, m)
+                } else {
+                    (b, a, m.swap_qubits())
+                };
+                Step::GlobalGlobal {
+                    bhi: hi - n_local,
+                    blo: lo - n_local,
+                    m,
+                }
+            }
+        },
+    };
+    let global = matches!(
+        step,
+        Step::Global1 { .. } | Step::GlobalLocal { .. } | Step::GlobalGlobal { .. }
+    );
+    Ok((step, global))
+}
+
+/// Flushes a run of buffered local gates: runs of ≥ 2 compile to a fused
+/// plan over the local register, shorter runs stay per-gate.
+fn flush_local_run(
+    run: &mut Vec<Gate>,
+    steps: &mut Vec<Step>,
+    params: &[f64],
+    n_local: usize,
+    n_params: usize,
+) -> Result<()> {
+    if run.len() >= 2 {
+        let mut seg = Circuit::with_params(n_local, n_params);
+        for g in run.drain(..) {
+            seg.push(g)?;
+        }
+        let plan = ExecPlan::compile(&seg, params)?;
+        steps.push(Step::LocalFused(Arc::new(plan)));
+    } else {
+        for g in run.drain(..) {
+            steps.push(gate_step(&g, params, n_local)?.0);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the circuit into the deterministic step list. When an
+/// `injector` is given, faults are drawn *here* — in exactly the order the
+/// per-gate legacy path drew them, so seeded runs reproduce — and baked
+/// into the list as explicit steps. Fault compilation never fuses (faults
+/// interleave per gate).
+fn compile_steps(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    fuse_local: bool,
+    mut injector: Option<&mut FaultInjector>,
+) -> Result<Compiled> {
+    let n_local = validate_ranks(circuit.n_qubits(), n_ranks)?;
+    debug_assert!(injector.is_none() || !fuse_local);
+    let part_len = 1usize << n_local;
+    let mut steps = Vec::with_capacity(circuit.len());
+    let mut local_run: Vec<Gate> = Vec::new();
+    let mut local_gates = 0u64;
+    let mut global_gates = 0u64;
+    for gate in circuit.gates() {
+        if let Some(inj) = injector.as_deref_mut() {
+            if let Some(rank) = inj.should_lose_rank(n_ranks) {
+                // The legacy path aborted before this gate; freezing the
+                // step list here reproduces that exactly.
+                steps.push(Step::Lose { rank });
+                return Ok(Compiled {
+                    steps: Arc::new(steps),
+                    local_gates,
+                    global_gates,
+                });
+            }
+        }
+        let (step, is_global) = gate_step(gate, params, n_local)?;
+        if is_global {
+            global_gates += 1;
+            flush_local_run(
+                &mut local_run,
+                &mut steps,
+                params,
+                n_local,
+                circuit.n_params(),
+            )?;
+            steps.push(step);
+        } else {
+            local_gates += 1;
+            if fuse_local {
+                local_run.push(gate.clone());
+            } else {
+                steps.push(step);
+            }
+        }
+        if is_global {
+            if let Some(inj) = injector.as_deref_mut() {
+                if inj.should_corrupt_message() {
+                    let rank = inj.pick_index(n_ranks);
+                    let index = inj.pick_index(part_len);
+                    steps.push(Step::Corrupt { rank, index });
+                }
+                if inj.should_drift_norm() {
+                    let rank = inj.pick_index(n_ranks);
+                    steps.push(Step::Drift { rank });
+                }
+            }
+        }
+    }
+    flush_local_run(
+        &mut local_run,
+        &mut steps,
+        params,
+        n_local,
+        circuit.n_params(),
+    )?;
+    Ok(Compiled {
+        steps: Arc::new(steps),
+        local_gates,
+        global_gates,
+    })
+}
+
+/// Exchange payload: the sending rank's shard, tagged with the step index
+/// so a desynchronized mesh is detected instead of silently mixing states.
+type Msg = (usize, Vec<C64>);
+
+/// What one worker thread reports back.
+struct WorkerReport {
+    shard: Vec<C64>,
+    messages: u64,
+    bytes: u64,
+    seconds: f64,
+}
+
+fn lost(rank: usize, partner: usize) -> Error {
+    Error::Backend(format!(
+        "rank {rank}: exchange with rank {partner} failed (shard lost)"
+    ))
+}
+
+struct Mesh {
+    /// `senders[to]` — `None` at the worker's own rank.
+    senders: Vec<Option<Sender<Msg>>>,
+    /// `receivers[from]` — `None` at the worker's own rank.
+    receivers: Vec<Option<Receiver<Msg>>>,
+}
+
+impl Mesh {
+    fn send(&self, rank: usize, to: usize, step: usize, payload: Vec<C64>) -> Result<()> {
+        self.senders[to]
+            .as_ref()
+            .ok_or_else(|| lost(rank, to))?
+            .send((step, payload))
+            .map_err(|_| lost(rank, to))
+    }
+
+    fn recv(&self, rank: usize, from: usize, step: usize, part_len: usize) -> Result<Vec<C64>> {
+        let (tag, payload) = self.receivers[from]
+            .as_ref()
+            .ok_or_else(|| lost(rank, from))?
+            .recv()
+            .map_err(|_| lost(rank, from))?;
+        if tag != step || payload.len() != part_len {
+            return Err(Error::Backend(format!(
+                "rank {rank}: desynchronized exchange with rank {from} \
+                 (expected step {step}, got {tag})"
+            )));
+        }
+        Ok(payload)
+    }
+}
+
+/// Applies a compiled local plan to a shard, mirroring
+/// `Executor::run_plan_on`'s op loop.
+fn apply_plan(shard: &mut [C64], plan: &ExecPlan) {
+    for op in plan.ops() {
+        match op {
+            PlanOp::One(q, m) => kernels::apply_mat2(shard, *q, m),
+            PlanOp::Two(hi, lo, m) => kernels::apply_mat4_prenorm(shard, *hi, *lo, m),
+            PlanOp::DiagSweep { start, len, .. } => {
+                kernels::apply_diag_sweep(shard, &plan.factors()[*start..*start + *len]);
+            }
+        }
+    }
+}
+
+/// The body of one rank's worker thread: replay the step list against the
+/// owned shard, exchanging through the channel mesh on global steps. Every
+/// channel failure maps to [`Error::Backend`] — a dead partner aborts this
+/// rank cleanly instead of deadlocking or panicking.
+fn worker(rank: usize, n_local: usize, steps: &[Step], mesh: Mesh) -> Result<WorkerReport> {
+    let started = Instant::now();
+    let part_len = 1usize << n_local;
+    let part_bytes = (part_len * 16) as u64;
+    let mut shard = vec![C_ZERO; part_len];
+    if rank == 0 {
+        shard[0] = C_ONE;
+    }
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    for (s, step) in steps.iter().enumerate() {
+        match step {
+            Step::Local1(q, m) => kernels::apply_mat2(&mut shard, *q, m),
+            Step::Local2(a, b, m) => kernels::apply_mat4(&mut shard, *a, *b, m),
+            Step::LocalFused(plan) => apply_plan(&mut shard, plan),
+            Step::Global1 { gbit, m } => {
+                let partner = rank ^ (1 << gbit);
+                mesh.send(rank, partner, s, shard.clone())?;
+                messages += 1;
+                bytes += part_bytes;
+                let other = mesh.recv(rank, partner, s, part_len)?;
+                kernels::apply_exchanged_mat2(&mut shard, &other, (rank >> gbit) & 1, m);
+            }
+            Step::GlobalLocal { gbit, lo, m } => {
+                let partner = rank ^ (1 << gbit);
+                mesh.send(rank, partner, s, shard.clone())?;
+                messages += 1;
+                bytes += part_bytes;
+                let other = mesh.recv(rank, partner, s, part_len)?;
+                kernels::apply_exchanged_mat4_global_local(
+                    &mut shard,
+                    &other,
+                    (rank >> gbit) & 1,
+                    *lo,
+                    m,
+                );
+            }
+            Step::GlobalGlobal { bhi, blo, m } => {
+                let pos = (((rank >> bhi) & 1) << 1) | ((rank >> blo) & 1);
+                // Quad mates in ascending bit-position order.
+                let mates: Vec<usize> = (0..4)
+                    .filter(|&p| p != pos)
+                    .map(|p| {
+                        let mut mate = rank & !(1 << bhi) & !(1 << blo);
+                        mate |= ((p >> 1) & 1) << bhi;
+                        mate |= (p & 1) << blo;
+                        mate
+                    })
+                    .collect();
+                for &mate in &mates {
+                    mesh.send(rank, mate, s, shard.clone())?;
+                    messages += 1;
+                    bytes += part_bytes;
+                }
+                let mut others = Vec::with_capacity(3);
+                for &mate in &mates {
+                    others.push(mesh.recv(rank, mate, s, part_len)?);
+                }
+                kernels::apply_exchanged_mat4_global_global(
+                    &mut shard,
+                    [&others[0], &others[1], &others[2]],
+                    pos,
+                    m,
+                );
+            }
+            Step::Corrupt { rank: r, index } => {
+                if *r == rank {
+                    shard[*index] = C64::new(f64::NAN, f64::NAN);
+                }
+            }
+            Step::Drift { rank: r } => {
+                if *r == rank {
+                    for a in shard.iter_mut() {
+                        *a = *a * 1.001;
+                    }
+                }
+            }
+            Step::Lose { rank: r } => {
+                if *r == rank {
+                    return Err(Error::Backend(format!(
+                        "rank {r} lost during distributed execution"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(WorkerReport {
+        shard,
+        messages,
+        bytes,
+        seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs `circuit` on `n_ranks` real shards, one OS thread per rank, and
+/// reassembles the distributed state. Unfused execution (the default) is
+/// bitwise identical to [`nwq_statevec::simulate`].
+pub fn run_sharded(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    opts: &ShardOptions,
+) -> Result<DistStateVector> {
+    let compiled = compile_steps(circuit, params, n_ranks, opts.fuse_local, None)?;
+    run_compiled(circuit.n_qubits(), n_ranks, compiled)
+}
+
+/// [`run_sharded`] with faults drawn from `injector` at compile time (in
+/// the legacy per-gate order, so seeded schedules reproduce) and replayed
+/// by the owning workers. Always unfused.
+pub fn run_sharded_faulty(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    injector: &mut FaultInjector,
+) -> Result<DistStateVector> {
+    let compiled = compile_steps(circuit, params, n_ranks, false, Some(injector))?;
+    run_compiled(circuit.n_qubits(), n_ranks, compiled)
+}
+
+fn run_compiled(n_qubits: usize, n_ranks: usize, compiled: Compiled) -> Result<DistStateVector> {
+    let n_local = n_qubits - n_ranks.trailing_zeros() as usize;
+    // Build the (from, to) channel mesh and hand each worker its row.
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n_ranks)
+        .map(|_| (0..n_ranks).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..n_ranks)
+        .map(|_| (0..n_ranks).map(|_| None).collect())
+        .collect();
+    for from in 0..n_ranks {
+        for to in 0..n_ranks {
+            if from != to {
+                let (tx, rx) = channel();
+                senders[from][to] = Some(tx);
+                receivers[to][from] = Some(rx);
+            }
+        }
+    }
+    let mut handles = Vec::with_capacity(n_ranks);
+    for (rank, (sends, recvs)) in senders.drain(..).zip(receivers.drain(..)).enumerate() {
+        let steps = Arc::clone(&compiled.steps);
+        let mesh = Mesh {
+            senders: sends,
+            receivers: recvs,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("nwq-dist-rank{rank}"))
+            .spawn(move || worker(rank, n_local, &steps, mesh))
+            .map_err(|e| Error::Backend(format!("failed to spawn rank {rank} worker: {e}")))?;
+        handles.push(handle);
+    }
+    let mut reports = Vec::with_capacity(n_ranks);
+    let mut first_error: Option<Error> = None;
+    let mut loss_error: Option<Error> = None;
+    for (rank, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(report)) => reports.push(report),
+            Ok(Err(e)) => {
+                // A deliberate rank loss is the root cause; partner-side
+                // exchange failures are its fallout.
+                if matches!(&e, Error::Backend(m) if m.contains("lost during distributed"))
+                    && loss_error.is_none()
+                {
+                    loss_error = Some(e);
+                } else if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+            Err(_) => {
+                if first_error.is_none() {
+                    first_error = Some(Error::Backend(format!(
+                        "rank {rank} worker panicked during distributed execution"
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(e) = loss_error.or(first_error) {
+        return Err(e);
+    }
+    let mut stats = CommStats {
+        messages: 0,
+        bytes: 0,
+        global_gates: compiled.global_gates,
+        local_gates: compiled.local_gates,
+    };
+    let mut partitions = Vec::with_capacity(n_ranks);
+    for report in reports {
+        stats.messages += report.messages;
+        stats.bytes += report.bytes;
+        nwq_telemetry::histogram_record("dist.rank_seconds", report.seconds);
+        nwq_telemetry::histogram_record("dist.rank_messages", report.messages as f64);
+        partitions.push(report.shard);
+    }
+    nwq_telemetry::counter_add("dist.messages", stats.messages);
+    nwq_telemetry::counter_add("dist.bytes", stats.bytes);
+    nwq_telemetry::counter_add("dist.local_gates", stats.local_gates);
+    nwq_telemetry::counter_add("dist.global_gates", stats.global_gates);
+    Ok(DistStateVector::from_parts(
+        n_qubits, n_local, partitions, stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::plan_communication;
+    use nwq_circuit::Circuit;
+
+    fn sample_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c.rz(n - 1, 0.7).ry(0, -0.4).swap(0, n - 1);
+        c
+    }
+
+    fn assert_bitwise(d: &DistStateVector, single: &nwq_statevec::StateVector, ctx: &str) {
+        let gathered = d.gather();
+        for (i, (a, b)) in gathered
+            .amplitudes()
+            .iter()
+            .zip(single.amplitudes())
+            .enumerate()
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "{ctx} amp {i}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "{ctx} amp {i}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_bitwise_matches_single_node() {
+        let c = sample_circuit(6);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [1usize, 2, 4, 8] {
+            let d = run_sharded(&c, &[], n_ranks, &ShardOptions::default()).unwrap();
+            assert_bitwise(&d, &single, &format!("ranks={n_ranks}"));
+        }
+    }
+
+    #[test]
+    fn sharded_comm_matches_plan() {
+        let c = sample_circuit(6);
+        for n_ranks in [1usize, 2, 4, 8] {
+            let d = run_sharded(&c, &[], n_ranks, &ShardOptions::default()).unwrap();
+            let planned = plan_communication(&c, n_ranks).unwrap();
+            assert_eq!(d.comm_stats(), planned, "ranks={n_ranks}");
+        }
+    }
+
+    #[test]
+    fn fused_local_run_matches_single_node_approximately() {
+        // Fusion multiplies matrices, so approx (not bitwise) parity.
+        let c = sample_circuit(6);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [2usize, 4] {
+            let d = run_sharded(&c, &[], n_ranks, &ShardOptions { fuse_local: true }).unwrap();
+            let gathered = d.gather();
+            for (a, b) in gathered.amplitudes().iter().zip(single.amplitudes()) {
+                assert!(a.approx_eq(*b, 1e-10), "ranks={n_ranks}");
+            }
+            // Fusion must not change the communication: exchanges happen on
+            // exactly the same global gates.
+            assert_eq!(d.comm_stats(), plan_communication(&c, n_ranks).unwrap());
+        }
+    }
+
+    #[test]
+    fn injected_rank_loss_aborts_with_the_legacy_error() {
+        let c = sample_circuit(5);
+        let mut inj = FaultInjector::new(crate::faults::FaultSpec {
+            rank_loss: 1.0,
+            seed: 5,
+            ..Default::default()
+        });
+        let e = run_sharded_faulty(&c, &[], 4, &mut inj).unwrap_err();
+        assert!(matches!(e, Error::Backend(_)), "{e}");
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("lost during distributed execution"));
+        assert_eq!(inj.stats().rank_losses, 1);
+    }
+
+    #[test]
+    fn zero_rate_injector_is_bitwise_invisible() {
+        let c = sample_circuit(6);
+        let clean = run_sharded(&c, &[], 4, &ShardOptions::default()).unwrap();
+        let mut inj = FaultInjector::new(crate::faults::FaultSpec::default());
+        let faulty = run_sharded_faulty(&c, &[], 4, &mut inj).unwrap();
+        assert_bitwise(&faulty, &clean.gather(), "zero-rate faults");
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn empty_circuit_yields_zero_state() {
+        let c = Circuit::new(4);
+        let d = run_sharded(&c, &[], 4, &ShardOptions::default()).unwrap();
+        assert!((d.gather().probability(0) - 1.0).abs() < 1e-15);
+        assert_eq!(d.comm_stats().messages, 0);
+    }
+}

@@ -6,20 +6,36 @@ use crate::job::{JobId, JobSpec, JobStatus};
 use crate::protocol::Request;
 use nwq_common::{Error, Result};
 use nwq_telemetry::JsonValue;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// One protocol connection to a running server.
+#[derive(Debug)]
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`) with no read timeout:
+    /// a reply wait blocks indefinitely. Interactive callers should prefer
+    /// [`Client::connect_with_timeout`] so a hung or silent server surfaces
+    /// as a clean error instead of a stuck process.
     pub fn connect(addr: &str) -> Result<Client> {
+        Self::connect_with_timeout(addr, None)
+    }
+
+    /// Connects with a per-reply read timeout. When the server accepts the
+    /// connection but never answers within `read_timeout`, the pending call
+    /// returns [`Error::Backend`] rather than blocking forever.
+    pub fn connect_with_timeout(addr: &str, read_timeout: Option<Duration>) -> Result<Client> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| Error::Backend(format!("connecting to {addr}: {e}")))?;
+        stream
+            .set_read_timeout(read_timeout)
+            .map_err(|e| Error::Backend(format!("setting read timeout: {e}")))?;
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -28,6 +44,7 @@ impl Client {
         Ok(Client {
             writer: stream,
             reader,
+            read_timeout,
         })
     }
 
@@ -36,10 +53,16 @@ impl Client {
         writeln!(self.writer, "{line}")
             .map_err(|e| Error::Backend(format!("sending request: {e}")))?;
         let mut reply = String::new();
-        let n = self
-            .reader
-            .read_line(&mut reply)
-            .map_err(|e| Error::Backend(format!("reading reply: {e}")))?;
+        let n = self.reader.read_line(&mut reply).map_err(|e| {
+            // A timed-out socket read surfaces as WouldBlock (unix) or
+            // TimedOut (windows); both mean "server did not answer in time".
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                let t = self.read_timeout.unwrap_or_default();
+                Error::Backend(format!("server did not respond within {t:?}"))
+            } else {
+                Error::Backend(format!("reading reply: {e}"))
+            }
+        })?;
         if n == 0 {
             return Err(Error::Backend("server closed the connection".into()));
         }
@@ -144,4 +167,73 @@ fn parse_status(s: &str) -> Option<JobStatus> {
     ]
     .into_iter()
     .find(|status| status.as_str() == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::mpsc;
+
+    /// A server that accepts the connection and then goes silent, holding
+    /// the socket open until the test finishes.
+    fn silent_server() -> (String, mpsc::Sender<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            let Ok((_conn, _)) = listener.accept() else {
+                return;
+            };
+            // Keep _conn alive (no reply, no EOF) until the test drops done_tx.
+            let _ = done_rx.recv();
+        });
+        (addr, done_tx)
+    }
+
+    #[test]
+    fn silent_server_times_out_with_clean_error() {
+        let (addr, _hold) = silent_server();
+        let mut client =
+            Client::connect_with_timeout(&addr, Some(Duration::from_millis(50))).unwrap();
+        let err = client.stats().unwrap_err();
+        assert!(
+            matches!(&err, Error::Backend(m) if m.contains("did not respond within")),
+            "expected a timeout error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn killed_server_yields_eof_error_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            // Accept, then drop the connection immediately — the server
+            // process "dying" mid-conversation.
+            let _ = listener.accept();
+        });
+        let mut client =
+            Client::connect_with_timeout(&addr, Some(Duration::from_millis(500))).unwrap();
+        t.join().unwrap();
+        let err = client.stats().unwrap_err();
+        assert!(
+            matches!(&err, Error::Backend(m) if m.contains("closed the connection")
+                || m.contains("reading reply")
+                || m.contains("sending request")),
+            "expected a connection-loss error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_is_a_rejected_timeout_not_a_footgun() {
+        // set_read_timeout(Some(0)) is an io error by contract; the client
+        // must surface it at connect time, not silently disable timeouts.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let err = Client::connect_with_timeout(&addr, Some(Duration::ZERO)).unwrap_err();
+        assert!(
+            matches!(&err, Error::Backend(m) if m.contains("read timeout")),
+            "{err}"
+        );
+    }
 }

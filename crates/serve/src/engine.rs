@@ -449,6 +449,7 @@ impl Shared {
             JobStatus::Expired => {
                 stats.expired += 1;
                 nwq_telemetry::counter_add("serve.expired", 1);
+                nwq_telemetry::counter_add("serve.deadline_exceeded", 1);
             }
             _ => {}
         }
@@ -511,17 +512,30 @@ impl Backend for InjectingBackend<'_> {
 fn worker_loop(shared: Arc<Shared>, mut injector: Option<FaultInjector>) {
     let mut backend = DirectBackend::new();
     let max_batch = shared.cfg.max_batch.max(1);
-    while let Some(batch) = shared.queue.pop_batch(max_batch) {
+    while let Some(claim) = shared.queue.pop_batch(max_batch) {
         nwq_telemetry::gauge_set("serve.queue_depth", shared.queue.depth() as f64);
+        // Jobs the queue purged as past-deadline fail fast with a distinct
+        // terminal error — they never touch the backend and never occupy a
+        // batch slot.
+        for job in claim.expired {
+            shared.finish(
+                job.id,
+                JobStatus::Expired,
+                None,
+                Some("deadline_exceeded: job expired while queued".into()),
+            );
+        }
+        // Defensive second pass: a job can cross its deadline between the
+        // queue's purge and this worker getting scheduled.
         let now = Instant::now();
-        let mut live = Vec::with_capacity(batch.len());
-        for job in batch {
+        let mut live = Vec::with_capacity(claim.runnable.len());
+        for job in claim.runnable {
             if job.expired(now) {
                 shared.finish(
                     job.id,
                     JobStatus::Expired,
                     None,
-                    Some("deadline exceeded while queued".into()),
+                    Some("deadline_exceeded: job expired while queued".into()),
                 );
             } else {
                 live.push(job);
@@ -992,6 +1006,37 @@ mod tests {
         assert_eq!(view.status, JobStatus::Expired);
         assert!(view.outcome.is_none());
         assert!(engine.stats().expired >= 1);
+        engine.drain();
+    }
+
+    #[test]
+    fn already_expired_job_fails_fast_without_burning_a_worker() {
+        // No blocker here: the worker is idle and pops the job immediately,
+        // but the queue purges it before selection — it must terminate with
+        // the distinct deadline_exceeded error and never reach a backend
+        // (no batch is ever formed).
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let doomed = match engine.submit(toy_energy([0.5, 0.5]).with_deadline_ms(0)) {
+            SubmitOutcome::Accepted(id) => id,
+            r => panic!("{r:?}"),
+        };
+        let view = wait(&engine, doomed);
+        assert_eq!(view.status, JobStatus::Expired);
+        assert!(
+            view.outcome.is_none(),
+            "expired job must not produce output"
+        );
+        let err = view.error.expect("expired job carries a terminal error");
+        assert!(
+            err.starts_with("deadline_exceeded"),
+            "distinct terminal status, got: {err}"
+        );
+        let stats = engine.stats();
+        assert!(stats.expired >= 1);
+        assert_eq!(stats.batches, 0, "job must never reach a backend");
         engine.drain();
     }
 

@@ -62,5 +62,5 @@ pub use engine::{Engine, EngineConfig, EngineStats, JobView, SubmitOutcome};
 pub use job::{JobId, JobKind, JobOutcome, JobSpec, JobStatus, Priority};
 pub use problem::{build_problem, ServeProblem, MOLECULES};
 pub use protocol::Request;
-pub use queue::{Admission, AdmissionQueue, QueueConfig, QueuedJob};
+pub use queue::{Admission, AdmissionQueue, Claim, QueueConfig, QueuedJob};
 pub use server::{Server, ServerConfig};

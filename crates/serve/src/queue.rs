@@ -83,6 +83,19 @@ pub enum Admission {
     RejectedDraining,
 }
 
+/// What one [`AdmissionQueue::pop_batch`] call hands a worker: the jobs to
+/// run, plus any deadline-expired jobs purged during the claim (to be
+/// failed fast with a `deadline_exceeded` status, never executed).
+#[derive(Debug)]
+pub struct Claim {
+    /// The claimed batch: the highest-effective-priority job plus its
+    /// batchable fingerprint mates. May be empty when the queue held only
+    /// expired entries.
+    pub runnable: Vec<QueuedJob>,
+    /// Jobs whose queueing deadline had elapsed before selection.
+    pub expired: Vec<QueuedJob>,
+}
+
 struct Inner {
     entries: Vec<QueuedJob>,
     draining: bool,
@@ -132,9 +145,18 @@ impl AdmissionQueue {
 
     /// Blocks until work is available (or the queue is closed), then claims
     /// the highest-effective-priority job plus up to `max_batch − 1`
-    /// batchable jobs sharing its fingerprint. Returns `None` only on
-    /// close-and-empty — the worker-exit signal.
-    pub fn pop_batch(&self, max_batch: usize) -> Option<Vec<QueuedJob>> {
+    /// batchable jobs sharing its fingerprint.
+    ///
+    /// Jobs whose queueing deadline has already elapsed are purged *before*
+    /// selection and returned separately in [`Claim::expired`]: an expired
+    /// job must never lead a batch, ride along in one, count against
+    /// `max_batch`, or distort the priority choice — it costs the claimant
+    /// nothing but the terminal-status bookkeeping. A claim may carry ONLY
+    /// expired jobs (empty `runnable`) so expirations are reported promptly
+    /// instead of waiting for live work to arrive.
+    ///
+    /// Returns `None` only on close-and-empty — the worker-exit signal.
+    pub fn pop_batch(&self, max_batch: usize) -> Option<Claim> {
         let mut g = self.lock();
         loop {
             if !g.entries.is_empty() {
@@ -149,6 +171,23 @@ impl AdmissionQueue {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         let now = Instant::now();
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < g.entries.len() {
+            if g.entries[i].expired(now) {
+                expired.push(g.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if g.entries.is_empty() {
+            // Everything queued was past its deadline: report the
+            // expirations rather than blocking with them unaccounted.
+            return Some(Claim {
+                runnable: Vec::new(),
+                expired,
+            });
+        }
         let lead_idx = (0..g.entries.len())
             .max_by(|&a, &b| {
                 let ea = self.effective_priority(&g.entries[a], now);
@@ -171,7 +210,10 @@ impl AdmissionQueue {
                 }
             }
         }
-        Some(batch)
+        Some(Claim {
+            runnable: batch,
+            expired,
+        })
     }
 
     /// Removes a still-queued job (the cancel path). Returns whether it was
@@ -265,7 +307,9 @@ mod tests {
         q.push(job(2, 0, false, Priority::High));
         q.push(job(3, 0, false, Priority::High));
         q.push(job(4, 0, false, Priority::Normal));
-        let order: Vec<JobId> = (0..4).map(|_| q.pop_batch(1).unwrap()[0].id).collect();
+        let order: Vec<JobId> = (0..4)
+            .map(|_| q.pop_batch(1).unwrap().runnable[0].id)
+            .collect();
         assert_eq!(order, vec![2, 3, 4, 1]);
     }
 
@@ -280,7 +324,11 @@ mod tests {
         old_low.enqueued = Instant::now() - Duration::from_millis(50);
         q.push(old_low);
         q.push(job(2, 0, false, Priority::High));
-        assert_eq!(q.pop_batch(1).unwrap()[0].id, 1, "aged job must win");
+        assert_eq!(
+            q.pop_batch(1).unwrap().runnable[0].id,
+            1,
+            "aged job must win"
+        );
     }
 
     #[test]
@@ -291,14 +339,14 @@ mod tests {
         q.push(job(3, 99, true, Priority::Low)); // different problem
         q.push(job(4, 77, false, Priority::Low)); // same fp but not batchable
         q.push(job(5, 77, true, Priority::Low)); // same problem, rides along
-        let batch = q.pop_batch(8).unwrap();
+        let batch = q.pop_batch(8).unwrap().runnable;
         let ids: Vec<JobId> = batch.iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![1, 2, 5]);
         assert_eq!(q.depth(), 2);
         // max_batch caps the group size.
         q.push(job(6, 99, true, Priority::Low));
         q.push(job(7, 99, true, Priority::Low));
-        let capped = q.pop_batch(2).unwrap();
+        let capped = q.pop_batch(2).unwrap().runnable;
         assert_eq!(capped.len(), 2);
     }
 
@@ -307,7 +355,7 @@ mod tests {
         let q = AdmissionQueue::new(QueueConfig::default());
         q.push(job(1, 77, false, Priority::High));
         q.push(job(2, 77, true, Priority::Low));
-        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+        assert_eq!(q.pop_batch(8).unwrap().runnable.len(), 1);
     }
 
     #[test]
@@ -319,7 +367,7 @@ mod tests {
             q.push(job(2, 0, true, Priority::Normal)),
             Admission::RejectedDraining
         );
-        assert_eq!(q.pop_batch(1).unwrap()[0].id, 1);
+        assert_eq!(q.pop_batch(1).unwrap().runnable[0].id, 1);
     }
 
     #[test]
@@ -347,5 +395,39 @@ mod tests {
         j.deadline_ms = Some(5);
         assert!(!j.expired(j.enqueued + Duration::from_millis(2)));
         assert!(j.expired(j.enqueued + Duration::from_millis(9)));
+    }
+
+    #[test]
+    fn expired_jobs_are_purged_before_selection() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        // An already-expired HIGH-priority job must not lead the batch, nor
+        // count against max_batch — it comes back in `expired` instead.
+        let mut dead = job(1, 77, true, Priority::High);
+        dead.deadline_ms = Some(1);
+        dead.enqueued = Instant::now() - Duration::from_millis(50);
+        q.push(dead);
+        q.push(job(2, 77, true, Priority::Normal));
+        q.push(job(3, 77, true, Priority::Normal));
+        let claim = q.pop_batch(2).unwrap();
+        let expired_ids: Vec<JobId> = claim.expired.iter().map(|j| j.id).collect();
+        let runnable_ids: Vec<JobId> = claim.runnable.iter().map(|j| j.id).collect();
+        assert_eq!(expired_ids, vec![1]);
+        assert_eq!(runnable_ids, vec![2, 3], "expired lead must not cap batch");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn all_expired_queue_yields_empty_runnable_claim() {
+        let q = AdmissionQueue::new(QueueConfig::default());
+        let mut dead = job(1, 0, false, Priority::Normal);
+        dead.deadline_ms = Some(1);
+        dead.enqueued = Instant::now() - Duration::from_millis(50);
+        q.push(dead);
+        // The claim reports the expiration immediately instead of blocking
+        // until live work shows up.
+        let claim = q.pop_batch(4).unwrap();
+        assert!(claim.runnable.is_empty());
+        assert_eq!(claim.expired.len(), 1);
+        assert_eq!(q.depth(), 0);
     }
 }

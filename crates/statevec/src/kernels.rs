@@ -368,6 +368,121 @@ pub fn apply_mat4_serial(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
     }
 }
 
+/// Sharded single-qubit update for a *global* qubit (one whose bit lives
+/// in the rank id of a distributed run): every amplitude of `own` pairs
+/// with the amplitude at the same local index in `partner` (the exchanged
+/// shard of the partner rank), and `own_bit` says which half of each pair
+/// this shard holds. Mirrors [`apply_mat2`]'s arithmetic exactly — same
+/// diagonal fast path, same product/sum order — so a sharded run stays
+/// bitwise identical to the single-node kernel.
+pub fn apply_exchanged_mat2(own: &mut [C64], partner: &[C64], own_bit: usize, m: &Mat2) {
+    debug_assert_eq!(own.len(), partner.len());
+    debug_assert!(own_bit < 2);
+    nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
+    if mat2_is_diagonal(m) {
+        // Single-node takes the diagonal fast path (`amp *= d[bit]`,
+        // partner amplitude never read); replicate it or ±0.0 signs from
+        // `m00·x + 0·y` diverge bitwise.
+        let d = if own_bit == 1 { m.0[1][1] } else { m.0[0][0] };
+        for a in own.iter_mut() {
+            *a *= d;
+        }
+        return;
+    }
+    if own_bit == 0 {
+        for (a, b) in own.iter_mut().zip(partner) {
+            *a = m.0[0][0] * *a + m.0[0][1] * *b;
+        }
+    } else {
+        for (a, b) in own.iter_mut().zip(partner) {
+            *a = m.0[1][0] * *b + m.0[1][1] * *a;
+        }
+    }
+}
+
+/// Sharded two-qubit update where the matrix's *high* bit is a global
+/// qubit (rank-id bit `own_hi_bit` for this shard) and its *low* bit is
+/// the rank-local qubit `lo`. `m` must be prenormalized (high bit first),
+/// exactly as [`apply_mat4_prenorm`] expects. Mirrors [`quad_update`]'s
+/// row/column order bitwise.
+pub fn apply_exchanged_mat4_global_local(
+    own: &mut [C64],
+    partner: &[C64],
+    own_hi_bit: usize,
+    lo: usize,
+    m: &Mat4,
+) {
+    debug_assert_eq!(own.len(), partner.len());
+    debug_assert!(own_hi_bit < 2);
+    debug_assert!(1usize << lo < own.len());
+    nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
+    if mat4_is_diagonal(m) {
+        let d = [m.0[0][0], m.0[1][1], m.0[2][2], m.0[3][3]];
+        for (k, a) in own.iter_mut().enumerate() {
+            *a *= d[(own_hi_bit << 1) | ((k >> lo) & 1)];
+        }
+        return;
+    }
+    let m = &{ *m };
+    let s_lo = 1usize << lo;
+    let lo_block = s_lo << 1;
+    for base in (0..own.len()).step_by(lo_block) {
+        for i in base..base + s_lo {
+            let j = i + s_lo;
+            // v indexed (hi bit << 1) | lo bit, matching `quad_update`.
+            let v = if own_hi_bit == 0 {
+                [own[i], own[j], partner[i], partner[j]]
+            } else {
+                [partner[i], partner[j], own[i], own[j]]
+            };
+            let rows = if own_hi_bit == 0 { [0, 1] } else { [2, 3] };
+            let r0 = &m.0[rows[0]];
+            let r1 = &m.0[rows[1]];
+            own[i] = r0[0] * v[0] + r0[1] * v[1] + r0[2] * v[2] + r0[3] * v[3];
+            own[j] = r1[0] * v[0] + r1[1] * v[1] + r1[2] * v[2] + r1[3] * v[3];
+        }
+    }
+}
+
+/// Sharded two-qubit update where BOTH qubits are global: four ranks form
+/// a quad, each holding one of the four bit positions. `pos` is this
+/// shard's position `(hi_bit << 1) | lo_bit`; `others` holds the three
+/// partner payloads for the remaining positions in ascending position
+/// order. `m` must be prenormalized (numerically higher qubit = matrix
+/// high bit). Bitwise-mirrors [`quad_update`].
+pub fn apply_exchanged_mat4_global_global(
+    own: &mut [C64],
+    others: [&[C64]; 3],
+    pos: usize,
+    m: &Mat4,
+) {
+    debug_assert!(pos < 4);
+    debug_assert!(others.iter().all(|o| o.len() == own.len()));
+    nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
+    if mat4_is_diagonal(m) {
+        let d = m.0[pos][pos];
+        for a in own.iter_mut() {
+            *a *= d;
+        }
+        return;
+    }
+    let m = &{ *m };
+    let row = &m.0[pos];
+    for (k, a) in own.iter_mut().enumerate() {
+        let mut v = [C64::default(); 4];
+        let mut oi = 0;
+        for (p, slot) in v.iter_mut().enumerate() {
+            if p == pos {
+                *slot = *a;
+            } else {
+                *slot = others[oi][k];
+                oi += 1;
+            }
+        }
+        *a = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+    }
+}
+
 /// Probability that qubit `q` measures 1 (parallel reduction).
 pub fn prob_one(amps: &[C64], q: usize) -> f64 {
     let body = |(i, a): (usize, &C64)| if (i >> q) & 1 == 1 { a.norm_sqr() } else { 0.0 };
@@ -666,6 +781,107 @@ mod tests {
                 for (a, b) in par.iter().zip(&ser) {
                     assert!(a.approx_eq(*b, 1e-12), "qa={qa} qb={qb}");
                 }
+            }
+        }
+    }
+
+    /// Splits a full register into `2^n_global` rank shards.
+    fn shards(full: &[C64], n_global: usize) -> Vec<Vec<C64>> {
+        let n_ranks = 1usize << n_global;
+        let part = full.len() / n_ranks;
+        (0..n_ranks)
+            .map(|r| full[r * part..(r + 1) * part].to_vec())
+            .collect()
+    }
+
+    fn assert_bitwise(sharded: &[Vec<C64>], full: &[C64], ctx: &str) {
+        let part = sharded[0].len();
+        for (r, shard) in sharded.iter().enumerate() {
+            for (k, a) in shard.iter().enumerate() {
+                let b = full[r * part + k];
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{ctx} rank={r} k={k}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{ctx} rank={r} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchanged_mat2_bitwise_matches_single_node() {
+        let n = 4;
+        let n_local = 3; // 2 ranks, qubit 3 global
+        for m in [mat_h(), mat_x(), mat_y(), mat_rz(0.7)] {
+            let psi = rand_state(n, 17);
+            let mut full = psi.clone();
+            apply_mat2(&mut full, 3, &m);
+            let pre = shards(&psi, n - n_local);
+            let mut post = pre.clone();
+            for (r, shard) in post.iter_mut().enumerate() {
+                let own_bit = r & 1;
+                apply_exchanged_mat2(shard, &pre[r ^ 1], own_bit, &m);
+            }
+            assert_bitwise(&post, &full, "mat2");
+        }
+    }
+
+    #[test]
+    fn exchanged_mat4_global_local_bitwise_matches_single_node() {
+        let n = 4;
+        let n_local = 2; // 4 ranks, qubits 2,3 global
+        for (qa, qb) in [(3usize, 1usize), (1, 3)] {
+            for m in [mat_cx(), mat_swap(), mat_rzz(0.9), mat_cz()] {
+                let psi = rand_state(n, 23);
+                let mut full = psi.clone();
+                apply_mat4(&mut full, qa, qb, &m);
+                // Prenormalize exactly like apply_mat4: hi > lo, matrix
+                // swapped when the first argument is the low qubit.
+                let mat = if qa > qb { m } else { m.swap_qubits() };
+                let (hi, lo) = (qa.max(qb), qa.min(qb));
+                let gbit = hi - n_local;
+                let pre = shards(&psi, n - n_local);
+                let mut post = pre.clone();
+                for (r, shard) in post.iter_mut().enumerate() {
+                    let own_hi_bit = (r >> gbit) & 1;
+                    let partner = r ^ (1 << gbit);
+                    apply_exchanged_mat4_global_local(shard, &pre[partner], own_hi_bit, lo, &mat);
+                }
+                assert_bitwise(&post, &full, "mat4 gl");
+            }
+        }
+    }
+
+    #[test]
+    fn exchanged_mat4_global_global_bitwise_matches_single_node() {
+        let n = 4;
+        let n_local = 2; // 4 ranks, qubits 2,3 global
+        for (qa, qb) in [(2usize, 3usize), (3, 2)] {
+            for m in [mat_cx(), mat_swap(), mat_cz(), mat_cp(0.4)] {
+                let psi = rand_state(n, 31);
+                let mut full = psi.clone();
+                apply_mat4(&mut full, qa, qb, &m);
+                let mat = if qa > qb { m } else { m.swap_qubits() };
+                let (hi, lo) = (qa.max(qb), qa.min(qb));
+                let (bhi, blo) = (hi - n_local, lo - n_local);
+                let pre = shards(&psi, n - n_local);
+                let mut post = pre.clone();
+                for (r, shard) in post.iter_mut().enumerate() {
+                    let pos = (((r >> bhi) & 1) << 1) | ((r >> blo) & 1);
+                    let mates: Vec<&[C64]> = (0..4)
+                        .filter(|&p| p != pos)
+                        .map(|p| {
+                            let mut mate = r;
+                            mate = (mate & !(1 << bhi)) | (((p >> 1) & 1) << bhi);
+                            mate = (mate & !(1 << blo)) | ((p & 1) << blo);
+                            pre[mate].as_slice()
+                        })
+                        .collect();
+                    apply_exchanged_mat4_global_global(
+                        shard,
+                        [mates[0], mates[1], mates[2]],
+                        pos,
+                        &mat,
+                    );
+                }
+                assert_bitwise(&post, &full, "mat4 gg");
             }
         }
     }
