@@ -410,7 +410,7 @@ fn bench() {
     // parallel vs forced-serial dispatch, and expectation sweeps. ---
     let n_qubits = 18usize;
     let dim = 1usize << n_qubits;
-    let reps = 20u32;
+    let reps = 40u32;
     let mut cases: Vec<(String, JsonValue)> = Vec::new();
     fn time_case(
         dim: usize,
@@ -420,11 +420,22 @@ fn bench() {
         body: &mut dyn FnMut(),
     ) -> f64 {
         body(); // warm-up
-        let t = Instant::now();
-        for _ in 0..reps {
-            body();
+                // Best-of-groups: the mean of each group of reps amortizes timer
+                // overhead, and the min across groups rejects downward clock
+                // excursions (shared hosts drift enough to corrupt the paired
+                // ratios asserted below if a single mean is used).
+        let group = (reps / 8).max(1);
+        let mut s = f64::INFINITY;
+        let mut done = 0u32;
+        while done < reps {
+            let k = group.min(reps - done);
+            let t = Instant::now();
+            for _ in 0..k {
+                body();
+            }
+            s = s.min(t.elapsed().as_secs_f64() / k as f64);
+            done += k;
         }
-        let s = t.elapsed().as_secs_f64() / reps as f64;
         let updates_per_s = dim as f64 / s;
         cases.push((
             name.to_string(),
@@ -444,6 +455,7 @@ fn bench() {
     let cx_mat = mat_cx();
     let hi = n_qubits - 1;
     let (mat2_dispatch_s, mat4_dispatch_s, mat2_serial_s, mat4_serial_s);
+    let (mat2_simd_s, mat4_simd_s, mat2_scalar_s, mat4_scalar_s);
     {
         let amps = state.amplitudes_mut();
         mat2_dispatch_s = time_case(dim, reps, "mat2_low_qubit", &mut cases, &mut || {
@@ -463,6 +475,24 @@ fn bench() {
         mat4_serial_s = time_case(dim, reps, "mat4_mixed_serial", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
         });
+        // SIMD vs forced-scalar serial sweeps: same qubit configurations,
+        // bitwise-identical arithmetic, different instruction shape. The
+        // `*_simd` cases measure what the serial paths actually run on an
+        // AVX2 host; the `*_scalar` cases force the reference bodies.
+        mat2_simd_s = time_case(dim, reps, "mat2_simd", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
+        });
+        mat4_simd_s = time_case(dim, reps, "mat4_simd", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
+        });
+        nwq_statevec::simd::set_force_scalar(true);
+        mat2_scalar_s = time_case(dim, reps, "mat2_scalar", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
+        });
+        mat4_scalar_s = time_case(dim, reps, "mat4_scalar", &mut cases, &mut || {
+            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
+        });
+        nwq_statevec::simd::set_force_scalar(false);
     }
     // Expectation sweeps: 12 off-diagonal terms sharing one X flip-mask
     // plus 6 diagonal terms — the batched path covers them in 2 passes
@@ -495,18 +525,139 @@ fn bench() {
         nwq_statevec::expval::energy_direct_batched(&state, &expval_op).unwrap();
     });
 
+    // Walker-batched multi-θ evolution: 8 walkers through a layered RY/CZ
+    // ansatz with a many-term observable, against 8 independent
+    // compile+run+readout evaluations — the primitive behind SPSA pair
+    // batching and the serve cross-θ merge. Amplitude count is
+    // walkers × dim, identical for both paths.
+    let walker_qubits = 12usize;
+    let n_walkers = 8usize;
+    let walker_circuit = {
+        let mut c = nwq_circuit::Circuit::new(walker_qubits);
+        for layer in 0..3 {
+            for q in 0..walker_qubits {
+                c.ry(q, nwq_circuit::ParamExpr::var(layer * walker_qubits + q));
+            }
+            for q in 0..walker_qubits - 1 {
+                c.cz(q, q + 1);
+            }
+        }
+        c
+    };
+    let walker_op = {
+        let mut terms = Vec::new();
+        let mut push = |s: Vec<u8>, w: f64| {
+            terms.push((
+                nwq_common::C64::real(w),
+                nwq_pauli::PauliString::parse(std::str::from_utf8(&s).unwrap()).unwrap(),
+            ));
+        };
+        // Molecular-shaped term structure: a handful of flip masks, each
+        // dressed with many Z-strings (like the Z-dressed excitation terms
+        // of a fermionic Hamiltonian after Jordan–Wigner). The per-term
+        // phase sweep is the part the walker path computes once and the
+        // independent path repeats per state, so terms-per-group is the
+        // lever that makes this benchmark look like a real Hamiltonian.
+        for j in 0..walker_qubits {
+            let mut s = vec![b'I'; walker_qubits];
+            s[j] = b'Z';
+            push(s, 0.5);
+        }
+        for j in 0..walker_qubits {
+            for k in j + 1..walker_qubits {
+                let mut zz = vec![b'I'; walker_qubits];
+                zz[j] = b'Z';
+                zz[k] = b'Z';
+                push(zz, 0.25 / (1.0 + (k - j) as f64));
+            }
+        }
+        for j in 0..walker_qubits - 1 {
+            let mut xx = vec![b'I'; walker_qubits];
+            xx[j] = b'X';
+            xx[j + 1] = b'X';
+            push(xx.clone(), 0.125);
+            // Y_j Y_{j+1} shares X_j X_{j+1}'s flip mask (Y = iXZ), as do
+            // all the Z-dressed variants below.
+            let mut yy = vec![b'I'; walker_qubits];
+            yy[j] = b'Y';
+            yy[j + 1] = b'Y';
+            push(yy, 0.0625);
+            for k in 0..walker_qubits {
+                if k == j || k == j + 1 {
+                    continue;
+                }
+                let mut dressed = xx.clone();
+                dressed[k] = b'Z';
+                push(dressed, 0.03125 / (1 + k) as f64);
+            }
+        }
+        nwq_pauli::PauliOp::from_terms(walker_qubits, terms)
+    };
+    let thetas: Vec<Vec<f64>> = (0..n_walkers)
+        .map(|w| {
+            (0..walker_circuit.n_params())
+                .map(|p| 0.3 + 0.07 * w as f64 + 0.013 * p as f64)
+                .collect()
+        })
+        .collect();
+    let independent_eval = || -> Vec<f64> {
+        thetas
+            .iter()
+            .map(|t| {
+                let plan = nwq_statevec::ExecPlan::compile(&walker_circuit, t).unwrap();
+                let st = nwq_statevec::executor::Executor::new()
+                    .run_plan(&plan)
+                    .unwrap();
+                nwq_statevec::expval::energy_direct_batched(&st, &walker_op).unwrap()
+            })
+            .collect()
+    };
+    let walker_eval = || -> Vec<f64> {
+        nwq_statevec::batch::walker_batched_energies(&walker_circuit, &thetas, &walker_op).unwrap()
+    };
+    // Per-walker bitwise parity between the two paths is a precondition
+    // for publishing either number.
+    let (e_ind, e_walk) = (independent_eval(), walker_eval());
+    for (w, (a, b)) in e_ind.iter().zip(&e_walk).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "walker {w}: batched energy {b} != independent {a}"
+        );
+    }
+    let walker_dim = (1usize << walker_qubits) * n_walkers;
+    let independent_s = time_case(
+        walker_dim,
+        reps,
+        "walker_independent",
+        &mut cases,
+        &mut || {
+            independent_eval();
+        },
+    );
+    let walker_s = time_case(walker_dim, reps, "walker_sweep", &mut cases, &mut || {
+        walker_eval();
+    });
+
     // Calibration record + regime assertions: the dynamic MIN_PAR gating
     // must pick the winning dispatch path on this host. With one worker
     // thread the kernels must run the serial bodies (the parallel path is
     // pure overhead there); with a real pool, parallel dispatch may only
     // beat-or-tie serial. 1.35 is a generous noise bound on a 20-rep mean.
     let parallel_dispatch = nwq_statevec::kernels::parallel_dispatch_enabled();
+    let simd_selected = nwq_statevec::simd::simd_selected();
     let mat2_ratio = mat2_dispatch_s / mat2_serial_s;
     let mat4_ratio = mat4_dispatch_s / mat4_serial_s;
     let expval_speedup = per_term_s / batched_s;
+    let mat2_simd_speedup = mat2_scalar_s / mat2_simd_s;
+    let mat4_simd_speedup = mat4_scalar_s / mat4_simd_s;
+    let walker_speedup = independent_s / walker_s;
     for (label, ratio) in [("mat2", mat2_ratio), ("mat4", mat4_ratio)] {
+        // Dispatch-once sweeps: the dispatch entry points are one relaxed
+        // atomic load away from the forced-serial bodies, so the ratio is
+        // noise around 1.0 (it was 1.25/1.20 when the check ran per block).
         assert!(
-            ratio < 1.35,
+            ratio < 1.15,
             "{label} dispatch path is {ratio:.2}x its forced-serial time with \
              parallel_dispatch={parallel_dispatch} ({} threads): the MIN_PAR \
              thresholds are routing to the losing regime",
@@ -518,15 +669,35 @@ fn bench() {
         "flip-mask-batched expectation ({batched_s:.3e} s) regressed vs the \
          per-term path ({per_term_s:.3e} s)"
     );
+    if simd_selected {
+        // Acceptance gate: on a host where the AVX2 path is selected it
+        // must at least match the scalar bodies (it targets ≥2×).
+        for (label, speedup) in [("mat2", mat2_simd_speedup), ("mat4", mat4_simd_speedup)] {
+            assert!(
+                speedup >= 1.0,
+                "{label} SIMD path is slower than forced-scalar ({speedup:.2}x)"
+            );
+        }
+    }
+    assert!(
+        walker_speedup >= 3.0,
+        "walker-batched sweep ({n_walkers} walkers) must beat independent \
+         evaluation by ≥3x, measured {walker_speedup:.2}x"
+    );
     println!(
         "  calibration: dispatch/serial mat2 {mat2_ratio:.3}, mat4 {mat4_ratio:.3}; \
          expval batched speedup {expval_speedup:.3}x"
+    );
+    println!(
+        "  simd_selected={simd_selected}; simd/scalar mat2 {mat2_simd_speedup:.2}x, \
+         mat4 {mat4_simd_speedup:.2}x; walker sweep vs independent {walker_speedup:.2}x"
     );
     let calibration = JsonValue::Object(vec![
         (
             "parallel_dispatch".into(),
             JsonValue::Int(parallel_dispatch as u64),
         ),
+        ("simd_selected".into(), JsonValue::Int(simd_selected as u64)),
         (
             "min_par_blocks".into(),
             JsonValue::Int(nwq_statevec::kernels::MIN_PAR_BLOCKS as u64),
@@ -546,6 +717,18 @@ fn bench() {
         (
             "expval_batched_speedup".into(),
             JsonValue::Float(expval_speedup),
+        ),
+        (
+            "mat2_simd_vs_scalar".into(),
+            JsonValue::Float(mat2_simd_speedup),
+        ),
+        (
+            "mat4_simd_vs_scalar".into(),
+            JsonValue::Float(mat4_simd_speedup),
+        ),
+        (
+            "walker_sweep_vs_independent".into(),
+            JsonValue::Float(walker_speedup),
         ),
     ]);
     let kernels = JsonValue::Object(vec![

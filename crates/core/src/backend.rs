@@ -45,6 +45,24 @@ pub trait Backend {
     /// Evaluates `⟨ψ(θ)|H|ψ(θ)⟩`.
     fn energy(&mut self, ansatz: &Circuit, params: &[f64], observable: &PauliOp) -> Result<f64>;
 
+    /// Evaluates one energy per parameter set, in input order. The default
+    /// runs the sets sequentially through [`energy`](Self::energy);
+    /// backends with a genuinely batched engine (walker-batched
+    /// statevectors, device-side batching) override this. Results must be
+    /// bitwise identical to the sequential path — callers treat the two
+    /// entry points as interchangeable.
+    fn energy_batch(
+        &mut self,
+        ansatz: &Circuit,
+        param_sets: &[Vec<f64>],
+        observable: &PauliOp,
+    ) -> Result<Vec<f64>> {
+        param_sets
+            .iter()
+            .map(|p| self.energy(ansatz, p, observable))
+            .collect()
+    }
+
     /// Work counters.
     fn stats(&self) -> BackendStats;
 
@@ -208,6 +226,34 @@ impl Backend for DirectBackend {
             self.stats.gates_applied += ansatz.len() as u64;
         }
         Ok(e)
+    }
+
+    /// Multi-θ evaluation through the walker-batched engine: one plan
+    /// bind per θ, one blocked kernel sweep per op for all walkers, and a
+    /// shared flip-group phase in the readout
+    /// ([`nwq_statevec::batch::batched_energies`]). Bitwise identical per
+    /// entry to the sequential path. The post-ansatz cache is neither
+    /// consulted nor populated here — batch entries are fresh θ by
+    /// construction (optimizer probes), so a lookup would only add misses.
+    fn energy_batch(
+        &mut self,
+        ansatz: &Circuit,
+        param_sets: &[Vec<f64>],
+        observable: &PauliOp,
+    ) -> Result<Vec<f64>> {
+        if param_sets.len() < 2 {
+            return param_sets
+                .iter()
+                .map(|p| self.energy(ansatz, p, observable))
+                .collect();
+        }
+        check_widths(ansatz, observable)?;
+        let energies = nwq_statevec::batch::batched_energies(ansatz, param_sets, observable)?;
+        let n = param_sets.len() as u64;
+        self.stats.evaluations += n;
+        self.stats.ansatz_runs += n;
+        self.stats.gates_applied += ansatz.len() as u64 * n;
+        Ok(energies)
     }
 
     fn stats(&self) -> BackendStats {
@@ -461,6 +507,22 @@ mod tests {
         assert!(cm.stats().gates_applied >= d.stats().gates_applied);
         // Direct applies exactly the ansatz, nothing else.
         assert_eq!(d.stats().gates_applied, ansatz.len() as u64);
+    }
+
+    #[test]
+    fn energy_batch_is_bitwise_identical_to_sequential() {
+        // The walker-batched override must be indistinguishable (to the
+        // bit) from evaluating each θ on a fresh backend.
+        let (ansatz, h) = toy();
+        let sets: Vec<Vec<f64>> = (0..6).map(|k| vec![0.1 + 0.3 * k as f64]).collect();
+        let mut d = DirectBackend::new();
+        let batch = d.energy_batch(&ansatz, &sets, &h).unwrap();
+        assert_eq!(batch.len(), sets.len());
+        assert_eq!(d.stats().evaluations, sets.len() as u64);
+        for (p, &e) in sets.iter().zip(&batch) {
+            let seq = DirectBackend::new().energy(&ansatz, p, &h).unwrap();
+            assert_eq!(e.to_bits(), seq.to_bits());
+        }
     }
 
     #[test]

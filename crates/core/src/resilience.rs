@@ -337,6 +337,62 @@ impl<'a> ResilientEvaluator<'a> {
         }
     }
 
+    /// One resilient *batched* objective evaluation: all of `thetas` in
+    /// one backend call (walker-batched on backends that support it),
+    /// bitwise identical per entry to calling [`eval`](Self::eval) in
+    /// order. Falls back to element-wise evaluation whenever any element
+    /// would be served from the replay log or would trip the kill switch
+    /// mid-batch — those paths have per-evaluation semantics that must be
+    /// preserved exactly.
+    pub(crate) fn eval_batch(
+        &mut self,
+        ansatz: &Circuit,
+        thetas: &[Vec<f64>],
+        h: &PauliOp,
+    ) -> Result<Vec<f64>> {
+        let replaying = self.cursor < self.replay_until;
+        let kill_mid_batch = self
+            .abort_after_evals
+            .is_some_and(|limit| self.fresh_evals + thetas.len() > limit);
+        if thetas.len() < 2 || replaying || kill_mid_batch {
+            return thetas.iter().map(|t| self.eval(ansatz, t, h)).collect();
+        }
+        let mut attempt = 0;
+        loop {
+            let outcome = self.backend.energy_batch(ansatz, thetas, h).and_then(|es| {
+                if es.iter().all(|e| e.is_finite()) {
+                    Ok(es)
+                } else {
+                    nwq_telemetry::counter_add("resilience.nonfinite_detected", 1);
+                    Err(Error::Numerical(
+                        "non-finite energy returned by backend".into(),
+                    ))
+                }
+            });
+            match outcome {
+                Ok(es) => {
+                    let mut improved = false;
+                    for (e, theta) in es.iter().zip(thetas) {
+                        self.cursor += 1;
+                        self.fresh_evals += 1;
+                        self.eval_log.push(*e);
+                        improved |= self.note_success(*e, theta);
+                    }
+                    if improved {
+                        self.maybe_checkpoint()?;
+                    }
+                    return Ok(es);
+                }
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    nwq_telemetry::counter_add("resilience.retries", 1);
+                    self.backend.invalidate_cache();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     fn note_success(&mut self, e: f64, theta: &[f64]) -> bool {
         if e < self.best_energy {
             self.best_energy = e;
@@ -568,28 +624,35 @@ pub fn run_vqe_with(
     let ansatz_gates = problem.ansatz.len() as u64;
     let mut last_mark = std::time::Instant::now();
     let result = {
-        let mut objective = |theta: &[f64]| -> Result<f64> {
-            let e = ev.eval(&problem.ansatz, theta, &problem.hamiltonian)?;
-            let prev_best = history.last().copied().unwrap_or(f64::INFINITY);
-            let best = prev_best.min(e);
-            history.push(best);
-            // One record per *improvement*, not per evaluation — keeps
-            // the artifact bounded for long optimizer runs.
-            if telemetry && best < prev_best {
-                nwq_telemetry::record_iteration(nwq_telemetry::IterationRecord {
-                    iteration: history.len() - 1,
-                    energy: best,
-                    grad_norm: None,
-                    evaluations: history.len() as u64,
-                    gates: ansatz_gates,
-                    wall_ms: last_mark.elapsed().as_secs_f64() * 1e3,
-                    label: None,
-                });
-                last_mark = std::time::Instant::now();
+        // The driver feeds the optimizer through its *batched* entry
+        // point: optimizers that group independent evaluations (SPSA's
+        // ±perturbation pair) send them as one multi-θ batch, which a
+        // walker-batched backend evolves in a single blocked sweep. The
+        // trajectory is identical to the scalar entry either way.
+        let mut objective = |thetas: &[Vec<f64>]| -> Result<Vec<f64>> {
+            let es = ev.eval_batch(&problem.ansatz, thetas, &problem.hamiltonian)?;
+            for &e in &es {
+                let prev_best = history.last().copied().unwrap_or(f64::INFINITY);
+                let best = prev_best.min(e);
+                history.push(best);
+                // One record per *improvement*, not per evaluation — keeps
+                // the artifact bounded for long optimizer runs.
+                if telemetry && best < prev_best {
+                    nwq_telemetry::record_iteration(nwq_telemetry::IterationRecord {
+                        iteration: history.len() - 1,
+                        energy: best,
+                        grad_norm: None,
+                        evaluations: history.len() as u64,
+                        gates: ansatz_gates,
+                        wall_ms: last_mark.elapsed().as_secs_f64() * 1e3,
+                        label: None,
+                    });
+                    last_mark = std::time::Instant::now();
+                }
             }
-            Ok(e)
+            Ok(es)
         };
-        optimizer.try_minimize(&mut objective, x0, max_evals)
+        optimizer.try_minimize_batched(&mut objective, x0, max_evals)
     };
     match result {
         Ok(r) => {
@@ -895,6 +958,45 @@ mod tests {
         }
         assert_eq!(resumed.history, clean.history);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spsa_vqe_walker_batching_preserves_scalar_trajectory() {
+        // The driver now feeds SPSA's ±perturbation pairs to the backend
+        // as width-2 batches (walker-evolved on a single-thread pool). The
+        // result must be bitwise what the scalar entry point produces.
+        let problem = toy_problem();
+        let x0 = [0.9, 0.4];
+        let mk_opt = || Spsa {
+            a: 0.3,
+            ..Default::default()
+        };
+        let scalar = {
+            let mut backend = DirectBackend::new();
+            mk_opt()
+                .try_minimize(
+                    &mut |t: &[f64]| backend.energy(&problem.ansatz, t, &problem.hamiltonian),
+                    &x0,
+                    240,
+                )
+                .unwrap()
+        };
+        nwq_telemetry::set_enabled(true);
+        let batches_before = nwq_telemetry::counter_value("walkers.batches");
+        let mut backend = DirectBackend::new();
+        let r = crate::vqe::run_vqe(&problem, &mut backend, &mut mk_opt(), &x0, 240).unwrap();
+        let batches_after = nwq_telemetry::counter_value("walkers.batches");
+        nwq_telemetry::set_enabled(false);
+        assert_eq!(r.energy.to_bits(), scalar.value.to_bits());
+        assert_eq!(r.evaluations, scalar.evals);
+        for (a, b) in r.params.iter().zip(&scalar.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // On a single-thread pool the ±pairs must actually take the
+        // walker path (a multi-thread pool keeps the Rayon batch map).
+        if !nwq_statevec::kernels::parallel_dispatch_enabled() {
+            assert!(batches_after > batches_before, "walker path not taken");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub use gradient::{Adam, GradientMode};
 pub use lbfgs::Lbfgs;
 pub use nelder_mead::NelderMead;
 pub use spsa::Spsa;
-pub use traits::{OptResult, Optimizer};
+pub use traits::{BatchedObjective, OptResult, Optimizer};
 
 #[cfg(test)]
 mod proptests {

@@ -4,7 +4,7 @@
 //! iteration regardless of dimension — the standard choice when VQE
 //! energies are noisy (shot-based backends) or parameter counts are large.
 
-use crate::traits::{state_f64, state_u64, OptResult, Optimizer};
+use crate::traits::{single, state_f64, state_u64, BatchedObjective, OptResult, Optimizer};
 use nwq_common::Result;
 use nwq_telemetry::JsonValue;
 use rand::rngs::StdRng;
@@ -121,6 +121,68 @@ impl Optimizer for Spsa {
             converged: false,
         })
     }
+
+    /// SPSA's two perturbed evaluations per iteration are independent of
+    /// each other, so they go out as one width-2 batch — a walker-batched
+    /// backend evolves both `θ±c·Δ` states in a single blocked sweep. The
+    /// evaluation points, their order, and the eval count are identical to
+    /// [`try_minimize`](Optimizer::try_minimize): `f([x])`, then per
+    /// iteration `f([x+cΔ, x−cΔ])` followed by `f([x'])`.
+    fn try_minimize_batched(
+        &mut self,
+        f: &mut BatchedObjective<'_>,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> Result<OptResult> {
+        let n = x0.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut x = x0.to_vec();
+        let mut evals = 0usize;
+        let mut best = (single(f, &x)?, x.clone());
+        evals += 1;
+        if n == 0 {
+            return Ok(OptResult {
+                params: x,
+                value: best.0,
+                evals,
+                converged: true,
+            });
+        }
+        let mut k = 0usize;
+        while evals + 2 <= max_evals {
+            let ak = self.a / ((k as f64) + 1.0 + self.big_a).powf(self.alpha);
+            let ck = self.c / ((k as f64) + 1.0).powf(self.gamma);
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + ck * d).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v - ck * d).collect();
+            let pair = f(&[xp, xm])?;
+            let [fp, fm] = pair.as_slice() else {
+                return Err(nwq_common::Error::Invalid(format!(
+                    "batched objective returned {} values for 2 parameter vectors",
+                    pair.len()
+                )));
+            };
+            evals += 2;
+            let diff = (fp - fm) / (2.0 * ck);
+            for (v, d) in x.iter_mut().zip(&delta) {
+                *v -= ak * diff / d;
+            }
+            let fx = single(f, &x)?;
+            evals += 1;
+            if fx < best.0 {
+                best = (fx, x.clone());
+            }
+            k += 1;
+        }
+        Ok(OptResult {
+            params: best.1,
+            value: best.0,
+            evals,
+            converged: false,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +273,60 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(run(&mut a).params, run(&mut dst).params);
+    }
+
+    #[test]
+    fn batched_trajectory_matches_scalar_exactly() {
+        // The batched entry point must be a drop-in replacement: identical
+        // evaluation points ⇒ identical (bitwise) trajectory and counts.
+        let obj = |x: &[f64]| (x[0] - 0.7).powi(2) + 0.4 * x[1] * x[1] + 0.05 * (x[0] * x[1]).sin();
+        let scalar = Spsa::default()
+            .try_minimize(&mut |x| Ok(obj(x)), &[1.0, -0.5], 400)
+            .unwrap();
+        let mut widths = Vec::new();
+        let batched = Spsa::default()
+            .try_minimize_batched(
+                &mut |xs| {
+                    widths.push(xs.len());
+                    Ok(xs.iter().map(|x| obj(x)).collect())
+                },
+                &[1.0, -0.5],
+                400,
+            )
+            .unwrap();
+        assert_eq!(scalar.params, batched.params);
+        assert_eq!(scalar.value, batched.value);
+        assert_eq!(scalar.evals, batched.evals);
+        // Per-iteration shape: initial width-1, then (2, 1) pairs.
+        assert_eq!(widths[0], 1);
+        assert_eq!(widths[1], 2);
+        assert_eq!(widths[2], 1);
+        assert!(widths.iter().filter(|&&w| w == 2).count() > 10);
+    }
+
+    #[test]
+    fn batched_rejects_wrong_width_and_propagates_errors() {
+        let e = Spsa::default()
+            .try_minimize_batched(&mut |xs| Ok(vec![0.0; xs.len() + 1]), &[1.0], 100)
+            .unwrap_err();
+        assert!(matches!(e, nwq_common::Error::Invalid(_)), "{e:?}");
+        let mut calls = 0usize;
+        let e = Spsa::default()
+            .try_minimize_batched(
+                &mut |xs| {
+                    calls += 1;
+                    if calls == 2 {
+                        Err(nwq_common::Error::Numerical("nan energy".into()))
+                    } else {
+                        Ok(vec![0.0; xs.len()])
+                    }
+                },
+                &[1.0],
+                100,
+            )
+            .unwrap_err();
+        assert!(e.is_transient());
+        assert_eq!(calls, 2);
     }
 
     #[test]

@@ -3,6 +3,10 @@
 use nwq_common::Result;
 use nwq_telemetry::JsonValue;
 
+/// A batched black-box objective: evaluates every parameter vector in the
+/// slice, returning one value per vector in input order.
+pub type BatchedObjective<'a> = dyn FnMut(&[Vec<f64>]) -> Result<Vec<f64>> + 'a;
+
 /// Result of an optimization run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OptResult {
@@ -35,6 +39,27 @@ pub trait Optimizer {
         max_evals: usize,
     ) -> Result<OptResult>;
 
+    /// Minimizes using a *batched* objective: one call evaluates every
+    /// parameter vector in the slice and returns one value per vector, in
+    /// input order. Optimizers whose iterations contain structurally
+    /// independent evaluations (SPSA's `θ±c·Δ` pair) override this to
+    /// group them into multi-vector calls, letting walker-batched
+    /// backends evolve all of them in one blocked sweep. The trajectory
+    /// must be *identical* to [`try_minimize`](Self::try_minimize) — same
+    /// evaluation points, same order, same eval count — so the two entry
+    /// points are interchangeable for checkpoint replay.
+    ///
+    /// The default adapter simply feeds width-1 batches through
+    /// `try_minimize`.
+    fn try_minimize_batched(
+        &mut self,
+        f: &mut BatchedObjective<'_>,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> Result<OptResult> {
+        self.try_minimize(&mut |x: &[f64]| single(f, x), x0, max_evals)
+    }
+
     /// Infallible convenience wrapper around
     /// [`try_minimize`](Self::try_minimize).
     fn minimize(
@@ -63,6 +88,19 @@ pub trait Optimizer {
     /// snapshot. The default accepts anything and changes nothing.
     fn restore_state(&mut self, _state: &JsonValue) -> Result<()> {
         Ok(())
+    }
+}
+
+/// Evaluates a batched objective on one parameter vector, enforcing the
+/// one-value-per-vector contract.
+pub(crate) fn single(f: &mut BatchedObjective<'_>, x: &[f64]) -> Result<f64> {
+    let vals = f(std::slice::from_ref(&x.to_vec()))?;
+    match vals.as_slice() {
+        [v] => Ok(*v),
+        other => Err(nwq_common::Error::Invalid(format!(
+            "batched objective returned {} values for 1 parameter vector",
+            other.len()
+        ))),
     }
 }
 
@@ -123,6 +161,30 @@ mod tests {
         let mut f = |_: &[f64]| Err(Error::Backend("boom".into()));
         let e = opt.try_minimize(&mut f, &[1.0], 10).unwrap_err();
         assert_eq!(e, Error::Backend("boom".into()));
+    }
+
+    #[test]
+    fn default_batched_adapter_feeds_width_one_batches() {
+        let mut opt = Null;
+        let mut widths = Vec::new();
+        let r = opt
+            .try_minimize_batched(
+                &mut |xs: &[Vec<f64>]| {
+                    widths.push(xs.len());
+                    Ok(xs.iter().map(|x| x[0] * x[0]).collect())
+                },
+                &[3.0],
+                10,
+            )
+            .unwrap();
+        assert_eq!(r.value, 9.0);
+        assert_eq!(widths, vec![1]);
+
+        // Contract violation (wrong output width) surfaces as an error.
+        let e = opt
+            .try_minimize_batched(&mut |_| Ok(vec![]), &[1.0], 10)
+            .unwrap_err();
+        assert!(matches!(e, Error::Invalid(_)), "{e:?}");
     }
 
     #[test]

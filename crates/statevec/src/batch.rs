@@ -10,8 +10,10 @@
 
 use crate::executor::Executor;
 use crate::expval::energy_direct_batched;
+use crate::kernels::parallel_dispatch_enabled;
 use crate::plan::ExecPlan;
 use crate::state::StateVector;
+use crate::walkers::{plans_aligned, walker_energies, WalkerSet};
 use nwq_circuit::Circuit;
 use nwq_common::Result;
 use nwq_pauli::PauliOp;
@@ -31,21 +33,68 @@ pub fn run_batch(circuit: &Circuit, param_sets: &[Vec<f64>]) -> Result<Vec<State
 }
 
 /// Batched energy evaluation: `E(θ_k) = ⟨ψ(θ_k)|H|ψ(θ_k)⟩` for every
-/// parameter set, in parallel, through the compiled-plan and batched
+/// parameter set, through the compiled-plan and batched
 /// direct-expectation fast paths.
+///
+/// On a multi-core pool the batch runs as a Rayon parallel map, one
+/// independent state per entry. On a single-thread pool (where that map
+/// is pure dispatch overhead) multi-θ batches instead take the
+/// walker-batched path: one plan bind per θ, one blocked kernel sweep
+/// per op for all walkers, and a shared flip-group phase in the readout
+/// — bitwise identical per entry to the independent path (see
+/// [`crate::walkers`]).
 pub fn batched_energies(
     circuit: &Circuit,
     param_sets: &[Vec<f64>],
     observable: &PauliOp,
 ) -> Result<Vec<f64>> {
-    param_sets
-        .par_iter()
-        .map(|params| {
-            let plan = ExecPlan::compile(circuit, params)?;
-            let state = Executor::new().run_plan(&plan)?;
-            energy_direct_batched(&state, observable)
-        })
-        .collect()
+    if parallel_dispatch_enabled() || param_sets.len() < 2 {
+        return param_sets
+            .par_iter()
+            .map(|params| {
+                let plan = ExecPlan::compile(circuit, params)?;
+                let state = Executor::new().run_plan(&plan)?;
+                energy_direct_batched(&state, observable)
+            })
+            .collect();
+    }
+    walker_batched_energies(circuit, param_sets, observable)
+}
+
+/// The walker-batched multi-θ energy path: compile (template-cached bind)
+/// one plan per θ, evolve all walkers through one blocked sweep per op,
+/// and read out every energy with a shared per-index group phase. Falls
+/// back to independent serial evaluation when the binds are not
+/// shape-aligned (a θ landing exactly on a diagonal special point can
+/// change an op's kind). Results are bitwise identical to evaluating each
+/// θ independently either way.
+pub fn walker_batched_energies(
+    circuit: &Circuit,
+    param_sets: &[Vec<f64>],
+    observable: &PauliOp,
+) -> Result<Vec<f64>> {
+    let plans: Vec<ExecPlan> = param_sets
+        .iter()
+        .map(|params| ExecPlan::compile(circuit, params))
+        .collect::<Result<_>>()?;
+    if plans.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !plans_aligned(&plans) {
+        nwq_telemetry::counter_add("walkers.misaligned_batches", 1);
+        return plans
+            .iter()
+            .map(|plan| {
+                let state = Executor::new().run_plan(plan)?;
+                energy_direct_batched(&state, observable)
+            })
+            .collect();
+    }
+    nwq_telemetry::counter_add("walkers.batches", 1);
+    nwq_telemetry::counter_add("walkers.batched_thetas", plans.len() as u64);
+    let mut set = WalkerSet::zero(circuit.n_qubits(), plans.len())?;
+    Executor::new().run_plans_walkers(&plans, &mut set)?;
+    walker_energies(&set, observable)
 }
 
 /// Generalized two-term parameter-shift gradient as one batch of `2·n`

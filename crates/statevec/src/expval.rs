@@ -34,11 +34,16 @@ use rayon::prelude::*;
 /// Amplitude count at or above which the reductions here go parallel.
 const PAR_THRESHOLD: usize = 1 << 12;
 
+/// Block width (amplitudes) of the serial batched-expectation sweep: big
+/// enough to amortize the SIMD dispatch and fill vector lanes, small
+/// enough that the phase/weight buffers stay in L1 (2 × 128 × 16 B).
+const EXPVAL_BLOCK: usize = 128;
+
 /// Every energy entry point funnels its result through this: a NaN/Inf
 /// energy (corrupted amplitudes, injected fault) is surfaced as
 /// `Error::Numerical` instead of silently poisoning the optimizer, and
 /// counted so `--metrics` artifacts show how often it happened.
-fn ensure_finite_energy(energy: f64, context: &str) -> Result<f64> {
+pub(crate) fn ensure_finite_energy(energy: f64, context: &str) -> Result<f64> {
     if energy.is_finite() {
         Ok(energy)
     } else {
@@ -141,32 +146,53 @@ pub fn energy_direct_batched(state: &StateVector, op: &PauliOp) -> Result<f64> {
     nwq_telemetry::counter_add("expval.batched_sweeps", n_groups as u64);
     nwq_telemetry::counter_add("expval.sweeps_saved", (op.num_terms() - n_groups) as u64);
     let _span = nwq_telemetry::span!("expval.batched");
+    // The parallel reduction only pays off when the pool can actually run
+    // pieces concurrently; a single-thread pool takes the blocked SIMD
+    // sweep below (identical accumulation order, so identical bits).
+    let use_par = psi.len() >= PAR_THRESHOLD && crate::kernels::parallel_dispatch_enabled();
+    let mut fbuf = [C_ZERO; EXPVAL_BLOCK];
+    let mut wbuf = [C_ZERO; EXPVAL_BLOCK];
     let mut total = C_ZERO;
     for group in terms.chunk_by(|a, b| a.0 == b.0) {
         let m = group[0].0 as usize;
-        let body = |x: usize| -> C64 {
-            // NaN/Inf amplitudes still poison the sum through norm_sqr and
-            // surface via ensure_finite_energy below.
-            let w = if m == 0 {
-                C64::new(psi[x].norm_sqr(), 0.0)
-            } else {
-                psi[x ^ m].conj() * psi[x]
+        if use_par {
+            let body = |x: usize| -> C64 {
+                // NaN/Inf amplitudes still poison the sum through norm_sqr
+                // and surface via ensure_finite_energy below.
+                let w = if m == 0 {
+                    C64::new(psi[x].norm_sqr(), 0.0)
+                } else {
+                    psi[x ^ m].conj() * psi[x]
+                };
+                let mut f = C_ZERO;
+                for &(_, c, z) in group {
+                    let sign = 1.0 - 2.0 * ((x as u64 & z).count_ones() & 1) as f64;
+                    f += c.scale(sign);
+                }
+                w * f
             };
-            let mut f = C_ZERO;
-            for &(_, c, z) in group {
-                let sign = 1.0 - 2.0 * ((x as u64 & z).count_ones() & 1) as f64;
-                f += c.scale(sign);
-            }
-            w * f
-        };
-        total += if psi.len() >= PAR_THRESHOLD {
-            (0..psi.len())
+            total += (0..psi.len())
                 .into_par_iter()
                 .map(body)
-                .reduce(|| C_ZERO, |a, b| a + b)
+                .reduce(|| C_ZERO, |a, b| a + b);
         } else {
-            (0..psi.len()).map(body).sum()
-        };
+            // Blocked SIMD shape: fill a block of per-index group phases
+            // f(x) (branch-free sign sweep) and pair weights w(x), then
+            // fold w·f serially in index order. Each f and w is the same
+            // expression the fused loop computed, and the fold adds the
+            // products in the same order, so the energy bits are
+            // unchanged — only the f/w fills vectorize.
+            let mut acc = C_ZERO;
+            for base in (0..psi.len()).step_by(EXPVAL_BLOCK) {
+                let blk = EXPVAL_BLOCK.min(psi.len() - base);
+                crate::simd::group_phase_block(&mut fbuf[..blk], base, group);
+                crate::simd::flip_weights_block(&mut wbuf[..blk], psi, base, m);
+                for j in 0..blk {
+                    acc += wbuf[j] * fbuf[j];
+                }
+            }
+            total += acc;
+        }
     }
     ensure_finite_energy(total.re, "batched direct expectation")
 }

@@ -16,6 +16,7 @@
 //! Diagonal matrices (RZ, CZ, CP, RZZ, fused diagonals) take a fast path
 //! that multiplies amplitudes without pairing.
 
+use crate::simd;
 use nwq_common::{Error, Mat2, Mat4, Result, C64};
 use rayon::prelude::*;
 
@@ -89,46 +90,39 @@ pub fn apply_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
     let stride = 1usize << q;
     let block = stride << 1;
     let nblocks = amps.len() / block;
-    let par_elems = min_par_elems();
     if nblocks >= min_par_blocks() {
         nwq_telemetry::counter_add("kernels.mat2.par_blocks", 1);
         amps.par_chunks_mut(block).for_each(|c| {
             let (lo, hi) = c.split_at_mut(stride);
-            for j in 0..stride {
-                pair_update(&mut lo[j], &mut hi[j], m);
-            }
+            simd::mat2_pairs(lo, hi, m);
         });
-    } else {
-        if stride >= par_elems {
-            nwq_telemetry::counter_add("kernels.mat2.par_inner", 1);
-        } else {
-            nwq_telemetry::counter_add("kernels.mat2.serial", 1);
-        }
+    } else if stride >= min_par_elems() {
+        nwq_telemetry::counter_add("kernels.mat2.par_inner", 1);
         for c in amps.chunks_mut(block) {
             let (lo, hi) = c.split_at_mut(stride);
-            if stride >= par_elems {
-                lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
-                    pair_update(a, b, m);
-                });
-            } else {
-                for j in 0..stride {
-                    pair_update(&mut lo[j], &mut hi[j], m);
-                }
-            }
+            lo.par_iter_mut().zip(hi.par_iter_mut()).for_each(|(a, b)| {
+                pair_update(a, b, m);
+            });
         }
+    } else {
+        // The per-gate regime is fixed, so the whole sweep goes to one
+        // dispatch-free SIMD entry point instead of re-testing the
+        // parallel threshold per block (that re-test was the measured
+        // `mat2_dispatch_vs_serial = 1.25` overhead).
+        nwq_telemetry::counter_add("kernels.mat2.serial", 1);
+        simd::mat2_sweep(amps, stride, m);
     }
 }
 
 /// Diagonal single-qubit fast path: `amp[i] *= d0` or `d1` by bit `q`.
 fn apply_diag1(amps: &mut [C64], q: usize, d0: C64, d1: C64) {
-    let body = |(i, a): (usize, &mut C64)| {
-        let d = if (i >> q) & 1 == 1 { d1 } else { d0 };
-        *a *= d;
-    };
     if amps.len() >= min_par_elems() {
-        amps.par_iter_mut().enumerate().for_each(body);
+        amps.par_iter_mut().enumerate().for_each(|(i, a)| {
+            let d = if (i >> q) & 1 == 1 { d1 } else { d0 };
+            *a *= d;
+        });
     } else {
-        amps.iter_mut().enumerate().for_each(body);
+        simd::diag1_sweep(amps, q, d0, d1);
     }
 }
 
@@ -192,7 +186,7 @@ pub fn apply_mat4_prenorm(amps: &mut [C64], hi: usize, lo: usize, mat: &Mat4) {
         nwq_telemetry::counter_add("kernels.mat4.par_blocks", 1);
         amps.par_chunks_mut(block).for_each(|c| {
             let (h0, h1) = c.split_at_mut(s_hi);
-            mat4_half_pair(h0, h1, s_lo, mat);
+            simd::mat4_half_pair(h0, h1, s_lo, mat);
         });
     } else if s_hi >= min_par_elems() {
         nwq_telemetry::counter_add("kernels.mat4.par_inner", 1);
@@ -212,39 +206,19 @@ pub fn apply_mat4_prenorm(amps: &mut [C64], hi: usize, lo: usize, mat: &Mat4) {
         }
     } else {
         nwq_telemetry::counter_add("kernels.mat4.serial", 1);
-        for c in amps.chunks_mut(block) {
-            let (h0, h1) = c.split_at_mut(s_hi);
-            mat4_half_pair(h0, h1, s_lo, mat);
-        }
-    }
-}
-
-/// Serial half-pair body of the mat4 kernel: pairs the two low-bit chunks
-/// of each half and applies the 4×4 update. A standalone function (not a
-/// closure inside the large dispatch function) so the optimizer compiles
-/// it as the same tight loop [`apply_mat4_serial`] gets.
-#[inline(never)]
-fn mat4_half_pair(half0: &mut [C64], half1: &mut [C64], s_lo: usize, mat: &Mat4) {
-    let lo_block = s_lo << 1;
-    for (c0, c1) in half0.chunks_mut(lo_block).zip(half1.chunks_mut(lo_block)) {
-        let (c00, c01) = c0.split_at_mut(s_lo);
-        let (c10, c11) = c1.split_at_mut(s_lo);
-        for j in 0..s_lo {
-            quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], mat);
-        }
+        simd::mat4_sweep(amps, s_hi, s_lo, mat);
     }
 }
 
 /// Diagonal two-qubit fast path (`hi > lo` already normalized).
 fn apply_diag2(amps: &mut [C64], hi: usize, lo: usize, d: [C64; 4]) {
-    let body = |(i, a): (usize, &mut C64)| {
-        let idx = (((i >> hi) & 1) << 1) | ((i >> lo) & 1);
-        *a *= d[idx];
-    };
     if amps.len() >= min_par_elems() {
-        amps.par_iter_mut().enumerate().for_each(body);
+        amps.par_iter_mut().enumerate().for_each(|(i, a)| {
+            let idx = (((i >> hi) & 1) << 1) | ((i >> lo) & 1);
+            *a *= d[idx];
+        });
     } else {
-        amps.iter_mut().enumerate().for_each(body);
+        simd::diag2_sweep(amps, hi, lo, &d);
     }
 }
 
@@ -276,7 +250,7 @@ pub enum DiagFactor {
 impl DiagFactor {
     /// The phase this factor contributes to amplitude `i`.
     #[inline]
-    fn at(&self, i: usize) -> C64 {
+    pub(crate) fn at(&self, i: usize) -> C64 {
         match *self {
             DiagFactor::One { q, d } => d[(i >> q) & 1],
             DiagFactor::Two { hi, lo, d } => d[(((i >> hi) & 1) << 1) | ((i >> lo) & 1)],
@@ -303,15 +277,22 @@ pub fn apply_diag_sweep(amps: &mut [C64], factors: &[DiagFactor]) {
     nwq_telemetry::counter_add("kernels.amplitude_updates", amps.len() as u64);
     nwq_telemetry::counter_add("kernels.diag_sweep", 1);
     nwq_telemetry::counter_add("kernels.diag_sweep_factors", factors.len() as u64);
-    let body = |(i, a): (usize, &mut C64)| {
-        for f in factors {
-            *a *= f.at(i);
-        }
-    };
     if amps.len() >= min_par_elems() {
-        amps.par_iter_mut().enumerate().for_each(body);
+        amps.par_iter_mut().enumerate().for_each(|(i, a)| {
+            for f in factors {
+                *a *= f.at(i);
+            }
+        });
     } else {
-        amps.iter_mut().enumerate().for_each(body);
+        // One-factor sweeps dominate compiled UCCSD plans (ladder-fenced
+        // RZ apexes); give them the run-shaped SIMD fast paths. Each
+        // amplitude still computes exactly `a *= f.at(i)` per factor, so
+        // every arm is bitwise identical to the generic loop.
+        match factors {
+            [DiagFactor::One { q, d }] => simd::diag1_sweep(amps, *q, d[0], d[1]),
+            [DiagFactor::Two { hi, lo, d }] => simd::diag2_sweep(amps, *hi, *lo, d),
+            _ => simd::diag_multi_sweep(amps, factors),
+        }
     }
 }
 
@@ -321,20 +302,9 @@ pub fn apply_diag_sweep(amps: &mut [C64], factors: &[DiagFactor]) {
 pub fn apply_mat2_serial(amps: &mut [C64], q: usize, m: &Mat2) {
     debug_assert!(1usize << q < amps.len());
     if mat2_is_diagonal(m) {
-        let (d0, d1) = (m.0[0][0], m.0[1][1]);
-        for (i, a) in amps.iter_mut().enumerate() {
-            *a *= if (i >> q) & 1 == 1 { d1 } else { d0 };
-        }
-        return;
+        return simd::diag1_sweep(amps, q, m.0[0][0], m.0[1][1]);
     }
-    let stride = 1usize << q;
-    let block = stride << 1;
-    for c in amps.chunks_mut(block) {
-        let (lo, hi) = c.split_at_mut(stride);
-        for j in 0..stride {
-            pair_update(&mut lo[j], &mut hi[j], m);
-        }
-    }
+    simd::mat2_sweep(amps, 1usize << q, m);
 }
 
 /// Strictly serial variant of [`apply_mat4`] (see [`apply_mat2_serial`]).
@@ -347,25 +317,9 @@ pub fn apply_mat4_serial(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
     };
     if mat4_is_diagonal(&mat) {
         let d = [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]];
-        for (i, a) in amps.iter_mut().enumerate() {
-            *a *= d[(((i >> hi) & 1) << 1) | ((i >> lo) & 1)];
-        }
-        return;
+        return simd::diag2_sweep(amps, hi, lo, &d);
     }
-    let s_lo = 1usize << lo;
-    let s_hi = 1usize << hi;
-    let block = s_hi << 1;
-    for c in amps.chunks_mut(block) {
-        let (h0, h1) = c.split_at_mut(s_hi);
-        let lo_block = s_lo << 1;
-        for (c0, c1) in h0.chunks_mut(lo_block).zip(h1.chunks_mut(lo_block)) {
-            let (c00, c01) = c0.split_at_mut(s_lo);
-            let (c10, c11) = c1.split_at_mut(s_lo);
-            for j in 0..s_lo {
-                quad_update(&mut c00[j], &mut c01[j], &mut c10[j], &mut c11[j], &mat);
-            }
-        }
-    }
+    simd::mat4_sweep(amps, 1usize << hi, 1usize << lo, &mat);
 }
 
 /// Sharded single-qubit update for a *global* qubit (one whose bit lives

@@ -21,7 +21,13 @@
 //! - [`state::StateVector`] — the amplitude container (Fig 1c memory
 //!   model);
 //! - [`batch`] — batched multi-parameter execution and batched
-//!   parameter-shift gradients (paper §6.2 future work, implemented).
+//!   parameter-shift gradients (paper §6.2 future work, implemented);
+//! - [`simd`] — explicit AVX2 instantiations of every serial inner loop
+//!   (pair/quad updates, fused diagonal sweeps, expectation fills), with
+//!   a runtime force-scalar switch pinning scalar == SIMD bit-for-bit;
+//! - [`walkers`] — walker-batched multi-θ evolution: one amplitude-major
+//!   [`WalkerSet`] carries N parameter sets through aligned plans so each
+//!   cache line and each per-term phase sweep is touched once for all θ.
 
 #![warn(missing_docs)]
 
@@ -34,12 +40,15 @@ pub mod kernels;
 pub mod measure;
 pub mod plan;
 pub mod plan_cache;
+pub mod simd;
 pub mod state;
 pub mod stats;
+pub mod walkers;
 
 pub use executor::{simulate, simulate_plan, Executor, NormGuard};
 pub use plan::{ExecPlan, PlanOp, PlanStats, PlanTemplate};
 pub use state::StateVector;
+pub use walkers::WalkerSet;
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,1237 @@
+//! SIMD-shaped kernel inner loops with runtime AVX2 dispatch.
+//!
+//! The workspace compiles for the baseline `x86-64` target (SSE2 scalar
+//! math), so the hot amplitude loops in [`crate::kernels`] and
+//! [`crate::expval`] would never see AVX2 no matter how they are written.
+//! This module fixes that without a rebuild: every inner-loop body is a
+//! single `#[inline(always)]` function written in an explicitly
+//! vectorizable shape — amplitudes viewed as interleaved `re`/`im` `f64`
+//! lanes, loop-invariant matrix entries hoisted into scalars, no
+//! per-iteration branches — and instantiated **twice**: once as a plain
+//! function (scalar/SSE2 codegen) and once under
+//! `#[target_feature(enable = "avx2")]`, where LLVM re-optimizes the same
+//! IR with 4-wide `f64` vectors. [`simd_selected`] picks the AVX2
+//! instantiation at runtime when the CPU supports it.
+//!
+//! **Bitwise parity is by construction.** Both instantiations compile the
+//! *same Rust expressions*, and Rust guarantees strict IEEE-754 semantics:
+//! `a * b + c` is never contracted to a fused multiply-add, so the AVX2
+//! build performs the identical sequence of rounded operations — only more
+//! of them per cycle. The scalar instantiation stays reachable through
+//! [`set_force_scalar`] (or the `NWQ_SCALAR_KERNELS=1` environment
+//! variable) so parity tests and calibration benches can pin
+//! `scalar == simd` bit-for-bit on the AVX2 host itself.
+
+use crate::kernels::DiagFactor;
+use nwq_common::{Mat2, Mat4, C64};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// `true` when the CPU supports AVX2 (detected once per process).
+pub fn avx2_detected() -> bool {
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+fn env_forced_scalar() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("NWQ_SCALAR_KERNELS")
+            .map(|v| v != "0" && !v.is_empty())
+            .unwrap_or(false)
+    })
+}
+
+/// Forces (or un-forces) the scalar instantiation regardless of CPU
+/// support — the runtime switch parity tests and the calibration bench
+/// flip to measure `simd` against `scalar` in one process. Both
+/// instantiations are bitwise identical, so flipping this mid-run can
+/// change only speed, never results.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// `true` while [`set_force_scalar`] (or `NWQ_SCALAR_KERNELS`) pins the
+/// scalar path.
+pub fn scalar_forced() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed) || env_forced_scalar()
+}
+
+/// `true` when kernel sweeps will run through the AVX2 instantiation:
+/// the CPU supports it and nothing forces the scalar path.
+#[inline]
+pub fn simd_selected() -> bool {
+    avx2_detected() && !scalar_forced()
+}
+
+/// Reinterprets an amplitude slice as its interleaved `re`/`im` `f64`
+/// lanes. `C64` is `#[repr(C)] { re: f64, im: f64 }`, explicitly
+/// layout-compatible with `[f64; 2]`.
+#[inline(always)]
+fn lanes_mut(amps: &mut [C64]) -> &mut [f64] {
+    // SAFETY: C64 is #[repr(C)] with exactly two f64 fields, so a [C64]
+    // allocation is a valid [f64] allocation of twice the length; f64 has
+    // no invalid bit patterns and alignment is identical.
+    unsafe { std::slice::from_raw_parts_mut(amps.as_mut_ptr() as *mut f64, amps.len() * 2) }
+}
+
+/// Instantiates `$body` as `mod $name { scalar, avx2 }` plus a public
+/// dispatcher `$name` that selects the AVX2 build when
+/// [`simd_selected`] holds. The dispatch cost is one relaxed atomic load
+/// per *sweep*, not per amplitude — callers hand whole loops to these
+/// entry points.
+macro_rules! simd_dispatch {
+    ($(#[$doc:meta])* pub fn $name:ident($($arg:ident: $ty:ty),* $(,)?) = $body:ident) => {
+        $(#[$doc])*
+        pub fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx2")]
+                unsafe fn avx2($($arg: $ty),*) {
+                    $body($($arg),*)
+                }
+                if $crate::simd::simd_selected() {
+                    // SAFETY: simd_selected() is true only when AVX2 was
+                    // detected on this CPU.
+                    return unsafe { avx2($($arg),*) };
+                }
+            }
+            $body($($arg),*)
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Explicit AVX2 kernels for the dense mat2/mat4 sweeps.
+//
+// Auto-vectorization recovers most of the win for the diagonal and
+// expectation sweeps, but the dense pair/quad updates leave throughput on
+// the table (deinterleave shuffles, matrix-constant reloads). These
+// hand-written kernels process two complex amplitudes per 256-bit vector
+// with the classic `vaddsubpd` complex multiply:
+//
+//   cmul(v, m) = addsub(v·[m.re], swap_pairs(v)·[m.im])
+//              = [ar·m.re − ai·m.im, ai·m.re + ar·m.im, …]
+//
+// which is bitwise the scalar `C64` product (`m.re·ar ≡ ar·m.re` — f64
+// multiplication is commutative at the bit level — and the add/sub pairs
+// the same operands), followed by `vaddpd` accumulation in the scalar
+// kernels' exact association order. The scalar instantiations remain the
+// reference the parity tests compare against.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Broadcast of one complex matrix entry: (`[re; 4]`, `[im; 4]`).
+    #[inline(always)]
+    unsafe fn bcast(c: C64) -> (__m256d, __m256d) {
+        (_mm256_set1_pd(c.re), _mm256_set1_pd(c.im))
+    }
+
+    /// Per-walker-pair broadcast: lanes 0–1 carry `a`, lanes 2–3 `b`.
+    #[inline(always)]
+    unsafe fn bcast2(a: C64, b: C64) -> (__m256d, __m256d) {
+        (
+            _mm256_setr_pd(a.re, a.re, b.re, b.re),
+            _mm256_setr_pd(a.im, a.im, b.im, b.im),
+        )
+    }
+
+    /// Amp-first broadcast: `([re, im, re, im], [im, re, im, re])` — the
+    /// constant shape [`cmul_amp`] consumes.
+    #[inline(always)]
+    unsafe fn bcast_ri(c: C64) -> (__m256d, __m256d) {
+        (
+            _mm256_setr_pd(c.re, c.im, c.re, c.im),
+            _mm256_setr_pd(c.im, c.re, c.im, c.re),
+        )
+    }
+
+    /// Per-walker-pair amp-first broadcast (`a` in lanes 0–1, `b` in 2–3).
+    #[inline(always)]
+    unsafe fn bcast2_ri(a: C64, b: C64) -> (__m256d, __m256d) {
+        (
+            _mm256_setr_pd(a.re, a.im, b.re, b.im),
+            _mm256_setr_pd(a.im, a.re, b.im, b.re),
+        )
+    }
+
+    /// `[ai, ar, bi, br]` — swaps re/im within each complex pair.
+    #[inline(always)]
+    unsafe fn swap_pairs(v: __m256d) -> __m256d {
+        _mm256_permute_pd(v, 0b0101)
+    }
+
+    /// Two complex products `m · v` (matrix entry left, broadcast as
+    /// `(re, im)`): `re' = v.re·m.re − v.im·m.im`,
+    /// `im' = v.im·m.re + v.re·m.im` — bitwise `C64::mul(m, v)` (the f64
+    /// products commute exactly; the add/sub pair the same operands in the
+    /// same order).
+    #[inline(always)]
+    unsafe fn cmul(v: __m256d, m: (__m256d, __m256d)) -> __m256d {
+        _mm256_addsub_pd(_mm256_mul_pd(v, m.0), _mm256_mul_pd(swap_pairs(v), m.1))
+    }
+
+    /// Two complex products `v · m` (amplitude left, `m` broadcast by
+    /// [`bcast_ri`]/[`bcast2_ri`]): `re' = v.re·m.re − v.im·m.im`,
+    /// `im' = v.re·m.im + v.im·m.re` — bitwise `C64::mul(v, m)`, i.e. the
+    /// `a *= d` side of every diagonal fast path.
+    #[inline(always)]
+    unsafe fn cmul_amp(v: __m256d, m: (__m256d, __m256d)) -> __m256d {
+        _mm256_addsub_pd(
+            _mm256_mul_pd(_mm256_movedup_pd(v), m.0),
+            _mm256_mul_pd(_mm256_permute_pd(v, 0b1111), m.1),
+        )
+    }
+
+    /// Lane-wise complex product `u · v` of two full vectors:
+    /// `re' = u.re·v.re − u.im·v.im`, `im' = u.re·v.im + u.im·v.re` —
+    /// bitwise `C64::mul(u, v)` per complex pair.
+    #[inline(always)]
+    unsafe fn cmul_vv(u: __m256d, v: __m256d) -> __m256d {
+        _mm256_addsub_pd(
+            _mm256_mul_pd(_mm256_movedup_pd(u), v),
+            _mm256_mul_pd(_mm256_permute_pd(u, 0b1111), swap_pairs(v)),
+        )
+    }
+
+    /// Lane-wise conjugate: flips the sign bit of every `im` lane —
+    /// exactly the `-self.im` of `C64::conj`.
+    #[inline(always)]
+    unsafe fn conj_v(v: __m256d) -> __m256d {
+        _mm256_xor_pd(
+            v,
+            _mm256_castsi256_pd(_mm256_setr_epi64x(0, i64::MIN, 0, i64::MIN)),
+        )
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mat2_pairs(lo: &mut [C64], hi: &mut [C64], m: &Mat2) {
+        let n = lo.len();
+        debug_assert_eq!(n, hi.len());
+        let m00 = bcast(m.0[0][0]);
+        let m01 = bcast(m.0[0][1]);
+        let m10 = bcast(m.0[1][0]);
+        let m11 = bcast(m.0[1][1]);
+        let lp = lo.as_mut_ptr() as *mut f64;
+        let hp = hi.as_mut_ptr() as *mut f64;
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            let a = _mm256_loadu_pd(lp.add(2 * j));
+            let b = _mm256_loadu_pd(hp.add(2 * j));
+            let nl = _mm256_add_pd(cmul(a, m00), cmul(b, m01));
+            let nh = _mm256_add_pd(cmul(a, m10), cmul(b, m11));
+            _mm256_storeu_pd(lp.add(2 * j), nl);
+            _mm256_storeu_pd(hp.add(2 * j), nh);
+            j += 2;
+        }
+        if vec_n < n {
+            // Odd run length: scalar tail, identical expressions.
+            let (a, b) = (lo[vec_n], hi[vec_n]);
+            lo[vec_n] = m.0[0][0] * a + m.0[0][1] * b;
+            hi[vec_n] = m.0[1][0] * a + m.0[1][1] * b;
+        }
+    }
+
+    /// Stride-1 sweep (q = 0): pairs are adjacent (`[lo0, hi0, lo1, hi1]`),
+    /// so the run-based kernel would degrade to its scalar tail. Instead,
+    /// two pairs are gathered into the standard lane shape with cross-lane
+    /// permutes, updated exactly as in [`mat2_pairs`], and scattered back.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mat2_stride1(amps: &mut [C64], m: &Mat2) {
+        let m00 = bcast(m.0[0][0]);
+        let m01 = bcast(m.0[0][1]);
+        let m10 = bcast(m.0[1][0]);
+        let m11 = bcast(m.0[1][1]);
+        let p = amps.as_mut_ptr() as *mut f64;
+        let n = amps.len();
+        let vec_n = n & !7;
+        let mut i = 0;
+        // Two independent 2-pair bodies per iteration: the gather → cmul →
+        // scatter chain is latency-bound, so interleaving two chains keeps
+        // the multiply ports busy.
+        while i < vec_n {
+            let y0 = _mm256_loadu_pd(p.add(2 * i)); // [lo0, hi0]
+            let y1 = _mm256_loadu_pd(p.add(2 * i + 4)); // [lo1, hi1]
+            let y2 = _mm256_loadu_pd(p.add(2 * i + 8));
+            let y3 = _mm256_loadu_pd(p.add(2 * i + 12));
+            let a0 = _mm256_permute2f128_pd(y0, y1, 0x20); // [lo0, lo1]
+            let b0 = _mm256_permute2f128_pd(y0, y1, 0x31); // [hi0, hi1]
+            let a1 = _mm256_permute2f128_pd(y2, y3, 0x20);
+            let b1 = _mm256_permute2f128_pd(y2, y3, 0x31);
+            let nl0 = _mm256_add_pd(cmul(a0, m00), cmul(b0, m01));
+            let nh0 = _mm256_add_pd(cmul(a0, m10), cmul(b0, m11));
+            let nl1 = _mm256_add_pd(cmul(a1, m00), cmul(b1, m01));
+            let nh1 = _mm256_add_pd(cmul(a1, m10), cmul(b1, m11));
+            _mm256_storeu_pd(p.add(2 * i), _mm256_permute2f128_pd(nl0, nh0, 0x20));
+            _mm256_storeu_pd(p.add(2 * i + 4), _mm256_permute2f128_pd(nl0, nh0, 0x31));
+            _mm256_storeu_pd(p.add(2 * i + 8), _mm256_permute2f128_pd(nl1, nh1, 0x20));
+            _mm256_storeu_pd(p.add(2 * i + 12), _mm256_permute2f128_pd(nl1, nh1, 0x31));
+            i += 8;
+        }
+        while i < n & !3 {
+            let y0 = _mm256_loadu_pd(p.add(2 * i));
+            let y1 = _mm256_loadu_pd(p.add(2 * i + 4));
+            let a = _mm256_permute2f128_pd(y0, y1, 0x20);
+            let b = _mm256_permute2f128_pd(y0, y1, 0x31);
+            let nl = _mm256_add_pd(cmul(a, m00), cmul(b, m01));
+            let nh = _mm256_add_pd(cmul(a, m10), cmul(b, m11));
+            _mm256_storeu_pd(p.add(2 * i), _mm256_permute2f128_pd(nl, nh, 0x20));
+            _mm256_storeu_pd(p.add(2 * i + 4), _mm256_permute2f128_pd(nl, nh, 0x31));
+            i += 4;
+        }
+        while i < n {
+            // Lone trailing pair (2-amplitude register): scalar.
+            let (a, b) = (amps[i], amps[i + 1]);
+            amps[i] = m.0[0][0] * a + m.0[0][1] * b;
+            amps[i + 1] = m.0[1][0] * a + m.0[1][1] * b;
+            i += 2;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mat2_sweep(amps: &mut [C64], stride: usize, m: &Mat2) {
+        if stride == 1 {
+            return mat2_stride1(amps, m);
+        }
+        let block = stride << 1;
+        for c in amps.chunks_mut(block) {
+            let (lo, hi) = c.split_at_mut(stride);
+            mat2_pairs(lo, hi, m);
+        }
+    }
+
+    /// The 16 matrix entries of a 4×4 update, broadcast row-major.
+    type Mat4Rows = [[(__m256d, __m256d); 4]; 4];
+
+    #[inline(always)]
+    unsafe fn build_rows(m: &Mat4) -> Mat4Rows {
+        let mut rows = [[(_mm256_setzero_pd(), _mm256_setzero_pd()); 4]; 4];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for (k, e) in row.iter_mut().enumerate() {
+                *e = bcast(m.0[r][k]);
+            }
+        }
+        rows
+    }
+
+    /// Four row outputs for two quads held in lane shape. Accumulation
+    /// matches `quad_update`'s `((r0·v0 + r1·v1) + r2·v2) + r3·v3` order
+    /// per lane; one swapped copy per input is shared by all four rows.
+    #[inline(always)]
+    unsafe fn quad_rows(v: &[__m256d; 4], rows: &Mat4Rows) -> [__m256d; 4] {
+        let sv = [
+            swap_pairs(v[0]),
+            swap_pairs(v[1]),
+            swap_pairs(v[2]),
+            swap_pairs(v[3]),
+        ];
+        let mut out = [_mm256_setzero_pd(); 4];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &rows[r];
+            let mut acc = _mm256_addsub_pd(
+                _mm256_mul_pd(v[0], row[0].0),
+                _mm256_mul_pd(sv[0], row[0].1),
+            );
+            for k in 1..4 {
+                acc = _mm256_add_pd(
+                    acc,
+                    _mm256_addsub_pd(
+                        _mm256_mul_pd(v[k], row[k].0),
+                        _mm256_mul_pd(sv[k], row[k].1),
+                    ),
+                );
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Scalar quad update at one run index — exactly `quad_update`'s
+    /// expressions and association order.
+    #[inline(always)]
+    fn quad_scalar(
+        c00: &mut [C64],
+        c01: &mut [C64],
+        c10: &mut [C64],
+        c11: &mut [C64],
+        j: usize,
+        m: &Mat4,
+    ) {
+        let v = [c00[j], c01[j], c10[j], c11[j]];
+        let r = &m.0;
+        c00[j] = r[0][0] * v[0] + r[0][1] * v[1] + r[0][2] * v[2] + r[0][3] * v[3];
+        c01[j] = r[1][0] * v[0] + r[1][1] * v[1] + r[1][2] * v[2] + r[1][3] * v[3];
+        c10[j] = r[2][0] * v[0] + r[2][1] * v[1] + r[2][2] * v[2] + r[2][3] * v[3];
+        c11[j] = r[3][0] * v[0] + r[3][1] * v[1] + r[3][2] * v[2] + r[3][3] * v[3];
+    }
+
+    #[inline(always)]
+    unsafe fn quads_with_rows(
+        c00: &mut [C64],
+        c01: &mut [C64],
+        c10: &mut [C64],
+        c11: &mut [C64],
+        m: &Mat4,
+        rows: &Mat4Rows,
+    ) {
+        let n = c00.len();
+        debug_assert!(c01.len() == n && c10.len() == n && c11.len() == n);
+        let p0 = c00.as_mut_ptr() as *mut f64;
+        let p1 = c01.as_mut_ptr() as *mut f64;
+        let p2 = c10.as_mut_ptr() as *mut f64;
+        let p3 = c11.as_mut_ptr() as *mut f64;
+        let vec_n = n & !1;
+        let mut j = 0;
+        while j < vec_n {
+            let v = [
+                _mm256_loadu_pd(p0.add(2 * j)),
+                _mm256_loadu_pd(p1.add(2 * j)),
+                _mm256_loadu_pd(p2.add(2 * j)),
+                _mm256_loadu_pd(p3.add(2 * j)),
+            ];
+            let out = quad_rows(&v, rows);
+            _mm256_storeu_pd(p0.add(2 * j), out[0]);
+            _mm256_storeu_pd(p1.add(2 * j), out[1]);
+            _mm256_storeu_pd(p2.add(2 * j), out[2]);
+            _mm256_storeu_pd(p3.add(2 * j), out[3]);
+            j += 2;
+        }
+        if vec_n < n {
+            quad_scalar(c00, c01, c10, c11, vec_n, m);
+        }
+    }
+
+    /// `s_lo = 1` half-pair: quads interleave as `[q.v0, q.v1]` in
+    /// `half0` and `[q.v2, q.v3]` in `half1`, so two quads are gathered
+    /// into the standard lane shape with cross-lane permutes, pushed
+    /// through [`quad_rows`], and scattered back.
+    #[inline(always)]
+    unsafe fn mat4_interleaved(h0: &mut [C64], h1: &mut [C64], m: &Mat4, rows: &Mat4Rows) {
+        let nq = h0.len() / 2;
+        let p0 = h0.as_mut_ptr() as *mut f64;
+        let p1 = h1.as_mut_ptr() as *mut f64;
+        let vec_q = nq & !1;
+        let mut q = 0;
+        while q < vec_q {
+            let ya0 = _mm256_loadu_pd(p0.add(4 * q)); // [q0.v0, q0.v1]
+            let ya1 = _mm256_loadu_pd(p0.add(4 * q + 4)); // [q1.v0, q1.v1]
+            let yb0 = _mm256_loadu_pd(p1.add(4 * q)); // [q0.v2, q0.v3]
+            let yb1 = _mm256_loadu_pd(p1.add(4 * q + 4)); // [q1.v2, q1.v3]
+            let v = [
+                _mm256_permute2f128_pd(ya0, ya1, 0x20), // [q0.v0, q1.v0]
+                _mm256_permute2f128_pd(ya0, ya1, 0x31), // [q0.v1, q1.v1]
+                _mm256_permute2f128_pd(yb0, yb1, 0x20),
+                _mm256_permute2f128_pd(yb0, yb1, 0x31),
+            ];
+            let o = quad_rows(&v, rows);
+            _mm256_storeu_pd(p0.add(4 * q), _mm256_permute2f128_pd(o[0], o[1], 0x20));
+            _mm256_storeu_pd(p0.add(4 * q + 4), _mm256_permute2f128_pd(o[0], o[1], 0x31));
+            _mm256_storeu_pd(p1.add(4 * q), _mm256_permute2f128_pd(o[2], o[3], 0x20));
+            _mm256_storeu_pd(p1.add(4 * q + 4), _mm256_permute2f128_pd(o[2], o[3], 0x31));
+            q += 2;
+        }
+        if vec_q < nq {
+            // Lone trailing quad (s_hi = 2 registers): scalar, same
+            // expressions.
+            let r = &m.0;
+            let v = [h0[2 * q], h0[2 * q + 1], h1[2 * q], h1[2 * q + 1]];
+            h0[2 * q] = r[0][0] * v[0] + r[0][1] * v[1] + r[0][2] * v[2] + r[0][3] * v[3];
+            h0[2 * q + 1] = r[1][0] * v[0] + r[1][1] * v[1] + r[1][2] * v[2] + r[1][3] * v[3];
+            h1[2 * q] = r[2][0] * v[0] + r[2][1] * v[1] + r[2][2] * v[2] + r[2][3] * v[3];
+            h1[2 * q + 1] = r[3][0] * v[0] + r[3][1] * v[1] + r[3][2] * v[2] + r[3][3] * v[3];
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn half_pair_with_rows(
+        half0: &mut [C64],
+        half1: &mut [C64],
+        s_lo: usize,
+        m: &Mat4,
+        rows: &Mat4Rows,
+    ) {
+        if s_lo == 1 {
+            return mat4_interleaved(half0, half1, m, rows);
+        }
+        let lo_block = s_lo << 1;
+        for (c0, c1) in half0.chunks_mut(lo_block).zip(half1.chunks_mut(lo_block)) {
+            let (c00, c01) = c0.split_at_mut(s_lo);
+            let (c10, c11) = c1.split_at_mut(s_lo);
+            quads_with_rows(c00, c01, c10, c11, m, rows);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mat4_half_pair(half0: &mut [C64], half1: &mut [C64], s_lo: usize, m: &Mat4) {
+        let rows = build_rows(m);
+        half_pair_with_rows(half0, half1, s_lo, m, &rows);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mat4_sweep(amps: &mut [C64], s_hi: usize, s_lo: usize, m: &Mat4) {
+        let m = &{ *m };
+        let rows = build_rows(m);
+        let block = s_hi << 1;
+        for c in amps.chunks_mut(block) {
+            let (h0, h1) = c.split_at_mut(s_hi);
+            half_pair_with_rows(h0, h1, s_lo, m, &rows);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Walker kernels: lanes are walkers. The interleaved amplitude-major
+    // layout (`amps[i·nw + w]`) makes adjacent walkers adjacent in memory,
+    // so the vectors need NO shuffles at any stride — including stride 1,
+    // the worst case of the single-state kernels. Matrices differ per
+    // walker (one bind per θ), so coefficients broadcast per walker *pair*
+    // and are prebuilt once per sweep; a per-pair path tag hoists the
+    // diagonal/dense branch out of the amplitude loop. Walkers whose pair
+    // mixes diagonal and dense matrices — and the odd trailing walker —
+    // take the exact scalar-body expressions.
+    // -----------------------------------------------------------------------
+
+    /// Per-walker-pair dispatch for the walker single-qubit sweep.
+    enum Pair2 {
+        /// `[m00, m01, m10, m11]`, matrix-first broadcast per lane pair.
+        Dense([(__m256d, __m256d); 4]),
+        /// `[d0, d1]`, amp-first broadcast (`a *= d` per lane pair).
+        Diag([(__m256d, __m256d); 2]),
+        Mixed,
+    }
+
+    /// One walker's scalar single-qubit update — exactly the
+    /// `walker_mat2_body` expressions. Raw pointers so the caller can mix
+    /// it with vector loads/stores through the same pointers.
+    ///
+    /// # Safety
+    /// `l.add(w)` and `h.add(w)` must be valid, disjoint `C64` slots.
+    #[inline(always)]
+    unsafe fn walker2_scalar(l: *mut C64, h: *mut C64, w: usize, m: &Mat2, diag: bool) {
+        let (lw, hw) = (l.add(w), h.add(w));
+        if diag {
+            *lw *= m.0[0][0];
+            *hw *= m.0[1][1];
+        } else {
+            let a = *lw;
+            let b = *hw;
+            *lw = m.0[0][0] * a + m.0[0][1] * b;
+            *hw = m.0[1][0] * a + m.0[1][1] * b;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn walker_mat2(
+        amps: &mut [C64],
+        nw: usize,
+        stride: usize,
+        mats: &[Mat2],
+        diag: &[bool],
+    ) {
+        let np = nw / 2;
+        let pairs: Vec<Pair2> = (0..np)
+            .map(|p| {
+                let (a, b) = (2 * p, 2 * p + 1);
+                match (diag[a], diag[b]) {
+                    (true, true) => Pair2::Diag([
+                        bcast2_ri(mats[a].0[0][0], mats[b].0[0][0]),
+                        bcast2_ri(mats[a].0[1][1], mats[b].0[1][1]),
+                    ]),
+                    (false, false) => Pair2::Dense([
+                        bcast2(mats[a].0[0][0], mats[b].0[0][0]),
+                        bcast2(mats[a].0[0][1], mats[b].0[0][1]),
+                        bcast2(mats[a].0[1][0], mats[b].0[1][0]),
+                        bcast2(mats[a].0[1][1], mats[b].0[1][1]),
+                    ]),
+                    _ => Pair2::Mixed,
+                }
+            })
+            .collect();
+        let row = nw;
+        let block = (stride << 1) * row;
+        for c in amps.chunks_mut(block) {
+            let (lo, hi) = c.split_at_mut(stride * row);
+            for (l, h) in lo.chunks_exact_mut(row).zip(hi.chunks_exact_mut(row)) {
+                let lc = l.as_mut_ptr();
+                let hc = h.as_mut_ptr();
+                let lp = lc as *mut f64;
+                let hp = hc as *mut f64;
+                for (p, pair) in pairs.iter().enumerate() {
+                    let o = 4 * p;
+                    match pair {
+                        Pair2::Dense(e) => {
+                            let a = _mm256_loadu_pd(lp.add(o));
+                            let b = _mm256_loadu_pd(hp.add(o));
+                            _mm256_storeu_pd(
+                                lp.add(o),
+                                _mm256_add_pd(cmul(a, e[0]), cmul(b, e[1])),
+                            );
+                            _mm256_storeu_pd(
+                                hp.add(o),
+                                _mm256_add_pd(cmul(a, e[2]), cmul(b, e[3])),
+                            );
+                        }
+                        Pair2::Diag(d) => {
+                            _mm256_storeu_pd(lp.add(o), cmul_amp(_mm256_loadu_pd(lp.add(o)), d[0]));
+                            _mm256_storeu_pd(hp.add(o), cmul_amp(_mm256_loadu_pd(hp.add(o)), d[1]));
+                        }
+                        Pair2::Mixed => {
+                            for w in 2 * p..2 * p + 2 {
+                                walker2_scalar(lc, hc, w, &mats[w], diag[w]);
+                            }
+                        }
+                    }
+                }
+                if nw & 1 == 1 {
+                    walker2_scalar(lc, hc, nw - 1, &mats[nw - 1], diag[nw - 1]);
+                }
+            }
+        }
+    }
+
+    /// Per-walker-pair dispatch for the walker two-qubit sweep.
+    // The Dense payload is 1 KiB of broadcast rows, read every inner
+    // iteration; boxing it would add a pointer chase to the hot loop for
+    // a table that holds at most nw/2 entries and lives one sweep.
+    #[allow(clippy::large_enum_variant)]
+    enum Pair4 {
+        /// Full 4×4, matrix-first broadcast per lane pair.
+        Dense(Mat4Rows),
+        /// `[d00, d11, d22, d33]`, amp-first broadcast.
+        Diag([(__m256d, __m256d); 4]),
+        Mixed,
+    }
+
+    /// One walker's scalar quad update — exactly the `walker_mat4_body`
+    /// expressions. Raw pointers for the same reason as
+    /// [`walker2_scalar`].
+    ///
+    /// # Safety
+    /// All four `.add(k)` slots must be valid, disjoint `C64` slots.
+    #[inline(always)]
+    unsafe fn walker4_scalar(
+        c00: *mut C64,
+        c01: *mut C64,
+        c10: *mut C64,
+        c11: *mut C64,
+        k: usize,
+        m: &Mat4,
+        diag: bool,
+    ) {
+        let (a0, a1, a2, a3) = (c00.add(k), c01.add(k), c10.add(k), c11.add(k));
+        if diag {
+            *a0 *= m.0[0][0];
+            *a1 *= m.0[1][1];
+            *a2 *= m.0[2][2];
+            *a3 *= m.0[3][3];
+        } else {
+            let v = [*a0, *a1, *a2, *a3];
+            let r = &m.0;
+            *a0 = r[0][0] * v[0] + r[0][1] * v[1] + r[0][2] * v[2] + r[0][3] * v[3];
+            *a1 = r[1][0] * v[0] + r[1][1] * v[1] + r[1][2] * v[2] + r[1][3] * v[3];
+            *a2 = r[2][0] * v[0] + r[2][1] * v[1] + r[2][2] * v[2] + r[2][3] * v[3];
+            *a3 = r[3][0] * v[0] + r[3][1] * v[1] + r[3][2] * v[2] + r[3][3] * v[3];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn walker_mat4(
+        amps: &mut [C64],
+        nw: usize,
+        s_hi: usize,
+        s_lo: usize,
+        mats: &[Mat4],
+        diag: &[bool],
+    ) {
+        let np = nw / 2;
+        let pairs: Vec<Pair4> = (0..np)
+            .map(|p| {
+                let (a, b) = (2 * p, 2 * p + 1);
+                match (diag[a], diag[b]) {
+                    (true, true) => Pair4::Diag([
+                        bcast2_ri(mats[a].0[0][0], mats[b].0[0][0]),
+                        bcast2_ri(mats[a].0[1][1], mats[b].0[1][1]),
+                        bcast2_ri(mats[a].0[2][2], mats[b].0[2][2]),
+                        bcast2_ri(mats[a].0[3][3], mats[b].0[3][3]),
+                    ]),
+                    (false, false) => {
+                        let mut rows = [[(_mm256_setzero_pd(), _mm256_setzero_pd()); 4]; 4];
+                        for (r, row) in rows.iter_mut().enumerate() {
+                            for (k, e) in row.iter_mut().enumerate() {
+                                *e = bcast2(mats[a].0[r][k], mats[b].0[r][k]);
+                            }
+                        }
+                        Pair4::Dense(rows)
+                    }
+                    _ => Pair4::Mixed,
+                }
+            })
+            .collect();
+        let row = nw;
+        let block = (s_hi << 1) * row;
+        let lo_block = (s_lo << 1) * row;
+        for c in amps.chunks_mut(block) {
+            let (h0, h1) = c.split_at_mut(s_hi * row);
+            for (c0, c1) in h0.chunks_mut(lo_block).zip(h1.chunks_mut(lo_block)) {
+                let (c00, c01) = c0.split_at_mut(s_lo * row);
+                let (c10, c11) = c1.split_at_mut(s_lo * row);
+                let q0 = c00.as_mut_ptr();
+                let q1 = c01.as_mut_ptr();
+                let q2 = c10.as_mut_ptr();
+                let q3 = c11.as_mut_ptr();
+                let p0 = q0 as *mut f64;
+                let p1 = q1 as *mut f64;
+                let p2 = q2 as *mut f64;
+                let p3 = q3 as *mut f64;
+                for j in 0..s_lo {
+                    let base = j * row;
+                    for (p, pair) in pairs.iter().enumerate() {
+                        let o = 2 * base + 4 * p;
+                        match pair {
+                            Pair4::Dense(rows) => {
+                                let v = [
+                                    _mm256_loadu_pd(p0.add(o)),
+                                    _mm256_loadu_pd(p1.add(o)),
+                                    _mm256_loadu_pd(p2.add(o)),
+                                    _mm256_loadu_pd(p3.add(o)),
+                                ];
+                                let out = quad_rows(&v, rows);
+                                _mm256_storeu_pd(p0.add(o), out[0]);
+                                _mm256_storeu_pd(p1.add(o), out[1]);
+                                _mm256_storeu_pd(p2.add(o), out[2]);
+                                _mm256_storeu_pd(p3.add(o), out[3]);
+                            }
+                            Pair4::Diag(d) => {
+                                _mm256_storeu_pd(
+                                    p0.add(o),
+                                    cmul_amp(_mm256_loadu_pd(p0.add(o)), d[0]),
+                                );
+                                _mm256_storeu_pd(
+                                    p1.add(o),
+                                    cmul_amp(_mm256_loadu_pd(p1.add(o)), d[1]),
+                                );
+                                _mm256_storeu_pd(
+                                    p2.add(o),
+                                    cmul_amp(_mm256_loadu_pd(p2.add(o)), d[2]),
+                                );
+                                _mm256_storeu_pd(
+                                    p3.add(o),
+                                    cmul_amp(_mm256_loadu_pd(p3.add(o)), d[3]),
+                                );
+                            }
+                            Pair4::Mixed => {
+                                for w in 2 * p..2 * p + 2 {
+                                    walker4_scalar(q0, q1, q2, q3, base + w, &mats[w], diag[w]);
+                                }
+                            }
+                        }
+                    }
+                    if nw & 1 == 1 {
+                        let w = nw - 1;
+                        walker4_scalar(q0, q1, q2, q3, base + w, &mats[w], diag[w]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shared index selector of one diagonal-factor column (the factor
+    /// *kind* is position-aligned across walkers; only the entry values
+    /// differ per θ).
+    enum FactKind {
+        One { q: usize },
+        Two { hi: usize, lo: usize },
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn walker_diag(amps: &mut [C64], nw: usize, factors: &[DiagFactor]) {
+        let np = nw / 2;
+        let nf = factors.len() / nw;
+        // Per factor: one shared bit selector + a per-pair table of all
+        // possible entry values, amp-first broadcast. The inner loop then
+        // reduces to table-select + one complex multiply per factor.
+        let mut kinds: Vec<FactKind> = Vec::with_capacity(nf);
+        let mut tbl: Vec<[(__m256d, __m256d); 4]> = Vec::with_capacity(nf * np);
+        for f in 0..nf {
+            let fr = &factors[f * nw..(f + 1) * nw];
+            kinds.push(match fr[0] {
+                DiagFactor::One { q, .. } => FactKind::One { q },
+                DiagFactor::Two { hi, lo, .. } => FactKind::Two { hi, lo },
+            });
+            let d_of = |w: usize, idx: usize| match fr[w] {
+                DiagFactor::One { d, .. } => d[idx & 1],
+                DiagFactor::Two { d, .. } => d[idx],
+            };
+            for p in 0..np {
+                tbl.push([
+                    bcast2_ri(d_of(2 * p, 0), d_of(2 * p + 1, 0)),
+                    bcast2_ri(d_of(2 * p, 1), d_of(2 * p + 1, 1)),
+                    bcast2_ri(d_of(2 * p, 2), d_of(2 * p + 1, 2)),
+                    bcast2_ri(d_of(2 * p, 3), d_of(2 * p + 1, 3)),
+                ]);
+            }
+        }
+        let mut idxs: Vec<usize> = vec![0; nf];
+        for (i, rows) in amps.chunks_exact_mut(nw).enumerate() {
+            for (f, k) in kinds.iter().enumerate() {
+                idxs[f] = match *k {
+                    FactKind::One { q } => (i >> q) & 1,
+                    FactKind::Two { hi, lo } => (((i >> hi) & 1) << 1) | ((i >> lo) & 1),
+                };
+            }
+            let rp = rows.as_mut_ptr() as *mut f64;
+            for p in 0..np {
+                let mut v = _mm256_loadu_pd(rp.add(4 * p));
+                for (f, &idx) in idxs.iter().enumerate() {
+                    v = cmul_amp(v, tbl[f * np + p][idx]);
+                }
+                _mm256_storeu_pd(rp.add(4 * p), v);
+            }
+            if nw & 1 == 1 {
+                let w = nw - 1;
+                for f in 0..nf {
+                    rows[w] *= factors[f * nw + w].at(i);
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn walker_accum(
+        accs: &mut [C64],
+        amps: &[C64],
+        nw: usize,
+        base: usize,
+        m: usize,
+        f: &[C64],
+    ) {
+        let np = nw / 2;
+        let ap = amps.as_ptr() as *const f64;
+        // Per-pair accumulators live in registers across the block.
+        let mut av: Vec<__m256d> = {
+            let cp = accs.as_ptr() as *const f64;
+            (0..np).map(|p| _mm256_loadu_pd(cp.add(4 * p))).collect()
+        };
+        if m == 0 {
+            for (j, &fx) in f.iter().enumerate() {
+                let x = base + j;
+                let fxb = bcast_ri(fx);
+                let o = x * nw * 2;
+                for (p, a) in av.iter_mut().enumerate() {
+                    let row = _mm256_loadu_pd(ap.add(o + 4 * p));
+                    // |ψ|² per lane pair in norm_sqr's exact re·re + im·im
+                    // order, imaginary lanes blended to zero.
+                    let re = _mm256_movedup_pd(row);
+                    let im = _mm256_permute_pd(row, 0b1111);
+                    let n2 = _mm256_add_pd(_mm256_mul_pd(re, re), _mm256_mul_pd(im, im));
+                    let w = _mm256_blend_pd(n2, _mm256_setzero_pd(), 0b1010);
+                    *a = _mm256_add_pd(*a, cmul_amp(w, fxb));
+                }
+                if nw & 1 == 1 {
+                    let w = nw - 1;
+                    accs[w] += C64::new(amps[x * nw + w].norm_sqr(), 0.0) * fx;
+                }
+            }
+        } else {
+            for (j, &fx) in f.iter().enumerate() {
+                let x = base + j;
+                let fxb = bcast_ri(fx);
+                let o = x * nw * 2;
+                let om = (x ^ m) * nw * 2;
+                for (p, a) in av.iter_mut().enumerate() {
+                    let row = _mm256_loadu_pd(ap.add(o + 4 * p));
+                    let mate = conj_v(_mm256_loadu_pd(ap.add(om + 4 * p)));
+                    *a = _mm256_add_pd(*a, cmul_amp(cmul_vv(mate, row), fxb));
+                }
+                if nw & 1 == 1 {
+                    let w = nw - 1;
+                    accs[w] += (amps[(x ^ m) * nw + w].conj() * amps[x * nw + w]) * fx;
+                }
+            }
+        }
+        let cp = accs.as_mut_ptr() as *mut f64;
+        for (p, a) in av.iter().enumerate() {
+            _mm256_storeu_pd(cp.add(4 * p), *a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-qubit pair sweep.
+// ---------------------------------------------------------------------------
+
+/// One (lo, hi) half-pair: the full `2×2` update over equal-length runs,
+/// written on interleaved lanes. Expression-for-expression this is
+/// `kernels::pair_update` (`lo' = m00·a + m01·b`, `hi' = m10·a + m11·b`)
+/// with the complex products expanded, so it is bitwise identical to the
+/// scalar kernel on every input.
+#[inline(always)]
+fn mat2_pairs_body(lo: &mut [C64], hi: &mut [C64], m: &Mat2) {
+    debug_assert_eq!(lo.len(), hi.len());
+    let (m00, m01, m10, m11) = (m.0[0][0], m.0[0][1], m.0[1][0], m.0[1][1]);
+    let lo = lanes_mut(lo);
+    let hi = lanes_mut(hi);
+    for (l, h) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+        let (ar, ai) = (l[0], l[1]);
+        let (br, bi) = (h[0], h[1]);
+        l[0] = (m00.re * ar - m00.im * ai) + (m01.re * br - m01.im * bi);
+        l[1] = (m00.re * ai + m00.im * ar) + (m01.re * bi + m01.im * br);
+        h[0] = (m10.re * ar - m10.im * ai) + (m11.re * br - m11.im * bi);
+        h[1] = (m10.re * ai + m10.im * ar) + (m11.re * bi + m11.im * br);
+    }
+}
+
+#[inline(always)]
+fn mat2_sweep_body(amps: &mut [C64], stride: usize, m: &Mat2) {
+    let block = stride << 1;
+    for c in amps.chunks_mut(block) {
+        let (lo, hi) = c.split_at_mut(stride);
+        mat2_pairs_body(lo, hi, m);
+    }
+}
+
+/// Full serial single-qubit sweep: every block's (lo, hi) pair run
+/// through the `2×2` update. `stride = 2^q`. The dense sweeps dispatch to
+/// hand-written AVX2 kernels (see [`avx`]) rather than the
+/// auto-vectorized body — the explicit `vaddsubpd` form is bitwise
+/// identical and measurably faster.
+pub fn mat2_sweep(amps: &mut [C64], stride: usize, m: &Mat2) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_selected() {
+        return unsafe { avx::mat2_sweep(amps, stride, m) };
+    }
+    mat2_sweep_body(amps, stride, m)
+}
+
+/// One outer block's (lo, hi) half-pair — the per-block body the
+/// Rayon-parallel dispatch path hands to worker threads.
+pub fn mat2_pairs(lo: &mut [C64], hi: &mut [C64], m: &Mat2) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_selected() {
+        return unsafe { avx::mat2_pairs(lo, hi, m) };
+    }
+    mat2_pairs_body(lo, hi, m)
+}
+
+// ---------------------------------------------------------------------------
+// Two-qubit quad sweep.
+// ---------------------------------------------------------------------------
+
+/// The `4×4` update over four equal-length quadrant runs, on interleaved
+/// lanes. Matches `kernels::quad_update` bitwise: each output is
+/// `((row0·v0 + row1·v1) + row2·v2) + row3·v3` with the same
+/// left-associated addition order.
+#[inline(always)]
+fn mat4_quads_body(c00: &mut [C64], c01: &mut [C64], c10: &mut [C64], c11: &mut [C64], m: &Mat4) {
+    let n = c00.len();
+    debug_assert!(c01.len() == n && c10.len() == n && c11.len() == n);
+    let rows = m.0;
+    let c00 = lanes_mut(c00);
+    let c01 = lanes_mut(c01);
+    let c10 = lanes_mut(c10);
+    let c11 = lanes_mut(c11);
+    for j in 0..n {
+        let (re, im) = (2 * j, 2 * j + 1);
+        let v = [
+            (c00[re], c00[im]),
+            (c01[re], c01[im]),
+            (c10[re], c10[im]),
+            (c11[re], c11[im]),
+        ];
+        let mut out = [(0.0f64, 0.0f64); 4];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &rows[r];
+            // ((p0 + p1) + p2) + p3, each p = row[k] * v[k] expanded.
+            let mut acc_re = row[0].re * v[0].0 - row[0].im * v[0].1;
+            let mut acc_im = row[0].re * v[0].1 + row[0].im * v[0].0;
+            acc_re += row[1].re * v[1].0 - row[1].im * v[1].1;
+            acc_im += row[1].re * v[1].1 + row[1].im * v[1].0;
+            acc_re += row[2].re * v[2].0 - row[2].im * v[2].1;
+            acc_im += row[2].re * v[2].1 + row[2].im * v[2].0;
+            acc_re += row[3].re * v[3].0 - row[3].im * v[3].1;
+            acc_im += row[3].re * v[3].1 + row[3].im * v[3].0;
+            *o = (acc_re, acc_im);
+        }
+        c00[re] = out[0].0;
+        c00[im] = out[0].1;
+        c01[re] = out[1].0;
+        c01[im] = out[1].1;
+        c10[re] = out[2].0;
+        c10[im] = out[2].1;
+        c11[re] = out[3].0;
+        c11[im] = out[3].1;
+    }
+}
+
+#[inline(always)]
+fn mat4_half_pair_body(half0: &mut [C64], half1: &mut [C64], s_lo: usize, m: &Mat4) {
+    let lo_block = s_lo << 1;
+    for (c0, c1) in half0.chunks_mut(lo_block).zip(half1.chunks_mut(lo_block)) {
+        let (c00, c01) = c0.split_at_mut(s_lo);
+        let (c10, c11) = c1.split_at_mut(s_lo);
+        mat4_quads_body(c00, c01, c10, c11, m);
+    }
+}
+
+#[inline(always)]
+fn mat4_sweep_body(amps: &mut [C64], s_hi: usize, s_lo: usize, m: &Mat4) {
+    // Stack-copy the matrix so the optimizer can keep the 16 entries in
+    // registers across the sweep (same reasoning as apply_mat4_prenorm).
+    let m = &{ *m };
+    let block = s_hi << 1;
+    for c in amps.chunks_mut(block) {
+        let (h0, h1) = c.split_at_mut(s_hi);
+        mat4_half_pair_body(h0, h1, s_lo, m);
+    }
+}
+
+/// Full serial two-qubit sweep (`hi > lo` prenormalized, `s_hi = 2^hi`,
+/// `s_lo = 2^lo`). Dispatches to the explicit AVX2 quad kernel.
+pub fn mat4_sweep(amps: &mut [C64], s_hi: usize, s_lo: usize, m: &Mat4) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_selected() {
+        return unsafe { avx::mat4_sweep(amps, s_hi, s_lo, m) };
+    }
+    mat4_sweep_body(amps, s_hi, s_lo, m)
+}
+
+/// One outer block's half-pair — the per-block body of the
+/// block-parallel two-qubit path.
+pub fn mat4_half_pair(half0: &mut [C64], half1: &mut [C64], s_lo: usize, m: &Mat4) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_selected() {
+        return unsafe { avx::mat4_half_pair(half0, half1, s_lo, m) };
+    }
+    mat4_half_pair_body(half0, half1, s_lo, m)
+}
+
+// ---------------------------------------------------------------------------
+// Diagonal sweeps.
+// ---------------------------------------------------------------------------
+
+/// Multiplies a contiguous run by one complex constant — the innermost
+/// body of every diagonal fast path. `a *= d` expanded on lanes, matching
+/// `C64::mul` bitwise (`re' = re·d.re − im·d.im`, `im' = re·d.im + im·d.re`).
+#[inline(always)]
+fn diag_scale_body(amps: &mut [C64], d: C64) {
+    let lanes = lanes_mut(amps);
+    for a in lanes.chunks_exact_mut(2) {
+        let (re, im) = (a[0], a[1]);
+        a[0] = re * d.re - im * d.im;
+        a[1] = re * d.im + im * d.re;
+    }
+}
+
+#[inline(always)]
+fn diag1_sweep_body(amps: &mut [C64], q: usize, d0: C64, d1: C64) {
+    // Bit q is constant over runs of 2^q: alternate d0/d1 runs instead of
+    // re-deriving the bit per amplitude. Each amplitude still computes
+    // exactly `a *= d[bit]`, so this is value-identical to the indexed
+    // form for every iteration order.
+    let stride = 1usize << q;
+    for (k, run) in amps.chunks_mut(stride).enumerate() {
+        diag_scale_body(run, if k & 1 == 1 { d1 } else { d0 });
+    }
+}
+
+simd_dispatch! {
+    /// Serial diagonal single-qubit sweep in alternating constant runs.
+    pub fn diag1_sweep(amps: &mut [C64], q: usize, d0: C64, d1: C64) = diag1_sweep_body
+}
+
+#[inline(always)]
+fn diag2_sweep_body(amps: &mut [C64], hi: usize, lo: usize, d: &[C64; 4]) {
+    // Bits (hi, lo) are constant over runs of 2^lo; the run index carries
+    // both bits of every amplitude inside it.
+    let s_lo = 1usize << lo;
+    for (k, run) in amps.chunks_mut(s_lo).enumerate() {
+        let base = k * s_lo;
+        let idx = (((base >> hi) & 1) << 1) | ((base >> lo) & 1);
+        diag_scale_body(run, d[idx]);
+    }
+}
+
+simd_dispatch! {
+    /// Serial diagonal two-qubit sweep in constant runs (`hi > lo`).
+    pub fn diag2_sweep(amps: &mut [C64], hi: usize, lo: usize, d: &[C64; 4]) = diag2_sweep_body
+}
+
+#[inline(always)]
+fn diag_multi_sweep_body(amps: &mut [C64], factors: &[DiagFactor]) {
+    // Multi-factor sweeps keep the factor loop innermost so each
+    // amplitude multiplies the factors in plan order — the bitwise
+    // contract of apply_diag_sweep.
+    for (i, a) in amps.iter_mut().enumerate() {
+        for f in factors {
+            *a *= f.at(i);
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Serial multi-factor diagonal sweep (factor loop innermost).
+    pub fn diag_multi_sweep(amps: &mut [C64], factors: &[DiagFactor]) = diag_multi_sweep_body
+}
+
+// ---------------------------------------------------------------------------
+// Expectation-value flip-mask sign sweep.
+// ---------------------------------------------------------------------------
+
+/// Fills `out[j]` with the group phase `Σ_t c_t·(−1)^{|(base+j) ∧ z_t|}`
+/// for a block of consecutive amplitude indices. The term loop runs
+/// *outer* so the per-index accumulation sequence matches
+/// `energy_direct_batched`'s original inner loop term-for-term (each
+/// `out[j]` receives `c.scale(sign)` contributions in Hamiltonian group
+/// order), while the index loop becomes a branch-free lane sweep LLVM can
+/// vectorize: `x & z`, popcount parity, `sign = 1 − 2·parity`, two
+/// multiply-adds.
+#[inline(always)]
+fn group_phase_block_body(out: &mut [C64], base: usize, terms: &[(u64, C64, u64)]) {
+    for o in out.iter_mut() {
+        *o = C64::default();
+    }
+    for &(_, c, z) in terms {
+        for (j, o) in out.iter_mut().enumerate() {
+            let x = (base + j) as u64;
+            let sign = 1.0 - 2.0 * ((x & z).count_ones() & 1) as f64;
+            o.re += c.re * sign;
+            o.im += c.im * sign;
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Group-phase block fill for the batched direct expectation.
+    pub fn group_phase_block(out: &mut [C64], base: usize, terms: &[(u64, C64, u64)]) =
+        group_phase_block_body
+}
+
+/// Fills `out[j]` with the flip-group pair weight for amplitude
+/// `x = base + j`: `|ψ[x]|²` for the diagonal (`m = 0`) group, else
+/// `conj(ψ[x⊕m])·ψ[x]` — exactly the `w` of `energy_direct_batched`'s
+/// inner loop, with the `m` branch hoisted out of the lane sweep.
+#[inline(always)]
+fn flip_weights_block_body(out: &mut [C64], psi: &[C64], base: usize, m: usize) {
+    if m == 0 {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = C64::new(psi[base + j].norm_sqr(), 0.0);
+        }
+    } else {
+        for (j, o) in out.iter_mut().enumerate() {
+            let x = base + j;
+            *o = psi[x ^ m].conj() * psi[x];
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Flip-group pair-weight block fill for the batched direct
+    /// expectation.
+    pub fn flip_weights_block(out: &mut [C64], psi: &[C64], base: usize, m: usize) =
+        flip_weights_block_body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwq_common::mat::{mat_cx, mat_h, mat_rz, mat_rzz};
+
+    fn rand_state(n: usize, seed: u64) -> Vec<C64> {
+        (0..1usize << n)
+            .map(|i| {
+                let t = (i as f64 * 0.37 + seed as f64).sin();
+                C64::new(t, (t * 2.1).cos())
+            })
+            .collect()
+    }
+
+    fn bits(v: &[C64]) -> Vec<(u64, u64)> {
+        v.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+    }
+
+    /// Runs `f` twice — SIMD-selected and scalar-forced — and asserts the
+    /// two results are bitwise identical.
+    fn assert_instantiations_agree(mut f: impl FnMut(&mut [C64]), n: usize, seed: u64) {
+        let psi = rand_state(n, seed);
+        let mut fast = psi.clone();
+        let mut slow = psi;
+        set_force_scalar(false);
+        f(&mut fast);
+        set_force_scalar(true);
+        f(&mut slow);
+        set_force_scalar(false);
+        assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn mat2_instantiations_bitwise_identical() {
+        for q in [0usize, 3, 9] {
+            assert_instantiations_agree(|a| mat2_sweep(a, 1 << q, &mat_h()), 10, q as u64);
+        }
+    }
+
+    #[test]
+    fn mat4_instantiations_bitwise_identical() {
+        for (hi, lo) in [(1usize, 0usize), (9, 4), (9, 8)] {
+            assert_instantiations_agree(
+                |a| mat4_sweep(a, 1 << hi, 1 << lo, &mat_cx()),
+                10,
+                (hi * 13 + lo) as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn diag_instantiations_bitwise_identical() {
+        let rz = mat_rz(0.83);
+        assert_instantiations_agree(|a| diag1_sweep(a, 4, rz.0[0][0], rz.0[1][1]), 10, 5);
+        let rzz = mat_rzz(1.1);
+        let d = [rzz.0[0][0], rzz.0[1][1], rzz.0[2][2], rzz.0[3][3]];
+        assert_instantiations_agree(|a| diag2_sweep(a, 7, 2, &d), 10, 6);
+    }
+
+    #[test]
+    fn group_phase_instantiations_bitwise_identical() {
+        let terms: Vec<(u64, C64, u64)> = (0..7)
+            .map(|t| {
+                (
+                    0u64,
+                    C64::new(0.1 * t as f64, -0.02 * t as f64),
+                    0b1011 << t,
+                )
+            })
+            .collect();
+        let mut fast = vec![C64::default(); 64];
+        let mut slow = vec![C64::default(); 64];
+        set_force_scalar(false);
+        group_phase_block(&mut fast, 128, &terms);
+        set_force_scalar(true);
+        group_phase_block(&mut slow, 128, &terms);
+        set_force_scalar(false);
+        assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    #[test]
+    fn force_scalar_round_trips() {
+        assert!(!scalar_forced() || env_forced_scalar());
+        set_force_scalar(true);
+        assert!(scalar_forced());
+        assert!(!simd_selected());
+        set_force_scalar(false);
+    }
+}
