@@ -23,7 +23,10 @@
 //! Usage: `dist_scaling [--quick] [--out PATH]` (default `./BENCH_dist.json`).
 
 use nwq_circuit::Circuit;
-use nwq_dist::{distributed_energy, plan_communication, run_distributed, CostModel};
+use nwq_dist::{
+    distributed_energy, plan_communication, run_distributed, run_sharded_resilient, CostModel,
+    FaultSchedule, RecoveryOptions, ShardOptions,
+};
 use nwq_pauli::PauliOp;
 use nwq_telemetry::{JsonValue, Object};
 use std::time::Instant;
@@ -115,6 +118,110 @@ fn run_point(n_qubits: usize, n_ranks: usize, layers: usize, op: &PauliOp) -> Po
     }
 }
 
+/// Survivability probe on one grid point, feeding the report's `recovery`
+/// block: snapshot overhead (clean resilient run with consistent-cut
+/// snapshots vs the plain sharded run, summed over `reps` repetitions to
+/// damp timer noise) and recovery latency over a sweep of single-rank
+/// deaths spread across the gate tape — every recovered run checked
+/// bitwise against the fault-free amplitudes.
+fn recovery_probe(
+    n_qubits: usize,
+    n_ranks: usize,
+    layers: usize,
+    snapshot_every: usize,
+    death_runs: usize,
+    reps: usize,
+) -> JsonValue {
+    let c = layered_circuit(n_qubits, layers);
+    let opts = ShardOptions {
+        fuse_local: false,
+        exchange_timeout_ms: 500,
+        exchange_retries: 2,
+    };
+    let recovery = RecoveryOptions {
+        snapshot_every,
+        max_recoveries: 4,
+        keep_versions: 2,
+        snapshot_dir: None,
+    };
+    let clean = run_distributed(&c, &[], n_ranks).expect("clean run");
+    let clean_amps: Vec<u64> = clean
+        .gather()
+        .amplitudes()
+        .iter()
+        .flat_map(|a| [a.re.to_bits(), a.im.to_bits()])
+        .collect();
+
+    // Best-of-reps damps scheduler noise on both sides; the systematic
+    // snapshot cost is what survives the min.
+    let mut plain_s = f64::INFINITY;
+    let mut resilient_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        run_distributed(&c, &[], n_ranks).expect("plain rep");
+        plain_s = plain_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let (state, report) =
+            run_sharded_resilient(&c, &[], n_ranks, &opts, &recovery, &FaultSchedule::none())
+                .expect("clean resilient rep");
+        resilient_s = resilient_s.min(t.elapsed().as_secs_f64());
+        assert_eq!(report.recoveries, 0, "clean runs must not recover");
+        assert!(report.snapshots_planned > 0);
+        drop(state);
+    }
+    let overhead_pct = ((resilient_s - plain_s) / plain_s * 100.0).max(0.0);
+    assert!(
+        overhead_pct < 10.0,
+        "snapshot overhead must stay under 10% of sweep time, got {overhead_pct:.2}% \
+         (plain {plain_s:.4}s vs resilient {resilient_s:.4}s over {reps} reps)"
+    );
+
+    let n_gates = c.gates().len();
+    let mut recovery_ms: Vec<f64> = Vec::new();
+    let mut bitwise = true;
+    for k in 0..death_runs {
+        let gate_step = (k * n_gates) / death_runs;
+        let rank = k % n_ranks;
+        let schedule = FaultSchedule::kill(gate_step, rank);
+        let (state, report) = run_sharded_resilient(&c, &[], n_ranks, &opts, &recovery, &schedule)
+            .expect("recovered run");
+        assert_eq!(report.recoveries, 1, "one death, one recovery");
+        recovery_ms.extend(&report.recovery_ms);
+        let amps: Vec<u64> = state
+            .gather()
+            .amplitudes()
+            .iter()
+            .flat_map(|a| [a.re.to_bits(), a.im.to_bits()])
+            .collect();
+        bitwise &= amps == clean_amps;
+    }
+    assert!(bitwise, "recovered amplitudes must be bitwise identical");
+    recovery_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        let idx = ((recovery_ms.len() as f64 - 1.0) * p).round() as usize;
+        recovery_ms[idx]
+    };
+    println!(
+        "recovery probe {n_qubits}q × {n_ranks}r: snapshot overhead {overhead_pct:.2}%, \
+         {death_runs} deaths recovered bitwise, restore p50 {:.3} ms / p99 {:.3} ms",
+        pct(0.5),
+        pct(0.99)
+    );
+
+    let mut o = Object::new();
+    o.push("probe_qubits", JsonValue::Int(n_qubits as u64));
+    o.push("probe_ranks", JsonValue::Int(n_ranks as u64));
+    o.push("snapshot_every", JsonValue::Int(snapshot_every as u64));
+    o.push("plain_wall_s", JsonValue::Float(plain_s));
+    o.push("resilient_wall_s", JsonValue::Float(resilient_s));
+    o.push("snapshot_overhead_pct", JsonValue::Float(overhead_pct));
+    o.push("death_runs", JsonValue::Int(death_runs as u64));
+    o.push("recovery_p50_ms", JsonValue::Float(pct(0.5)));
+    o.push("recovery_p99_ms", JsonValue::Float(pct(0.99)));
+    o.push("bitwise_identical", JsonValue::Int(u64::from(bitwise)));
+    o.into_value()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -166,6 +273,18 @@ fn main() {
     report.push("layers", JsonValue::Int(layers as u64));
     report.push("gather_free_readout", JsonValue::Int(1));
     report.push("plan_matches_measured", JsonValue::Int(1));
+    // Survivability probe: a mid-grid point through the resilient
+    // executor, in BOTH modes so quick and full artifacts share a schema.
+    // snapshot_every is the amortization knob: a snapshot memcpys the
+    // whole shard (≈ the cost of one dense gate), so a cadence of 24
+    // keeps the overhead comfortably inside the <10% budget while still
+    // bounding replay to 24 gates.
+    let recovery = if quick {
+        recovery_probe(16, 4, layers, 24, 8, 5)
+    } else {
+        recovery_probe(18, 4, layers, 24, 12, 5)
+    };
+    report.push("recovery", recovery);
     let mut arr = Vec::new();
     for p in &points {
         let mut o = Object::new();

@@ -19,6 +19,8 @@
 //!           [--priority low|normal|high] [--deadline-ms MS] [--id N] [--wait 0|1]
 //!           [--timeout-ms MS]
 //! nwq dist  [--qubits N] [--ranks R] [--layers L] [--fuse-local 0|1]
+//!           [--snapshot-every N] [--inject-rank-loss RATE] [--fault-seed SEED]
+//!           [--exchange-timeout-ms MS] [--exchange-retries N]
 //!           [--metrics FILE.json]
 //! nwq info
 //! ```
@@ -385,12 +387,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 /// `nwq dist`: run a layered benchmark circuit through the real sharded
 /// executor and report the measured-vs-modeled communication picture plus
-/// a gather-free energy readout.
+/// a gather-free energy readout. `--snapshot-every` / `--inject-rank-loss`
+/// route through the survivable executor: consistent-cut snapshots plus
+/// bitwise replay recovery from scheduled rank deaths.
 fn cmd_dist(args: &Args) -> Result<(), String> {
     let n_qubits: usize = args.get("qubits", 16)?;
     let n_ranks: usize = args.get("ranks", 4)?;
     let layers: usize = args.get("layers", 2)?;
     let fuse_local = args.get("fuse-local", 0u8)? != 0;
+    let snapshot_every: usize = args.get("snapshot-every", 0)?;
+    let loss_rate: f64 = args.get("inject-rank-loss", 0.0)?;
+    if !(0.0..=1.0).contains(&loss_rate) {
+        return Err(format!(
+            "--inject-rank-loss must be in [0, 1], got {loss_rate}"
+        ));
+    }
+    let resilient = snapshot_every > 0 || loss_rate > 0.0;
+    if resilient && fuse_local {
+        return Err("--fuse-local 1 is incompatible with the resilient path \
+                    (recovery replays per-gate for bitwise identity)"
+            .into());
+    }
 
     // Layered hardware-efficient circuit whose CX ring always crosses the
     // global/local boundary — same family the dist_scaling bench sweeps.
@@ -408,9 +425,48 @@ fn cmd_dist(args: &Args) -> Result<(), String> {
     }
 
     let plan = nwq_dist::plan_communication(&c, n_ranks).map_err(|e| e.to_string())?;
+    let opts = nwq_dist::ShardOptions {
+        fuse_local,
+        exchange_timeout_ms: args.get("exchange-timeout-ms", 2000)?,
+        exchange_retries: args.get("exchange-retries", 4)?,
+    };
     let started = std::time::Instant::now();
-    let opts = nwq_dist::ShardOptions { fuse_local };
-    let state = nwq_dist::run_sharded(&c, &[], n_ranks, &opts).map_err(|e| e.to_string())?;
+    let (state, recovery_report) = if resilient {
+        let schedule = if loss_rate > 0.0 {
+            let seed: u64 = args.get("fault-seed", 12345)?;
+            let mut inj = nwq_dist::FaultInjector::new(nwq_dist::FaultSpec {
+                rank_death: loss_rate,
+                seed,
+                ..Default::default()
+            });
+            let s = nwq_dist::FaultSchedule::from_injector(&mut inj, c.gates().len(), n_ranks);
+            println!(
+                "faults  : scheduling {} rank deaths at rate {loss_rate} (seed {seed})",
+                s.deaths.len()
+            );
+            s
+        } else {
+            nwq_dist::FaultSchedule::none()
+        };
+        let recovery = nwq_dist::RecoveryOptions {
+            snapshot_every: if snapshot_every > 0 {
+                snapshot_every
+            } else {
+                8
+            },
+            // Every scheduled death costs at most one recovery; the slack
+            // covers nothing in practice but keeps the budget non-brittle.
+            max_recoveries: schedule.deaths.len() as u32 + 4,
+            ..Default::default()
+        };
+        let (state, report) =
+            nwq_dist::run_distributed_resilient(&c, &[], n_ranks, &opts, &recovery, &schedule)
+                .map_err(|e| e.to_string())?;
+        (state, Some(report))
+    } else {
+        let state = nwq_dist::run_sharded(&c, &[], n_ranks, &opts).map_err(|e| e.to_string())?;
+        (state, None)
+    };
     let wall_s = started.elapsed().as_secs_f64();
     let stats = state.comm_stats();
 
@@ -445,7 +501,10 @@ fn cmd_dist(args: &Args) -> Result<(), String> {
         "comm    : {} messages, {} bytes (planned {} / {})",
         stats.messages, stats.bytes, plan.messages, plan.bytes
     );
-    if !fuse_local && stats != plan {
+    // After a recovery, the measured stats cover only the final
+    // generation's replayed suffix — the plan-equality invariant only
+    // holds for fault-free runs.
+    if !fuse_local && loss_rate == 0.0 && stats != plan {
         return Err("measured exchange traffic diverged from plan_communication".into());
     }
     println!(
@@ -457,6 +516,19 @@ fn cmd_dist(args: &Args) -> Result<(), String> {
         "measured: {wall_s:.3} s wall, {:.3e} amplitude updates/s",
         updates / wall_s
     );
+    if let Some(report) = &recovery_report {
+        println!(
+            "recovery: {} snapshots planned, {} recoveries over {} generations{}",
+            report.snapshots_planned,
+            report.recoveries,
+            report.generations,
+            if report.resume_steps.is_empty() {
+                String::new()
+            } else {
+                format!(" (resumed at tape steps {:?})", report.resume_steps)
+            }
+        );
+    }
     println!("E       : {energy:+.6} (gather-free ZZ-ring readout)");
     Ok(())
 }

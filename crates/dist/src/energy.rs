@@ -100,6 +100,25 @@ pub fn run_distributed_energy(
     Ok((energy, state.comm_stats()))
 }
 
+/// [`run_distributed_energy`] through the survivable executor: the gate
+/// phase runs with snapshots + recovery, then the energy is read out
+/// gather-free from the recovered (bitwise-identical) shards. Returns
+/// `(energy, recovery report)`.
+pub fn run_resilient_energy(
+    circuit: &nwq_circuit::Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    op: &PauliOp,
+    opts: &crate::shard::ShardOptions,
+    recovery: &crate::shard::RecoveryOptions,
+    schedule: &crate::faults::FaultSchedule,
+) -> Result<(f64, crate::shard::RecoveryReport)> {
+    let (state, report) =
+        crate::exec::run_distributed_resilient(circuit, params, n_ranks, opts, recovery, schedule)?;
+    let energy = distributed_energy(&state, op)?;
+    Ok((energy, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

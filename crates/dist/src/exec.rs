@@ -1,9 +1,12 @@
 //! Circuit execution on the distributed statevector.
 
 use crate::comm::CommStats;
-use crate::faults::FaultInjector;
+use crate::faults::{FaultInjector, FaultSchedule};
 use crate::partition::DistStateVector;
-use crate::shard::{run_sharded, run_sharded_faulty, ShardOptions};
+use crate::shard::{
+    run_sharded, run_sharded_faulty, run_sharded_resilient, RecoveryOptions, RecoveryReport,
+    ShardOptions,
+};
 use nwq_circuit::Circuit;
 use nwq_common::Result;
 use nwq_statevec::StateVector;
@@ -56,6 +59,23 @@ pub fn run_distributed_faulty(
 ) -> Result<DistStateVector> {
     let _span = nwq_telemetry::span!("dist.run_faulty");
     run_sharded_faulty(circuit, params, n_ranks, injector)
+}
+
+/// Runs `circuit` through the survivable sharded executor
+/// ([`crate::shard::run_sharded_resilient`]): consistent-cut snapshots,
+/// exchange deadlines, and bitwise replay recovery from the faults
+/// `schedule` plans (or any real channel failure). Telemetry records the
+/// recovery count and latency under `resilience.shard_*`.
+pub fn run_distributed_resilient(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    opts: &ShardOptions,
+    recovery: &RecoveryOptions,
+    schedule: &FaultSchedule,
+) -> Result<(DistStateVector, RecoveryReport)> {
+    let _span = nwq_telemetry::span!("dist.run_resilient");
+    run_sharded_resilient(circuit, params, n_ranks, opts, recovery, schedule)
 }
 
 /// Runs distributed and gathers, returning `(state, comm stats)` — the

@@ -26,9 +26,24 @@ pub struct FaultSpec {
     /// (models accumulated floating-point corruption).
     pub norm_drift: f64,
     /// Probability that a rank is lost during a global-qubit exchange.
+    /// This is the *legacy, terminal* class: the run aborts. For the
+    /// recoverable class see [`FaultSpec::rank_death`].
     pub rank_loss: f64,
     /// Probability that an exchanged message corrupts an amplitude.
     pub message_corruption: f64,
+    /// Probability (per gate step) that a rank process dies — the
+    /// *recoverable* class consumed by [`crate::shard::run_sharded_resilient`]
+    /// via [`FaultSchedule::from_injector`].
+    pub rank_death: f64,
+    /// Probability (per gate step) that a rank silently drops its exchange
+    /// sends, leaving partners to hit their receive deadline.
+    pub message_drop: f64,
+    /// Probability (per gate step) that a rank stalls as a straggler
+    /// before executing the step.
+    pub message_delay: f64,
+    /// Straggler stall length in milliseconds (used when `message_delay`
+    /// fires).
+    pub delay_ms: u64,
     /// RNG seed; the whole fault sequence is a pure function of it.
     pub seed: u64,
 }
@@ -41,6 +56,10 @@ impl Default for FaultSpec {
             norm_drift: 0.0,
             rank_loss: 0.0,
             message_corruption: 0.0,
+            rank_death: 0.0,
+            message_drop: 0.0,
+            message_delay: 0.0,
+            delay_ms: 0,
             seed: 0,
         }
     }
@@ -64,6 +83,9 @@ impl FaultSpec {
             || self.norm_drift > 0.0
             || self.rank_loss > 0.0
             || self.message_corruption > 0.0
+            || self.rank_death > 0.0
+            || self.message_drop > 0.0
+            || self.message_delay > 0.0
     }
 }
 
@@ -80,6 +102,12 @@ pub struct FaultStats {
     pub rank_losses: u64,
     /// Message corruptions fired.
     pub message_corruptions: u64,
+    /// Recoverable rank deaths fired.
+    pub rank_deaths: u64,
+    /// Message drops fired.
+    pub message_drops: u64,
+    /// Straggler delays fired.
+    pub message_delays: u64,
 }
 
 impl FaultStats {
@@ -90,6 +118,9 @@ impl FaultStats {
             + self.norm_drifts
             + self.rank_losses
             + self.message_corruptions
+            + self.rank_deaths
+            + self.message_drops
+            + self.message_delays
     }
 }
 
@@ -178,6 +209,45 @@ impl FaultInjector {
         fired
     }
 
+    /// Should a rank die at the next gate step (recoverably)? Returns the
+    /// dying rank id when it fires; a second draw decides whether it dies
+    /// mid-exchange (after its sends, before its receives).
+    pub fn should_kill_rank(&mut self, n_ranks: usize) -> Option<(usize, bool)> {
+        let fired = self.trip(self.spec.rank_death, "resilience.faults.rank_death");
+        self.stats.rank_deaths += fired as u64;
+        if fired && n_ranks > 0 {
+            let rank = self.rng.gen_range(0..n_ranks);
+            let mid_exchange = self.rng.gen_bool(0.5);
+            Some((rank, mid_exchange))
+        } else {
+            None
+        }
+    }
+
+    /// Should a rank drop its exchange sends at the next gate step?
+    /// Returns the dropping rank id when it fires.
+    pub fn should_drop_message(&mut self, n_ranks: usize) -> Option<usize> {
+        let fired = self.trip(self.spec.message_drop, "resilience.faults.message_drop");
+        self.stats.message_drops += fired as u64;
+        if fired && n_ranks > 0 {
+            Some(self.rng.gen_range(0..n_ranks))
+        } else {
+            None
+        }
+    }
+
+    /// Should a rank straggle at the next gate step? Returns
+    /// `(rank, delay_ms)` when it fires.
+    pub fn should_delay_message(&mut self, n_ranks: usize) -> Option<(usize, u64)> {
+        let fired = self.trip(self.spec.message_delay, "resilience.faults.message_delay");
+        self.stats.message_delays += fired as u64;
+        if fired && n_ranks > 0 {
+            Some((self.rng.gen_range(0..n_ranks), self.spec.delay_ms))
+        } else {
+            None
+        }
+    }
+
     /// A random index into a partition of `len` amplitudes (used to pick
     /// the corruption site).
     pub fn pick_index(&mut self, len: usize) -> usize {
@@ -186,6 +256,109 @@ impl FaultInjector {
         } else {
             self.rng.gen_range(0..len)
         }
+    }
+}
+
+/// A rank death planned at a gate step. `mid_exchange` deaths complete the
+/// send half of the step's pair-exchange and die before the receive half —
+/// the worst case for partners, who see the step's payload arrive and then
+/// the channel close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankDeath {
+    /// Gate index (0-based, over the circuit's gate sequence).
+    pub gate_step: usize,
+    /// Dying rank id.
+    pub rank: usize,
+    /// Die after sends but before receives at that step.
+    pub mid_exchange: bool,
+}
+
+/// A planned message drop: `rank` silently skips its sends at `gate_step`,
+/// so partners hit their receive deadline instead of a closed channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageDrop {
+    /// Gate index (0-based).
+    pub gate_step: usize,
+    /// Dropping rank id.
+    pub rank: usize,
+}
+
+/// A planned straggler stall: `rank` sleeps `delay_ms` before executing
+/// `gate_step`. Stalls under the exchange deadline must NOT trigger
+/// recovery (no false positives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankDelay {
+    /// Gate index (0-based).
+    pub gate_step: usize,
+    /// Straggling rank id.
+    pub rank: usize,
+    /// Stall length in milliseconds.
+    pub delay_ms: u64,
+}
+
+/// A deterministic schedule of recoverable shard faults, in *gate*
+/// coordinates. The resilient compiler translates these to absolute tape
+/// indices and arms each entry exactly once, so a fault fires in the
+/// generation that first reaches its step and never re-fires during
+/// replay (which would otherwise recovery-loop forever).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Planned rank deaths.
+    pub deaths: Vec<RankDeath>,
+    /// Planned message drops.
+    pub drops: Vec<MessageDrop>,
+    /// Planned straggler stalls.
+    pub delays: Vec<RankDelay>,
+}
+
+impl FaultSchedule {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// A single clean rank death at `gate_step`.
+    pub fn kill(gate_step: usize, rank: usize) -> Self {
+        FaultSchedule {
+            deaths: vec![RankDeath {
+                gate_step,
+                rank,
+                mid_exchange: false,
+            }],
+            ..FaultSchedule::default()
+        }
+    }
+
+    /// Whether the schedule plans any fault.
+    pub fn is_empty(&self) -> bool {
+        self.deaths.is_empty() && self.drops.is_empty() && self.delays.is_empty()
+    }
+
+    /// Draws a schedule from a seeded injector: one `rank_death`,
+    /// `message_drop`, and `message_delay` opportunity per gate step, in
+    /// that order, so the schedule is a pure function of the spec.
+    pub fn from_injector(inj: &mut FaultInjector, n_gates: usize, n_ranks: usize) -> Self {
+        let mut schedule = FaultSchedule::default();
+        for gate_step in 0..n_gates {
+            if let Some((rank, mid_exchange)) = inj.should_kill_rank(n_ranks) {
+                schedule.deaths.push(RankDeath {
+                    gate_step,
+                    rank,
+                    mid_exchange,
+                });
+            }
+            if let Some(rank) = inj.should_drop_message(n_ranks) {
+                schedule.drops.push(MessageDrop { gate_step, rank });
+            }
+            if let Some((rank, delay_ms)) = inj.should_delay_message(n_ranks) {
+                schedule.delays.push(RankDelay {
+                    gate_step,
+                    rank,
+                    delay_ms,
+                });
+            }
+        }
+        schedule
     }
 }
 
@@ -257,6 +430,67 @@ mod tests {
         nwq_telemetry::set_enabled(false);
         assert_eq!(injected, 2);
         assert_eq!(by_class, 2);
+    }
+
+    #[test]
+    fn schedule_from_injector_is_deterministic_and_in_range() {
+        let spec = FaultSpec {
+            rank_death: 0.2,
+            message_drop: 0.1,
+            message_delay: 0.15,
+            delay_ms: 25,
+            seed: 42,
+            ..FaultSpec::default()
+        };
+        assert!(spec.is_active());
+        let draw = || FaultSchedule::from_injector(&mut FaultInjector::new(spec), 64, 4);
+        let (s1, s2) = (draw(), draw());
+        assert_eq!(s1, s2);
+        assert!(!s1.is_empty());
+        assert!(s1.deaths.iter().all(|d| d.rank < 4 && d.gate_step < 64));
+        assert!(s1.drops.iter().all(|d| d.rank < 4 && d.gate_step < 64));
+        assert!(s1
+            .delays
+            .iter()
+            .all(|d| d.rank < 4 && d.gate_step < 64 && d.delay_ms == 25));
+        let mut inj = FaultInjector::new(spec);
+        let _ = FaultSchedule::from_injector(&mut inj, 64, 4);
+        let stats = inj.stats();
+        assert_eq!(stats.rank_deaths as usize, s1.deaths.len());
+        assert_eq!(stats.message_drops as usize, s1.drops.len());
+        assert_eq!(stats.message_delays as usize, s1.delays.len());
+    }
+
+    #[test]
+    fn new_classes_do_not_shift_legacy_draw_sequences() {
+        // The legacy fault classes must keep their seeded sequences even
+        // now that the spec carries recoverable-class rates: legacy draws
+        // happen through the same `trip` path in the same order, and the
+        // new classes only consume RNG when their methods are called.
+        let legacy = FaultSpec {
+            rank_loss: 0.3,
+            seed: 17,
+            ..FaultSpec::default()
+        };
+        let mut a = FaultInjector::new(legacy);
+        let mut b = FaultInjector::new(FaultSpec {
+            rank_death: 0.5,
+            message_drop: 0.5,
+            ..legacy
+        });
+        let seq_a: Vec<Option<usize>> = (0..100).map(|_| a.should_lose_rank(8)).collect();
+        let seq_b: Vec<Option<usize>> = (0..100).map(|_| b.should_lose_rank(8)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn kill_schedule_is_a_single_clean_death() {
+        let s = FaultSchedule::kill(7, 2);
+        assert_eq!(s.deaths.len(), 1);
+        assert!(s.drops.is_empty() && s.delays.is_empty());
+        let d = s.deaths[0];
+        assert_eq!((d.gate_step, d.rank, d.mid_exchange), (7, 2, false));
+        assert!(FaultSchedule::none().is_empty());
     }
 
     #[test]

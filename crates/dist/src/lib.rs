@@ -19,8 +19,11 @@
 //! - [`exec`] — circuit execution and gather-based verification (bit-exact
 //!   against the single-node simulator for every rank count);
 //! - [`faults`] — deterministic seeded fault injection (lost ranks,
-//!   corrupted exchanges, norm drift, failed evaluations) used to exercise
-//!   the workspace's recovery paths.
+//!   corrupted exchanges, norm drift, failed evaluations, recoverable
+//!   rank deaths / message drops / stragglers) used to exercise the
+//!   workspace's recovery paths;
+//! - [`snapshot`] — versioned consistent-cut shard snapshots backing
+//!   [`shard::run_sharded_resilient`]'s bitwise rank-loss recovery.
 
 #![warn(missing_docs)]
 
@@ -32,15 +35,24 @@ pub mod faults;
 pub mod partition;
 pub mod remap;
 pub mod shard;
+pub mod snapshot;
 
 pub use comm::{plan_communication, CommStats};
 pub use costmodel::CostModel;
-pub use energy::{distributed_energy, run_distributed_energy};
-pub use exec::{run_and_gather, run_distributed, run_distributed_faulty};
-pub use faults::{FaultInjector, FaultSpec, FaultStats};
+pub use energy::{distributed_energy, run_distributed_energy, run_resilient_energy};
+pub use exec::{
+    run_and_gather, run_distributed, run_distributed_faulty, run_distributed_resilient,
+};
+pub use faults::{
+    FaultInjector, FaultSchedule, FaultSpec, FaultStats, MessageDrop, RankDeath, RankDelay,
+};
 pub use partition::DistStateVector;
 pub use remap::{plan_layout, run_distributed_with_layout};
-pub use shard::{run_sharded, run_sharded_faulty, ShardOptions};
+pub use shard::{
+    run_sharded, run_sharded_faulty, run_sharded_resilient, RecoveryOptions, RecoveryReport,
+    ShardOptions,
+};
+pub use snapshot::SnapshotStore;
 
 #[cfg(test)]
 mod proptests {

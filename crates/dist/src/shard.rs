@@ -21,24 +21,62 @@
 //! kernels' arithmetic exactly, including the diagonal fast paths.
 
 use crate::comm::CommStats;
-use crate::faults::FaultInjector;
+use crate::faults::{FaultInjector, FaultSchedule};
 use crate::partition::DistStateVector;
+use crate::snapshot::SnapshotStore;
 use nwq_circuit::{Circuit, Gate, GateMatrix};
 use nwq_common::{Error, Mat2, Mat4, Result, C64, C_ONE, C_ZERO};
 use nwq_statevec::kernels;
 use nwq_statevec::{ExecPlan, PlanOp};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options for [`run_sharded`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ShardOptions {
     /// Fuse runs of ≥ 2 consecutive rank-local gates through the compiled
     /// [`ExecPlan`] machinery (template cache + rebind). Fusion multiplies
     /// matrices, so the result is no longer *bitwise* identical to the
     /// per-gate path — the parity harness runs unfused; benches opt in.
     pub fuse_local: bool,
+    /// Per-attempt receive deadline (milliseconds) on every pair-exchange.
+    /// A partner that neither delivers nor disconnects within the deadline
+    /// is retried with exponential backoff; after the retry budget the
+    /// exchange fails instead of blocking forever.
+    pub exchange_timeout_ms: u64,
+    /// Bounded retry budget per exchange receive. Attempt `k` waits
+    /// `exchange_timeout_ms << k`, so the defaults tolerate ~1 min of
+    /// stall before declaring the partner lost.
+    pub exchange_retries: u32,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            fuse_local: false,
+            exchange_timeout_ms: 2000,
+            exchange_retries: 4,
+        }
+    }
+}
+
+/// Receive-deadline policy every worker applies to every pair-exchange.
+#[derive(Clone, Copy, Debug)]
+struct ExchangeDeadline {
+    timeout: Duration,
+    retries: u32,
+}
+
+impl From<&ShardOptions> for ExchangeDeadline {
+    fn from(opts: &ShardOptions) -> Self {
+        ExchangeDeadline {
+            timeout: Duration::from_millis(opts.exchange_timeout_ms.max(1)),
+            retries: opts.exchange_retries,
+        }
+    }
 }
 
 /// One entry of the compiled, deterministic step list every worker replays.
@@ -67,6 +105,9 @@ enum Step {
     /// Injected fault: the named rank dies (always the final step — the
     /// legacy injector aborted the run at the point the loss fired).
     Lose { rank: usize },
+    /// Snapshot barrier: every rank deposits a bitwise copy of its shard
+    /// as `version` of the consistent cut (resilient tapes only).
+    Snapshot { version: usize },
 }
 
 /// Compiled execution: the shared step list plus the gate accounting the
@@ -278,12 +319,40 @@ impl Mesh {
             .map_err(|_| lost(rank, to))
     }
 
-    fn recv(&self, rank: usize, from: usize, step: usize, part_len: usize) -> Result<Vec<C64>> {
-        let (tag, payload) = self.receivers[from]
+    /// Receives the step-`step` payload from `from` under the exchange
+    /// deadline: each missed wait doubles the next one (bounded backoff),
+    /// and an exhausted budget reports the partner as missing its deadline
+    /// instead of blocking the worker forever.
+    fn recv(
+        &self,
+        rank: usize,
+        from: usize,
+        step: usize,
+        part_len: usize,
+        deadline: ExchangeDeadline,
+    ) -> Result<Vec<C64>> {
+        let rx = self.receivers[from]
             .as_ref()
-            .ok_or_else(|| lost(rank, from))?
-            .recv()
-            .map_err(|_| lost(rank, from))?;
+            .ok_or_else(|| lost(rank, from))?;
+        let mut wait = deadline.timeout;
+        let mut waits = 0u32;
+        let (tag, payload) = loop {
+            match rx.recv_timeout(wait) {
+                Ok(msg) => break msg,
+                Err(RecvTimeoutError::Disconnected) => return Err(lost(rank, from)),
+                Err(RecvTimeoutError::Timeout) => {
+                    nwq_telemetry::counter_add("resilience.shard_exchange_timeouts", 1);
+                    waits += 1;
+                    if waits > deadline.retries {
+                        return Err(Error::Backend(format!(
+                            "rank {rank}: exchange with rank {from} missed its deadline \
+                             at step {step} ({waits} waits, last {wait:?})"
+                        )));
+                    }
+                    wait = wait.saturating_mul(2);
+                }
+            }
+        };
         if tag != step || payload.len() != part_len {
             return Err(Error::Backend(format!(
                 "rank {rank}: desynchronized exchange with rank {from} \
@@ -292,6 +361,70 @@ impl Mesh {
         }
         Ok(payload)
     }
+}
+
+/// One planned, fire-once fault in *tape* coordinates. The armed flag is
+/// shared across recovery generations, so a fault fires in the generation
+/// that first reaches its step and never re-fires during replay.
+struct PlannedFault {
+    step: usize,
+    rank: usize,
+    armed: AtomicBool,
+}
+
+impl PlannedFault {
+    fn new(step: usize, rank: usize) -> Self {
+        PlannedFault {
+            step,
+            rank,
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// Disarms and fires iff this entry targets (`step`, `rank`) and is
+    /// still armed.
+    fn fire(&self, step: usize, rank: usize) -> bool {
+        self.step == step && self.rank == rank && self.armed.swap(false, Ordering::SeqCst)
+    }
+}
+
+/// The compiled fault schedule, translated from gate to tape coordinates
+/// and shared (behind `Arc`) by every generation's workers.
+#[derive(Default)]
+struct FaultPlan {
+    /// `(fault, mid_exchange)` — mid-exchange deaths complete the step's
+    /// sends and die before its receives.
+    deaths: Vec<(PlannedFault, bool)>,
+    drops: Vec<PlannedFault>,
+    /// `(fault, delay_ms)`.
+    delays: Vec<(PlannedFault, u64)>,
+}
+
+impl FaultPlan {
+    fn death_at(&self, step: usize, rank: usize) -> Option<bool> {
+        self.deaths
+            .iter()
+            .find(|(f, _)| f.fire(step, rank))
+            .map(|&(_, mid)| mid)
+    }
+
+    fn drop_at(&self, step: usize, rank: usize) -> bool {
+        self.drops.iter().any(|f| f.fire(step, rank))
+    }
+
+    fn delay_at(&self, step: usize, rank: usize) -> Option<u64> {
+        self.delays
+            .iter()
+            .find(|(f, _)| f.fire(step, rank))
+            .map(|&(_, ms)| ms)
+    }
+}
+
+fn killed(rank: usize, step: usize, mid_exchange: bool) -> Error {
+    let phase = if mid_exchange { " mid-exchange" } else { "" };
+    Error::Backend(format!(
+        "rank {rank} killed by fault injection{phase} at step {step}"
+    ))
 }
 
 /// Applies a compiled local plan to a shard, mirroring
@@ -308,39 +441,100 @@ fn apply_plan(shard: &mut [C64], plan: &ExecPlan) {
     }
 }
 
+/// Everything one worker thread needs beyond the tape and the mesh.
+/// Recovery generations differ only in `start_step` + the initial shard.
+struct WorkerCtx {
+    rank: usize,
+    n_local: usize,
+    /// Absolute tape index this generation starts from (0 for a fresh run,
+    /// the restored cut's resume step after a recovery).
+    start_step: usize,
+    deadline: ExchangeDeadline,
+    faults: Option<Arc<FaultPlan>>,
+    snapshots: Option<Arc<SnapshotStore>>,
+}
+
 /// The body of one rank's worker thread: replay the step list against the
 /// owned shard, exchanging through the channel mesh on global steps. Every
-/// channel failure maps to [`Error::Backend`] — a dead partner aborts this
-/// rank cleanly instead of deadlocking or panicking.
-fn worker(rank: usize, n_local: usize, steps: &[Step], mesh: Mesh) -> Result<WorkerReport> {
+/// channel failure and every exhausted exchange deadline maps to
+/// [`Error::Backend`] — a dead or wedged partner aborts this rank cleanly
+/// instead of deadlocking or panicking.
+fn worker(
+    ctx: WorkerCtx,
+    steps: &[Step],
+    mesh: Mesh,
+    init: Option<Vec<C64>>,
+) -> Result<WorkerReport> {
     let started = Instant::now();
-    let part_len = 1usize << n_local;
+    let rank = ctx.rank;
+    let part_len = 1usize << ctx.n_local;
     let part_bytes = (part_len * 16) as u64;
-    let mut shard = vec![C_ZERO; part_len];
-    if rank == 0 {
-        shard[0] = C_ONE;
-    }
+    let mut shard = match init {
+        Some(restored) => {
+            debug_assert_eq!(restored.len(), part_len);
+            restored
+        }
+        None => {
+            let mut zero = vec![C_ZERO; part_len];
+            if rank == 0 {
+                zero[0] = C_ONE;
+            }
+            zero
+        }
+    };
     let mut messages = 0u64;
     let mut bytes = 0u64;
-    for (s, step) in steps.iter().enumerate() {
+    for (i, step) in steps[ctx.start_step..].iter().enumerate() {
+        let s = ctx.start_step + i;
+        // Planned faults fire exactly once across all generations; the
+        // step tag `s` is absolute, so replay walks the same schedule.
+        let mut skip_sends = false;
+        let mut die_mid_exchange = false;
+        if let Some(plan) = &ctx.faults {
+            if let Some(ms) = plan.delay_at(s, rank) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            if let Some(mid) = plan.death_at(s, rank) {
+                let global = matches!(
+                    step,
+                    Step::Global1 { .. } | Step::GlobalLocal { .. } | Step::GlobalGlobal { .. }
+                );
+                if mid && global {
+                    die_mid_exchange = true;
+                } else {
+                    return Err(killed(rank, s, false));
+                }
+            }
+            skip_sends = plan.drop_at(s, rank);
+        }
         match step {
             Step::Local1(q, m) => kernels::apply_mat2(&mut shard, *q, m),
             Step::Local2(a, b, m) => kernels::apply_mat4(&mut shard, *a, *b, m),
             Step::LocalFused(plan) => apply_plan(&mut shard, plan),
             Step::Global1 { gbit, m } => {
                 let partner = rank ^ (1 << gbit);
-                mesh.send(rank, partner, s, shard.clone())?;
-                messages += 1;
-                bytes += part_bytes;
-                let other = mesh.recv(rank, partner, s, part_len)?;
+                if !skip_sends {
+                    mesh.send(rank, partner, s, shard.clone())?;
+                    messages += 1;
+                    bytes += part_bytes;
+                }
+                if die_mid_exchange {
+                    return Err(killed(rank, s, true));
+                }
+                let other = mesh.recv(rank, partner, s, part_len, ctx.deadline)?;
                 kernels::apply_exchanged_mat2(&mut shard, &other, (rank >> gbit) & 1, m);
             }
             Step::GlobalLocal { gbit, lo, m } => {
                 let partner = rank ^ (1 << gbit);
-                mesh.send(rank, partner, s, shard.clone())?;
-                messages += 1;
-                bytes += part_bytes;
-                let other = mesh.recv(rank, partner, s, part_len)?;
+                if !skip_sends {
+                    mesh.send(rank, partner, s, shard.clone())?;
+                    messages += 1;
+                    bytes += part_bytes;
+                }
+                if die_mid_exchange {
+                    return Err(killed(rank, s, true));
+                }
+                let other = mesh.recv(rank, partner, s, part_len, ctx.deadline)?;
                 kernels::apply_exchanged_mat4_global_local(
                     &mut shard,
                     &other,
@@ -361,14 +555,19 @@ fn worker(rank: usize, n_local: usize, steps: &[Step], mesh: Mesh) -> Result<Wor
                         mate
                     })
                     .collect();
-                for &mate in &mates {
-                    mesh.send(rank, mate, s, shard.clone())?;
-                    messages += 1;
-                    bytes += part_bytes;
+                if !skip_sends {
+                    for &mate in &mates {
+                        mesh.send(rank, mate, s, shard.clone())?;
+                        messages += 1;
+                        bytes += part_bytes;
+                    }
+                }
+                if die_mid_exchange {
+                    return Err(killed(rank, s, true));
                 }
                 let mut others = Vec::with_capacity(3);
                 for &mate in &mates {
-                    others.push(mesh.recv(rank, mate, s, part_len)?);
+                    others.push(mesh.recv(rank, mate, s, part_len, ctx.deadline)?);
                 }
                 kernels::apply_exchanged_mat4_global_global(
                     &mut shard,
@@ -396,6 +595,11 @@ fn worker(rank: usize, n_local: usize, steps: &[Step], mesh: Mesh) -> Result<Wor
                     )));
                 }
             }
+            Step::Snapshot { version } => {
+                if let Some(store) = &ctx.snapshots {
+                    store.deposit(*version, s, rank, &shard)?;
+                }
+            }
         }
     }
     Ok(WorkerReport {
@@ -416,7 +620,7 @@ pub fn run_sharded(
     opts: &ShardOptions,
 ) -> Result<DistStateVector> {
     let compiled = compile_steps(circuit, params, n_ranks, opts.fuse_local, None)?;
-    run_compiled(circuit.n_qubits(), n_ranks, compiled)
+    run_compiled(circuit.n_qubits(), n_ranks, compiled, opts.into())
 }
 
 /// [`run_sharded`] with faults drawn from `injector` at compile time (in
@@ -429,11 +633,28 @@ pub fn run_sharded_faulty(
     injector: &mut FaultInjector,
 ) -> Result<DistStateVector> {
     let compiled = compile_steps(circuit, params, n_ranks, false, Some(injector))?;
-    run_compiled(circuit.n_qubits(), n_ranks, compiled)
+    run_compiled(
+        circuit.n_qubits(),
+        n_ranks,
+        compiled,
+        (&ShardOptions::default()).into(),
+    )
 }
 
-fn run_compiled(n_qubits: usize, n_ranks: usize, compiled: Compiled) -> Result<DistStateVector> {
-    let n_local = n_qubits - n_ranks.trailing_zeros() as usize;
+/// Spawns one generation of worker threads over a fresh channel mesh and
+/// joins them. A fresh mesh per generation means no stale message from a
+/// torn-down generation can leak into the replay.
+#[allow(clippy::too_many_arguments)]
+fn run_generation(
+    n_ranks: usize,
+    n_local: usize,
+    steps: &Arc<Vec<Step>>,
+    start_step: usize,
+    init: Option<Vec<Vec<C64>>>,
+    deadline: ExchangeDeadline,
+    faults: Option<&Arc<FaultPlan>>,
+    snapshots: Option<&Arc<SnapshotStore>>,
+) -> Result<Vec<WorkerReport>> {
     // Build the (from, to) channel mesh and hand each worker its row.
     let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..n_ranks)
         .map(|_| (0..n_ranks).map(|_| None).collect())
@@ -450,32 +671,46 @@ fn run_compiled(n_qubits: usize, n_ranks: usize, compiled: Compiled) -> Result<D
             }
         }
     }
+    let mut init_shards: Vec<Option<Vec<C64>>> = match init {
+        Some(shards) => shards.into_iter().map(Some).collect(),
+        None => (0..n_ranks).map(|_| None).collect(),
+    };
     let mut handles = Vec::with_capacity(n_ranks);
     for (rank, (sends, recvs)) in senders.drain(..).zip(receivers.drain(..)).enumerate() {
-        let steps = Arc::clone(&compiled.steps);
+        let steps = Arc::clone(steps);
         let mesh = Mesh {
             senders: sends,
             receivers: recvs,
         };
+        let ctx = WorkerCtx {
+            rank,
+            n_local,
+            start_step,
+            deadline,
+            faults: faults.map(Arc::clone),
+            snapshots: snapshots.map(Arc::clone),
+        };
+        let init_shard = init_shards[rank].take();
         let handle = std::thread::Builder::new()
             .name(format!("nwq-dist-rank{rank}"))
-            .spawn(move || worker(rank, n_local, &steps, mesh))
+            .spawn(move || worker(ctx, &steps, mesh, init_shard))
             .map_err(|e| Error::Backend(format!("failed to spawn rank {rank} worker: {e}")))?;
         handles.push(handle);
     }
     let mut reports = Vec::with_capacity(n_ranks);
     let mut first_error: Option<Error> = None;
-    let mut loss_error: Option<Error> = None;
+    let mut root_error: Option<Error> = None;
     for (rank, handle) in handles.into_iter().enumerate() {
         match handle.join() {
             Ok(Ok(report)) => reports.push(report),
             Ok(Err(e)) => {
-                // A deliberate rank loss is the root cause; partner-side
-                // exchange failures are its fallout.
-                if matches!(&e, Error::Backend(m) if m.contains("lost during distributed"))
-                    && loss_error.is_none()
+                // A deliberate rank loss/death is the root cause;
+                // partner-side exchange failures are its fallout.
+                let msg = e.to_string();
+                if (msg.contains("lost during distributed") || msg.contains("killed by fault"))
+                    && root_error.is_none()
                 {
-                    loss_error = Some(e);
+                    root_error = Some(e);
                 } else if first_error.is_none() {
                     first_error = Some(e);
                 }
@@ -489,16 +724,27 @@ fn run_compiled(n_qubits: usize, n_ranks: usize, compiled: Compiled) -> Result<D
             }
         }
     }
-    if let Some(e) = loss_error.or(first_error) {
+    if let Some(e) = root_error.or(first_error) {
         return Err(e);
     }
+    Ok(reports)
+}
+
+/// Folds one generation's worker reports into the assembled distributed
+/// state, with the usual `dist.*` telemetry.
+fn assemble(
+    n_qubits: usize,
+    n_local: usize,
+    compiled: &Compiled,
+    reports: Vec<WorkerReport>,
+) -> DistStateVector {
     let mut stats = CommStats {
         messages: 0,
         bytes: 0,
         global_gates: compiled.global_gates,
         local_gates: compiled.local_gates,
     };
-    let mut partitions = Vec::with_capacity(n_ranks);
+    let mut partitions = Vec::with_capacity(reports.len());
     for report in reports {
         stats.messages += report.messages;
         stats.bytes += report.bytes;
@@ -510,9 +756,214 @@ fn run_compiled(n_qubits: usize, n_ranks: usize, compiled: Compiled) -> Result<D
     nwq_telemetry::counter_add("dist.bytes", stats.bytes);
     nwq_telemetry::counter_add("dist.local_gates", stats.local_gates);
     nwq_telemetry::counter_add("dist.global_gates", stats.global_gates);
-    Ok(DistStateVector::from_parts(
-        n_qubits, n_local, partitions, stats,
+    DistStateVector::from_parts(n_qubits, n_local, partitions, stats)
+}
+
+fn run_compiled(
+    n_qubits: usize,
+    n_ranks: usize,
+    compiled: Compiled,
+    deadline: ExchangeDeadline,
+) -> Result<DistStateVector> {
+    let n_local = n_qubits - n_ranks.trailing_zeros() as usize;
+    let reports = run_generation(
+        n_ranks,
+        n_local,
+        &compiled.steps,
+        0,
+        None,
+        deadline,
+        None,
+        None,
+    )?;
+    Ok(assemble(n_qubits, n_local, &compiled, reports))
+}
+
+/// Knobs for [`run_sharded_resilient`].
+#[derive(Clone, Debug)]
+pub struct RecoveryOptions {
+    /// Insert a snapshot barrier every this many gates (0 disables
+    /// snapshots entirely — recovery then restarts from the zero state).
+    pub snapshot_every: usize,
+    /// Give up after this many recoveries and surface the last failure.
+    pub max_recoveries: u32,
+    /// Complete snapshot versions kept in memory (older ones pruned).
+    pub keep_versions: usize,
+    /// Optional directory for the on-disk snapshot mirror.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            snapshot_every: 16,
+            max_recoveries: 8,
+            keep_versions: 2,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// What a resilient run went through.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Snapshot barriers compiled into the tape.
+    pub snapshots_planned: usize,
+    /// Recoveries performed (0 on a fault-free run).
+    pub recoveries: u32,
+    /// Worker generations spawned (`recoveries + 1`).
+    pub generations: u32,
+    /// Absolute tape index each recovery resumed from (0 = zero-state
+    /// restart because no cut was complete yet).
+    pub resume_steps: Vec<usize>,
+    /// Coordinator-side latency of each recovery (restore the cut +
+    /// bookkeeping), milliseconds.
+    pub recovery_ms: Vec<f64>,
+}
+
+/// Resolves the circuit into a resilient tape: per-gate steps (never
+/// fused — replay must be bitwise) with snapshot barriers every
+/// `snapshot_every` gates, plus the fault schedule translated from gate
+/// to tape coordinates and armed fire-once.
+fn compile_resilient(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    snapshot_every: usize,
+    schedule: &FaultSchedule,
+) -> Result<(Compiled, Arc<FaultPlan>, usize)> {
+    let n_local = validate_ranks(circuit.n_qubits(), n_ranks)?;
+    let mut steps = Vec::with_capacity(circuit.len() + 1);
+    let mut plan = FaultPlan::default();
+    let mut local_gates = 0u64;
+    let mut global_gates = 0u64;
+    let mut versions = 0usize;
+    for (gate_idx, gate) in circuit.gates().iter().enumerate() {
+        if snapshot_every > 0 && gate_idx > 0 && gate_idx % snapshot_every == 0 {
+            steps.push(Step::Snapshot { version: versions });
+            versions += 1;
+        }
+        let tape_idx = steps.len();
+        for d in schedule.deaths.iter().filter(|d| d.gate_step == gate_idx) {
+            plan.deaths
+                .push((PlannedFault::new(tape_idx, d.rank), d.mid_exchange));
+        }
+        for d in schedule.drops.iter().filter(|d| d.gate_step == gate_idx) {
+            plan.drops.push(PlannedFault::new(tape_idx, d.rank));
+        }
+        for d in schedule.delays.iter().filter(|d| d.gate_step == gate_idx) {
+            plan.delays
+                .push((PlannedFault::new(tape_idx, d.rank), d.delay_ms));
+        }
+        let (step, is_global) = gate_step(gate, params, n_local)?;
+        if is_global {
+            global_gates += 1;
+        } else {
+            local_gates += 1;
+        }
+        steps.push(step);
+    }
+    Ok((
+        Compiled {
+            steps: Arc::new(steps),
+            local_gates,
+            global_gates,
+        },
+        Arc::new(plan),
+        versions,
     ))
+}
+
+/// Runs `circuit` on `n_ranks` shards *survivably*: snapshot barriers
+/// checkpoint a consistent cut every [`RecoveryOptions::snapshot_every`]
+/// gates, and any worker failure — a planned death from `schedule`, a
+/// closed channel, or an exhausted exchange deadline — tears the
+/// generation down and respawns all ranks from the last complete cut,
+/// replaying the tape from that step. Because the tape is deterministic
+/// and the cut is bitwise, the recovered run is **bitwise identical** to
+/// a fault-free run; ranks that were ahead of the cut simply roll back.
+///
+/// The returned state's [`CommStats`] carry the compiled gate split and
+/// the *final generation's* measured exchange traffic: on a fault-free
+/// run (0 recoveries) that equals [`crate::comm::plan_communication`];
+/// after a recovery it covers only the replayed suffix.
+pub fn run_sharded_resilient(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+    opts: &ShardOptions,
+    recovery: &RecoveryOptions,
+    schedule: &FaultSchedule,
+) -> Result<(DistStateVector, RecoveryReport)> {
+    if opts.fuse_local {
+        return Err(Error::Invalid(
+            "resilient sharded execution replays per-gate for bitwise recovery; \
+             disable fuse_local"
+                .into(),
+        ));
+    }
+    let n_qubits = circuit.n_qubits();
+    let n_local = validate_ranks(n_qubits, n_ranks)?;
+    let (compiled, faults, snapshots_planned) =
+        compile_resilient(circuit, params, n_ranks, recovery.snapshot_every, schedule)?;
+    let store = Arc::new(SnapshotStore::new(
+        n_ranks,
+        recovery.keep_versions,
+        recovery.snapshot_dir.clone(),
+    ));
+    let deadline = ExchangeDeadline::from(opts);
+    let mut report = RecoveryReport {
+        snapshots_planned,
+        ..RecoveryReport::default()
+    };
+    let mut start_step = 0usize;
+    let mut init: Option<Vec<Vec<C64>>> = None;
+    loop {
+        report.generations += 1;
+        match run_generation(
+            n_ranks,
+            n_local,
+            &compiled.steps,
+            start_step,
+            init.take(),
+            deadline,
+            Some(&faults),
+            Some(&store),
+        ) {
+            Ok(reports) => {
+                return Ok((assemble(n_qubits, n_local, &compiled, reports), report));
+            }
+            Err(e) => {
+                report.recoveries += 1;
+                if report.recoveries > recovery.max_recoveries {
+                    return Err(Error::Backend(format!(
+                        "gave up after {} recoveries; last failure: {e}",
+                        recovery.max_recoveries
+                    )));
+                }
+                let restore_started = Instant::now();
+                match store.last_complete()? {
+                    Some(cut) => {
+                        start_step = cut.resume_step;
+                        init = Some(cut.shards);
+                    }
+                    None => {
+                        start_step = 0;
+                        init = None;
+                    }
+                }
+                let ms = restore_started.elapsed().as_secs_f64() * 1e3;
+                report.resume_steps.push(start_step);
+                report.recovery_ms.push(ms);
+                nwq_telemetry::counter_add("resilience.shard_recoveries", 1);
+                nwq_telemetry::counter_add(
+                    "resilience.shard_replayed_steps",
+                    (compiled.steps.len() - start_step) as u64,
+                );
+                nwq_telemetry::histogram_record("resilience.shard_recovery_ms", ms);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -570,7 +1021,11 @@ mod tests {
         let c = sample_circuit(6);
         let single = nwq_statevec::simulate(&c, &[]).unwrap();
         for n_ranks in [2usize, 4] {
-            let d = run_sharded(&c, &[], n_ranks, &ShardOptions { fuse_local: true }).unwrap();
+            let opts = ShardOptions {
+                fuse_local: true,
+                ..ShardOptions::default()
+            };
+            let d = run_sharded(&c, &[], n_ranks, &opts).unwrap();
             let gathered = d.gather();
             for (a, b) in gathered.amplitudes().iter().zip(single.amplitudes()) {
                 assert!(a.approx_eq(*b, 1e-10), "ranks={n_ranks}");
@@ -612,5 +1067,213 @@ mod tests {
         let d = run_sharded(&c, &[], 4, &ShardOptions::default()).unwrap();
         assert!((d.gather().probability(0) - 1.0).abs() < 1e-15);
         assert_eq!(d.comm_stats().messages, 0);
+    }
+
+    /// Short deadlines so fault tests tear down quickly.
+    fn test_opts() -> ShardOptions {
+        ShardOptions {
+            fuse_local: false,
+            exchange_timeout_ms: 100,
+            exchange_retries: 2,
+        }
+    }
+
+    fn test_recovery(snapshot_every: usize) -> RecoveryOptions {
+        RecoveryOptions {
+            snapshot_every,
+            max_recoveries: 8,
+            keep_versions: 2,
+            snapshot_dir: None,
+        }
+    }
+
+    #[test]
+    fn resilient_clean_run_is_bitwise_and_matches_plan() {
+        let c = sample_circuit(6);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [1usize, 2, 4, 8] {
+            let (d, report) = run_sharded_resilient(
+                &c,
+                &[],
+                n_ranks,
+                &ShardOptions::default(),
+                &test_recovery(2),
+                &FaultSchedule::none(),
+            )
+            .unwrap();
+            assert_bitwise(&d, &single, &format!("resilient ranks={n_ranks}"));
+            // Snapshot barriers exchange nothing: a fault-free resilient
+            // run still measures exactly the planned traffic.
+            assert_eq!(d.comm_stats(), plan_communication(&c, n_ranks).unwrap());
+            assert_eq!(report.recoveries, 0);
+            assert_eq!(report.generations, 1);
+            assert!(report.snapshots_planned > 0);
+        }
+    }
+
+    #[test]
+    fn every_rank_and_step_recovers_bitwise() {
+        let c = sample_circuit(5);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        let n_gates = c.len();
+        for n_ranks in [2usize, 4] {
+            for rank in 0..n_ranks {
+                for gate_step in [0, 1, n_gates / 2, n_gates - 1] {
+                    let (d, report) = run_sharded_resilient(
+                        &c,
+                        &[],
+                        n_ranks,
+                        &test_opts(),
+                        &test_recovery(2),
+                        &FaultSchedule::kill(gate_step, rank),
+                    )
+                    .unwrap();
+                    let ctx = format!("ranks={n_ranks} rank={rank} step={gate_step}");
+                    assert_bitwise(&d, &single, &ctx);
+                    assert_eq!(report.recoveries, 1, "{ctx}");
+                    assert_eq!(report.generations, 2, "{ctx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_exchange_death_recovers_bitwise() {
+        let c = sample_circuit(5);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        // Gate 2 of the sample circuit (cx(1, 2)) is global at 8 ranks
+        // (n_local = 2): the dying rank completes its sends first, so the
+        // partner sees the payload arrive and then the channel close.
+        let schedule = FaultSchedule {
+            deaths: vec![crate::faults::RankDeath {
+                gate_step: 3,
+                rank: 5,
+                mid_exchange: true,
+            }],
+            ..FaultSchedule::default()
+        };
+        let (d, report) =
+            run_sharded_resilient(&c, &[], 8, &test_opts(), &test_recovery(2), &schedule).unwrap();
+        assert_bitwise(&d, &single, "mid-exchange death");
+        assert_eq!(report.recoveries, 1);
+    }
+
+    #[test]
+    fn dropped_messages_trip_the_deadline_and_recover_bitwise() {
+        let c = sample_circuit(6);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        let schedule = FaultSchedule {
+            drops: vec![crate::faults::MessageDrop {
+                gate_step: 4,
+                rank: 1,
+            }],
+            ..FaultSchedule::default()
+        };
+        let (d, report) =
+            run_sharded_resilient(&c, &[], 4, &test_opts(), &test_recovery(2), &schedule).unwrap();
+        assert_bitwise(&d, &single, "message drop");
+        assert_eq!(report.recoveries, 1);
+    }
+
+    #[test]
+    fn stragglers_under_the_deadline_cause_no_false_positives() {
+        let c = sample_circuit(6);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        // 30 ms stalls against a 100 ms (×2 retries) deadline: slow, not
+        // dead. Recovery firing here would be a false positive.
+        let schedule = FaultSchedule {
+            delays: vec![
+                crate::faults::RankDelay {
+                    gate_step: 1,
+                    rank: 0,
+                    delay_ms: 30,
+                },
+                crate::faults::RankDelay {
+                    gate_step: 5,
+                    rank: 3,
+                    delay_ms: 30,
+                },
+            ],
+            ..FaultSchedule::default()
+        };
+        let (d, report) =
+            run_sharded_resilient(&c, &[], 4, &test_opts(), &test_recovery(2), &schedule).unwrap();
+        assert_bitwise(&d, &single, "straggler");
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(d.comm_stats(), plan_communication(&c, 4).unwrap());
+    }
+
+    #[test]
+    fn recovery_without_snapshots_restarts_from_zero_state() {
+        let c = sample_circuit(5);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        let (d, report) = run_sharded_resilient(
+            &c,
+            &[],
+            4,
+            &test_opts(),
+            &test_recovery(0),
+            &FaultSchedule::kill(c.len() - 1, 2),
+        )
+        .unwrap();
+        assert_bitwise(&d, &single, "no-snapshot restart");
+        assert_eq!(report.snapshots_planned, 0);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.resume_steps, vec![0]);
+    }
+
+    #[test]
+    fn recovery_budget_exhaustion_surfaces_the_last_failure() {
+        let c = sample_circuit(6);
+        // More planned deaths than the recovery budget allows.
+        let schedule = FaultSchedule {
+            deaths: (0..4)
+                .map(|k| crate::faults::RankDeath {
+                    gate_step: 2 + k,
+                    rank: k % 4,
+                    mid_exchange: false,
+                })
+                .collect(),
+            ..FaultSchedule::default()
+        };
+        // Rank 3's death (gate 5) can't fire in generation 1: it is stuck
+        // behind rank 2's death at the gate-4 exchange. So at least two
+        // generations must fail, and a budget of 1 has to give up.
+        let mut recovery = test_recovery(2);
+        recovery.max_recoveries = 1;
+        let e = run_sharded_resilient(&c, &[], 4, &test_opts(), &recovery, &schedule).unwrap_err();
+        assert!(e.to_string().contains("gave up after 1 recoveries"), "{e}");
+    }
+
+    #[test]
+    fn resilient_rejects_fused_execution() {
+        let c = sample_circuit(6);
+        let opts = ShardOptions {
+            fuse_local: true,
+            ..ShardOptions::default()
+        };
+        let e = run_sharded_resilient(&c, &[], 4, &opts, &test_recovery(2), &FaultSchedule::none())
+            .unwrap_err();
+        assert!(matches!(e, Error::Invalid(_)), "{e}");
+    }
+
+    #[test]
+    fn snapshot_dir_mirrors_cuts_on_disk() {
+        let c = sample_circuit(6);
+        let dir = std::env::temp_dir().join(format!("nwq-shard-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut recovery = test_recovery(3);
+        recovery.snapshot_dir = Some(dir.clone());
+        let (d, report) =
+            run_sharded_resilient(&c, &[], 2, &test_opts(), &recovery, &FaultSchedule::none())
+                .unwrap();
+        assert!(report.snapshots_planned > 0);
+        // Version 0 was cut at gate 3; both rank mirrors must exist and
+        // round-trip bitwise against nothing less than real amplitudes.
+        let r0 = crate::snapshot::read_shard_file(&dir, 0, 0).unwrap();
+        let r1 = crate::snapshot::read_shard_file(&dir, 0, 1).unwrap();
+        assert_eq!(r0.len() + r1.len(), 1 << c.n_qubits());
+        let _ = d;
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

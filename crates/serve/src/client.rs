@@ -3,12 +3,16 @@
 
 use crate::engine::SubmitOutcome;
 use crate::job::{JobId, JobSpec, JobStatus};
-use crate::protocol::Request;
+use crate::protocol::{write_line_with_deadline, Request};
 use nwq_common::{Error, Result};
 use nwq_telemetry::JsonValue;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Budget for writing one request line: a server that accepts but stops
+/// reading must surface as an error, not a stuck client process.
+const WRITE_BUDGET: Duration = Duration::from_secs(10);
 
 /// One protocol connection to a running server.
 #[derive(Debug)]
@@ -36,6 +40,9 @@ impl Client {
         stream
             .set_read_timeout(read_timeout)
             .map_err(|e| Error::Backend(format!("setting read timeout: {e}")))?;
+        stream
+            .set_write_timeout(Some(WRITE_BUDGET))
+            .map_err(|e| Error::Backend(format!("setting write timeout: {e}")))?;
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -50,7 +57,7 @@ impl Client {
 
     /// Sends one raw protocol line and reads one reply line.
     pub fn raw_line(&mut self, line: &str) -> Result<JsonValue> {
-        writeln!(self.writer, "{line}")
+        write_line_with_deadline(&mut self.writer, line, WRITE_BUDGET)
             .map_err(|e| Error::Backend(format!("sending request: {e}")))?;
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply).map_err(|e| {

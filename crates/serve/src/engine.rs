@@ -62,6 +62,16 @@ pub struct EngineConfig {
     /// PR 3 kill switch, plumbed into each job's resilience options: abort
     /// any single job after this many fresh evaluations.
     pub abort_after_evals: Option<usize>,
+    /// Crash-containment budget: a job whose worker panics is re-queued
+    /// (alone, with its attempt counter bumped) until it has been tried
+    /// this many times, then quarantined as a poison job — terminal
+    /// `Failed` with a `poison_job_quarantined` error — so one bad job
+    /// cannot crash-loop the pool.
+    pub max_job_attempts: u32,
+    /// Testing hook: an energy job whose FIRST parameter is bitwise equal
+    /// to this value panics the claiming worker before any computation,
+    /// exercising the crash-containment path deterministically.
+    pub panic_marker: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +84,8 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             faults: None,
             abort_after_evals: None,
+            max_job_attempts: 3,
+            panic_marker: None,
         }
     }
 }
@@ -114,6 +126,10 @@ pub struct EngineStats {
     pub batched_jobs: u64,
     /// Largest group executed.
     pub max_batch_size: u64,
+    /// Jobs re-queued after their worker panicked mid-claim.
+    pub requeued: u64,
+    /// Jobs quarantined as poison after exhausting their attempt budget.
+    pub quarantined: u64,
 }
 
 impl EngineStats {
@@ -265,6 +281,7 @@ impl Engine {
             priority: spec.priority,
             enqueued: now,
             deadline_ms: spec.deadline_ms,
+            attempts: 0,
         });
         match admission {
             Admission::Accepted => {
@@ -462,6 +479,50 @@ impl Shared {
             .get(&id)
             .map_or(0.0, |r| r.submitted.elapsed().as_secs_f64() * 1e3)
     }
+
+    /// Resolves every claimed-but-unfinished job after a worker panic:
+    /// jobs under the attempt budget go back to the queue (alone, so a
+    /// poison job cannot drag batch-mates down again); jobs at the budget
+    /// are quarantined — terminal `Failed` with a `poison_job_quarantined`
+    /// error. Every claimed job MUST end up queued or terminal here, or
+    /// [`Engine::drain`] would wait forever on a `Running` record.
+    fn recover_claimed(&self, claimed: &[QueuedJob], panic_msg: &str) {
+        let budget = self.cfg.max_job_attempts.max(1);
+        for job in claimed {
+            let unfinished = lock(&self.jobs)
+                .get(&job.id)
+                .is_some_and(|r| !r.status.is_terminal());
+            if !unfinished {
+                continue;
+            }
+            let attempts = job.attempts + 1;
+            if attempts >= budget {
+                lock(&self.stats).quarantined += 1;
+                nwq_telemetry::counter_add("serve.jobs_quarantined", 1);
+                self.finish(
+                    job.id,
+                    JobStatus::Failed,
+                    None,
+                    Some(format!(
+                        "poison_job_quarantined: worker panicked on all \
+                         {attempts} attempts (last: {panic_msg})"
+                    )),
+                );
+            } else {
+                if let Some(r) = lock(&self.jobs).get_mut(&job.id) {
+                    r.status = JobStatus::Queued;
+                }
+                lock(&self.stats).requeued += 1;
+                nwq_telemetry::counter_add("serve.jobs_requeued", 1);
+                self.queue.requeue(QueuedJob {
+                    batchable: false,
+                    enqueued: Instant::now(),
+                    attempts,
+                    ..job.clone()
+                });
+            }
+        }
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -544,13 +605,38 @@ fn worker_loop(shared: Arc<Shared>, mut injector: Option<FaultInjector>) {
         if live.is_empty() {
             continue;
         }
-        if live[0].batchable {
-            run_energy_group(&shared, &mut backend, &mut injector, &live);
-        } else {
-            debug_assert_eq!(live.len(), 1, "non-batchable jobs pop alone");
-            for job in &live {
-                run_long_job(&shared, &mut backend, &mut injector, job);
+        // Crash-requeued energy evals come back with `batchable == false`
+        // (they re-run alone so a poison job cannot take batch-mates down
+        // with it), but they still need the energy-group path — route by
+        // the job's actual kind, not the queue flag.
+        let solo_energy = !live[0].batchable
+            && lock(&shared.jobs)
+                .get(&live[0].id)
+                .is_some_and(|r| matches!(r.spec.kind, JobKind::EnergyEval { .. }));
+        // Containment boundary: a panic anywhere in job execution must not
+        // take the worker thread (and every job it would ever have run)
+        // down with it. The backend is rebuilt afterwards — its caches may
+        // be mid-mutation — and every claimed-but-unfinished job in the
+        // group is re-queued or quarantined.
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if live[0].batchable || solo_energy {
+                run_energy_group(&shared, &mut backend, &mut injector, &live);
+            } else {
+                debug_assert_eq!(live.len(), 1, "non-batchable jobs pop alone");
+                for job in &live {
+                    run_long_job(&shared, &mut backend, &mut injector, job);
+                }
             }
+        }));
+        if let Err(payload) = ran {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            nwq_telemetry::counter_add("serve.worker_panics", 1);
+            backend = DirectBackend::new();
+            shared.recover_claimed(&live, &msg);
         }
     }
 }
@@ -671,6 +757,17 @@ fn run_energy_group(
     }
     if misses.is_empty() {
         return;
+    }
+    if let Some(marker) = shared.cfg.panic_marker {
+        // Deterministic crash hook for containment tests: trips after the
+        // whole group is claimed (so batch-mates are provably recovered)
+        // and before any computation (so the poison value never runs).
+        if misses
+            .iter()
+            .any(|(_, p, _)| p.first().is_some_and(|x| x.to_bits() == marker.to_bits()))
+        {
+            panic!("panic_marker parameter claimed by worker");
+        }
     }
 
     // One batched sweep over all missed parameter sets — the same
@@ -1107,6 +1204,61 @@ mod tests {
             assert_eq!(view.outcome.unwrap().energy.to_bits(), reference.to_bits());
         }
         engine.drain();
+    }
+
+    #[test]
+    fn panicking_job_is_quarantined_without_losing_batch_mates() {
+        // One worker, one poison energy job sharing a claim group with
+        // innocents. The first claim panics the worker: everyone in the
+        // group is re-queued solo; the innocents then complete, while the
+        // poison job crash-loops until the attempt budget quarantines it.
+        let marker = f64::from_bits(0x7ff8_0000_dead_0001); // NaN payload, never computed
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            max_batch: 8,
+            max_job_attempts: 3,
+            panic_marker: Some(marker),
+            ..Default::default()
+        });
+        let blocker = match engine.submit(JobSpec::vqe("toy", vec![1.0, 2.5], 1500)) {
+            SubmitOutcome::Accepted(id) => id,
+            r => panic!("{r:?}"),
+        };
+        let poison = match engine.submit(toy_energy([marker, 0.0])) {
+            SubmitOutcome::Accepted(id) => id,
+            r => panic!("{r:?}"),
+        };
+        let innocents: Vec<JobId> = (0..4)
+            .map(
+                |k| match engine.submit(toy_energy([0.1 * k as f64, -0.2])) {
+                    SubmitOutcome::Accepted(id) => id,
+                    r => panic!("{r:?}"),
+                },
+            )
+            .collect();
+        wait(&engine, blocker);
+        for id in &innocents {
+            let view = wait(&engine, *id);
+            assert_eq!(view.status, JobStatus::Done, "{:?}", view.error);
+        }
+        let view = wait(&engine, poison);
+        assert_eq!(view.status, JobStatus::Failed);
+        let err = view.error.expect("quarantine carries a terminal error");
+        assert!(
+            err.starts_with("poison_job_quarantined"),
+            "distinct terminal error, got: {err}"
+        );
+        engine.drain();
+        let stats = engine.stats();
+        assert_eq!(stats.quarantined, 1, "{stats:?}");
+        assert!(stats.requeued >= 1, "{stats:?}");
+        // Zero-loss accounting: every accepted job reached exactly one
+        // terminal state despite the crashes.
+        assert_eq!(
+            stats.completed + stats.failed + stats.cancelled + stats.expired,
+            stats.accepted,
+            "{stats:?}"
+        );
     }
 
     #[test]

@@ -25,6 +25,60 @@
 use crate::engine::{EngineStats, JobView, SubmitOutcome};
 use crate::job::{JobId, JobSpec, JobStatus};
 use nwq_telemetry::{JsonValue, Object};
+use std::io::{ErrorKind, Write};
+use std::time::{Duration, Instant};
+
+/// Writes one `\n`-terminated protocol line, surviving partial writes and
+/// transient stalls, and giving up after `budget` of cumulative stalling.
+///
+/// A reply is written to a socket owned by a worker-side connection
+/// thread, so an unread reply to a stalled client must never wedge that
+/// thread forever: short writes are resumed from where they stopped,
+/// `Interrupted` is retried, and `WouldBlock`/`TimedOut` (what a socket
+/// with `set_write_timeout` reports when the peer stops reading) is
+/// retried only until `budget` has elapsed — then the write fails with
+/// `TimedOut` and the caller drops the connection.
+pub fn write_line_with_deadline<W: Write>(
+    w: &mut W,
+    line: &str,
+    budget: Duration,
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    let start = Instant::now();
+    let mut written = 0usize;
+    while written < buf.len() {
+        match w.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "client closed the write side mid-reply",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if start.elapsed() >= budget {
+                    return Err(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        format!(
+                            "reply write stalled past {budget:?} \
+                             ({written}/{} bytes sent)",
+                            buf.len()
+                        ),
+                    ));
+                }
+                // An OS-level write timeout already blocked for its
+                // interval; the yield only guards against hot-spinning on
+                // a genuinely non-blocking stream.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    w.flush()
+}
 
 /// A decoded client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -206,6 +260,8 @@ pub fn stats_reply(
     e.push("batches", JsonValue::Int(engine.batches));
     e.push("batched_jobs", JsonValue::Int(engine.batched_jobs));
     e.push("max_batch_size", JsonValue::Int(engine.max_batch_size));
+    e.push("requeued", JsonValue::Int(engine.requeued));
+    e.push("quarantined", JsonValue::Int(engine.quarantined));
     e.push(
         "mean_batch_size",
         JsonValue::Float(engine.mean_batch_size()),
@@ -311,6 +367,98 @@ mod tests {
             "energy must survive the wire"
         );
         assert_eq!(back.get("batch_size").and_then(JsonValue::as_u64), Some(4));
+    }
+
+    /// A writer that accepts at most `chunk` bytes per call and emits
+    /// `stalls` WouldBlock errors before every successful write.
+    struct FlakyWriter {
+        chunk: usize,
+        stalls: usize,
+        pending_stalls: usize,
+        wrote: Vec<u8>,
+    }
+
+    impl FlakyWriter {
+        fn new(chunk: usize, stalls: usize) -> FlakyWriter {
+            FlakyWriter {
+                chunk,
+                stalls,
+                pending_stalls: stalls,
+                wrote: Vec::new(),
+            }
+        }
+    }
+
+    impl std::io::Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.pending_stalls > 0 {
+                self.pending_stalls -= 1;
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"));
+            }
+            self.pending_stalls = self.stalls;
+            let n = buf.len().min(self.chunk);
+            self.wrote.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deadline_write_survives_partial_writes_and_transient_stalls() {
+        let line = stats_reply(3, false, &EngineStats::default(), &Default::default()).render();
+        let mut w = FlakyWriter::new(5, 2);
+        write_line_with_deadline(&mut w, &line, Duration::from_secs(5)).unwrap();
+        assert_eq!(w.wrote, format!("{line}\n").into_bytes());
+    }
+
+    #[test]
+    fn deadline_write_gives_up_on_a_permanently_stalled_client() {
+        struct AlwaysStalled;
+        impl std::io::Write for AlwaysStalled {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err =
+            write_line_with_deadline(&mut AlwaysStalled, "{\"ok\":1}", Duration::from_millis(20))
+                .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::TimedOut, "{err}");
+    }
+
+    #[test]
+    fn deadline_write_reports_a_closed_peer_as_write_zero() {
+        struct Closed;
+        impl std::io::Write for Closed {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_line_with_deadline(&mut Closed, "{\"ok\":1}", Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WriteZero, "{err}");
+    }
+
+    #[test]
+    fn stats_reply_reports_containment_counters() {
+        let engine = EngineStats {
+            requeued: 4,
+            quarantined: 1,
+            ..Default::default()
+        };
+        let line = stats_reply(0, false, &engine, &Default::default()).render();
+        let v = JsonValue::parse(&line).unwrap();
+        let e = v.get("engine").unwrap();
+        assert_eq!(e.get("requeued").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(e.get("quarantined").and_then(JsonValue::as_u64), Some(1));
     }
 
     #[test]

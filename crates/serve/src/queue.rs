@@ -57,6 +57,10 @@ pub struct QueuedJob {
     pub enqueued: Instant,
     /// Queueing deadline in milliseconds, if any.
     pub deadline_ms: Option<u64>,
+    /// Execution attempts already consumed. 0 for a fresh submission;
+    /// incremented each time a crashed worker's claim is re-queued, so the
+    /// poison-job quarantine can cap the crash loop.
+    pub attempts: u32,
 }
 
 impl QueuedJob {
@@ -216,6 +220,18 @@ impl AdmissionQueue {
         })
     }
 
+    /// Returns a claimed-but-unfinished job to the queue after its worker
+    /// crashed. Unlike [`AdmissionQueue::push`] this bypasses the capacity
+    /// bound and the draining gate: the job was *already admitted* once —
+    /// dropping it here would break the "drain loses nothing" contract
+    /// (and deadlock a drain waiting on its terminal status).
+    pub fn requeue(&self, job: QueuedJob) {
+        let mut g = self.lock();
+        g.entries.push(job);
+        drop(g);
+        self.available.notify_one();
+    }
+
     /// Removes a still-queued job (the cancel path). Returns whether it was
     /// found — `false` means a worker already claimed it.
     pub fn remove(&self, id: JobId) -> bool {
@@ -270,6 +286,7 @@ mod tests {
             priority,
             enqueued: Instant::now(),
             deadline_ms: None,
+            attempts: 0,
         }
     }
 
@@ -387,6 +404,31 @@ mod tests {
         assert!(q.remove(1));
         assert!(!q.remove(1), "already removed");
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_draining() {
+        let q = AdmissionQueue::new(QueueConfig {
+            capacity: 1,
+            ..Default::default()
+        });
+        q.push(job(1, 0, true, Priority::Normal));
+        // Full and draining: a fresh push is rejected both ways...
+        q.set_draining();
+        assert_eq!(
+            q.push(job(2, 0, true, Priority::Normal)),
+            Admission::RejectedDraining
+        );
+        // ...but a crashed worker's claim goes back in regardless — it was
+        // already admitted once and drain accounting depends on it.
+        let mut reclaimed = job(3, 0, true, Priority::Normal);
+        reclaimed.attempts = 1;
+        q.requeue(reclaimed);
+        assert_eq!(q.depth(), 2);
+        let ids: Vec<JobId> = (0..2)
+            .map(|_| q.pop_batch(1).unwrap().runnable[0].id)
+            .collect();
+        assert!(ids.contains(&3));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::engine::{Engine, EngineConfig};
 use crate::protocol::{self, Request};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -24,6 +24,12 @@ pub struct ServerConfig {
     /// Upper bound on one blocking `result` wait; longer waits return the
     /// current (possibly non-terminal) status and the client polls again.
     pub wait_cap: Duration,
+    /// Upper bound on writing one reply line: a client that stops reading
+    /// (full TCP window) cannot wedge its handler thread — the write
+    /// fails after this budget and the connection is dropped. Set both as
+    /// the socket's OS write timeout and as the retry budget of
+    /// [`protocol::write_line_with_deadline`].
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +37,7 @@ impl Default for ServerConfig {
         ServerConfig {
             engine: EngineConfig::default(),
             wait_cap: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -89,8 +96,12 @@ impl Server {
             let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
             let wait_cap = cfg.wait_cap;
+            let write_timeout = cfg.write_timeout;
+            // Replies must not block forever on a stalled client; reads
+            // stay un-timed so `result --wait` can block legitimately.
+            let _ = stream.set_write_timeout(Some(write_timeout));
             handlers.push(std::thread::spawn(move || {
-                let drained = handle_connection(stream, &engine, wait_cap);
+                let drained = handle_connection(stream, &engine, wait_cap, write_timeout);
                 if drained {
                     shutdown.store(true, Ordering::SeqCst);
                     // The accept loop is blocked in `incoming()`; a
@@ -108,7 +119,12 @@ impl Server {
 }
 
 /// Serves one connection; returns whether this client drained the server.
-fn handle_connection(stream: TcpStream, engine: &Engine, wait_cap: Duration) -> bool {
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    wait_cap: Duration,
+    write_timeout: Duration,
+) -> bool {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return false,
@@ -121,7 +137,9 @@ fn handle_connection(stream: TcpStream, engine: &Engine, wait_cap: Duration) -> 
         }
         nwq_telemetry::counter_add("serve.requests", 1);
         let (reply, drained) = dispatch(&line, engine, wait_cap);
-        if writeln!(writer, "{}", reply.render()).is_err() {
+        if protocol::write_line_with_deadline(&mut writer, &reply.render(), write_timeout).is_err()
+        {
+            nwq_telemetry::counter_add("serve.reply_write_failures", 1);
             break;
         }
         if drained {

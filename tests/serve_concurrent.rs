@@ -210,6 +210,67 @@ fn overload_rejects_explicitly_and_drains_without_loss() {
 }
 
 #[test]
+fn worker_panic_quarantines_poison_and_drains_without_loss() {
+    // A poison job panics its worker on every claim. Containment must
+    // requeue its batch-mates (who then complete), quarantine the poison
+    // job after the attempt budget, and keep drain accounting exact:
+    // nothing claimed is ever lost.
+    let marker = f64::from_bits(0x7ff8_0000_dead_0002); // NaN payload, never computed
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        max_batch: 8,
+        max_job_attempts: 3,
+        panic_marker: Some(marker),
+        ..Default::default()
+    });
+    // Pin both workers so the poison job and innocents pool in the queue
+    // and get claimed together.
+    let blockers: Vec<u64> = (0..2)
+        .map(|_| accept(&engine, JobSpec::vqe("toy", vec![1.0, 2.0], 1200)))
+        .collect();
+    let poison = accept(&engine, JobSpec::energy("toy", vec![marker, 0.1]));
+    let thetas = theta_grid(6);
+    let references = reference_energies(&thetas);
+    let innocents: Vec<u64> = thetas
+        .iter()
+        .map(|t| accept(&engine, JobSpec::energy("toy", t.clone())))
+        .collect();
+    engine.drain();
+    // Innocents survive the crashes of their batch — and still serve
+    // bitwise-exact energies through the requeue path.
+    for (k, id) in innocents.into_iter().enumerate() {
+        let view = engine.view(id).unwrap();
+        assert_eq!(view.status, JobStatus::Done, "θ #{k}: {:?}", view.error);
+        assert_eq!(
+            view.outcome.unwrap().energy.to_bits(),
+            references[k].to_bits(),
+            "θ #{k} must be bitwise exact even after a crash-requeue"
+        );
+    }
+    for id in blockers {
+        assert_eq!(engine.view(id).unwrap().status, JobStatus::Done);
+    }
+    let view = engine.view(poison).unwrap();
+    assert_eq!(view.status, JobStatus::Failed);
+    let err = view.error.expect("quarantine carries a terminal error");
+    assert!(
+        err.starts_with("poison_job_quarantined"),
+        "poison job must be quarantined, got: {err}"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.quarantined, 1, "{stats:?}");
+    assert!(stats.requeued >= 1, "{stats:?}");
+    // Zero-loss drain accounting: every accepted job reached exactly one
+    // terminal state; nothing vanished inside the crash loop.
+    assert_eq!(
+        stats.completed + stats.failed + stats.cancelled + stats.expired,
+        stats.accepted,
+        "{stats:?}"
+    );
+    assert_eq!(stats.submitted, stats.accepted + stats.rejected);
+}
+
+#[test]
 fn tcp_round_trip_preserves_energies_bitwise() {
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = server.local_addr().unwrap().to_string();
