@@ -87,6 +87,27 @@ impl OperatorPool {
             .map(|k| self.gradient(k, hamiltonian, psi))
             .collect()
     }
+
+    /// Gradients of all pool elements via a shared `φ = H|ψ⟩`.
+    ///
+    /// For Hermitian `H` and anti-Hermitian `A` (so `A† = −A`),
+    /// `⟨ψ|[H, A]|ψ⟩ = ⟨φ|Aψ⟩ + ⟨Aψ|φ⟩ = 2·Re⟨φ|A_k ψ⟩`, which lets the
+    /// screening apply `H` **once** for the whole pool instead of forming
+    /// one symbolic commutator per operator (the commutator of an
+    /// `m`-term Hamiltonian with a `t`-term generator has up to `2·m·t`
+    /// terms — the dominant screening cost for large pools). Results
+    /// match [`OperatorPool::gradients`] to floating-point accuracy.
+    pub fn gradients_via_phi(&self, hamiltonian: &PauliOp, psi: &[C64]) -> Result<Vec<f64>> {
+        let phi = nwq_pauli::apply::apply_op(hamiltonian, psi)?;
+        self.ops
+            .iter()
+            .map(|op| {
+                let a_psi = nwq_pauli::apply::apply_op(&op.generator, psi)?;
+                let inner: C64 = phi.iter().zip(&a_psi).map(|(f, a)| f.conj() * *a).sum();
+                Ok(2.0 * inner.re)
+            })
+            .collect()
+    }
 }
 
 /// Convenience: the single excitation used in tests/examples.
@@ -147,6 +168,37 @@ mod tests {
         assert!(grads[0].abs() < 1e-8, "single grad {}", grads[0]);
         assert!(grads[1].abs() < 1e-8, "single grad {}", grads[1]);
         assert!(grads[2].abs() > 1e-3, "double grad {}", grads[2]);
+    }
+
+    #[test]
+    fn phi_screening_matches_commutator_gradients() {
+        // The shared-φ fast path must agree with the legacy per-operator
+        // commutator expectation on both pools, at HF and at a state with
+        // broad support (where every term contributes).
+        let m = h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let mut hf = vec![nwq_common::C_ZERO; 16];
+        hf[m.hf_determinant() as usize] = nwq_common::C_ONE;
+        let mut spread: Vec<C64> = (0..16)
+            .map(|i| C64::new(1.0 + (i as f64) * 0.3, 0.7 - (i as f64) * 0.11))
+            .collect();
+        let norm = spread.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut spread {
+            *a *= C64::real(1.0 / norm);
+        }
+        for pool in [
+            OperatorPool::singles_doubles(4, 2).unwrap(),
+            OperatorPool::qubit_pool(4, 2).unwrap(),
+        ] {
+            for psi in [&hf, &spread] {
+                let slow = pool.gradients(&h, psi).unwrap();
+                let fast = pool.gradients_via_phi(&h, psi).unwrap();
+                assert_eq!(slow.len(), fast.len());
+                for (s, f) in slow.iter().zip(&fast) {
+                    assert!((s - f).abs() < 1e-12, "{s} vs {f}");
+                }
+            }
+        }
     }
 
     #[test]

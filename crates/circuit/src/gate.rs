@@ -7,10 +7,11 @@
 
 use crate::param::ParamExpr;
 use nwq_common::mat::{
-    mat_cp, mat_cx, mat_cz, mat_h, mat_p, mat_rx, mat_ry, mat_rz, mat_rzz, mat_s, mat_sdg,
+    mat_cp, mat_cx, mat_cz, mat_dcp, mat_dp, mat_drx, mat_dry, mat_drz, mat_drzz, mat_du3_dlambda,
+    mat_du3_dphi, mat_du3_dtheta, mat_h, mat_p, mat_rx, mat_ry, mat_rz, mat_rzz, mat_s, mat_sdg,
     mat_swap, mat_sx, mat_t, mat_tdg, mat_u3, mat_x, mat_y, mat_z,
 };
-use nwq_common::{Error, Mat2, Mat4, Result};
+use nwq_common::{Error, Mat2, Mat4, Result, C64};
 
 /// A quantum gate instance (operation + qubit operands + parameters).
 #[derive(Clone, Debug, PartialEq)]
@@ -174,8 +175,13 @@ impl Gate {
         })
     }
 
-    /// The inverse gate. Symbolic parameters invert symbolically.
-    pub fn inverse(&self) -> Gate {
+    /// The exact inverse gate `G†`. Every variant has a closed form:
+    /// self-inverse gates map to themselves, the fixed phase gates swap
+    /// with their dagger twins, rotations negate their angle expression
+    /// symbolically (so daggering a symbolic circuit stays symbolic), U3
+    /// swaps and negates its Euler angles, √X falls back to its exact
+    /// fused conjugate-transpose, and fused matrices dagger directly.
+    pub fn dagger(&self) -> Gate {
         use Gate::*;
         match self.clone() {
             S(q) => Sdg(q),
@@ -194,6 +200,88 @@ impl Gate {
             Fused2(a, b, m) => Fused2(a, b, m.dagger()),
             g @ (X(_) | Y(_) | Z(_) | H(_) | CX(..) | CZ(..) | SWAP(..)) => g,
         }
+    }
+
+    /// The inverse gate — alias for [`Gate::dagger`] (gates are unitary,
+    /// so the two coincide). Symbolic parameters invert symbolically.
+    pub fn inverse(&self) -> Gate {
+        self.dagger()
+    }
+
+    /// The matrix derivative `∂G/∂θ_j` under `params`, with the chain rule
+    /// through the gate's affine angle expressions applied. Returns
+    /// `Ok(None)` when the gate does not depend on parameter `j` — the
+    /// adjoint sweep skips such gates without allocating. The returned
+    /// matrix is *not* unitary.
+    pub fn derivative(&self, params: &[f64], j: usize) -> Result<Option<GateMatrix>> {
+        use Gate::*;
+        let scaled2 = |m: Mat2, chain: f64| m.scale(C64::real(chain));
+        let scaled4 = |m: Mat4, chain: f64| {
+            let mut out = m;
+            for r in 0..4 {
+                for c in 0..4 {
+                    out.0[r][c] = m.0[r][c] * chain;
+                }
+            }
+            out
+        };
+        Ok(match self {
+            RX(q, e) => match e.grad_coeff(j) {
+                0.0 => None,
+                ch => Some(GateMatrix::One(*q, scaled2(mat_drx(e.eval(params)?), ch))),
+            },
+            RY(q, e) => match e.grad_coeff(j) {
+                0.0 => None,
+                ch => Some(GateMatrix::One(*q, scaled2(mat_dry(e.eval(params)?), ch))),
+            },
+            RZ(q, e) => match e.grad_coeff(j) {
+                0.0 => None,
+                ch => Some(GateMatrix::One(*q, scaled2(mat_drz(e.eval(params)?), ch))),
+            },
+            P(q, e) => match e.grad_coeff(j) {
+                0.0 => None,
+                ch => Some(GateMatrix::One(*q, scaled2(mat_dp(e.eval(params)?), ch))),
+            },
+            U3(q, t, p, l) => {
+                let (ct, cp, cl) = (t.grad_coeff(j), p.grad_coeff(j), l.grad_coeff(j));
+                if ct == 0.0 && cp == 0.0 && cl == 0.0 {
+                    return Ok(None);
+                }
+                let (tv, pv, lv) = (t.eval(params)?, p.eval(params)?, l.eval(params)?);
+                let mut sum = Mat2([[nwq_common::C_ZERO; 2]; 2]);
+                for (chain, partial) in [
+                    (ct, mat_du3_dtheta(tv, pv, lv)),
+                    (cp, mat_du3_dphi(tv, pv, lv)),
+                    (cl, mat_du3_dlambda(tv, pv, lv)),
+                ] {
+                    if chain != 0.0 {
+                        for r in 0..2 {
+                            for c in 0..2 {
+                                sum.0[r][c] += partial.0[r][c] * chain;
+                            }
+                        }
+                    }
+                }
+                Some(GateMatrix::One(*q, sum))
+            }
+            CP(a, b, e) => match e.grad_coeff(j) {
+                0.0 => None,
+                ch => Some(GateMatrix::Two(
+                    *a,
+                    *b,
+                    scaled4(mat_dcp(e.eval(params)?), ch),
+                )),
+            },
+            RZZ(a, b, e) => match e.grad_coeff(j) {
+                0.0 => None,
+                ch => Some(GateMatrix::Two(
+                    *a,
+                    *b,
+                    scaled4(mat_drzz(e.eval(params)?), ch),
+                )),
+            },
+            _ => None,
+        })
     }
 
     /// Validates qubit operands against a register of `n_qubits`.
@@ -310,37 +398,167 @@ mod tests {
         }
     }
 
-    #[test]
-    fn inverses_compose_to_identity() {
-        let e = ParamExpr::Const(1.234);
-        let gates = vec![
+    /// The complete gate set under audit: one instance of every `Gate`
+    /// variant, symbolic where the variant supports it (bound against
+    /// `DAGGER_PARAMS`), exercising awkward angles and reversed qubit
+    /// order.
+    const DAGGER_PARAMS: [f64; 2] = [0.918273645, -2.7181];
+    fn every_gate_variant() -> Vec<Gate> {
+        let sym = ParamExpr::scaled_var(0, 1.75);
+        let sym2 = ParamExpr::Var {
+            index: 1,
+            coeff: -0.5,
+            offset: 0.3,
+        };
+        vec![
             Gate::X(0),
+            Gate::Y(1),
+            Gate::Z(0),
             Gate::H(0),
             Gate::S(0),
+            Gate::Sdg(1),
             Gate::T(0),
+            Gate::Tdg(1),
             Gate::SX(0),
-            Gate::RX(0, e),
-            Gate::RY(0, e),
-            Gate::RZ(0, e),
-            Gate::P(0, e),
-            Gate::U3(0, 0.3.into(), 0.8.into(), (-0.4).into()),
-            Gate::Fused1(0, mat_sx()),
-        ];
-        for g in gates {
-            let (GateMatrix::One(_, m), GateMatrix::One(_, mi)) =
-                (g.matrix(&[]).unwrap(), g.inverse().matrix(&[]).unwrap())
-            else {
-                panic!()
-            };
-            assert!((mi * m).approx_eq(&Mat2::identity(), 1e-12), "{}", g.name());
+            Gate::RX(0, sym),
+            Gate::RY(1, sym2),
+            Gate::RZ(0, ParamExpr::Const(1.234)),
+            Gate::P(0, sym),
+            Gate::U3(0, sym, sym2, ParamExpr::Const(-0.4)),
+            Gate::CX(0, 1),
+            Gate::CX(1, 0),
+            Gate::CZ(0, 1),
+            Gate::CP(0, 1, sym),
+            Gate::SWAP(0, 1),
+            Gate::RZZ(1, 0, sym2),
+            Gate::Fused1(0, mat_sx() * mat_u3(0.7, -1.1, 0.2)),
+            Gate::Fused2(1, 0, mat_cx() * mat_rzz(0.9)),
+        ]
+    }
+
+    #[test]
+    fn every_variant_daggers_to_exact_inverse() {
+        // Bitwise-safe tolerance: each product entry is a 2- or 4-term dot
+        // product of exactly representable conjugate pairs, so G·G† lands
+        // within a few ulps of I — far tighter than the 1e-12 the old
+        // audit used, and tight enough to catch any sign/transpose slip.
+        let tol = 1e-15;
+        let gates = every_gate_variant();
+        // Audit is exhaustive: every mnemonic in the gate set is present.
+        let names: std::collections::BTreeSet<&str> = gates.iter().map(|g| g.name()).collect();
+        for expected in [
+            "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz", "p", "u3", "cx",
+            "cz", "cp", "swap", "rzz", "fused1", "fused2",
+        ] {
+            assert!(names.contains(expected), "audit is missing {expected}");
         }
-        let g = Gate::CP(0, 1, e);
-        let (GateMatrix::Two(_, _, m), GateMatrix::Two(_, _, mi)) =
-            (g.matrix(&[]).unwrap(), g.inverse().matrix(&[]).unwrap())
-        else {
-            panic!()
-        };
-        assert!((mi * m).approx_eq(&Mat4::identity(), 1e-12));
+        for g in gates {
+            let d = g.dagger();
+            // Dagger is an involution at the matrix level (SX† lowers to a
+            // Fused1, so name-level round-tripping is not guaranteed).
+            match (
+                g.matrix(&DAGGER_PARAMS).unwrap(),
+                d.dagger().matrix(&DAGGER_PARAMS).unwrap(),
+            ) {
+                (GateMatrix::One(q, m), GateMatrix::One(qdd, mdd)) => {
+                    assert_eq!(q, qdd, "{}", g.name());
+                    assert!(mdd.approx_eq(&m, tol), "{}: (G†)† ≠ G", g.name());
+                }
+                (GateMatrix::Two(a, b, m), GateMatrix::Two(add, bdd, mdd)) => {
+                    assert_eq!((a, b), (add, bdd), "{}", g.name());
+                    assert!(mdd.approx_eq(&m, tol), "{}: (G†)† ≠ G", g.name());
+                }
+                _ => panic!("{}: double dagger changed arity", g.name()),
+            }
+            match (
+                g.matrix(&DAGGER_PARAMS).unwrap(),
+                d.matrix(&DAGGER_PARAMS).unwrap(),
+            ) {
+                (GateMatrix::One(q, m), GateMatrix::One(qd, md)) => {
+                    assert_eq!(q, qd, "{}", g.name());
+                    assert!(
+                        (md * m).approx_eq(&Mat2::identity(), tol),
+                        "{}: G†·G ≠ I",
+                        g.name()
+                    );
+                    assert!(
+                        (m * md).approx_eq(&Mat2::identity(), tol),
+                        "{}: G·G† ≠ I",
+                        g.name()
+                    );
+                    // The dagger is the exact conjugate transpose, not
+                    // merely an inverse-up-to-phase.
+                    assert!(md.approx_eq(&m.dagger(), tol), "{}", g.name());
+                }
+                (GateMatrix::Two(a, b, m), GateMatrix::Two(ad, bd, md)) => {
+                    assert_eq!((a, b), (ad, bd), "{}", g.name());
+                    assert!(
+                        (md * m).approx_eq(&Mat4::identity(), tol),
+                        "{}: G†·G ≠ I",
+                        g.name()
+                    );
+                    assert!(
+                        (m * md).approx_eq(&Mat4::identity(), tol),
+                        "{}: G·G† ≠ I",
+                        g.name()
+                    );
+                    assert!(md.approx_eq(&m.dagger(), tol), "{}", g.name());
+                }
+                _ => panic!("{}: dagger changed arity", g.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn gate_derivatives_match_central_differences() {
+        let params = DAGGER_PARAMS.to_vec();
+        let eps = 1e-6;
+        for g in every_gate_variant() {
+            for j in 0..2 {
+                let analytic = g.derivative(&params, j).unwrap();
+                let depends = g.param_exprs().iter().any(|e| e.grad_coeff(j) != 0.0);
+                assert_eq!(analytic.is_some(), depends, "{} wrt θ{j}", g.name());
+                let Some(analytic) = analytic else { continue };
+                let mut p = params.clone();
+                p[j] += eps;
+                let plus = g.matrix(&p).unwrap();
+                p[j] -= 2.0 * eps;
+                let minus = g.matrix(&p).unwrap();
+                match (analytic, plus, minus) {
+                    (GateMatrix::One(_, d), GateMatrix::One(_, mp), GateMatrix::One(_, mm)) => {
+                        for r in 0..2 {
+                            for c in 0..2 {
+                                let fd = (mp.0[r][c] - mm.0[r][c]) * (0.5 / eps);
+                                assert!(
+                                    d.0[r][c].approx_eq(fd, 1e-8),
+                                    "{} θ{j} [{r}][{c}]: {:?} vs {fd:?}",
+                                    g.name(),
+                                    d.0[r][c]
+                                );
+                            }
+                        }
+                    }
+                    (
+                        GateMatrix::Two(_, _, d),
+                        GateMatrix::Two(_, _, mp),
+                        GateMatrix::Two(_, _, mm),
+                    ) => {
+                        for r in 0..4 {
+                            for c in 0..4 {
+                                let fd = (mp.0[r][c] - mm.0[r][c]) * (0.5 / eps);
+                                assert!(
+                                    d.0[r][c].approx_eq(fd, 1e-8),
+                                    "{} θ{j} [{r}][{c}]: {:?} vs {fd:?}",
+                                    g.name(),
+                                    d.0[r][c]
+                                );
+                            }
+                        }
+                    }
+                    _ => panic!("derivative arity mismatch for {}", g.name()),
+                }
+            }
+        }
     }
 
     #[test]

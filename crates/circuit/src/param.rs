@@ -76,6 +76,23 @@ impl ParamExpr {
         matches!(self, ParamExpr::Var { .. })
     }
 
+    /// `d(angle)/dθ_j`: the chain-rule coefficient this expression
+    /// contributes to parameter `j` (zero for constants and other
+    /// parameters). The affine form makes this exact: `d(c·θ_j + b)/dθ_j
+    /// = c`.
+    pub fn grad_coeff(&self, j: usize) -> f64 {
+        match *self {
+            ParamExpr::Const(_) => 0.0,
+            ParamExpr::Var { index, coeff, .. } => {
+                if index == j {
+                    coeff
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
     /// Negated expression (used when inverting rotation gates).
     pub fn negated(&self) -> Self {
         match *self {

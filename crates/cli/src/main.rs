@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! nwq vqe   [--molecule h2|h4|water] [--r BOHR] [--orbitals N] [--electrons M]
-//!           [--optimizer nm|lbfgs|spsa] [--max-evals N] [--metrics FILE.json]
-//!           [resilience flags]
+//!           [--optimizer nm|lbfgs|adam|spsa] [--grad adjoint|shift|fd]
+//!           [--max-evals N] [--metrics FILE.json] [resilience flags]
 //! nwq adapt [--orbitals N] [--electrons M] [--max-iter K] [--metrics FILE.json]
 //!           [resilience flags]
 //! nwq qpe   [--r BOHR] [--ancillas N] [--steps N] [--order 1|2] [--metrics FILE.json]
@@ -52,8 +52,8 @@ use nwq_core::resilience::{
     run_vqe_with, CheckpointConfig, FaultSpec, FaultyBackend, ResilienceOptions, ResumeState,
     RetryPolicy,
 };
-use nwq_core::vqe::VqeProblem;
-use nwq_opt::{Lbfgs, NelderMead, Optimizer, Spsa};
+use nwq_core::vqe::{GradSource, VqeProblem};
+use nwq_opt::{Adam, GradOptimizer, Lbfgs, NelderMead, Optimizer, Spsa};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -119,10 +119,41 @@ fn optimizer_from(args: &Args) -> Result<Box<dyn Optimizer>, String> {
     Ok(match args.str_or("optimizer", "nm").as_str() {
         "nm" => Box::new(NelderMead::for_vqe()),
         "lbfgs" => Box::new(Lbfgs::default()),
+        "adam" => Box::new(Adam::default()),
         "spsa" => Box::new(Spsa::default()),
         other => {
             return Err(format!(
-                "unknown optimizer {other:?} (expected nm|lbfgs|spsa)"
+                "unknown optimizer {other:?} (expected nm|lbfgs|adam|spsa)"
+            ))
+        }
+    })
+}
+
+/// The gradient-capable optimizer for `--grad` runs; Nelder–Mead and SPSA
+/// have no use for gradients, so they are rejected up front.
+fn grad_optimizer_from(args: &Args) -> Result<Box<dyn GradOptimizer>, String> {
+    Ok(match args.str_or("optimizer", "lbfgs").as_str() {
+        "lbfgs" => Box::new(Lbfgs::default()),
+        "adam" => Box::new(Adam::default()),
+        other => {
+            return Err(format!(
+                "--grad requires a gradient-based optimizer (lbfgs|adam), got {other:?}"
+            ))
+        }
+    })
+}
+
+/// How `--grad` runs obtain ∂E/∂θ. `shift` uses the π/4 excitation rule
+/// (exact for the UCCSD ansatz the vqe subcommand builds).
+fn grad_source_from(args: &Args) -> Result<Option<GradSource>, String> {
+    Ok(match args.flags.get("grad").map(String::as_str) {
+        None => None,
+        Some("adjoint") => Some(GradSource::Adjoint),
+        Some("shift") => Some(GradSource::shift_excitations()),
+        Some("fd") => Some(GradSource::FiniteDifference(1e-6)),
+        Some(other) => {
+            return Err(format!(
+                "unknown gradient source {other:?} (expected adjoint|shift|fd)"
             ))
         }
     })
@@ -198,18 +229,54 @@ fn cmd_vqe(args: &Args) -> Result<(), String> {
         ansatz,
     };
     let opts = resilience_from(args)?;
-    let mut backend = backend_from(args)?;
-    let mut optimizer = optimizer_from(args)?;
     let x0 = vec![0.0; problem.ansatz.n_params()];
-    let r = run_vqe_with(
-        &problem,
-        &mut *backend,
-        &mut *optimizer,
-        &x0,
-        max_evals,
-        &opts,
-    )
-    .map_err(|e| e.to_string())?;
+    let (r, stats) = match grad_source_from(args)? {
+        Some(source) => {
+            if args.get("inject-faults", 0.0)? > 0.0 {
+                return Err(
+                    "--inject-faults is incompatible with --grad (fault injection wraps \
+                     the backend in an energy-only decorator)"
+                        .into(),
+                );
+            }
+            let mut backend = DirectBackend::new();
+            let mut optimizer = grad_optimizer_from(args)?;
+            println!(
+                "grad    : {} source, {} equivalents per fused gradient",
+                source.name(),
+                match source {
+                    GradSource::Adjoint => 4,
+                    _ => 2 * problem.ansatz.n_params() + 1,
+                }
+            );
+            let r = nwq_core::resilience::run_vqe_grad_with(
+                &problem,
+                &mut backend,
+                &mut *optimizer,
+                source,
+                &x0,
+                max_evals,
+                &opts,
+            )
+            .map_err(|e| e.to_string())?;
+            (r, backend.stats())
+        }
+        None => {
+            let mut backend = backend_from(args)?;
+            let mut optimizer = optimizer_from(args)?;
+            let r = run_vqe_with(
+                &problem,
+                &mut *backend,
+                &mut *optimizer,
+                &x0,
+                max_evals,
+                &opts,
+            )
+            .map_err(|e| e.to_string())?;
+            let stats = backend.stats();
+            (r, stats)
+        }
+    };
     println!(
         "E_VQE   : {:+.6} Ha  ({} evaluations)",
         r.energy, r.evaluations
@@ -227,8 +294,7 @@ fn cmd_vqe(args: &Args) -> Result<(), String> {
     }
     println!(
         "backend : {} ansatz runs, {} gates applied",
-        backend.stats().ansatz_runs,
-        backend.stats().gates_applied
+        stats.ansatz_runs, stats.gates_applied
     );
     Ok(())
 }

@@ -408,6 +408,98 @@ pub fn mat_rzz(theta: f64) -> Mat4 {
     m
 }
 
+// ---------------------------------------------------------------------------
+// Angle derivatives of the parameterized gate matrices, `dG/dθ` evaluated
+// at the same angle. These are NOT unitary — they feed the adjoint
+// differentiation sweep, which contracts ⟨φ|dG/dθ|ψ⟩ without ever applying
+// a derivative matrix to a state.
+// ---------------------------------------------------------------------------
+
+/// `dRX/dθ = −(i/2)·X·RX(θ)`.
+pub fn mat_drx(theta: f64) -> Mat2 {
+    let (s, c) = (theta * 0.5).sin_cos();
+    Mat2([
+        [C64::real(-0.5 * s), C64::imag(-0.5 * c)],
+        [C64::imag(-0.5 * c), C64::real(-0.5 * s)],
+    ])
+}
+
+/// `dRY/dθ = −(i/2)·Y·RY(θ)`.
+pub fn mat_dry(theta: f64) -> Mat2 {
+    let (s, c) = (theta * 0.5).sin_cos();
+    Mat2([
+        [C64::real(-0.5 * s), C64::real(-0.5 * c)],
+        [C64::real(0.5 * c), C64::real(-0.5 * s)],
+    ])
+}
+
+/// `dRZ/dθ = diag(−(i/2)e^{−iθ/2}, (i/2)e^{iθ/2})`.
+pub fn mat_drz(theta: f64) -> Mat2 {
+    Mat2([
+        [C64::imag(-0.5) * C64::cis(-theta * 0.5), C_ZERO],
+        [C_ZERO, C64::imag(0.5) * C64::cis(theta * 0.5)],
+    ])
+}
+
+/// `dP/dλ = diag(0, i·e^{iλ})`.
+pub fn mat_dp(lambda: f64) -> Mat2 {
+    Mat2([
+        [C_ZERO, C_ZERO],
+        [C_ZERO, C64::imag(1.0) * C64::cis(lambda)],
+    ])
+}
+
+/// `∂U3/∂θ` (OpenQASM convention, matching [`mat_u3`]).
+pub fn mat_du3_dtheta(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (s, c) = (theta * 0.5).sin_cos();
+    Mat2([
+        [C64::real(-0.5 * s), -C64::cis(lambda) * (0.5 * c)],
+        [
+            C64::cis(phi) * (0.5 * c),
+            -C64::cis(phi + lambda) * (0.5 * s),
+        ],
+    ])
+}
+
+/// `∂U3/∂φ`: only the second row carries the `e^{iφ}` factor.
+pub fn mat_du3_dphi(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (s, c) = (theta * 0.5).sin_cos();
+    let i = C64::imag(1.0);
+    Mat2([
+        [C_ZERO, C_ZERO],
+        [i * C64::cis(phi) * s, i * C64::cis(phi + lambda) * c],
+    ])
+}
+
+/// `∂U3/∂λ`: only the second column carries the `e^{iλ}` factor.
+pub fn mat_du3_dlambda(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+    let (s, c) = (theta * 0.5).sin_cos();
+    let i = C64::imag(1.0);
+    Mat2([
+        [C_ZERO, -i * C64::cis(lambda) * s],
+        [C_ZERO, i * C64::cis(phi + lambda) * c],
+    ])
+}
+
+/// `dCP/dλ = diag(0, 0, 0, i·e^{iλ})`.
+pub fn mat_dcp(lambda: f64) -> Mat4 {
+    let mut m = Mat4::zero();
+    m.0[3][3] = C64::imag(1.0) * C64::cis(lambda);
+    m
+}
+
+/// `dRZZ/dθ`, diagonal like [`mat_rzz`] with `∓i/2` prefactors.
+pub fn mat_drzz(theta: f64) -> Mat4 {
+    let d_m = C64::imag(-0.5) * C64::cis(-theta * 0.5);
+    let d_p = C64::imag(0.5) * C64::cis(theta * 0.5);
+    let mut m = Mat4::zero();
+    m.0[0][0] = d_m;
+    m.0[1][1] = d_p;
+    m.0[2][2] = d_p;
+    m.0[3][3] = d_m;
+    m
+}
+
 /// Embeds a single-qubit matrix acting on the high bit: `m ⊗ I`.
 pub fn embed_high(m: &Mat2) -> Mat4 {
     m.kron(&Mat2::identity())
@@ -424,6 +516,57 @@ mod tests {
     use std::f64::consts::PI;
 
     const TOL: f64 = 1e-12;
+
+    #[test]
+    fn derivative_matrices_match_central_differences() {
+        let eps = 1e-6;
+        // Central differences carry O(eps²) truncation error; 1e-9 leaves
+        // two orders of headroom over it for these bounded-entry matrices.
+        let tol = 1e-9;
+        let diff2 = |f: &dyn Fn(f64) -> Mat2, t: f64| {
+            let (p, m) = (f(t + eps), f(t - eps));
+            let mut out = Mat2([[C_ZERO; 2]; 2]);
+            for r in 0..2 {
+                for c in 0..2 {
+                    out.0[r][c] = (p.0[r][c] - m.0[r][c]) * (0.5 / eps);
+                }
+            }
+            out
+        };
+        let diff4 = |f: &dyn Fn(f64) -> Mat4, t: f64| {
+            let (p, m) = (f(t + eps), f(t - eps));
+            let mut out = Mat4::zero();
+            for r in 0..4 {
+                for c in 0..4 {
+                    out.0[r][c] = (p.0[r][c] - m.0[r][c]) * (0.5 / eps);
+                }
+            }
+            out
+        };
+        for t in [-1.3, 0.0, 0.41, 2.9] {
+            assert!(mat_drx(t).approx_eq(&diff2(&mat_rx, t), tol), "drx({t})");
+            assert!(mat_dry(t).approx_eq(&diff2(&mat_ry, t), tol), "dry({t})");
+            assert!(mat_drz(t).approx_eq(&diff2(&mat_rz, t), tol), "drz({t})");
+            assert!(mat_dp(t).approx_eq(&diff2(&mat_p, t), tol), "dp({t})");
+            assert!(mat_dcp(t).approx_eq(&diff4(&mat_cp, t), tol), "dcp({t})");
+            assert!(mat_drzz(t).approx_eq(&diff4(&mat_rzz, t), tol), "drzz({t})");
+            let (phi, lambda) = (0.7, -0.9);
+            assert!(
+                mat_du3_dtheta(t, phi, lambda)
+                    .approx_eq(&diff2(&|x| mat_u3(x, phi, lambda), t), tol),
+                "du3/dθ({t})"
+            );
+            assert!(
+                mat_du3_dphi(t, phi, lambda).approx_eq(&diff2(&|x| mat_u3(t, x, lambda), phi), tol),
+                "du3/dφ({t})"
+            );
+            assert!(
+                mat_du3_dlambda(t, phi, lambda)
+                    .approx_eq(&diff2(&|x| mat_u3(t, phi, x), lambda), tol),
+                "du3/dλ({t})"
+            );
+        }
+    }
 
     #[test]
     fn standard_gates_are_unitary() {

@@ -206,9 +206,11 @@ fn adapt_loop(
 
     for _iter in 0..config.max_iterations {
         let iter_start = std::time::Instant::now();
-        // Screening: gradients need the current state.
+        // Screening: gradients need the current state. The shared-φ
+        // analytic path applies H once for the whole pool instead of
+        // forming one H·A commutator per candidate.
         let state = simulate_plan(&ansatz, &params)?;
-        let grads = pool.gradients(hamiltonian, state.amplitudes())?;
+        let grads = pool.gradients_via_phi(hamiltonian, state.amplitudes())?;
         let (best_k, best_g) = grads
             .iter()
             .enumerate()
@@ -419,6 +421,37 @@ mod tests {
             assert_eq!(a.energy.to_bits(), b.energy.to_bits());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analytic_screening_matches_legacy_selection() {
+        // The analytic shared-φ screening must reproduce the legacy
+        // commutator-expectation loop on the committed H2 pool: same
+        // winning operator (index 2, the "0,1->2,3" double excitation),
+        // same sign, same magnitude to floating-point accuracy.
+        let m = h2_sto3g();
+        let h = m.to_qubit_hamiltonian().unwrap();
+        let pool = OperatorPool::singles_doubles(4, 2).unwrap();
+        let mut ansatz = Circuit::new(4);
+        append_hf_state(&mut ansatz, 2).unwrap();
+        let state = simulate_plan(&ansatz, &[]).unwrap();
+        let legacy = pool.gradients(&h, state.amplitudes()).unwrap();
+        let analytic = pool.gradients_via_phi(&h, state.amplitudes()).unwrap();
+        assert_eq!(legacy.len(), analytic.len());
+        for (l, a) in legacy.iter().zip(&analytic) {
+            assert!((l - a).abs() < 1e-12, "{l} vs {a}");
+            assert_eq!(l.signum(), a.signum());
+        }
+        let pick = |g: &[f64]| {
+            g.iter()
+                .enumerate()
+                .max_by(|x, y| x.1.abs().total_cmp(&y.1.abs()))
+                .map(|(k, _)| k)
+                .unwrap()
+        };
+        assert_eq!(pick(&legacy), pick(&analytic));
+        assert_eq!(pick(&analytic), 2);
+        assert_eq!(pool.ops[2].name, "0,1->2,3");
     }
 
     #[test]

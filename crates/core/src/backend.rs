@@ -76,6 +76,26 @@ pub trait Backend {
     fn invalidate_cache(&mut self) {}
 }
 
+/// An energy engine that can also produce the *analytic* gradient
+/// `∂E/∂θ` — via adjoint differentiation, where the full gradient costs a
+/// small constant number of statevector evolutions (≈ 4) regardless of
+/// the parameter count, versus `2·n` circuit evaluations for the
+/// parameter-shift rule.
+pub trait GradientBackend: Backend {
+    /// Evaluates `⟨ψ(θ)|H|ψ(θ)⟩` and its full gradient in one adjoint
+    /// sweep.
+    fn energy_and_gradient(
+        &mut self,
+        ansatz: &Circuit,
+        params: &[f64],
+        observable: &PauliOp,
+    ) -> Result<(f64, Vec<f64>)>;
+
+    /// Upcast to the plain-energy interface (explicit because dyn-trait
+    /// upcasting coercion is not assumed from the pinned toolchain).
+    fn as_backend(&mut self) -> &mut dyn Backend;
+}
+
 fn check_widths(ansatz: &Circuit, observable: &PauliOp) -> Result<()> {
     if ansatz.n_qubits() != observable.n_qubits() {
         return Err(Error::DimensionMismatch {
@@ -266,6 +286,32 @@ impl Backend for DirectBackend {
 
     fn invalidate_cache(&mut self) {
         self.cache.invalidate();
+    }
+}
+
+impl GradientBackend for DirectBackend {
+    /// Adjoint differentiation over the compiled plan: |ψ⟩ forward once,
+    /// φ = H|ψ⟩ once, then one backward inverse-replay accumulating every
+    /// `∂E/∂θ_j` — about four statevector-evolution equivalents total
+    /// ([`nwq_statevec::adjoint::energy_and_gradient`]). The dagger tape
+    /// is derived once per circuit shape and cached process-wide alongside
+    /// the forward template.
+    fn energy_and_gradient(
+        &mut self,
+        ansatz: &Circuit,
+        params: &[f64],
+        observable: &PauliOp,
+    ) -> Result<(f64, Vec<f64>)> {
+        check_widths(ansatz, observable)?;
+        let g = nwq_statevec::adjoint::energy_and_gradient(ansatz, params, observable)?;
+        self.stats.evaluations += 1;
+        self.stats.ansatz_runs += 1;
+        self.stats.gates_applied += ansatz.len() as u64;
+        Ok((g.energy, g.gradient))
+    }
+
+    fn as_backend(&mut self) -> &mut dyn Backend {
+        self
     }
 }
 

@@ -49,14 +49,14 @@ pub mod workflow;
 pub use adapt::{run_adapt_vqe, run_adapt_vqe_with, AdaptConfig, AdaptResult};
 pub use backend::{
     Backend, BackendStats, BoxedBackend, CachedMeasureBackend, DensityBackend, DirectBackend,
-    DistributedBackend, NonCachingBackend, SamplingBackend,
+    DistributedBackend, GradientBackend, NonCachingBackend, SamplingBackend,
 };
 pub use exact::{ground_energy_sector_default, Sector};
 pub use qpe::{run_qpe, QpeConfig, QpeOutcome};
 pub use resilience::{
-    circuit_content_fingerprint, problem_content_fingerprint, run_vqe_with, CheckpointConfig,
-    FaultyBackend, ResilienceOptions, ResumeState, RetryPolicy,
+    circuit_content_fingerprint, problem_content_fingerprint, run_vqe_grad_with, run_vqe_with,
+    CheckpointConfig, FaultyBackend, ResilienceOptions, ResumeState, RetryPolicy,
 };
 pub use vqd::{run_vqd, VqdConfig, VqdResult};
-pub use vqe::{run_vqe, VqeProblem, VqeResult};
+pub use vqe::{run_vqe, run_vqe_grad, GradSource, VqeProblem, VqeResult};
 pub use workflow::{run_vqe_workflow, WorkflowConfig, WorkflowResult};

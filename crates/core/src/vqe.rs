@@ -1,10 +1,11 @@
 //! The VQE driver — the classical–quantum loop of paper §3.1.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, GradientBackend};
 use nwq_circuit::Circuit;
 use nwq_common::Result;
-use nwq_opt::Optimizer;
+use nwq_opt::{GradOptimizer, Optimizer};
 use nwq_pauli::PauliOp;
+use nwq_telemetry::JsonValue;
 
 /// A VQE problem instance: observable plus parameterized ansatz.
 #[derive(Clone, Debug)]
@@ -30,6 +31,88 @@ pub struct VqeResult {
     pub history: Vec<f64>,
 }
 
+/// How the gradient-driven VQE drivers obtain `∂E/∂θ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GradSource {
+    /// Analytic adjoint differentiation: the full gradient from one
+    /// forward sweep, one `H|ψ⟩` application, and one backward
+    /// inverse-replay — about four statevector-evolution equivalents
+    /// regardless of the parameter count. Requires a
+    /// [`GradientBackend`].
+    Adjoint,
+    /// Two-term shift rule `∂E/∂θ_j = [E(θ+s·e_j) − E(θ−s·e_j)] / denom`,
+    /// evaluated as one walker-batched sweep of all `2·n` probes. Exact
+    /// only when the shift matches the generator spectrum — see the
+    /// constructors.
+    ParameterShift {
+        /// Per-parameter shift `s`.
+        shift: f64,
+        /// Divisor applied to the energy difference.
+        denom: f64,
+    },
+    /// Central finite differences with the given step (a fallback for
+    /// parameters with no known shift rule).
+    FiniteDifference(f64),
+}
+
+impl GradSource {
+    /// The π/2 shift rule, exact for rotation generators with eigenvalues
+    /// ±1 (hardware-efficient RX/RY/RZ layers). **Silently returns zero**
+    /// for π-periodic fermionic excitation parameters — use
+    /// [`GradSource::shift_excitations`] for UCCSD-style ansätze.
+    pub fn shift_rotations() -> Self {
+        GradSource::ParameterShift {
+            shift: std::f64::consts::FRAC_PI_2,
+            denom: 2.0,
+        }
+    }
+
+    /// The π/4 shift rule, exact for fermionic single/double excitation
+    /// generators (eigenvalues {0, ±i}, π-periodic energy) — the UCCSD
+    /// case.
+    pub fn shift_excitations() -> Self {
+        GradSource::ParameterShift {
+            shift: std::f64::consts::FRAC_PI_4,
+            denom: 1.0,
+        }
+    }
+
+    /// Stable identifier used in checkpoints and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GradSource::Adjoint => "adjoint",
+            GradSource::ParameterShift { .. } => "parameter-shift",
+            GradSource::FiniteDifference(_) => "finite-difference",
+        }
+    }
+
+    /// Cost of one fused value-and-gradient evaluation in
+    /// energy-evaluation equivalents.
+    pub(crate) fn cost(&self, n_params: usize) -> usize {
+        match self {
+            GradSource::Adjoint => 4,
+            _ => 2 * n_params + 1,
+        }
+    }
+
+    /// Checkpoint-fingerprint encoding: resuming is only sound when the
+    /// gradients are computed the same way.
+    pub(crate) fn fingerprint_json(&self) -> JsonValue {
+        let mut fields = vec![("name".into(), JsonValue::Str(self.name().into()))];
+        match *self {
+            GradSource::Adjoint => {}
+            GradSource::ParameterShift { shift, denom } => {
+                fields.push(("shift".into(), JsonValue::Float(shift)));
+                fields.push(("denom".into(), JsonValue::Float(denom)));
+            }
+            GradSource::FiniteDifference(eps) => {
+                fields.push(("eps".into(), JsonValue::Float(eps)));
+            }
+        }
+        JsonValue::Object(fields)
+    }
+}
+
 /// Runs VQE: minimizes `⟨ψ(θ)|H|ψ(θ)⟩` over θ with the given backend and
 /// optimizer, starting from `x0` (pass zeros for a HF start).
 ///
@@ -48,6 +131,33 @@ pub fn run_vqe(
         problem,
         backend,
         optimizer,
+        x0,
+        max_evals,
+        &crate::resilience::ResilienceOptions::default(),
+    )
+}
+
+/// Runs VQE driven by gradients: the optimizer consumes fused
+/// energy-and-gradient evaluations whose cost (in energy-evaluation
+/// equivalents, counted against `max_evals`) depends on `source` —
+/// ≈ 4 per gradient for [`GradSource::Adjoint`] independent of the
+/// parameter count, `2·n + 1` for the shift/finite-difference rules.
+///
+/// See [`crate::resilience::run_vqe_grad_with`] for checkpointing and
+/// custom retry policies.
+pub fn run_vqe_grad(
+    problem: &VqeProblem,
+    backend: &mut dyn GradientBackend,
+    optimizer: &mut dyn GradOptimizer,
+    source: GradSource,
+    x0: &[f64],
+    max_evals: usize,
+) -> Result<VqeResult> {
+    crate::resilience::run_vqe_grad_with(
+        problem,
+        backend,
+        optimizer,
+        source,
         x0,
         max_evals,
         &crate::resilience::ResilienceOptions::default(),

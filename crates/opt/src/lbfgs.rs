@@ -5,8 +5,11 @@
 //! noise), where it converges in far fewer energy evaluations than
 //! simplex or SPSA methods.
 
-use crate::gradient::try_finite_difference_gradient;
-use crate::traits::{state_f64, state_u64, OptResult, Optimizer};
+use crate::gradient::{try_finite_difference_gradient, try_finite_difference_gradient_batched};
+use crate::traits::{
+    single, state_f64, state_u64, BatchedObjective, GradObjective, GradOptimizer, OptResult,
+    Optimizer,
+};
 use nwq_common::Result;
 use nwq_telemetry::JsonValue;
 use std::collections::VecDeque;
@@ -98,30 +101,7 @@ impl Optimizer for Lbfgs {
                 converged = true;
                 break;
             }
-            // Two-loop recursion for the search direction d = −H·g.
-            let mut q = g.clone();
-            let mut alphas = Vec::with_capacity(history.len());
-            for (s, y, rho) in history.iter().rev() {
-                let alpha = rho * dot(s, &q);
-                for (qi, yi) in q.iter_mut().zip(y) {
-                    *qi -= alpha * yi;
-                }
-                alphas.push(alpha);
-            }
-            // Initial Hessian scaling γ = sᵀy/yᵀy from the latest pair.
-            if let Some((s, y, _)) = history.back() {
-                let gamma = dot(s, y) / dot(y, y).max(1e-300);
-                for qi in q.iter_mut() {
-                    *qi *= gamma;
-                }
-            }
-            for ((s, y, rho), alpha) in history.iter().zip(alphas.into_iter().rev()) {
-                let beta = rho * dot(y, &q);
-                for (qi, si) in q.iter_mut().zip(s) {
-                    *qi += (alpha - beta) * si;
-                }
-            }
-            let d: Vec<f64> = q.iter().map(|v| -v).collect();
+            let d = two_loop_direction(&history, &g);
             let slope = dot(&g, &d);
             if slope >= 0.0 {
                 // Not a descent direction (stale curvature) — reset.
@@ -172,6 +152,209 @@ impl Optimizer for Lbfgs {
             converged,
         })
     }
+
+    /// Batched override: every finite-difference gradient's `2·n` probe
+    /// evaluations ride ONE multi-vector call (a single walker-batched
+    /// sweep on backends that support it). Line-search trials stay
+    /// sequential — each depends on the previous trial's outcome. The
+    /// trajectory is identical to [`Optimizer::try_minimize`] — same
+    /// points, same order, same eval count.
+    fn try_minimize_batched(
+        &mut self,
+        f: &mut BatchedObjective<'_>,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> Result<OptResult> {
+        let n = x0.len();
+        let mut evals = 0usize;
+        let mut x = x0.to_vec();
+        let mut fx = single(f, &x)?;
+        evals += 1;
+        if n == 0 {
+            return Ok(OptResult {
+                params: x,
+                value: fx,
+                evals,
+                converged: true,
+            });
+        }
+        let grad_cost = 2 * n;
+        let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+        let mut g = try_finite_difference_gradient_batched(f, &x, self.fd_eps)?;
+        evals += grad_cost;
+        let mut converged = false;
+
+        while evals + grad_cost + 2 <= max_evals {
+            let gnorm = g.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            if gnorm < self.g_tol {
+                converged = true;
+                break;
+            }
+            let d = two_loop_direction(&history, &g);
+            let slope = dot(&g, &d);
+            if slope >= 0.0 {
+                history.clear();
+                let d: Vec<f64> = g.iter().map(|v| -v).collect();
+                let (nx, nfx, used, ok) = {
+                    let mut sf = |p: &[f64]| single(f, p);
+                    self.line_search(&mut sf, &x, fx, &g, &d, max_evals - evals)?
+                };
+                evals += used;
+                if !ok {
+                    break;
+                }
+                x = nx;
+                fx = nfx;
+            } else {
+                let (nx, nfx, used, ok) = {
+                    let mut sf = |p: &[f64]| single(f, p);
+                    self.line_search(&mut sf, &x, fx, &g, &d, max_evals - evals)?
+                };
+                evals += used;
+                if !ok {
+                    break;
+                }
+                let s: Vec<f64> = nx.iter().zip(&x).map(|(a, b)| a - b).collect();
+                x = nx;
+                fx = nfx;
+                if evals + grad_cost > max_evals {
+                    break;
+                }
+                let new_g = try_finite_difference_gradient_batched(f, &x, self.fd_eps)?;
+                evals += grad_cost;
+                let y: Vec<f64> = new_g.iter().zip(&g).map(|(a, b)| a - b).collect();
+                let ys = dot(&y, &s);
+                if ys > 1e-12 {
+                    if history.len() == self.memory {
+                        history.pop_front();
+                    }
+                    history.push_back((s, y, 1.0 / ys));
+                }
+                g = new_g;
+                continue;
+            }
+            if evals + grad_cost > max_evals {
+                break;
+            }
+            g = try_finite_difference_gradient_batched(f, &x, self.fd_eps)?;
+            evals += grad_cost;
+        }
+        Ok(OptResult {
+            params: x,
+            value: fx,
+            evals,
+            converged,
+        })
+    }
+}
+
+impl GradOptimizer for Lbfgs {
+    /// Analytic-gradient loop: each gradient is one
+    /// [`GradObjective::value_and_grad`] call costing
+    /// [`GradObjective::grad_cost`] evaluation-equivalents (≈ 4 for an
+    /// adjoint-backed objective, independent of the parameter count),
+    /// versus `2·n` finite-difference probes in the black-box loops.
+    /// Line-search trials use [`GradObjective::value`] at cost 1 each.
+    fn try_minimize_grad(
+        &mut self,
+        obj: &mut dyn GradObjective,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> Result<OptResult> {
+        let n = x0.len();
+        let mut evals = 0usize;
+        let mut x = x0.to_vec();
+        if n == 0 {
+            let fx = obj.value(&x)?;
+            return Ok(OptResult {
+                params: x,
+                value: fx,
+                evals: 1,
+                converged: true,
+            });
+        }
+        let grad_cost = obj.grad_cost(n).max(1);
+        if grad_cost > max_evals {
+            // Budget too small for even one gradient: report the starting
+            // point honestly with one plain evaluation.
+            let fx = obj.value(&x)?;
+            return Ok(OptResult {
+                params: x,
+                value: fx,
+                evals: 1,
+                converged: false,
+            });
+        }
+        let (mut fx, mut g) = obj.value_and_grad(&x)?;
+        evals += grad_cost;
+        let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+        let mut converged = false;
+
+        while evals + grad_cost < max_evals {
+            let gnorm = g.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+            if gnorm < self.g_tol {
+                converged = true;
+                break;
+            }
+            let d = two_loop_direction(&history, &g);
+            let slope = dot(&g, &d);
+            if slope >= 0.0 {
+                history.clear();
+                let d: Vec<f64> = g.iter().map(|v| -v).collect();
+                let (nx, nfx, used, ok) = {
+                    let mut vf = |p: &[f64]| obj.value(p);
+                    self.line_search(&mut vf, &x, fx, &g, &d, max_evals - evals)?
+                };
+                evals += used;
+                if !ok {
+                    break;
+                }
+                x = nx;
+                fx = nfx;
+            } else {
+                let (nx, nfx, used, ok) = {
+                    let mut vf = |p: &[f64]| obj.value(p);
+                    self.line_search(&mut vf, &x, fx, &g, &d, max_evals - evals)?
+                };
+                evals += used;
+                if !ok {
+                    break;
+                }
+                let s: Vec<f64> = nx.iter().zip(&x).map(|(a, b)| a - b).collect();
+                x = nx;
+                fx = nfx;
+                if evals + grad_cost > max_evals {
+                    break;
+                }
+                let (nfx2, new_g) = obj.value_and_grad(&x)?;
+                evals += grad_cost;
+                fx = nfx2;
+                let y: Vec<f64> = new_g.iter().zip(&g).map(|(a, b)| a - b).collect();
+                let ys = dot(&y, &s);
+                if ys > 1e-12 {
+                    if history.len() == self.memory {
+                        history.pop_front();
+                    }
+                    history.push_back((s, y, 1.0 / ys));
+                }
+                g = new_g;
+                continue;
+            }
+            if evals + grad_cost > max_evals {
+                break;
+            }
+            let (nfx2, new_g) = obj.value_and_grad(&x)?;
+            evals += grad_cost;
+            fx = nfx2;
+            g = new_g;
+        }
+        Ok(OptResult {
+            params: x,
+            value: fx,
+            evals,
+            converged,
+        })
+    }
 }
 
 impl Lbfgs {
@@ -207,6 +390,34 @@ impl Lbfgs {
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Two-loop L-BFGS recursion: the search direction `d = −H·g` implied by
+/// the curvature history `(s, y, 1/yᵀs)`, with the standard initial
+/// Hessian scaling `γ = sᵀy/yᵀy` from the latest pair.
+fn two_loop_direction(history: &VecDeque<(Vec<f64>, Vec<f64>, f64)>, g: &[f64]) -> Vec<f64> {
+    let mut q = g.to_vec();
+    let mut alphas = Vec::with_capacity(history.len());
+    for (s, y, rho) in history.iter().rev() {
+        let alpha = rho * dot(s, &q);
+        for (qi, yi) in q.iter_mut().zip(y) {
+            *qi -= alpha * yi;
+        }
+        alphas.push(alpha);
+    }
+    if let Some((s, y, _)) = history.back() {
+        let gamma = dot(s, y) / dot(y, y).max(1e-300);
+        for qi in q.iter_mut() {
+            *qi *= gamma;
+        }
+    }
+    for ((s, y, rho), alpha) in history.iter().zip(alphas.into_iter().rev()) {
+        let beta = rho * dot(y, &q);
+        for (qi, si) in q.iter_mut().zip(s) {
+            *qi += (alpha - beta) * si;
+        }
+    }
+    q.iter().map(|v| -v).collect()
 }
 
 #[cfg(test)]
@@ -289,6 +500,141 @@ mod tests {
         assert_eq!(dst.memory, 12);
         assert_eq!(dst.fd_eps, 1e-5);
         assert_eq!(src.name(), "lbfgs");
+    }
+
+    #[test]
+    fn batched_matches_serial_trajectory_exactly() {
+        // The identical-trajectory contract checkpoint replay depends on:
+        // same points, same order, same eval count, bitwise-equal result.
+        let bowl =
+            |x: &[f64]| (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2) + 0.3 * x[0] * x[1];
+        let mut serial_pts: Vec<Vec<f64>> = Vec::new();
+        let mut opt1 = Lbfgs::default();
+        let r1 = opt1
+            .try_minimize(
+                &mut |x: &[f64]| {
+                    serial_pts.push(x.to_vec());
+                    Ok(bowl(x))
+                },
+                &[0.2, -0.4],
+                90,
+            )
+            .unwrap();
+        let mut batched_pts: Vec<Vec<f64>> = Vec::new();
+        let mut widths: Vec<usize> = Vec::new();
+        let mut opt2 = Lbfgs::default();
+        let r2 = opt2
+            .try_minimize_batched(
+                &mut |xs: &[Vec<f64>]| {
+                    widths.push(xs.len());
+                    batched_pts.extend(xs.iter().cloned());
+                    Ok(xs.iter().map(|x| bowl(x)).collect())
+                },
+                &[0.2, -0.4],
+                90,
+            )
+            .unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(serial_pts, batched_pts);
+        assert_eq!(serial_pts.len(), r1.evals);
+        // The FD probes actually ride multi-vector calls (2·n wide).
+        assert_eq!(widths.iter().max(), Some(&4), "{widths:?}");
+    }
+
+    struct Quad {
+        value_calls: usize,
+        grad_calls: usize,
+        fail_on_grad_call: Option<usize>,
+    }
+
+    impl Quad {
+        fn new() -> Self {
+            Quad {
+                value_calls: 0,
+                grad_calls: 0,
+                fail_on_grad_call: None,
+            }
+        }
+
+        fn f(x: &[f64]) -> f64 {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (1.0 + i as f64) * (v - 0.5).powi(2))
+                .sum()
+        }
+    }
+
+    impl GradObjective for Quad {
+        fn value(&mut self, x: &[f64]) -> Result<f64> {
+            self.value_calls += 1;
+            Ok(Self::f(x))
+        }
+
+        fn value_and_grad(&mut self, x: &[f64]) -> Result<(f64, Vec<f64>)> {
+            self.grad_calls += 1;
+            if self.fail_on_grad_call == Some(self.grad_calls) {
+                return Err(nwq_common::Error::Backend("fault".into()));
+            }
+            let g = x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| 2.0 * (1.0 + i as f64) * (v - 0.5))
+                .collect();
+            Ok((Self::f(x), g))
+        }
+
+        fn grad_cost(&self, _n_params: usize) -> usize {
+            4
+        }
+    }
+
+    #[test]
+    fn analytic_gradients_converge_within_flat_budget() {
+        // 6 parameters: an FD gradient costs 12 evals, so a 100-eval
+        // budget allows only ~7 iterations. The analytic objective's flat
+        // cost of 4 buys three times as many — enough to drive the
+        // quadratic's gradient ∞-norm below g_tol and set the flag.
+        let mut opt = Lbfgs::default();
+        let mut obj = Quad::new();
+        let r = opt
+            .try_minimize_grad(&mut obj, &[1.0, -1.0, 2.0, 0.0, 0.9, -0.2], 100)
+            .unwrap();
+        assert!(r.converged, "{r:?}");
+        assert!(r.value < 1e-10, "value {}", r.value);
+        assert!(r.evals <= 100, "{r:?}");
+        for p in &r.params {
+            assert!((p - 0.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_budget_too_small_falls_back_to_one_value() {
+        let mut opt = Lbfgs::default();
+        let mut obj = Quad::new();
+        let r = opt.try_minimize_grad(&mut obj, &[2.0, 2.0], 3).unwrap();
+        assert_eq!(r.evals, 1);
+        assert!(!r.converged);
+        assert_eq!(r.params, vec![2.0, 2.0]);
+        assert_eq!(obj.value_calls, 1);
+        assert_eq!(obj.grad_calls, 0);
+    }
+
+    #[test]
+    fn grad_zero_dim_converges_immediately() {
+        let mut opt = Lbfgs::default();
+        let mut obj = Quad::new();
+        let r = opt.try_minimize_grad(&mut obj, &[], 10).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.evals, 1);
+    }
+
+    #[test]
+    fn grad_objective_error_aborts_promptly() {
+        let mut opt = Lbfgs::default();
+        let mut obj = Quad::new();
+        obj.fail_on_grad_call = Some(2);
+        assert!(opt.try_minimize_grad(&mut obj, &[3.0], 1000).is_err());
+        assert_eq!(obj.grad_calls, 2, "must stop at the failing gradient");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Classical optimizers for variational quantum algorithms — step 4 of the
 //! XACC co-processing loop (paper §3.1): derivative-free Nelder–Mead (the
 //! default VQE inner loop), SPSA for noisy/shot-based objectives, and Adam
-//! with exact parameter-shift gradients.
+//! and L-BFGS with exact gradients — parameter-shift, finite-difference,
+//! or analytic adjoint gradients supplied through [`GradObjective`].
 
 #![warn(missing_docs)]
 
@@ -13,11 +14,14 @@ pub mod nelder_mead;
 pub mod spsa;
 pub mod traits;
 
-pub use gradient::{Adam, GradientMode};
+pub use gradient::{
+    try_finite_difference_gradient_batched, try_parameter_shift_gradient_batched, Adam,
+    GradientMode,
+};
 pub use lbfgs::Lbfgs;
 pub use nelder_mead::NelderMead;
 pub use spsa::Spsa;
-pub use traits::{BatchedObjective, OptResult, Optimizer};
+pub use traits::{BatchedObjective, GradObjective, GradOptimizer, OptResult, Optimizer};
 
 #[cfg(test)]
 mod proptests {

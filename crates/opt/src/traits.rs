@@ -91,6 +91,39 @@ pub trait Optimizer {
     }
 }
 
+/// An objective that can produce its own analytic gradient — e.g. a VQE
+/// energy backed by adjoint differentiation, where the full `∂E/∂θ`
+/// costs a small constant number of statevector evolutions regardless of
+/// the parameter count.
+pub trait GradObjective {
+    /// Evaluates the objective alone (one energy-evaluation equivalent).
+    fn value(&mut self, x: &[f64]) -> Result<f64>;
+
+    /// Evaluates the objective and its full gradient at `x` in one pass.
+    fn value_and_grad(&mut self, x: &[f64]) -> Result<(f64, Vec<f64>)>;
+
+    /// Cost of one [`value_and_grad`](GradObjective::value_and_grad) call
+    /// in energy-evaluation equivalents, used for `max_evals` budget
+    /// accounting (adjoint: ~4 independent of `n_params`;
+    /// parameter-shift: `2·n_params`).
+    fn grad_cost(&self, n_params: usize) -> usize;
+}
+
+/// A minimizer that can consume analytic gradients via [`GradObjective`].
+/// The budget is still expressed in energy-evaluation equivalents so
+/// gradient-based and derivative-free runs are directly comparable.
+pub trait GradOptimizer: Optimizer {
+    /// Minimizes `obj` from `x0` spending at most `max_evals`
+    /// energy-evaluation equivalents (gradient calls cost
+    /// [`GradObjective::grad_cost`] each).
+    fn try_minimize_grad(
+        &mut self,
+        obj: &mut dyn GradObjective,
+        x0: &[f64],
+        max_evals: usize,
+    ) -> Result<OptResult>;
+}
+
 /// Evaluates a batched objective on one parameter vector, enforcing the
 /// one-value-per-vector contract.
 pub(crate) fn single(f: &mut BatchedObjective<'_>, x: &[f64]) -> Result<f64> {

@@ -203,18 +203,9 @@ impl Engine {
         let workers = (0..n_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                // Distinct per-worker seeds keep the injected fault streams
-                // independent; results stay identical regardless (faults
-                // only trigger retries of deterministic computations).
-                let injector = faults.map(|spec| {
-                    FaultInjector::new(FaultSpec {
-                        seed: spec.seed.wrapping_add(i as u64),
-                        ..spec
-                    })
-                });
                 std::thread::Builder::new()
                     .name(format!("nwq-serve-worker-{i}"))
-                    .spawn(move || worker_loop(shared, injector))
+                    .spawn(move || worker_loop(shared, faults))
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -570,7 +561,22 @@ impl Backend for InjectingBackend<'_> {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, mut injector: Option<FaultInjector>) {
+/// Derives the fault injector for one job. Streams are seeded per *job*,
+/// not per worker: which worker claims a job (a race) and what it ran
+/// before must not shift another job's fault sequence, so the injected
+/// pattern is a pure function of the configured seed and the job id
+/// regardless of scheduling. The multiplier is the splitmix64 increment,
+/// spreading consecutive ids across the seed space.
+fn injector_for(faults: Option<FaultSpec>, job: JobId) -> Option<FaultInjector> {
+    faults.map(|spec| {
+        FaultInjector::new(FaultSpec {
+            seed: spec.seed ^ job.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..spec
+        })
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>, faults: Option<FaultSpec>) {
     let mut backend = DirectBackend::new();
     let max_batch = shared.cfg.max_batch.max(1);
     while let Some(claim) = shared.queue.pop_batch(max_batch) {
@@ -620,10 +626,11 @@ fn worker_loop(shared: Arc<Shared>, mut injector: Option<FaultInjector>) {
         // group is re-queued or quarantined.
         let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if live[0].batchable || solo_energy {
-                run_energy_group(&shared, &mut backend, &mut injector, &live);
+                run_energy_group(&shared, &mut backend, faults, &live);
             } else {
                 debug_assert_eq!(live.len(), 1, "non-batchable jobs pop alone");
                 for job in &live {
+                    let mut injector = injector_for(faults, job.id);
                     run_long_job(&shared, &mut backend, &mut injector, job);
                 }
             }
@@ -701,7 +708,7 @@ fn energy_with_retries(
 fn run_energy_group(
     shared: &Shared,
     backend: &mut DirectBackend,
-    injector: &mut Option<FaultInjector>,
+    faults: Option<FaultSpec>,
     group: &[QueuedJob],
 ) {
     let batch_size = group.len();
@@ -794,7 +801,15 @@ fn run_energy_group(
     match sweep {
         Ok(energies) => {
             for ((id, params, wait_ms), e) in misses.into_iter().zip(energies) {
-                match energy_with_retries(shared, backend, injector, &problem, &params, Some(e)) {
+                let mut injector = injector_for(faults, id);
+                match energy_with_retries(
+                    shared,
+                    backend,
+                    &mut injector,
+                    &problem,
+                    &params,
+                    Some(e),
+                ) {
                     Ok(e) => {
                         shared.cache.insert(problem.fingerprint, &params, e);
                         let outcome = JobOutcome {

@@ -243,6 +243,71 @@ impl Executor {
         Ok(state)
     }
 
+    /// Un-applies a compiled plan: replays `plan`'s ops in reverse order
+    /// with each matrix daggered (diagonal factors conjugated), without
+    /// materializing the inverse plan. `run_plan_on(p, s)` followed by
+    /// `run_plan_inverse_on(p, s)` returns `s` to its original value up to
+    /// floating-point rounding — time-reversed replay for debugging and
+    /// the adjoint gradient sweep. Gate accounting matches a forward run
+    /// of the inverse plan.
+    pub fn run_plan_inverse_on(&mut self, plan: &ExecPlan, state: &mut StateVector) -> Result<()> {
+        if plan.n_qubits() != state.n_qubits() {
+            return Err(Error::DimensionMismatch {
+                expected: state.n_qubits(),
+                got: plan.n_qubits(),
+            });
+        }
+        self.stats.circuits_run += 1;
+        nwq_telemetry::counter_add("executor.circuits_run", 1);
+        nwq_telemetry::counter_add("executor.inverse_runs", 1);
+        let _span = nwq_telemetry::span!("executor.run_plan_inverse");
+        let dim = state.len() as u64;
+        let mut gates_1q = 0u64;
+        let mut gates_2q = 0u64;
+        let mut conj_factors: Vec<DiagFactor> = Vec::new();
+        for op in plan.ops().iter().rev() {
+            match op {
+                PlanOp::One(q, m) => {
+                    apply_mat2(state.amplitudes_mut(), *q, &m.dagger());
+                    gates_1q += 1;
+                }
+                PlanOp::Two(hi, lo, m) => {
+                    apply_mat4_prenorm(state.amplitudes_mut(), *hi, *lo, &m.dagger());
+                    gates_2q += 1;
+                }
+                PlanOp::DiagSweep {
+                    start,
+                    len,
+                    two_qubit,
+                } => {
+                    conj_factors.clear();
+                    conj_factors.extend(
+                        plan.factors()[*start..*start + *len]
+                            .iter()
+                            .rev()
+                            .map(|f| f.conj()),
+                    );
+                    apply_diag_sweep(state.amplitudes_mut(), &conj_factors);
+                    if *two_qubit {
+                        gates_2q += 1;
+                    } else {
+                        gates_1q += 1;
+                    }
+                }
+            }
+        }
+        let ops = plan.len() as u64;
+        self.stats.gates_1q += gates_1q;
+        self.stats.gates_2q += gates_2q;
+        self.stats.fused_blocks += ops;
+        self.stats.amplitude_updates += dim * ops;
+        nwq_telemetry::counter_add("executor.gates_1q", gates_1q);
+        nwq_telemetry::counter_add("executor.gates_2q", gates_2q);
+        nwq_telemetry::counter_add("executor.fused_blocks", ops);
+        nwq_telemetry::counter_add("executor.amplitude_updates", dim * ops);
+        self.health_check(state)
+    }
+
     /// Applies one shape-aligned plan per walker to `set` in place — the
     /// multi-θ evolution path. Op `k` of every plan runs as ONE
     /// walker-batched sweep (each cache line of the interleaved buffer

@@ -248,6 +248,22 @@ pub enum DiagFactor {
 }
 
 impl DiagFactor {
+    /// The complex-conjugated factor — the inverse of a diagonal unitary,
+    /// used by plan daggering.
+    pub fn conj(&self) -> DiagFactor {
+        match *self {
+            DiagFactor::One { q, d } => DiagFactor::One {
+                q,
+                d: [d[0].conj(), d[1].conj()],
+            },
+            DiagFactor::Two { hi, lo, d } => DiagFactor::Two {
+                hi,
+                lo,
+                d: [d[0].conj(), d[1].conj(), d[2].conj(), d[3].conj()],
+            },
+        }
+    }
+
     /// The phase this factor contributes to amplitude `i`.
     #[inline]
     pub(crate) fn at(&self, i: usize) -> C64 {

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adjoint;
 pub mod batch;
 pub mod cache;
 pub mod density;
@@ -45,8 +46,9 @@ pub mod state;
 pub mod stats;
 pub mod walkers;
 
+pub use adjoint::{AdjointGradient, AdjointTape, AdjointTemplate};
 pub use executor::{simulate, simulate_plan, Executor, NormGuard};
-pub use plan::{ExecPlan, PlanOp, PlanStats, PlanTemplate};
+pub use plan::{BoundBlock, ExecPlan, PlanOp, PlanStats, PlanTemplate};
 pub use state::StateVector;
 pub use walkers::WalkerSet;
 

@@ -182,6 +182,198 @@ impl ExecPlan {
     pub fn stats(&self) -> PlanStats {
         self.stats
     }
+
+    /// The inverse plan: ops reversed, dense matrices daggered, diagonal
+    /// factors conjugated (and reversed within each sweep, though diagonal
+    /// multiplications commute). Applying `self` then `self.dagger()` to
+    /// any state returns it to the original up to floating-point rounding
+    /// — the basis of time-reversed replay debugging and the adjoint
+    /// gradient walk.
+    pub fn dagger(&self) -> ExecPlan {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        let mut factors = Vec::with_capacity(self.factors.len());
+        for op in self.ops.iter().rev() {
+            match *op {
+                PlanOp::One(q, m) => ops.push(PlanOp::One(q, m.dagger())),
+                PlanOp::Two(hi, lo, m) => ops.push(PlanOp::Two(hi, lo, m.dagger())),
+                PlanOp::DiagSweep {
+                    start,
+                    len,
+                    two_qubit,
+                } => {
+                    let new_start = factors.len();
+                    for f in self.factors[start..start + len].iter().rev() {
+                        factors.push(f.conj());
+                    }
+                    ops.push(PlanOp::DiagSweep {
+                        start: new_start,
+                        len,
+                        two_qubit,
+                    });
+                }
+            }
+        }
+        ExecPlan {
+            n_qubits: self.n_qubits,
+            ops,
+            factors,
+            stats: self.stats,
+        }
+    }
+}
+
+/// One fused block bound at a concrete θ, kept in block (not sweep)
+/// granularity for the adjoint walk: the backward pass needs to un-apply
+/// and differentiate *blocks*, so diagonal coalescing does not apply here.
+/// Two-qubit blocks are pre-normalized to the kernel's `hi > lo`
+/// convention. Derivative matrices reuse the same container even though
+/// they are not unitary.
+#[derive(Clone, Copy, Debug)]
+pub enum BoundBlock {
+    /// Single-qubit block on a qubit.
+    One(usize, Mat2),
+    /// Two-qubit block; first index is the high qubit.
+    Two(usize, usize, Mat4),
+}
+
+fn add2(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = *a;
+    for r in 0..2 {
+        for c in 0..2 {
+            out.0[r][c] += b.0[r][c];
+        }
+    }
+    out
+}
+
+fn add4(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = *a;
+    for r in 0..4 {
+        for c in 0..4 {
+            out.0[r][c] += b.0[r][c];
+        }
+    }
+    out
+}
+
+fn dmat2_of(gate: &Gate, params: &[f64], j: usize) -> Result<Option<Mat2>> {
+    match gate.derivative(params, j)? {
+        None => Ok(None),
+        Some(GateMatrix::One(_, m)) => Ok(Some(m)),
+        Some(GateMatrix::Two(..)) => Err(Error::Invalid(
+            "two-qubit derivative in a single-qubit fusion tape".into(),
+        )),
+    }
+}
+
+fn dmat4_of(gate: &Gate, params: &[f64], j: usize) -> Result<Option<Mat4>> {
+    match gate.derivative(params, j)? {
+        None => Ok(None),
+        Some(GateMatrix::Two(_, _, m)) => Ok(Some(m)),
+        Some(GateMatrix::One(..)) => Err(Error::Invalid(
+            "single-qubit derivative in a two-qubit fusion tape".into(),
+        )),
+    }
+}
+
+/// Product-rule replay of a single-qubit tape: returns the block matrix
+/// and its ∂/∂θ_j (None when the tape does not depend on θ_j).
+fn replay1_deriv(steps: &[Step1], params: &[f64], j: usize) -> Result<(Mat2, Option<Mat2>)> {
+    let eval = |src: &Src2| match src {
+        Src2::Const(m) => Ok(*m),
+        Src2::Gate(g) => mat2_of(g, params),
+    };
+    let deval = |src: &Src2| match src {
+        Src2::Const(_) => Ok(None),
+        Src2::Gate(g) => dmat2_of(g, params, j),
+    };
+    let mut acc: Option<(Mat2, Option<Mat2>)> = None;
+    for step in steps {
+        acc = Some(match (step, acc) {
+            (Step1::Set(src), None) => (eval(src)?, deval(src)?),
+            (Step1::MulLeft(src), Some((a, da))) => {
+                let m = eval(src)?;
+                let d = match (deval(src)?, da) {
+                    (None, None) => None,
+                    (Some(dm), None) => Some(dm * a),
+                    (None, Some(da)) => Some(m * da),
+                    (Some(dm), Some(da)) => Some(add2(&(dm * a), &(m * da))),
+                };
+                (m * a, d)
+            }
+            _ => return Err(Error::Invalid("malformed single-qubit fusion tape".into())),
+        });
+    }
+    acc.ok_or_else(|| Error::Invalid("empty single-qubit fusion tape".into()))
+}
+
+/// Product-rule replay of a two-qubit tape (resolving feeders through
+/// their own product rule).
+fn replay4_deriv(
+    steps: &[Step4],
+    params: &[f64],
+    feeders: &[Vec<Step1>],
+    j: usize,
+) -> Result<(Mat4, Option<Mat4>)> {
+    let eval_pair = |src: &Src4| -> Result<(Mat4, Option<Mat4>)> {
+        Ok(match src {
+            Src4::Const(m) => (*m, None),
+            Src4::Gate(g) => (mat4_of(g, params)?, dmat4_of(g, params, j)?),
+            Src4::GateSwapped(g) => (
+                mat4_of(g, params)?.swap_qubits(),
+                dmat4_of(g, params, j)?.map(|d| d.swap_qubits()),
+            ),
+            Src4::GateEmbed { gate, high } => (
+                embed(&mat2_of(gate, params)?, *high),
+                dmat2_of(gate, params, j)?.map(|d| embed(&d, *high)),
+            ),
+            Src4::Feeder { idx, high } => {
+                let (m, dm) = replay1_deriv(&feeders[*idx], params, j)?;
+                (embed(&m, *high), dm.map(|d| embed(&d, *high)))
+            }
+        })
+    };
+    let mut acc: Option<(Mat4, Option<Mat4>)> = None;
+    for step in steps {
+        acc = Some(match (step, acc) {
+            (Step4::Set(src), None) => eval_pair(src)?,
+            (Step4::MulLeft(src), Some((a, da))) => {
+                let (m, dm) = eval_pair(src)?;
+                let d = match (dm, da) {
+                    (None, None) => None,
+                    (Some(dm), None) => Some(dm * a),
+                    (None, Some(da)) => Some(m * da),
+                    (Some(dm), Some(da)) => Some(add4(&(dm * a), &(m * da))),
+                };
+                (m * a, d)
+            }
+            (Step4::MulRight(src), Some((a, da))) => {
+                let (m, dm) = eval_pair(src)?;
+                let d = match (dm, da) {
+                    (None, None) => None,
+                    (Some(dm), None) => Some(a * dm),
+                    (None, Some(da)) => Some(da * m),
+                    (Some(dm), Some(da)) => Some(add4(&(da * m), &(a * dm))),
+                };
+                (a * m, d)
+            }
+            _ => return Err(Error::Invalid("malformed two-qubit fusion tape".into())),
+        });
+    }
+    acc.ok_or_else(|| Error::Invalid("empty two-qubit fusion tape".into()))
+}
+
+fn tape1_params(steps: &[Step1], out: &mut Vec<usize>) {
+    for step in steps {
+        let (Step1::Set(src) | Step1::MulLeft(src)) = step;
+        if let Src2::Gate(g) = src {
+            for e in g.param_exprs() {
+                if let Some(i) = e.param_index() {
+                    out.push(i);
+                }
+            }
+        }
+    }
 }
 
 /// Matrix source for one replay step of a single-qubit tape.
@@ -746,6 +938,86 @@ impl PlanTemplate {
         nwq_telemetry::value_add("plan.bind_ms", plan.stats.bind_seconds * 1e3);
         nwq_telemetry::histogram_record("plan.bind_us", plan.stats.bind_seconds * 1e6);
         Ok(())
+    }
+
+    /// Number of live fused blocks (the length of the adjoint walk).
+    pub(crate) fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The sorted, deduplicated variational-parameter indices block `bi`
+    /// depends on. θ-independent for a fixed structure, so the adjoint
+    /// template computes this once per shape.
+    pub(crate) fn block_param_indices(&self, bi: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        match &self.blocks[bi] {
+            TemplateBlock::ConstOne { .. } | TemplateBlock::ConstTwo { .. } => {}
+            TemplateBlock::SymOne { steps, .. } => tape1_params(steps, &mut out),
+            TemplateBlock::SymTwo { steps, .. } => {
+                for step in steps {
+                    let (Step4::Set(src) | Step4::MulLeft(src) | Step4::MulRight(src)) = step;
+                    match src {
+                        Src4::Const(_) => {}
+                        Src4::Gate(g) | Src4::GateSwapped(g) | Src4::GateEmbed { gate: g, .. } => {
+                            for e in g.param_exprs() {
+                                if let Some(i) = e.param_index() {
+                                    out.push(i);
+                                }
+                            }
+                        }
+                        Src4::Feeder { idx, .. } => tape1_params(&self.feeders[*idx], &mut out),
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Binds block `bi` against θ at block granularity (the same replay
+    /// arithmetic [`PlanTemplate::bind_into`] performs, minus diagonal
+    /// coalescing).
+    pub(crate) fn bind_block(&self, bi: usize, params: &[f64]) -> Result<BoundBlock> {
+        Ok(match &self.blocks[bi] {
+            TemplateBlock::ConstOne { q, m, .. } => BoundBlock::One(*q, *m),
+            TemplateBlock::ConstTwo { hi, lo, m, .. } => BoundBlock::Two(*hi, *lo, *m),
+            TemplateBlock::SymOne { q, steps } => BoundBlock::One(*q, replay1(steps, params)?),
+            TemplateBlock::SymTwo { a, b, steps } => {
+                let m = replay4(steps, params, &self.feeders)?;
+                if a > b {
+                    BoundBlock::Two(*a, *b, m)
+                } else {
+                    BoundBlock::Two(*b, *a, m.swap_qubits())
+                }
+            }
+        })
+    }
+
+    /// ∂(block `bi`)/∂θ_j via product-rule tape replay, `None` when the
+    /// block does not depend on θ_j. Two-qubit derivatives get the same
+    /// `hi > lo` normalization as [`PlanTemplate::bind_block`].
+    pub(crate) fn bind_block_derivative(
+        &self,
+        bi: usize,
+        params: &[f64],
+        j: usize,
+    ) -> Result<Option<BoundBlock>> {
+        Ok(match &self.blocks[bi] {
+            TemplateBlock::ConstOne { .. } | TemplateBlock::ConstTwo { .. } => None,
+            TemplateBlock::SymOne { q, steps } => replay1_deriv(steps, params, j)?
+                .1
+                .map(|d| BoundBlock::One(*q, d)),
+            TemplateBlock::SymTwo { a, b, steps } => {
+                replay4_deriv(steps, params, &self.feeders, j)?.1.map(|d| {
+                    if a > b {
+                        BoundBlock::Two(*a, *b, d)
+                    } else {
+                        BoundBlock::Two(*b, *a, d.swap_qubits())
+                    }
+                })
+            }
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 //! Telemetry: `plan.cache.hits` / `plan.cache.misses` /
 //! `plan.cache.evictions` counters and the `plan.cache.size` gauge.
 
+use crate::adjoint::AdjointTemplate;
 use crate::plan::PlanTemplate;
 use nwq_circuit::{Circuit, Gate, ParamExpr};
 use nwq_common::Result;
@@ -30,6 +31,9 @@ struct Entry {
     fingerprint: u64,
     key: Vec<u64>,
     template: Arc<PlanTemplate>,
+    /// Dagger/derivative metadata, derived lazily on the first gradient
+    /// request for this shape and evicted together with the template.
+    adjoint: Option<Arc<AdjointTemplate>>,
     last_used: u64,
 }
 
@@ -160,6 +164,7 @@ fn insert(fp: u64, key: Vec<u64>, template: Arc<PlanTemplate>) -> Arc<PlanTempla
         fingerprint: fp,
         key,
         template: template.clone(),
+        adjoint: None,
         last_used: tick,
     });
     nwq_telemetry::gauge_set("plan.cache.size", inner.entries.len() as f64);
@@ -179,6 +184,50 @@ pub fn template_for(circuit: &Circuit) -> Result<Arc<PlanTemplate>> {
     nwq_telemetry::counter_add("plan.cache.misses", 1);
     let template = Arc::new(PlanTemplate::build(circuit)?);
     Ok(insert(fp, key, template))
+}
+
+/// Returns the cached [`AdjointTemplate`] for `circuit`'s structure,
+/// deriving it from the forward template on first request (one
+/// `plan.dagger_compiled` bump per shape, not per gradient). Losing a
+/// derive race returns the canonical cached copy; an entry evicted
+/// between derive and store still yields a valid template, it just isn't
+/// cached.
+pub fn adjoint_for(circuit: &Circuit) -> Result<Arc<AdjointTemplate>> {
+    let template = template_for(circuit)?;
+    let key = structural_key(circuit);
+    let fp = fingerprint(&key);
+    {
+        let mut inner = CACHE.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fp && e.key == key)
+        {
+            e.last_used = tick;
+            if let Some(adj) = &e.adjoint {
+                nwq_telemetry::counter_add("plan.cache.dagger_hits", 1);
+                return Ok(adj.clone());
+            }
+        }
+    }
+    // Derive outside the lock: the scan is cheap but there is no reason
+    // to serialize concurrent gradient callers on it.
+    let adjoint = Arc::new(AdjointTemplate::build(template));
+    nwq_telemetry::counter_add("plan.dagger_compiled", 1);
+    let mut inner = CACHE.lock();
+    if let Some(e) = inner
+        .entries
+        .iter_mut()
+        .find(|e| e.fingerprint == fp && e.key == key)
+    {
+        if let Some(existing) = &e.adjoint {
+            return Ok(existing.clone());
+        }
+        e.adjoint = Some(adjoint.clone());
+    }
+    Ok(adjoint)
 }
 
 /// Number of templates currently cached.
