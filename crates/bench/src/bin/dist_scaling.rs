@@ -24,8 +24,8 @@
 
 use nwq_circuit::Circuit;
 use nwq_dist::{
-    distributed_energy, plan_communication, run_distributed, run_sharded_resilient, CostModel,
-    FaultSchedule, RecoveryOptions, ShardOptions,
+    distributed_energy, plan_communication, plan_communication_naive, run_distributed,
+    run_sharded_resilient, CostModel, FaultSchedule, RecoveryOptions, ShardOptions,
 };
 use nwq_pauli::PauliOp;
 use nwq_telemetry::{JsonValue, Object};
@@ -77,6 +77,11 @@ struct Point {
     global_gates: u64,
     messages: u64,
     bytes: u64,
+    naive_messages: u64,
+    naive_bytes: u64,
+    exchanges_elided: u64,
+    exchanges_fused: u64,
+    bytes_saved: u64,
     modeled_comm_s: f64,
     modeled_total_s: f64,
     wall_s: f64,
@@ -84,16 +89,33 @@ struct Point {
     energy: f64,
 }
 
+impl Point {
+    /// Lean payload bytes as a fraction of the naive full-exchange plan.
+    fn bytes_vs_naive(&self) -> f64 {
+        if self.naive_bytes == 0 {
+            1.0
+        } else {
+            self.bytes as f64 / self.naive_bytes as f64
+        }
+    }
+}
+
 fn run_point(n_qubits: usize, n_ranks: usize, layers: usize, op: &PauliOp) -> Point {
     let c = layered_circuit(n_qubits, layers);
     let plan = plan_communication(&c, n_ranks).expect("plan");
+    let naive = plan_communication_naive(&c, n_ranks).expect("naive plan");
     let started = Instant::now();
     let state = run_distributed(&c, &[], n_ranks).expect("sharded run");
     let wall_s = started.elapsed().as_secs_f64();
     let stats = state.comm_stats();
     assert_eq!(
         stats, plan,
-        "measured exchange traffic must equal the plan ({n_qubits}q × {n_ranks}r)"
+        "measured exchange traffic must equal the θ-aware plan ({n_qubits}q × {n_ranks}r)"
+    );
+    assert_eq!(
+        stats.bytes + stats.bytes_saved,
+        naive.bytes,
+        "every byte not moved must be accounted as saved ({n_qubits}q × {n_ranks}r)"
     );
     // Gather-free readout: the energy is reduced shard-by-shard; the full
     // register is never assembled into one allocation.
@@ -110,12 +132,113 @@ fn run_point(n_qubits: usize, n_ranks: usize, layers: usize, op: &PauliOp) -> Po
         global_gates: stats.global_gates,
         messages: stats.messages,
         bytes: stats.bytes,
+        naive_messages: naive.messages,
+        naive_bytes: naive.bytes,
+        exchanges_elided: stats.exchanges_elided,
+        exchanges_fused: stats.exchanges_fused,
+        bytes_saved: stats.bytes_saved,
         modeled_comm_s: model.comm_time_s(&stats, n_ranks),
         modeled_total_s: model.total_time_s(&stats, gates, n_qubits, n_ranks),
         wall_s,
         updates_per_s: updates / wall_s,
         energy,
     }
+}
+
+/// θ-aware communication probe feeding the report's `comm` block:
+///
+/// 1. a circuit whose every global gate is diagonal (RZ/CZ/RZZ on the top
+///    qubits) must move ZERO payload bytes at every rank count — the
+///    elision path, checked bitwise against the single-node simulator;
+/// 2. a bound 12-qubit UCCSD ansatz must move at most half the naive
+///    full-exchange payload (half-shard payloads + diagonal elision +
+///    fused windows), again bitwise at every rank count.
+fn comm_probe(n_qubits: usize, rank_grid: &[usize]) -> JsonValue {
+    // --- diagonal-global workload: local entangling prelude, then only
+    // diagonal gates touching the global qubits.
+    let mut diag = Circuit::new(n_qubits);
+    diag.h(0).h(1).h(2);
+    diag.cx(0, 1).cx(1, 2).cx(2, 3);
+    for g in (n_qubits - 3)..n_qubits {
+        diag.rz(g, 0.3 + 0.1 * g as f64);
+        diag.cz(g, (g + n_qubits - 4) % n_qubits);
+    }
+    diag.rzz(n_qubits - 2, n_qubits - 1, 0.7);
+    let diag_single = nwq_statevec::simulate(&diag, &[]).expect("single-node diag");
+    let mut diag_naive_bytes = 0u64;
+    for &r in rank_grid.iter().filter(|&&r| r > 1) {
+        let state = run_distributed(&diag, &[], r).expect("diag run");
+        let stats = state.comm_stats();
+        assert_eq!(
+            (stats.messages, stats.bytes),
+            (0, 0),
+            "diagonal global gates must exchange nothing ({r} ranks)"
+        );
+        assert!(stats.exchanges_elided > 0, "elision must be exercised");
+        for (a, b) in state
+            .gather()
+            .amplitudes()
+            .iter()
+            .zip(diag_single.amplitudes())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "diag bitwise ({r} ranks)");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "diag bitwise ({r} ranks)");
+        }
+        diag_naive_bytes = plan_communication_naive(&diag, r).expect("naive").bytes;
+    }
+
+    // --- UCCSD workload: the paper's chemistry ansatz, bound angles.
+    let uccsd = nwq_chem::uccsd::uccsd_ansatz(12, 4).expect("uccsd ansatz");
+    let params: Vec<f64> = (0..uccsd.n_params())
+        .map(|k| 0.05 + 0.02 * k as f64)
+        .collect();
+    let uccsd_single = nwq_statevec::simulate(&uccsd, &params).expect("single-node uccsd");
+    let mut uccsd_bytes = 0u64;
+    let mut uccsd_naive_bytes = 0u64;
+    for &r in rank_grid {
+        let state = run_distributed(&uccsd, &params, r).expect("uccsd run");
+        let stats = state.comm_stats();
+        for (a, b) in state
+            .gather()
+            .amplitudes()
+            .iter()
+            .zip(uccsd_single.amplitudes())
+        {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "uccsd bitwise ({r} ranks)");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "uccsd bitwise ({r} ranks)");
+        }
+        if r > 1 {
+            let naive = plan_communication_naive(&uccsd, r).expect("naive").bytes;
+            assert!(
+                naive >= 2 * stats.bytes,
+                "UCCSD payload must shrink ≥2× vs naive: {naive} < 2×{} ({r} ranks)",
+                stats.bytes
+            );
+            uccsd_bytes = stats.bytes;
+            uccsd_naive_bytes = naive;
+        }
+    }
+    let top_ranks = *rank_grid.last().expect("ranks") as u64;
+    println!(
+        "comm probe: diagonal workload 0 B moved (naive {diag_naive_bytes} B), \
+         uccsd@{top_ranks}r {uccsd_bytes} B vs naive {uccsd_naive_bytes} B \
+         ({:.3}× reduction)",
+        uccsd_naive_bytes as f64 / uccsd_bytes.max(1) as f64
+    );
+
+    let mut o = Object::new();
+    o.push("diag_qubits", JsonValue::Int(n_qubits as u64));
+    o.push("diag_global_bytes", JsonValue::Int(0));
+    o.push("diag_naive_bytes", JsonValue::Int(diag_naive_bytes));
+    o.push("uccsd_qubits", JsonValue::Int(12));
+    o.push("uccsd_ranks", JsonValue::Int(top_ranks));
+    o.push("uccsd_bytes", JsonValue::Int(uccsd_bytes));
+    o.push("uccsd_naive_bytes", JsonValue::Int(uccsd_naive_bytes));
+    o.push(
+        "uccsd_reduction",
+        JsonValue::Float(uccsd_naive_bytes as f64 / uccsd_bytes.max(1) as f64),
+    );
+    o.into_value()
 }
 
 /// Survivability probe on one grid point, feeding the report's `recovery`
@@ -137,6 +260,7 @@ fn recovery_probe(
         fuse_local: false,
         exchange_timeout_ms: 500,
         exchange_retries: 2,
+        ..ShardOptions::default()
     };
     let recovery = RecoveryOptions {
         snapshot_every,
@@ -233,7 +357,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_dist.json".into());
 
     let (qubit_grid, rank_grid, layers): (&[usize], &[usize], usize) = if quick {
-        (&[10, 12], &[1, 2, 4], 1)
+        (&[10, 12], &[1, 2, 4, 8], 1)
     } else {
         (&[16, 20, 24], &[1, 2, 4, 8], 2)
     };
@@ -245,8 +369,15 @@ fn main() {
             let p = run_point(n, r, layers, &op);
             println!(
                 "{:>2} qubits × {r} ranks: {:>7.3} s wall, {:.3e} updates/s, \
-                 {} msgs ({} B), modeled {:.3e} s comm, energy {:+.6}",
-                n, p.wall_s, p.updates_per_s, p.messages, p.bytes, p.modeled_comm_s, p.energy
+                 {} msgs ({} B, {:.3}× naive), modeled {:.3e} s comm, energy {:+.6}",
+                n,
+                p.wall_s,
+                p.updates_per_s,
+                p.messages,
+                p.bytes,
+                p.bytes_vs_naive(),
+                p.modeled_comm_s,
+                p.energy
             );
             points.push(p);
         }
@@ -261,6 +392,21 @@ fn main() {
     assert!(
         exchanged > 0,
         "multi-rank points must exercise real exchange messages"
+    );
+    // The θ-aware plan must beat the naive full-exchange plan decisively
+    // at the largest grid point: the layered workload mixes dense global
+    // rotations (full payload), boundary-crossing CXs (half payload or
+    // block-local) and diagonal RZZs (elided), landing well under 0.55×.
+    let top = points
+        .iter()
+        .rfind(|p| p.ranks > 1)
+        .expect("multi-rank point");
+    assert!(
+        top.bytes_vs_naive() <= 0.55,
+        "lean payload must stay ≤0.55× naive at {}q × {}r, got {:.3}×",
+        top.qubits,
+        top.ranks,
+        top.bytes_vs_naive()
     );
 
     let mut report = Object::new();
@@ -279,12 +425,19 @@ fn main() {
     // whole shard (≈ the cost of one dense gate), so a cadence of 24
     // keeps the overhead comfortably inside the <10% budget while still
     // bounding replay to 24 gates.
+    // Lean exchange shrank the plain-run denominator, so the probe runs
+    // at 18 qubits in both modes: a smaller register would let the fixed
+    // per-snapshot memcpy dominate the percentage.
     let recovery = if quick {
-        recovery_probe(16, 4, layers, 24, 8, 5)
+        recovery_probe(18, 4, layers, 24, 8, 5)
     } else {
         recovery_probe(18, 4, layers, 24, 12, 5)
     };
     report.push("recovery", recovery);
+    // θ-aware communication probe: diagonal elision and the UCCSD
+    // payload reduction, both bitwise-checked against single node.
+    let comm = comm_probe(*qubit_grid.last().expect("grid"), rank_grid);
+    report.push("comm", comm);
     let mut arr = Vec::new();
     for p in &points {
         let mut o = Object::new();
@@ -295,6 +448,14 @@ fn main() {
         o.push("global_gates", JsonValue::Int(p.global_gates));
         o.push("messages", JsonValue::Int(p.messages));
         o.push("bytes", JsonValue::Int(p.bytes));
+        let mut cm = Object::new();
+        cm.push("naive_messages", JsonValue::Int(p.naive_messages));
+        cm.push("naive_bytes", JsonValue::Int(p.naive_bytes));
+        cm.push("exchanges_elided", JsonValue::Int(p.exchanges_elided));
+        cm.push("exchanges_fused", JsonValue::Int(p.exchanges_fused));
+        cm.push("bytes_saved", JsonValue::Int(p.bytes_saved));
+        cm.push("bytes_vs_naive", JsonValue::Float(p.bytes_vs_naive()));
+        o.push("comm", cm.into_value());
         o.push("modeled_comm_s", JsonValue::Float(p.modeled_comm_s));
         o.push("modeled_total_s", JsonValue::Float(p.modeled_total_s));
         o.push("wall_s", JsonValue::Float(p.wall_s));

@@ -373,7 +373,7 @@ fn ablation() {
 /// of the mat2/mat4 kernels (parallel and serial dispatch) and of the
 /// per-term vs flip-mask-batched expectation sweeps.
 fn bench() {
-    use nwq_common::mat::{mat_cx, mat_h};
+    use nwq_common::mat::mat_h;
     use nwq_telemetry::JsonValue;
     use std::time::Instant;
 
@@ -549,7 +549,25 @@ fn bench() {
     }
     let mut state = nwq_statevec::StateVector::zero(n_qubits);
     let h_mat = mat_h();
-    let cx_mat = mat_cx();
+    // Dense 4×4 (H⊗H, entries ±1/2): the CX matrix is block-structured
+    // and now takes the scalar block fast path in BOTH the SIMD and
+    // forced-scalar kernels, which would collapse the simd-vs-scalar
+    // ratio these cases pin. A fully dense matrix keeps the generic
+    // mat4 bodies under measurement; case names are unchanged.
+    let hh_mat = {
+        let mut m = nwq_common::mat::Mat4::zero();
+        for r in 0..4usize {
+            for c in 0..4usize {
+                let sign = if (r & c).count_ones() % 2 == 0 {
+                    0.5
+                } else {
+                    -0.5
+                };
+                m.0[r][c] = nwq_common::C64::real(sign);
+            }
+        }
+        m
+    };
     let hi = n_qubits - 1;
     let (mat2_dispatch_s, mat4_dispatch_s, mat2_serial_s, mat4_serial_s);
     let (mat2_simd_s, mat4_simd_s, mat2_scalar_s, mat4_scalar_s);
@@ -562,7 +580,7 @@ fn bench() {
             nwq_statevec::kernels::apply_mat2(amps, hi, &h_mat)
         });
         mat4_dispatch_s = time_case(dim, reps, "mat4_mixed", &mut cases, &mut || {
-            nwq_statevec::kernels::apply_mat4(amps, hi, 0, &cx_mat)
+            nwq_statevec::kernels::apply_mat4(amps, hi, 0, &hh_mat)
         });
         // Forced-serial counterparts: the parallel/serial ratio is the
         // worker-pool scaling factor on this host.
@@ -570,7 +588,7 @@ fn bench() {
             nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
         });
         mat4_serial_s = time_case(dim, reps, "mat4_mixed_serial", &mut cases, &mut || {
-            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
+            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &hh_mat)
         });
         // SIMD vs forced-scalar serial sweeps: same qubit configurations,
         // bitwise-identical arithmetic, different instruction shape. The
@@ -580,14 +598,14 @@ fn bench() {
             nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
         });
         mat4_simd_s = time_case(dim, reps, "mat4_simd", &mut cases, &mut || {
-            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
+            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &hh_mat)
         });
         nwq_statevec::simd::set_force_scalar(true);
         mat2_scalar_s = time_case(dim, reps, "mat2_scalar", &mut cases, &mut || {
             nwq_statevec::kernels::apply_mat2_serial(amps, 0, &h_mat)
         });
         mat4_scalar_s = time_case(dim, reps, "mat4_scalar", &mut cases, &mut || {
-            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &cx_mat)
+            nwq_statevec::kernels::apply_mat4_serial(amps, hi, 0, &hh_mat)
         });
         nwq_statevec::simd::set_force_scalar(false);
     }

@@ -490,11 +490,19 @@ fn cmd_dist(args: &Args) -> Result<(), String> {
         }
     }
 
-    let plan = nwq_dist::plan_communication(&c, n_ranks).map_err(|e| e.to_string())?;
+    let lean = args.get("lean", 1u8)? != 0;
+    // Each mode is checked against its own planner: the θ-aware lean plan
+    // or the naive full-exchange pattern.
+    let plan = if lean {
+        nwq_dist::plan_communication(&c, n_ranks).map_err(|e| e.to_string())?
+    } else {
+        nwq_dist::plan_communication_naive(&c, n_ranks).map_err(|e| e.to_string())?
+    };
     let opts = nwq_dist::ShardOptions {
         fuse_local,
         exchange_timeout_ms: args.get("exchange-timeout-ms", 2000)?,
         exchange_retries: args.get("exchange-retries", 4)?,
+        lean_exchange: lean,
     };
     let started = std::time::Instant::now();
     let (state, recovery_report) = if resilient {
@@ -564,14 +572,24 @@ fn cmd_dist(args: &Args) -> Result<(), String> {
         if fuse_local { ", local runs fused" } else { "" }
     );
     println!(
-        "comm    : {} messages, {} bytes (planned {} / {})",
-        stats.messages, stats.bytes, plan.messages, plan.bytes
+        "comm    : {} messages, {} bytes (planned {} / {}, {})",
+        stats.messages,
+        stats.bytes,
+        plan.messages,
+        plan.bytes,
+        if lean { "lean" } else { "naive" }
     );
+    if lean {
+        println!(
+            "lean    : {} exchanges elided, {} fused, {} bytes saved vs naive",
+            stats.exchanges_elided, stats.exchanges_fused, stats.bytes_saved
+        );
+    }
     // After a recovery, the measured stats cover only the final
     // generation's replayed suffix — the plan-equality invariant only
     // holds for fault-free runs.
     if !fuse_local && loss_rate == 0.0 && stats != plan {
-        return Err("measured exchange traffic diverged from plan_communication".into());
+        return Err("measured exchange traffic diverged from the communication plan".into());
     }
     println!(
         "model   : {:.3e} s comm + {:.3e} s compute (Perlmutter-like α–β)",

@@ -18,6 +18,18 @@ pub struct CommStats {
     pub global_gates: u64,
     /// Gates that were entirely rank-local.
     pub local_gates: u64,
+    /// Messages the naive full-exchange pattern would have sent but the
+    /// θ-aware lean executor elided structurally: diagonal global gates
+    /// (local phase sweep), block-local application, and the skipped
+    /// sub-blocks of block-structured global-global gates.
+    pub exchanges_elided: u64,
+    /// Lean-pattern pair exchanges avoided by exchange *fusion*:
+    /// consecutive same-class exchanges separated only by global phases
+    /// reuse the first exchange's partner mirror.
+    pub exchanges_fused: u64,
+    /// Naive payload bytes minus actually-moved bytes (covers elision,
+    /// fusion, and half-shard payloads).
+    pub bytes_saved: u64,
 }
 
 impl CommStats {
@@ -47,18 +59,52 @@ impl AddAssign for CommStats {
         self.bytes += rhs.bytes;
         self.global_gates += rhs.global_gates;
         self.local_gates += rhs.local_gates;
+        self.exchanges_elided += rhs.exchanges_elided;
+        self.exchanges_fused += rhs.exchanges_fused;
+        self.bytes_saved += rhs.bytes_saved;
     }
 }
 
 /// Predicts the communication a circuit will generate on `n_ranks` ranks
 /// *without executing it* — used for scaling studies beyond locally
-/// simulable sizes. Must agree exactly with the executing path
-/// (pinned by tests), which includes rejecting exactly the rank counts
-/// the executor rejects: `n_ranks` must be a power of two small enough
-/// that every rank keeps at least 2 local qubits. (The planner used to
-/// clamp `n_local` to 0 in that regime and happily report full-partition
-/// pairwise traffic for partitions that cannot exist.)
+/// simulable sizes. Must agree exactly with the executing path (pinned by
+/// tests), which includes rejecting exactly the rank counts the executor
+/// rejects: `n_ranks` must be a power of two small enough that every rank
+/// keeps at least 2 local qubits.
+///
+/// This is the θ-aware plan for the default lean executor: it resolves
+/// every gate's bound matrix, classifies it against the PGAS layout
+/// (diagonal → elided, block → half-payload or sub-block exchange), and
+/// marks fusion windows — the same per-step pass the executor compiles,
+/// so "measured == planned" is a structural identity on fault-free runs.
+/// Symbolic (unbound) circuits are planned against a representative
+/// generic binding; pass concrete angles via [`plan_communication_with`]
+/// when you have them. The naive full-exchange pattern
+/// ([`crate::ShardOptions::lean_exchange`] = false) is predicted by
+/// [`plan_communication_naive`].
 pub fn plan_communication(circuit: &Circuit, n_ranks: usize) -> Result<CommStats> {
+    plan_communication_with(circuit, &[], n_ranks)
+}
+
+/// [`plan_communication`] against a concrete parameter binding — the plan
+/// the lean executor realizes when running `circuit` with `params`.
+pub fn plan_communication_with(
+    circuit: &Circuit,
+    params: &[f64],
+    n_ranks: usize,
+) -> Result<CommStats> {
+    crate::shard::plan_lean(circuit, params, n_ranks)
+}
+
+/// Predicts the *naive* exchange pattern (lean execution disabled): every
+/// global gate moves full partitions pairwise within its 2^globals-rank
+/// group, regardless of matrix structure. This was the only pattern (and
+/// the only planner) before θ-aware planning; it remains the baseline that
+/// `bytes_saved` is measured against. (The planner used to clamp
+/// `n_local` to 0 for degenerate rank counts and happily report
+/// full-partition pairwise traffic for partitions that cannot exist —
+/// both planners reject those, exactly like the executor.)
+pub fn plan_communication_naive(circuit: &Circuit, n_ranks: usize) -> Result<CommStats> {
     if !n_ranks.is_power_of_two() {
         return Err(Error::Invalid(format!(
             "{n_ranks} ranks: rank count must be a power of two"
@@ -112,19 +158,68 @@ mod tests {
         c.h(3); // with 4 ranks, qubits 2,3 are global
         let s = plan_communication(&c, 4).unwrap();
         // 2 groups of 2 ranks, each rank sends to 1 partner: 4 messages.
+        // H is dense, so lean and naive agree.
         assert_eq!(s.messages, 4);
         assert_eq!(s.bytes, 4 * 16 * 4); // partitions of 2^2 amplitudes
         assert_eq!(s.global_gates, 1);
+        assert_eq!(s, plan_communication_naive(&c, 4).unwrap());
+    }
+
+    #[test]
+    fn diagonal_global_gate_moves_zero_bytes() {
+        let mut c = Circuit::new(4);
+        c.rz(3, 0.7).cz(2, 3); // both diagonal, both on global qubits
+        let s = plan_communication(&c, 4).unwrap();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.global_gates, 2);
+        // rz: 1 naive send × 4 ranks; cz: 3 naive sends × 4 ranks.
+        assert_eq!(s.exchanges_elided, 4 + 12);
+        assert_eq!(s.bytes_saved, (4 + 12) * 16 * 4);
+        let naive = plan_communication_naive(&c, 4).unwrap();
+        assert_eq!(naive.messages, 4 + 12);
+        assert_eq!(s.bytes_saved, naive.bytes);
     }
 
     #[test]
     fn global_global_two_qubit_gate_quads_ranks() {
         let mut c = Circuit::new(4);
         c.cx(2, 3);
-        let s = plan_communication(&c, 4).unwrap();
-        // One group of 4 ranks, each sends to 3 partners: 12 messages.
-        assert_eq!(s.messages, 12);
-        assert_eq!(s.global_gates, 1);
+        // Naive: one group of 4 ranks, each sends to 3 partners.
+        let naive = plan_communication_naive(&c, 4).unwrap();
+        assert_eq!(naive.messages, 12);
+        assert_eq!(naive.global_gates, 1);
+        assert_eq!(naive.exchanges_elided, 0);
+        // Lean: CX's control-off sub-block is the identity, so only the
+        // two control-on ranks pair-exchange across the target bit.
+        let lean = plan_communication(&c, 4).unwrap();
+        assert_eq!(lean.messages, 2);
+        assert_eq!(lean.bytes, 2 * 16 * 4);
+        assert_eq!(lean.exchanges_elided, 10);
+        assert_eq!(lean.bytes_saved, 10 * 16 * 4);
+    }
+
+    #[test]
+    fn fused_exchange_window_shares_one_exchange() {
+        // cx·rz·cx at a global-target apex: the rz is a global phase, so
+        // the second cx reuses the first exchange's mirror. (A *global*
+        // control would be block-local — no exchange at all.)
+        let mut c = Circuit::new(4);
+        c.cx(0, 3).rz(3, 0.5).cx(0, 3);
+        let lean = plan_communication(&c, 4).unwrap();
+        let naive = plan_communication_naive(&c, 4).unwrap();
+        assert_eq!(naive.messages, 3 * 4);
+        // Each cx is a half-shard pair exchange; the second is fused.
+        assert_eq!(lean.messages, 4);
+        assert_eq!(lean.bytes, 4 * (16 * 4) / 2);
+        assert_eq!(lean.exchanges_fused, 4);
+        // rz elided on every rank.
+        assert_eq!(lean.exchanges_elided, 4);
+        assert_eq!(
+            lean.bytes_saved,
+            naive.bytes - lean.bytes,
+            "saved must complement moved: {lean:?}"
+        );
     }
 
     #[test]
@@ -156,15 +251,24 @@ mod tests {
             bytes: 64,
             global_gates: 1,
             local_gates: 3,
+            exchanges_elided: 5,
+            exchanges_fused: 1,
+            bytes_saved: 128,
         };
         a += CommStats {
             messages: 1,
             bytes: 32,
             global_gates: 1,
             local_gates: 0,
+            exchanges_elided: 2,
+            exchanges_fused: 3,
+            bytes_saved: 64,
         };
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 96);
+        assert_eq!(a.exchanges_elided, 7);
+        assert_eq!(a.exchanges_fused, 4);
+        assert_eq!(a.bytes_saved, 192);
         assert!((a.avg_message_bytes() - 32.0).abs() < 1e-12);
         assert!((a.global_fraction() - 0.4).abs() < 1e-12);
     }

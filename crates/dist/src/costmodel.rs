@@ -34,6 +34,13 @@ impl CostModel {
     /// Modeled communication time for the given counters, assuming the
     /// per-rank exchanges of one gate proceed concurrently across rank
     /// pairs (so each gate pays one partition transfer, not `n_ranks`).
+    ///
+    /// The model consumes whatever planner produced the counters: feed
+    /// it [`plan_communication`](crate::comm::plan_communication) (the
+    /// θ-aware lean plan — elided diagonals, half-shard payloads, fused
+    /// windows) and the smaller `bytes` shrink the β term directly, so
+    /// halving the moved payload halves the bandwidth-bound share of the
+    /// modeled time.
     pub fn comm_time_s(&self, stats: &CommStats, n_ranks: usize) -> f64 {
         if stats.messages == 0 {
             return 0.0;
@@ -74,6 +81,7 @@ mod tests {
             bytes,
             global_gates: global,
             local_gates: local,
+            ..CommStats::default()
         }
     }
 
@@ -89,6 +97,36 @@ mod tests {
         let t_small = m.comm_time_s(&stats(4, 4 * 1024, 1, 0), 4);
         let t_big = m.comm_time_s(&stats(4, 4 * 1024 * 1024, 1, 0), 4);
         assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn half_shard_payloads_halve_bandwidth_bound_time() {
+        // In the bandwidth-dominated regime, the lean planner's
+        // half-shard payloads (same message count, half the bytes) must
+        // halve the modeled comm time to within the latency term.
+        let m = CostModel::perlmutter_like();
+        let full_bytes = 4u64 * (16 << 20);
+        let full = m.comm_time_s(&stats(4, full_bytes, 1, 0), 4);
+        let half = m.comm_time_s(&stats(4, full_bytes / 2, 1, 0), 4);
+        let alpha = m.latency_s;
+        assert!(
+            (half - full / 2.0).abs() <= alpha,
+            "half-payload time {half} vs full/2 {}",
+            full / 2.0
+        );
+        // And a fully elided (diagonal) schedule costs nothing at all.
+        assert_eq!(
+            m.comm_time_s(
+                &CommStats {
+                    exchanges_elided: 8,
+                    bytes_saved: full_bytes,
+                    global_gates: 2,
+                    ..CommStats::default()
+                },
+                4
+            ),
+            0.0
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod remap;
 pub mod shard;
 pub mod snapshot;
 
-pub use comm::{plan_communication, CommStats};
+pub use comm::{plan_communication, plan_communication_naive, plan_communication_with, CommStats};
 pub use costmodel::CostModel;
 pub use energy::{distributed_energy, run_distributed_energy, run_resilient_energy};
 pub use exec::{
@@ -117,6 +117,75 @@ mod proptests {
                 for (a, b) in d.gather().amplitudes().iter().zip(single.amplitudes()) {
                     prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
                     prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn lean_and_full_exchange_agree_bitwise(
+            c in (5usize..=6).prop_flat_map(|n| arb_circuit(n, 20)),
+            kill_seed in 0usize..1000,
+        ) {
+            // The exchange-lean executor (elision + half-shard payloads +
+            // fusion) and the full-exchange executor are two wire
+            // protocols for the same arithmetic: both must be BITWISE
+            // identical to the single-node simulator for every shard
+            // count, and full mode must measure exactly the naive plan.
+            let single = nwq_statevec::simulate(&c, &[]).unwrap();
+            let lean_opts = crate::ShardOptions::default();
+            let full_opts = crate::ShardOptions {
+                lean_exchange: false,
+                exchange_timeout_ms: 100,
+                exchange_retries: 2,
+                ..crate::ShardOptions::default()
+            };
+            for n_ranks in [1usize, 2, 4, 8] {
+                for (opts, plan, label) in [
+                    (&lean_opts, crate::comm::plan_communication(&c, n_ranks).unwrap(), "lean"),
+                    (&full_opts, crate::comm::plan_communication_naive(&c, n_ranks).unwrap(), "full"),
+                ] {
+                    let d = crate::run_sharded(&c, &[], n_ranks, opts).unwrap();
+                    for (a, b) in d.gather().amplitudes().iter().zip(single.amplitudes()) {
+                        prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "{} ranks={}", label, n_ranks);
+                        prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "{} ranks={}", label, n_ranks);
+                    }
+                    prop_assert_eq!(d.comm_stats(), plan, "{} ranks={}", label, n_ranks);
+                }
+            }
+            // A rank death replayed through the lean protocol (elision
+            // decisions and lost fusion mirrors included) stays bitwise.
+            if !c.gates().is_empty() {
+                let n_ranks = 4usize;
+                let schedule = crate::FaultSchedule::kill(
+                    kill_seed % c.gates().len(),
+                    (kill_seed / 7) % n_ranks,
+                );
+                let recovery = crate::RecoveryOptions {
+                    snapshot_every: 2,
+                    max_recoveries: 8,
+                    keep_versions: 2,
+                    snapshot_dir: None,
+                };
+                let (d, report) = crate::run_sharded_resilient(
+                    &c, &[], n_ranks, &full_opts, &recovery, &schedule,
+                ).unwrap();
+                // full_opts carries the short test deadlines; flip lean on.
+                let lean_faulty = crate::ShardOptions {
+                    lean_exchange: true,
+                    ..full_opts
+                };
+                let (dl, report_l) = crate::run_sharded_resilient(
+                    &c, &[], n_ranks, &lean_faulty, &recovery, &schedule,
+                ).unwrap();
+                prop_assert_eq!(report.recoveries, 1);
+                prop_assert_eq!(report_l.recoveries, 1);
+                for (a, b) in dl.gather().amplitudes().iter().zip(d.gather().amplitudes()) {
+                    prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "faulty lean vs full");
+                    prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "faulty lean vs full");
+                }
+                for (a, b) in dl.gather().amplitudes().iter().zip(single.amplitudes()) {
+                    prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "faulty lean vs single");
+                    prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "faulty lean vs single");
                 }
             }
         }

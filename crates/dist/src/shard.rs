@@ -51,6 +51,17 @@ pub struct ShardOptions {
     /// `exchange_timeout_ms << k`, so the defaults tolerate ~1 min of
     /// stall before declaring the partner lost.
     pub exchange_retries: u32,
+    /// θ-aware lean exchange (the default): global gates with diagonal
+    /// bound matrices apply as a local phase sweep (no exchange), block-
+    /// structured gates send only the shard half the partner's pair
+    /// kernel reads, and consecutive same-qubit exchanges separated only
+    /// by global phases share one exchange through a fusion mirror.
+    /// Disabling it restores the naive pattern — a full-shard exchange
+    /// on every global gate — whose traffic equals
+    /// [`crate::comm::plan_communication_naive`]; the *arithmetic* stays
+    /// shape-aware in both modes, which is what keeps either mode bitwise
+    /// identical to the single-node simulator.
+    pub lean_exchange: bool,
 }
 
 impl Default for ShardOptions {
@@ -59,6 +70,7 @@ impl Default for ShardOptions {
             fuse_local: false,
             exchange_timeout_ms: 2000,
             exchange_retries: 4,
+            lean_exchange: true,
         }
     }
 }
@@ -110,11 +122,179 @@ enum Step {
     Snapshot { version: usize },
 }
 
-/// Compiled execution: the shared step list plus the gate accounting the
-/// planner predicts (`plan_communication` must agree with what the workers
-/// measure; the gate split is known at compile time).
+/// Communication class of one tape step — a pure, deterministic function
+/// of the step's bound matrix and the PGAS layout, shared verbatim by the
+/// executing workers and the non-executing planner so "measured equals
+/// planned" stays a structural identity (and so recovery replay reproduces
+/// every elision decision bitwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CommClass {
+    /// Rank-local step (gates, faults, snapshot barriers): no exchange.
+    Local,
+    /// Global gate with a diagonal matrix: a local phase sweep, zero
+    /// messages (each rank's bits select its diagonal entries).
+    Phase,
+    /// Global-local gate block-split on the *global* bit: each rank
+    /// applies its own 2×2 sub-block to the local qubit, zero messages.
+    LocalApply,
+    /// Dense pair exchange across global bit `gbit`: full-shard payload.
+    PairFull { gbit: usize },
+    /// Pair exchange across `gbit` where the partner's kernel reads only
+    /// the local-qubit-`lo` == `v` half of the shard: half payload.
+    PairHalf { gbit: usize, lo: usize, v: usize },
+    /// Global-global gate block-split on global bit `sel`: each rank's
+    /// `sel` bit picks a 2×2 sub-block acting across global bit `xbit`.
+    /// Identity sub-blocks are skipped, diagonal ones scale locally, and
+    /// only the `ndense` dense sub-blocks pair-exchange (full payload).
+    GlobalBlock {
+        sel: usize,
+        xbit: usize,
+        ndense: u32,
+    },
+    /// Dense global-global gate: full quad all-to-all.
+    Quad,
+}
+
+/// Per-step communication record: the class, the bound matrix's shape
+/// (for `Two` steps), and the compile-time fusion-window flags.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StepComm {
+    pub(crate) class: CommClass,
+    /// Shape of the step's prenormalized matrix (`Dense` placeholder for
+    /// non-two-qubit steps).
+    pub(crate) shape: kernels::Mat4Shape,
+    /// Naive sends per rank for this step (1 pair / 3 quad / 0 local) —
+    /// what the pre-lean executor would have sent.
+    pub(crate) naive_sends: u8,
+    /// This step reuses the fusion mirror established by an earlier
+    /// exchange in its window instead of exchanging again.
+    pub(crate) fused: bool,
+    /// A later step in the window still needs the mirror: keep advancing
+    /// the partner copy past this step.
+    pub(crate) track: bool,
+}
+
+/// Classifies one step. The shape lattice comes from
+/// [`kernels::mat4_shape`]; the class decides the exchange *pattern* only
+/// — the executor picks arithmetic from the step + shape.
+fn classify_step(step: &Step) -> StepComm {
+    use kernels::{mat4_shape, Mat4Shape, SubKind};
+    let comm = |class, shape, naive_sends| StepComm {
+        class,
+        shape,
+        naive_sends,
+        fused: false,
+        track: false,
+    };
+    match step {
+        Step::Local1(..)
+        | Step::Local2(..)
+        | Step::LocalFused(..)
+        | Step::Corrupt { .. }
+        | Step::Drift { .. }
+        | Step::Lose { .. }
+        | Step::Snapshot { .. } => comm(CommClass::Local, Mat4Shape::Dense, 0),
+        Step::Global1 { gbit, m } => {
+            if kernels::mat2_is_diagonal(m) {
+                comm(CommClass::Phase, Mat4Shape::Dense, 1)
+            } else {
+                comm(CommClass::PairFull { gbit: *gbit }, Mat4Shape::Dense, 1)
+            }
+        }
+        Step::GlobalLocal { gbit, lo, m } => {
+            let shape = mat4_shape(m);
+            let class = match shape {
+                Mat4Shape::Diagonal => CommClass::Phase,
+                Mat4Shape::BlockHi { .. } => CommClass::LocalApply,
+                Mat4Shape::BlockLo { ka, kb, .. } => {
+                    match (ka == SubKind::Dense, kb == SubKind::Dense) {
+                        (true, false) => CommClass::PairHalf {
+                            gbit: *gbit,
+                            lo: *lo,
+                            v: 0,
+                        },
+                        (false, true) => CommClass::PairHalf {
+                            gbit: *gbit,
+                            lo: *lo,
+                            v: 1,
+                        },
+                        // Both dense needs the partner's both halves; both
+                        // non-dense cannot occur (that matrix is diagonal,
+                        // caught above) but the full exchange stays correct.
+                        _ => CommClass::PairFull { gbit: *gbit },
+                    }
+                }
+                Mat4Shape::Dense => CommClass::PairFull { gbit: *gbit },
+            };
+            comm(class, shape, 1)
+        }
+        Step::GlobalGlobal { bhi, blo, m } => {
+            let shape = mat4_shape(m);
+            let class = match shape {
+                Mat4Shape::Diagonal => CommClass::Phase,
+                Mat4Shape::BlockHi { ka, kb, .. } => CommClass::GlobalBlock {
+                    sel: *bhi,
+                    xbit: *blo,
+                    ndense: (ka == SubKind::Dense) as u32 + (kb == SubKind::Dense) as u32,
+                },
+                Mat4Shape::BlockLo { ka, kb, .. } => CommClass::GlobalBlock {
+                    sel: *blo,
+                    xbit: *bhi,
+                    ndense: (ka == SubKind::Dense) as u32 + (kb == SubKind::Dense) as u32,
+                },
+                Mat4Shape::Dense => CommClass::Quad,
+            };
+            comm(class, shape, 3)
+        }
+    }
+}
+
+/// Marks the exchange-fusion windows on a classified tape.
+///
+/// Legality rule: consecutive pair exchanges with the *identical* class
+/// (`PairFull` on the same global bit; `PairHalf` on the same
+/// `(gbit, lo, v)`) fuse iff every intervening step is a global phase
+/// (`Phase`, which both partners mirror deterministically) or a snapshot
+/// barrier (reads shards, never writes). Any other step — local gates,
+/// `LocalApply`, other exchanges, injected faults — invalidates the
+/// partner mirror, so it closes every window. At most one window is open
+/// at a time, which is why the executor carries a single mirror slot.
+fn compute_fusion(steps: &[Step], comm: &mut [StepComm]) {
+    let mut open: Option<(usize, CommClass)> = None;
+    for j in 0..comm.len() {
+        match comm[j].class {
+            CommClass::Phase => {}
+            CommClass::Local if matches!(steps[j], Step::Snapshot { .. }) => {}
+            CommClass::PairFull { .. } | CommClass::PairHalf { .. } => {
+                if let Some((prev, class)) = open {
+                    if class == comm[j].class {
+                        comm[prev].track = true;
+                        comm[j].fused = true;
+                        open = Some((j, class));
+                        continue;
+                    }
+                }
+                open = Some((j, comm[j].class));
+            }
+            _ => open = None,
+        }
+    }
+}
+
+/// Classifies every step and marks fusion windows.
+fn analyze_comm(steps: &[Step]) -> Vec<StepComm> {
+    let mut comm: Vec<StepComm> = steps.iter().map(classify_step).collect();
+    compute_fusion(steps, &mut comm);
+    comm
+}
+
+/// Compiled execution: the shared step list, its communication plan, and
+/// the gate accounting the planner predicts (`plan_communication` must
+/// agree with what the workers measure; both are derived from the same
+/// per-step classification).
 struct Compiled {
     steps: Arc<Vec<Step>>,
+    comm: Arc<Vec<StepComm>>,
     local_gates: u64,
     global_gates: u64,
 }
@@ -231,8 +411,10 @@ fn compile_steps(
                 // The legacy path aborted before this gate; freezing the
                 // step list here reproduces that exactly.
                 steps.push(Step::Lose { rank });
+                let comm = Arc::new(analyze_comm(&steps));
                 return Ok(Compiled {
                     steps: Arc::new(steps),
+                    comm,
                     local_gates,
                     global_gates,
                 });
@@ -278,15 +460,104 @@ fn compile_steps(
         n_local,
         circuit.n_params(),
     )?;
+    let comm = Arc::new(analyze_comm(&steps));
     Ok(Compiled {
         steps: Arc::new(steps),
+        comm,
         local_gates,
         global_gates,
     })
 }
 
-/// Exchange payload: the sending rank's shard, tagged with the step index
-/// so a desynchronized mesh is detected instead of silently mixing states.
+/// Accumulates one classified step into planner totals — the single
+/// source of truth both [`crate::comm::plan_communication`] and the
+/// summed per-rank worker counters reduce to. `n` is the rank count and
+/// `pb` the full-shard payload size in bytes.
+fn accumulate_step(stats: &mut CommStats, sc: &StepComm, n: u64, pb: u64) {
+    match sc.class {
+        CommClass::Local => {}
+        CommClass::Phase => {
+            let msgs = sc.naive_sends as u64 * n;
+            stats.exchanges_elided += msgs;
+            stats.bytes_saved += msgs * pb;
+        }
+        CommClass::LocalApply => {
+            stats.exchanges_elided += n;
+            stats.bytes_saved += n * pb;
+        }
+        CommClass::PairFull { .. } => {
+            if sc.fused {
+                stats.exchanges_fused += n;
+                stats.bytes_saved += n * pb;
+            } else {
+                stats.messages += n;
+                stats.bytes += n * pb;
+            }
+        }
+        CommClass::PairHalf { .. } => {
+            if sc.fused {
+                stats.exchanges_fused += n;
+                stats.bytes_saved += n * pb;
+            } else {
+                stats.messages += n;
+                stats.bytes += n * pb / 2;
+                stats.bytes_saved += n * pb / 2;
+            }
+        }
+        CommClass::GlobalBlock { ndense, .. } => {
+            let msgs = ndense as u64 * n / 2;
+            stats.messages += msgs;
+            stats.bytes += msgs * pb;
+            stats.exchanges_elided += 3 * n - msgs;
+            stats.bytes_saved += (3 * n - msgs) * pb;
+        }
+        CommClass::Quad => {
+            stats.messages += 3 * n;
+            stats.bytes += 3 * n * pb;
+        }
+    }
+}
+
+/// θ-aware communication plan: resolves every gate against the PGAS
+/// layout exactly like [`compile_steps`] (same classification, same
+/// fusion-window pass) and sums what the lean executor will send. Backs
+/// [`crate::comm::plan_communication_with`].
+pub(crate) fn plan_lean(circuit: &Circuit, params: &[f64], n_ranks: usize) -> Result<CommStats> {
+    let n_local = validate_ranks(circuit.n_qubits(), n_ranks)?;
+    // Symbolic circuits plan against a representative generic binding:
+    // every standard gate's *shape* is angle-independent away from
+    // measure-zero special angles (RZ/CZ/CP/RZZ diagonal for all θ, CX
+    // block for all, RX/RY/U3 dense for generic θ), so the plan matches
+    // any non-degenerate binding. Bound circuits use their real matrices.
+    let generic: Vec<f64>;
+    let params = if params.is_empty() && circuit.n_params() > 0 {
+        generic = vec![0.618_033_988_749_894_9; circuit.n_params()];
+        &generic
+    } else {
+        params
+    };
+    let mut steps = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        steps.push(gate_step(gate, params, n_local)?.0);
+    }
+    let comm = analyze_comm(&steps);
+    let n = n_ranks as u64;
+    let pb = 16u64 << n_local;
+    let mut stats = CommStats::default();
+    for sc in &comm {
+        if sc.class == CommClass::Local {
+            stats.local_gates += 1;
+        } else {
+            stats.global_gates += 1;
+            accumulate_step(&mut stats, sc, n, pb);
+        }
+    }
+    Ok(stats)
+}
+
+/// Exchange payload: the sending rank's shard (or packed half-shard),
+/// tagged with the step index so a desynchronized mesh is detected
+/// instead of silently mixing states.
 type Msg = (usize, Vec<C64>);
 
 /// What one worker thread reports back.
@@ -294,6 +565,13 @@ struct WorkerReport {
     shard: Vec<C64>,
     messages: u64,
     bytes: u64,
+    /// Messages the naive pattern would have sent but the lean structure
+    /// (diagonal elision, block-local application) did not.
+    elided: u64,
+    /// Lean-pattern messages avoided by exchange fusion.
+    fused: u64,
+    /// Naive payload bytes minus actually-sent bytes.
+    saved: u64,
     seconds: f64,
 }
 
@@ -322,13 +600,16 @@ impl Mesh {
     /// Receives the step-`step` payload from `from` under the exchange
     /// deadline: each missed wait doubles the next one (bounded backoff),
     /// and an exhausted budget reports the partner as missing its deadline
-    /// instead of blocking the worker forever.
+    /// instead of blocking the worker forever. `expect_len` is the payload
+    /// length this step's exchange class calls for — the full shard for a
+    /// dense exchange, half of it for a [`CommClass::PairHalf`] step — so
+    /// a desynchronized or mis-packed mesh is caught at the boundary.
     fn recv(
         &self,
         rank: usize,
         from: usize,
         step: usize,
-        part_len: usize,
+        expect_len: usize,
         deadline: ExchangeDeadline,
     ) -> Result<Vec<C64>> {
         let rx = self.receivers[from]
@@ -353,14 +634,47 @@ impl Mesh {
                 }
             }
         };
-        if tag != step || payload.len() != part_len {
+        if tag != step || payload.len() != expect_len {
             return Err(Error::Backend(format!(
                 "rank {rank}: desynchronized exchange with rank {from} \
-                 (expected step {step}, got {tag})"
+                 (expected step {step} / {expect_len} amps, got step {tag} / {} amps)",
+                payload.len()
             )));
         }
         Ok(payload)
     }
+}
+
+/// Reusable exchange-payload buffers. Sends draw their backing storage
+/// here and receives return theirs, so a steady-state exchange loop
+/// allocates nothing after warm-up — the pre-pool path cloned the full
+/// shard on every send. Two slots cover the worst case (a quad step
+/// returns three payloads but the pool only needs enough for the next
+/// step's sends; pair steps cycle one buffer).
+#[derive(Default)]
+struct BufPool(Vec<Vec<C64>>);
+
+impl BufPool {
+    fn take(&mut self) -> Vec<C64> {
+        self.0.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut buf: Vec<C64>) {
+        if self.0.len() < 2 {
+            buf.clear();
+            self.0.push(buf);
+        }
+    }
+}
+
+/// A live fusion window: the partner's payload from the window's anchor
+/// exchange, advanced step by step to the partner's current values.
+/// `class` is the window's exchange class (a fused step must match it;
+/// a mismatch means the compile-time window pass and the executor
+/// disagree, which would be a bug).
+struct Mirror {
+    class: CommClass,
+    buf: Vec<C64>,
 }
 
 /// One planned, fire-once fault in *tape* coordinates. The armed flag is
@@ -449,24 +763,182 @@ struct WorkerCtx {
     /// Absolute tape index this generation starts from (0 for a fresh run,
     /// the restored cut's resume step after a recovery).
     start_step: usize,
+    /// Lean exchange ([`ShardOptions::lean_exchange`]): elide, halve, and
+    /// fuse exchanges per the compiled [`StepComm`] plan. Off = the naive
+    /// full-payload pattern (with shape-aware arithmetic either way).
+    lean: bool,
     deadline: ExchangeDeadline,
     faults: Option<Arc<FaultPlan>>,
     snapshots: Option<Arc<SnapshotStore>>,
 }
 
+/// Per-worker exchange I/O: the mesh, the reusable payload-buffer pool,
+/// and the measured/avoided traffic counters. Sends copy into a pooled
+/// buffer (never `shard.clone()`); receives validate the class's expected
+/// payload length.
+struct ExchangeIo<'a> {
+    mesh: &'a Mesh,
+    rank: usize,
+    deadline: ExchangeDeadline,
+    pool: BufPool,
+    messages: u64,
+    bytes: u64,
+    elided: u64,
+    fused: u64,
+    saved: u64,
+}
+
+impl ExchangeIo<'_> {
+    /// Sends the full shard to `to` (dropped silently under a message-drop
+    /// fault, exactly like the pre-pool path).
+    fn send_full(&mut self, to: usize, step: usize, shard: &[C64], skip: bool) -> Result<()> {
+        if skip {
+            return Ok(());
+        }
+        let mut buf = self.pool.take();
+        debug_assert!(buf.is_empty());
+        buf.extend_from_slice(shard);
+        self.mesh.send(self.rank, to, step, buf)?;
+        self.messages += 1;
+        self.bytes += (shard.len() * 16) as u64;
+        Ok(())
+    }
+
+    /// Packs and sends the `lo`-bit == `v` half of the shard.
+    fn send_half(
+        &mut self,
+        to: usize,
+        step: usize,
+        shard: &[C64],
+        lo: usize,
+        v: usize,
+        skip: bool,
+    ) -> Result<()> {
+        if skip {
+            return Ok(());
+        }
+        let mut buf = self.pool.take();
+        kernels::pack_lo_half(shard, lo, v, &mut buf);
+        let len = buf.len();
+        self.mesh.send(self.rank, to, step, buf)?;
+        self.messages += 1;
+        self.bytes += (len * 16) as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self, from: usize, step: usize, expect: usize) -> Result<Vec<C64>> {
+        self.mesh.recv(self.rank, from, step, expect, self.deadline)
+    }
+
+    /// Obtains the partner payload for a pair-class step. A fused step
+    /// consumes the live fusion mirror — zero messages; a recovery
+    /// generation resuming mid-window finds no mirror and falls back to a
+    /// fresh exchange, which stays symmetric because every rank restarted
+    /// from the same cut and misses the same mirror. Fresh exchanges send
+    /// the full shard, or the packed `lo == v` half for a lean
+    /// [`CommClass::PairHalf`] step. Fault hooks keep the legacy order:
+    /// sends complete, then a mid-exchange death fires before receives.
+    #[allow(clippy::too_many_arguments)]
+    fn pair_payload(
+        &mut self,
+        mirror: &mut Option<Mirror>,
+        sc: &StepComm,
+        lean: bool,
+        shard: &[C64],
+        partner: usize,
+        step: usize,
+        skip_sends: bool,
+        die_mid_exchange: bool,
+    ) -> Result<Vec<C64>> {
+        let part_bytes = (shard.len() * 16) as u64;
+        if lean && sc.fused {
+            if let Some(mir) = mirror.take() {
+                debug_assert_eq!(mir.class, sc.class);
+                self.fused += 1;
+                self.saved += part_bytes;
+                if die_mid_exchange {
+                    return Err(killed(self.rank, step, true));
+                }
+                return Ok(mir.buf);
+            }
+            // Mirror lost across a recovery boundary: fresh exchange.
+        }
+        debug_assert!(mirror.is_none());
+        if let (true, CommClass::PairHalf { lo, v, .. }) = (lean, sc.class) {
+            self.send_half(partner, step, shard, lo, v, skip_sends)?;
+            self.saved += part_bytes / 2;
+            if die_mid_exchange {
+                return Err(killed(self.rank, step, true));
+            }
+            self.recv(partner, step, shard.len() / 2)
+        } else {
+            self.send_full(partner, step, shard, skip_sends)?;
+            if die_mid_exchange {
+                return Err(killed(self.rank, step, true));
+            }
+            self.recv(partner, step, shard.len())
+        }
+    }
+}
+
+/// Advances a live fusion mirror past an elided diagonal (`Phase`) step.
+/// The mirror holds the *partner's* amplitudes, so the diagonal entries
+/// are selected by the partner's rank bits — the partner differs from
+/// this rank only in the window's exchange bit, and runs exactly these
+/// expressions on its own shard, which keeps the mirror bitwise true.
+fn phase_on_mirror(mirror: &mut Mirror, rank: usize, step: &Step) {
+    let wgbit = match mirror.class {
+        CommClass::PairFull { gbit } | CommClass::PairHalf { gbit, .. } => gbit,
+        _ => unreachable!("fusion windows are anchored by pair exchanges"),
+    };
+    let partner = rank ^ (1 << wgbit);
+    match step {
+        Step::Global1 { gbit, m } => {
+            let d = if (partner >> gbit) & 1 == 1 {
+                m.0[1][1]
+            } else {
+                m.0[0][0]
+            };
+            kernels::scale_amps(&mut mirror.buf, d);
+        }
+        Step::GlobalLocal { gbit, lo, m } => {
+            let ph = (partner >> gbit) & 1;
+            if let CommClass::PairHalf { lo: wlo, v, .. } = mirror.class {
+                let d0 = m.0[ph << 1][ph << 1];
+                let d1 = m.0[(ph << 1) | 1][(ph << 1) | 1];
+                kernels::phase_on_lo_half(&mut mirror.buf, wlo, v, *lo, d0, d1);
+            } else {
+                kernels::apply_global_local_phase(&mut mirror.buf, ph, *lo, m);
+            }
+        }
+        Step::GlobalGlobal { bhi, blo, m } => {
+            // Both bits are global, so the phase is one scalar per rank —
+            // valid on a packed-half mirror too.
+            let pos = (((partner >> bhi) & 1) << 1) | ((partner >> blo) & 1);
+            kernels::scale_amps(&mut mirror.buf, m.0[pos][pos]);
+        }
+        _ => unreachable!("only global diagonal steps are Phase-classified"),
+    }
+}
+
 /// The body of one rank's worker thread: replay the step list against the
-/// owned shard, exchanging through the channel mesh on global steps. Every
-/// channel failure and every exhausted exchange deadline maps to
-/// [`Error::Backend`] — a dead or wedged partner aborts this rank cleanly
-/// instead of deadlocking or panicking.
+/// owned shard, exchanging through the channel mesh on global steps per
+/// the compiled per-step communication plan (`comm` is tape-aligned with
+/// `steps`). Every channel failure and every exhausted exchange deadline
+/// maps to [`Error::Backend`] — a dead or wedged partner aborts this rank
+/// cleanly instead of deadlocking or panicking.
 fn worker(
     ctx: WorkerCtx,
     steps: &[Step],
+    comm: &[StepComm],
     mesh: Mesh,
     init: Option<Vec<C64>>,
 ) -> Result<WorkerReport> {
+    use kernels::{Mat4Shape, SubKind};
+    debug_assert_eq!(steps.len(), comm.len());
     let started = Instant::now();
     let rank = ctx.rank;
+    let lean = ctx.lean;
     let part_len = 1usize << ctx.n_local;
     let part_bytes = (part_len * 16) as u64;
     let mut shard = match init {
@@ -482,10 +954,23 @@ fn worker(
             zero
         }
     };
-    let mut messages = 0u64;
-    let mut bytes = 0u64;
+    let mut io = ExchangeIo {
+        mesh: &mesh,
+        rank,
+        deadline: ctx.deadline,
+        pool: BufPool::default(),
+        messages: 0,
+        bytes: 0,
+        elided: 0,
+        fused: 0,
+        saved: 0,
+    };
+    // At most one fusion window is open at any tape point (compile-time
+    // invariant of `compute_fusion`), so a single mirror slot suffices.
+    let mut mirror: Option<Mirror> = None;
     for (i, step) in steps[ctx.start_step..].iter().enumerate() {
         let s = ctx.start_step + i;
+        let sc = &comm[s];
         // Planned faults fire exactly once across all generations; the
         // step tag `s` is absolute, so replay walks the same schedule.
         let mut skip_sends = false;
@@ -507,74 +992,328 @@ fn worker(
             }
             skip_sends = plan.drop_at(s, rank);
         }
+        // Lean zero-message classes first: diagonal elision and block-
+        // local application replace the exchange entirely. Both use the
+        // exact per-amplitude expressions the single-node fast paths use,
+        // so elision is invisible bitwise.
+        if lean && sc.class == CommClass::Phase {
+            match step {
+                Step::Global1 { gbit, m } => {
+                    kernels::apply_global_phase1(&mut shard, (rank >> gbit) & 1, m);
+                }
+                Step::GlobalLocal { gbit, lo, m } => {
+                    kernels::apply_global_local_phase(&mut shard, (rank >> gbit) & 1, *lo, m);
+                }
+                Step::GlobalGlobal { bhi, blo, m } => {
+                    let pos = (((rank >> bhi) & 1) << 1) | ((rank >> blo) & 1);
+                    kernels::apply_global_global_phase(&mut shard, pos, m);
+                }
+                _ => unreachable!("Phase classifies global steps only"),
+            }
+            if let Some(mir) = mirror.as_mut() {
+                phase_on_mirror(mir, rank, step);
+            }
+            io.elided += sc.naive_sends as u64;
+            io.saved += sc.naive_sends as u64 * part_bytes;
+            if die_mid_exchange {
+                return Err(killed(rank, s, true));
+            }
+            continue;
+        }
+        if lean && sc.class == CommClass::LocalApply {
+            let Step::GlobalLocal { gbit, lo, .. } = step else {
+                unreachable!("LocalApply is a global-local class");
+            };
+            let Mat4Shape::BlockHi { a, ka, b, kb } = sc.shape else {
+                unreachable!("LocalApply comes from a BlockHi shape");
+            };
+            let (k, km) = if (rank >> gbit) & 1 == 1 {
+                (kb, b)
+            } else {
+                (ka, a)
+            };
+            if k != SubKind::Identity {
+                kernels::apply_mat2(&mut shard, *lo, &km);
+            }
+            io.elided += 1;
+            io.saved += part_bytes;
+            if die_mid_exchange {
+                return Err(killed(rank, s, true));
+            }
+            continue;
+        }
         match step {
-            Step::Local1(q, m) => kernels::apply_mat2(&mut shard, *q, m),
-            Step::Local2(a, b, m) => kernels::apply_mat4(&mut shard, *a, *b, m),
-            Step::LocalFused(plan) => apply_plan(&mut shard, plan),
+            Step::Local1(q, m) => {
+                debug_assert!(mirror.is_none(), "local step inside a fusion window");
+                kernels::apply_mat2(&mut shard, *q, m);
+            }
+            Step::Local2(a, b, m) => {
+                debug_assert!(mirror.is_none(), "local step inside a fusion window");
+                kernels::apply_mat4(&mut shard, *a, *b, m);
+            }
+            Step::LocalFused(plan) => {
+                debug_assert!(mirror.is_none(), "local step inside a fusion window");
+                apply_plan(&mut shard, plan);
+            }
             Step::Global1 { gbit, m } => {
                 let partner = rank ^ (1 << gbit);
-                if !skip_sends {
-                    mesh.send(rank, partner, s, shard.clone())?;
-                    messages += 1;
-                    bytes += part_bytes;
+                let own_bit = (rank >> gbit) & 1;
+                let mut payload = io.pair_payload(
+                    &mut mirror,
+                    sc,
+                    lean,
+                    &shard,
+                    partner,
+                    s,
+                    skip_sends,
+                    die_mid_exchange,
+                )?;
+                if lean && sc.track {
+                    kernels::exchange_mirror_mat2(&mut shard, &mut payload, own_bit, m);
+                    mirror = Some(Mirror {
+                        class: sc.class,
+                        buf: payload,
+                    });
+                } else {
+                    kernels::apply_exchanged_mat2(&mut shard, &payload, own_bit, m);
+                    io.pool.put(payload);
                 }
-                if die_mid_exchange {
-                    return Err(killed(rank, s, true));
-                }
-                let other = mesh.recv(rank, partner, s, part_len, ctx.deadline)?;
-                kernels::apply_exchanged_mat2(&mut shard, &other, (rank >> gbit) & 1, m);
             }
             Step::GlobalLocal { gbit, lo, m } => {
                 let partner = rank ^ (1 << gbit);
-                if !skip_sends {
-                    mesh.send(rank, partner, s, shard.clone())?;
-                    messages += 1;
-                    bytes += part_bytes;
-                }
-                if die_mid_exchange {
-                    return Err(killed(rank, s, true));
-                }
-                let other = mesh.recv(rank, partner, s, part_len, ctx.deadline)?;
-                kernels::apply_exchanged_mat4_global_local(
-                    &mut shard,
-                    &other,
-                    (rank >> gbit) & 1,
-                    *lo,
-                    m,
-                );
-            }
-            Step::GlobalGlobal { bhi, blo, m } => {
-                let pos = (((rank >> bhi) & 1) << 1) | ((rank >> blo) & 1);
-                // Quad mates in ascending bit-position order.
-                let mates: Vec<usize> = (0..4)
-                    .filter(|&p| p != pos)
-                    .map(|p| {
-                        let mut mate = rank & !(1 << bhi) & !(1 << blo);
-                        mate |= ((p >> 1) & 1) << bhi;
-                        mate |= (p & 1) << blo;
-                        mate
-                    })
-                    .collect();
-                if !skip_sends {
-                    for &mate in &mates {
-                        mesh.send(rank, mate, s, shard.clone())?;
-                        messages += 1;
-                        bytes += part_bytes;
+                let own_hi = (rank >> gbit) & 1;
+                if let (true, CommClass::PairHalf { v, .. }) = (lean, sc.class) {
+                    // The non-exchanged `lo == 1-v` stripe applies its own
+                    // identity/diagonal sub-block locally; the stripes are
+                    // disjoint, so ordering against the pack is free.
+                    let Mat4Shape::BlockLo { a, ka, b, kb } = sc.shape else {
+                        unreachable!("PairHalf comes from a BlockLo shape");
+                    };
+                    let (dense_m, other_k, other_m) = if v == 0 { (a, kb, b) } else { (b, ka, a) };
+                    if other_k != SubKind::Identity {
+                        let d = if own_hi == 1 {
+                            other_m.0[1][1]
+                        } else {
+                            other_m.0[0][0]
+                        };
+                        kernels::scale_lo_half(&mut shard, *lo, 1 - v, d);
+                    }
+                    let mut payload = io.pair_payload(
+                        &mut mirror,
+                        sc,
+                        lean,
+                        &shard,
+                        partner,
+                        s,
+                        skip_sends,
+                        die_mid_exchange,
+                    )?;
+                    if sc.track {
+                        kernels::exchange_mirror_half(
+                            &mut shard,
+                            &mut payload,
+                            own_hi,
+                            *lo,
+                            v,
+                            &dense_m,
+                        );
+                        mirror = Some(Mirror {
+                            class: sc.class,
+                            buf: payload,
+                        });
+                    } else {
+                        kernels::apply_exchanged_half(
+                            &mut shard, &payload, own_hi, *lo, v, &dense_m,
+                        );
+                        io.pool.put(payload);
+                    }
+                } else {
+                    let mut payload = io.pair_payload(
+                        &mut mirror,
+                        sc,
+                        lean,
+                        &shard,
+                        partner,
+                        s,
+                        skip_sends,
+                        die_mid_exchange,
+                    )?;
+                    if lean && sc.track {
+                        // Lean PairFull window (dense or both-dense-block
+                        // matrix): establish/advance the full mirror.
+                        match sc.shape {
+                            Mat4Shape::BlockLo { .. } => kernels::exchange_mirror_blocklo(
+                                &mut shard,
+                                &mut payload,
+                                own_hi,
+                                *lo,
+                                &sc.shape,
+                            ),
+                            _ => kernels::exchange_mirror_global_local(
+                                &mut shard,
+                                &mut payload,
+                                own_hi,
+                                *lo,
+                                m,
+                            ),
+                        }
+                        mirror = Some(Mirror {
+                            class: sc.class,
+                            buf: payload,
+                        });
+                    } else {
+                        match sc.shape {
+                            Mat4Shape::BlockHi { a, ka, b, kb } => {
+                                // Full mode only (lean classifies BlockHi
+                                // as LocalApply): the payload is protocol
+                                // ballast; the arithmetic is rank-local.
+                                let (k, km) = if own_hi == 1 { (kb, b) } else { (ka, a) };
+                                if k != SubKind::Identity {
+                                    kernels::apply_mat2(&mut shard, *lo, &km);
+                                }
+                            }
+                            Mat4Shape::BlockLo { .. } => kernels::apply_exchanged_blocklo(
+                                &mut shard, &payload, own_hi, *lo, &sc.shape,
+                            ),
+                            _ => kernels::apply_exchanged_mat4_global_local(
+                                &mut shard, &payload, own_hi, *lo, m,
+                            ),
+                        }
+                        io.pool.put(payload);
                     }
                 }
-                if die_mid_exchange {
-                    return Err(killed(rank, s, true));
-                }
-                let mut others = Vec::with_capacity(3);
-                for &mate in &mates {
-                    others.push(mesh.recv(rank, mate, s, part_len, ctx.deadline)?);
-                }
-                kernels::apply_exchanged_mat4_global_global(
-                    &mut shard,
-                    [&others[0], &others[1], &others[2]],
-                    pos,
-                    m,
+            }
+            Step::GlobalGlobal { bhi, blo, m } => {
+                // No global-global class joins a fusion window; compile
+                // closed any open window at this step.
+                debug_assert!(
+                    mirror.is_none(),
+                    "global-global step inside a fusion window"
                 );
+                if let (true, CommClass::GlobalBlock { sel, xbit, .. }) = (lean, sc.class) {
+                    let (Mat4Shape::BlockHi { a, ka, b, kb } | Mat4Shape::BlockLo { a, ka, b, kb }) =
+                        sc.shape
+                    else {
+                        unreachable!("GlobalBlock comes from a block shape");
+                    };
+                    let (k, km) = if (rank >> sel) & 1 == 1 {
+                        (kb, b)
+                    } else {
+                        (ka, a)
+                    };
+                    match k {
+                        SubKind::Identity => {
+                            io.elided += 3;
+                            io.saved += 3 * part_bytes;
+                            if die_mid_exchange {
+                                return Err(killed(rank, s, true));
+                            }
+                        }
+                        SubKind::Diag => {
+                            let xv = (rank >> xbit) & 1;
+                            kernels::scale_amps(
+                                &mut shard,
+                                if xv == 1 { km.0[1][1] } else { km.0[0][0] },
+                            );
+                            io.elided += 3;
+                            io.saved += 3 * part_bytes;
+                            if die_mid_exchange {
+                                return Err(killed(rank, s, true));
+                            }
+                        }
+                        SubKind::Dense => {
+                            // The partner shares this rank's `sel` bit, so
+                            // it takes this same arm: symmetric exchange.
+                            let partner = rank ^ (1 << xbit);
+                            io.send_full(partner, s, &shard, skip_sends)?;
+                            if die_mid_exchange {
+                                return Err(killed(rank, s, true));
+                            }
+                            let payload = io.recv(partner, s, part_len)?;
+                            kernels::apply_exchanged_mat2(
+                                &mut shard,
+                                &payload,
+                                (rank >> xbit) & 1,
+                                &km,
+                            );
+                            io.pool.put(payload);
+                            io.elided += 2;
+                            io.saved += 2 * part_bytes;
+                        }
+                    }
+                } else {
+                    let pos = (((rank >> bhi) & 1) << 1) | ((rank >> blo) & 1);
+                    // Quad mates in ascending bit-position order.
+                    let mates: Vec<usize> = (0..4)
+                        .filter(|&p| p != pos)
+                        .map(|p| {
+                            let mut mate = rank & !(1 << bhi) & !(1 << blo);
+                            mate |= ((p >> 1) & 1) << bhi;
+                            mate |= (p & 1) << blo;
+                            mate
+                        })
+                        .collect();
+                    for &mate in &mates {
+                        io.send_full(mate, s, &shard, skip_sends)?;
+                    }
+                    if die_mid_exchange {
+                        return Err(killed(rank, s, true));
+                    }
+                    let mut others = Vec::with_capacity(3);
+                    for &mate in &mates {
+                        others.push(io.recv(mate, s, part_len)?);
+                    }
+                    if let CommClass::GlobalBlock { sel, xbit, .. } = sc.class {
+                        // Full mode on a block gate: naive traffic, but
+                        // the arithmetic must match the single-node block
+                        // fast path bitwise — only the `xbit` mate's
+                        // payload is read.
+                        let (Mat4Shape::BlockHi { a, ka, b, kb }
+                        | Mat4Shape::BlockLo { a, ka, b, kb }) = sc.shape
+                        else {
+                            unreachable!("GlobalBlock comes from a block shape");
+                        };
+                        let (k, km) = if (rank >> sel) & 1 == 1 {
+                            (kb, b)
+                        } else {
+                            (ka, a)
+                        };
+                        match k {
+                            SubKind::Identity => {}
+                            SubKind::Diag => {
+                                let xv = (rank >> xbit) & 1;
+                                kernels::scale_amps(
+                                    &mut shard,
+                                    if xv == 1 { km.0[1][1] } else { km.0[0][0] },
+                                );
+                            }
+                            SubKind::Dense => {
+                                let mate_pos = pos ^ if xbit == *bhi { 2 } else { 1 };
+                                let idx = if mate_pos < pos {
+                                    mate_pos
+                                } else {
+                                    mate_pos - 1
+                                };
+                                kernels::apply_exchanged_mat2(
+                                    &mut shard,
+                                    &others[idx],
+                                    (rank >> xbit) & 1,
+                                    &km,
+                                );
+                            }
+                        }
+                    } else {
+                        kernels::apply_exchanged_mat4_global_global(
+                            &mut shard,
+                            [&others[0], &others[1], &others[2]],
+                            pos,
+                            m,
+                        );
+                    }
+                    for o in others {
+                        io.pool.put(o);
+                    }
+                }
             }
             Step::Corrupt { rank: r, index } => {
                 if *r == rank {
@@ -604,8 +1343,11 @@ fn worker(
     }
     Ok(WorkerReport {
         shard,
-        messages,
-        bytes,
+        messages: io.messages,
+        bytes: io.bytes,
+        elided: io.elided,
+        fused: io.fused,
+        saved: io.saved,
         seconds: started.elapsed().as_secs_f64(),
     })
 }
@@ -620,7 +1362,13 @@ pub fn run_sharded(
     opts: &ShardOptions,
 ) -> Result<DistStateVector> {
     let compiled = compile_steps(circuit, params, n_ranks, opts.fuse_local, None)?;
-    run_compiled(circuit.n_qubits(), n_ranks, compiled, opts.into())
+    run_compiled(
+        circuit.n_qubits(),
+        n_ranks,
+        compiled,
+        opts.into(),
+        opts.lean_exchange,
+    )
 }
 
 /// [`run_sharded`] with faults drawn from `injector` at compile time (in
@@ -633,11 +1381,13 @@ pub fn run_sharded_faulty(
     injector: &mut FaultInjector,
 ) -> Result<DistStateVector> {
     let compiled = compile_steps(circuit, params, n_ranks, false, Some(injector))?;
+    let opts = ShardOptions::default();
     run_compiled(
         circuit.n_qubits(),
         n_ranks,
         compiled,
-        (&ShardOptions::default()).into(),
+        (&opts).into(),
+        opts.lean_exchange,
     )
 }
 
@@ -649,6 +1399,8 @@ fn run_generation(
     n_ranks: usize,
     n_local: usize,
     steps: &Arc<Vec<Step>>,
+    comm: &Arc<Vec<StepComm>>,
+    lean: bool,
     start_step: usize,
     init: Option<Vec<Vec<C64>>>,
     deadline: ExchangeDeadline,
@@ -678,6 +1430,7 @@ fn run_generation(
     let mut handles = Vec::with_capacity(n_ranks);
     for (rank, (sends, recvs)) in senders.drain(..).zip(receivers.drain(..)).enumerate() {
         let steps = Arc::clone(steps);
+        let comm = Arc::clone(comm);
         let mesh = Mesh {
             senders: sends,
             receivers: recvs,
@@ -686,6 +1439,7 @@ fn run_generation(
             rank,
             n_local,
             start_step,
+            lean,
             deadline,
             faults: faults.map(Arc::clone),
             snapshots: snapshots.map(Arc::clone),
@@ -693,7 +1447,7 @@ fn run_generation(
         let init_shard = init_shards[rank].take();
         let handle = std::thread::Builder::new()
             .name(format!("nwq-dist-rank{rank}"))
-            .spawn(move || worker(ctx, &steps, mesh, init_shard))
+            .spawn(move || worker(ctx, &steps, &comm, mesh, init_shard))
             .map_err(|e| Error::Backend(format!("failed to spawn rank {rank} worker: {e}")))?;
         handles.push(handle);
     }
@@ -739,15 +1493,17 @@ fn assemble(
     reports: Vec<WorkerReport>,
 ) -> DistStateVector {
     let mut stats = CommStats {
-        messages: 0,
-        bytes: 0,
         global_gates: compiled.global_gates,
         local_gates: compiled.local_gates,
+        ..CommStats::default()
     };
     let mut partitions = Vec::with_capacity(reports.len());
     for report in reports {
         stats.messages += report.messages;
         stats.bytes += report.bytes;
+        stats.exchanges_elided += report.elided;
+        stats.exchanges_fused += report.fused;
+        stats.bytes_saved += report.saved;
         nwq_telemetry::histogram_record("dist.rank_seconds", report.seconds);
         nwq_telemetry::histogram_record("dist.rank_messages", report.messages as f64);
         partitions.push(report.shard);
@@ -756,6 +1512,9 @@ fn assemble(
     nwq_telemetry::counter_add("dist.bytes", stats.bytes);
     nwq_telemetry::counter_add("dist.local_gates", stats.local_gates);
     nwq_telemetry::counter_add("dist.global_gates", stats.global_gates);
+    nwq_telemetry::counter_add("dist.exchanges_elided", stats.exchanges_elided);
+    nwq_telemetry::counter_add("dist.exchange_fused", stats.exchanges_fused);
+    nwq_telemetry::counter_add("dist.bytes_saved", stats.bytes_saved);
     DistStateVector::from_parts(n_qubits, n_local, partitions, stats)
 }
 
@@ -764,12 +1523,15 @@ fn run_compiled(
     n_ranks: usize,
     compiled: Compiled,
     deadline: ExchangeDeadline,
+    lean: bool,
 ) -> Result<DistStateVector> {
     let n_local = n_qubits - n_ranks.trailing_zeros() as usize;
     let reports = run_generation(
         n_ranks,
         n_local,
         &compiled.steps,
+        &compiled.comm,
+        lean,
         0,
         None,
         deadline,
@@ -863,9 +1625,11 @@ fn compile_resilient(
         }
         steps.push(step);
     }
+    let comm = Arc::new(analyze_comm(&steps));
     Ok((
         Compiled {
             steps: Arc::new(steps),
+            comm,
             local_gates,
             global_gates,
         },
@@ -924,6 +1688,8 @@ pub fn run_sharded_resilient(
             n_ranks,
             n_local,
             &compiled.steps,
+            &compiled.comm,
+            opts.lean_exchange,
             start_step,
             init.take(),
             deadline,
@@ -1015,6 +1781,102 @@ mod tests {
         }
     }
 
+    /// H sweep, then a half-exchange fusion window on the top qubit with
+    /// every transparent phase kind between the anchor and the fused
+    /// member: `Global1` (rz), diagonal `GlobalLocal` (cp), and — at ≥ 4
+    /// ranks — diagonal `GlobalGlobal` (rzz).
+    fn apex_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        let t = n - 1;
+        c.cx(0, t)
+            .rz(t, 0.37)
+            .cp(1, t, 0.21)
+            .rzz(n - 2, t, 0.45)
+            .cx(0, t)
+            .h(0);
+        c
+    }
+
+    #[test]
+    fn fusion_window_is_bitwise_and_matches_plan() {
+        let c = apex_circuit(6);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [2usize, 4, 8] {
+            let d = run_sharded(&c, &[], n_ranks, &ShardOptions::default()).unwrap();
+            let ctx = format!("fused ranks={n_ranks}");
+            assert_bitwise(&d, &single, &ctx);
+            let stats = d.comm_stats();
+            assert_eq!(stats, plan_communication(&c, n_ranks).unwrap(), "{ctx}");
+            // The second cx rides the first one's mirror on every rank.
+            assert_eq!(stats.exchanges_fused, n_ranks as u64, "{ctx}");
+            // Everything not moved is accounted as saved vs the naive plan.
+            let naive = crate::comm::plan_communication_naive(&c, n_ranks).unwrap();
+            assert_eq!(stats.bytes + stats.bytes_saved, naive.bytes, "{ctx}");
+            assert!(stats.bytes < naive.bytes, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn full_exchange_mode_is_bitwise_and_matches_naive_plan() {
+        let full = ShardOptions {
+            lean_exchange: false,
+            ..ShardOptions::default()
+        };
+        for c in [sample_circuit(6), apex_circuit(6)] {
+            let single = nwq_statevec::simulate(&c, &[]).unwrap();
+            for n_ranks in [1usize, 2, 4, 8] {
+                let d = run_sharded(&c, &[], n_ranks, &full).unwrap();
+                let ctx = format!("full ranks={n_ranks}");
+                assert_bitwise(&d, &single, &ctx);
+                let stats = d.comm_stats();
+                let naive = crate::comm::plan_communication_naive(&c, n_ranks).unwrap();
+                assert_eq!(stats, naive, "{ctx}");
+                assert_eq!(stats.exchanges_elided, 0, "{ctx}");
+                assert_eq!(stats.exchanges_fused, 0, "{ctx}");
+                assert_eq!(stats.bytes_saved, 0, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_global_circuit_exchanges_nothing() {
+        let mut c = Circuit::new(6);
+        c.h(0).h(1).h(2).cx(0, 1).cx(1, 2);
+        c.rz(5, 0.3).cz(2, 5).cz(4, 5).rzz(3, 4, 0.7);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [2usize, 4, 8] {
+            let d = run_sharded(&c, &[], n_ranks, &ShardOptions::default()).unwrap();
+            let ctx = format!("diag ranks={n_ranks}");
+            assert_bitwise(&d, &single, &ctx);
+            let stats = d.comm_stats();
+            assert_eq!(stats.messages, 0, "{ctx}");
+            assert_eq!(stats.bytes, 0, "{ctx}");
+            assert!(stats.exchanges_elided > 0, "{ctx}");
+            assert_eq!(stats, plan_communication(&c, n_ranks).unwrap(), "{ctx}");
+        }
+    }
+
+    #[test]
+    fn global_control_gates_apply_block_locally() {
+        // cx with a *global* control and local target: each rank applies
+        // I or X locally — zero messages, still bitwise.
+        let mut c = Circuit::new(6);
+        c.h(5).h(4).cx(5, 1).cx(4, 0);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [4usize, 8] {
+            let d = run_sharded(&c, &[], n_ranks, &ShardOptions::default()).unwrap();
+            let ctx = format!("blockhi ranks={n_ranks}");
+            assert_bitwise(&d, &single, &ctx);
+            let stats = d.comm_stats();
+            // Only the two H's on global qubits exchange.
+            assert_eq!(stats.messages, 2 * n_ranks as u64, "{ctx}");
+            assert_eq!(stats, plan_communication(&c, n_ranks).unwrap(), "{ctx}");
+        }
+    }
+
     #[test]
     fn fused_local_run_matches_single_node_approximately() {
         // Fusion multiplies matrices, so approx (not bitwise) parity.
@@ -1075,6 +1937,7 @@ mod tests {
             fuse_local: false,
             exchange_timeout_ms: 100,
             exchange_retries: 2,
+            ..ShardOptions::default()
         }
     }
 
@@ -1133,6 +1996,35 @@ mod tests {
                     assert_eq!(report.recoveries, 1, "{ctx}");
                     assert_eq!(report.generations, 2, "{ctx}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_inside_fusion_window_stays_bitwise() {
+        // Kill a rank at every step of a circuit whose tail is a fusion
+        // window (anchor cx, transparent phases, fused cx): when the
+        // replay resumes past the anchor the mirror is gone on every
+        // rank, so the fused member must fall back to a symmetric fresh
+        // exchange — and still reproduce the fault-free amplitudes
+        // bitwise.
+        let c = apex_circuit(5);
+        let single = nwq_statevec::simulate(&c, &[]).unwrap();
+        for n_ranks in [2usize, 4] {
+            for gate_step in 0..c.len() {
+                let rank = gate_step % n_ranks;
+                let (d, report) = run_sharded_resilient(
+                    &c,
+                    &[],
+                    n_ranks,
+                    &test_opts(),
+                    &test_recovery(2),
+                    &FaultSchedule::kill(gate_step, rank),
+                )
+                .unwrap();
+                let ctx = format!("apex ranks={n_ranks} rank={rank} step={gate_step}");
+                assert_bitwise(&d, &single, &ctx);
+                assert_eq!(report.recoveries, 1, "{ctx}");
             }
         }
     }

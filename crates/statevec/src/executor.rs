@@ -1,8 +1,8 @@
 //! Circuit execution on the parallel statevector kernels.
 
 use crate::kernels::{
-    apply_diag_sweep, apply_mat2, apply_mat4, apply_mat4_prenorm, mat2_is_diagonal,
-    mat4_is_diagonal, DiagFactor,
+    apply_diag_sweep, apply_mat2, apply_mat4, apply_mat4_prenorm, apply_mat4_shaped,
+    mat2_is_diagonal, DiagFactor, Mat4Shape,
 };
 use crate::plan::{ExecPlan, PlanOp};
 use crate::state::StateVector;
@@ -196,15 +196,16 @@ impl Executor {
         let dim = state.len() as u64;
         let mut gates_1q = 0u64;
         let mut gates_2q = 0u64;
-        for op in plan.ops() {
+        for (k, op) in plan.ops().iter().enumerate() {
             match op {
                 PlanOp::One(q, m) => {
                     apply_mat2(state.amplitudes_mut(), *q, m);
                     gates_1q += 1;
                 }
                 PlanOp::Two(hi, lo, m) => {
-                    // Plans pre-normalize to hi > lo at bind time.
-                    apply_mat4_prenorm(state.amplitudes_mut(), *hi, *lo, m);
+                    // Plans pre-normalize to hi > lo and classify the
+                    // matrix shape at bind time.
+                    apply_mat4_shaped(state.amplitudes_mut(), *hi, *lo, m, plan.shape_at(k));
                     gates_2q += 1;
                 }
                 PlanOp::DiagSweep {
@@ -345,6 +346,7 @@ impl Executor {
         let mut mats2: Vec<Mat2> = Vec::with_capacity(nw);
         let mut mats4: Vec<Mat4> = Vec::with_capacity(nw);
         let mut diag: Vec<bool> = Vec::with_capacity(nw);
+        let mut shapes: Vec<Mat4Shape> = Vec::with_capacity(nw);
         let mut factors: Vec<DiagFactor> = Vec::new();
         for (k, op) in first.ops().iter().enumerate() {
             match op {
@@ -370,21 +372,42 @@ impl Executor {
                 PlanOp::Two(hi, lo, _) => {
                     mats4.clear();
                     diag.clear();
+                    shapes.clear();
                     for p in plans {
                         let PlanOp::Two(_, _, m) = &p.ops()[k] else {
                             unreachable!("alignment checked above");
                         };
                         mats4.push(*m);
-                        diag.push(mat4_is_diagonal(m));
+                        let shape = p.shape_at(k);
+                        diag.push(shape == Mat4Shape::Diagonal);
+                        shapes.push(shape);
                     }
-                    walkers::walker_mat4_sweep(
-                        set.amplitudes_mut(),
-                        nw,
-                        1usize << hi,
-                        1usize << lo,
-                        &mats4,
-                        &diag,
-                    );
+                    // Block-structured walkers (e.g. an unfused CX) must
+                    // replicate the single-state block fast path per
+                    // walker; the AVX dense/diag kernel only handles the
+                    // uniform shapes.
+                    if shapes
+                        .iter()
+                        .any(|s| matches!(s, Mat4Shape::BlockHi { .. } | Mat4Shape::BlockLo { .. }))
+                    {
+                        walkers::walker_mat4_shaped_sweep(
+                            set.amplitudes_mut(),
+                            nw,
+                            1usize << hi,
+                            1usize << lo,
+                            &mats4,
+                            &shapes,
+                        );
+                    } else {
+                        walkers::walker_mat4_sweep(
+                            set.amplitudes_mut(),
+                            nw,
+                            1usize << hi,
+                            1usize << lo,
+                            &mats4,
+                            &diag,
+                        );
+                    }
                     gates_2q += nw as u64;
                 }
                 PlanOp::DiagSweep { len, two_qubit, .. } => {

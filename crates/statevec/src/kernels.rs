@@ -71,12 +71,116 @@ fn pair_update(lo: &mut C64, hi: &mut C64, m: &Mat2) {
     *hi = m.0[1][0] * a + m.0[1][1] * b;
 }
 
-pub(crate) fn mat2_is_diagonal(m: &Mat2) -> bool {
+/// `true` when both off-diagonal entries are exactly zero (`±0` counts).
+pub fn mat2_is_diagonal(m: &Mat2) -> bool {
     m.0[0][1].norm_sqr() == 0.0 && m.0[1][0].norm_sqr() == 0.0
 }
 
-pub(crate) fn mat4_is_diagonal(m: &Mat4) -> bool {
+/// `true` when every off-diagonal entry is exactly zero (`±0` counts).
+pub fn mat4_is_diagonal(m: &Mat4) -> bool {
     (0..4).all(|r| (0..4).all(|c| r == c || m.0[r][c].norm_sqr() == 0.0))
+}
+
+/// Classification of one 2×2 sub-block of a block-structured two-qubit
+/// matrix. `Identity` sub-blocks are *skipped outright* by the block
+/// kernels — multiplying by exact `1+0i` is not a bitwise no-op for
+/// `-0.0` imaginary parts, so "skip" and "multiply by one" diverge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubKind {
+    /// Exact identity: diagonal with both entries `1+0i`.
+    Identity,
+    /// Diagonal but not the identity: per-amplitude `*=`.
+    Diag,
+    /// General 2×2: paired MAC update.
+    Dense,
+}
+
+/// Classify a 2×2 matrix for the block kernels.
+pub fn mat2_sub_kind(m: &Mat2) -> SubKind {
+    if !mat2_is_diagonal(m) {
+        return SubKind::Dense;
+    }
+    let one = |c: C64| c.re == 1.0 && c.im == 0.0;
+    if one(m.0[0][0]) && one(m.0[1][1]) {
+        SubKind::Identity
+    } else {
+        SubKind::Diag
+    }
+}
+
+/// Block structure of a prenormalized (`hi > lo`, high bit first)
+/// two-qubit matrix. Controlled gates are block-diagonal: CX with the
+/// control on the high bit is `BlockHi{I, X}`, with the control on the
+/// low bit `BlockLo{I, X}`. The sharded executor exploits this —
+/// `BlockHi` with a global high bit needs **no exchange at all** (each
+/// rank applies its own sub-block locally) and `BlockLo` with exactly one
+/// dense sub-block needs only **half** the shard from its partner — so
+/// the single-node kernels must take the *same* structural shortcuts to
+/// stay bitwise identical (an `Identity` sub-block is skipped, not
+/// multiplied; a 2-term MAC is not the 4-term MAC with zeros).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mat4Shape {
+    /// Fully diagonal — handled by the diagonal fast path.
+    Diagonal,
+    /// `m = diag(a, b)` over the HIGH bit: rows/cols `{0,1}` form `a`
+    /// (high bit 0), `{2,3}` form `b`; each sub-block acts on the low
+    /// bit within its high-bit half.
+    BlockHi {
+        /// Sub-block for high bit 0.
+        a: Mat2,
+        /// Kind of `a`.
+        ka: SubKind,
+        /// Sub-block for high bit 1.
+        b: Mat2,
+        /// Kind of `b`.
+        kb: SubKind,
+    },
+    /// Block-diagonal over the LOW bit: rows/cols `{0,2}` form `a` (low
+    /// bit 0), `{1,3}` form `b`; each sub-block acts on the high bit
+    /// within its low-bit stripe.
+    BlockLo {
+        /// Sub-block for low bit 0.
+        a: Mat2,
+        /// Kind of `a`.
+        ka: SubKind,
+        /// Sub-block for low bit 1.
+        b: Mat2,
+        /// Kind of `b`.
+        kb: SubKind,
+    },
+    /// No exploitable structure: full 4-term MAC kernels.
+    Dense,
+}
+
+/// Classify a prenormalized two-qubit matrix. Diagonal wins over the
+/// block shapes (a diagonal matrix is both), `BlockHi` over `BlockLo`
+/// when a matrix is both (only diagonal matrices are).
+pub fn mat4_shape(m: &Mat4) -> Mat4Shape {
+    if mat4_is_diagonal(m) {
+        return Mat4Shape::Diagonal;
+    }
+    let z = |r: usize, c: usize| m.0[r][c].norm_sqr() == 0.0;
+    if z(0, 2) && z(0, 3) && z(1, 2) && z(1, 3) && z(2, 0) && z(2, 1) && z(3, 0) && z(3, 1) {
+        let a = Mat2([[m.0[0][0], m.0[0][1]], [m.0[1][0], m.0[1][1]]]);
+        let b = Mat2([[m.0[2][2], m.0[2][3]], [m.0[3][2], m.0[3][3]]]);
+        return Mat4Shape::BlockHi {
+            ka: mat2_sub_kind(&a),
+            a,
+            kb: mat2_sub_kind(&b),
+            b,
+        };
+    }
+    if z(0, 1) && z(0, 3) && z(2, 1) && z(2, 3) && z(1, 0) && z(1, 2) && z(3, 0) && z(3, 2) {
+        let a = Mat2([[m.0[0][0], m.0[0][2]], [m.0[2][0], m.0[2][2]]]);
+        let b = Mat2([[m.0[1][1], m.0[1][3]], [m.0[3][1], m.0[3][3]]]);
+        return Mat4Shape::BlockLo {
+            ka: mat2_sub_kind(&a),
+            a,
+            kb: mat2_sub_kind(&b),
+            b,
+        };
+    }
+    Mat4Shape::Dense
 }
 
 /// Applies a single-qubit unitary to qubit `q`, in place.
@@ -160,17 +264,32 @@ pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
 /// template build/bind time, so this entry skips the per-call
 /// `swap_qubits` reshuffle of the general wrapper.
 pub fn apply_mat4_prenorm(amps: &mut [C64], hi: usize, lo: usize, mat: &Mat4) {
+    apply_mat4_shaped(amps, hi, lo, mat, mat4_shape(mat));
+}
+
+/// [`apply_mat4_prenorm`] with the matrix's [`Mat4Shape`] supplied by the
+/// caller (compiled plans classify once at bind time and cache the shape
+/// alongside the op). `shape` must be `mat4_shape(mat)`.
+pub fn apply_mat4_shaped(amps: &mut [C64], hi: usize, lo: usize, mat: &Mat4, shape: Mat4Shape) {
     debug_assert!(hi > lo);
     debug_assert!(1usize << hi < amps.len());
+    debug_assert_eq!(shape, mat4_shape(mat));
     nwq_telemetry::counter_add("kernels.amplitude_updates", amps.len() as u64);
-    if mat4_is_diagonal(mat) {
-        nwq_telemetry::counter_add("kernels.mat4.diag", 1);
-        return apply_diag2(
-            amps,
-            hi,
-            lo,
-            [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]],
-        );
+    match shape {
+        Mat4Shape::Diagonal => {
+            nwq_telemetry::counter_add("kernels.mat4.diag", 1);
+            return apply_diag2(
+                amps,
+                hi,
+                lo,
+                [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]],
+            );
+        }
+        Mat4Shape::BlockHi { .. } | Mat4Shape::BlockLo { .. } => {
+            nwq_telemetry::counter_add("kernels.mat4.block", 1);
+            return apply_mat4_block(amps, hi, lo, &shape, true);
+        }
+        Mat4Shape::Dense => {}
     }
     // One stack copy so the optimizer can keep the 16 elements in
     // registers across the amplitude loop — measurably faster than
@@ -207,6 +326,81 @@ pub fn apply_mat4_prenorm(amps: &mut [C64], hi: usize, lo: usize, mat: &Mat4) {
     } else {
         nwq_telemetry::counter_add("kernels.mat4.serial", 1);
         simd::mat4_sweep(amps, s_hi, s_lo, mat);
+    }
+}
+
+/// Applies one 2×2 sub-block across a (low, high) stripe pair:
+/// `Identity` touches nothing, `Diag` multiplies in place, `Dense` runs
+/// the paired 2-term MAC. Every sharded lean-exchange kernel reduces to
+/// this same per-element arithmetic, which is what keeps distributed
+/// runs bitwise identical to single-node.
+#[inline]
+fn apply_sub_pairwise(lo: &mut [C64], hi: &mut [C64], k: SubKind, m: &Mat2) {
+    match k {
+        SubKind::Identity => {}
+        SubKind::Diag => {
+            let (d0, d1) = (m.0[0][0], m.0[1][1]);
+            for a in lo.iter_mut() {
+                *a *= d0;
+            }
+            for a in hi.iter_mut() {
+                *a *= d1;
+            }
+        }
+        SubKind::Dense => {
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                pair_update(a, b, m);
+            }
+        }
+    }
+}
+
+/// One outer block (`[h0 | h1]`, each of length `2^hi`) of a
+/// block-structured two-qubit gate.
+#[inline]
+fn block_update(h0: &mut [C64], h1: &mut [C64], s_lo: usize, shape: &Mat4Shape) {
+    let lo_block = s_lo << 1;
+    match *shape {
+        Mat4Shape::BlockHi { a, ka, b, kb } => {
+            for c in h0.chunks_mut(lo_block) {
+                let (c0, c1) = c.split_at_mut(s_lo);
+                apply_sub_pairwise(c0, c1, ka, &a);
+            }
+            for c in h1.chunks_mut(lo_block) {
+                let (c0, c1) = c.split_at_mut(s_lo);
+                apply_sub_pairwise(c0, c1, kb, &b);
+            }
+        }
+        Mat4Shape::BlockLo { a, ka, b, kb } => {
+            for (c0, c1) in h0.chunks_mut(lo_block).zip(h1.chunks_mut(lo_block)) {
+                let (c00, c01) = c0.split_at_mut(s_lo);
+                let (c10, c11) = c1.split_at_mut(s_lo);
+                apply_sub_pairwise(c00, c10, ka, &a);
+                apply_sub_pairwise(c01, c11, kb, &b);
+            }
+        }
+        Mat4Shape::Diagonal | Mat4Shape::Dense => unreachable!("block_update needs a block shape"),
+    }
+}
+
+/// Block-structured two-qubit sweep (`hi > lo` normalized): controlled
+/// gates touch at most half the amplitudes with 2-term MACs instead of
+/// all of them with 4-term MACs.
+fn apply_mat4_block(amps: &mut [C64], hi: usize, lo: usize, shape: &Mat4Shape, parallel: bool) {
+    let s_lo = 1usize << lo;
+    let s_hi = 1usize << hi;
+    let block = s_hi << 1;
+    let nblocks = amps.len() / block;
+    if parallel && nblocks >= min_par_blocks() {
+        amps.par_chunks_mut(block).for_each(|c| {
+            let (h0, h1) = c.split_at_mut(s_hi);
+            block_update(h0, h1, s_lo, shape);
+        });
+    } else {
+        for c in amps.chunks_mut(block) {
+            let (h0, h1) = c.split_at_mut(s_hi);
+            block_update(h0, h1, s_lo, shape);
+        }
     }
 }
 
@@ -331,11 +525,16 @@ pub fn apply_mat4_serial(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
     } else {
         (qb, qa, m.swap_qubits())
     };
-    if mat4_is_diagonal(&mat) {
-        let d = [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]];
-        return simd::diag2_sweep(amps, hi, lo, &d);
+    match mat4_shape(&mat) {
+        Mat4Shape::Diagonal => {
+            let d = [mat.0[0][0], mat.0[1][1], mat.0[2][2], mat.0[3][3]];
+            simd::diag2_sweep(amps, hi, lo, &d);
+        }
+        shape @ (Mat4Shape::BlockHi { .. } | Mat4Shape::BlockLo { .. }) => {
+            apply_mat4_block(amps, hi, lo, &shape, false);
+        }
+        Mat4Shape::Dense => simd::mat4_sweep(amps, 1usize << hi, 1usize << lo, &mat),
     }
-    simd::mat4_sweep(amps, 1usize << hi, 1usize << lo, &mat);
 }
 
 /// Sharded single-qubit update for a *global* qubit (one whose bit lives
@@ -353,11 +552,7 @@ pub fn apply_exchanged_mat2(own: &mut [C64], partner: &[C64], own_bit: usize, m:
         // Single-node takes the diagonal fast path (`amp *= d[bit]`,
         // partner amplitude never read); replicate it or ±0.0 signs from
         // `m00·x + 0·y` diverge bitwise.
-        let d = if own_bit == 1 { m.0[1][1] } else { m.0[0][0] };
-        for a in own.iter_mut() {
-            *a *= d;
-        }
-        return;
+        return apply_global_phase1(own, own_bit, m);
     }
     if own_bit == 0 {
         for (a, b) in own.iter_mut().zip(partner) {
@@ -387,11 +582,7 @@ pub fn apply_exchanged_mat4_global_local(
     debug_assert!(1usize << lo < own.len());
     nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
     if mat4_is_diagonal(m) {
-        let d = [m.0[0][0], m.0[1][1], m.0[2][2], m.0[3][3]];
-        for (k, a) in own.iter_mut().enumerate() {
-            *a *= d[(own_hi_bit << 1) | ((k >> lo) & 1)];
-        }
-        return;
+        return apply_global_local_phase(own, own_hi_bit, lo, m);
     }
     let m = &{ *m };
     let s_lo = 1usize << lo;
@@ -430,11 +621,7 @@ pub fn apply_exchanged_mat4_global_global(
     debug_assert!(others.iter().all(|o| o.len() == own.len()));
     nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
     if mat4_is_diagonal(m) {
-        let d = m.0[pos][pos];
-        for a in own.iter_mut() {
-            *a *= d;
-        }
-        return;
+        return apply_global_global_phase(own, pos, m);
     }
     let m = &{ *m };
     let row = &m.0[pos];
@@ -450,6 +637,321 @@ pub fn apply_exchanged_mat4_global_global(
             }
         }
         *a = row[0] * v[0] + row[1] * v[1] + row[2] * v[2] + row[3] * v[3];
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lean-exchange kernels: phase elision, half-shard payloads, and fusion
+// mirrors for the sharded executor. Every function here reduces to the
+// exact per-element expressions of the single-node kernels above, which
+// is what keeps exchange-lean distributed runs bitwise identical.
+// ---------------------------------------------------------------------
+
+/// Diagonal single-qubit gate on a *global* qubit: pure local phase, no
+/// exchange. Identical arithmetic to the diagonal arm of
+/// [`apply_exchanged_mat2`] (and thus to [`apply_mat2`]'s fast path).
+pub fn apply_global_phase1(own: &mut [C64], own_bit: usize, m: &Mat2) {
+    debug_assert!(own_bit < 2);
+    let d = if own_bit == 1 { m.0[1][1] } else { m.0[0][0] };
+    for a in own.iter_mut() {
+        *a *= d;
+    }
+}
+
+/// Diagonal two-qubit gate with a global high bit and local low qubit
+/// `lo`: pure local phase, no exchange.
+pub fn apply_global_local_phase(own: &mut [C64], own_hi_bit: usize, lo: usize, m: &Mat4) {
+    debug_assert!(own_hi_bit < 2);
+    let d = [m.0[0][0], m.0[1][1], m.0[2][2], m.0[3][3]];
+    for (k, a) in own.iter_mut().enumerate() {
+        *a *= d[(own_hi_bit << 1) | ((k >> lo) & 1)];
+    }
+}
+
+/// Diagonal two-qubit gate with both bits global (`pos` = this rank's
+/// `(hi_bit << 1) | lo_bit`): one scalar phase, no exchange.
+pub fn apply_global_global_phase(own: &mut [C64], pos: usize, m: &Mat4) {
+    debug_assert!(pos < 4);
+    let d = m.0[pos][pos];
+    for a in own.iter_mut() {
+        *a *= d;
+    }
+}
+
+/// Multiplies every amplitude by one scalar — the sub-block-diagonal arm
+/// of a block-structured global-global gate (the rank's whole shard sits
+/// on one diagonal entry of its sub-block).
+pub fn scale_amps(own: &mut [C64], d: C64) {
+    for a in own.iter_mut() {
+        *a *= d;
+    }
+}
+
+/// Packs the `lo`-bit == `v` half of a shard into `buf` (cleared first),
+/// in ascending index order — the payload layout of a half-shard
+/// exchange. The receiver walks the same order ([`apply_exchanged_half`]).
+pub fn pack_lo_half(shard: &[C64], lo: usize, v: usize, buf: &mut Vec<C64>) {
+    debug_assert!(v < 2);
+    let s_lo = 1usize << lo;
+    buf.clear();
+    buf.reserve(shard.len() / 2);
+    for c in shard.chunks(s_lo << 1) {
+        buf.extend_from_slice(&c[v * s_lo..(v + 1) * s_lo]);
+    }
+}
+
+/// Multiplies the `lo`-bit == `v` half of a shard by a scalar — the
+/// diagonal sub-block of a lo-block two-qubit gate whose high bit is
+/// global (the rank's high bit picks one diagonal entry).
+pub fn scale_lo_half(own: &mut [C64], lo: usize, v: usize, d: C64) {
+    let s_lo = 1usize << lo;
+    for c in own.chunks_mut(s_lo << 1) {
+        for a in c[v * s_lo..(v + 1) * s_lo].iter_mut() {
+            *a *= d;
+        }
+    }
+}
+
+/// Half-shard exchanged update: applies the dense 2×2 sub-block `m` of a
+/// lo-block-structured gate (global high bit, local low qubit `lo`)
+/// across the global bit, touching only elements with `lo`-bit == `v`.
+/// `packed` is the partner's matching half in [`pack_lo_half`] order.
+/// Mirrors [`apply_sub_pairwise`]'s dense arm bitwise.
+pub fn apply_exchanged_half(
+    own: &mut [C64],
+    packed: &[C64],
+    own_hi_bit: usize,
+    lo: usize,
+    v: usize,
+    m: &Mat2,
+) {
+    debug_assert!(own_hi_bit < 2);
+    debug_assert_eq!(packed.len(), own.len() / 2);
+    nwq_telemetry::counter_add("kernels.amplitude_updates", (own.len() / 2) as u64);
+    let s_lo = 1usize << lo;
+    let mut p = 0;
+    for c in own.chunks_mut(s_lo << 1) {
+        for a in c[v * s_lo..(v + 1) * s_lo].iter_mut() {
+            let b = packed[p];
+            p += 1;
+            *a = if own_hi_bit == 0 {
+                m.0[0][0] * *a + m.0[0][1] * b
+            } else {
+                m.0[1][0] * b + m.0[1][1] * *a
+            };
+        }
+    }
+}
+
+/// Full-payload exchanged update for a lo-block-structured gate with a
+/// global high bit: each `lo` stripe applies its own sub-block across the
+/// global bit (`Identity` skipped, `Diag` scaled, `Dense` paired with the
+/// partner's value at the same local index).
+pub fn apply_exchanged_blocklo(
+    own: &mut [C64],
+    partner: &[C64],
+    own_hi_bit: usize,
+    lo: usize,
+    shape: &Mat4Shape,
+) {
+    let Mat4Shape::BlockLo { a, ka, b, kb } = shape else {
+        panic!("apply_exchanged_blocklo needs a BlockLo shape");
+    };
+    debug_assert_eq!(own.len(), partner.len());
+    nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
+    let s_lo = 1usize << lo;
+    for (base, c) in own.chunks_mut(s_lo << 1).enumerate() {
+        let base = base * (s_lo << 1);
+        for (v, (k, m)) in [(ka, a), (kb, b)].iter().enumerate() {
+            match k {
+                SubKind::Identity => {}
+                SubKind::Diag => {
+                    let d = if own_hi_bit == 1 {
+                        m.0[1][1]
+                    } else {
+                        m.0[0][0]
+                    };
+                    for x in c[v * s_lo..(v + 1) * s_lo].iter_mut() {
+                        *x *= d;
+                    }
+                }
+                SubKind::Dense => {
+                    for (off, x) in c[v * s_lo..(v + 1) * s_lo].iter_mut().enumerate() {
+                        let bval = partner[base + v * s_lo + off];
+                        *x = if own_hi_bit == 0 {
+                            m.0[0][0] * *x + m.0[0][1] * bval
+                        } else {
+                            m.0[1][0] * bval + m.0[1][1] * *x
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- Fusion mirrors -----------------------------------------------------
+//
+// A fusion window keeps the partner's shard (or packed half) alive in a
+// local `copy` so the next global gate on the same qubit can skip its
+// exchange. The mirror variants below apply the rank's own update AND
+// advance `copy` to the partner's post-gate values — computed with the
+// exact expressions the partner itself runs, so a fused replay is
+// bitwise indistinguishable from a fresh exchange.
+
+/// [`apply_exchanged_mat2`] (dense arm) that also advances `copy` to the
+/// partner's post-gate shard.
+pub fn exchange_mirror_mat2(own: &mut [C64], copy: &mut [C64], own_bit: usize, m: &Mat2) {
+    debug_assert_eq!(own.len(), copy.len());
+    debug_assert!(own_bit < 2);
+    nwq_telemetry::counter_add("kernels.amplitude_updates", 2 * own.len() as u64);
+    for (a, b) in own.iter_mut().zip(copy.iter_mut()) {
+        if own_bit == 0 {
+            let (v0, v1) = (*a, *b);
+            *a = m.0[0][0] * v0 + m.0[0][1] * v1;
+            *b = m.0[1][0] * v0 + m.0[1][1] * v1;
+        } else {
+            let (v0, v1) = (*b, *a);
+            *a = m.0[1][0] * v0 + m.0[1][1] * v1;
+            *b = m.0[0][0] * v0 + m.0[0][1] * v1;
+        }
+    }
+}
+
+/// [`apply_exchanged_mat4_global_local`] (dense arm) that also advances
+/// `copy` to the partner's post-gate shard.
+pub fn exchange_mirror_global_local(
+    own: &mut [C64],
+    copy: &mut [C64],
+    own_hi_bit: usize,
+    lo: usize,
+    m: &Mat4,
+) {
+    debug_assert_eq!(own.len(), copy.len());
+    debug_assert!(own_hi_bit < 2);
+    nwq_telemetry::counter_add("kernels.amplitude_updates", 2 * own.len() as u64);
+    let m = &{ *m };
+    let s_lo = 1usize << lo;
+    let lo_block = s_lo << 1;
+    for base in (0..own.len()).step_by(lo_block) {
+        for i in base..base + s_lo {
+            let j = i + s_lo;
+            let v = if own_hi_bit == 0 {
+                [own[i], own[j], copy[i], copy[j]]
+            } else {
+                [copy[i], copy[j], own[i], own[j]]
+            };
+            let (own_rows, cp_rows) = if own_hi_bit == 0 {
+                ([0, 1], [2, 3])
+            } else {
+                ([2, 3], [0, 1])
+            };
+            let mac = |r: &[C64; 4]| r[0] * v[0] + r[1] * v[1] + r[2] * v[2] + r[3] * v[3];
+            own[i] = mac(&m.0[own_rows[0]]);
+            own[j] = mac(&m.0[own_rows[1]]);
+            copy[i] = mac(&m.0[cp_rows[0]]);
+            copy[j] = mac(&m.0[cp_rows[1]]);
+        }
+    }
+}
+
+/// [`apply_exchanged_blocklo`] that also advances the full-shard `copy`
+/// to the partner's post-gate values.
+pub fn exchange_mirror_blocklo(
+    own: &mut [C64],
+    copy: &mut [C64],
+    own_hi_bit: usize,
+    lo: usize,
+    shape: &Mat4Shape,
+) {
+    let Mat4Shape::BlockLo { a, ka, b, kb } = shape else {
+        panic!("exchange_mirror_blocklo needs a BlockLo shape");
+    };
+    debug_assert_eq!(own.len(), copy.len());
+    nwq_telemetry::counter_add("kernels.amplitude_updates", 2 * own.len() as u64);
+    let s_lo = 1usize << lo;
+    for (c, p) in own.chunks_mut(s_lo << 1).zip(copy.chunks_mut(s_lo << 1)) {
+        for (v, (k, m)) in [(ka, a), (kb, b)].iter().enumerate() {
+            let rng = v * s_lo..(v + 1) * s_lo;
+            match k {
+                SubKind::Identity => {}
+                SubKind::Diag => {
+                    let (d0, d1) = (m.0[0][0], m.0[1][1]);
+                    let (dn, dp) = if own_hi_bit == 1 { (d1, d0) } else { (d0, d1) };
+                    for x in c[rng.clone()].iter_mut() {
+                        *x *= dn;
+                    }
+                    for x in p[rng.clone()].iter_mut() {
+                        *x *= dp;
+                    }
+                }
+                SubKind::Dense => {
+                    for (x, y) in c[rng.clone()].iter_mut().zip(p[rng.clone()].iter_mut()) {
+                        let (v0, v1) = if own_hi_bit == 0 { (*x, *y) } else { (*y, *x) };
+                        let lo_out = m.0[0][0] * v0 + m.0[0][1] * v1;
+                        let hi_out = m.0[1][0] * v0 + m.0[1][1] * v1;
+                        if own_hi_bit == 0 {
+                            *x = lo_out;
+                            *y = hi_out;
+                        } else {
+                            *x = hi_out;
+                            *y = lo_out;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`apply_exchanged_half`] that also advances the packed half `copy` to
+/// the partner's post-gate values.
+pub fn exchange_mirror_half(
+    own: &mut [C64],
+    copy: &mut [C64],
+    own_hi_bit: usize,
+    lo: usize,
+    v: usize,
+    m: &Mat2,
+) {
+    debug_assert_eq!(copy.len(), own.len() / 2);
+    nwq_telemetry::counter_add("kernels.amplitude_updates", own.len() as u64);
+    let s_lo = 1usize << lo;
+    let mut p = 0;
+    for c in own.chunks_mut(s_lo << 1) {
+        for a in c[v * s_lo..(v + 1) * s_lo].iter_mut() {
+            let b = &mut copy[p];
+            p += 1;
+            let (v0, v1) = if own_hi_bit == 0 { (*a, *b) } else { (*b, *a) };
+            let lo_out = m.0[0][0] * v0 + m.0[0][1] * v1;
+            let hi_out = m.0[1][0] * v0 + m.0[1][1] * v1;
+            if own_hi_bit == 0 {
+                *a = lo_out;
+                *b = hi_out;
+            } else {
+                *a = hi_out;
+                *b = lo_out;
+            }
+        }
+    }
+}
+
+/// Applies a diagonal gate's phase to a *packed half* fusion mirror: the
+/// copy holds the partner's `window_lo`-bit == `v` half, and the phase of
+/// element `p` depends on the bit of qubit `lo2` in its original index
+/// (`d0`/`d1` already select for the partner's global bits).
+pub fn phase_on_lo_half(
+    copy: &mut [C64],
+    window_lo: usize,
+    v: usize,
+    lo2: usize,
+    d0: C64,
+    d1: C64,
+) {
+    let s = 1usize << window_lo;
+    for (p, a) in copy.iter_mut().enumerate() {
+        let orig = (p / s) * (s << 1) + v * s + (p % s);
+        *a *= if (orig >> lo2) & 1 == 1 { d1 } else { d0 };
     }
 }
 

@@ -115,6 +115,11 @@ pub struct ExecPlan {
     n_qubits: usize,
     ops: Vec<PlanOp>,
     factors: Vec<DiagFactor>,
+    /// Per-op [`Mat4Shape`], classified once at bind time (aligned with
+    /// `ops`; non-`Two` ops hold `Dense` as a don't-care placeholder).
+    /// The executor and the sharded lean-exchange planner both consume
+    /// this instead of re-classifying per sweep.
+    shapes: Vec<crate::kernels::Mat4Shape>,
     stats: PlanStats,
 }
 
@@ -143,8 +148,26 @@ impl ExecPlan {
             n_qubits: 0,
             ops: Vec::new(),
             factors: Vec::new(),
+            shapes: Vec::new(),
             stats: PlanStats::default(),
         }
+    }
+
+    /// The bind-time [`Mat4Shape`](crate::kernels::Mat4Shape) of op `k`
+    /// (meaningful for [`PlanOp::Two`]; `Dense` otherwise).
+    #[inline]
+    pub fn shape_at(&self, k: usize) -> crate::kernels::Mat4Shape {
+        self.shapes[k]
+    }
+
+    /// Reclassifies every op's matrix shape. Called once per bind/dagger
+    /// — a few comparisons per op, negligible next to matrix replay.
+    fn recompute_shapes(&mut self) {
+        self.shapes.clear();
+        self.shapes.extend(self.ops.iter().map(|op| match op {
+            PlanOp::Two(_, _, m) => crate::kernels::mat4_shape(m),
+            _ => crate::kernels::Mat4Shape::Dense,
+        }));
     }
 
     /// Register width the plan was compiled for.
@@ -213,12 +236,15 @@ impl ExecPlan {
                 }
             }
         }
-        ExecPlan {
+        let mut plan = ExecPlan {
             n_qubits: self.n_qubits,
             ops,
             factors,
+            shapes: Vec::new(),
             stats: self.stats,
-        }
+        };
+        plan.recompute_shapes();
+        plan
     }
 }
 
@@ -922,6 +948,7 @@ impl PlanTemplate {
             &mut diag_sweeps,
         );
 
+        plan.recompute_shapes();
         plan.stats = PlanStats {
             gates_in: self.gates_in,
             fused_blocks: self.fused_blocks,

@@ -25,7 +25,7 @@
 //! on this.
 
 use crate::expval::{ensure_finite_energy, flip_groups};
-use crate::kernels::DiagFactor;
+use crate::kernels::{DiagFactor, Mat4Shape, SubKind};
 use crate::plan::{ExecPlan, PlanOp};
 use crate::state::StateVector;
 use nwq_common::{Error, Mat2, Mat4, Result, C64, C_ONE, C_ZERO};
@@ -261,6 +261,88 @@ pub fn walker_mat4_sweep(
         return unsafe { crate::simd::avx::walker_mat4(amps, nw, s_hi, s_lo, mats, diag) };
     }
     walker_mat4_body(amps, nw, s_hi, s_lo, mats, diag)
+}
+
+/// One walker's 2×2 sub-block on a (low, high) value pair — the walker
+/// analog of the single-state block kernels' `apply_sub_pairwise`:
+/// `Identity` untouched, `Diag` in-place `*=`, `Dense` 2-term MAC.
+#[inline(always)]
+fn walker_sub_pair(lo: &mut C64, hi: &mut C64, k: SubKind, m: &nwq_common::Mat2) {
+    match k {
+        SubKind::Identity => {}
+        SubKind::Diag => {
+            *lo *= m.0[0][0];
+            *hi *= m.0[1][1];
+        }
+        SubKind::Dense => {
+            let a = *lo;
+            let b = *hi;
+            *lo = m.0[0][0] * a + m.0[0][1] * b;
+            *hi = m.0[1][0] * a + m.0[1][1] * b;
+        }
+    }
+}
+
+/// Two-qubit sweep over all walkers where at least one walker's matrix is
+/// block-structured (e.g. a CX that did not fuse into a dense block).
+/// Per walker this applies exactly the single-state shaped arithmetic of
+/// `apply_mat4_shaped` — identity sub-blocks skipped, not multiplied.
+/// Scalar-only: per-walker sub-block *skipping* cannot ride the
+/// lane-parallel AVX walker kernel, which assumes every lane runs the
+/// same dense/diagonal expression.
+pub fn walker_mat4_shaped_sweep(
+    amps: &mut [C64],
+    nw: usize,
+    s_hi: usize,
+    s_lo: usize,
+    mats: &[Mat4],
+    shapes: &[Mat4Shape],
+) {
+    let row = nw;
+    let block = (s_hi << 1) * row;
+    let lo_block = (s_lo << 1) * row;
+    for c in amps.chunks_mut(block) {
+        let (h0, h1) = c.split_at_mut(s_hi * row);
+        for (c0, c1) in h0.chunks_mut(lo_block).zip(h1.chunks_mut(lo_block)) {
+            let (c00, c01) = c0.split_at_mut(s_lo * row);
+            let (c10, c11) = c1.split_at_mut(s_lo * row);
+            for j in 0..s_lo {
+                let base = j * row;
+                for w in 0..row {
+                    let k = base + w;
+                    let m = &mats[w];
+                    match &shapes[w] {
+                        Mat4Shape::Diagonal => {
+                            c00[k] *= m.0[0][0];
+                            c01[k] *= m.0[1][1];
+                            c10[k] *= m.0[2][2];
+                            c11[k] *= m.0[3][3];
+                        }
+                        Mat4Shape::BlockHi { a, ka, b, kb } => {
+                            walker_sub_pair(&mut c00[k], &mut c01[k], *ka, a);
+                            walker_sub_pair(&mut c10[k], &mut c11[k], *kb, b);
+                        }
+                        Mat4Shape::BlockLo { a, ka, b, kb } => {
+                            walker_sub_pair(&mut c00[k], &mut c10[k], *ka, a);
+                            walker_sub_pair(&mut c01[k], &mut c11[k], *kb, b);
+                        }
+                        Mat4Shape::Dense => {
+                            let v = [c00[k], c01[k], c10[k], c11[k]];
+                            let r = &m.0;
+                            c00[k] =
+                                r[0][0] * v[0] + r[0][1] * v[1] + r[0][2] * v[2] + r[0][3] * v[3];
+                            c01[k] =
+                                r[1][0] * v[0] + r[1][1] * v[1] + r[1][2] * v[2] + r[1][3] * v[3];
+                            c10[k] =
+                                r[2][0] * v[0] + r[2][1] * v[1] + r[2][2] * v[2] + r[2][3] * v[3];
+                            c11[k] =
+                                r[3][0] * v[0] + r[3][1] * v[1] + r[3][2] * v[2] + r[3][3] * v[3];
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Diagonal sweep over all walkers. `factors` is factor-major:

@@ -41,8 +41,30 @@ fn serial_mat2(amps: &mut [C64], q: usize, m: &Mat2) {
     }
 }
 
+/// Serial mirror of one 2×2 sub-block of a block-structured mat4: the
+/// kernels SKIP identity sub-blocks (multiplying by exact `1+0i` flips
+/// the sign of a `-0.0` real part when the imaginary part is `-0.0`, so
+/// "skip" and "multiply by one" are NOT bitwise equivalent), multiply
+/// diagonal ones in place, and pair-MAC dense ones.
+fn serial_sub_pair(lo: &mut C64, hi: &mut C64, m: &Mat2) {
+    let diag = m.0[0][1].norm_sqr() == 0.0 && m.0[1][0].norm_sqr() == 0.0;
+    let one = |c: C64| c.re == 1.0 && c.im == 0.0;
+    if diag && one(m.0[0][0]) && one(m.0[1][1]) {
+        return; // identity: untouched
+    }
+    if diag {
+        *lo *= m.0[0][0];
+        *hi *= m.0[1][1];
+        return;
+    }
+    let a = *lo;
+    let b = *hi;
+    *lo = m.0[0][0] * a + m.0[0][1] * b;
+    *hi = m.0[1][0] * a + m.0[1][1] * b;
+}
+
 /// Serial mirror of `apply_mat4` (same qubit normalization, same quad
-/// expression).
+/// expression), including the diagonal and block-structured fast paths.
 fn serial_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
     let (hi_q, lo_q, mat) = if qa > qb {
         (qa, qb, *m)
@@ -54,6 +76,39 @@ fn serial_mat4(amps: &mut [C64], qa: usize, qb: usize, m: &Mat4) {
         for (i, a) in amps.iter_mut().enumerate() {
             let idx = (((i >> hi_q) & 1) << 1) | ((i >> lo_q) & 1);
             *a *= d[idx];
+        }
+        return;
+    }
+    let z = |r: usize, c: usize| mat.0[r][c].norm_sqr() == 0.0;
+    // Hi-block-diagonal (e.g. CX with the control on the high bit): each
+    // high-bit half evolves under its own 2×2 on the low bit.
+    if z(0, 2) && z(0, 3) && z(1, 2) && z(1, 3) && z(2, 0) && z(2, 1) && z(3, 0) && z(3, 1) {
+        let a = Mat2([[mat.0[0][0], mat.0[0][1]], [mat.0[1][0], mat.0[1][1]]]);
+        let b = Mat2([[mat.0[2][2], mat.0[2][3]], [mat.0[3][2], mat.0[3][3]]]);
+        let dim = amps.len();
+        for i in 0..dim {
+            if (i >> lo_q) & 1 == 0 {
+                let j = i | (1 << lo_q);
+                let sub = if (i >> hi_q) & 1 == 1 { &b } else { &a };
+                let (l, r) = amps.split_at_mut(j);
+                serial_sub_pair(&mut l[i], &mut r[0], sub);
+            }
+        }
+        return;
+    }
+    // Lo-block-diagonal (e.g. CX with the control on the low bit): each
+    // low-bit stripe evolves under its own 2×2 across the high bit.
+    if z(0, 1) && z(0, 3) && z(2, 1) && z(2, 3) && z(1, 0) && z(1, 2) && z(3, 0) && z(3, 2) {
+        let a = Mat2([[mat.0[0][0], mat.0[0][2]], [mat.0[2][0], mat.0[2][2]]]);
+        let b = Mat2([[mat.0[1][1], mat.0[1][3]], [mat.0[3][1], mat.0[3][3]]]);
+        let dim = amps.len();
+        for i in 0..dim {
+            if (i >> hi_q) & 1 == 0 {
+                let j = i | (1 << hi_q);
+                let sub = if (i >> lo_q) & 1 == 1 { &b } else { &a };
+                let (l, r) = amps.split_at_mut(j);
+                serial_sub_pair(&mut l[i], &mut r[0], sub);
+            }
         }
         return;
     }
@@ -161,6 +216,42 @@ fn mat4_bitwise_parity_across_dispatch_paths() {
                 serial_mat4(&mut slow, qa, qb, &m);
                 assert_bit_identical(&fast, &slow, &format!("mat4 {label} n={n} qa={qa} qb={qb}"));
             }
+        }
+    }
+}
+
+#[test]
+fn mat4_block_identity_subblock_preserves_negative_zero() {
+    // CX is block-structured with an identity sub-block on the
+    // control=0 half. That half must be SKIPPED, not multiplied by
+    // `1+0i`: for an amplitude `-0.0 - 0.0i`, `a *= C64::new(1.0, 0.0)`
+    // yields `re = (-0.0 * 1.0) - (-0.0 * 0.0) = +0.0`, flipping the
+    // sign bit. Random test states never hold exact zeros, so this case
+    // pins the hazard explicitly with a hand-built state.
+    let n = 13usize;
+    let neg_zero = C64::new(-0.0, -0.0);
+    for (qa, qb) in [(2usize, 9usize), (9, 2), (0, n - 1), (n - 1, 0)] {
+        let mut psi = vec![neg_zero; 1usize << n];
+        psi[0] = C64::new(1.0, 0.0);
+        let mut fast = psi.clone();
+        let mut slow = psi;
+        apply_mat4(&mut fast, qa, qb, &mat_cx());
+        serial_mat4(&mut slow, qa, qb, &mat_cx());
+        assert_bit_identical(&fast, &slow, &format!("cx -0.0 qa={qa} qb={qb}"));
+        // Amplitudes with both gate bits clear sit in the identity
+        // sub-block (control = 0, target = 0): they must be bitwise
+        // untouched — each -0.0 keeps its sign bit. (Amplitudes with the
+        // control bit set go through the dense X sub-block's MAC, which
+        // legitimately rewrites -0.0 to +0.0.)
+        for (i, a) in fast.iter().enumerate() {
+            if (i >> qa) & 1 != 0 || (i >> qb) & 1 != 0 {
+                continue;
+            }
+            let want = if i == 0 { C64::new(1.0, 0.0) } else { neg_zero };
+            assert!(
+                a.re.to_bits() == want.re.to_bits() && a.im.to_bits() == want.im.to_bits(),
+                "cx identity half rewrote amp {i}: {a:?} (qa={qa} qb={qb})"
+            );
         }
     }
 }

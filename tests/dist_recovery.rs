@@ -19,6 +19,7 @@ fn test_opts() -> ShardOptions {
         fuse_local: false,
         exchange_timeout_ms: 100,
         exchange_retries: 2,
+        ..ShardOptions::default()
     }
 }
 
